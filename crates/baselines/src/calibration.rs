@@ -1,0 +1,114 @@
+//! Calibrated model constants for the baseline systems.
+//!
+//! The paper reports end-to-end ratios against TrieJax (its §4.3/§4.4
+//! headline numbers); these constants are chosen once so that the
+//! *reproduced* ratios land in the same bands on the synthetic Table-2
+//! datasets, and are then left alone. They are deliberately favourable to
+//! the baselines where the paper was (§4.1).
+//!
+//! Paper targets:
+//!
+//! | baseline      | speedup (avg, range)   | energy ratio (avg) |
+//! |---------------|------------------------|--------------------|
+//! | CTJ           | 20x   (5.5 - 45x)      | 110x               |
+//! | EmptyHeaded   | 9x    (2.5 - 44x)      | 59x                |
+//! | Graphicionado | 7x    (0.8 - 32x)      | 15x                |
+//! | Q100          | 63x   (0.9 - 539x)     | 179x               |
+
+/// Xeon E5-2630 v3 clock (paper Table 3).
+pub const CPU_FREQ_GHZ: f64 = 2.4;
+
+/// Software cost of one engine control operation (leapfrog step, trie
+/// expansion, hash probe): instruction overhead, branches, pointer chasing.
+pub const SW_CYCLES_PER_OP: f64 = 16.0;
+
+/// Software cost of one counted index-word read (cache-hierarchy average:
+/// mostly L1/L2 hits, occasional DRAM on the irregular trie walks).
+pub const SW_CYCLES_PER_INDEX_READ: f64 = 7.0;
+
+/// Software cost of one intermediate-data word touched (cache/result
+/// buffers, better locality than index walks).
+pub const SW_CYCLES_PER_INTERMEDIATE: f64 = 2.5;
+
+/// Software cost of emitting one result tuple.
+pub const SW_CYCLES_PER_RESULT: f64 = 10.0;
+
+/// EmptyHeaded parallel efficiency. EmptyHeaded partitions work statically
+/// on the first join attribute (paper Figure 8 discussion), which on the
+/// skewed pattern workloads leaves most cores idle behind the hub-heavy
+/// partitions; the paper's own relative results (TrieJax 20x over
+/// single-thread CTJ but only 9x over 16-core EmptyHeaded) imply an
+/// effective parallel gain of ~2x, which SIMD then roughly doubles.
+pub const EH_PARALLEL_FACTOR: f64 = 1.9;
+
+/// EmptyHeaded SIMD speedup on intersection probe reads (net of
+/// gather/permute overheads on the irregular trie data).
+pub const EH_SIMD_FACTOR: f64 = 2.0;
+
+/// Net (idle-deducted) package+DRAM power of single-threaded CTJ, watts.
+/// The paper deducts idle power measured on the same machine (§4.1), so
+/// these are increments over idle, not absolute TDP.
+pub const CTJ_NET_POWER_W: f64 = 2.6;
+
+/// Net power of EmptyHeaded: 16 active cores with SIMD units lit up.
+pub const EH_NET_POWER_W: f64 = 3.4;
+
+/// Q100 streaming bandwidth, bytes per second: the accelerator is fed at
+/// DDR3 speed and the paper grants it perfect operator pipelining.
+pub const Q100_BYTES_PER_S: f64 = 22.0e9;
+
+/// Q100 intermediate-tuple throughput. Q100 composes sort / merge-join /
+/// partition operators; a *single* binary join streams at full bandwidth
+/// (which is why Q100 stays comparable on Path3), but every materialized
+/// intermediate relation must be re-sorted and re-partitioned before the
+/// next operator — several passes per intermediate tuple.
+pub const Q100_TUPLES_PER_S: f64 = 0.05e9;
+
+/// Q100 net power (accelerator tile plus its DRAM activity).
+pub const Q100_NET_POWER_W: f64 = 1.35;
+
+/// Graphicionado message throughput: 8 processing streams at 1 GHz.
+/// A pattern-matching message carries a multi-word partial match through
+/// the crossbar, a scratchpad lookup and an output queue — several
+/// stream-cycles per message rather than the one cycle of scalar vertex
+/// programs — but no bandwidth ceiling is applied, per the paper's
+/// favourable assumption (§4.3).
+pub const GRAPHICIONADO_MSGS_PER_S: f64 = 1.25e9;
+
+/// Graphicionado net power (eDRAM scratchpad plus streams plus DRAM).
+pub const GRAPHICIONADO_NET_POWER_W: f64 = 1.0;
+
+/// DRAM energy per byte moved, for the baseline accelerators' explicit
+/// traffic (DDR3-class, ~60 pJ/bit I/O + array).
+pub const DRAM_PJ_PER_BYTE: f64 = 60.0;
+
+/// Fraction of CTJ's index-word reads that miss the Xeon's caches and
+/// reach DRAM. CTJ's bounded working set (the WCOJ property plus the
+/// partial-join-result cache) keeps most trie walks resident — the basis
+/// of the paper's Figure 17.
+pub const CTJ_INDEX_MISS_RATE: f64 = 0.08;
+
+/// EmptyHeaded's miss fraction: its per-level candidate materialization
+/// and wider scans thrash more (2.8x more main-memory accesses than CTJ
+/// in paper Figure 17).
+pub const EH_INDEX_MISS_RATE: f64 = 0.30;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_ratios_match_paper_bands() {
+        // TrieJax effective power is ~0.45 W (DRAM background dominated,
+        // Figure 15); the paper's speedup/energy pairs imply baseline net
+        // powers within roughly these bands.
+        let triejax_w = 0.45;
+        assert!(CTJ_NET_POWER_W / triejax_w > 4.0 && CTJ_NET_POWER_W / triejax_w < 8.0);
+        assert!(EH_NET_POWER_W / triejax_w > 5.0 && EH_NET_POWER_W / triejax_w < 9.0);
+        assert!(Q100_NET_POWER_W / triejax_w > 2.0 && Q100_NET_POWER_W / triejax_w < 4.5);
+        assert!(
+            GRAPHICIONADO_NET_POWER_W / triejax_w > 1.2
+                && GRAPHICIONADO_NET_POWER_W / triejax_w < 3.5
+        );
+    }
+}

@@ -1,0 +1,61 @@
+use triejax_join::{Catalog, EngineStats, JoinError};
+use triejax_query::CompiledQuery;
+
+/// The outcome of evaluating one baseline system on one (query, dataset).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineReport {
+    /// System name (e.g. `"ctj"`).
+    pub system: &'static str,
+    /// Modeled wall-clock seconds.
+    pub time_s: f64,
+    /// Modeled energy in joules (net of idle, as measured in the paper).
+    pub energy_j: f64,
+    /// Result tuples produced.
+    pub results: u64,
+    /// Intermediate results materialized (Figure 18 metric).
+    pub intermediates: u64,
+    /// Simulated memory accesses (Figure 17 metric).
+    pub memory_accesses: u64,
+    /// Bytes moved through memory.
+    pub bytes_moved: u64,
+    /// The raw engine counters behind the model.
+    pub stats: EngineStats,
+}
+
+/// A modeled comparison system: executes the real algorithm and converts
+/// its counters into time and energy.
+pub trait BaselineSystem {
+    /// Short stable name (matches the paper's figure legends).
+    fn name(&self) -> &'static str;
+
+    /// Evaluates one query over one catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JoinError`] when the catalog does not satisfy the plan.
+    fn evaluate(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+    ) -> Result<BaselineReport, JoinError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_plain_data() {
+        let r = BaselineReport {
+            system: "x",
+            time_s: 1.0,
+            energy_j: 2.0,
+            results: 3,
+            intermediates: 4,
+            memory_accesses: 5,
+            bytes_moved: 6,
+            stats: EngineStats::default(),
+        };
+        assert_eq!(r.clone(), r);
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the four software join engines on the paper's
+//! queries — real wall-clock time of our implementations, complementing
+//! the modeled comparisons of the figure binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use triejax_graph::{Dataset, Scale};
+use triejax_join::{
+    Catalog, CountSink, Ctj, GenericJoin, JoinEngine, Lftj, PairwiseHash, PairwiseSortMerge,
+};
+use triejax_query::{patterns::Pattern, CompiledQuery};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.insert("G", Dataset::GrQc.generate(Scale::Tiny).edge_relation());
+    c
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let cat = catalog();
+    for pattern in [Pattern::Cycle3, Pattern::Cycle4] {
+        let plan = CompiledQuery::compile(&pattern.query()).expect("compiles");
+        let mut group = c.benchmark_group(format!("engines_{}", pattern.label()));
+        let engines: Vec<(&str, Box<dyn Fn() -> Box<dyn JoinEngine>>)> = vec![
+            ("lftj", Box::new(|| Box::new(Lftj::new()))),
+            ("ctj", Box::new(|| Box::new(Ctj::new()))),
+            ("generic", Box::new(|| Box::new(GenericJoin::new()))),
+            ("pairwise", Box::new(|| Box::new(PairwiseHash::new()))),
+            ("sortmerge", Box::new(|| Box::new(PairwiseSortMerge::new()))),
+        ];
+        for (name, make) in engines {
+            group.bench_function(BenchmarkId::from_parameter(name), |b| {
+                b.iter(|| {
+                    let mut sink = CountSink::default();
+                    make().execute(&plan, &cat, &mut sink).expect("runs");
+                    sink.count()
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

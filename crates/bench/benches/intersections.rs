@@ -1,0 +1,29 @@
+//! Criterion micro-benchmarks of the galloping set intersection used by
+//! the Generic Join engine, across size ratios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use triejax_join::{intersect_sorted, EngineStats};
+
+fn make_set(n: u32, stride: u32, offset: u32) -> Vec<u32> {
+    (0..n).map(|i| i * stride + offset).collect()
+}
+
+fn bench_intersections(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect");
+    for (label, a, b) in [
+        ("balanced_10k", make_set(10_000, 3, 0), make_set(10_000, 5, 0)),
+        ("skewed_100_vs_100k", make_set(100, 1009, 0), make_set(100_000, 7, 0)),
+        ("disjoint_10k", make_set(10_000, 2, 0), make_set(10_000, 2, 1)),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |bench| {
+            bench.iter(|| {
+                let mut stats = EngineStats::default();
+                intersect_sorted(&a, &b, &mut stats)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersections);
+criterion_main!(benches);

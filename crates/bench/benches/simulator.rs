@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the cycle-level TrieJax simulator itself:
+//! simulation throughput (host time per simulated query) across thread
+//! counts and queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use triejax::{TrieJax, TrieJaxConfig};
+use triejax_graph::{Dataset, Scale};
+use triejax_join::Catalog;
+use triejax_query::{patterns::Pattern, CompiledQuery};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.insert("G", Dataset::GrQc.generate(Scale::Tiny).edge_relation());
+    c
+}
+
+fn bench_simulator_queries(c: &mut Criterion) {
+    let cat = catalog();
+    let mut group = c.benchmark_group("simulator_query");
+    group.sample_size(20);
+    for pattern in [Pattern::Path3, Pattern::Cycle3, Pattern::Cycle4] {
+        let plan = CompiledQuery::compile(&pattern.query()).expect("compiles");
+        group.bench_function(BenchmarkId::from_parameter(pattern.label()), |b| {
+            let accel = TrieJax::new(TrieJaxConfig::default());
+            b.iter(|| accel.run(&plan, &cat).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator_threads(c: &mut Criterion) {
+    let cat = catalog();
+    let plan = CompiledQuery::compile(&Pattern::Cycle4.query()).expect("compiles");
+    let mut group = c.benchmark_group("simulator_threads");
+    group.sample_size(20);
+    for threads in [1usize, 8, 32] {
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            let accel = TrieJax::new(TrieJaxConfig::default().with_threads(threads));
+            b.iter(|| accel.run(&plan, &cat).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator_queries, bench_simulator_threads);
+criterion_main!(benches);

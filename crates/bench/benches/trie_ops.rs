@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks of the trie substrate: build, full scan,
+//! and lowest-upper-bound seeks — the primitives behind every engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use triejax_graph::{Dataset, Scale};
+use triejax_relation::{AccessCounter, Relation, Trie, TrieCursor};
+
+fn bench_trie_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trie_build");
+    for d in [Dataset::GrQc, Dataset::WikiVote] {
+        let rel = d.generate(Scale::Tiny).edge_relation();
+        group.bench_with_input(BenchmarkId::from_parameter(d.label()), &rel, |b, rel| {
+            b.iter(|| Trie::build(rel));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cursor_scan(c: &mut Criterion) {
+    let rel = Dataset::WikiVote.generate(Scale::Tiny).edge_relation();
+    let trie = Trie::build(&rel);
+    c.bench_function("cursor_full_scan_wiki_tiny", |b| {
+        b.iter(|| {
+            let mut cur = TrieCursor::new(&trie);
+            let mut counter = AccessCounter::default();
+            let mut sum = 0u64;
+            cur.open(&mut counter);
+            loop {
+                sum += u64::from(cur.key());
+                cur.open(&mut counter);
+                loop {
+                    sum += u64::from(cur.key());
+                    if !cur.next(&mut counter) {
+                        break;
+                    }
+                }
+                cur.up();
+                if !cur.next(&mut counter) {
+                    break;
+                }
+            }
+            sum
+        });
+    });
+}
+
+fn bench_seeks(c: &mut Criterion) {
+    let values: Vec<Vec<u32>> = (0..100_000u32).map(|i| vec![i * 3]).collect();
+    let rel = Relation::from_tuples(1, values).expect("valid");
+    let trie = Trie::build(&rel);
+    c.bench_function("seek_100k_sorted", |b| {
+        b.iter(|| {
+            let mut cur = TrieCursor::new(&trie);
+            let mut counter = AccessCounter::default();
+            cur.open(&mut counter);
+            let mut hits = 0u32;
+            for probe in (0..300_000u32).step_by(1013) {
+                if !cur.seek(probe, &mut counter) {
+                    break;
+                }
+                hits += 1;
+            }
+            hits
+        });
+    });
+}
+
+criterion_group!(benches, bench_trie_build, bench_cursor_scan, bench_seeks);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation (paper §3.1): result writes bypassing the caches.
+//!
+//! "On some of the benchmarks we evaluate (e.g., path4 query), where the
+//! size of the resulting join table is extremely large, bypassing the
+//! private caches improves performance by up to 2.5x."
+
+use triejax_bench::{geomean, paper, Harness, Table};
+
+fn main() {
+    let h = Harness::from_args();
+    println!("Ablation: result-write cache bypass ({} scale)\n", h.scale.label());
+
+    let mut table =
+        Table::new(["query", "dataset", "results", "bypass cycles", "no-bypass cycles", "speedup"]);
+    let mut speedups = Vec::new();
+    let mut path4_max: f64 = 0.0;
+    for &p in &h.patterns {
+        for &d in &h.datasets {
+            let catalog = h.catalog(d);
+            let with = h.run_triejax(p, &catalog);
+            let mut hh = h.clone();
+            hh.config = hh.config.with_write_bypass(false);
+            let without = hh.run_triejax(p, &catalog);
+            let s = without.cycles as f64 / with.cycles.max(1) as f64;
+            speedups.push(s);
+            if p.label() == "Path4" {
+                path4_max = path4_max.max(s);
+            }
+            table.row([
+                p.label().to_string(),
+                d.label().to_string(),
+                with.results.to_string(),
+                with.cycles.to_string(),
+                without.cycles.to_string(),
+                format!("{s:.2}x"),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "bypass speedup: geomean {:.2}x, best path4 cell {:.2}x (paper: up to {}x on path4)",
+        geomean(speedups),
+        path4_max,
+        paper::BYPASS_MAX_SPEEDUP
+    );
+}

@@ -1,0 +1,47 @@
+//! Ablation (paper §3.4): static vs dynamic vs combined multithreading.
+//!
+//! Static MT suffers unbalanced partitions (paper Figure 8); dynamic MT
+//! has slow ramp-up on queries with infrequent matches; TrieJax combines
+//! both. Cycles are reported per scheme, normalized to combined.
+
+use triejax::MtMode;
+use triejax_bench::{geomean, Harness, Table};
+
+fn main() {
+    let h = Harness::from_args();
+    println!("Ablation: multithreading schemes ({} scale, {} threads)\n",
+        h.scale.label(), h.config.threads);
+
+    let modes = [MtMode::Static, MtMode::Dynamic, MtMode::Combined];
+    let mut table = Table::new(["query", "dataset", "static", "dynamic", "combined"]);
+    let mut ratio_static = Vec::new();
+    let mut ratio_dynamic = Vec::new();
+    for &p in &h.patterns {
+        for &d in &h.datasets {
+            let catalog = h.catalog(d);
+            let mut cycles = [0u64; 3];
+            for (i, &m) in modes.iter().enumerate() {
+                let mut hh = h.clone();
+                hh.config = hh.config.with_mt_mode(m);
+                cycles[i] = hh.run_triejax(p, &catalog).cycles.max(1);
+            }
+            let base = cycles[2] as f64;
+            ratio_static.push(cycles[0] as f64 / base);
+            ratio_dynamic.push(cycles[1] as f64 / base);
+            table.row([
+                p.label().to_string(),
+                d.label().to_string(),
+                format!("{:.2}x", cycles[0] as f64 / base),
+                format!("{:.2}x", cycles[1] as f64 / base),
+                "1.00x".to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "slowdown vs combined (geomean): static {:.2}x, dynamic {:.2}x",
+        geomean(ratio_static),
+        geomean(ratio_dynamic)
+    );
+    println!("(paper: combined MT is the shipped configuration; both pure schemes lose)");
+}

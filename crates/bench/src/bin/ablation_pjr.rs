@@ -1,0 +1,49 @@
+//! Ablation (paper §3.5/§3.7): the partial-join-result cache.
+//!
+//! Sweeps the PJR capacity (including disabled) on the cacheable queries;
+//! cycle3/clique4 are insensitive by construction (no valid cache specs).
+
+use triejax_bench::{Harness, Table};
+
+fn main() {
+    let h = Harness::from_args();
+    println!("Ablation: PJR cache capacity ({} scale)\n", h.scale.label());
+
+    let sizes: [(&str, Option<u64>); 5] = [
+        ("off", None),
+        ("64KB", Some(64 << 10)),
+        ("512KB", Some(512 << 10)),
+        ("4MB", Some(4 << 20)),
+        ("32MB", Some(32 << 20)),
+    ];
+    let mut table = Table::new(
+        ["query", "dataset"]
+            .into_iter()
+            .map(String::from)
+            .chain(sizes.iter().map(|(l, _)| format!("cycles @{l}")))
+            .chain(["hit rate @4MB".to_string()]),
+    );
+    for &p in &h.patterns {
+        for &d in &h.datasets {
+            let catalog = h.catalog(d);
+            let mut cells = vec![p.label().to_string(), d.label().to_string()];
+            let mut hit_rate_4mb = 0.0;
+            for (label, bytes) in sizes {
+                let mut hh = h.clone();
+                hh.config = match bytes {
+                    None => hh.config.with_pjr_enabled(false),
+                    Some(b) => hh.config.with_pjr_bytes(b),
+                };
+                let r = hh.run_triejax(p, &catalog);
+                if label == "4MB" {
+                    hit_rate_4mb = r.pjr.hit_rate();
+                }
+                cells.push(r.cycles.to_string());
+            }
+            cells.push(format!("{:.0}%", hit_rate_4mb * 100.0));
+            table.row(cells);
+        }
+    }
+    println!("{}", table.render());
+    println!("(cycle3/clique4 have no valid cache: identical cycles across sizes)");
+}

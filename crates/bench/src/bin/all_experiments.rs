@@ -1,0 +1,101 @@
+//! Runs the full evaluation matrix once and prints a compact summary of
+//! every paper claim versus the measured value — the source of
+//! `EXPERIMENTS.md`.
+
+use triejax_bench::{fmt_ratio, geomean, paper, Harness};
+
+fn main() {
+    let h = Harness::from_args();
+    println!(
+        "TrieJax reproduction: full experiment sweep ({} scale, {} threads)\n",
+        h.scale.label(),
+        h.config.threads
+    );
+
+    // --- Figures 13/16/17: the five-system matrix -----------------------
+    let mut speed: [Vec<f64>; 4] = Default::default();
+    let mut energy: [Vec<f64>; 4] = Default::default();
+    let mut access_ratio: [Vec<f64>; 3] = Default::default();
+    let mut mem_fraction = Vec::new();
+    let mut cells = 0usize;
+    for &p in &h.patterns {
+        for &d in &h.datasets {
+            let cell = h.run_cell(p, d);
+            cell.assert_agreement();
+            cells += 1;
+            let base = [&cell.q100, &cell.graphicionado, &cell.emptyheaded, &cell.ctj];
+            for i in 0..4 {
+                speed[i].push(cell.speedup_over(base[i]));
+                energy[i].push(cell.energy_reduction_over(base[i]));
+            }
+            let ctj_acc = cell.ctj.memory_accesses.max(1) as f64;
+            access_ratio[0].push(cell.q100.memory_accesses as f64 / ctj_acc);
+            access_ratio[1].push(cell.graphicionado.memory_accesses as f64 / ctj_acc);
+            access_ratio[2].push(cell.emptyheaded.memory_accesses as f64 / ctj_acc);
+            mem_fraction.push(cell.triejax.energy.memory_fraction());
+        }
+    }
+    println!("matrix: {cells} cells, all five systems agree on result counts\n");
+
+    println!("Figure 13 (speedup) / Figure 16 (energy reduction):");
+    let names = ["q100", "graphicionado", "emptyheaded", "ctj"];
+    for i in 0..4 {
+        let band = paper::band_for(names[i]).expect("known");
+        println!(
+            "  {:14} speedup geomean {:>7} (paper avg {:>5}) | energy geomean {:>7} (paper avg {:>6})",
+            names[i],
+            fmt_ratio(geomean(speed[i].iter().copied())),
+            fmt_ratio(band.speedup_avg),
+            fmt_ratio(geomean(energy[i].iter().copied())),
+            fmt_ratio(band.energy_avg),
+        );
+    }
+
+    println!("\nFigure 15 (energy distribution):");
+    println!(
+        "  memory-system fraction: {:.0}%..{:.0}% (paper {:.0}%..{:.0}%)",
+        100.0 * mem_fraction.iter().copied().fold(f64::INFINITY, f64::min),
+        100.0 * mem_fraction.iter().copied().fold(0.0, f64::max),
+        100.0 * paper::ENERGY_MEMORY_FRACTION.0,
+        100.0 * paper::ENERGY_MEMORY_FRACTION.1
+    );
+
+    println!("\nFigure 17 (memory accesses over CTJ):");
+    let f17 = ["q100", "graphicionado", "emptyheaded"];
+    let f17_paper = [
+        paper::ACCESS_RATIO_Q100_OVER_CTJ,
+        paper::ACCESS_RATIO_GRAPHICIONADO_OVER_CTJ,
+        paper::ACCESS_RATIO_EH_OVER_CTJ,
+    ];
+    for i in 0..3 {
+        println!(
+            "  {:14} {:>8} (paper {}x)",
+            f17[i],
+            fmt_ratio(geomean(access_ratio[i].iter().copied())),
+            f17_paper[i]
+        );
+    }
+
+    // --- Figure 14: thread sweep ----------------------------------------
+    println!("\nFigure 14 (multithreading, geomean over matrix):");
+    for threads in [8usize, 32] {
+        let mut ratios = Vec::new();
+        for &p in &h.patterns {
+            for &d in &h.datasets {
+                let catalog = h.catalog(d);
+                let mut h1 = h.clone();
+                h1.config = h1.config.with_threads(1);
+                let c1 = h1.run_triejax(p, &catalog).cycles.max(1);
+                let mut ht = h.clone();
+                ht.config = ht.config.with_threads(threads);
+                let ct = ht.run_triejax(p, &catalog).cycles.max(1);
+                ratios.push(c1 as f64 / ct as f64);
+            }
+        }
+        let target = if threads == 8 { paper::MT_SPEEDUP_8T } else { paper::MT_SPEEDUP_32T };
+        println!(
+            "  {threads:>2} threads: {:.2}x over 1T (paper {target}x)",
+            geomean(ratios)
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 13: speedup of TrieJax over Q100, Graphicionado, EmptyHeaded and
+//! CTJ, per query and dataset (log-scale bars in the paper).
+
+use triejax_bench::{fmt_ratio, geomean, paper, Harness, Table};
+
+fn main() {
+    let h = Harness::from_args();
+    println!(
+        "Figure 13: TrieJax speedup vs baselines ({} scale, {} threads)\n",
+        h.scale.label(),
+        h.config.threads
+    );
+
+    let mut table =
+        Table::new(["query", "dataset", "results", "vs Q100", "vs Graphicionado", "vs EmptyHeaded", "vs CTJ"]);
+    let mut per_system: [Vec<f64>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for &p in &h.patterns {
+        for &d in &h.datasets {
+            let cell = h.run_cell(p, d);
+            cell.assert_agreement();
+            let s = [
+                cell.speedup_over(&cell.q100),
+                cell.speedup_over(&cell.graphicionado),
+                cell.speedup_over(&cell.emptyheaded),
+                cell.speedup_over(&cell.ctj),
+            ];
+            for (acc, v) in per_system.iter_mut().zip(s) {
+                acc.push(v);
+            }
+            table.row([
+                p.label().to_string(),
+                d.label().to_string(),
+                cell.triejax.results.to_string(),
+                fmt_ratio(s[0]),
+                fmt_ratio(s[1]),
+                fmt_ratio(s[2]),
+                fmt_ratio(s[3]),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    let systems = ["q100", "graphicionado", "emptyheaded", "ctj"];
+    println!("averages (geomean) vs paper:");
+    for (i, sys) in systems.iter().enumerate() {
+        let avg = geomean(per_system[i].iter().copied());
+        let min = per_system[i].iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per_system[i].iter().copied().fold(0.0, f64::max);
+        let band = paper::band_for(sys).expect("known system");
+        println!(
+            "  {:14} ours avg {:>7} range {:>7}..{:<7}   paper avg {:>5} range {}..{}",
+            sys,
+            fmt_ratio(avg),
+            fmt_ratio(min),
+            fmt_ratio(max),
+            fmt_ratio(band.speedup_avg),
+            band.speedup_range.0,
+            band.speedup_range.1
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 14: TrieJax speedup with 4/8/16/32/64 threads over a
+//! single-threaded TrieJax (paper §4.2: 8T ≈ 5.8x, 32T ≈ 10.8x, 64T flat).
+
+use triejax_bench::{geomean, paper, Harness, Table};
+
+fn main() {
+    let h = Harness::from_args();
+    println!("Figure 14: multithreading speedup over 1 thread ({} scale)\n", h.scale.label());
+
+    let threads = [1usize, 4, 8, 16, 32, 64];
+    let mut table = Table::new(
+        ["query", "dataset"].into_iter().map(String::from).chain(threads.iter().map(|t| format!("{t}T"))),
+    );
+    // speedups[i] collects per-cell speedup at threads[i].
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); threads.len()];
+    for &p in &h.patterns {
+        for &d in &h.datasets {
+            let catalog = h.catalog(d);
+            let mut cells: Vec<String> = vec![p.label().to_string(), d.label().to_string()];
+            let mut base_cycles = 0u64;
+            for (i, &t) in threads.iter().enumerate() {
+                let mut hh = h.clone();
+                hh.config = hh.config.with_threads(t);
+                let r = hh.run_triejax(p, &catalog);
+                if i == 0 {
+                    base_cycles = r.cycles.max(1);
+                }
+                let s = base_cycles as f64 / r.cycles.max(1) as f64;
+                speedups[i].push(s);
+                cells.push(format!("{s:.2}x"));
+            }
+            table.row(cells);
+        }
+    }
+    println!("{}", table.render());
+
+    println!("geomean speedup per thread count (paper: 8T={}x, 32T={}x, 64T ~flat):",
+        paper::MT_SPEEDUP_8T, paper::MT_SPEEDUP_32T);
+    for (i, &t) in threads.iter().enumerate() {
+        println!("  {:>3} threads: {:.2}x", t, geomean(speedups[i].iter().copied()));
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 15: TrieJax energy-consumption distribution per query, averaged
+//! over datasets (DRAM / LLC / L2 / L1 / PJR cache / core).
+//!
+//! The paper's headline: energy is completely dominated by the memory
+//! system (74-90% across queries), DRAM first; the PJR cache peaks at
+//! 7.8% on cycle4 and consumes nothing on cycle3/clique4, which have no
+//! valid cache.
+
+use triejax_bench::{paper, Harness, Table};
+use triejax_memsim::EnergyBreakdown;
+
+fn main() {
+    let h = Harness::from_args();
+    println!("Figure 15: TrieJax energy distribution per query ({} scale)\n", h.scale.label());
+
+    let mut table = Table::new([
+        "query", "DRAM", "LLC", "L2", "L1", "PJR", "core", "memory-total", "paper-mem",
+    ]);
+    for &p in &h.patterns {
+        let mut sum = EnergyBreakdown::default();
+        for &d in &h.datasets {
+            let catalog = h.catalog(d);
+            let r = h.run_triejax(p, &catalog);
+            sum = sum.add(&r.energy);
+        }
+        let total = sum.total().max(1e-18);
+        let pct = |x: f64| format!("{:.1}%", 100.0 * x / total);
+        let paper_mem = paper::ENERGY_MEMORY_SHARE_PER_QUERY
+            .iter()
+            .find(|(q, _)| *q == p.label())
+            .map_or("-".to_string(), |(_, f)| format!("{:.1}%", 100.0 * f));
+        table.row([
+            p.label().to_string(),
+            pct(sum.dram),
+            pct(sum.llc),
+            pct(sum.l2),
+            pct(sum.l1),
+            pct(sum.pjr),
+            pct(sum.core),
+            format!("{:.1}%", 100.0 * sum.memory_fraction()),
+            paper_mem,
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "paper: memory system dominates every query ({}..{}% of total), \
+         PJR peaks at {:.1}% (cycle4) and is zero on cycle3/clique4",
+        paper::ENERGY_MEMORY_FRACTION.0 * 100.0,
+        paper::ENERGY_MEMORY_FRACTION.1 * 100.0,
+        paper::ENERGY_PJR_MAX_FRACTION * 100.0
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 16: reduction in energy consumption obtained with TrieJax versus
+//! the four baselines (log-scale bars in the paper; headline averages
+//! 110x/59x/15x/179x for CTJ/EmptyHeaded/Graphicionado/Q100).
+
+use triejax_bench::{fmt_ratio, geomean, paper, Harness, Table};
+
+fn main() {
+    let h = Harness::from_args();
+    println!(
+        "Figure 16: energy reduction of TrieJax vs baselines ({} scale)\n",
+        h.scale.label()
+    );
+
+    let mut table =
+        Table::new(["query", "dataset", "vs Q100", "vs Graphicionado", "vs EmptyHeaded", "vs CTJ"]);
+    let mut per_system: [Vec<f64>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for &p in &h.patterns {
+        for &d in &h.datasets {
+            let cell = h.run_cell(p, d);
+            let e = [
+                cell.energy_reduction_over(&cell.q100),
+                cell.energy_reduction_over(&cell.graphicionado),
+                cell.energy_reduction_over(&cell.emptyheaded),
+                cell.energy_reduction_over(&cell.ctj),
+            ];
+            for (acc, v) in per_system.iter_mut().zip(e) {
+                acc.push(v);
+            }
+            table.row([
+                p.label().to_string(),
+                d.label().to_string(),
+                fmt_ratio(e[0]),
+                fmt_ratio(e[1]),
+                fmt_ratio(e[2]),
+                fmt_ratio(e[3]),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    let systems = ["q100", "graphicionado", "emptyheaded", "ctj"];
+    println!("averages vs paper:");
+    for (i, sys) in systems.iter().enumerate() {
+        let geo = geomean(per_system[i].iter().copied());
+        let arith = per_system[i].iter().sum::<f64>() / per_system[i].len().max(1) as f64;
+        let band = paper::band_for(sys).expect("known system");
+        println!(
+            "  {:14} ours geomean {:>7} / mean {:>7}   paper avg {:>6}",
+            sys,
+            fmt_ratio(geo),
+            fmt_ratio(arith),
+            fmt_ratio(band.energy_avg)
+        );
+    }
+}

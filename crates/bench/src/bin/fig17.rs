@@ -1,0 +1,50 @@
+//! Figure 17 (Appendix B): number of main-memory accesses per system.
+//!
+//! Paper headline: CTJ generates 2.8x fewer accesses than EmptyHeaded,
+//! 47x fewer than Graphicionado and 105x fewer than Q100 — the WCOJ
+//! engines' bound on intermediate results is directly visible in traffic.
+
+use triejax_bench::{fmt_count, fmt_ratio, geomean, paper, Harness, Table};
+
+fn main() {
+    let h = Harness::from_args();
+    println!("Figure 17: main-memory accesses per system ({} scale)\n", h.scale.label());
+
+    let mut table =
+        Table::new(["query", "dataset", "Q100", "Graphicionado", "EmptyHeaded", "CTJ"]);
+    let mut ratios: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for &p in &h.patterns {
+        for &d in &h.datasets {
+            let cell = h.run_cell(p, d);
+            let ctj = cell.ctj.memory_accesses.max(1);
+            ratios[0].push(cell.q100.memory_accesses as f64 / ctj as f64);
+            ratios[1].push(cell.graphicionado.memory_accesses as f64 / ctj as f64);
+            ratios[2].push(cell.emptyheaded.memory_accesses as f64 / ctj as f64);
+            table.row([
+                p.label().to_string(),
+                d.label().to_string(),
+                fmt_count(cell.q100.memory_accesses),
+                fmt_count(cell.graphicionado.memory_accesses),
+                fmt_count(cell.emptyheaded.memory_accesses),
+                fmt_count(cell.ctj.memory_accesses),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("access ratios over CTJ (geomean) vs paper:");
+    println!(
+        "  q100          {:>8}   paper {}x",
+        fmt_ratio(geomean(ratios[0].iter().copied())),
+        paper::ACCESS_RATIO_Q100_OVER_CTJ
+    );
+    println!(
+        "  graphicionado {:>8}   paper {}x",
+        fmt_ratio(geomean(ratios[1].iter().copied())),
+        paper::ACCESS_RATIO_GRAPHICIONADO_OVER_CTJ
+    );
+    println!(
+        "  emptyheaded   {:>8}   paper {}x",
+        fmt_ratio(geomean(ratios[2].iter().copied())),
+        paper::ACCESS_RATIO_EH_OVER_CTJ
+    );
+}

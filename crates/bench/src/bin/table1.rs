@@ -1,0 +1,22 @@
+//! Table 1: the graph pattern matching operations used to evaluate TrieJax
+//! and their mapping to join queries (datalog format).
+
+use triejax_bench::Table;
+use triejax_query::{patterns::Pattern, CompiledQuery};
+
+fn main() {
+    println!("Table 1: evaluation queries (datalog format)\n");
+    let mut table = Table::new(["name", "query", "cache structure"]);
+    for p in Pattern::PAPER {
+        let q = p.query();
+        let plan = CompiledQuery::compile(&q).expect("compiles");
+        table.row([p.label().to_string(), q.to_datalog(), plan.describe()]);
+    }
+    println!("{}", table.render());
+    println!("extensions beyond the paper:");
+    let mut ext = Table::new(["name", "query"]);
+    for p in Pattern::ALL.into_iter().filter(|p| !Pattern::PAPER.contains(p)) {
+        ext.row([p.label().to_string(), p.query().to_datalog()]);
+    }
+    println!("{}", ext.render());
+}

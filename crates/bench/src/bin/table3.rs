@@ -1,0 +1,37 @@
+//! Table 3: experimental configuration for TrieJax and the software
+//! baselines, as encoded by the `triejax-memsim` presets.
+
+use triejax_bench::Table;
+use triejax_memsim::MemConfig;
+
+fn row_for(cfg: &MemConfig) -> Vec<String> {
+    let gb = |b: u64| format!("{}", b >> 20);
+    vec![
+        format!("{:.2} GHz", cfg.freq_ghz),
+        format!("{} KB {}-way", cfg.l1.capacity >> 10, cfg.l1.ways),
+        format!("{} KB {}-way", cfg.l2.capacity >> 10, cfg.l2.ways),
+        format!("{} MB {}-way", gb(cfg.llc.capacity), cfg.llc.ways),
+        format!(
+            "{} ch, {:.1} B/cyc peak",
+            cfg.dram.channels,
+            cfg.dram.channels as f64 * 64.0 / cfg.dram.burst_cycles as f64
+        ),
+        if cfg.write_bypass { "yes".into() } else { "no".into() },
+    ]
+}
+
+fn main() {
+    println!("Table 3: experimental configuration\n");
+    let mut table =
+        Table::new(["config", "clock", "L1", "L2", "LLC", "DRAM", "result-write bypass"]);
+    let tj = MemConfig::triejax();
+    let cpu = MemConfig::cpu();
+    let mut r = vec!["TrieJax".to_string()];
+    r.extend(row_for(&tj));
+    table.row(r);
+    let mut r = vec!["Xeon (software)".to_string()];
+    r.extend(row_for(&cpu));
+    table.row(r);
+    println!("{}", table.render());
+    println!("TrieJax extras: 4 MB PJR cache in 4 banks, 32 threads, combined MT");
+}

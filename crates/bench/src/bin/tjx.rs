@@ -1,0 +1,189 @@
+//! `tjx` — a small CLI over the whole stack: run any datalog query on any
+//! dataset (built-in synthetic or a SNAP file) through any system.
+//!
+//! ```text
+//! tjx --query 'tri(x,y,z) = G(x,y),G(y,z),G(z,x)' --dataset wiki --system all
+//! tjx --pattern clique4 --snap my_graph.txt --system triejax --threads 8
+//! tjx --pattern path4 --dataset facebook --scale mini --system triejax --aggregate
+//! ```
+//!
+//! The graph relation is always registered under the name `G`; queries
+//! over other relation names need the library API.
+
+use std::process::exit;
+
+use triejax::{TrieJax, TrieJaxConfig};
+use triejax_baselines::{
+    BaselineSystem, CtjSoftware, EmptyHeaded, Graphicionado, Q100,
+};
+use triejax_bench::fmt_count;
+use triejax_graph::{snap, Dataset, Graph, Scale};
+use triejax_join::Catalog;
+use triejax_query::{optimize_order, parse_query, patterns::Pattern, CompiledQuery};
+
+struct Args {
+    query_text: Option<String>,
+    pattern: Option<Pattern>,
+    dataset: Dataset,
+    snap_path: Option<String>,
+    scale: Scale,
+    system: String,
+    threads: Option<usize>,
+    aggregate: bool,
+    optimize: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tjx [--query DATALOG | --pattern NAME] [--dataset NAME | --snap FILE]\n\
+         \x20          [--scale tiny|mini|full] [--system all|triejax|ctj|emptyheaded|q100|graphicionado]\n\
+         \x20          [--threads N] [--aggregate] [--optimize-order]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        query_text: None,
+        pattern: Some(Pattern::Cycle3),
+        dataset: Dataset::GrQc,
+        snap_path: None,
+        scale: Scale::Tiny,
+        system: "triejax".to_string(),
+        threads: None,
+        aggregate: false,
+        optimize: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--query" => {
+                args.query_text = Some(value(&mut i));
+                args.pattern = None;
+            }
+            "--pattern" => {
+                args.pattern = Some(
+                    Pattern::from_label(&value(&mut i)).unwrap_or_else(|| usage()),
+                );
+            }
+            "--dataset" => {
+                args.dataset = Dataset::from_label(&value(&mut i)).unwrap_or_else(|| usage());
+            }
+            "--snap" => args.snap_path = Some(value(&mut i)),
+            "--scale" => {
+                args.scale = match value(&mut i).as_str() {
+                    "tiny" => Scale::Tiny,
+                    "mini" => Scale::Mini,
+                    "full" => Scale::Full,
+                    _ => usage(),
+                }
+            }
+            "--system" => args.system = value(&mut i),
+            "--threads" => {
+                args.threads = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--aggregate" => args.aggregate = true,
+            "--optimize-order" => args.optimize = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    let graph: Graph = match &args.snap_path {
+        Some(path) => {
+            let file = std::fs::File::open(path).unwrap_or_else(|e| {
+                eprintln!("cannot open {path}: {e}");
+                exit(1)
+            });
+            snap::read_snap(file).unwrap_or_else(|e| {
+                eprintln!("cannot parse {path}: {e}");
+                exit(1)
+            })
+        }
+        None => args.dataset.generate(args.scale),
+    };
+    println!("graph: {} nodes, {} edges", graph.num_nodes(), fmt_count(graph.num_edges() as u64));
+
+    let mut catalog = Catalog::new();
+    catalog.insert("G", graph.edge_relation());
+
+    let query = match (&args.query_text, args.pattern) {
+        (Some(text), _) => parse_query(text).unwrap_or_else(|e| {
+            eprintln!("bad query: {e}");
+            exit(1)
+        }),
+        (None, Some(p)) => p.query(),
+        _ => usage(),
+    };
+    let plan = if args.optimize {
+        CompiledQuery::compile_with_order(&query, optimize_order(&query))
+    } else {
+        CompiledQuery::compile(&query)
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("cannot compile: {e}");
+        exit(1)
+    });
+    println!("query: {query}\nplan:  {}\n", plan.describe());
+
+    let run_triejax = |threads: Option<usize>, aggregate: bool| {
+        let mut cfg = TrieJaxConfig::default().with_aggregate(aggregate);
+        if let Some(t) = threads {
+            cfg = cfg.with_threads(t);
+        }
+        let r = TrieJax::new(cfg).run(&plan, &catalog).unwrap_or_else(|e| {
+            eprintln!("run failed: {e}");
+            exit(1)
+        });
+        println!(
+            "triejax        {:>12} results  {:>12.3} ms  {:>10.2} uJ  (pjr hit rate {:.0}%)",
+            fmt_count(r.results),
+            r.runtime_s * 1e3,
+            r.energy_j() * 1e6,
+            r.pjr.hit_rate() * 100.0
+        );
+    };
+
+    let mut baselines: Vec<Box<dyn BaselineSystem>> = Vec::new();
+    match args.system.as_str() {
+        "triejax" => run_triejax(args.threads, args.aggregate),
+        "all" => {
+            run_triejax(args.threads, args.aggregate);
+            baselines = vec![
+                Box::new(CtjSoftware::new()),
+                Box::new(EmptyHeaded::new()),
+                Box::new(Q100::new()),
+                Box::new(Graphicionado::new()),
+            ];
+        }
+        "ctj" => baselines = vec![Box::new(CtjSoftware::new())],
+        "emptyheaded" => baselines = vec![Box::new(EmptyHeaded::new())],
+        "q100" => baselines = vec![Box::new(Q100::new())],
+        "graphicionado" => baselines = vec![Box::new(Graphicionado::new())],
+        _ => usage(),
+    }
+    for mut s in baselines {
+        let r = s.evaluate(&plan, &catalog).unwrap_or_else(|e| {
+            eprintln!("run failed: {e}");
+            exit(1)
+        });
+        println!(
+            "{:14} {:>12} results  {:>12.3} ms  {:>10.2} uJ",
+            r.system,
+            fmt_count(r.results),
+            r.time_s * 1e3,
+            r.energy_j * 1e6
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! Experiment harness regenerating every table and figure of the TrieJax
+//! paper.
+//!
+//! One binary per artifact (see `src/bin/`): `table1` … `table3`,
+//! `fig13` … `fig18`, plus the `ablation_*` binaries for the paper's
+//! in-text claims and `all_experiments` which runs the full set. Every
+//! binary accepts:
+//!
+//! * `--tiny` (default) / `--mini` / `--full` — dataset scale,
+//! * `--dataset <name>` / `--pattern <name>` — restrict the matrix,
+//! * `--threads <n>` — override the TrieJax thread count.
+//!
+//! Absolute numbers are not expected to match the paper (synthetic
+//! stand-in datasets, parameterized rather than RTL-derived constants);
+//! the *shape* — who wins, by roughly what factor, where the crossovers
+//! fall — is the reproduction target, and each binary prints the paper's
+//! reported band next to the measured value.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+
+use triejax::{SimReport, TrieJax, TrieJaxConfig};
+use triejax_baselines::{
+    BaselineReport, BaselineSystem, CtjSoftware, EmptyHeaded, Graphicionado, Q100,
+};
+use triejax_graph::{Dataset, Scale};
+use triejax_join::Catalog;
+use triejax_query::{patterns::Pattern, CompiledQuery};
+
+/// Which experiments to run, parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    /// Dataset scale.
+    pub scale: Scale,
+    /// Datasets to evaluate (Table-2 order).
+    pub datasets: Vec<Dataset>,
+    /// Patterns to evaluate (Table-1 order).
+    pub patterns: Vec<Pattern>,
+    /// TrieJax configuration.
+    pub config: TrieJaxConfig,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness {
+            scale: Scale::Tiny,
+            datasets: Dataset::ALL.to_vec(),
+            patterns: Pattern::PAPER.to_vec(),
+            config: TrieJaxConfig::default(),
+        }
+    }
+}
+
+impl Harness {
+    /// Parses the standard harness flags from `std::env::args`.
+    ///
+    /// Unknown flags abort with a usage message.
+    pub fn from_args() -> Harness {
+        let mut h = Harness::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--tiny" => h.scale = Scale::Tiny,
+                "--mini" => h.scale = Scale::Mini,
+                "--full" => h.scale = Scale::Full,
+                "--dataset" => {
+                    i += 1;
+                    let name = args.get(i).expect("--dataset needs a value");
+                    let d = Dataset::from_label(name)
+                        .unwrap_or_else(|| panic!("unknown dataset {name}"));
+                    h.datasets = vec![d];
+                }
+                "--pattern" => {
+                    i += 1;
+                    let name = args.get(i).expect("--pattern needs a value");
+                    let p = Pattern::from_label(name)
+                        .unwrap_or_else(|| panic!("unknown pattern {name}"));
+                    h.patterns = vec![p];
+                }
+                "--threads" => {
+                    i += 1;
+                    let n: usize =
+                        args.get(i).expect("--threads needs a value").parse().expect("number");
+                    h.config = h.config.clone().with_threads(n);
+                }
+                other => {
+                    eprintln!(
+                        "unknown flag {other}\nusage: [--tiny|--mini|--full] \
+                         [--dataset NAME] [--pattern NAME] [--threads N]"
+                    );
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        h
+    }
+
+    /// Builds the catalog (single edge relation `G`) for a dataset.
+    pub fn catalog(&self, dataset: Dataset) -> Catalog {
+        let graph = dataset.generate(self.scale);
+        let mut c = Catalog::new();
+        c.insert("G", graph.edge_relation());
+        c
+    }
+
+    /// Runs the TrieJax simulator on one cell.
+    pub fn run_triejax(&self, pattern: Pattern, catalog: &Catalog) -> SimReport {
+        let plan = CompiledQuery::compile(&pattern.query()).expect("patterns compile");
+        TrieJax::new(self.config.clone()).run(&plan, catalog).expect("catalog satisfies plan")
+    }
+
+    /// Runs every system on one cell.
+    pub fn run_cell(&self, pattern: Pattern, dataset: Dataset) -> CellResult {
+        let catalog = self.catalog(dataset);
+        let plan = CompiledQuery::compile(&pattern.query()).expect("patterns compile");
+        let triejax = TrieJax::new(self.config.clone())
+            .run(&plan, &catalog)
+            .expect("catalog satisfies plan");
+        let run = |mut s: Box<dyn BaselineSystem>| -> BaselineReport {
+            s.evaluate(&plan, &catalog).expect("catalog satisfies plan")
+        };
+        CellResult {
+            pattern,
+            dataset,
+            triejax,
+            ctj: run(Box::new(CtjSoftware::new())),
+            emptyheaded: run(Box::new(EmptyHeaded::new())),
+            q100: run(Box::new(Q100::new())),
+            graphicionado: run(Box::new(Graphicionado::new())),
+        }
+    }
+}
+
+/// All five systems evaluated on one (pattern, dataset) cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The pattern query.
+    pub pattern: Pattern,
+    /// The dataset.
+    pub dataset: Dataset,
+    /// TrieJax simulation report.
+    pub triejax: SimReport,
+    /// Software Cached TrieJoin model.
+    pub ctj: BaselineReport,
+    /// EmptyHeaded model.
+    pub emptyheaded: BaselineReport,
+    /// Q100 model.
+    pub q100: BaselineReport,
+    /// Graphicionado model.
+    pub graphicionado: BaselineReport,
+}
+
+impl CellResult {
+    /// Speedup of TrieJax over a baseline report (time ratio).
+    pub fn speedup_over(&self, baseline: &BaselineReport) -> f64 {
+        baseline.time_s / self.triejax.runtime_s.max(1e-12)
+    }
+
+    /// Energy reduction of TrieJax versus a baseline report.
+    pub fn energy_reduction_over(&self, baseline: &BaselineReport) -> f64 {
+        baseline.energy_j / self.triejax.energy_j().max(1e-18)
+    }
+
+    /// Sanity: every system must return the same result count.
+    pub fn assert_agreement(&self) {
+        let t = self.triejax.results;
+        assert_eq!(t, self.ctj.results, "{} {} ctj", self.pattern, self.dataset);
+        assert_eq!(t, self.emptyheaded.results, "{} {} eh", self.pattern, self.dataset);
+        assert_eq!(t, self.q100.results, "{} {} q100", self.pattern, self.dataset);
+        assert_eq!(t, self.graphicionado.results, "{} {} graphicionado", self.pattern, self.dataset);
+    }
+}
+
+/// Geometric mean of a sequence (1.0 for an empty sequence).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.max(1e-300).ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Formats a ratio as the paper writes them (e.g. `12.3x`).
+pub fn fmt_ratio(r: f64) -> String {
+    if r >= 100.0 {
+        format!("{r:.0}x")
+    } else if r >= 10.0 {
+        format!("{r:.1}x")
+    } else {
+        format!("{r:.2}x")
+    }
+}
+
+/// Formats a count with thousands separators.
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// A simple fixed-width table printer for paper-style output.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Table {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (must match the header count).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cell, width = widths[c]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([4.0, 9.0]) - 6.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 1.0);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(fmt_ratio(539.4), "539x");
+        assert_eq!(fmt_ratio(12.34), "12.3x");
+        assert_eq!(fmt_ratio(1.25), "1.25x");
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(1234567), "1,234,567");
+        assert_eq!(fmt_count(12), "12");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["a", "bb"]);
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        let s = t.render();
+        assert!(s.contains("333"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn harness_cell_runs_all_systems() {
+        let h = Harness::default();
+        let cell = h.run_cell(Pattern::Cycle3, Dataset::GrQc);
+        cell.assert_agreement();
+        assert!(cell.speedup_over(&cell.ctj) > 0.0);
+        assert!(cell.energy_reduction_over(&cell.q100) > 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! The paper's reported numbers, for side-by-side printing.
+//!
+//! Sources: abstract, §4.2-§4.4 and Appendices A-B of "The TrieJax
+//! Architecture: Accelerating Graph Operations Through Relational Joins".
+
+/// One baseline's reported speedup/energy bands (averages and ranges).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportedBand {
+    /// System name as in the figures.
+    pub system: &'static str,
+    /// Average speedup of TrieJax over this system.
+    pub speedup_avg: f64,
+    /// Reported speedup range (min, max).
+    pub speedup_range: (f64, f64),
+    /// Average energy reduction.
+    pub energy_avg: f64,
+}
+
+/// Figure 13 / Figure 16 headline bands.
+pub const BANDS: [ReportedBand; 4] = [
+    ReportedBand { system: "ctj", speedup_avg: 20.0, speedup_range: (5.5, 45.0), energy_avg: 110.0 },
+    ReportedBand {
+        system: "emptyheaded",
+        speedup_avg: 9.0,
+        speedup_range: (2.5, 44.0),
+        energy_avg: 59.0,
+    },
+    ReportedBand {
+        system: "graphicionado",
+        speedup_avg: 7.0,
+        speedup_range: (0.8, 32.0),
+        energy_avg: 15.0,
+    },
+    ReportedBand { system: "q100", speedup_avg: 63.0, speedup_range: (0.9, 539.0), energy_avg: 179.0 },
+];
+
+/// Figure 14: multithreading speedup over a single thread.
+pub const MT_SPEEDUP_8T: f64 = 5.8;
+/// Figure 14: speedup at 32 threads (the shipped configuration).
+pub const MT_SPEEDUP_32T: f64 = 10.8;
+
+/// Figure 15: DRAM-dominated energy fraction band across queries.
+pub const ENERGY_MEMORY_FRACTION: (f64, f64) = (0.74, 0.90);
+/// Figure 15: maximum PJR-cache energy share (cycle4).
+pub const ENERGY_PJR_MAX_FRACTION: f64 = 0.078;
+
+/// Figure 15 caption values: memory-system share per query (%).
+pub const ENERGY_MEMORY_SHARE_PER_QUERY: [(&str, f64); 5] = [
+    ("Path3", 0.8926),
+    ("Path4", 0.9041),
+    ("Cycle3", 0.8021),
+    ("Cycle4", 0.7380),
+    ("Clique4", 0.8013),
+];
+
+/// Appendix A (Figure 18): CTJ generates this many times fewer
+/// intermediates than pairwise on Path4 / Cycle4 (and none on Clique4).
+pub const INTERMEDIATE_REDUCTION_PATH4: f64 = 18.0;
+/// Appendix A: Cycle4 intermediate-result reduction.
+pub const INTERMEDIATE_REDUCTION_CYCLE4: f64 = 36.0;
+
+/// Appendix B (Figure 17): CTJ versus others, main-memory accesses.
+pub const ACCESS_RATIO_EH_OVER_CTJ: f64 = 2.8;
+/// Appendix B: Graphicionado / CTJ access ratio.
+pub const ACCESS_RATIO_GRAPHICIONADO_OVER_CTJ: f64 = 47.0;
+/// Appendix B: Q100 / CTJ access ratio.
+pub const ACCESS_RATIO_Q100_OVER_CTJ: f64 = 105.0;
+
+/// §3.1: result-write cache bypass is worth up to this much on path4.
+pub const BYPASS_MAX_SPEEDUP: f64 = 2.5;
+
+/// Returns the reported band for a system name, if any.
+pub fn band_for(system: &str) -> Option<&'static ReportedBand> {
+    BANDS.iter().find(|b| b.system == system)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_are_findable() {
+        assert_eq!(band_for("q100").unwrap().speedup_avg, 63.0);
+        assert!(band_for("nope").is_none());
+    }
+
+    #[test]
+    fn shares_cover_the_five_queries() {
+        assert_eq!(ENERGY_MEMORY_SHARE_PER_QUERY.len(), 5);
+        for (_, f) in ENERGY_MEMORY_SHARE_PER_QUERY {
+            assert!(f > 0.7 && f < 1.0);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+use triejax_memsim::{EnergyModel, MemConfig};
+
+/// Multithreading scheme (paper §3.4, Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MtMode {
+    /// Split the first join attribute statically across thread contexts.
+    Static,
+    /// Single seed thread; every match may spawn a sibling thread that
+    /// takes over the remainder of the level.
+    Dynamic,
+    /// Static partitioning to start, dynamic spawning to re-balance — the
+    /// configuration TrieJax ships with.
+    #[default]
+    Combined,
+}
+
+impl MtMode {
+    /// Label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MtMode::Static => "static",
+            MtMode::Dynamic => "dynamic",
+            MtMode::Combined => "combined",
+        }
+    }
+}
+
+/// Full accelerator configuration.
+///
+/// The default reproduces the paper's evaluated design point: 32 thread
+/// contexts with combined multithreading, a 4 MB PJR cache with 4 banks,
+/// result-write cache bypass on, and the Table-3 memory system at
+/// 2.38 GHz.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrieJaxConfig {
+    /// Hardware thread contexts (32 in the paper; Figure 14 sweeps this).
+    pub threads: usize,
+    /// Multithreading scheme.
+    pub mt_mode: MtMode,
+    /// PJR cache capacity in bytes (4 MB in the paper, §3.7).
+    pub pjr_bytes: u64,
+    /// PJR banks usable in parallel (4 in the paper, §3.7).
+    pub pjr_banks: usize,
+    /// PJR access latency per bank access, cycles.
+    pub pjr_latency: u64,
+    /// Maximum `(value, indexes)` pairs per PJR entry; larger fills are
+    /// discarded (insertion-buffer overflow, §3.5).
+    pub pjr_entry_values: usize,
+    /// Disable the PJR cache entirely (ablation).
+    pub pjr_enabled: bool,
+    /// Result writes bypass the caches (§3.1); turning this off is the
+    /// ablation the paper quotes as costing up to 2.5x on path4.
+    pub write_bypass: bool,
+    /// Aggregation mode (the paper's §5 future-work extension): results
+    /// are counted in an on-chip accumulator instead of being materialized
+    /// to memory — e.g. triangle *counting* rather than enumeration.
+    pub aggregate: bool,
+    /// Memory-system configuration.
+    pub mem: MemConfig,
+    /// Energy constants.
+    pub energy: EnergyModel,
+}
+
+impl Default for TrieJaxConfig {
+    fn default() -> Self {
+        TrieJaxConfig {
+            threads: 32,
+            mt_mode: MtMode::Combined,
+            pjr_bytes: 4 << 20,
+            pjr_banks: 4,
+            pjr_latency: 4,
+            pjr_entry_values: 256,
+            pjr_enabled: true,
+            write_bypass: true,
+            aggregate: false,
+            mem: MemConfig::triejax(),
+            energy: EnergyModel::default(),
+        }
+    }
+}
+
+impl TrieJaxConfig {
+    /// The paper's design point (same as `Default`).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Copy with a different thread count (Figure 14 sweeps).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Copy with a different multithreading scheme.
+    pub fn with_mt_mode(mut self, mode: MtMode) -> Self {
+        self.mt_mode = mode;
+        self
+    }
+
+    /// Copy with the PJR cache disabled or enabled.
+    pub fn with_pjr_enabled(mut self, enabled: bool) -> Self {
+        self.pjr_enabled = enabled;
+        self
+    }
+
+    /// Copy with a different PJR capacity.
+    pub fn with_pjr_bytes(mut self, bytes: u64) -> Self {
+        self.pjr_bytes = bytes;
+        self
+    }
+
+    /// Copy with the result-write bypass toggled.
+    pub fn with_write_bypass(mut self, bypass: bool) -> Self {
+        self.write_bypass = bypass;
+        self.mem.write_bypass = bypass;
+        self
+    }
+
+    /// Copy with aggregation (count-only) mode toggled.
+    pub fn with_aggregate(mut self, aggregate: bool) -> Self {
+        self.aggregate = aggregate;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_design_point() {
+        let c = TrieJaxConfig::default();
+        assert_eq!(c.threads, 32);
+        assert_eq!(c.mt_mode, MtMode::Combined);
+        assert_eq!(c.pjr_bytes, 4 << 20);
+        assert_eq!(c.pjr_banks, 4);
+        assert!(c.write_bypass);
+        assert!((c.mem.freq_ghz - 2.38).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builders_adjust_fields() {
+        let c = TrieJaxConfig::default()
+            .with_threads(8)
+            .with_mt_mode(MtMode::Static)
+            .with_pjr_enabled(false)
+            .with_write_bypass(false);
+        assert_eq!(c.threads, 8);
+        assert_eq!(c.mt_mode, MtMode::Static);
+        assert!(!c.pjr_enabled);
+        assert!(!c.write_bypass);
+        assert!(!c.mem.write_bypass);
+    }
+
+    #[test]
+    fn aggregate_mode_toggles() {
+        assert!(!TrieJaxConfig::default().aggregate);
+        assert!(TrieJaxConfig::default().with_aggregate(true).aggregate);
+    }
+
+    #[test]
+    fn threads_clamped_to_one() {
+        assert_eq!(TrieJaxConfig::default().with_threads(0).threads, 1);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(MtMode::Static.label(), "static");
+        assert_eq!(MtMode::Combined.label(), "combined");
+    }
+}

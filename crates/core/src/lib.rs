@@ -1,0 +1,54 @@
+//! Cycle-level simulator of **TrieJax**, the on-die accelerator for
+//! worst-case-optimal joins and graph pattern matching (Kalinsky,
+//! Kimelfeld, Etsion — "The TrieJax Architecture: Accelerating Graph
+//! Operations Through Relational Joins").
+//!
+//! The simulator models every micro-architectural component of paper §3:
+//!
+//! * **Cupid** — full-join control: binding variables, backtracking,
+//!   result emission, thread management (Figure 12).
+//! * **MatchMaker** — per-variable leapfrog alignment (Figure 10).
+//! * **LUB** — lowest-upper-bound binary search with one memory probe per
+//!   step (Figure 9); duplicated twice.
+//! * **Midwife** — trie child-range expansion (Figure 11); duplicated.
+//! * **PJR cache** — the 4 MB partial-join-result SRAM with its insertion
+//!   buffer and overflow rules (§3.5).
+//! * **Multithreading** — static first-attribute partitioning plus dynamic
+//!   spawn-on-match, 32 thread contexts by default (§3.4).
+//! * **Memory system** — read-only L1/L2, shared LLC, banked DDR3, and the
+//!   result-write cache bypass (§3.1), via [`triejax_memsim`].
+//!
+//! The execution *semantics* are Cached TrieJoin; every run's result count
+//! is validated against the software engines in `triejax-join` by the test
+//! suite. The *timing* comes from a discrete-event simulation clocked at
+//! 2.38 GHz.
+//!
+//! # Example
+//!
+//! ```
+//! use triejax::{TrieJax, TrieJaxConfig};
+//! use triejax_join::Catalog;
+//! use triejax_query::{patterns, CompiledQuery};
+//! use triejax_relation::Relation;
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.insert("G", Relation::from_pairs(vec![(0, 1), (1, 2), (2, 0)]));
+//! let plan = CompiledQuery::compile(&patterns::cycle3())?;
+//!
+//! let accel = TrieJax::new(TrieJaxConfig::default());
+//! let report = accel.run(&plan, &catalog)?;
+//! assert_eq!(report.results, 3);
+//! assert!(report.cycles > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod report;
+mod sim;
+
+pub use config::{MtMode, TrieJaxConfig};
+pub use report::{ComponentOps, PjrStats, SimReport};
+pub use sim::TrieJax;

@@ -1,0 +1,289 @@
+//! The partial-join-result (PJR) cache and its insertion buffer
+//! (paper §3.5, §3.7).
+//!
+//! A 4 MB, 4-banked SRAM holding, per `(cache spec, key bindings)` entry,
+//! the list of matched `(value, per-atom index)` pairs at the cached depth.
+//! Entries being filled live in the *insertion buffer* until every thread
+//! working on the level deallocates (the per-entry thread counter of
+//! §3.5), then commit atomically. The paper's two race rules are modeled
+//! directly:
+//!
+//! * **write/write across paths** — a fill is tagged with the full partial
+//!   join path that started it; a different path reaching the same key
+//!   does not append (`join_fill` refuses).
+//! * **split fills** — dynamically spawned siblings of the same path share
+//!   the fill and bump its thread counter; commit happens when the counter
+//!   drains to zero.
+
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use triejax_memsim::Cycle;
+use triejax_relation::Value;
+
+use crate::report::PjrStats;
+
+/// Cache key: (cached depth, bindings of the spec's key depths).
+pub(crate) type PjrKey = (usize, Vec<Value>);
+/// Committed entry: `(value, index-per-participating-atom)` list.
+pub(crate) type PjrEntry = Rc<Vec<(Value, Vec<u32>)>>;
+
+/// An in-flight insertion-buffer entry.
+#[derive(Debug, Clone)]
+struct FillState {
+    /// Bindings of every depth before the cached one — "all the values
+    /// leading to the key" (§3.5).
+    path: Vec<Value>,
+    values: Vec<(Value, Vec<u32>)>,
+    /// Threads currently working on the level.
+    threads: u32,
+    /// Entry overflowed its capacity; discard on drain.
+    aborted: bool,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct PjrCache {
+    enabled: bool,
+    capacity_bytes: u64,
+    entry_cap: usize,
+    latency: Cycle,
+    banks: Vec<Cycle>,
+    bytes_used: u64,
+    entries: HashMap<PjrKey, PjrEntry>,
+    fifo: VecDeque<PjrKey>,
+    fills: HashMap<PjrKey, FillState>,
+    pub stats: PjrStats,
+}
+
+impl PjrCache {
+    pub fn new(
+        enabled: bool,
+        capacity_bytes: u64,
+        banks: usize,
+        latency: Cycle,
+        entry_cap: usize,
+    ) -> Self {
+        PjrCache {
+            enabled,
+            capacity_bytes,
+            entry_cap,
+            latency,
+            banks: vec![0; banks.max(1)],
+            bytes_used: 0,
+            entries: HashMap::new(),
+            fifo: VecDeque::new(),
+            fills: HashMap::new(),
+            stats: PjrStats::default(),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// One SRAM bank access starting at-or-after `now`; returns completion
+    /// time. Banks serve one access per `latency` window.
+    pub fn access(&mut self, now: Cycle) -> Cycle {
+        self.stats.accesses += 1;
+        let (idx, &slot) =
+            self.banks.iter().enumerate().min_by_key(|&(_, &t)| t).expect("non-empty banks");
+        let start = slot.max(now);
+        self.banks[idx] = start + self.latency;
+        start + self.latency
+    }
+
+    /// Looks up a committed entry.
+    pub fn lookup(&mut self, key: &PjrKey) -> Option<PjrEntry> {
+        match self.entries.get(key) {
+            Some(e) => {
+                self.stats.hits += 1;
+                Some(Rc::clone(e))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Starts a fill for `key` from `path`. Returns `false` (and records
+    /// nothing) if another path is already filling this key.
+    pub fn begin_fill(&mut self, key: &PjrKey, path: &[Value]) -> bool {
+        if self.fills.contains_key(key) {
+            return false;
+        }
+        self.fills.insert(
+            key.clone(),
+            FillState { path: path.to_vec(), values: Vec::new(), threads: 1, aborted: false },
+        );
+        true
+    }
+
+    /// A spawned sibling of the same path joins an active fill, bumping
+    /// its thread counter. Returns `false` if no matching fill exists.
+    pub fn join_fill(&mut self, key: &PjrKey, path: &[Value]) -> bool {
+        match self.fills.get_mut(key) {
+            Some(f) if f.path == path => {
+                f.threads += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Appends one matched value to an active fill; aborts the fill on
+    /// capacity overflow. Returns `true` if the value was stored (one
+    /// insertion-buffer write).
+    pub fn record(&mut self, key: &PjrKey, value: Value, positions: Vec<u32>) -> bool {
+        let cap = self.entry_cap;
+        let Some(f) = self.fills.get_mut(key) else { return false };
+        if f.aborted {
+            return false;
+        }
+        if f.values.len() >= cap {
+            f.aborted = true;
+            f.values.clear();
+            return false;
+        }
+        f.values.push((value, positions));
+        true
+    }
+
+    /// One thread finished analyzing the level: decrement the counter;
+    /// when it drains, commit or discard (§3.5).
+    pub fn release_fill(&mut self, key: &PjrKey) {
+        let Some(f) = self.fills.get_mut(key) else { return };
+        f.threads -= 1;
+        if f.threads > 0 {
+            return;
+        }
+        let mut fill = self.fills.remove(key).expect("present");
+        if fill.aborted {
+            self.stats.discarded += 1;
+            return;
+        }
+        // Values may arrive out of order from sibling threads; commit in
+        // value order so replays are deterministic.
+        fill.values.sort_unstable();
+        self.insert(key.clone(), fill.values);
+    }
+
+    /// Commits a completed entry, evicting FIFO victims if needed.
+    fn insert(&mut self, key: PjrKey, values: Vec<(Value, Vec<u32>)>) {
+        let bytes = Self::entry_bytes(&values);
+        if bytes > self.capacity_bytes {
+            self.stats.discarded += 1;
+            return;
+        }
+        while self.bytes_used + bytes > self.capacity_bytes {
+            let victim = self.fifo.pop_front().expect("used bytes imply entries");
+            if let Some(old) = self.entries.remove(&victim) {
+                self.bytes_used -= Self::entry_bytes(&old);
+                self.stats.evictions += 1;
+            }
+        }
+        self.bytes_used += bytes;
+        self.stats.insertions += 1;
+        self.stats.values_stored += values.len() as u64;
+        self.fifo.push_back(key.clone());
+        self.entries.insert(key, Rc::new(values));
+    }
+
+    /// Bytes one entry occupies: key/count metadata plus one word per value
+    /// and per stored index.
+    fn entry_bytes(values: &[(Value, Vec<u32>)]) -> u64 {
+        let per_value: u64 = values.iter().map(|(_, idxs)| 4 + 4 * idxs.len() as u64).sum();
+        16 + per_value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> PjrCache {
+        PjrCache::new(true, 256, 4, 4, 16)
+    }
+
+    #[test]
+    fn fill_commit_then_hit() {
+        let mut c = cache();
+        let key = (2usize, vec![7u32]);
+        assert!(c.lookup(&key).is_none());
+        assert!(c.begin_fill(&key, &[1, 7]));
+        assert!(c.record(&key, 10, vec![0, 0]));
+        assert!(c.record(&key, 12, vec![1, 2]));
+        c.release_fill(&key);
+        let e = c.lookup(&key).expect("committed");
+        assert_eq!(e.len(), 2);
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+        assert_eq!(c.stats.values_stored, 2);
+    }
+
+    #[test]
+    fn different_path_cannot_fill_or_join() {
+        let mut c = cache();
+        let key = (1usize, vec![1u32]);
+        assert!(c.begin_fill(&key, &[5, 1]));
+        assert!(!c.begin_fill(&key, &[6, 1]), "second path refused");
+        assert!(!c.join_fill(&key, &[6, 1]), "join from another path refused");
+        assert!(c.join_fill(&key, &[5, 1]), "same path joins");
+    }
+
+    #[test]
+    fn thread_counter_delays_commit() {
+        let mut c = cache();
+        let key = (1usize, vec![3u32]);
+        c.begin_fill(&key, &[3]);
+        assert!(c.join_fill(&key, &[3]));
+        c.record(&key, 9, vec![1]);
+        c.release_fill(&key);
+        assert!(c.lookup(&key).is_none(), "one thread still working");
+        c.record(&key, 4, vec![0]);
+        c.release_fill(&key);
+        let e = c.lookup(&key).expect("now committed");
+        assert_eq!(e[0].0, 4, "values sorted on commit");
+        assert_eq!(e[1].0, 9);
+    }
+
+    #[test]
+    fn overflow_aborts_fill() {
+        let mut c = cache();
+        let key = (0usize, vec![2u32]);
+        c.begin_fill(&key, &[2]);
+        for i in 0..20u32 {
+            c.record(&key, i, vec![i]);
+        }
+        c.release_fill(&key);
+        assert!(c.lookup(&key).is_none());
+        assert_eq!(c.stats.discarded, 1);
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let mut c = cache(); // 256 bytes; 3-value entries are 16+3*12 = 52.
+        for i in 0..5u32 {
+            let key = (0usize, vec![i]);
+            c.begin_fill(&key, &[i]);
+            for v in 0..3u32 {
+                c.record(&key, v, vec![v, v]);
+            }
+            c.release_fill(&key);
+        }
+        assert_eq!(c.stats.evictions, 1);
+        assert!(c.lookup(&(0, vec![0])).is_none());
+        assert!(c.lookup(&(0, vec![4])).is_some());
+    }
+
+    #[test]
+    fn bank_timing_serializes_within_a_bank() {
+        let mut c = PjrCache::new(true, 256, 1, 4, 16);
+        assert_eq!(c.access(0), 4);
+        assert_eq!(c.access(0), 8);
+        let mut c4 = PjrCache::new(true, 256, 4, 4, 16);
+        assert_eq!(c4.access(0), 4);
+        assert_eq!(c4.access(0), 4);
+        assert_eq!(c4.stats.accesses, 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Functional-unit occupancy modeling.
+//!
+//! Each component (LUB, Midwife, MatchMaker, Cupid) is a pool of pipelined
+//! units: a unit accepts one operation per cycle, and an operation's
+//! latency is charged by the caller on top of the issue slot. Pool
+//! contention is what bounds useful thread-level parallelism at high
+//! thread counts (the Figure 14 saturation at 64 threads).
+
+use triejax_memsim::Cycle;
+
+/// A pool of `n` pipelined functional units.
+#[derive(Debug, Clone)]
+pub(crate) struct UnitPool {
+    /// Next available issue slot per unit.
+    free: Vec<Cycle>,
+    /// Operations issued (for utilization reporting).
+    issued: u64,
+}
+
+impl UnitPool {
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "unit pool needs at least one unit");
+        UnitPool { free: vec![0; n], issued: 0 }
+    }
+
+    /// Claims the earliest issue slot at-or-after `now`; returns the issue
+    /// time. The unit is busy for one cycle (pipelined).
+    pub fn issue(&mut self, now: Cycle) -> Cycle {
+        let (idx, &slot) =
+            self.free.iter().enumerate().min_by_key(|&(_, &t)| t).expect("non-empty pool");
+        let start = slot.max(now);
+        self.free[idx] = start + 1;
+        self.issued += 1;
+        start
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+/// The four component pools of the TrieJax core (paper Figure 7: LUB and
+/// Midwife are duplicated; MatchMaker and Cupid are single but pipelined
+/// and multithreaded via their thread stores).
+#[derive(Debug, Clone)]
+pub(crate) struct Units {
+    pub lub: UnitPool,
+    pub midwife: UnitPool,
+    pub matchmaker: UnitPool,
+    pub cupid: UnitPool,
+}
+
+impl Units {
+    pub fn new() -> Self {
+        Units {
+            lub: UnitPool::new(2),
+            midwife: UnitPool::new(2),
+            matchmaker: UnitPool::new(1),
+            cupid: UnitPool::new(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_unit_serializes_issues() {
+        let mut p = UnitPool::new(1);
+        assert_eq!(p.issue(10), 10);
+        assert_eq!(p.issue(10), 11);
+        assert_eq!(p.issue(10), 12);
+        assert_eq!(p.issued(), 3);
+    }
+
+    #[test]
+    fn dual_units_issue_in_parallel() {
+        let mut p = UnitPool::new(2);
+        assert_eq!(p.issue(5), 5);
+        assert_eq!(p.issue(5), 5);
+        assert_eq!(p.issue(5), 6);
+    }
+
+    #[test]
+    fn idle_units_issue_immediately() {
+        let mut p = UnitPool::new(1);
+        p.issue(0);
+        assert_eq!(p.issue(100), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn empty_pool_panics() {
+        let _ = UnitPool::new(0);
+    }
+}

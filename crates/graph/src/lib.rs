@@ -1,0 +1,35 @@
+//! Graph substrate for the TrieJax reproduction: graph representation,
+//! SNAP text IO, synthetic generators, and the Table-2 dataset registry.
+//!
+//! The paper evaluates on six SNAP graphs (paper Table 2). Real SNAP files
+//! are not redistributable inside this repository, so [`Dataset`] provides
+//! deterministic synthetic stand-ins that match each dataset's node count,
+//! edge count, and category-appropriate topology (power-law degree skew and
+//! triangle closure for social/collaboration graphs; flatter random wiring
+//! for the P2P graphs). The [`snap`] module reads the original files if you
+//! drop them in.
+//!
+//! # Example
+//!
+//! ```
+//! use triejax_graph::{Dataset, Scale};
+//!
+//! let g = Dataset::Facebook.generate(Scale::Tiny);
+//! assert!(g.num_edges() > 0);
+//! let rel = g.edge_relation();
+//! assert_eq!(rel.len(), g.num_edges());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod datasets;
+mod generators;
+mod graph;
+pub mod snap;
+pub mod stats;
+
+pub use datasets::{Dataset, DatasetProfile, Scale};
+pub use generators::{barabasi_albert, erdos_renyi, power_law_fixed, triangle_closure};
+pub use graph::Graph;
+pub use stats::GraphStats;

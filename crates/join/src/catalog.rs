@@ -1,0 +1,197 @@
+use std::collections::HashMap;
+
+use triejax_query::CompiledQuery;
+use triejax_relation::{AddressSpace, Relation, Trie};
+
+use crate::JoinError;
+
+/// A named collection of base relations (the "database").
+///
+/// Graph pattern queries typically register a single edge relation `G`, and
+/// every atom of a query self-joins it.
+///
+/// # Example
+///
+/// ```
+/// use triejax_join::Catalog;
+/// use triejax_relation::Relation;
+///
+/// let mut catalog = Catalog::new();
+/// catalog.insert("G", Relation::from_pairs(vec![(1, 2), (2, 3)]));
+/// assert!(catalog.get("G").is_some());
+/// assert_eq!(catalog.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: HashMap<String, Relation>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a relation under `name`.
+    pub fn insert(&mut self, name: impl Into<String>, relation: Relation) {
+        self.relations.insert(name.into(), relation);
+    }
+
+    /// Looks up a relation by name.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Returns `true` when no relations are registered.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+/// The tries required by one compiled query, deduplicated by
+/// `(relation name, column permutation)`.
+///
+/// Distinct atoms over the same relation and attribute order share one trie
+/// (e.g. all three atoms of `cycle3` over `G` use just the `(0,1)`-order and
+/// `(1,0)`-order tries). [`TrieSet::for_atom`] maps an atom-plan index to
+/// its trie.
+#[derive(Debug, Clone)]
+pub struct TrieSet {
+    tries: Vec<Trie>,
+    atom_trie: Vec<usize>,
+}
+
+impl TrieSet {
+    /// Builds (or reuses) every trie the plan needs from `catalog`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::MissingRelation`] or [`JoinError::ArityMismatch`]
+    /// when the catalog does not satisfy the query's schema.
+    pub fn build(plan: &CompiledQuery, catalog: &Catalog) -> Result<TrieSet, JoinError> {
+        let mut keys: HashMap<(String, Vec<usize>), usize> = HashMap::new();
+        let mut tries = Vec::new();
+        let mut atom_trie = Vec::with_capacity(plan.atom_plans().len());
+        for ap in plan.atom_plans() {
+            let rel = catalog
+                .get(ap.relation())
+                .ok_or_else(|| JoinError::MissingRelation { name: ap.relation().to_owned() })?;
+            if rel.arity() != ap.arity() {
+                return Err(JoinError::ArityMismatch {
+                    name: ap.relation().to_owned(),
+                    atom_arity: ap.arity(),
+                    relation_arity: rel.arity(),
+                });
+            }
+            let key = (ap.relation().to_owned(), ap.perm().to_vec());
+            let idx = match keys.get(&key) {
+                Some(&i) => i,
+                None => {
+                    let permuted = rel.permute(ap.perm());
+                    tries.push(Trie::build(&permuted));
+                    keys.insert(key, tries.len() - 1);
+                    tries.len() - 1
+                }
+            };
+            atom_trie.push(idx);
+        }
+        Ok(TrieSet { tries, atom_trie })
+    }
+
+    /// The trie backing atom-plan `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn for_atom(&self, i: usize) -> &Trie {
+        &self.tries[self.atom_trie[i]]
+    }
+
+    /// The deduplicated tries.
+    pub fn tries(&self) -> &[Trie] {
+        &self.tries
+    }
+
+    /// Index into [`tries`](Self::tries) used by each atom plan.
+    pub fn atom_trie_indices(&self) -> &[usize] {
+        &self.atom_trie
+    }
+
+    /// Assigns simulated addresses to every trie (for cycle-level
+    /// simulation); returns the total index footprint in bytes.
+    pub fn assign_addresses(&mut self, asp: &mut AddressSpace) -> u64 {
+        let mut total = 0;
+        for t in &mut self.tries {
+            t.assign_addresses(asp);
+            total += t.bytes();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triejax_query::patterns;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.insert("G", Relation::from_pairs(vec![(1, 2), (2, 3), (3, 1)]));
+        c
+    }
+
+    #[test]
+    fn tries_are_deduplicated_across_atoms() {
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let ts = TrieSet::build(&plan, &catalog()).unwrap();
+        // G(x,y) and G(y,z) share the identity-order trie; G(z,x) needs the
+        // swapped order: two distinct tries for three atoms.
+        assert_eq!(ts.tries().len(), 2);
+        assert_eq!(ts.atom_trie_indices(), &[0, 0, 1]);
+        assert!(std::ptr::eq(ts.for_atom(0), ts.for_atom(1)));
+    }
+
+    #[test]
+    fn missing_relation_errors() {
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let err = TrieSet::build(&plan, &Catalog::new()).unwrap_err();
+        assert!(matches!(err, JoinError::MissingRelation { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_errors() {
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let mut c = Catalog::new();
+        c.insert(
+            "G",
+            Relation::from_tuples(3, vec![vec![1u32, 2, 3]]).unwrap(),
+        );
+        let err = TrieSet::build(&plan, &c).unwrap_err();
+        assert!(matches!(err, JoinError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn swapped_trie_indexes_reverse_columns() {
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let ts = TrieSet::build(&plan, &catalog()).unwrap();
+        // The swapped trie stores (x, z) pairs of G(z, x): reversed edges.
+        let rev = ts.for_atom(2);
+        assert_eq!(rev.level(0).values(), &[1, 2, 3]);
+        assert_eq!(rev.enumerate(), vec![vec![1, 3], vec![2, 1], vec![3, 2]]);
+    }
+
+    #[test]
+    fn assign_addresses_returns_footprint() {
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let mut ts = TrieSet::build(&plan, &catalog()).unwrap();
+        let mut asp = AddressSpace::new();
+        let bytes = ts.assign_addresses(&mut asp);
+        assert_eq!(bytes, ts.tries().iter().map(|t| t.bytes()).sum::<u64>());
+        assert!(asp.used() > 0x1000);
+    }
+}

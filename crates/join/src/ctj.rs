@@ -1,0 +1,383 @@
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use triejax_query::CompiledQuery;
+use triejax_relation::{AccessKind, TrieCursor, Value, WORD_BYTES};
+
+use crate::engine::head_slots;
+use crate::{Catalog, EngineStats, JoinError, JoinEngine, Leapfrog, ResultSink, TrieSet};
+
+/// Configuration of the software partial-join-result cache.
+///
+/// Both limits default to unbounded, matching CTJ's use of "the available
+/// system memory" (paper §2.2); the hardware PJR cache in `triejax` has its
+/// own fixed SRAM geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CtjConfig {
+    /// Maximum `(value, indexes)` pairs per cache entry; an entry exceeding
+    /// this while being filled is discarded, mirroring the hardware
+    /// insertion-buffer overflow rule (paper §3.5).
+    pub entry_capacity: Option<usize>,
+    /// Maximum number of live cache entries; further insertions are dropped.
+    pub max_entries: Option<usize>,
+}
+
+/// Cached TrieJoin (Kalinsky, Etsion, Kimelfeld — EDBT'17): LeapFrog
+/// TrieJoin extended with a partial-join-result cache, the algorithm
+/// TrieJax implements in hardware (paper Figure 4).
+///
+/// At every depth with a valid [`triejax_query::CacheSpec`], the engine
+/// keys the list of matching `(value, index)` pairs by the bindings of the
+/// spec's key depths. A later visit with the same key bindings replays the
+/// list instead of recomputing the leapfrog intersection.
+///
+/// # Example
+///
+/// ```
+/// use triejax_join::{Catalog, CountSink, Ctj, JoinEngine};
+/// use triejax_query::{patterns, CompiledQuery};
+/// use triejax_relation::Relation;
+///
+/// // Two x-parents (0 and 3) share y=1, so the z-list of y=1 is cached
+/// // once and replayed once.
+/// let mut catalog = Catalog::new();
+/// catalog.insert("G", Relation::from_pairs(vec![(0, 1), (3, 1), (1, 5), (1, 6)]));
+/// let plan = CompiledQuery::compile(&patterns::path3())?;
+/// let mut sink = CountSink::default();
+/// let stats = Ctj::default().execute(&plan, &catalog, &mut sink)?;
+/// assert_eq!(sink.count(), 4);
+/// assert_eq!(stats.cache_hits, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ctj {
+    config: CtjConfig,
+}
+
+impl Ctj {
+    /// Engine with unbounded cache; identical to `Default::default()`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engine with an explicit cache configuration.
+    pub fn with_config(config: CtjConfig) -> Self {
+        Ctj { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> CtjConfig {
+        self.config
+    }
+}
+
+impl JoinEngine for Ctj {
+    fn name(&self) -> &'static str {
+        "ctj"
+    }
+
+    fn execute(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats, JoinError> {
+        let tries = TrieSet::build(plan, catalog)?;
+        let mut driver = CtjDriver::new(plan, &tries, self.config);
+        driver.level(0, sink);
+        Ok(driver.stats)
+    }
+}
+
+/// A committed cache entry: matched values and their per-participant trie
+/// indexes (atoms in `atoms_at(depth)` order).
+type Entry = Rc<Vec<(Value, Vec<u32>)>>;
+
+struct CtjDriver<'a> {
+    plan: &'a CompiledQuery,
+    config: CtjConfig,
+    cursors: Vec<TrieCursor<'a>>,
+    binding: Vec<Value>,
+    emit: Vec<Value>,
+    slots: Vec<usize>,
+    cache: HashMap<(usize, Vec<Value>), Entry>,
+    stats: EngineStats,
+}
+
+impl<'a> CtjDriver<'a> {
+    fn new(plan: &'a CompiledQuery, tries: &'a TrieSet, config: CtjConfig) -> Self {
+        let cursors = (0..plan.atom_plans().len())
+            .map(|i| TrieCursor::new(tries.for_atom(i)))
+            .collect();
+        let n = plan.arity();
+        CtjDriver {
+            plan,
+            config,
+            cursors,
+            binding: vec![0; n],
+            emit: vec![0; n],
+            slots: head_slots(plan),
+            cache: HashMap::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    fn emit_result(&mut self, sink: &mut dyn ResultSink) {
+        for d in 0..self.binding.len() {
+            self.emit[self.slots[d]] = self.binding[d];
+        }
+        sink.push(&self.emit);
+        self.stats.results += 1;
+        self.stats
+            .access
+            .record(AccessKind::ResultWrite, self.emit.len() as u64 * WORD_BYTES);
+    }
+
+    fn level(&mut self, d: usize, sink: &mut dyn ResultSink) {
+        let record_key = match self.plan.cache_spec_at(d) {
+            Some(spec) => {
+                let key: Vec<Value> =
+                    spec.key_depths().iter().map(|&kd| self.binding[kd]).collect();
+                // Cache lookup: hash probe over the key words.
+                self.stats
+                    .access
+                    .record(AccessKind::Intermediate, key.len() as u64 * WORD_BYTES);
+                if let Some(entry) = self.cache.get(&(d, key.clone())) {
+                    let entry = Rc::clone(entry);
+                    self.stats.cache_hits += 1;
+                    self.replay(d, &entry, sink);
+                    return;
+                }
+                self.stats.cache_misses += 1;
+                Some(key)
+            }
+            None => None,
+        };
+        self.compute(d, record_key, sink);
+    }
+
+    /// Cache hit: iterate the stored `(value, index)` list, re-opening each
+    /// participating cursor directly at the stored index (paper Fig. 3,
+    /// step 5: "read next z from cache").
+    fn replay(&mut self, d: usize, entry: &[(Value, Vec<u32>)], sink: &mut dyn ResultSink) {
+        let last = d + 1 == self.plan.arity();
+        let parts: Vec<(usize, usize)> = self.plan.atoms_at(d).to_vec();
+        for (v, positions) in entry {
+            self.stats.access.record(
+                AccessKind::Intermediate,
+                (1 + positions.len()) as u64 * WORD_BYTES,
+            );
+            self.binding[d] = *v;
+            if last {
+                self.emit_result(sink);
+            } else {
+                for (i, &(a, _)) in parts.iter().enumerate() {
+                    self.cursors[a].open_at(positions[i] as usize);
+                }
+                self.level(d + 1, sink);
+                for &(a, _) in &parts {
+                    self.cursors[a].up();
+                }
+            }
+        }
+    }
+
+    /// Standard leapfrog execution at depth `d`, optionally recording the
+    /// matches for insertion into the cache once the level completes.
+    fn compute(&mut self, d: usize, record_key: Option<Vec<Value>>, sink: &mut dyn ResultSink) {
+        // Open level d on every participant.
+        let parts: Vec<(usize, usize)> = self.plan.atoms_at(d).to_vec();
+        for (i, &(a, lvl)) in parts.iter().enumerate() {
+            if lvl > 0 {
+                self.stats.expand_ops += 1;
+            }
+            if !self.cursors[a].open(&mut self.stats.access) {
+                for &(b, _) in &parts[..i] {
+                    self.cursors[b].up();
+                }
+                return;
+            }
+        }
+
+        let mut pending: Option<Vec<(Value, Vec<u32>)>> =
+            record_key.as_ref().map(|_| Vec::new());
+        let mut lf = Leapfrog::new(parts.iter().map(|&(a, _)| a).collect());
+        let mut m = lf.search(&mut self.cursors, &mut self.stats);
+        while let Some(v) = m {
+            self.binding[d] = v;
+            if let Some(p) = pending.as_mut() {
+                if self.config.entry_capacity.is_some_and(|cap| p.len() >= cap) {
+                    // Insertion-buffer overflow: drop the partial entry.
+                    self.stats.cache_overflows += 1;
+                    pending = None;
+                } else {
+                    let positions: Vec<u32> =
+                        parts.iter().map(|&(a, _)| self.cursors[a].pos() as u32).collect();
+                    p.push((v, positions));
+                }
+            }
+            if d + 1 == self.plan.arity() {
+                self.emit_result(sink);
+            } else {
+                self.level(d + 1, sink);
+            }
+            m = lf.next(&mut self.cursors, &mut self.stats);
+        }
+        for &(a, _) in &parts {
+            self.cursors[a].up();
+        }
+
+        // The level is fully analyzed: commit the entry (paper §3.5).
+        if let (Some(key), Some(p)) = (record_key, pending) {
+            if self.config.max_entries.is_some_and(|max| self.cache.len() >= max) {
+                self.stats.cache_overflows += 1;
+            } else {
+                let words: u64 =
+                    p.iter().map(|(_, pos)| (1 + pos.len()) as u64).sum();
+                self.stats.intermediates += p.len() as u64;
+                self.stats
+                    .access
+                    .record(AccessKind::Intermediate, words * WORD_BYTES);
+                self.cache.insert((d, key), Rc::new(p));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollectSink, CountSink, Lftj};
+    use triejax_query::patterns::{self, Pattern};
+    use triejax_relation::Relation;
+
+    fn catalog(edges: &[(u32, u32)]) -> Catalog {
+        let mut c = Catalog::new();
+        c.insert("G", Relation::from_pairs(edges.to_vec()));
+        c
+    }
+
+    /// A small dense-ish graph exercising shared sub-joins.
+    fn test_edges() -> Vec<(u32, u32)> {
+        vec![
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 1),
+            (0, 2),
+            (3, 0),
+            (1, 3),
+            (4, 1),
+            (2, 4),
+        ]
+    }
+
+    #[test]
+    fn agrees_with_lftj_on_every_paper_pattern() {
+        let c = catalog(&test_edges());
+        for p in Pattern::PAPER {
+            let plan = CompiledQuery::compile(&p.query()).unwrap();
+            let mut a = CollectSink::new();
+            let mut b = CollectSink::new();
+            Lftj::new().execute(&plan, &c, &mut a).unwrap();
+            Ctj::new().execute(&plan, &c, &mut b).unwrap();
+            assert_eq!(a.into_sorted(), b.into_sorted(), "{p}");
+        }
+    }
+
+    #[test]
+    fn path3_cache_hits_when_y_is_shared() {
+        // x-parents 0 and 3 both reach y=1.
+        let c = catalog(&[(0, 1), (3, 1), (1, 5), (1, 6)]);
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let mut sink = CountSink::default();
+        let stats = Ctj::new().execute(&plan, &c, &mut sink).unwrap();
+        assert_eq!(sink.count(), 4);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        // Two z-values cached for y=1.
+        assert_eq!(stats.intermediates, 2);
+    }
+
+    #[test]
+    fn cycle3_never_touches_the_cache() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let mut sink = CountSink::default();
+        let stats = Ctj::new().execute(&plan, &c, &mut sink).unwrap();
+        assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+        assert_eq!(stats.intermediates, 0);
+    }
+
+    #[test]
+    fn clique4_never_touches_the_cache() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::clique4()).unwrap();
+        let mut sink = CountSink::default();
+        let stats = Ctj::new().execute(&plan, &c, &mut sink).unwrap();
+        assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+    }
+
+    #[test]
+    fn entry_capacity_overflow_discards_but_stays_correct() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::path4()).unwrap();
+        let mut unbounded = CollectSink::new();
+        let s1 = Ctj::new().execute(&plan, &c, &mut unbounded).unwrap();
+        let mut tiny = CollectSink::new();
+        let cfg = CtjConfig { entry_capacity: Some(1), max_entries: None };
+        let s2 = Ctj::with_config(cfg).execute(&plan, &c, &mut tiny).unwrap();
+        assert_eq!(unbounded.into_sorted(), tiny.into_sorted());
+        assert!(s2.cache_overflows > 0);
+        assert!(s2.intermediates <= s1.intermediates);
+    }
+
+    #[test]
+    fn max_entries_zero_disables_caching() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let cfg = CtjConfig { entry_capacity: None, max_entries: Some(0) };
+        let mut sink = CountSink::default();
+        let stats = Ctj::with_config(cfg).execute(&plan, &c, &mut sink).unwrap();
+        assert_eq!(stats.cache_hits, 0);
+        let mut reference = CountSink::default();
+        Lftj::new().execute(&plan, &c, &mut reference).unwrap();
+        assert_eq!(sink.count(), reference.count());
+    }
+
+    #[test]
+    fn ctj_does_fewer_lub_ops_than_lftj_when_cache_helps() {
+        // Heavily shared y values make caching pay off.
+        let mut edges = Vec::new();
+        for x in 0..20u32 {
+            edges.push((x, 100));
+        }
+        for z in 200..220u32 {
+            edges.push((100, z));
+        }
+        let c = catalog(&edges);
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let mut s1 = CountSink::default();
+        let lftj = Lftj::new().execute(&plan, &c, &mut s1).unwrap();
+        let mut s2 = CountSink::default();
+        let ctj = Ctj::new().execute(&plan, &c, &mut s2).unwrap();
+        assert_eq!(s1.count(), s2.count());
+        assert!(ctj.cache_hits == 19);
+        assert!(
+            ctj.match_ops < lftj.match_ops,
+            "ctj {} vs lftj {}",
+            ctj.match_ops,
+            lftj.match_ops
+        );
+    }
+
+    #[test]
+    fn path4_uses_both_cache_specs() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::path4()).unwrap();
+        let mut sink = CountSink::default();
+        let stats = Ctj::new().execute(&plan, &c, &mut sink).unwrap();
+        assert!(stats.cache_hits > 0, "expected hits on z and w caches");
+    }
+}

@@ -1,0 +1,72 @@
+use triejax_query::CompiledQuery;
+
+use crate::{Catalog, EngineStats, JoinError, ResultSink};
+
+/// A join engine: executes a compiled query against a catalog, streaming
+/// result tuples (in head-variable order) into a sink and reporting its
+/// work in [`EngineStats`].
+///
+/// All four engines in this crate implement the trait, so harness code can
+/// swap algorithms behind one interface:
+///
+/// ```
+/// use triejax_join::{Catalog, CountSink, GenericJoin, JoinEngine, Lftj, PairwiseHash};
+/// use triejax_query::{patterns, CompiledQuery};
+/// use triejax_relation::Relation;
+///
+/// let mut catalog = Catalog::new();
+/// catalog.insert("G", Relation::from_pairs(vec![(0, 1), (1, 2), (2, 0)]));
+/// let plan = CompiledQuery::compile(&patterns::cycle3())?;
+///
+/// let engines: Vec<Box<dyn JoinEngine>> = vec![
+///     Box::new(Lftj::default()),
+///     Box::new(GenericJoin::default()),
+///     Box::new(PairwiseHash::default()),
+/// ];
+/// for mut e in engines {
+///     let mut sink = CountSink::default();
+///     e.execute(&plan, &catalog, &mut sink)?;
+///     assert_eq!(sink.count(), 3); // the one triangle, three rotations
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub trait JoinEngine {
+    /// Short stable identifier, e.g. `"lftj"` or `"ctj"`.
+    fn name(&self) -> &'static str;
+
+    /// Runs the query to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JoinError`] when the catalog is missing a relation or a
+    /// relation's arity mismatches its atom.
+    fn execute(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats, JoinError>;
+}
+
+/// Maps evaluation depth to the head slot each bound value belongs to.
+pub(crate) fn head_slots(plan: &CompiledQuery) -> Vec<usize> {
+    let head = plan.query().head();
+    plan.order()
+        .iter()
+        .map(|v| head.iter().position(|h| h == v).expect("order vars appear in head"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triejax_query::patterns;
+
+    #[test]
+    fn head_slots_invert_the_order() {
+        let q = patterns::path3();
+        let plan = CompiledQuery::compile_with_order(&q, vec![2, 0, 1]).unwrap();
+        // depth 0 binds z (head slot 2), depth 1 binds x (slot 0), ...
+        assert_eq!(head_slots(&plan), vec![2, 0, 1]);
+    }
+}

@@ -1,0 +1,51 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while executing a join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JoinError {
+    /// The catalog holds no relation with this name.
+    MissingRelation {
+        /// Name requested by the query atom.
+        name: String,
+    },
+    /// A catalog relation's arity differs from its atom's arity.
+    ArityMismatch {
+        /// Relation name.
+        name: String,
+        /// Arity declared by the atom.
+        atom_arity: usize,
+        /// Arity of the stored relation.
+        relation_arity: usize,
+    },
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::MissingRelation { name } => {
+                write!(f, "catalog has no relation named {name}")
+            }
+            JoinError::ArityMismatch { name, atom_arity, relation_arity } => write!(
+                f,
+                "relation {name} has arity {relation_arity} but the atom expects {atom_arity}"
+            ),
+        }
+    }
+}
+
+impl Error for JoinError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = JoinError::MissingRelation { name: "G".into() };
+        assert!(e.to_string().contains('G'));
+        let e = JoinError::ArityMismatch { name: "G".into(), atom_arity: 2, relation_arity: 3 };
+        assert!(e.to_string().contains('2') && e.to_string().contains('3'));
+    }
+}

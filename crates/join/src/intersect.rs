@@ -1,0 +1,111 @@
+use triejax_relation::{AccessKind, Value, WORD_BYTES};
+
+use crate::EngineStats;
+
+/// Galloping intersection of two sorted, duplicate-free slices — the
+/// set-intersection primitive of Generic Join / EmptyHeaded.
+///
+/// Every element read is counted as an index read in `stats`, and each
+/// gallop counts one LUB operation, so engine-level access totals remain
+/// comparable with the trie-cursor engines.
+///
+/// # Example
+///
+/// ```
+/// use triejax_join::{intersect_sorted, EngineStats};
+///
+/// let mut stats = EngineStats::default();
+/// let out = intersect_sorted(&[1, 3, 5, 7], &[2, 3, 4, 7, 9], &mut stats);
+/// assert_eq!(out, vec![3, 7]);
+/// assert!(stats.lub_ops > 0);
+/// ```
+pub fn intersect_sorted(a: &[Value], b: &[Value], stats: &mut EngineStats) -> Vec<Value> {
+    // Probe with the smaller side, gallop in the larger.
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::new();
+    let mut base = 0usize;
+    for &x in small {
+        stats.access.record(AccessKind::IndexRead, WORD_BYTES);
+        if base >= large.len() {
+            break;
+        }
+        // Gallop: find a bracket [base + step/2, base + step] containing x.
+        stats.lub_ops += 1;
+        let mut step = 1usize;
+        while base + step < large.len() && large[base + step] < x {
+            stats.access.record(AccessKind::IndexRead, WORD_BYTES);
+            step *= 2;
+        }
+        let mut lo = base + step / 2;
+        let mut hi = (base + step + 1).min(large.len());
+        // Binary search within the bracket.
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            stats.access.record(AccessKind::IndexRead, WORD_BYTES);
+            if large[mid] < x {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        base = lo;
+        if base < large.len() && large[base] == x {
+            out.push(x);
+            base += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn intersect(a: &[Value], b: &[Value]) -> Vec<Value> {
+        let mut stats = EngineStats::default();
+        intersect_sorted(a, b, &mut stats)
+    }
+
+    #[test]
+    fn basic_overlap() {
+        assert_eq!(intersect(&[1, 2, 3], &[2, 3, 4]), vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(intersect(&[], &[1, 2]), Vec::<Value>::new());
+        assert_eq!(intersect(&[1, 2], &[]), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn disjoint() {
+        assert_eq!(intersect(&[1, 3, 5], &[0, 2, 4, 6]), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn identical() {
+        assert_eq!(intersect(&[4, 8, 15], &[4, 8, 15]), vec![4, 8, 15]);
+    }
+
+    #[test]
+    fn asymmetric_sizes_gallop_correctly() {
+        let big: Vec<Value> = (0..1000).map(|i| i * 3).collect();
+        assert_eq!(intersect(&[9, 300, 2997, 5000], &big), vec![9, 300, 2997]);
+        assert_eq!(intersect(&big, &[9, 300, 2997, 5000]), vec![9, 300, 2997]);
+    }
+
+    #[test]
+    fn subset_results() {
+        let big: Vec<Value> = (0..100).collect();
+        let small = [7, 42, 99];
+        assert_eq!(intersect(&small, &big), vec![7, 42, 99]);
+    }
+
+    #[test]
+    fn counts_reads() {
+        let mut stats = EngineStats::default();
+        let _ = intersect_sorted(&[1, 5, 9], &(0..64).collect::<Vec<_>>(), &mut stats);
+        assert!(stats.access.index_reads >= 3);
+        assert_eq!(stats.access.index_bytes, stats.access.index_reads * WORD_BYTES);
+    }
+}

@@ -1,0 +1,182 @@
+use triejax_relation::{TrieCursor, Value};
+
+use crate::EngineStats;
+
+/// One multi-way leapfrog join over a set of open cursors — the
+/// "MatchMaker + LUB" logic of the paper, for a single join variable.
+///
+/// The member cursors must all be positioned at the start of a level
+/// binding the same variable. [`search`](Self::search) aligns them on the
+/// smallest common value at-or-after their current positions;
+/// [`next`](Self::next) advances past the current match and realigns.
+///
+/// Work accounting: each alignment attempt counts one `match_op`, each
+/// lowest-upper-bound search one `lub_op` (plus its memory probes through
+/// the stats' access counter).
+#[derive(Debug)]
+pub struct Leapfrog {
+    /// Indices into the engine's cursor table.
+    members: Vec<usize>,
+    /// Round-robin pointer for the classic leapfrog loop.
+    p: usize,
+}
+
+impl Leapfrog {
+    /// Creates a leapfrog over the given cursor indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<usize>) -> Self {
+        assert!(!members.is_empty(), "leapfrog needs at least one member");
+        Leapfrog { members, p: 0 }
+    }
+
+    /// The member cursor indices.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Aligns all members on the smallest common value at-or-after their
+    /// positions. Returns the matched value, or `None` if any member is
+    /// exhausted first. Cursors are left positioned on the match.
+    pub fn search(
+        &mut self,
+        cursors: &mut [TrieCursor<'_>],
+        stats: &mut EngineStats,
+    ) -> Option<Value> {
+        stats.match_ops += 1;
+        if self.members.iter().any(|&m| cursors[m].at_end()) {
+            return None;
+        }
+        let k = self.members.len();
+        // Start from the largest current key.
+        let mut max = cursors[self.members[0]].key();
+        let mut argmax = 0;
+        for i in 1..k {
+            let key = cursors[self.members[i]].key();
+            if key > max {
+                max = key;
+                argmax = i;
+            }
+        }
+        // `agree` counts consecutive cursors known to sit on `max`; a match
+        // is confirmed only once all k agree.
+        let mut agree = 1;
+        self.p = argmax;
+        while agree < k {
+            self.p = (self.p + 1) % k;
+            let cur = &mut cursors[self.members[self.p]];
+            if cur.key() == max {
+                agree += 1;
+                continue;
+            }
+            stats.lub_ops += 1;
+            if !cur.seek(max, &mut stats.access) {
+                return None;
+            }
+            let key = cur.key();
+            if key == max {
+                agree += 1;
+            } else {
+                max = key;
+                agree = 1;
+            }
+        }
+        Some(max)
+    }
+
+    /// Advances past the current match and realigns on the next one.
+    pub fn next(
+        &mut self,
+        cursors: &mut [TrieCursor<'_>],
+        stats: &mut EngineStats,
+    ) -> Option<Value> {
+        let first = self.members[self.p];
+        if !cursors[first].next(&mut stats.access) {
+            return None;
+        }
+        self.search(cursors, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triejax_relation::{AccessCounter, Relation, Trie};
+
+    fn unary(vals: &[Value]) -> Trie {
+        Trie::build(
+            &Relation::from_tuples(1, vals.iter().map(|&v| vec![v]).collect::<Vec<_>>()).unwrap(),
+        )
+    }
+
+    fn run_leapfrog(sets: &[&[Value]]) -> Vec<Value> {
+        let tries: Vec<Trie> = sets.iter().map(|s| unary(s)).collect();
+        let mut cursors: Vec<TrieCursor> = tries.iter().map(TrieCursor::new).collect();
+        let mut opens = AccessCounter::default();
+        let mut stats = EngineStats::default();
+        for c in &mut cursors {
+            assert!(c.open(&mut opens));
+        }
+        let mut lf = Leapfrog::new((0..sets.len()).collect());
+        let mut out = Vec::new();
+        let mut m = lf.search(&mut cursors, &mut stats);
+        while let Some(v) = m {
+            out.push(v);
+            m = lf.next(&mut cursors, &mut stats);
+        }
+        out
+    }
+
+    #[test]
+    fn intersects_like_the_lftj_paper_example() {
+        // The classic LFTJ example: three sets with sparse overlap.
+        let a = [0, 1, 3, 4, 5, 6, 7, 8, 9, 11];
+        let b = [0, 2, 6, 7, 8, 9];
+        let c = [2, 4, 5, 8, 10];
+        assert_eq!(run_leapfrog(&[&a, &b, &c]), vec![8]);
+    }
+
+    #[test]
+    fn single_member_enumerates_everything() {
+        assert_eq!(run_leapfrog(&[&[1, 5, 9]]), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn disjoint_sets_yield_nothing() {
+        assert_eq!(run_leapfrog(&[&[1, 3, 5], &[2, 4, 6]]), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn identical_sets_yield_all() {
+        assert_eq!(run_leapfrog(&[&[2, 4, 6], &[2, 4, 6]]), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn overlapping_sets_yield_intersection() {
+        assert_eq!(run_leapfrog(&[&[1, 2, 3, 7, 9], &[2, 7, 10], &[2, 3, 7]]), vec![2, 7]);
+    }
+
+    #[test]
+    fn counts_lub_and_match_ops() {
+        let tries = [unary(&[1, 2, 3]), unary(&[3])];
+        let mut cursors: Vec<TrieCursor> = tries.iter().map(TrieCursor::new).collect();
+        let mut opens = AccessCounter::default();
+        let mut stats = EngineStats::default();
+        for c in &mut cursors {
+            c.open(&mut opens);
+        }
+        let mut lf = Leapfrog::new(vec![0, 1]);
+        assert_eq!(lf.search(&mut cursors, &mut stats), Some(3));
+        assert!(stats.match_ops >= 1);
+        assert!(stats.lub_ops >= 1);
+        assert!(stats.access.index_reads > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_members_panics() {
+        let _ = Leapfrog::new(Vec::new());
+    }
+}

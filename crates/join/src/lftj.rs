@@ -1,0 +1,236 @@
+use triejax_query::CompiledQuery;
+use triejax_relation::{AccessKind, TrieCursor, Value, WORD_BYTES};
+
+use crate::engine::head_slots;
+use crate::{Catalog, EngineStats, JoinError, JoinEngine, Leapfrog, ResultSink, TrieSet};
+
+/// LeapFrog TrieJoin (Veldhuizen, ICDT'14): the worst-case-optimal join
+/// that backtracks over trie indexes, materializing *no* intermediate
+/// results at the cost of recomputing recurring partial joins (paper §2.2).
+///
+/// # Example
+///
+/// ```
+/// use triejax_join::{Catalog, CountSink, JoinEngine, Lftj};
+/// use triejax_query::{patterns, CompiledQuery};
+/// use triejax_relation::Relation;
+///
+/// let mut catalog = Catalog::new();
+/// catalog.insert("G", Relation::from_pairs(vec![(0, 1), (1, 2), (2, 0)]));
+/// let plan = CompiledQuery::compile(&patterns::path3())?;
+/// let mut sink = CountSink::default();
+/// let stats = Lftj::default().execute(&plan, &catalog, &mut sink)?;
+/// assert_eq!(sink.count(), 3);
+/// assert_eq!(stats.intermediates, 0); // LFTJ never materializes
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lftj {
+    _private: (),
+}
+
+impl Lftj {
+    /// Creates the engine; identical to `Default::default()`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl JoinEngine for Lftj {
+    fn name(&self) -> &'static str {
+        "lftj"
+    }
+
+    fn execute(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats, JoinError> {
+        let tries = TrieSet::build(plan, catalog)?;
+        let mut driver = Driver::new(plan, &tries);
+        driver.level(0, sink);
+        Ok(driver.stats)
+    }
+}
+
+/// Shared recursive backtracking driver (also the skeleton CTJ extends).
+struct Driver<'a> {
+    plan: &'a CompiledQuery,
+    cursors: Vec<TrieCursor<'a>>,
+    binding: Vec<Value>,
+    emit: Vec<Value>,
+    slots: Vec<usize>,
+    pub stats: EngineStats,
+}
+
+impl<'a> Driver<'a> {
+    fn new(plan: &'a CompiledQuery, tries: &'a TrieSet) -> Self {
+        let cursors = (0..plan.atom_plans().len())
+            .map(|i| TrieCursor::new(tries.for_atom(i)))
+            .collect();
+        let n = plan.arity();
+        Driver {
+            plan,
+            cursors,
+            binding: vec![0; n],
+            emit: vec![0; n],
+            slots: head_slots(plan),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Opens level `d` on every participating cursor; on an empty open
+    /// (possible only for an empty relation at the root) closes what was
+    /// opened and returns `false`.
+    fn open_level(&mut self, d: usize) -> bool {
+        let parts = self.plan.atoms_at(d);
+        for (i, &(a, lvl)) in parts.iter().enumerate() {
+            if lvl > 0 {
+                self.stats.expand_ops += 1;
+            }
+            if !self.cursors[a].open(&mut self.stats.access) {
+                for &(b, _) in &parts[..i] {
+                    self.cursors[b].up();
+                }
+                return false;
+            }
+        }
+        true
+    }
+
+    fn close_level(&mut self, d: usize) {
+        for &(a, _) in self.plan.atoms_at(d) {
+            self.cursors[a].up();
+        }
+    }
+
+    fn emit_result(&mut self, sink: &mut dyn ResultSink) {
+        for d in 0..self.binding.len() {
+            self.emit[self.slots[d]] = self.binding[d];
+        }
+        sink.push(&self.emit);
+        self.stats.results += 1;
+        self.stats
+            .access
+            .record(AccessKind::ResultWrite, self.emit.len() as u64 * WORD_BYTES);
+    }
+
+    fn level(&mut self, d: usize, sink: &mut dyn ResultSink) {
+        if !self.open_level(d) {
+            return;
+        }
+        let members: Vec<usize> = self.plan.atoms_at(d).iter().map(|&(a, _)| a).collect();
+        let mut lf = Leapfrog::new(members);
+        let mut m = lf.search(&mut self.cursors, &mut self.stats);
+        while let Some(v) = m {
+            self.binding[d] = v;
+            if d + 1 == self.plan.arity() {
+                self.emit_result(sink);
+            } else {
+                self.level(d + 1, sink);
+            }
+            m = lf.next(&mut self.cursors, &mut self.stats);
+        }
+        self.close_level(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollectSink, CountSink};
+    use triejax_query::patterns;
+    use triejax_relation::Relation;
+
+    fn catalog(edges: &[(u32, u32)]) -> Catalog {
+        let mut c = Catalog::new();
+        c.insert("G", Relation::from_pairs(edges.to_vec()));
+        c
+    }
+
+    #[test]
+    fn path3_on_a_line() {
+        // 0 -> 1 -> 2 -> 3: paths of length 2 are (0,1,2) and (1,2,3).
+        let c = catalog(&[(0, 1), (1, 2), (2, 3)]);
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let mut sink = CollectSink::new();
+        Lftj::new().execute(&plan, &c, &mut sink).unwrap();
+        assert_eq!(sink.into_sorted(), vec![vec![0, 1, 2], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn cycle3_finds_each_rotation() {
+        let c = catalog(&[(0, 1), (1, 2), (2, 0)]);
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let mut sink = CollectSink::new();
+        Lftj::new().execute(&plan, &c, &mut sink).unwrap();
+        assert_eq!(
+            sink.into_sorted(),
+            vec![vec![0, 1, 2], vec![1, 2, 0], vec![2, 0, 1]]
+        );
+    }
+
+    #[test]
+    fn clique4_on_k4() {
+        // Complete directed graph on 4 vertices: every ordered 4-tuple of
+        // distinct vertices forms a clique4 match: 4! = 24.
+        let mut edges = Vec::new();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let c = catalog(&edges);
+        let plan = CompiledQuery::compile(&patterns::clique4()).unwrap();
+        let mut sink = CountSink::default();
+        Lftj::new().execute(&plan, &c, &mut sink).unwrap();
+        assert_eq!(sink.count(), 24);
+    }
+
+    #[test]
+    fn empty_graph_yields_nothing() {
+        let c = catalog(&[]);
+        let plan = CompiledQuery::compile(&patterns::cycle4()).unwrap();
+        let mut sink = CountSink::default();
+        let stats = Lftj::new().execute(&plan, &c, &mut sink).unwrap();
+        assert_eq!(sink.count(), 0);
+        assert_eq!(stats.results, 0);
+    }
+
+    #[test]
+    fn results_are_emitted_in_head_order_for_any_evaluation_order() {
+        let c = catalog(&[(0, 1), (1, 2), (2, 3)]);
+        let q = patterns::path3();
+        let forward = CompiledQuery::compile(&q).unwrap();
+        let backward = CompiledQuery::compile_with_order(&q, vec![2, 1, 0]).unwrap();
+        let mut s1 = CollectSink::new();
+        let mut s2 = CollectSink::new();
+        Lftj::new().execute(&forward, &c, &mut s1).unwrap();
+        Lftj::new().execute(&backward, &c, &mut s2).unwrap();
+        assert_eq!(s1.into_sorted(), s2.into_sorted());
+    }
+
+    #[test]
+    fn stats_count_work_and_results() {
+        let c = catalog(&[(0, 1), (1, 2), (2, 0), (1, 0)]);
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let mut sink = CountSink::default();
+        let stats = Lftj::new().execute(&plan, &c, &mut sink).unwrap();
+        assert_eq!(stats.results, sink.count());
+        assert!(stats.match_ops > 0);
+        assert!(stats.access.index_reads > 0);
+        assert_eq!(stats.intermediates, 0);
+        assert_eq!(stats.access.result_bytes, stats.results * 12);
+    }
+
+    #[test]
+    fn missing_relation_is_an_error() {
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let mut sink = CountSink::default();
+        let err = Lftj::new().execute(&plan, &Catalog::new(), &mut sink);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Software join engines for the TrieJax reproduction.
+//!
+//! Four engines share one interface ([`JoinEngine`]) and one plan format
+//! ([`triejax_query::CompiledQuery`]):
+//!
+//! * [`Lftj`] — LeapFrog TrieJoin (Veldhuizen, ICDT'14): the WCOJ backbone,
+//!   zero intermediate results, recomputes recurring partial joins.
+//! * [`Ctj`] — Cached TrieJoin (Kalinsky et al., EDBT'17): LFTJ plus a
+//!   partial-join-result cache, the algorithm TrieJax implements in
+//!   hardware (paper §2.2).
+//! * [`GenericJoin`] — the set-intersection WCOJ formulation used by
+//!   EmptyHeaded (Aberger et al., SIGMOD'16).
+//! * [`PairwiseHash`] / [`PairwiseSortMerge`] — traditional left-deep
+//!   binary join plans (hash and Q100's sort-merge operators), the
+//!   algorithm class of Q100 and Graphicionado's pattern expansion; both
+//!   materialize every intermediate relation.
+//!
+//! Engines count their work in [`EngineStats`] (operation counts, memory
+//! touches, intermediate results, cache hits), which the harness uses to
+//! regenerate the paper's Figures 17 and 18 and to drive the baseline
+//! performance models.
+//!
+//! # Example
+//!
+//! ```
+//! use triejax_join::{Catalog, CountSink, Ctj, JoinEngine, Lftj};
+//! use triejax_query::{patterns, CompiledQuery};
+//! use triejax_relation::Relation;
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.insert("G", Relation::from_pairs(vec![(0, 1), (1, 2), (2, 0), (0, 2)]));
+//! let plan = CompiledQuery::compile(&patterns::cycle3())?;
+//!
+//! let mut count = CountSink::default();
+//! Lftj::default().execute(&plan, &catalog, &mut count)?;
+//! let mut count2 = CountSink::default();
+//! Ctj::default().execute(&plan, &catalog, &mut count2)?;
+//! assert_eq!(count.count(), count2.count()); // engines agree
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod ctj;
+mod engine;
+mod error;
+mod generic;
+mod intersect;
+mod leapfrog;
+mod lftj;
+mod pairwise;
+mod sink;
+mod sortmerge;
+mod stats;
+
+pub use catalog::{Catalog, TrieSet};
+pub use ctj::{Ctj, CtjConfig};
+pub use engine::JoinEngine;
+pub use error::JoinError;
+pub use generic::GenericJoin;
+pub use intersect::intersect_sorted;
+pub use leapfrog::Leapfrog;
+pub use lftj::Lftj;
+pub use pairwise::PairwiseHash;
+pub use sink::{CollectSink, CountSink, ResultSink};
+pub use sortmerge::PairwiseSortMerge;
+pub use stats::EngineStats;

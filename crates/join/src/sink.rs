@@ -1,0 +1,106 @@
+use triejax_relation::Value;
+
+/// Consumer of join results.
+///
+/// Engines emit each result tuple in the *head* variable order of the
+/// query, independently of the evaluation order, so different engines (and
+/// different variable orders) produce comparable streams.
+pub trait ResultSink {
+    /// Receives one result tuple.
+    fn push(&mut self, tuple: &[Value]);
+}
+
+/// Counts results without storing them — the usual sink for benchmarks,
+/// where result sets can be large.
+///
+/// # Example
+///
+/// ```
+/// use triejax_join::{CountSink, ResultSink};
+///
+/// let mut sink = CountSink::default();
+/// sink.push(&[1, 2, 3]);
+/// sink.push(&[4, 5, 6]);
+/// assert_eq!(sink.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CountSink {
+    count: u64,
+}
+
+impl CountSink {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tuples received.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl ResultSink for CountSink {
+    fn push(&mut self, _tuple: &[Value]) {
+        self.count += 1;
+    }
+}
+
+/// Collects all results; used by tests that compare engines tuple-by-tuple.
+///
+/// [`CollectSink::into_sorted`] returns the tuples in lexicographic order so
+/// engines with different emission orders can be compared directly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CollectSink {
+    tuples: Vec<Vec<Value>>,
+}
+
+impl CollectSink {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected tuples in emission order.
+    pub fn tuples(&self) -> &[Vec<Value>] {
+        &self.tuples
+    }
+
+    /// Consumes the sink, returning tuples sorted lexicographically.
+    pub fn into_sorted(mut self) -> Vec<Vec<Value>> {
+        self.tuples.sort_unstable();
+        self.tuples
+    }
+
+    /// Number of tuples received.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Returns `true` when no tuples were received.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+impl ResultSink for CollectSink {
+    fn push(&mut self, tuple: &[Value]) {
+        self.tuples.push(tuple.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_sink_sorts() {
+        let mut s = CollectSink::new();
+        s.push(&[3, 1]);
+        s.push(&[1, 2]);
+        s.push(&[1, 1]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.into_sorted(), vec![vec![1, 1], vec![1, 2], vec![3, 1]]);
+    }
+}

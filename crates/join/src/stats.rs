@@ -1,0 +1,94 @@
+use triejax_relation::AccessCounter;
+
+/// Work counters accumulated by a join engine during one execution.
+///
+/// These feed three consumers: the paper's Figure 17 (main-memory accesses
+/// per system), Figure 18 (intermediate results, CTJ versus pairwise), and
+/// the baseline performance models in `triejax-baselines`, which convert
+/// operation counts into cycles and energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Number of result tuples emitted.
+    pub results: u64,
+    /// Intermediate results materialized: cached partial-join values for
+    /// CTJ, intermediate-relation tuples for pairwise joins, candidate-set
+    /// values for Generic Join. LFTJ materializes none.
+    pub intermediates: u64,
+    /// Partial-join cache hits (CTJ only).
+    pub cache_hits: u64,
+    /// Partial-join cache misses on cacheable lookups (CTJ only).
+    pub cache_misses: u64,
+    /// Cache entries discarded due to capacity overflow (CTJ only).
+    pub cache_overflows: u64,
+    /// Lowest-upper-bound (binary-search) operations issued.
+    pub lub_ops: u64,
+    /// Child-range expansions (the Midwife operation).
+    pub expand_ops: u64,
+    /// Per-variable match attempts (MatchMaker invocations / leapfrog
+    /// searches, or per-level intersection calls for Generic Join, or
+    /// probe operations for hash joins).
+    pub match_ops: u64,
+    /// Simulated memory touches.
+    pub access: AccessCounter,
+}
+
+impl EngineStats {
+    /// Creates zeroed stats; identical to `Default::default()`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total main-memory accesses (the Figure 17 metric): every simulated
+    /// word touch of index, intermediate, or result data.
+    pub fn memory_accesses(&self) -> u64 {
+        self.access.total_accesses()
+    }
+
+    /// Total simulated bytes moved.
+    pub fn bytes_moved(&self) -> u64 {
+        self.access.total_bytes()
+    }
+
+    /// Total discrete engine operations (used by software cost models).
+    pub fn total_ops(&self) -> u64 {
+        self.lub_ops + self.expand_ops + self.match_ops
+    }
+
+    /// Cache hit rate in `[0, 1]`; `0` when no cacheable lookups happened.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triejax_relation::AccessKind;
+
+    #[test]
+    fn totals_sum_fields() {
+        let mut s = EngineStats::new();
+        s.lub_ops = 3;
+        s.expand_ops = 2;
+        s.match_ops = 5;
+        assert_eq!(s.total_ops(), 10);
+        s.access.record(AccessKind::IndexRead, 4);
+        s.access.record(AccessKind::ResultWrite, 8);
+        assert_eq!(s.memory_accesses(), 2);
+        assert_eq!(s.bytes_moved(), 12);
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_lookups() {
+        let mut s = EngineStats::new();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

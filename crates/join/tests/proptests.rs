@@ -1,0 +1,179 @@
+//! Property tests for the join engines: agreement against a brute-force
+//! nested-loop reference on small random instances, including multi-table
+//! catalogs (not just edge self-joins), and stats sanity.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use triejax_join::{
+    Catalog, CollectSink, Ctj, CtjConfig, GenericJoin, JoinEngine, Lftj, PairwiseHash,
+};
+use triejax_query::{CompiledQuery, Query};
+use triejax_relation::{Relation, Value};
+
+/// Brute-force reference: enumerate every assignment of values to
+/// variables and test all atoms.
+fn nested_loop_reference(q: &Query, catalog: &Catalog) -> Vec<Vec<Value>> {
+    // Collect the active domain.
+    let mut domain: Vec<Value> = Vec::new();
+    for atom in q.atoms() {
+        let rel = catalog.get(atom.relation()).expect("present");
+        for t in rel.iter() {
+            domain.extend_from_slice(t);
+        }
+    }
+    domain.sort_unstable();
+    domain.dedup();
+
+    let tuple_sets: HashMap<&str, Vec<&[Value]>> = q
+        .atoms()
+        .iter()
+        .map(|a| {
+            (a.relation(), catalog.get(a.relation()).expect("present").iter().collect())
+        })
+        .collect();
+
+    let n = q.num_vars();
+    let mut out = Vec::new();
+    let mut binding = vec![0u32; n];
+    enumerate(q, &tuple_sets, &domain, 0, &mut binding, &mut out);
+    out.sort_unstable();
+    out
+}
+
+fn enumerate(
+    q: &Query,
+    tuples: &HashMap<&str, Vec<&[Value]>>,
+    domain: &[Value],
+    var: usize,
+    binding: &mut Vec<Value>,
+    out: &mut Vec<Vec<Value>>,
+) {
+    if var == q.num_vars() {
+        let ok = q.atoms().iter().all(|a| {
+            let want: Vec<Value> = a.vars().iter().map(|&v| binding[v]).collect();
+            tuples[a.relation()].iter().any(|t| *t == want.as_slice())
+        });
+        if ok {
+            // Head order == variable id order by construction.
+            let head: Vec<Value> = q.head().iter().map(|&v| binding[v]).collect();
+            out.push(head);
+        }
+        return;
+    }
+    for &v in domain {
+        binding[var] = v;
+        enumerate(q, tuples, domain, var + 1, binding, out);
+    }
+}
+
+fn arb_edges(max_node: u32, max_len: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::btree_set((0..max_node, 0..max_node), 1..max_len)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Two-relation query: every engine equals the nested-loop reference.
+    #[test]
+    fn engines_match_brute_force_on_two_relations(
+        r_edges in arb_edges(6, 18),
+        s_edges in arb_edges(6, 18),
+    ) {
+        let q = Query::builder("q")
+            .head(["x", "y", "z"])
+            .atom("R", ["x", "y"])
+            .atom("S", ["y", "z"])
+            .build()
+            .unwrap();
+        let mut catalog = Catalog::new();
+        catalog.insert("R", Relation::from_pairs(r_edges));
+        catalog.insert("S", Relation::from_pairs(s_edges));
+        let plan = CompiledQuery::compile(&q).unwrap();
+        let expect = nested_loop_reference(&q, &catalog);
+
+        let engines: Vec<Box<dyn JoinEngine>> = vec![
+            Box::new(Lftj::new()),
+            Box::new(Ctj::new()),
+            Box::new(GenericJoin::new()),
+            Box::new(PairwiseHash::new()),
+        ];
+        for mut e in engines {
+            let mut sink = CollectSink::new();
+            e.execute(&plan, &catalog, &mut sink).unwrap();
+            prop_assert_eq!(sink.into_sorted(), expect.clone(), "{}", e.name());
+        }
+    }
+
+    /// Three-relation triangle across *distinct* tables.
+    #[test]
+    fn engines_match_brute_force_on_triangle(
+        r_edges in arb_edges(5, 14),
+        s_edges in arb_edges(5, 14),
+        t_edges in arb_edges(5, 14),
+    ) {
+        let q = Query::builder("tri")
+            .head(["x", "y", "z"])
+            .atom("R", ["x", "y"])
+            .atom("S", ["y", "z"])
+            .atom("T", ["z", "x"])
+            .build()
+            .unwrap();
+        let mut catalog = Catalog::new();
+        catalog.insert("R", Relation::from_pairs(r_edges));
+        catalog.insert("S", Relation::from_pairs(s_edges));
+        catalog.insert("T", Relation::from_pairs(t_edges));
+        let plan = CompiledQuery::compile(&q).unwrap();
+        let expect = nested_loop_reference(&q, &catalog);
+
+        let engines: Vec<Box<dyn JoinEngine>> = vec![
+            Box::new(Lftj::new()),
+            Box::new(Ctj::new()),
+            Box::new(GenericJoin::new()),
+            Box::new(PairwiseHash::new()),
+        ];
+        for mut e in engines {
+            let mut sink = CollectSink::new();
+            e.execute(&plan, &catalog, &mut sink).unwrap();
+            prop_assert_eq!(sink.into_sorted(), expect.clone(), "{}", e.name());
+        }
+    }
+
+    /// CTJ with adversarially tiny cache limits still agrees with LFTJ.
+    #[test]
+    fn ctj_cache_limits_never_change_results(
+        edges in arb_edges(10, 60),
+        entry_cap in 0usize..4,
+        max_entries in 0usize..4,
+    ) {
+        let mut catalog = Catalog::new();
+        catalog.insert("G", Relation::from_pairs(edges));
+        let q = triejax_query::patterns::path4();
+        let plan = CompiledQuery::compile(&q).unwrap();
+        let mut reference = CollectSink::new();
+        Lftj::new().execute(&plan, &catalog, &mut reference).unwrap();
+        let cfg = CtjConfig {
+            entry_capacity: Some(entry_cap),
+            max_entries: Some(max_entries),
+        };
+        let mut sink = CollectSink::new();
+        Ctj::with_config(cfg).execute(&plan, &catalog, &mut sink).unwrap();
+        prop_assert_eq!(sink.into_sorted(), reference.into_sorted());
+    }
+
+    /// Engine statistics are internally consistent on arbitrary inputs.
+    #[test]
+    fn stats_are_consistent(edges in arb_edges(12, 80)) {
+        let mut catalog = Catalog::new();
+        catalog.insert("G", Relation::from_pairs(edges));
+        let plan =
+            CompiledQuery::compile(&triejax_query::patterns::cycle4()).unwrap();
+        let mut sink = CollectSink::new();
+        let stats = Ctj::new().execute(&plan, &catalog, &mut sink).unwrap();
+        prop_assert_eq!(stats.results as usize, sink.len());
+        prop_assert_eq!(stats.access.result_bytes, stats.results * 16);
+        prop_assert!(stats.memory_accesses() >= stats.access.result_writes);
+        prop_assert!(stats.cache_hit_rate() >= 0.0 && stats.cache_hit_rate() <= 1.0);
+    }
+}

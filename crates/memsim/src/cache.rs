@@ -1,0 +1,225 @@
+use crate::Addr;
+
+/// Geometry of one set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub capacity: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Access latency in core cycles (charged on hit; added to the miss
+    /// path as lookup time).
+    pub latency: u64,
+}
+
+impl CacheGeometry {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide into at least one whole set.
+    pub fn sets(&self) -> u64 {
+        let sets = self.capacity / (self.ways as u64 * self.line_bytes);
+        assert!(sets > 0, "geometry must yield at least one set");
+        sets
+    }
+}
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found the line.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (0 when never accessed).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Tag-only: the simulator tracks presence, not data. Used for the
+/// read-only L1/L2 of TrieJax and the shared LLC (paper Figure 5).
+///
+/// # Example
+///
+/// ```
+/// use triejax_memsim::{Cache, CacheGeometry};
+///
+/// let mut c = Cache::new(CacheGeometry { capacity: 1024, ways: 2, line_bytes: 64, latency: 2 });
+/// assert!(!c.access(0x40)); // cold miss
+/// assert!(c.access(0x40));  // now resident
+/// assert!(c.access(0x44));  // same line
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    sets: u64,
+    /// `tags[set * ways + way]`; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways or non-power-of-two
+    /// set count).
+    pub fn new(geometry: CacheGeometry) -> Self {
+        assert!(geometry.ways > 0, "cache needs at least one way");
+        let sets = geometry.sets();
+        let slots = (sets * geometry.ways as u64) as usize;
+        Cache {
+            geometry,
+            sets,
+            tags: vec![u64::MAX; slots],
+            stamps: vec![0; slots],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `addr`, inserting its line on a miss (LRU victim).
+    /// Returns `true` on a hit.
+    pub fn access(&mut self, addr: Addr) -> bool {
+        self.clock += 1;
+        let line = addr / self.geometry.line_bytes;
+        let set = (line % self.sets) as usize;
+        let tag = line / self.sets;
+        let ways = self.geometry.ways as usize;
+        let base = set * ways;
+
+        let mut victim = base;
+        for i in base..base + ways {
+            if self.tags[i] == tag {
+                self.stamps[i] = self.clock;
+                self.stats.hits += 1;
+                return true;
+            }
+            if self.stamps[i] < self.stamps[victim] {
+                victim = i;
+            }
+        }
+        self.tags[victim] = tag;
+        self.stamps[victim] = self.clock;
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Invalidates every line and clears statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 64B lines = 256B.
+        Cache::new(CacheGeometry { capacity: 256, ways: 2, line_bytes: 64, latency: 1 })
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63));
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Set 0 holds lines 0, 2, 4 (line index even -> set 0).
+        c.access(0 * 64); // A
+        c.access(2 * 64); // B
+        c.access(0 * 64); // A again (B is now LRU)
+        c.access(4 * 64); // C evicts B
+        assert!(c.access(0 * 64), "A survives");
+        assert!(!c.access(2 * 64), "B was evicted");
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.access(0 * 64); // set 0
+        c.access(1 * 64); // set 1
+        c.access(3 * 64); // set 1
+        c.access(5 * 64); // set 1: evicts line 1
+        assert!(c.access(0 * 64), "set 0 untouched");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = tiny();
+        c.access(0);
+        c.reset();
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = tiny();
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.access(0);
+        c.access(0);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheGeometry { capacity: 32, ways: 1, line_bytes: 64, latency: 1 });
+    }
+
+    #[test]
+    fn non_power_of_two_set_counts_work() {
+        // 3 sets x 1 way: lines 0,3 collide; 0,1,2 do not.
+        let mut c = Cache::new(CacheGeometry { capacity: 192, ways: 1, line_bytes: 64, latency: 1 });
+        c.access(0);
+        c.access(64);
+        c.access(128);
+        assert!(c.access(0));
+        assert!(!c.access(3 * 64));
+        assert!(!c.access(0), "line 3 evicted line 0");
+    }
+}

@@ -1,0 +1,191 @@
+use crate::MemStats;
+
+/// Energy constants for a 45 nm-class design (CACTI/DRAMPower substitutes,
+/// paper §4.1).
+///
+/// Dynamic energies are per access; static figures are leakage or
+/// background power integrated over runtime. The defaults are
+/// representative published values for the paper's structures: small
+/// read-only SRAM caches, a 4 MB banked PJR SRAM, a 20 MB LLC slice, and
+/// two-channel DDR3 whose background term (precharge standby + refresh)
+/// dominates when runtimes stretch — the effect behind Figure 15's
+/// DRAM-dominated breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// L1 access energy, picojoules.
+    pub l1_pj: f64,
+    /// L2 access energy, picojoules.
+    pub l2_pj: f64,
+    /// LLC access energy, picojoules.
+    pub llc_pj: f64,
+    /// PJR-cache (4 MB SRAM) access energy, picojoules.
+    pub pjr_pj: f64,
+    /// PJR-cache leakage, milliwatts.
+    pub pjr_leak_mw: f64,
+    /// Core energy per component operation (LUB step, MatchMaker,
+    /// Midwife, Cupid step), picojoules.
+    pub core_op_pj: f64,
+    /// Core static power (clock tree + thread stores), milliwatts.
+    pub core_static_mw: f64,
+    /// DRAM energy per row-hit burst, nanojoules.
+    pub dram_hit_nj: f64,
+    /// DRAM energy per row-miss burst (activate + precharge), nanojoules.
+    pub dram_miss_nj: f64,
+    /// DRAM background power across all ranks, milliwatts.
+    pub dram_background_mw: f64,
+    /// DRAM refresh power across all ranks, milliwatts.
+    pub dram_refresh_mw: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            l1_pj: 15.0,
+            l2_pj: 28.0,
+            llc_pj: 240.0,
+            pjr_pj: 45.0,
+            pjr_leak_mw: 35.0,
+            core_op_pj: 8.0,
+            core_static_mw: 25.0,
+            dram_hit_nj: 8.0,
+            dram_miss_nj: 15.0,
+            dram_background_mw: 260.0,
+            dram_refresh_mw: 90.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Computes the TrieJax-side energy breakdown from memory counters,
+    /// accelerator activity, and runtime.
+    ///
+    /// `pjr_accesses` and `core_ops` come from the accelerator simulator;
+    /// `runtime_s` integrates every static term.
+    pub fn breakdown(
+        &self,
+        mem: &MemStats,
+        pjr_accesses: u64,
+        core_ops: u64,
+        runtime_s: f64,
+    ) -> EnergyBreakdown {
+        let pj = 1e-12;
+        let nj = 1e-9;
+        let mw = 1e-3;
+        EnergyBreakdown {
+            core: core_ops as f64 * self.core_op_pj * pj + self.core_static_mw * mw * runtime_s,
+            pjr: pjr_accesses as f64 * self.pjr_pj * pj
+                + if pjr_accesses > 0 { self.pjr_leak_mw * mw * runtime_s } else { 0.0 },
+            l1: mem.l1.accesses() as f64 * self.l1_pj * pj,
+            l2: mem.l2.accesses() as f64 * self.l2_pj * pj,
+            llc: mem.llc.accesses() as f64 * self.llc_pj * pj,
+            dram: mem.dram.row_hits as f64 * self.dram_hit_nj * nj
+                + mem.dram.row_misses as f64 * self.dram_miss_nj * nj
+                + (self.dram_background_mw + self.dram_refresh_mw) * mw * runtime_s,
+        }
+    }
+}
+
+/// Joules consumed per component over one run (the Figure 15 axes).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// TrieJax core logic (Cupid, MatchMaker, Midwife, LUB, thread stores).
+    pub core: f64,
+    /// Partial-join-result cache SRAM.
+    pub pjr: f64,
+    /// Private L1.
+    pub l1: f64,
+    /// Private L2.
+    pub l2: f64,
+    /// Shared LLC.
+    pub llc: f64,
+    /// DRAM (dynamic + background + refresh).
+    pub dram: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total joules.
+    pub fn total(&self) -> f64 {
+        self.core + self.pjr + self.l1 + self.l2 + self.llc + self.dram
+    }
+
+    /// DRAM's share of the total, in `[0, 1]`.
+    pub fn dram_fraction(&self) -> f64 {
+        if self.total() == 0.0 {
+            0.0
+        } else {
+            self.dram / self.total()
+        }
+    }
+
+    /// Memory system's share (everything but the core), in `[0, 1]`.
+    pub fn memory_fraction(&self) -> f64 {
+        if self.total() == 0.0 {
+            0.0
+        } else {
+            1.0 - self.core / self.total()
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            core: self.core + other.core,
+            pjr: self.pjr + other.pjr,
+            l1: self.l1 + other.l1,
+            l2: self.l2 + other.l2,
+            llc: self.llc + other.llc,
+            dram: self.dram + other.dram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CacheStats, DramStats};
+
+    fn mem_stats() -> MemStats {
+        MemStats {
+            l1: CacheStats { hits: 900, misses: 100 },
+            l2: CacheStats { hits: 60, misses: 40 },
+            llc: CacheStats { hits: 30, misses: 10 },
+            dram: DramStats { reads: 8, writes: 2, row_hits: 6, row_misses: 4, queue_cycles: 0 },
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_components() {
+        let m = EnergyModel::default();
+        let b = m.breakdown(&mem_stats(), 50, 1000, 1e-3);
+        assert!(b.total() > 0.0);
+        let s = b.core + b.pjr + b.l1 + b.l2 + b.llc + b.dram;
+        assert!((b.total() - s).abs() < 1e-18);
+    }
+
+    #[test]
+    fn dram_dominates_long_runs() {
+        // With a realistic runtime the DRAM background term dominates,
+        // as in paper Figure 15 (74-90% of total).
+        let m = EnergyModel::default();
+        let b = m.breakdown(&mem_stats(), 50, 1000, 10e-3);
+        assert!(b.dram_fraction() > 0.7, "dram fraction {}", b.dram_fraction());
+        assert!(b.memory_fraction() > 0.8);
+    }
+
+    #[test]
+    fn pjr_leakage_only_charged_when_used() {
+        let m = EnergyModel::default();
+        let with = m.breakdown(&mem_stats(), 1, 0, 1e-3);
+        let without = m.breakdown(&mem_stats(), 0, 0, 1e-3);
+        assert!(with.pjr > 0.0);
+        assert_eq!(without.pjr, 0.0);
+    }
+
+    #[test]
+    fn add_is_componentwise() {
+        let m = EnergyModel::default();
+        let b = m.breakdown(&mem_stats(), 10, 10, 1e-3);
+        let two = b.add(&b);
+        assert!((two.total() - 2.0 * b.total()).abs() < 1e-15);
+    }
+}

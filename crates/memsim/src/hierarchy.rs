@@ -1,0 +1,194 @@
+use crate::{Addr, Cache, CacheStats, Cycle, Dram, DramStats, MemConfig};
+
+/// Per-level counters of a [`MemorySystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemStats {
+    /// L1 lookups.
+    pub l1: CacheStats,
+    /// L2 lookups (L1 misses).
+    pub l2: CacheStats,
+    /// LLC lookups (L2 misses, plus non-bypassed writes).
+    pub llc: CacheStats,
+    /// DRAM bursts.
+    pub dram: DramStats,
+}
+
+/// The load/store path of Figure 5: read-only private L1 and L2 for index
+/// data, a shared LLC, and DRAM; result writes optionally bypass all
+/// caches and stream to memory (paper §3.1).
+///
+/// The model is tag-only and charges additive lookup latencies down the
+/// hierarchy; DRAM adds queueing when a channel is busy, which is how
+/// bandwidth saturation appears in end-to-end runtimes.
+///
+/// # Example
+///
+/// ```
+/// use triejax_memsim::{MemConfig, MemorySystem};
+///
+/// let mut mem = MemorySystem::new(MemConfig::triejax());
+/// let miss = mem.read(0x4000, 0);
+/// let hit = mem.read(0x4000, miss);
+/// assert_eq!(hit, 3); // L1 latency
+/// assert!(miss > 100); // went to DRAM
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    config: MemConfig,
+    l1: Cache,
+    l2: Cache,
+    llc: Cache,
+    dram: Dram,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy from a configuration preset.
+    pub fn new(config: MemConfig) -> Self {
+        MemorySystem {
+            config,
+            l1: Cache::new(config.l1),
+            l2: Cache::new(config.l2),
+            llc: Cache::new(config.llc),
+            dram: Dram::new(config.dram),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Current counters of every level.
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            l1: self.l1.stats(),
+            l2: self.l2.stats(),
+            llc: self.llc.stats(),
+            dram: self.dram.stats(),
+        }
+    }
+
+    /// Loads the word at `addr` at time `now`; returns total latency in
+    /// cycles.
+    pub fn read(&mut self, addr: Addr, now: Cycle) -> Cycle {
+        let mut latency = self.config.l1.latency;
+        if self.l1.access(addr) {
+            return latency;
+        }
+        latency += self.config.l2.latency;
+        if self.l2.access(addr) {
+            return latency;
+        }
+        latency += self.config.llc.latency;
+        if self.llc.access(addr) {
+            return latency;
+        }
+        latency + self.dram.access(addr, now + latency, false)
+    }
+
+    /// Stores one finished result cache-line at `addr` at time `now`.
+    ///
+    /// With `write_bypass` (TrieJax mode) the line streams straight to
+    /// DRAM. Otherwise the store write-allocates through the private L1
+    /// and L2 and the LLC — evicting the index working set, which is the
+    /// cache thrashing the bypass avoids (worth up to 2.5x on path4 per
+    /// paper §3.1). The eventual writeback is charged as a direct DRAM
+    /// write so traffic is conserved in both modes.
+    pub fn write_result(&mut self, addr: Addr, now: Cycle) -> Cycle {
+        if self.config.write_bypass {
+            return self.dram.access(addr, now, true);
+        }
+        self.l1.access(addr);
+        self.l2.access(addr);
+        let mut latency = self.config.l1.latency;
+        if !self.llc.access(addr) {
+            // Write-allocate: read-for-ownership fetches the line before
+            // the store — the doubled traffic the bypass avoids.
+            latency += self.dram.access(addr, now + latency, false);
+        }
+        latency + self.dram.access(addr, now + latency, true)
+    }
+
+    /// Invalidates all cache state and clears statistics (DRAM row
+    /// buffers are also closed).
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+        self.llc.reset();
+        self.dram = Dram::new(self.config.dram);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_path_fills_all_levels() {
+        let mut m = MemorySystem::new(MemConfig::triejax());
+        let cold = m.read(0x8000, 0);
+        assert!(cold > m.config().l1.latency + m.config().l2.latency);
+        assert_eq!(m.stats().l1.misses, 1);
+        assert_eq!(m.stats().l2.misses, 1);
+        assert_eq!(m.stats().llc.misses, 1);
+        assert_eq!(m.stats().dram.reads, 1);
+        let warm = m.read(0x8000, cold);
+        assert_eq!(warm, m.config().l1.latency);
+        assert_eq!(m.stats().l1.hits, 1);
+    }
+
+    #[test]
+    fn llc_serves_private_cache_conflict_misses() {
+        let mut m = MemorySystem::new(MemConfig::triejax());
+        m.read(0, 0);
+        // L1 and L2 are both 32KB 8-way with 64 sets (Table 3), so filling
+        // one set evicts the line from both; the re-read must stop in LLC.
+        for i in 1..=8u64 {
+            m.read(i * 4096, 0);
+        }
+        let lat = m.read(0, 0);
+        let cfg = m.config();
+        assert_eq!(lat, cfg.l1.latency + cfg.l2.latency + cfg.llc.latency, "LLC hit");
+        assert_eq!(m.stats().dram.reads, 9, "no extra DRAM traffic");
+    }
+
+    #[test]
+    fn bypassed_writes_skip_caches() {
+        let mut m = MemorySystem::new(MemConfig::triejax());
+        m.write_result(0x100, 0);
+        assert_eq!(m.stats().dram.writes, 1);
+        assert_eq!(m.stats().llc.accesses(), 0);
+        assert_eq!(m.stats().l1.accesses(), 0);
+    }
+
+    #[test]
+    fn non_bypassed_writes_allocate_in_every_level() {
+        let mut m = MemorySystem::new(MemConfig::cpu());
+        m.write_result(0x100, 0);
+        assert_eq!(m.stats().l1.accesses(), 1);
+        assert_eq!(m.stats().l2.accesses(), 1);
+        assert_eq!(m.stats().llc.accesses(), 1);
+        assert_eq!(m.stats().dram.writes, 1);
+    }
+
+    #[test]
+    fn non_bypassed_write_stream_thrashes_the_read_working_set() {
+        let mut m = MemorySystem::new(MemConfig::cpu());
+        m.read(0, 0);
+        assert_eq!(m.read(0, 0), m.config().l1.latency, "hot in L1");
+        // A result stream large enough to wrap every private-cache set.
+        for i in 0..4096u64 {
+            m.write_result(0x10_0000 + i * 64, 0);
+        }
+        assert!(m.read(0, 0) > m.config().l1.latency, "index line evicted");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = MemorySystem::new(MemConfig::triejax());
+        m.read(0, 0);
+        m.reset();
+        assert_eq!(m.stats().l1.accesses(), 0);
+        assert_eq!(m.stats().dram.accesses(), 0);
+    }
+}

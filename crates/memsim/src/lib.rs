@@ -1,0 +1,47 @@
+//! Memory-hierarchy and energy simulator for the TrieJax reproduction.
+//!
+//! Substitutes for the paper's external tooling (§4.1):
+//!
+//! * **Ramulator** → [`Dram`]: a banked DDR3 model with row-buffer
+//!   hit/miss latency and per-channel bandwidth occupancy.
+//! * **DRAMPower** → per-access activate/read/write energy plus background
+//!   and refresh power, integrated over runtime.
+//! * **CACTI 6.5** → the SRAM/cache energy constants in [`EnergyModel`].
+//!
+//! [`MemorySystem`] composes read-only L1/L2, a shared LLC and DRAM into
+//! the load path used by the TrieJax core, with the paper's result-write
+//! bypass (§3.1): final-result stores stream directly to memory.
+//!
+//! All timing is expressed in cycles of the accelerator clock
+//! (2.38 GHz, paper §4.1); [`MemConfig`] presets encode paper Table 3.
+//!
+//! # Example
+//!
+//! ```
+//! use triejax_memsim::{MemConfig, MemorySystem};
+//!
+//! let mut mem = MemorySystem::new(MemConfig::triejax());
+//! let cold = mem.read(0x1000, 0);
+//! let warm = mem.read(0x1000, cold);
+//! assert!(warm < cold); // second access hits in L1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod dram;
+mod energy;
+mod hierarchy;
+
+pub use cache::{Cache, CacheGeometry, CacheStats};
+pub use config::MemConfig;
+pub use dram::{Dram, DramConfig, DramStats};
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use hierarchy::{MemStats, MemorySystem};
+
+/// Simulated byte address.
+pub type Addr = u64;
+/// Time in accelerator clock cycles.
+pub type Cycle = u64;

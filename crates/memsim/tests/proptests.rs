@@ -1,0 +1,115 @@
+//! Property tests for the memory simulator: the set-associative cache
+//! agrees with a straightforward reference LRU model, and latency/energy
+//! bookkeeping stays conserved under arbitrary access traces.
+
+use proptest::prelude::*;
+use triejax_memsim::{Cache, CacheGeometry, Dram, DramConfig, EnergyModel, MemConfig, MemorySystem};
+
+/// Reference model: per-set Vec of lines in recency order.
+struct RefLru {
+    sets: u64,
+    ways: usize,
+    line_bytes: u64,
+    state: Vec<Vec<u64>>,
+}
+
+impl RefLru {
+    fn new(g: CacheGeometry) -> Self {
+        let sets = g.sets();
+        RefLru {
+            sets,
+            ways: g.ways as usize,
+            line_bytes: g.line_bytes,
+            state: (0..sets).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        let set = (line % self.sets) as usize;
+        let tag = line / self.sets;
+        let entries = &mut self.state[set];
+        if let Some(pos) = entries.iter().position(|&t| t == tag) {
+            entries.remove(pos);
+            entries.push(tag);
+            true
+        } else {
+            if entries.len() == self.ways {
+                entries.remove(0);
+            }
+            entries.push(tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    /// The tag-array cache matches the reference LRU on arbitrary traces.
+    #[test]
+    fn cache_matches_reference_lru(
+        addrs in prop::collection::vec(0u64..4096, 1..400),
+        ways in 1u32..4,
+    ) {
+        let geometry =
+            CacheGeometry { capacity: 512 * ways as u64, ways, line_bytes: 64, latency: 1 };
+        let mut cache = Cache::new(geometry);
+        let mut reference = RefLru::new(geometry);
+        for &a in &addrs {
+            prop_assert_eq!(cache.access(a), reference.access(a), "addr {}", a);
+        }
+        prop_assert_eq!(
+            cache.stats().accesses() as usize, addrs.len()
+        );
+    }
+
+    /// DRAM latencies are bounded by [row hit, row miss + queueing], and
+    /// byte accounting is exact.
+    #[test]
+    fn dram_latency_and_traffic_bounds(
+        addrs in prop::collection::vec((0u64..1_000_000, any::<bool>()), 1..200),
+    ) {
+        let cfg = DramConfig::default();
+        let mut dram = Dram::new(cfg);
+        let mut t = 0u64;
+        for &(addr, write) in &addrs {
+            let lat = dram.access(addr * 64, t, write);
+            prop_assert!(lat >= cfg.row_hit_cycles);
+            t += lat.min(500); // advance time loosely
+        }
+        let s = dram.stats();
+        prop_assert_eq!(s.accesses() as usize, addrs.len());
+        prop_assert_eq!(s.bytes(), addrs.len() as u64 * 64);
+        prop_assert_eq!(s.row_hits + s.row_misses, s.accesses());
+    }
+
+    /// Hierarchy reads are monotone: a warm re-read is never slower than
+    /// the cold read that fetched the line.
+    #[test]
+    fn warm_reads_never_slower(addr in 0u64..1_000_000) {
+        let mut m = MemorySystem::new(MemConfig::triejax());
+        let cold = m.read(addr, 0);
+        let warm = m.read(addr, cold);
+        prop_assert!(warm <= cold);
+        prop_assert_eq!(warm, m.config().l1.latency);
+    }
+
+    /// Energy totals equal the component sum and grow monotonically with
+    /// runtime.
+    #[test]
+    fn energy_is_conserved_and_monotone(
+        reads in 0u64..10_000,
+        runtime_ms in 1u64..100,
+    ) {
+        let model = EnergyModel::default();
+        let mut m = MemorySystem::new(MemConfig::triejax());
+        for i in 0..reads.min(500) {
+            m.read(i * 64, 0);
+        }
+        let stats = m.stats();
+        let short = model.breakdown(&stats, 10, 100, runtime_ms as f64 * 1e-3);
+        let long = model.breakdown(&stats, 10, 100, (runtime_ms + 1) as f64 * 1e-3);
+        let sum = short.core + short.pjr + short.l1 + short.l2 + short.llc + short.dram;
+        prop_assert!((short.total() - sum).abs() < 1e-15);
+        prop_assert!(long.total() > short.total());
+    }
+}

@@ -1,0 +1,158 @@
+//! The AGM bound (Atserias, Grohe, Marx — SIAM J. Comput. 2013), the
+//! worst-case output-size bound that defines worst-case optimality
+//! (paper §2.1).
+//!
+//! For a join query whose atoms all have the same cardinality `N`, the
+//! output size is at most `N^ρ*`, where `ρ*` is the *fractional edge
+//! cover number* of the query's hypergraph. The paper's example: the
+//! triangle query has `ρ* = 3/2`, so at most `N^1.5` results — while any
+//! pairwise join plan can materialize `N^2` intermediates.
+//!
+//! For queries whose atoms are edges (arity ≤ 2, our graph-pattern
+//! class), the fractional edge cover LP always has a half-integral
+//! optimal solution (a classical result for edge covers of graphs), so
+//! the exact optimum is found by searching weights in {0, 1/2, 1}.
+
+use crate::{Query, QueryError};
+
+/// The exact fractional edge cover number `ρ*` of a query over unary and
+/// binary atoms.
+///
+/// # Errors
+///
+/// Returns [`QueryError::NoAtoms`] if any atom has arity above 2, where
+/// half-integrality no longer holds (the error is reused to keep the
+/// error enum small; the message names the offending atom).
+///
+/// # Example
+///
+/// ```
+/// use triejax_query::{agm, patterns};
+///
+/// assert_eq!(agm::fractional_edge_cover(&patterns::cycle3())?, 1.5);
+/// assert_eq!(agm::fractional_edge_cover(&patterns::clique4())?, 2.0);
+/// # Ok::<(), triejax_query::QueryError>(())
+/// ```
+pub fn fractional_edge_cover(query: &Query) -> Result<f64, QueryError> {
+    if let Some(atom) = query.atoms().iter().find(|a| a.arity() > 2) {
+        return Err(QueryError::Parse {
+            message: format!(
+                "fractional edge cover is computed for arity <= 2 atoms; {} has arity {}",
+                atom.relation(),
+                atom.arity()
+            ),
+        });
+    }
+    let m = query.atoms().len();
+    let n = query.num_vars();
+    assert!(m <= 12, "half-integral search is exponential; queries stay small");
+
+    // Search weights in half-units: w_i in {0, 1, 2} halves.
+    let mut best = f64::INFINITY;
+    let mut weights = vec![0u8; m];
+    search(query, &mut weights, 0, n, &mut best);
+    Ok(best / 2.0)
+}
+
+fn search(query: &Query, weights: &mut Vec<u8>, i: usize, n: usize, best: &mut f64) {
+    let partial: u32 = weights[..i].iter().map(|&w| u32::from(w)) .sum();
+    if partial as f64 >= *best {
+        return; // already no better than the incumbent
+    }
+    if i == weights.len() {
+        // Feasible iff every variable is covered with total weight >= 1
+        // (i.e. >= 2 halves).
+        for v in 0..n {
+            let cover: u32 = query
+                .atoms()
+                .iter()
+                .zip(weights.iter())
+                .filter(|(a, _)| a.vars().contains(&v))
+                .map(|(_, &w)| u32::from(w))
+                .sum();
+            if cover < 2 {
+                return;
+            }
+        }
+        *best = partial as f64;
+        return;
+    }
+    for w in 0..=2u8 {
+        weights[i] = w;
+        search(query, weights, i + 1, n, best);
+    }
+    weights[i] = 0;
+}
+
+/// The AGM bound `N^ρ*` for a query where every atom has `n` tuples.
+///
+/// # Errors
+///
+/// Propagates [`fractional_edge_cover`]'s arity restriction.
+///
+/// # Example
+///
+/// ```
+/// use triejax_query::{agm, patterns};
+///
+/// // The paper's example: a triangle query over N-tuple relations has at
+/// // most N^(3/2) results.
+/// let bound = agm::agm_bound(&patterns::cycle3(), 10_000)?;
+/// assert_eq!(bound, 1e6);
+/// # Ok::<(), triejax_query::QueryError>(())
+/// ```
+pub fn agm_bound(query: &Query, n: u64) -> Result<f64, QueryError> {
+    Ok((n as f64).powf(fractional_edge_cover(query)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns;
+
+    #[test]
+    fn known_cover_numbers() {
+        // Paths: alternate full edges.
+        assert_eq!(fractional_edge_cover(&patterns::path3()).unwrap(), 2.0);
+        assert_eq!(fractional_edge_cover(&patterns::path4()).unwrap(), 2.0);
+        assert_eq!(fractional_edge_cover(&patterns::path5()).unwrap(), 3.0);
+        // Cycles: k/2 by putting 1/2 on every edge.
+        assert_eq!(fractional_edge_cover(&patterns::cycle3()).unwrap(), 1.5);
+        assert_eq!(fractional_edge_cover(&patterns::cycle4()).unwrap(), 2.0);
+        assert_eq!(fractional_edge_cover(&patterns::cycle5()).unwrap(), 2.5);
+        // K4: a perfect matching of two edges.
+        assert_eq!(fractional_edge_cover(&patterns::clique4()).unwrap(), 2.0);
+        // A star must cover each leaf separately.
+        assert_eq!(fractional_edge_cover(&patterns::star3()).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn unary_atoms_are_supported() {
+        let q = Query::builder("q")
+            .head(["x", "y"])
+            .atom("V", ["x"])
+            .atom("E", ["x", "y"])
+            .build()
+            .unwrap();
+        // E alone covers both variables.
+        assert_eq!(fractional_edge_cover(&q).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn ternary_atoms_are_rejected() {
+        let q = Query::builder("q")
+            .head(["x", "y", "z"])
+            .atom("T", ["x", "y", "z"])
+            .build()
+            .unwrap();
+        assert!(fractional_edge_cover(&q).is_err());
+    }
+
+    #[test]
+    fn agm_bound_scales_as_a_power() {
+        let b1 = agm_bound(&patterns::cycle3(), 100).unwrap();
+        let b2 = agm_bound(&patterns::cycle3(), 10_000).unwrap();
+        assert_eq!(b1, 1000.0);
+        assert_eq!(b2, 1e6);
+    }
+}

@@ -1,0 +1,58 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing, parsing or compiling queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QueryError {
+    /// The query has no atoms.
+    NoAtoms,
+    /// An atom mentioned the same variable twice (unsupported).
+    DuplicateVarInAtom {
+        /// Relation name of the offending atom.
+        atom: String,
+        /// Repeated variable name.
+        var: String,
+    },
+    /// The head does not mention exactly the variables of the body.
+    HeadBodyMismatch,
+    /// A supplied variable order is not a permutation of the query variables.
+    BadVariableOrder,
+    /// The datalog text could not be parsed.
+    Parse {
+        /// Human-readable description of the syntax problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::NoAtoms => write!(f, "query must have at least one atom"),
+            QueryError::DuplicateVarInAtom { atom, var } => {
+                write!(f, "atom {atom} repeats variable {var}, which is unsupported")
+            }
+            QueryError::HeadBodyMismatch => {
+                write!(f, "head variables must be exactly the body variables")
+            }
+            QueryError::BadVariableOrder => {
+                write!(f, "variable order must be a permutation of the query variables")
+            }
+            QueryError::Parse { message } => write!(f, "parse error: {message}"),
+        }
+    }
+}
+
+impl Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = QueryError::DuplicateVarInAtom { atom: "R".into(), var: "x".into() };
+        assert!(e.to_string().contains('R'));
+        assert!(e.to_string().contains('x'));
+    }
+}

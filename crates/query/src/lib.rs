@@ -1,0 +1,45 @@
+//! Conjunctive query model and CTJ plan compiler for the TrieJax
+//! reproduction.
+//!
+//! Graph pattern matching problems are expressed as natural-join queries in
+//! datalog form, exactly as in Table 1 of the paper, e.g.
+//! `path3(x,y,z) = R(x,y),S(y,z)`. This crate provides:
+//!
+//! * [`Query`] / [`Atom`] — the query AST with validation.
+//! * [`parse_query`] — a small datalog parser accepting both `:-` and `=`.
+//! * [`patterns`] — the five evaluation queries of Table 1 plus extensions.
+//! * [`CompiledQuery`] — the execution plan shared by every engine and by
+//!   the TrieJax simulator: a global variable order, per-atom trie
+//!   permutations, the per-depth atom participation lists, and the CTJ
+//!   partial-join cache specification (paper §2.2.2) derived from the query
+//!   structure.
+//!
+//! # Example
+//!
+//! ```
+//! use triejax_query::{parse_query, CompiledQuery};
+//!
+//! let q = parse_query("triangle(x,y,z) = R(x,y), S(y,z), T(z,x)")?;
+//! let plan = CompiledQuery::compile(&q)?;
+//! assert_eq!(plan.arity(), 3);
+//! // Cycle-3 admits no valid partial-join cache (paper §4.4).
+//! assert!(plan.cache_specs().is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agm;
+mod ast;
+mod error;
+mod order;
+mod parser;
+pub mod patterns;
+mod plan;
+
+pub use ast::{Atom, Query, VarId};
+pub use error::QueryError;
+pub use order::{optimize_order, suggest_order};
+pub use parser::parse_query;
+pub use plan::{AtomPlan, CacheSpec, CompiledQuery};

@@ -1,0 +1,203 @@
+use crate::{CompiledQuery, Query, VarId};
+
+/// Suggests a variable order for `query`: variables that appear in more
+/// atoms come first (they constrain the search earliest), ties broken by
+/// head position.
+///
+/// The paper's evaluation uses the natural head order of Table 1, which the
+/// compiler uses by default; this heuristic is provided for ad-hoc queries.
+///
+/// # Example
+///
+/// ```
+/// use triejax_query::{parse_query, suggest_order};
+///
+/// let q = parse_query("q(a,b,c) = R(a,b), S(b,c), T(b,a)")?;
+/// let order = suggest_order(&q);
+/// assert_eq!(q.var_name(order[0]), "b"); // b appears in all three atoms
+/// # Ok::<(), triejax_query::QueryError>(())
+/// ```
+pub fn suggest_order(query: &Query) -> Vec<VarId> {
+    let mut vars: Vec<VarId> = query.head().to_vec();
+    let count = |v: VarId| query.atoms_with(v).count();
+    let head_pos = |v: VarId| query.head().iter().position(|&h| h == v).unwrap_or(usize::MAX);
+    vars.sort_by(|&a, &b| count(b).cmp(&count(a)).then(head_pos(a).cmp(&head_pos(b))));
+    vars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns;
+
+    #[test]
+    fn symmetric_queries_keep_head_order() {
+        let q = patterns::cycle3();
+        // x, y, z each appear in exactly two atoms: stable head order.
+        assert_eq!(suggest_order(&q), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn frequent_variables_come_first() {
+        let q = Query::builder("q")
+            .head(["a", "b"])
+            .atom("R", ["a", "b"])
+            .atom("S", ["b", "a"])
+            .atom("T", ["b", "c"])
+            .atom("U", ["c", "b"])
+            .build();
+        // c must be in the head for validity; rebuild correctly:
+        let q = match q {
+            Ok(q) => q,
+            Err(_) => Query::builder("q")
+                .head(["a", "b", "c"])
+                .atom("R", ["a", "b"])
+                .atom("S", ["b", "a"])
+                .atom("T", ["b", "c"])
+                .atom("U", ["c", "b"])
+                .build()
+                .unwrap(),
+        };
+        let order = suggest_order(&q);
+        assert_eq!(q.var_name(order[0]), "b"); // 4 atoms
+    }
+}
+
+/// Exhaustively searches variable orders (feasible for the paper's <= 5
+/// variables) and returns the one with the best static score:
+///
+/// 1. every prefix must stay *connected* (each new variable shares an atom
+///    with an earlier one), avoiding Cartesian blowups;
+/// 2. more-constrained variables (more atoms) come earlier;
+/// 3. among the remaining ties, prefer orders that admit more CTJ cache
+///    specs with smaller keys — cache opportunities are the whole point
+///    of the architecture.
+///
+/// # Panics
+///
+/// Panics if the query has more than 8 variables (40320 permutations);
+/// use [`suggest_order`] for larger queries.
+///
+/// # Example
+///
+/// ```
+/// use triejax_query::{optimize_order, parse_query, CompiledQuery};
+///
+/// let q = parse_query("q(a,b,c) = R(a,b), S(b,c)")?;
+/// let order = optimize_order(&q);
+/// let plan = CompiledQuery::compile_with_order(&q, order)?;
+/// assert!(!plan.cache_specs().is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn optimize_order(query: &Query) -> Vec<VarId> {
+    let n = query.num_vars();
+    assert!(n <= 8, "exhaustive order search is limited to 8 variables");
+    let mut best: Option<(f64, Vec<VarId>)> = None;
+    let mut order: Vec<VarId> = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    permute(query, &mut order, &mut used, &mut best);
+    best.expect("at least one permutation").1
+}
+
+fn permute(
+    query: &Query,
+    order: &mut Vec<VarId>,
+    used: &mut Vec<bool>,
+    best: &mut Option<(f64, Vec<VarId>)>,
+) {
+    let n = query.num_vars();
+    if order.len() == n {
+        let score = score_order(query, order);
+        if best.as_ref().is_none_or(|(s, _)| score > *s) {
+            *best = Some((score, order.clone()));
+        }
+        return;
+    }
+    for v in 0..n {
+        if used[v] {
+            continue;
+        }
+        used[v] = true;
+        order.push(v);
+        permute(query, order, used, best);
+        order.pop();
+        used[v] = false;
+    }
+}
+
+fn score_order(query: &Query, order: &[VarId]) -> f64 {
+    let mut score = 0.0;
+    // 1. Connectivity: each non-first variable should share an atom with
+    //    the prefix (heavily weighted).
+    for (d, &v) in order.iter().enumerate().skip(1) {
+        let connected = query.atoms().iter().any(|a| {
+            a.vars().contains(&v) && a.vars().iter().any(|u| order[..d].contains(u))
+        });
+        if connected {
+            score += 100.0;
+        }
+    }
+    // 2. Constrained-first: weight atom membership by earliness.
+    for (d, &v) in order.iter().enumerate() {
+        let membership = query.atoms_with(v).count() as f64;
+        score += membership * (order.len() - d) as f64;
+    }
+    // 3. Cache opportunities: one point per spec, plus a bonus for small
+    //    keys (cheaper lookups, more hits).
+    if let Ok(plan) = CompiledQuery::compile_with_order(query, order.to_vec()) {
+        for spec in plan.cache_specs() {
+            score += 10.0;
+            score += 5.0 / (1.0 + spec.key_depths().len() as f64);
+        }
+    }
+    score
+}
+
+#[cfg(test)]
+mod optimizer_tests {
+    use super::*;
+    use crate::{patterns, CompiledQuery};
+
+    #[test]
+    fn optimized_orders_have_connected_prefixes() {
+        for p in patterns::Pattern::ALL {
+            let q = p.query();
+            let order = optimize_order(&q);
+            for d in 1..order.len() {
+                let connected = q.atoms().iter().any(|a| {
+                    a.vars().contains(&order[d])
+                        && a.vars().iter().any(|u| order[..d].contains(u))
+                });
+                assert!(connected, "{p}: disconnected prefix at depth {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn path3_keeps_a_cacheable_order() {
+        let q = patterns::path3();
+        let order = optimize_order(&q);
+        let plan = CompiledQuery::compile_with_order(&q, order).unwrap();
+        assert!(!plan.cache_specs().is_empty());
+    }
+
+    #[test]
+    fn disconnected_orders_are_avoided() {
+        // q(a,b,c,d) = R(a,b), S(c,d), T(b,c): a naive order could place
+        // d second and force a Cartesian product.
+        let q = Query::builder("q")
+            .head(["a", "b", "c", "d"])
+            .atom("R", ["a", "b"])
+            .atom("S", ["c", "d"])
+            .atom("T", ["b", "c"])
+            .build()
+            .unwrap();
+        let order = optimize_order(&q);
+        // The first two variables must share an atom.
+        let (v0, v1) = (order[0], order[1]);
+        assert!(q
+            .atoms()
+            .iter()
+            .any(|a| a.vars().contains(&v0) && a.vars().contains(&v1)));
+    }
+}

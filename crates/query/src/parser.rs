@@ -1,0 +1,181 @@
+use crate::{Query, QueryError};
+
+/// Parses a query in the paper's compact datalog format.
+///
+/// Both the textbook `:-` separator and the paper's `=` are accepted, and a
+/// trailing period is optional:
+///
+/// ```text
+/// path4(x,y,z,w) = R(x,y),S(y,z),T(z,w).
+/// cycle3(x,y,z) :- R(x,y), S(y,z), T(z,x)
+/// ```
+///
+/// # Errors
+///
+/// Returns [`QueryError::Parse`] for malformed text and the regular
+/// validation errors for structurally invalid queries (e.g. head/body
+/// variable mismatch).
+///
+/// # Example
+///
+/// ```
+/// use triejax_query::parse_query;
+///
+/// let q = parse_query("path3(x,y,z) = R(x,y),S(y,z).")?;
+/// assert_eq!(q.name(), "path3");
+/// assert_eq!(q.atoms().len(), 2);
+/// # Ok::<(), triejax_query::QueryError>(())
+/// ```
+pub fn parse_query(text: &str) -> Result<Query, QueryError> {
+    let text = text.trim().trim_end_matches('.').trim();
+    let (head_txt, body_txt) = split_rule(text)?;
+    let (name, head_vars) = parse_predicate(head_txt)?;
+    let mut builder = Query::builder(name).head(head_vars);
+    for atom_txt in split_atoms(body_txt)? {
+        let (rel, vars) = parse_predicate(&atom_txt)?;
+        builder = builder.atom(rel, vars);
+    }
+    builder.build()
+}
+
+/// Splits `head = body` or `head :- body` at the top level.
+fn split_rule(text: &str) -> Result<(&str, &str), QueryError> {
+    if let Some(idx) = text.find(":-") {
+        return Ok((&text[..idx], &text[idx + 2..]));
+    }
+    // `=` must appear outside parentheses.
+    let mut depth = 0usize;
+    for (i, ch) in text.char_indices() {
+        match ch {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            '=' if depth == 0 => return Ok((&text[..i], &text[i + 1..])),
+            _ => {}
+        }
+    }
+    Err(QueryError::Parse { message: "missing `=` or `:-` rule separator".into() })
+}
+
+/// Splits the body on top-level commas into atom strings.
+fn split_atoms(body: &str) -> Result<Vec<String>, QueryError> {
+    let mut atoms = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for ch in body.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                current.push(ch);
+            }
+            ')' => {
+                if depth == 0 {
+                    return Err(QueryError::Parse { message: "unbalanced parentheses".into() });
+                }
+                depth -= 1;
+                current.push(ch);
+            }
+            ',' if depth == 0 => {
+                atoms.push(std::mem::take(&mut current));
+            }
+            _ => current.push(ch),
+        }
+    }
+    if depth != 0 {
+        return Err(QueryError::Parse { message: "unbalanced parentheses".into() });
+    }
+    atoms.push(current);
+    let atoms: Vec<String> =
+        atoms.into_iter().map(|a| a.trim().to_owned()).filter(|a| !a.is_empty()).collect();
+    if atoms.is_empty() {
+        return Err(QueryError::Parse { message: "empty rule body".into() });
+    }
+    Ok(atoms)
+}
+
+/// Parses `Name(v1, v2, ...)` into the name and variable list.
+fn parse_predicate(text: &str) -> Result<(String, Vec<String>), QueryError> {
+    let text = text.trim();
+    let open = text
+        .find('(')
+        .ok_or_else(|| QueryError::Parse { message: format!("expected `(` in `{text}`") })?;
+    if !text.ends_with(')') {
+        return Err(QueryError::Parse { message: format!("expected `)` at end of `{text}`") });
+    }
+    let name = text[..open].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(QueryError::Parse { message: format!("bad predicate name in `{text}`") });
+    }
+    let inner = &text[open + 1..text.len() - 1];
+    let vars: Vec<String> = inner.split(',').map(|v| v.trim().to_owned()).collect();
+    if vars.iter().any(|v| v.is_empty() || !v.chars().all(|c| c.is_alphanumeric() || c == '_')) {
+        return Err(QueryError::Parse { message: format!("bad variable list in `{text}`") });
+    }
+    Ok((name.to_owned(), vars))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_format() {
+        let q = parse_query("path4(x,y,z,w) = R(x,y),S(y,z),T(z,w).").unwrap();
+        assert_eq!(q.name(), "path4");
+        assert_eq!(q.num_vars(), 4);
+        assert_eq!(q.atoms().len(), 3);
+        assert_eq!(q.to_datalog(), "path4(x,y,z,w) = R(x,y),S(y,z),T(z,w)");
+    }
+
+    #[test]
+    fn parses_datalog_separator_and_whitespace() {
+        let q = parse_query("  cycle3( x, y ,z ) :- R(x,y) , S(y,z), T(z, x)  ").unwrap();
+        assert_eq!(q.name(), "cycle3");
+        assert_eq!(q.atoms()[2].relation(), "T");
+        assert_eq!(q.atoms()[2].vars(), &[2, 0]);
+    }
+
+    #[test]
+    fn round_trips_through_to_datalog() {
+        let text = "clique4(x,y,z,w) = R(x,y),S(y,z),T(z,w),U(w,x),V(z,x),W(w,y)";
+        let q = parse_query(text).unwrap();
+        assert_eq!(q.to_datalog(), text);
+        let q2 = parse_query(&q.to_datalog()).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn missing_separator_is_a_parse_error() {
+        let err = parse_query("path3(x,y,z) R(x,y)").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+    }
+
+    #[test]
+    fn unbalanced_parens_is_a_parse_error() {
+        assert!(matches!(
+            parse_query("q(x) = R(x").unwrap_err(),
+            QueryError::Parse { .. }
+        ));
+        assert!(matches!(
+            parse_query("q(x) = R)x(").unwrap_err(),
+            QueryError::Parse { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_names_are_parse_errors() {
+        assert!(matches!(
+            parse_query("q!(x) = R(x)").unwrap_err(),
+            QueryError::Parse { .. }
+        ));
+        assert!(matches!(
+            parse_query("q(x) = R(x y)").unwrap_err(),
+            QueryError::Parse { .. }
+        ));
+    }
+
+    #[test]
+    fn semantic_validation_still_applies() {
+        let err = parse_query("q(x) = R(x,y)").unwrap_err();
+        assert_eq!(err, QueryError::HeadBodyMismatch);
+    }
+}

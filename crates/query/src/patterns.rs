@@ -1,0 +1,219 @@
+//! The graph-pattern queries of paper Table 1, plus extensions.
+//!
+//! Every query joins copies of a single edge relation named `G` (the graph's
+//! adjacency table): the paper writes distinct relation names `R,S,T,...`
+//! but evaluates all of them over one graph, i.e. self-joins of the edge
+//! table. We use the name `G` for every atom so a catalog needs just one
+//! relation per dataset.
+
+use crate::Query;
+
+/// Identifier for the evaluation patterns used throughout the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Pattern {
+    /// `path3(x,y,z) = G(x,y),G(y,z)` — length-2 path.
+    Path3,
+    /// `path4(x,y,z,w) = G(x,y),G(y,z),G(z,w)` — length-3 path.
+    Path4,
+    /// `cycle3(x,y,z) = G(x,y),G(y,z),G(z,x)` — triangle.
+    Cycle3,
+    /// `cycle4(x,y,z,w) = G(x,y),G(y,z),G(z,w),G(w,x)` — 4-cycle.
+    Cycle4,
+    /// `clique4` — complete graph on four vertices (6 atoms).
+    Clique4,
+    /// `path5` (extension) — length-4 path.
+    Path5,
+    /// `cycle5` (extension) — 5-cycle.
+    Cycle5,
+    /// `star3` (extension) — one hub with three out-neighbours.
+    Star3,
+}
+
+impl Pattern {
+    /// The five patterns evaluated in the paper (Table 1), in paper order.
+    pub const PAPER: [Pattern; 5] =
+        [Pattern::Path3, Pattern::Path4, Pattern::Cycle3, Pattern::Cycle4, Pattern::Clique4];
+
+    /// All built-in patterns, including extensions beyond the paper.
+    pub const ALL: [Pattern; 8] = [
+        Pattern::Path3,
+        Pattern::Path4,
+        Pattern::Cycle3,
+        Pattern::Cycle4,
+        Pattern::Clique4,
+        Pattern::Path5,
+        Pattern::Cycle5,
+        Pattern::Star3,
+    ];
+
+    /// Short name as used in the paper's figures (e.g. `"Path4"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Pattern::Path3 => "Path3",
+            Pattern::Path4 => "Path4",
+            Pattern::Cycle3 => "Cycle3",
+            Pattern::Cycle4 => "Cycle4",
+            Pattern::Clique4 => "Clique4",
+            Pattern::Path5 => "Path5",
+            Pattern::Cycle5 => "Cycle5",
+            Pattern::Star3 => "Star3",
+        }
+    }
+
+    /// Builds the query AST for this pattern.
+    pub fn query(self) -> Query {
+        match self {
+            Pattern::Path3 => path3(),
+            Pattern::Path4 => path4(),
+            Pattern::Cycle3 => cycle3(),
+            Pattern::Cycle4 => cycle4(),
+            Pattern::Clique4 => clique4(),
+            Pattern::Path5 => path5(),
+            Pattern::Cycle5 => cycle5(),
+            Pattern::Star3 => star3(),
+        }
+    }
+
+    /// Parses a pattern from its label, case-insensitively.
+    pub fn from_label(label: &str) -> Option<Pattern> {
+        Pattern::ALL.into_iter().find(|p| p.label().eq_ignore_ascii_case(label))
+    }
+}
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+fn must(q: Result<Query, crate::QueryError>) -> Query {
+    q.expect("built-in patterns are valid queries")
+}
+
+/// `path3(x,y,z) = G(x,y),G(y,z)`.
+pub fn path3() -> Query {
+    must(Query::builder("path3")
+        .head(["x", "y", "z"])
+        .atom("G", ["x", "y"])
+        .atom("G", ["y", "z"])
+        .build())
+}
+
+/// `path4(x,y,z,w) = G(x,y),G(y,z),G(z,w)`.
+pub fn path4() -> Query {
+    must(Query::builder("path4")
+        .head(["x", "y", "z", "w"])
+        .atom("G", ["x", "y"])
+        .atom("G", ["y", "z"])
+        .atom("G", ["z", "w"])
+        .build())
+}
+
+/// `cycle3(x,y,z) = G(x,y),G(y,z),G(z,x)` (triangles).
+pub fn cycle3() -> Query {
+    must(Query::builder("cycle3")
+        .head(["x", "y", "z"])
+        .atom("G", ["x", "y"])
+        .atom("G", ["y", "z"])
+        .atom("G", ["z", "x"])
+        .build())
+}
+
+/// `cycle4(x,y,z,w) = G(x,y),G(y,z),G(z,w),G(w,x)`.
+pub fn cycle4() -> Query {
+    must(Query::builder("cycle4")
+        .head(["x", "y", "z", "w"])
+        .atom("G", ["x", "y"])
+        .atom("G", ["y", "z"])
+        .atom("G", ["z", "w"])
+        .atom("G", ["w", "x"])
+        .build())
+}
+
+/// `clique4(x,y,z,w) = G(x,y),G(y,z),G(z,w),G(w,x),G(z,x),G(w,y)`
+/// (paper Table 1, with `V` and `W` also reading the edge table).
+pub fn clique4() -> Query {
+    must(Query::builder("clique4")
+        .head(["x", "y", "z", "w"])
+        .atom("G", ["x", "y"])
+        .atom("G", ["y", "z"])
+        .atom("G", ["z", "w"])
+        .atom("G", ["w", "x"])
+        .atom("G", ["z", "x"])
+        .atom("G", ["w", "y"])
+        .build())
+}
+
+/// Extension: `path5(x,y,z,w,v) = G(x,y),G(y,z),G(z,w),G(w,v)`.
+pub fn path5() -> Query {
+    must(Query::builder("path5")
+        .head(["x", "y", "z", "w", "v"])
+        .atom("G", ["x", "y"])
+        .atom("G", ["y", "z"])
+        .atom("G", ["z", "w"])
+        .atom("G", ["w", "v"])
+        .build())
+}
+
+/// Extension: `cycle5(x,y,z,w,v)` — 5-cycle.
+pub fn cycle5() -> Query {
+    must(Query::builder("cycle5")
+        .head(["x", "y", "z", "w", "v"])
+        .atom("G", ["x", "y"])
+        .atom("G", ["y", "z"])
+        .atom("G", ["z", "w"])
+        .atom("G", ["w", "v"])
+        .atom("G", ["v", "x"])
+        .build())
+}
+
+/// Extension: `star3(x,a,b,c)` — a hub `x` with three distinct-variable
+/// out-edges (out-star of size 3).
+pub fn star3() -> Query {
+    must(Query::builder("star3")
+        .head(["x", "a", "b", "c"])
+        .atom("G", ["x", "a"])
+        .atom("G", ["x", "b"])
+        .atom("G", ["x", "c"])
+        .build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompiledQuery;
+
+    #[test]
+    fn paper_queries_match_table1_shapes() {
+        assert_eq!(path3().to_datalog(), "path3(x,y,z) = G(x,y),G(y,z)");
+        assert_eq!(path4().atoms().len(), 3);
+        assert_eq!(cycle3().atoms().len(), 3);
+        assert_eq!(cycle4().atoms().len(), 4);
+        assert_eq!(clique4().atoms().len(), 6);
+    }
+
+    #[test]
+    fn every_builtin_compiles() {
+        for p in Pattern::ALL {
+            let q = p.query();
+            let plan = CompiledQuery::compile(&q).expect("pattern compiles");
+            assert_eq!(plan.arity(), q.num_vars(), "{p}");
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for p in Pattern::ALL {
+            assert_eq!(Pattern::from_label(p.label()), Some(p));
+            assert_eq!(Pattern::from_label(&p.label().to_lowercase()), Some(p));
+        }
+        assert_eq!(Pattern::from_label("nope"), None);
+    }
+
+    #[test]
+    fn paper_set_is_the_first_five() {
+        assert_eq!(Pattern::PAPER.len(), 5);
+        assert_eq!(Pattern::PAPER[4], Pattern::Clique4);
+    }
+}

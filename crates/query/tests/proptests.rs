@@ -1,0 +1,92 @@
+//! Property tests for the query crate: parser round-trips on arbitrary
+//! generated queries, and structural invariants of compiled plans.
+
+use proptest::prelude::*;
+use triejax_query::{agm, parse_query, CompiledQuery, Query};
+
+/// Strategy: random full-join queries over binary atoms with 2..=5
+/// variables named v0..v4 and 1..=6 atoms.
+fn arb_query() -> impl Strategy<Value = Query> {
+    (2usize..=5).prop_flat_map(|nvars| {
+        let atom = (0..nvars, 0..nvars)
+            .prop_filter("no repeated var in atom", |(a, b)| a != b);
+        prop::collection::vec(atom, 1..=6).prop_filter_map(
+            "head must cover body",
+            move |atoms| {
+                let names: Vec<String> = (0..nvars).map(|i| format!("v{i}")).collect();
+                // Ensure every variable appears in some atom by extending
+                // with a chain over missing ones.
+                let mut used: Vec<bool> = vec![false; nvars];
+                for &(a, b) in &atoms {
+                    used[a] = true;
+                    used[b] = true;
+                }
+                let mut atoms = atoms;
+                for v in 0..nvars {
+                    if !used[v] {
+                        atoms.push((v, (v + 1) % nvars));
+                    }
+                }
+                let mut builder = Query::builder("q").head(names.clone());
+                for (a, b) in atoms {
+                    builder =
+                        builder.atom("G", [names[a].clone(), names[b].clone()]);
+                }
+                builder.build().ok()
+            },
+        )
+    })
+}
+
+proptest! {
+    /// Rendering to datalog and re-parsing yields the same query.
+    #[test]
+    fn parser_round_trips(q in arb_query()) {
+        let text = q.to_datalog();
+        let back = parse_query(&text).expect("rendered queries parse");
+        prop_assert_eq!(q, back);
+    }
+
+    /// Compiled plans cover every depth with at least one atom, and every
+    /// atom level appears at exactly one depth.
+    #[test]
+    fn plans_cover_all_depths(q in arb_query()) {
+        let plan = CompiledQuery::compile(&q).expect("compiles");
+        let mut level_count = 0usize;
+        for d in 0..plan.arity() {
+            prop_assert!(!plan.atoms_at(d).is_empty());
+            level_count += plan.atoms_at(d).len();
+        }
+        let total_levels: usize = plan.atom_plans().iter().map(|a| a.arity()).sum();
+        prop_assert_eq!(level_count, total_levels);
+        // Depths within each atom are strictly increasing.
+        for ap in plan.atom_plans() {
+            prop_assert!(ap.depth_of_level().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// Cache keys are strict subsets of the bound prefix, sorted, and the
+    /// cached depth is beyond every key depth.
+    #[test]
+    fn cache_specs_are_well_formed(q in arb_query()) {
+        let plan = CompiledQuery::compile(&q).expect("compiles");
+        for spec in plan.cache_specs() {
+            let d = spec.value_depth();
+            prop_assert!(d >= 1);
+            prop_assert!(spec.key_depths().len() < d, "strict subset");
+            prop_assert!(spec.key_depths().windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(spec.key_depths().iter().all(|&k| k < d));
+        }
+    }
+
+    /// The fractional edge cover is at least 1 (something must cover) and
+    /// at most the atom count (integral cover of weight one each).
+    #[test]
+    fn edge_cover_is_bounded(q in arb_query()) {
+        let rho = agm::fractional_edge_cover(&q).expect("binary atoms");
+        prop_assert!(rho >= 1.0);
+        prop_assert!(rho <= q.atoms().len() as f64);
+        // Half-integrality: 2*rho is an integer.
+        prop_assert!((rho * 2.0).fract() == 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+/// The kind of memory touch performed by an instrumented operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Read of trie index data (value or child-range words).
+    IndexRead,
+    /// Write of a final join result tuple.
+    ResultWrite,
+    /// Read or write of engine-private intermediate state (e.g. the software
+    /// PJR cache or a pairwise join's intermediate relation).
+    Intermediate,
+}
+
+/// Counts every simulated memory word touched by a software join engine.
+///
+/// The paper's Figure 17 compares *main-memory accesses* across systems;
+/// software engines thread an `AccessCounter` through every trie probe and
+/// result emission so the harness can reproduce that figure. Counters are
+/// plain data: cloning snapshots the current totals.
+///
+/// # Example
+///
+/// ```
+/// use triejax_relation::{AccessCounter, AccessKind};
+///
+/// let mut c = AccessCounter::default();
+/// c.record(AccessKind::IndexRead, 4);
+/// c.record(AccessKind::ResultWrite, 12);
+/// assert_eq!(c.index_reads, 1);
+/// assert_eq!(c.total_bytes(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessCounter {
+    /// Number of index-read touches.
+    pub index_reads: u64,
+    /// Bytes of index data read.
+    pub index_bytes: u64,
+    /// Number of result-write touches.
+    pub result_writes: u64,
+    /// Bytes of results written.
+    pub result_bytes: u64,
+    /// Number of intermediate-data touches.
+    pub intermediate_accesses: u64,
+    /// Bytes of intermediate data moved.
+    pub intermediate_bytes: u64,
+}
+
+impl AccessCounter {
+    /// Creates a zeroed counter; identical to `Default::default()`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one touch of `bytes` bytes.
+    pub fn record(&mut self, kind: AccessKind, bytes: u64) {
+        match kind {
+            AccessKind::IndexRead => {
+                self.index_reads += 1;
+                self.index_bytes += bytes;
+            }
+            AccessKind::ResultWrite => {
+                self.result_writes += 1;
+                self.result_bytes += bytes;
+            }
+            AccessKind::Intermediate => {
+                self.intermediate_accesses += 1;
+                self.intermediate_bytes += bytes;
+            }
+        }
+    }
+
+    /// Total touches of any kind.
+    pub fn total_accesses(&self) -> u64 {
+        self.index_reads + self.result_writes + self.intermediate_accesses
+    }
+
+    /// Total bytes moved by touches of any kind.
+    pub fn total_bytes(&self) -> u64 {
+        self.index_bytes + self.result_bytes + self.intermediate_bytes
+    }
+
+    /// Adds another counter's totals into this one.
+    pub fn merge(&mut self, other: &AccessCounter) {
+        self.index_reads += other.index_reads;
+        self.index_bytes += other.index_bytes;
+        self.result_writes += other.result_writes;
+        self.result_bytes += other.result_bytes;
+        self.intermediate_accesses += other.intermediate_accesses;
+        self.intermediate_bytes += other.intermediate_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_routes_by_kind() {
+        let mut c = AccessCounter::new();
+        c.record(AccessKind::IndexRead, 4);
+        c.record(AccessKind::IndexRead, 4);
+        c.record(AccessKind::ResultWrite, 16);
+        c.record(AccessKind::Intermediate, 8);
+        assert_eq!(c.index_reads, 2);
+        assert_eq!(c.index_bytes, 8);
+        assert_eq!(c.result_writes, 1);
+        assert_eq!(c.result_bytes, 16);
+        assert_eq!(c.intermediate_accesses, 1);
+        assert_eq!(c.intermediate_bytes, 8);
+        assert_eq!(c.total_accesses(), 4);
+        assert_eq!(c.total_bytes(), 32);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = AccessCounter::new();
+        a.record(AccessKind::IndexRead, 4);
+        let mut b = AccessCounter::new();
+        b.record(AccessKind::ResultWrite, 8);
+        b.record(AccessKind::IndexRead, 4);
+        a.merge(&b);
+        assert_eq!(a.index_reads, 2);
+        assert_eq!(a.result_writes, 1);
+        assert_eq!(a.total_bytes(), 16);
+    }
+}

@@ -1,0 +1,339 @@
+use crate::{AccessCounter, AccessKind, Trie, Value, WORD_BYTES};
+
+/// A LeapFrog-TrieJoin cursor over a [`Trie`] (Veldhuizen, ICDT'14).
+///
+/// The cursor is positioned on a node of one trie level (or "above the
+/// root"). [`open`](Self::open) descends to the first child,
+/// [`up`](Self::up) ascends, [`next`](Self::next) advances to the following
+/// sibling, and [`seek`](Self::seek) performs the lowest-upper-bound search
+/// that the paper's LUB hardware unit implements with binary search.
+///
+/// Every value or child-range word fetched from the trie is recorded in the
+/// caller's [`AccessCounter`], which is how the software engines reproduce
+/// the paper's memory-access comparison (Figure 17).
+///
+/// # Example
+///
+/// ```
+/// use triejax_relation::{AccessCounter, Relation, Trie, TrieCursor};
+///
+/// let trie = Trie::build(&Relation::from_pairs(vec![(1, 2), (1, 5), (3, 4)]));
+/// let mut cur = TrieCursor::new(&trie);
+/// let mut c = AccessCounter::default();
+/// cur.open(&mut c);
+/// assert_eq!(cur.key(), 1);
+/// assert!(cur.seek(2, &mut c)); // lowest upper bound of 2 is 3
+/// assert_eq!(cur.key(), 3);
+/// cur.open(&mut c);
+/// assert_eq!(cur.key(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrieCursor<'a> {
+    trie: &'a Trie,
+    /// One frame per open level: sibling range `[lo, hi)` and position.
+    frames: Vec<Frame>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    lo: usize,
+    hi: usize,
+    pos: usize,
+}
+
+impl<'a> TrieCursor<'a> {
+    /// Creates a cursor positioned above the root of `trie`.
+    pub fn new(trie: &'a Trie) -> Self {
+        TrieCursor { trie, frames: Vec::with_capacity(trie.arity()) }
+    }
+
+    /// The trie this cursor walks.
+    pub fn trie(&self) -> &'a Trie {
+        self.trie
+    }
+
+    /// Current depth: number of open levels (0 = above root).
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` once the cursor stepped past the last sibling of the current
+    /// level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor is above the root.
+    pub fn at_end(&self) -> bool {
+        let f = self.frames.last().expect("cursor is above the root");
+        f.pos >= f.hi
+    }
+
+    /// Value of the current node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor is above the root or at the end of a level.
+    pub fn key(&self) -> Value {
+        let f = self.frames.last().expect("cursor is above the root");
+        assert!(f.pos < f.hi, "cursor is at end");
+        self.trie.level(self.frames.len() - 1).values()[f.pos]
+    }
+
+    /// Index of the current node within its level's value array.
+    ///
+    /// The PJR cache stores these indexes alongside values so cached entries
+    /// can be re-expanded by Midwife (paper §3.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor is above the root or at the end of a level.
+    pub fn pos(&self) -> usize {
+        let f = self.frames.last().expect("cursor is above the root");
+        assert!(f.pos < f.hi, "cursor is at end");
+        f.pos
+    }
+
+    /// Sibling range `[lo, hi)` of the current level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor is above the root.
+    pub fn sibling_range(&self) -> (usize, usize) {
+        let f = self.frames.last().expect("cursor is above the root");
+        (f.lo, f.hi)
+    }
+
+    /// Descends to the first child of the current node (or to the first
+    /// root-level node when above the root), reading the child-range words.
+    ///
+    /// Returns `false` if the child range is empty (only possible on an
+    /// empty trie at the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a leaf-level node or on an ended level.
+    pub fn open(&mut self, counter: &mut AccessCounter) -> bool {
+        let (lo, hi) = if self.frames.is_empty() {
+            (0, self.trie.level(0).len())
+        } else {
+            let depth = self.frames.len();
+            assert!(depth < self.trie.arity(), "cannot open past the leaf level");
+            let f = self.frames.last().expect("non-empty frames");
+            assert!(f.pos < f.hi, "cannot open an ended level");
+            // Midwife reads child_starts[pos] and child_starts[pos + 1].
+            counter.record(AccessKind::IndexRead, 2 * WORD_BYTES);
+            self.trie.level(depth - 1).child_range(f.pos)
+        };
+        if lo >= hi {
+            return false;
+        }
+        // Fetch the first child's value.
+        counter.record(AccessKind::IndexRead, WORD_BYTES);
+        self.frames.push(Frame { lo, hi, pos: lo });
+        true
+    }
+
+    /// Ascends one level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor is above the root.
+    pub fn up(&mut self) {
+        self.frames.pop().expect("cursor is above the root");
+    }
+
+    /// Advances to the next sibling. Returns `false` (and leaves the cursor
+    /// `at_end`) when the level is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor is above the root or already at the end.
+    pub fn next(&mut self, counter: &mut AccessCounter) -> bool {
+        let f = self.frames.last_mut().expect("cursor is above the root");
+        assert!(f.pos < f.hi, "cursor is already at end");
+        f.pos += 1;
+        if f.pos < f.hi {
+            counter.record(AccessKind::IndexRead, WORD_BYTES);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Descends one level directly to an absolute index, without touching
+    /// memory.
+    ///
+    /// This is the cache-hit replay path of Cached TrieJoin: a PJR-cache
+    /// entry stores `(value, index)` pairs, so the engine re-opens the level
+    /// at the stored index without any child-range read or search. The
+    /// pushed frame is a singleton range — during replay the engine never
+    /// iterates siblings at the cached level.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a leaf-level node or with `pos` outside the
+    /// level.
+    pub fn open_at(&mut self, pos: usize) {
+        let depth = self.frames.len();
+        assert!(depth < self.trie.arity(), "cannot open past the leaf level");
+        assert!(pos < self.trie.level(depth).len(), "open_at index outside level");
+        self.frames.push(Frame { lo: pos, hi: pos + 1, pos });
+    }
+
+    /// Repositions the cursor at an absolute index of the current level,
+    /// without touching memory.
+    ///
+    /// Used when replaying positions stored in a partial-join-result cache:
+    /// the cached entry already holds both the value and its index, so no
+    /// probe is needed (paper §3.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor is above the root or `pos` lies outside the
+    /// current sibling range.
+    pub fn jump(&mut self, pos: usize) {
+        let f = self.frames.last_mut().expect("cursor is above the root");
+        assert!(pos >= f.lo && pos < f.hi, "jump target outside sibling range");
+        f.pos = pos;
+    }
+
+    /// Seeks the lowest upper bound of `v` among the remaining siblings
+    /// (binary search, one counted probe per midpoint read). Returns `false`
+    /// when every remaining sibling is smaller than `v`.
+    ///
+    /// Seeking is forward-only: positions before the current one are never
+    /// revisited, as required by LeapFrog TrieJoin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor is above the root or already at the end.
+    pub fn seek(&mut self, v: Value, counter: &mut AccessCounter) -> bool {
+        let depth = self.frames.len();
+        let f = self.frames.last_mut().expect("cursor is above the root");
+        assert!(f.pos < f.hi, "cursor is already at end");
+        let values = self.trie.level(depth - 1).values();
+        let (mut lo, mut hi) = (f.pos, f.hi);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            counter.record(AccessKind::IndexRead, WORD_BYTES);
+            if values[mid] < v {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        f.pos = lo;
+        f.pos < f.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Relation;
+
+    fn trie() -> Trie {
+        // Level 0: [1, 3, 7]; children: 1 -> [2, 5], 3 -> [4], 7 -> [1, 9]
+        Trie::build(&Relation::from_pairs(vec![(1, 2), (1, 5), (3, 4), (7, 1), (7, 9)]))
+    }
+
+    #[test]
+    fn open_next_walks_root_level() {
+        let t = trie();
+        let mut cur = TrieCursor::new(&t);
+        let mut c = AccessCounter::default();
+        assert!(cur.open(&mut c));
+        assert_eq!(cur.key(), 1);
+        assert!(cur.next(&mut c));
+        assert_eq!(cur.key(), 3);
+        assert!(cur.next(&mut c));
+        assert_eq!(cur.key(), 7);
+        assert!(!cur.next(&mut c));
+        assert!(cur.at_end());
+    }
+
+    #[test]
+    fn open_descends_into_children() {
+        let t = trie();
+        let mut cur = TrieCursor::new(&t);
+        let mut c = AccessCounter::default();
+        cur.open(&mut c);
+        cur.next(&mut c); // at 3
+        assert!(cur.open(&mut c));
+        assert_eq!(cur.depth(), 2);
+        assert_eq!(cur.key(), 4);
+        assert!(!cur.next(&mut c));
+        cur.up();
+        assert_eq!(cur.key(), 3);
+    }
+
+    #[test]
+    fn seek_finds_lowest_upper_bound() {
+        let t = trie();
+        let mut cur = TrieCursor::new(&t);
+        let mut c = AccessCounter::default();
+        cur.open(&mut c);
+        assert!(cur.seek(2, &mut c));
+        assert_eq!(cur.key(), 3);
+        assert!(cur.seek(3, &mut c), "seek to the current key stays put");
+        assert_eq!(cur.key(), 3);
+        assert!(cur.seek(8, &mut c) == false);
+        assert!(cur.at_end());
+    }
+
+    #[test]
+    fn seek_is_forward_only() {
+        let t = trie();
+        let mut cur = TrieCursor::new(&t);
+        let mut c = AccessCounter::default();
+        cur.open(&mut c);
+        cur.seek(7, &mut c);
+        assert_eq!(cur.key(), 7);
+        // Seeking a smaller value must not move backwards.
+        assert!(cur.seek(1, &mut c));
+        assert_eq!(cur.key(), 7);
+    }
+
+    #[test]
+    fn seek_within_child_range_is_bounded() {
+        let t = trie();
+        let mut cur = TrieCursor::new(&t);
+        let mut c = AccessCounter::default();
+        cur.open(&mut c);
+        cur.seek(7, &mut c);
+        cur.open(&mut c); // children of 7: [1, 9]
+        assert!(cur.seek(2, &mut c));
+        assert_eq!(cur.key(), 9);
+        let (lo, hi) = cur.sibling_range();
+        assert_eq!(hi - lo, 2);
+    }
+
+    #[test]
+    fn accesses_are_counted() {
+        let t = trie();
+        let mut cur = TrieCursor::new(&t);
+        let mut c = AccessCounter::default();
+        cur.open(&mut c); // 1 value read
+        assert_eq!(c.index_reads, 1);
+        cur.open(&mut c); // 2 child-range words + 1 value read
+        assert_eq!(c.index_reads, 3);
+        assert_eq!(c.index_bytes, (1 + 2 + 1) * WORD_BYTES);
+    }
+
+    #[test]
+    fn empty_trie_open_returns_false() {
+        let t = Trie::build(&Relation::new(2).unwrap());
+        let mut cur = TrieCursor::new(&t);
+        let mut c = AccessCounter::default();
+        assert!(!cur.open(&mut c));
+        assert_eq!(cur.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "above the root")]
+    fn key_above_root_panics() {
+        let t = trie();
+        let cur = TrieCursor::new(&t);
+        let _ = cur.key();
+    }
+}

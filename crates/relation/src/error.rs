@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or validating relations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RelationError {
+    /// A tuple's length did not match the relation arity.
+    ArityMismatch {
+        /// Declared arity of the relation.
+        expected: usize,
+        /// Length of the offending tuple.
+        found: usize,
+    },
+    /// The relation arity was zero; relations must have at least one column.
+    ZeroArity,
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::ArityMismatch { expected, found } => {
+                write!(f, "tuple arity {found} does not match relation arity {expected}")
+            }
+            RelationError::ZeroArity => write!(f, "relation arity must be at least 1"),
+        }
+    }
+}
+
+impl Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = RelationError::ArityMismatch { expected: 2, found: 3 };
+        let msg = err.to_string();
+        assert!(msg.contains('2') && msg.contains('3'));
+        assert_eq!(RelationError::ZeroArity.to_string(), "relation arity must be at least 1");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RelationError>();
+    }
+}

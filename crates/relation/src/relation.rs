@@ -1,0 +1,248 @@
+use crate::{RelationError, Value};
+
+/// A relation: a sorted, duplicate-free set of fixed-arity tuples.
+///
+/// Tuples are stored row-major and kept in lexicographic order, which is the
+/// order required to build the trie index (see [`crate::Trie`]). Construction
+/// sorts and deduplicates eagerly so every downstream consumer can rely on
+/// the invariant.
+///
+/// # Example
+///
+/// ```
+/// use triejax_relation::Relation;
+///
+/// let rel = Relation::from_tuples(2, vec![vec![2, 1], vec![1, 3], vec![2, 1]])?;
+/// assert_eq!(rel.len(), 2); // duplicate removed
+/// assert_eq!(rel.tuple(0), &[1, 3]); // sorted
+/// # Ok::<(), triejax_relation::RelationError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Relation {
+    arity: usize,
+    /// Row-major tuple storage; `data.len() == arity * len`.
+    data: Vec<Value>,
+}
+
+impl Relation {
+    /// Creates an empty relation of the given arity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::ZeroArity`] if `arity == 0`.
+    pub fn new(arity: usize) -> Result<Self, RelationError> {
+        if arity == 0 {
+            return Err(RelationError::ZeroArity);
+        }
+        Ok(Relation { arity, data: Vec::new() })
+    }
+
+    /// Builds a relation from an iterator of tuples, sorting and removing
+    /// duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::ZeroArity`] for `arity == 0`, or
+    /// [`RelationError::ArityMismatch`] if any tuple length differs from
+    /// `arity`.
+    pub fn from_tuples<I, T>(arity: usize, tuples: I) -> Result<Self, RelationError>
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[Value]>,
+    {
+        let mut rel = Relation::new(arity)?;
+        let mut data = Vec::new();
+        for t in tuples {
+            let t = t.as_ref();
+            if t.len() != arity {
+                return Err(RelationError::ArityMismatch { expected: arity, found: t.len() });
+            }
+            data.extend_from_slice(t);
+        }
+        rel.data = data;
+        rel.normalize();
+        Ok(rel)
+    }
+
+    /// Builds a binary relation from `(source, target)` pairs.
+    ///
+    /// This is the common path for graph edge tables, where each pair is one
+    /// directed edge.
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (Value, Value)>,
+    {
+        let mut data = Vec::new();
+        for (a, b) in pairs {
+            data.push(a);
+            data.push(b);
+        }
+        let mut rel = Relation { arity: 2, data };
+        rel.normalize();
+        rel
+    }
+
+    /// Number of attributes (columns) per tuple.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.arity
+    }
+
+    /// Returns `true` if the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the `i`-th tuple in lexicographic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn tuple(&self, i: usize) -> &[Value] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterates over tuples in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        self.data.chunks_exact(self.arity)
+    }
+
+    /// Returns a new relation whose columns are permuted by `perm`:
+    /// output column `i` is input column `perm[i]`.
+    ///
+    /// This is how one edge table yields tries in different attribute
+    /// orders, e.g. `T(z, w)` versus `T(w, z)` in paper Figure 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..arity`.
+    pub fn permute(&self, perm: &[usize]) -> Relation {
+        assert_eq!(perm.len(), self.arity, "permutation length must equal arity");
+        let mut seen = vec![false; self.arity];
+        for &p in perm {
+            assert!(p < self.arity && !seen[p], "perm must be a permutation of 0..arity");
+            seen[p] = true;
+        }
+        let mut data = Vec::with_capacity(self.data.len());
+        for t in self.iter() {
+            for &p in perm {
+                data.push(t[p]);
+            }
+        }
+        let mut rel = Relation { arity: self.arity, data };
+        rel.normalize();
+        rel
+    }
+
+    /// Total bytes of the row-major tuple payload (4 bytes per value).
+    pub fn payload_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<Value>()) as u64
+    }
+
+    /// Sorts tuples lexicographically and removes duplicates, establishing
+    /// the struct invariant.
+    fn normalize(&mut self) {
+        let arity = self.arity;
+        let mut rows: Vec<&[Value]> = self.data.chunks_exact(arity).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        let mut data = Vec::with_capacity(rows.len() * arity);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        self.data = data;
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a [Value];
+    type IntoIter = std::slice::ChunksExact<'a, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.chunks_exact(self.arity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_arity_is_rejected() {
+        assert_eq!(Relation::new(0).unwrap_err(), RelationError::ZeroArity);
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let err = Relation::from_tuples(2, vec![vec![1u32, 2, 3]]).unwrap_err();
+        assert_eq!(err, RelationError::ArityMismatch { expected: 2, found: 3 });
+    }
+
+    #[test]
+    fn tuples_are_sorted_and_deduplicated() {
+        let rel = Relation::from_tuples(
+            2,
+            vec![vec![3u32, 1], vec![1, 2], vec![3, 1], vec![1, 1], vec![2, 9]],
+        )
+        .unwrap();
+        let rows: Vec<_> = rel.iter().collect();
+        assert_eq!(rows, vec![&[1u32, 1][..], &[1, 2], &[2, 9], &[3, 1]]);
+        assert_eq!(rel.len(), 4);
+        assert!(!rel.is_empty());
+    }
+
+    #[test]
+    fn from_pairs_matches_from_tuples() {
+        let a = Relation::from_pairs(vec![(2, 1), (1, 2), (2, 1)]);
+        let b = Relation::from_tuples(2, vec![vec![1u32, 2], vec![2, 1]]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn permute_swaps_columns_and_resorts() {
+        let rel = Relation::from_pairs(vec![(1, 9), (2, 3)]);
+        let rev = rel.permute(&[1, 0]);
+        let rows: Vec<_> = rev.iter().collect();
+        assert_eq!(rows, vec![&[3u32, 2][..], &[9, 1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "perm must be a permutation")]
+    fn permute_rejects_non_permutation() {
+        let rel = Relation::from_pairs(vec![(1, 2)]);
+        let _ = rel.permute(&[0, 0]);
+    }
+
+    #[test]
+    fn identity_permutation_is_noop() {
+        let rel = Relation::from_pairs(vec![(5, 4), (1, 2), (5, 5)]);
+        assert_eq!(rel.permute(&[0, 1]), rel);
+    }
+
+    #[test]
+    fn payload_bytes_counts_words() {
+        let rel = Relation::from_pairs(vec![(1, 2), (3, 4)]);
+        assert_eq!(rel.payload_bytes(), 16);
+    }
+
+    #[test]
+    fn empty_relation_iterates_nothing() {
+        let rel = Relation::new(3).unwrap();
+        assert_eq!(rel.iter().count(), 0);
+        assert_eq!(rel.len(), 0);
+        assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn triple_arity_sorting_is_lexicographic() {
+        let rel = Relation::from_tuples(3, vec![vec![1u32, 2, 3], vec![1, 2, 1], vec![0, 9, 9]])
+            .unwrap();
+        assert_eq!(rel.tuple(0), &[0, 9, 9]);
+        assert_eq!(rel.tuple(1), &[1, 2, 1]);
+        assert_eq!(rel.tuple(2), &[1, 2, 3]);
+    }
+}

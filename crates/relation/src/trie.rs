@@ -1,0 +1,312 @@
+use crate::{AddressSpace, ArraySpan, Relation, Value, WORD_BYTES};
+
+/// One level of a [`Trie`] in the flat EmptyHeaded-style layout.
+///
+/// `values` concatenates, parent by parent, the sorted unique values of this
+/// attribute. `child_starts` (absent on the deepest level) has one more
+/// entry than `values`: node `i`'s children occupy
+/// `child_starts[i]..child_starts[i+1]` of the next level's `values` array.
+/// This mirrors paper Figure 6, where `Rx = [1,2,3,4]` carries the child
+/// ranges array `[0,2,3,4,5]` into `Ry`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TrieLevel {
+    values: Vec<Value>,
+    child_starts: Vec<u32>,
+    values_span: ArraySpan,
+    child_span: ArraySpan,
+}
+
+impl TrieLevel {
+    /// The concatenated sorted value array of this level.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The cumulative child-range array (empty on the leaf level).
+    pub fn child_starts(&self) -> &[u32] {
+        &self.child_starts
+    }
+
+    /// Number of trie nodes on this level.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the level holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Range of node `i`'s children in the next level's value array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is the leaf level or `i` is out of bounds.
+    pub fn child_range(&self, i: usize) -> (usize, usize) {
+        (self.child_starts[i] as usize, self.child_starts[i + 1] as usize)
+    }
+
+    /// Simulated placement of the value array (valid after
+    /// [`Trie::assign_addresses`]).
+    pub fn values_span(&self) -> ArraySpan {
+        self.values_span
+    }
+
+    /// Simulated placement of the child-range array.
+    pub fn child_span(&self) -> ArraySpan {
+        self.child_span
+    }
+}
+
+/// A columnar trie index over a [`Relation`], one level per attribute.
+///
+/// Built once per (relation, attribute order) pair; join engines walk it
+/// through [`crate::TrieCursor`]s, and the TrieJax simulator reads its raw
+/// arrays at simulated addresses.
+///
+/// # Example
+///
+/// ```
+/// use triejax_relation::{Relation, Trie};
+///
+/// // R(x,y) from paper Figure 6.
+/// let r = Relation::from_pairs(vec![(1, 1), (1, 2), (2, 2), (3, 5), (4, 4)]);
+/// let trie = Trie::build(&r);
+/// assert_eq!(trie.level(0).values(), &[1, 2, 3, 4]);
+/// assert_eq!(trie.level(0).child_starts(), &[0, 2, 3, 4, 5]);
+/// assert_eq!(trie.level(1).values(), &[1, 2, 2, 5, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trie {
+    levels: Vec<TrieLevel>,
+    tuple_count: usize,
+}
+
+impl Trie {
+    /// Builds the trie for `relation` in its stored attribute order.
+    ///
+    /// Use [`Relation::permute`] first to index a different attribute order.
+    pub fn build(relation: &Relation) -> Trie {
+        let arity = relation.arity();
+        let nrows = relation.len();
+        let mut levels: Vec<TrieLevel> = vec![TrieLevel::default(); arity];
+
+        // Each group is the row range below one node of the previous level;
+        // the pseudo-root owns all rows.
+        let mut groups: Vec<(usize, usize)> = vec![(0, nrows)];
+        for level in 0..arity {
+            let mut values = Vec::new();
+            let mut next_groups = Vec::new();
+            let mut counts = Vec::with_capacity(groups.len());
+            for &(s, e) in &groups {
+                let before = values.len();
+                let mut i = s;
+                while i < e {
+                    let v = relation.tuple(i)[level];
+                    let mut j = i + 1;
+                    while j < e && relation.tuple(j)[level] == v {
+                        j += 1;
+                    }
+                    values.push(v);
+                    next_groups.push((i, j));
+                    i = j;
+                }
+                counts.push((values.len() - before) as u32);
+            }
+            if level > 0 {
+                let mut starts = Vec::with_capacity(counts.len() + 1);
+                let mut acc = 0u32;
+                starts.push(0);
+                for c in counts {
+                    acc += c;
+                    starts.push(acc);
+                }
+                levels[level - 1].child_starts = starts;
+            }
+            levels[level].values = values;
+            groups = next_groups;
+        }
+        Trie { levels, tuple_count: nrows }
+    }
+
+    /// Number of attributes (trie depth).
+    pub fn arity(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of tuples (root-to-leaf paths).
+    pub fn tuple_count(&self) -> usize {
+        self.tuple_count
+    }
+
+    /// The `i`-th level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.arity()`.
+    pub fn level(&self, i: usize) -> &TrieLevel {
+        &self.levels[i]
+    }
+
+    /// All levels, root first.
+    pub fn levels(&self) -> &[TrieLevel] {
+        &self.levels
+    }
+
+    /// Total index footprint in bytes (values plus child-range words).
+    pub fn bytes(&self) -> u64 {
+        self.levels
+            .iter()
+            .map(|l| (l.values.len() + l.child_starts.len()) as u64 * WORD_BYTES)
+            .sum()
+    }
+
+    /// Places every level's arrays in the simulated address space.
+    ///
+    /// Must be called before a cycle-level simulator derives addresses from
+    /// [`TrieLevel::values_span`] / [`TrieLevel::child_span`].
+    pub fn assign_addresses(&mut self, asp: &mut AddressSpace) {
+        for level in &mut self.levels {
+            level.values_span = asp.alloc(level.values.len() as u64 * WORD_BYTES);
+            level.child_span = asp.alloc(level.child_starts.len() as u64 * WORD_BYTES);
+        }
+    }
+
+    /// Reconstructs every tuple by depth-first traversal (mainly for tests:
+    /// the result must equal the source relation's tuples).
+    pub fn enumerate(&self) -> Vec<Vec<Value>> {
+        let mut out = Vec::with_capacity(self.tuple_count);
+        if self.levels.is_empty() || self.levels[0].is_empty() {
+            return out;
+        }
+        let mut path = Vec::with_capacity(self.arity());
+        self.walk(0, 0, self.levels[0].len(), &mut path, &mut out);
+        out
+    }
+
+    fn walk(
+        &self,
+        level: usize,
+        lo: usize,
+        hi: usize,
+        path: &mut Vec<Value>,
+        out: &mut Vec<Vec<Value>>,
+    ) {
+        let l = &self.levels[level];
+        for i in lo..hi {
+            path.push(l.values[i]);
+            if level + 1 == self.levels.len() {
+                out.push(path.clone());
+            } else {
+                let (s, e) = l.child_range(i);
+                self.walk(level + 1, s, e, path, out);
+            }
+            path.pop();
+        }
+    }
+}
+
+impl From<&Relation> for Trie {
+    fn from(relation: &Relation) -> Self {
+        Trie::build(relation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure6_r() -> Relation {
+        Relation::from_pairs(vec![(1, 1), (1, 2), (2, 2), (3, 5), (4, 4)])
+    }
+
+    fn figure6_s() -> Relation {
+        Relation::from_pairs(vec![(1, 1), (1, 2), (1, 3), (2, 5), (2, 7)])
+    }
+
+    #[test]
+    fn figure6_layout_r() {
+        let trie = Trie::build(&figure6_r());
+        assert_eq!(trie.arity(), 2);
+        assert_eq!(trie.level(0).values(), &[1, 2, 3, 4]);
+        assert_eq!(trie.level(0).child_starts(), &[0, 2, 3, 4, 5]);
+        assert_eq!(trie.level(1).values(), &[1, 2, 2, 5, 4]);
+        assert!(trie.level(1).child_starts().is_empty());
+    }
+
+    #[test]
+    fn figure6_layout_s() {
+        let trie = Trie::build(&figure6_s());
+        assert_eq!(trie.level(0).values(), &[1, 2]);
+        assert_eq!(trie.level(0).child_starts(), &[0, 3, 5]);
+        assert_eq!(trie.level(1).values(), &[1, 2, 3, 5, 7]);
+    }
+
+    #[test]
+    fn child_range_indexes_next_level() {
+        let trie = Trie::build(&figure6_r());
+        assert_eq!(trie.level(0).child_range(0), (0, 2));
+        assert_eq!(trie.level(0).child_range(3), (4, 5));
+        let (s, e) = trie.level(0).child_range(0);
+        assert_eq!(&trie.level(1).values()[s..e], &[1, 2]);
+    }
+
+    #[test]
+    fn enumerate_round_trips() {
+        let rel = Relation::from_tuples(
+            3,
+            vec![
+                vec![1u32, 2, 3],
+                vec![1, 2, 4],
+                vec![1, 5, 1],
+                vec![2, 1, 1],
+                vec![9, 9, 9],
+            ],
+        )
+        .unwrap();
+        let trie = Trie::build(&rel);
+        assert_eq!(trie.tuple_count(), rel.len());
+        let tuples = trie.enumerate();
+        let expect: Vec<Vec<Value>> = rel.iter().map(|t| t.to_vec()).collect();
+        assert_eq!(tuples, expect);
+    }
+
+    #[test]
+    fn empty_relation_builds_empty_trie() {
+        let rel = Relation::new(2).unwrap();
+        let trie = Trie::build(&rel);
+        assert_eq!(trie.tuple_count(), 0);
+        assert!(trie.level(0).is_empty());
+        assert!(trie.enumerate().is_empty());
+    }
+
+    #[test]
+    fn unary_relation_trie() {
+        let rel = Relation::from_tuples(1, vec![vec![4u32], vec![1], vec![4]]).unwrap();
+        let trie = Trie::build(&rel);
+        assert_eq!(trie.level(0).values(), &[1, 4]);
+        assert_eq!(trie.enumerate(), vec![vec![1], vec![4]]);
+    }
+
+    #[test]
+    fn assign_addresses_gives_disjoint_spans() {
+        let mut trie = Trie::build(&figure6_r());
+        let mut asp = AddressSpace::new();
+        trie.assign_addresses(&mut asp);
+        let v0 = trie.level(0).values_span();
+        let c0 = trie.level(0).child_span();
+        let v1 = trie.level(1).values_span();
+        assert_eq!(v0.bytes, 16);
+        assert_eq!(c0.bytes, 20);
+        assert_eq!(v1.bytes, 20);
+        assert!(v0.base + v0.bytes <= c0.base);
+        assert!(c0.base + c0.bytes <= v1.base);
+    }
+
+    #[test]
+    fn bytes_counts_all_words() {
+        let trie = Trie::build(&figure6_r());
+        // 4 + 5 values, 5 child starts = 14 words.
+        assert_eq!(trie.bytes(), 14 * 4);
+    }
+}

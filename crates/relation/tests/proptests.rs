@@ -1,0 +1,95 @@
+//! Property tests for the relation/trie substrate.
+
+use proptest::prelude::*;
+use triejax_relation::{AccessCounter, Relation, Trie, TrieCursor, Value};
+
+fn arb_tuples(arity: usize, max_len: usize, domain: Value) -> impl Strategy<Value = Vec<Vec<Value>>> {
+    prop::collection::vec(prop::collection::vec(0..domain, arity), 0..max_len)
+}
+
+proptest! {
+    /// Trie enumeration reproduces exactly the sorted deduplicated input.
+    #[test]
+    fn trie_round_trip(tuples in arb_tuples(3, 60, 16)) {
+        let rel = Relation::from_tuples(3, tuples).unwrap();
+        let trie = Trie::build(&rel);
+        let out = trie.enumerate();
+        let expect: Vec<Vec<Value>> = rel.iter().map(|t| t.to_vec()).collect();
+        prop_assert_eq!(out, expect);
+        prop_assert_eq!(trie.tuple_count(), rel.len());
+    }
+
+    /// Every trie level stores sorted runs within each parent's child range.
+    #[test]
+    fn trie_sibling_runs_are_sorted(tuples in arb_tuples(2, 80, 12)) {
+        let rel = Relation::from_tuples(2, tuples).unwrap();
+        let trie = Trie::build(&rel);
+        let l0 = trie.level(0);
+        prop_assert!(l0.values().windows(2).all(|w| w[0] < w[1]));
+        for i in 0..l0.len() {
+            let (s, e) = l0.child_range(i);
+            let kids = &trie.level(1).values()[s..e];
+            prop_assert!(!kids.is_empty());
+            prop_assert!(kids.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// `seek` agrees with a linear scan for the lowest upper bound.
+    #[test]
+    fn seek_matches_linear_scan(mut vals in prop::collection::btree_set(0u32..200, 1..50), probe in 0u32..220) {
+        let tuples: Vec<Vec<Value>> = vals.iter().map(|&v| vec![v]).collect();
+        let rel = Relation::from_tuples(1, tuples).unwrap();
+        let trie = Trie::build(&rel);
+        let mut cur = TrieCursor::new(&trie);
+        let mut c = AccessCounter::default();
+        cur.open(&mut c);
+        let found = cur.seek(probe, &mut c);
+        let expect = vals.iter().copied().find(|&v| v >= probe);
+        match expect {
+            Some(v) => {
+                prop_assert!(found);
+                prop_assert_eq!(cur.key(), v);
+            }
+            None => prop_assert!(!found),
+        }
+        // Keep the borrow checker quiet about `vals` mutability lint.
+        vals.clear();
+    }
+
+    /// Permuting twice with inverse permutations round-trips.
+    #[test]
+    fn permute_round_trip(tuples in arb_tuples(3, 40, 10)) {
+        let rel = Relation::from_tuples(3, tuples).unwrap();
+        let perm = [2usize, 0, 1];
+        let inv = [1usize, 2, 0];
+        prop_assert_eq!(rel.permute(&perm).permute(&inv), rel);
+    }
+
+    /// Cursor traversal visits tuples in lexicographic order and counts
+    /// at least one access per visited node.
+    #[test]
+    fn full_scan_is_ordered(tuples in arb_tuples(2, 60, 10)) {
+        let rel = Relation::from_tuples(2, tuples).unwrap();
+        let trie = Trie::build(&rel);
+        let mut cur = TrieCursor::new(&trie);
+        let mut c = AccessCounter::default();
+        let mut seen: Vec<(Value, Value)> = Vec::new();
+        if cur.open(&mut c) {
+            loop {
+                let x = cur.key();
+                cur.open(&mut c);
+                loop {
+                    seen.push((x, cur.key()));
+                    if !cur.next(&mut c) { break; }
+                }
+                cur.up();
+                if !cur.next(&mut c) { break; }
+            }
+        }
+        let expect: Vec<(Value, Value)> = rel.iter().map(|t| (t[0], t[1])).collect();
+        prop_assert_eq!(&seen, &expect);
+        if !seen.is_empty() {
+            prop_assert!(c.index_reads as usize >= seen.len());
+        }
+    }
+}

@@ -1,0 +1,1 @@
+//! Root crate: see examples/ and tests/.

@@ -1,0 +1,155 @@
+//! Shape-level assertions of the paper's evaluation claims, at tiny scale.
+//! These pin the *qualitative* reproduction: who wins, where crossovers
+//! fall, and which effects exist at all.
+
+use triejax::{TrieJax, TrieJaxConfig};
+use triejax_baselines::{BaselineSystem, CtjSoftware, EmptyHeaded, Graphicionado, Q100};
+use triejax_graph::{Dataset, Scale};
+use triejax_join::Catalog;
+use triejax_query::{patterns::Pattern, CompiledQuery};
+
+fn catalog(d: Dataset) -> Catalog {
+    let mut c = Catalog::new();
+    c.insert("G", d.generate(Scale::Tiny).edge_relation());
+    c
+}
+
+#[test]
+fn triejax_beats_software_ctj_everywhere() {
+    // Paper Figure 13: 5.5x - 45x across all cells.
+    for d in [Dataset::GrQc, Dataset::WikiVote, Dataset::Gnutella04] {
+        let c = catalog(d);
+        for p in Pattern::PAPER {
+            let plan = CompiledQuery::compile(&p.query()).unwrap();
+            let hw = TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap();
+            let sw = CtjSoftware::new().evaluate(&plan, &c).unwrap();
+            let speedup = sw.time_s / hw.runtime_s;
+            assert!(
+                speedup > 3.0,
+                "{p} on {d}: speedup {speedup:.1} below the paper band"
+            );
+        }
+    }
+}
+
+#[test]
+fn q100_is_comparable_on_path3_and_crushed_on_clique4() {
+    // Paper §4.3: "the Q100 performance on the Path3 query is comparable
+    // to TrieJax for most datasets, TrieJax outperforms Q100 by up to
+    // 539x on complex queries such as Clique4".
+    let c = catalog(Dataset::WikiVote);
+    let accel = TrieJax::new(TrieJaxConfig::default());
+    let path3 = CompiledQuery::compile(&Pattern::Path3.query()).unwrap();
+    let clique4 = CompiledQuery::compile(&Pattern::Clique4.query()).unwrap();
+    let s_path3 = Q100::new().evaluate(&path3, &c).unwrap().time_s
+        / accel.run(&path3, &c).unwrap().runtime_s;
+    let s_clique4 = Q100::new().evaluate(&clique4, &c).unwrap().time_s
+        / accel.run(&clique4, &c).unwrap().runtime_s;
+    assert!(s_path3 < 5.0, "path3 should be comparable, got {s_path3:.1}x");
+    assert!(s_clique4 > 50.0, "clique4 should explode, got {s_clique4:.1}x");
+    assert!(s_clique4 > 20.0 * s_path3);
+}
+
+#[test]
+fn graphicionado_wins_path4_on_social_graphs_and_loses_cyclic() {
+    // Paper §4.3: "Graphicionado was able to perform faster on the Path4
+    // wiki and Path4 Facebook queries ... by up to 1.25x", while TrieJax
+    // wins everywhere else that matters.
+    let accel = TrieJax::new(TrieJaxConfig::default());
+    for d in [Dataset::WikiVote, Dataset::Facebook] {
+        let c = catalog(d);
+        let path4 = CompiledQuery::compile(&Pattern::Path4.query()).unwrap();
+        let g = Graphicionado::new().evaluate(&path4, &c).unwrap().time_s;
+        let t = accel.run(&path4, &c).unwrap().runtime_s;
+        assert!(g < t, "graphicionado should edge out TrieJax on path4 {d}");
+        let cycle4 = CompiledQuery::compile(&Pattern::Cycle4.query()).unwrap();
+        let g = Graphicionado::new().evaluate(&cycle4, &c).unwrap().time_s;
+        let t = accel.run(&cycle4, &c).unwrap().runtime_s;
+        assert!(g > 5.0 * t, "cyclic queries explode on the message model ({d})");
+    }
+}
+
+#[test]
+fn emptyheaded_sits_between_ctj_and_triejax() {
+    // Paper: TrieJax is 9x over EmptyHeaded but 20x over CTJ, i.e.
+    // EmptyHeaded is the stronger software baseline.
+    let c = catalog(Dataset::Bitcoin);
+    for p in [Pattern::Cycle3, Pattern::Cycle4, Pattern::Clique4] {
+        let plan = CompiledQuery::compile(&p.query()).unwrap();
+        let eh = EmptyHeaded::new().evaluate(&plan, &c).unwrap();
+        let ctj = CtjSoftware::new().evaluate(&plan, &c).unwrap();
+        assert!(eh.time_s < ctj.time_s, "{p}: EmptyHeaded should beat CTJ");
+    }
+}
+
+#[test]
+fn energy_ranking_matches_figure_16() {
+    // TrieJax uses the least energy; among baselines, Graphicionado is the
+    // most efficient accelerator class on simple queries, Q100 the worst
+    // on complex ones.
+    let c = catalog(Dataset::WikiVote);
+    let plan = CompiledQuery::compile(&Pattern::Cycle4.query()).unwrap();
+    let t = TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap().energy_j();
+    for (name, e) in [
+        ("ctj", CtjSoftware::new().evaluate(&plan, &c).unwrap().energy_j),
+        ("emptyheaded", EmptyHeaded::new().evaluate(&plan, &c).unwrap().energy_j),
+        ("q100", Q100::new().evaluate(&plan, &c).unwrap().energy_j),
+        ("graphicionado", Graphicionado::new().evaluate(&plan, &c).unwrap().energy_j),
+    ] {
+        assert!(e > 3.0 * t, "{name} should consume several times more energy");
+    }
+}
+
+#[test]
+fn mt_speedup_band_matches_figure_14() {
+    // Paper §4.2: 8 threads ~5.8x, 32 threads ~10.8x over one thread.
+    let c = catalog(Dataset::Bitcoin);
+    let plan = CompiledQuery::compile(&Pattern::Cycle4.query()).unwrap();
+    let c1 = TrieJax::new(TrieJaxConfig::default().with_threads(1))
+        .run(&plan, &c)
+        .unwrap()
+        .cycles as f64;
+    let c8 = TrieJax::new(TrieJaxConfig::default().with_threads(8))
+        .run(&plan, &c)
+        .unwrap()
+        .cycles as f64;
+    let c32 = TrieJax::new(TrieJaxConfig::default().with_threads(32))
+        .run(&plan, &c)
+        .unwrap()
+        .cycles as f64;
+    let s8 = c1 / c8;
+    let s32 = c1 / c32;
+    assert!(s8 > 3.0 && s8 < 8.0, "8T speedup {s8:.1} outside band");
+    assert!(s32 > s8, "32T ({s32:.1}) must beat 8T ({s8:.1})");
+}
+
+#[test]
+fn write_bypass_matters_exactly_on_result_heavy_queries() {
+    // Paper §3.1: up to 2.5x on path4; negligible on low-output queries.
+    let c = catalog(Dataset::Facebook);
+    let accel_on = TrieJax::new(TrieJaxConfig::default());
+    let accel_off = TrieJax::new(TrieJaxConfig::default().with_write_bypass(false));
+    let path4 = CompiledQuery::compile(&Pattern::Path4.query()).unwrap();
+    let gain_path4 = accel_off.run(&path4, &c).unwrap().cycles as f64
+        / accel_on.run(&path4, &c).unwrap().cycles as f64;
+    assert!(gain_path4 > 1.5, "path4 bypass gain {gain_path4:.2} too small");
+    let cycle3 = CompiledQuery::compile(&Pattern::Cycle3.query()).unwrap();
+    let gain_cycle3 = accel_off.run(&cycle3, &c).unwrap().cycles as f64
+        / accel_on.run(&cycle3, &c).unwrap().cycles as f64;
+    assert!(gain_cycle3 < gain_path4, "bypass must matter most on path4");
+}
+
+#[test]
+fn memory_system_dominates_energy_on_every_query() {
+    // Paper Figure 15: 74-90% of energy goes to the memory system.
+    let c = catalog(Dataset::GrQc);
+    for p in Pattern::PAPER {
+        let plan = CompiledQuery::compile(&p.query()).unwrap();
+        let r = TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap();
+        assert!(
+            r.energy.memory_fraction() > 0.6,
+            "{p}: memory fraction {:.2}",
+            r.energy.memory_fraction()
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Invariants of the cycle-level simulator: determinism, schedule
+//! independence of results, and bookkeeping conservation.
+
+use triejax::{MtMode, TrieJax, TrieJaxConfig};
+use triejax_graph::{Dataset, Scale};
+use triejax_join::Catalog;
+use triejax_query::{patterns::Pattern, CompiledQuery};
+
+fn catalog(d: Dataset) -> Catalog {
+    let mut c = Catalog::new();
+    c.insert("G", d.generate(Scale::Tiny).edge_relation());
+    c
+}
+
+#[test]
+fn simulation_is_fully_deterministic() {
+    let c = catalog(Dataset::Bitcoin);
+    let plan = CompiledQuery::compile(&Pattern::Cycle4.query()).unwrap();
+    let accel = TrieJax::new(TrieJaxConfig::default());
+    let a = accel.run(&plan, &c).unwrap();
+    let b = accel.run(&plan, &c).unwrap();
+    assert_eq!(a, b, "two runs must produce identical reports");
+}
+
+#[test]
+fn results_are_invariant_to_threads_mt_mode_and_pjr() {
+    let c = catalog(Dataset::GrQc);
+    for p in [Pattern::Path4, Pattern::Cycle4, Pattern::Clique4] {
+        let plan = CompiledQuery::compile(&p.query()).unwrap();
+        let reference =
+            TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap().results;
+        let configs = [
+            TrieJaxConfig::default().with_threads(1),
+            TrieJaxConfig::default().with_threads(64),
+            TrieJaxConfig::default().with_mt_mode(MtMode::Static),
+            TrieJaxConfig::default().with_mt_mode(MtMode::Dynamic),
+            TrieJaxConfig::default().with_pjr_enabled(false),
+            TrieJaxConfig::default().with_pjr_bytes(16 << 10),
+            TrieJaxConfig::default().with_write_bypass(false),
+        ];
+        for cfg in configs {
+            let r = TrieJax::new(cfg.clone()).run(&plan, &c).unwrap();
+            assert_eq!(r.results, reference, "{p} with {cfg:?}");
+        }
+    }
+}
+
+#[test]
+fn energy_breakdown_is_conserved() {
+    let c = catalog(Dataset::WikiVote);
+    let plan = CompiledQuery::compile(&Pattern::Cycle4.query()).unwrap();
+    let r = TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap();
+    let e = &r.energy;
+    let component_sum = e.core + e.pjr + e.l1 + e.l2 + e.llc + e.dram;
+    assert!((r.energy_j() - component_sum).abs() < 1e-15);
+    assert!(e.dram > 0.0 && e.core > 0.0 && e.l1 > 0.0);
+    assert!(r.runtime_s > 0.0);
+    assert_eq!(r.cycles, (r.runtime_s * 2.38e9).round() as u64);
+}
+
+#[test]
+fn cache_hierarchy_bookkeeping_is_consistent() {
+    let c = catalog(Dataset::Bitcoin);
+    let plan = CompiledQuery::compile(&Pattern::Path4.query()).unwrap();
+    let r = TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap();
+    let m = &r.mem;
+    // Every L2 access is an L1 miss; every LLC *read* access is an L2 miss
+    // (writes bypass under the default config).
+    assert_eq!(m.l2.accesses(), m.l1.misses);
+    assert_eq!(m.llc.accesses(), m.l2.misses);
+    assert_eq!(m.dram.reads, m.llc.misses);
+    assert_eq!(m.dram.row_hits + m.dram.row_misses, m.dram.accesses());
+    // Result lines streamed to DRAM as writes.
+    assert_eq!(m.dram.writes, r.result_lines_written);
+}
+
+#[test]
+fn pjr_stats_are_internally_consistent() {
+    let c = catalog(Dataset::GrQc);
+    let plan = CompiledQuery::compile(&Pattern::Path3.query()).unwrap();
+    let r = TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap();
+    assert!(r.pjr.hits + r.pjr.misses > 0, "path3 is cacheable");
+    assert!(r.pjr.insertions <= r.pjr.misses, "at most one insertion per miss");
+    assert!(r.pjr.accesses >= r.pjr.hits + r.pjr.misses);
+    // No cache specs -> the PJR is never touched at all.
+    let plan = CompiledQuery::compile(&Pattern::Cycle3.query()).unwrap();
+    let r = TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap();
+    assert_eq!(r.pjr.accesses, 0);
+    assert_eq!(r.energy.pjr, 0.0, "unused PJR consumes no energy (paper Fig. 15)");
+}
+
+#[test]
+fn component_ops_scale_with_work() {
+    let c = catalog(Dataset::GrQc);
+    let small = CompiledQuery::compile(&Pattern::Path3.query()).unwrap();
+    let large = CompiledQuery::compile(&Pattern::Clique4.query()).unwrap();
+    let accel = TrieJax::new(TrieJaxConfig::default());
+    let rs = accel.run(&small, &c).unwrap();
+    let rl = accel.run(&large, &c).unwrap();
+    assert!(rl.ops.total() > rs.ops.total());
+    assert!(rl.ops.lub_probes >= rl.ops.lub_seeks, "each seek probes at least once");
+    assert!(rs.ops.matchmaker > 0 && rs.ops.cupid > 0);
+}

@@ -1,0 +1,55 @@
+//! Randomized stress: the simulator must match software CTJ for *any*
+//! hardware configuration — thread counts, MT schemes, PJR geometries,
+//! bypass settings — on random graphs. This is the strongest correctness
+//! net for the interaction of dynamic spawning with the shared PJR
+//! insertion buffer.
+
+use proptest::prelude::*;
+use triejax::{MtMode, TrieJax, TrieJaxConfig};
+use triejax_join::{Catalog, CollectSink, Ctj, JoinEngine};
+use triejax_query::{patterns::Pattern, CompiledQuery};
+use triejax_relation::Relation;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_config_matches_software_ctj(
+        edges in prop::collection::btree_set((0u32..16, 0u32..16), 1..90),
+        pattern_idx in 0usize..Pattern::PAPER.len(),
+        threads in 1usize..40,
+        mt_idx in 0usize..3,
+        pjr_bytes in prop::sample::select(vec![0u64, 256, 4096, 4 << 20]),
+        pjr_banks in 1usize..5,
+        entry_values in prop::sample::select(vec![1usize, 4, 256]),
+        bypass in any::<bool>(),
+    ) {
+        let edges: Vec<(u32, u32)> = edges.into_iter().filter(|(a, b)| a != b).collect();
+        prop_assume!(!edges.is_empty());
+        let mut catalog = Catalog::new();
+        catalog.insert("G", Relation::from_pairs(edges));
+        let pattern = Pattern::PAPER[pattern_idx];
+        let plan = CompiledQuery::compile(&pattern.query()).expect("compiles");
+
+        let mut reference = CollectSink::new();
+        Ctj::new().execute(&plan, &catalog, &mut reference).expect("runs");
+
+        let mt = [MtMode::Static, MtMode::Dynamic, MtMode::Combined][mt_idx];
+        let mut cfg = TrieJaxConfig::default()
+            .with_threads(threads)
+            .with_mt_mode(mt)
+            .with_write_bypass(bypass)
+            .with_pjr_bytes(pjr_bytes.max(64));
+        cfg.pjr_enabled = pjr_bytes > 0;
+        cfg.pjr_banks = pjr_banks;
+        cfg.pjr_entry_values = entry_values;
+
+        let mut hw = CollectSink::new();
+        let report = TrieJax::new(cfg)
+            .run_with_sink(&plan, &catalog, &mut hw)
+            .expect("runs");
+        prop_assert_eq!(report.results as usize, hw.tuples().len());
+        prop_assert_eq!(hw.into_sorted(), reference.into_sorted(),
+            "{} with {} threads, {:?}", pattern, threads, mt);
+    }
+}
