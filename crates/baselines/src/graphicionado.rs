@@ -42,7 +42,11 @@ impl Graphicionado {
 /// nothing (favourable to Graphicionado, per the paper's methodology).
 pub(crate) fn expansion_messages(plan: &CompiledQuery, edges: &Relation) -> f64 {
     // Out-degree table and frontier walk counts.
-    let n = edges.iter().flat_map(|t| [t[0], t[1]]).max().map_or(0, |m| m as usize + 1);
+    let n = edges
+        .iter()
+        .flat_map(|t| [t[0], t[1]])
+        .max()
+        .map_or(0, |m| m as usize + 1);
     let mut outdeg = vec![0f64; n];
     for t in edges.iter() {
         outdeg[t[0] as usize] += 1.0;
@@ -68,7 +72,11 @@ pub(crate) fn expansion_messages(plan: &CompiledQuery, edges: &Relation) -> f64 
             closed = true;
         }
         // One message per frontier walk per out-edge.
-        messages += frontier.iter().zip(&outdeg).map(|(f, d)| f * d).sum::<f64>();
+        messages += frontier
+            .iter()
+            .zip(&outdeg)
+            .map(|(f, d)| f * d)
+            .sum::<f64>();
         // Advance the frontier: walks now end at each vertex's successors.
         let mut next = vec![0.0f64; n];
         for t in edges.iter() {
@@ -96,18 +104,23 @@ impl BaselineSystem for Graphicionado {
         let mut sink = CountSink::default();
         let stats = PairwiseHash::new().execute(plan, catalog, &mut sink)?;
 
-        let first_rel = plan.atom_plans().first().expect("non-empty query").relation();
+        let first_rel = plan
+            .atom_plans()
+            .first()
+            .expect("non-empty query")
+            .relation();
         let edges = catalog
             .get(first_rel)
-            .ok_or_else(|| JoinError::MissingRelation { name: first_rel.to_owned() })?;
+            .ok_or_else(|| JoinError::MissingRelation {
+                name: first_rel.to_owned(),
+            })?;
         let messages = expansion_messages(plan, edges);
 
         let time_s = messages / GRAPHICIONADO_MSGS_PER_S;
         // Messages beyond the on-chip scratchpad spill: charge half their
         // bytes to DRAM (favourable; 8-byte messages).
         let msg_bytes = messages * 8.0 / 2.0;
-        let energy_j =
-            GRAPHICIONADO_NET_POWER_W * time_s + msg_bytes * DRAM_PJ_PER_BYTE * 1e-12;
+        let energy_j = GRAPHICIONADO_NET_POWER_W * time_s + msg_bytes * DRAM_PJ_PER_BYTE * 1e-12;
         Ok(BaselineReport {
             system: self.name(),
             time_s,
@@ -160,7 +173,10 @@ mod tests {
         // checks (V, W): same message count as cycle4's 4 traversals.
         let clique = CompiledQuery::compile(&patterns::clique4()).unwrap();
         let cycle = CompiledQuery::compile(&patterns::cycle4()).unwrap();
-        assert_eq!(expansion_messages(&clique, edges), expansion_messages(&cycle, edges));
+        assert_eq!(
+            expansion_messages(&clique, edges),
+            expansion_messages(&cycle, edges)
+        );
         // And cycle3 charges its closing atom: 3 traversals on the
         // 3-cycle graph = 9 messages.
         let c3 = CompiledQuery::compile(&patterns::cycle3()).unwrap();

@@ -40,8 +40,8 @@ impl BaselineSystem for Q100 {
         let bytes = stats.bytes_moved();
         // Streaming is bandwidth-bound; every materialized intermediate
         // additionally pays the sort/partition passes.
-        let time_s = bytes as f64 / Q100_BYTES_PER_S
-            + stats.intermediates as f64 / Q100_TUPLES_PER_S;
+        let time_s =
+            bytes as f64 / Q100_BYTES_PER_S + stats.intermediates as f64 / Q100_TUPLES_PER_S;
         let energy_j = Q100_NET_POWER_W * time_s + bytes as f64 * DRAM_PJ_PER_BYTE * 1e-12;
         Ok(BaselineReport {
             system: self.name(),

@@ -1,11 +1,17 @@
-//! Criterion benchmarks of the four software join engines on the paper's
+//! Criterion benchmarks of the software join engines on the paper's
 //! queries — real wall-clock time of our implementations, complementing
 //! the modeled comparisons of the figure binaries.
+//!
+//! Besides the cross-engine comparison, `triangle_tally` measures the cost
+//! of instrumentation itself: the same LFTJ kernel with the counting tally
+//! (paper-figure mode), with `NoTally` (instrumentation compiled away) and
+//! root-partitioned across threads (`ParLftj`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use triejax_graph::{Dataset, Scale};
 use triejax_join::{
-    Catalog, CountSink, Ctj, GenericJoin, JoinEngine, Lftj, PairwiseHash, PairwiseSortMerge,
+    Catalog, CountSink, Counting, Ctj, GenericJoin, JoinEngine, Lftj, NoTally, PairwiseHash,
+    PairwiseSortMerge, ParLftj,
 };
 use triejax_query::{patterns::Pattern, CompiledQuery};
 
@@ -26,6 +32,7 @@ fn bench_engines(c: &mut Criterion) {
             ("generic", Box::new(|| Box::new(GenericJoin::new()))),
             ("pairwise", Box::new(|| Box::new(PairwiseHash::new()))),
             ("sortmerge", Box::new(|| Box::new(PairwiseSortMerge::new()))),
+            ("par-lftj", Box::new(|| Box::new(ParLftj::new()))),
         ];
         for (name, make) in engines {
             group.bench_function(BenchmarkId::from_parameter(name), |b| {
@@ -40,5 +47,51 @@ fn bench_engines(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_engines);
+/// Counting vs. no-tally vs. parallel LFTJ on triangle counting: the cost
+/// of welded-in instrumentation, and what root partitioning buys on top.
+fn bench_tally_modes(c: &mut Criterion) {
+    let cat = catalog();
+    let plan = CompiledQuery::compile(&Pattern::Cycle3.query()).expect("compiles");
+    let mut group = c.benchmark_group("triangle_tally");
+
+    group.bench_function(BenchmarkId::from_parameter("lftj-counting"), |b| {
+        b.iter(|| {
+            let mut sink = CountSink::default();
+            Lftj::new()
+                .run_tallied::<Counting>(&plan, &cat, &mut sink)
+                .expect("runs");
+            sink.count()
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("lftj-notally"), |b| {
+        b.iter(|| {
+            let mut sink = CountSink::default();
+            Lftj::new()
+                .run_tallied::<NoTally>(&plan, &cat, &mut sink)
+                .expect("runs");
+            sink.count()
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("parlftj-counting"), |b| {
+        b.iter(|| {
+            let mut sink = CountSink::default();
+            ParLftj::new()
+                .run_tallied::<Counting>(&plan, &cat, &mut sink)
+                .expect("runs");
+            sink.count()
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("parlftj-notally"), |b| {
+        b.iter(|| {
+            let mut sink = CountSink::default();
+            ParLftj::new()
+                .run_tallied::<NoTally>(&plan, &cat, &mut sink)
+                .expect("runs");
+            sink.count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_tally_modes);
 criterion_main!(benches);

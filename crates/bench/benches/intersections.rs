@@ -1,8 +1,8 @@
 //! Criterion micro-benchmarks of the galloping set intersection used by
-//! the Generic Join engine, across size ratios.
+//! the Generic Join engine, across size ratios and tally modes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use triejax_join::{intersect_sorted, EngineStats};
+use triejax_join::{intersect_sorted, Counting, EngineStats, NoTally};
 
 fn make_set(n: u32, stride: u32, offset: u32) -> Vec<u32> {
     (0..n).map(|i| i * stride + offset).collect()
@@ -11,14 +11,36 @@ fn make_set(n: u32, stride: u32, offset: u32) -> Vec<u32> {
 fn bench_intersections(c: &mut Criterion) {
     let mut group = c.benchmark_group("intersect");
     for (label, a, b) in [
-        ("balanced_10k", make_set(10_000, 3, 0), make_set(10_000, 5, 0)),
-        ("skewed_100_vs_100k", make_set(100, 1009, 0), make_set(100_000, 7, 0)),
-        ("disjoint_10k", make_set(10_000, 2, 0), make_set(10_000, 2, 1)),
+        (
+            "balanced_10k",
+            make_set(10_000, 3, 0),
+            make_set(10_000, 5, 0),
+        ),
+        (
+            "skewed_100_vs_100k",
+            make_set(100, 1009, 0),
+            make_set(100_000, 7, 0),
+        ),
+        (
+            "disjoint_10k",
+            make_set(10_000, 2, 0),
+            make_set(10_000, 2, 1),
+        ),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(label), |bench| {
+        group.bench_function(BenchmarkId::new(label, "counting"), |bench| {
+            let mut out = Vec::new();
             bench.iter(|| {
-                let mut stats = EngineStats::default();
-                intersect_sorted(&a, &b, &mut stats)
+                let mut stats = EngineStats::<Counting>::default();
+                intersect_sorted(&a, &b, &mut out, &mut stats);
+                out.len()
+            });
+        });
+        group.bench_function(BenchmarkId::new(label, "notally"), |bench| {
+            let mut out = Vec::new();
+            bench.iter(|| {
+                let mut stats = EngineStats::<NoTally>::default();
+                intersect_sorted(&a, &b, &mut out, &mut stats);
+                out.len()
             });
         });
     }

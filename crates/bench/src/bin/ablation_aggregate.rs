@@ -10,7 +10,10 @@ use triejax_bench::{geomean, Harness, Table};
 
 fn main() {
     let h = Harness::from_args();
-    println!("Extension: aggregation (count-only) mode ({} scale)\n", h.scale.label());
+    println!(
+        "Extension: aggregation (count-only) mode ({} scale)\n",
+        h.scale.label()
+    );
 
     let mut table = Table::new([
         "query",

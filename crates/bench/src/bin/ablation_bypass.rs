@@ -8,10 +8,19 @@ use triejax_bench::{geomean, paper, Harness, Table};
 
 fn main() {
     let h = Harness::from_args();
-    println!("Ablation: result-write cache bypass ({} scale)\n", h.scale.label());
+    println!(
+        "Ablation: result-write cache bypass ({} scale)\n",
+        h.scale.label()
+    );
 
-    let mut table =
-        Table::new(["query", "dataset", "results", "bypass cycles", "no-bypass cycles", "speedup"]);
+    let mut table = Table::new([
+        "query",
+        "dataset",
+        "results",
+        "bypass cycles",
+        "no-bypass cycles",
+        "speedup",
+    ]);
     let mut speedups = Vec::new();
     let mut path4_max: f64 = 0.0;
     for &p in &h.patterns {

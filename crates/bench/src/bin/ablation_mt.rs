@@ -9,8 +9,11 @@ use triejax_bench::{geomean, Harness, Table};
 
 fn main() {
     let h = Harness::from_args();
-    println!("Ablation: multithreading schemes ({} scale, {} threads)\n",
-        h.scale.label(), h.config.threads);
+    println!(
+        "Ablation: multithreading schemes ({} scale, {} threads)\n",
+        h.scale.label(),
+        h.config.threads
+    );
 
     let modes = [MtMode::Static, MtMode::Dynamic, MtMode::Combined];
     let mut table = Table::new(["query", "dataset", "static", "dynamic", "combined"]);

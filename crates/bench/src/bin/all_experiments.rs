@@ -23,7 +23,12 @@ fn main() {
             let cell = h.run_cell(p, d);
             cell.assert_agreement();
             cells += 1;
-            let base = [&cell.q100, &cell.graphicionado, &cell.emptyheaded, &cell.ctj];
+            let base = [
+                &cell.q100,
+                &cell.graphicionado,
+                &cell.emptyheaded,
+                &cell.ctj,
+            ];
             for i in 0..4 {
                 speed[i].push(cell.speedup_over(base[i]));
                 energy[i].push(cell.energy_reduction_over(base[i]));
@@ -92,7 +97,11 @@ fn main() {
                 ratios.push(c1 as f64 / ct as f64);
             }
         }
-        let target = if threads == 8 { paper::MT_SPEEDUP_8T } else { paper::MT_SPEEDUP_32T };
+        let target = if threads == 8 {
+            paper::MT_SPEEDUP_8T
+        } else {
+            paper::MT_SPEEDUP_32T
+        };
         println!(
             "  {threads:>2} threads: {:.2}x over 1T (paper {target}x)",
             geomean(ratios)

@@ -1,0 +1,175 @@
+//! Machine-readable join-engine benchmark: writes `BENCH_joins.json`.
+//!
+//! Times triangle counting (and Cycle4) with the instrumented LFTJ kernel,
+//! the zero-overhead `NoTally` kernel, and the root-partitioned parallel
+//! engine, so successive PRs can track the performance trajectory from a
+//! stable JSON artifact instead of scraping bench output.
+//!
+//! Usage: `bench_joins [--scale tiny|mini|full] [--dataset <label>]
+//! [--runs N] [--out PATH]`
+
+use std::time::Instant;
+
+use triejax_graph::{Dataset, Scale};
+use triejax_join::{Catalog, CountSink, Counting, Lftj, NoTally, ParLftj};
+use triejax_query::{patterns::Pattern, CompiledQuery};
+
+/// One named, boxed benchmark body (borrowing the plan and catalog).
+type BenchCase<'a> = (&'static str, Box<dyn FnMut() -> u64 + 'a>);
+
+struct Measurement {
+    engine: &'static str,
+    query: &'static str,
+    median_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    results: u64,
+}
+
+fn time_runs(runs: usize, mut f: impl FnMut() -> u64) -> (u128, u128, u128, u64) {
+    // One warm-up execution, then `runs` timed ones.
+    let mut results = f();
+    let mut samples: Vec<u128> = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t = Instant::now();
+        results = f();
+        samples.push(t.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    (
+        samples[samples.len() / 2],
+        samples[0],
+        samples[samples.len() - 1],
+        results,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Tiny;
+    let mut dataset = Dataset::GrQc;
+    let mut runs = 7usize;
+    let mut out_path = String::from("BENCH_joins.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args[i].as_str() {
+                    "tiny" => Scale::Tiny,
+                    "mini" => Scale::Mini,
+                    "full" => Scale::Full,
+                    other => panic!("unknown scale {other}"),
+                };
+            }
+            "--dataset" => {
+                i += 1;
+                dataset = Dataset::from_label(&args[i])
+                    .unwrap_or_else(|| panic!("unknown dataset {}", args[i]));
+            }
+            "--runs" => {
+                i += 1;
+                runs = args[i].parse().expect("--runs takes a number");
+                assert!(runs > 0, "--runs must be at least 1");
+            }
+            "--out" => {
+                i += 1;
+                out_path = args[i].clone();
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    let mut catalog = Catalog::new();
+    catalog.insert("G", dataset.generate(scale).edge_relation());
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for pattern in [Pattern::Cycle3, Pattern::Cycle4] {
+        let plan = CompiledQuery::compile(&pattern.query()).expect("compiles");
+        let cases: Vec<BenchCase<'_>> = vec![
+            (
+                "lftj-counting",
+                Box::new(|| {
+                    let mut sink = CountSink::default();
+                    Lftj::new()
+                        .run_tallied::<Counting>(&plan, &catalog, &mut sink)
+                        .expect("runs");
+                    sink.count()
+                }),
+            ),
+            (
+                "lftj-notally",
+                Box::new(|| {
+                    let mut sink = CountSink::default();
+                    Lftj::new()
+                        .run_tallied::<NoTally>(&plan, &catalog, &mut sink)
+                        .expect("runs");
+                    sink.count()
+                }),
+            ),
+            (
+                "parlftj-counting",
+                Box::new(|| {
+                    let mut sink = CountSink::default();
+                    ParLftj::new()
+                        .run_tallied::<Counting>(&plan, &catalog, &mut sink)
+                        .expect("runs");
+                    sink.count()
+                }),
+            ),
+            (
+                "parlftj-notally",
+                Box::new(|| {
+                    let mut sink = CountSink::default();
+                    ParLftj::new()
+                        .run_tallied::<NoTally>(&plan, &catalog, &mut sink)
+                        .expect("runs");
+                    sink.count()
+                }),
+            ),
+        ];
+        for (engine, mut f) in cases {
+            let (median_ns, min_ns, max_ns, results) = time_runs(runs, &mut f);
+            println!(
+                "{:>8} {:<18} median {:>12} ns  ({} results)",
+                pattern.label(),
+                engine,
+                median_ns,
+                results
+            );
+            measurements.push(Measurement {
+                engine,
+                query: pattern.label(),
+                median_ns,
+                min_ns,
+                max_ns,
+                results,
+            });
+        }
+    }
+
+    // Hand-rolled JSON (no serde in the offline environment).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"dataset\": \"{}\",\n", dataset.label()));
+    json.push_str(&format!("  \"scale\": \"{}\",\n", scale.label()));
+    json.push_str(&format!("  \"runs\": {runs},\n"));
+    json.push_str("  \"measurements\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"query\": \"{}\", \"engine\": \"{}\", \"median_ns\": {}, \
+             \"min_ns\": {}, \"max_ns\": {}, \"results\": {}}}{}\n",
+            m.query,
+            m.engine,
+            m.median_ns,
+            m.min_ns,
+            m.max_ns,
+            m.results,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_joins.json");
+    println!("wrote {out_path}");
+}

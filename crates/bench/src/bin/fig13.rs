@@ -11,8 +11,15 @@ fn main() {
         h.config.threads
     );
 
-    let mut table =
-        Table::new(["query", "dataset", "results", "vs Q100", "vs Graphicionado", "vs EmptyHeaded", "vs CTJ"]);
+    let mut table = Table::new([
+        "query",
+        "dataset",
+        "results",
+        "vs Q100",
+        "vs Graphicionado",
+        "vs EmptyHeaded",
+        "vs CTJ",
+    ]);
     let mut per_system: [Vec<f64>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
     for &p in &h.patterns {
         for &d in &h.datasets {

@@ -5,11 +5,17 @@ use triejax_bench::{geomean, paper, Harness, Table};
 
 fn main() {
     let h = Harness::from_args();
-    println!("Figure 14: multithreading speedup over 1 thread ({} scale)\n", h.scale.label());
+    println!(
+        "Figure 14: multithreading speedup over 1 thread ({} scale)\n",
+        h.scale.label()
+    );
 
     let threads = [1usize, 4, 8, 16, 32, 64];
     let mut table = Table::new(
-        ["query", "dataset"].into_iter().map(String::from).chain(threads.iter().map(|t| format!("{t}T"))),
+        ["query", "dataset"]
+            .into_iter()
+            .map(String::from)
+            .chain(threads.iter().map(|t| format!("{t}T"))),
     );
     // speedups[i] collects per-cell speedup at threads[i].
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); threads.len()];
@@ -34,9 +40,16 @@ fn main() {
     }
     println!("{}", table.render());
 
-    println!("geomean speedup per thread count (paper: 8T={}x, 32T={}x, 64T ~flat):",
-        paper::MT_SPEEDUP_8T, paper::MT_SPEEDUP_32T);
+    println!(
+        "geomean speedup per thread count (paper: 8T={}x, 32T={}x, 64T ~flat):",
+        paper::MT_SPEEDUP_8T,
+        paper::MT_SPEEDUP_32T
+    );
     for (i, &t) in threads.iter().enumerate() {
-        println!("  {:>3} threads: {:.2}x", t, geomean(speedups[i].iter().copied()));
+        println!(
+            "  {:>3} threads: {:.2}x",
+            t,
+            geomean(speedups[i].iter().copied())
+        );
     }
 }

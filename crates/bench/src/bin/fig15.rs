@@ -11,10 +11,21 @@ use triejax_memsim::EnergyBreakdown;
 
 fn main() {
     let h = Harness::from_args();
-    println!("Figure 15: TrieJax energy distribution per query ({} scale)\n", h.scale.label());
+    println!(
+        "Figure 15: TrieJax energy distribution per query ({} scale)\n",
+        h.scale.label()
+    );
 
     let mut table = Table::new([
-        "query", "DRAM", "LLC", "L2", "L1", "PJR", "core", "memory-total", "paper-mem",
+        "query",
+        "DRAM",
+        "LLC",
+        "L2",
+        "L1",
+        "PJR",
+        "core",
+        "memory-total",
+        "paper-mem",
     ]);
     for &p in &h.patterns {
         let mut sum = EnergyBreakdown::default();

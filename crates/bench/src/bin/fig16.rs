@@ -11,8 +11,14 @@ fn main() {
         h.scale.label()
     );
 
-    let mut table =
-        Table::new(["query", "dataset", "vs Q100", "vs Graphicionado", "vs EmptyHeaded", "vs CTJ"]);
+    let mut table = Table::new([
+        "query",
+        "dataset",
+        "vs Q100",
+        "vs Graphicionado",
+        "vs EmptyHeaded",
+        "vs CTJ",
+    ]);
     let mut per_system: [Vec<f64>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
     for &p in &h.patterns {
         for &d in &h.datasets {

@@ -8,10 +8,19 @@ use triejax_bench::{fmt_count, fmt_ratio, geomean, paper, Harness, Table};
 
 fn main() {
     let h = Harness::from_args();
-    println!("Figure 17: main-memory accesses per system ({} scale)\n", h.scale.label());
+    println!(
+        "Figure 17: main-memory accesses per system ({} scale)\n",
+        h.scale.label()
+    );
 
-    let mut table =
-        Table::new(["query", "dataset", "Q100", "Graphicionado", "EmptyHeaded", "CTJ"]);
+    let mut table = Table::new([
+        "query",
+        "dataset",
+        "Q100",
+        "Graphicionado",
+        "EmptyHeaded",
+        "CTJ",
+    ]);
     let mut ratios: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for &p in &h.patterns {
         for &d in &h.datasets {

@@ -15,7 +15,10 @@ fn main() {
     println!("{}", table.render());
     println!("extensions beyond the paper:");
     let mut ext = Table::new(["name", "query"]);
-    for p in Pattern::ALL.into_iter().filter(|p| !Pattern::PAPER.contains(p)) {
+    for p in Pattern::ALL
+        .into_iter()
+        .filter(|p| !Pattern::PAPER.contains(p))
+    {
         ext.row([p.label().to_string(), p.query().to_datalog()]);
     }
     println!("{}", ext.render());

@@ -16,14 +16,25 @@ fn row_for(cfg: &MemConfig) -> Vec<String> {
             cfg.dram.channels,
             cfg.dram.channels as f64 * 64.0 / cfg.dram.burst_cycles as f64
         ),
-        if cfg.write_bypass { "yes".into() } else { "no".into() },
+        if cfg.write_bypass {
+            "yes".into()
+        } else {
+            "no".into()
+        },
     ]
 }
 
 fn main() {
     println!("Table 3: experimental configuration\n");
-    let mut table =
-        Table::new(["config", "clock", "L1", "L2", "LLC", "DRAM", "result-write bypass"]);
+    let mut table = Table::new([
+        "config",
+        "clock",
+        "L1",
+        "L2",
+        "LLC",
+        "DRAM",
+        "result-write bypass",
+    ]);
     let tj = MemConfig::triejax();
     let cpu = MemConfig::cpu();
     let mut r = vec!["TrieJax".to_string()];

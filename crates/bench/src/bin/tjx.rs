@@ -13,9 +13,7 @@
 use std::process::exit;
 
 use triejax::{TrieJax, TrieJaxConfig};
-use triejax_baselines::{
-    BaselineSystem, CtjSoftware, EmptyHeaded, Graphicionado, Q100,
-};
+use triejax_baselines::{BaselineSystem, CtjSoftware, EmptyHeaded, Graphicionado, Q100};
 use triejax_bench::fmt_count;
 use triejax_graph::{snap, Dataset, Graph, Scale};
 use triejax_join::Catalog;
@@ -67,9 +65,7 @@ fn parse_args() -> Args {
                 args.pattern = None;
             }
             "--pattern" => {
-                args.pattern = Some(
-                    Pattern::from_label(&value(&mut i)).unwrap_or_else(|| usage()),
-                );
+                args.pattern = Some(Pattern::from_label(&value(&mut i)).unwrap_or_else(|| usage()));
             }
             "--dataset" => {
                 args.dataset = Dataset::from_label(&value(&mut i)).unwrap_or_else(|| usage());
@@ -113,7 +109,11 @@ fn main() {
         }
         None => args.dataset.generate(args.scale),
     };
-    println!("graph: {} nodes, {} edges", graph.num_nodes(), fmt_count(graph.num_edges() as u64));
+    println!(
+        "graph: {} nodes, {} edges",
+        graph.num_nodes(),
+        fmt_count(graph.num_edges() as u64)
+    );
 
     let mut catalog = Catalog::new();
     catalog.insert("G", graph.edge_relation());

@@ -82,8 +82,11 @@ impl Harness {
                 }
                 "--threads" => {
                     i += 1;
-                    let n: usize =
-                        args.get(i).expect("--threads needs a value").parse().expect("number");
+                    let n: usize = args
+                        .get(i)
+                        .expect("--threads needs a value")
+                        .parse()
+                        .expect("number");
                     h.config = h.config.clone().with_threads(n);
                 }
                 other => {
@@ -110,7 +113,9 @@ impl Harness {
     /// Runs the TrieJax simulator on one cell.
     pub fn run_triejax(&self, pattern: Pattern, catalog: &Catalog) -> SimReport {
         let plan = CompiledQuery::compile(&pattern.query()).expect("patterns compile");
-        TrieJax::new(self.config.clone()).run(&plan, catalog).expect("catalog satisfies plan")
+        TrieJax::new(self.config.clone())
+            .run(&plan, catalog)
+            .expect("catalog satisfies plan")
     }
 
     /// Runs every system on one cell.
@@ -169,9 +174,21 @@ impl CellResult {
     pub fn assert_agreement(&self) {
         let t = self.triejax.results;
         assert_eq!(t, self.ctj.results, "{} {} ctj", self.pattern, self.dataset);
-        assert_eq!(t, self.emptyheaded.results, "{} {} eh", self.pattern, self.dataset);
-        assert_eq!(t, self.q100.results, "{} {} q100", self.pattern, self.dataset);
-        assert_eq!(t, self.graphicionado.results, "{} {} graphicionado", self.pattern, self.dataset);
+        assert_eq!(
+            t, self.emptyheaded.results,
+            "{} {} eh",
+            self.pattern, self.dataset
+        );
+        assert_eq!(
+            t, self.q100.results,
+            "{} {} q100",
+            self.pattern, self.dataset
+        );
+        assert_eq!(
+            t, self.graphicionado.results,
+            "{} {} graphicionado",
+            self.pattern, self.dataset
+        );
     }
 }
 
@@ -206,7 +223,7 @@ pub fn fmt_count(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, ch) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(ch);
@@ -224,7 +241,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Table {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row (must match the header count).

@@ -18,7 +18,12 @@ pub struct ReportedBand {
 
 /// Figure 13 / Figure 16 headline bands.
 pub const BANDS: [ReportedBand; 4] = [
-    ReportedBand { system: "ctj", speedup_avg: 20.0, speedup_range: (5.5, 45.0), energy_avg: 110.0 },
+    ReportedBand {
+        system: "ctj",
+        speedup_avg: 20.0,
+        speedup_range: (5.5, 45.0),
+        energy_avg: 110.0,
+    },
     ReportedBand {
         system: "emptyheaded",
         speedup_avg: 9.0,
@@ -31,7 +36,12 @@ pub const BANDS: [ReportedBand; 4] = [
         speedup_range: (0.8, 32.0),
         energy_avg: 15.0,
     },
-    ReportedBand { system: "q100", speedup_avg: 63.0, speedup_range: (0.9, 539.0), energy_avg: 179.0 },
+    ReportedBand {
+        system: "q100",
+        speedup_avg: 63.0,
+        speedup_range: (0.9, 539.0),
+        energy_avg: 179.0,
+    },
 ];
 
 /// Figure 14: multithreading speedup over a single thread.

@@ -101,14 +101,24 @@ mod tests {
 
     #[test]
     fn component_total_sums() {
-        let ops = ComponentOps { cupid: 1, matchmaker: 2, lub_seeks: 3, lub_probes: 4, midwife: 5 };
+        let ops = ComponentOps {
+            cupid: 1,
+            matchmaker: 2,
+            lub_seeks: 3,
+            lub_probes: 4,
+            midwife: 5,
+        };
         assert_eq!(ops.total(), 15);
     }
 
     #[test]
     fn pjr_hit_rate_safe_on_zero() {
         assert_eq!(PjrStats::default().hit_rate(), 0.0);
-        let s = PjrStats { hits: 3, misses: 1, ..Default::default() };
+        let s = PjrStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
     }
 }

@@ -44,7 +44,9 @@ impl SimCursor {
 
     /// Address of the value word at `idx` on the current level.
     pub fn value_addr(&self, trie: &Trie, idx: u32) -> Addr {
-        trie.level(self.frames.len() - 1).values_span().word(idx as usize)
+        trie.level(self.frames.len() - 1)
+            .values_span()
+            .word(idx as usize)
     }
 
     /// Child range of the current node, with the two child-range word
@@ -63,7 +65,11 @@ impl SimCursor {
         if n == 0 {
             return false;
         }
-        self.frames.push(Frame { lo: 0, hi: n, pos: 0 });
+        self.frames.push(Frame {
+            lo: 0,
+            hi: n,
+            pos: 0,
+        });
         true
     }
 
@@ -80,7 +86,11 @@ impl SimCursor {
     /// Opens a child level directly at a cached absolute index (PJR replay;
     /// no memory touched).
     pub fn open_at(&mut self, pos: u32) {
-        self.frames.push(Frame { lo: pos, hi: pos + 1, pos });
+        self.frames.push(Frame {
+            lo: pos,
+            hi: pos + 1,
+            pos,
+        });
     }
 
     /// Constrains the current level to `[lo, hi)` — static multithreading's

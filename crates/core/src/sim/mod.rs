@@ -120,7 +120,11 @@ enum FrameMode {
     /// pointer of the classic algorithm.
     Normal { p: usize },
     /// Replaying a PJR entry.
-    Replay { entry: PjrEntry, idx: usize, open: bool },
+    Replay {
+        entry: PjrEntry,
+        idx: usize,
+        open: bool,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -199,7 +203,11 @@ impl<'a> Simulator<'a> {
         let slots = plan
             .order()
             .iter()
-            .map(|v| head.iter().position(|h| h == v).expect("order vars in head"))
+            .map(|v| {
+                head.iter()
+                    .position(|h| h == v)
+                    .expect("order vars in head")
+            })
             .collect();
         let num_atoms = plan.atom_plans().len();
         let arity = plan.arity();
@@ -216,7 +224,9 @@ impl<'a> Simulator<'a> {
                 cfg.pjr_latency,
                 cfg.pjr_entry_values,
             ),
-            threads: (0..cfg.threads).map(|_| ThreadCtx::new(num_atoms, arity)).collect(),
+            threads: (0..cfg.threads)
+                .map(|_| ThreadCtx::new(num_atoms, arity))
+                .collect(),
             free_ctx: Vec::new(),
             events: BinaryHeap::new(),
             seq: 0,
@@ -262,9 +272,7 @@ impl<'a> Simulator<'a> {
         let n0 = self.trie_of(first_atom).level(0).len() as u32;
         let num_static = match self.cfg.mt_mode {
             MtMode::Dynamic => 1,
-            MtMode::Static | MtMode::Combined => {
-                (self.cfg.threads as u32).min(n0).max(1) as usize
-            }
+            MtMode::Static | MtMode::Combined => (self.cfg.threads as u32).min(n0).max(1) as usize,
         };
         for i in 0..num_static {
             let lo = (i as u64 * n0 as u64 / num_static as u64) as u32;
@@ -303,12 +311,10 @@ impl<'a> Simulator<'a> {
         let cycles = self.end_time;
         let runtime_s = self.cfg.mem.cycles_to_seconds(cycles);
         let mem = self.mem.stats();
-        let energy = self.cfg.energy.breakdown(
-            &mem,
-            self.pjr.stats.accesses,
-            self.ops.total(),
-            runtime_s,
-        );
+        let energy =
+            self.cfg
+                .energy
+                .breakdown(&mem, self.pjr.stats.accesses, self.ops.total(), runtime_s);
         SimReport {
             cycles,
             runtime_s,
@@ -355,7 +361,11 @@ impl<'a> Simulator<'a> {
                 t += self.pjr_wait();
                 if let Some(entry) = self.pjr.lookup(&key) {
                     self.threads[tid].stack.push(LevelFrame {
-                        mode: FrameMode::Replay { entry, idx: 0, open: false },
+                        mode: FrameMode::Replay {
+                            entry,
+                            idx: 0,
+                            open: false,
+                        },
                         detached: false,
                         recording: None,
                     });
@@ -422,7 +432,12 @@ impl<'a> Simulator<'a> {
         // Close the open_at frames from the previous replayed value.
         let (entry, idx) = {
             let frame = self.threads[tid].stack.last_mut().expect("frame");
-            let FrameMode::Replay { entry: _, idx: _, open } = &mut frame.mode else {
+            let FrameMode::Replay {
+                entry: _,
+                idx: _,
+                open,
+            } = &mut frame.mode
+            else {
                 unreachable!("replay_next only on replay frames")
             };
             if *open {
@@ -432,7 +447,9 @@ impl<'a> Simulator<'a> {
                 }
             }
             let frame = self.threads[tid].stack.last_mut().expect("frame");
-            let FrameMode::Replay { entry, idx, .. } = &mut frame.mode else { unreachable!() };
+            let FrameMode::Replay { entry, idx, .. } = &mut frame.mode else {
+                unreachable!()
+            };
             (Rc::clone(entry), *idx)
         };
 
@@ -452,7 +469,9 @@ impl<'a> Simulator<'a> {
         self.threads[tid].binding[depth] = *v;
         {
             let frame = self.threads[tid].stack.last_mut().expect("frame");
-            let FrameMode::Replay { idx, .. } = &mut frame.mode else { unreachable!() };
+            let FrameMode::Replay { idx, .. } = &mut frame.mode else {
+                unreachable!()
+            };
             *idx += 1;
         }
 
@@ -465,7 +484,9 @@ impl<'a> Simulator<'a> {
                 self.threads[tid].cursors[a].open_at(positions[i]);
             }
             let frame = self.threads[tid].stack.last_mut().expect("frame");
-            let FrameMode::Replay { open, .. } = &mut frame.mode else { unreachable!() };
+            let FrameMode::Replay { open, .. } = &mut frame.mode else {
+                unreachable!()
+            };
             *open = true;
             self.threads[tid].phase = Phase::StartLevel { depth: depth + 1 };
             self.schedule(t, tid);
@@ -477,7 +498,10 @@ impl<'a> Simulator<'a> {
         self.ops.cupid += 1;
         t += self.cupid_wait() + 1;
 
-        let frame = self.threads[tid].stack.pop().expect("backtrack needs a frame");
+        let frame = self.threads[tid]
+            .stack
+            .pop()
+            .expect("backtrack needs a frame");
         let parts = self.plan.atoms_at(depth);
         match frame.mode {
             FrameMode::Normal { .. } => {
@@ -507,11 +531,17 @@ impl<'a> Simulator<'a> {
         let parent_depth = depth - 1;
         let parent = self.threads[tid].stack.last().expect("non-empty");
         self.threads[tid].phase = if parent.detached {
-            Phase::Backtrack { depth: parent_depth }
+            Phase::Backtrack {
+                depth: parent_depth,
+            }
         } else {
             match parent.mode {
-                FrameMode::Normal { .. } => Phase::Advance { depth: parent_depth },
-                FrameMode::Replay { .. } => Phase::ReplayNext { depth: parent_depth },
+                FrameMode::Normal { .. } => Phase::Advance {
+                    depth: parent_depth,
+                },
+                FrameMode::Replay { .. } => Phase::ReplayNext {
+                    depth: parent_depth,
+                },
             }
         };
         self.schedule(t, tid);
@@ -564,7 +594,10 @@ impl<'a> Simulator<'a> {
         *t += self.units.matchmaker.issue(now) - now + 1;
 
         let k = parts.len();
-        if parts.iter().any(|&(a, _)| self.threads[tid].cursors[a].at_end()) {
+        if parts
+            .iter()
+            .any(|&(a, _)| self.threads[tid].cursors[a].at_end())
+        {
             return None;
         }
         let mut max = 0;
@@ -629,7 +662,10 @@ impl<'a> Simulator<'a> {
         let positions: Option<Vec<u32>> = {
             let frame = self.threads[tid].stack.last().expect("frame");
             frame.recording.as_ref().map(|_| {
-                parts.iter().map(|&(a, _)| self.threads[tid].cursors[a].pos()).collect()
+                parts
+                    .iter()
+                    .map(|&(a, _)| self.threads[tid].cursors[a].pos())
+                    .collect()
             })
         };
         if let Some(positions) = positions {
@@ -697,7 +733,11 @@ impl<'a> Simulator<'a> {
             stack: src
                 .stack
                 .iter()
-                .map(|f| LevelFrame { mode: f.mode.clone(), detached: true, recording: None })
+                .map(|f| LevelFrame {
+                    mode: f.mode.clone(),
+                    detached: true,
+                    recording: None,
+                })
                 .collect(),
             phase: Phase::Advance { depth },
             wb_words: 0,
@@ -833,8 +873,12 @@ mod tests {
         }
         let c = catalog(&edges);
         let plan = CompiledQuery::compile(&patterns::path4()).unwrap();
-        let t1 = TrieJax::new(TrieJaxConfig::default().with_threads(1)).run(&plan, &c).unwrap();
-        let t8 = TrieJax::new(TrieJaxConfig::default().with_threads(8)).run(&plan, &c).unwrap();
+        let t1 = TrieJax::new(TrieJaxConfig::default().with_threads(1))
+            .run(&plan, &c)
+            .unwrap();
+        let t8 = TrieJax::new(TrieJaxConfig::default().with_threads(8))
+            .run(&plan, &c)
+            .unwrap();
         assert_eq!(t1.results, t8.results);
         assert!(
             t8.cycles * 2 < t1.cycles,
@@ -878,7 +922,9 @@ mod tests {
     fn cycle3_never_uses_pjr() {
         let c = catalog(&test_edges());
         let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
-        let report = TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap();
+        let report = TrieJax::new(TrieJaxConfig::default())
+            .run(&plan, &c)
+            .unwrap();
         assert_eq!(report.pjr.accesses, 0, "no valid cache spec for cycle3");
     }
 
@@ -886,7 +932,9 @@ mod tests {
     fn empty_graph_is_an_empty_report() {
         let c = catalog(&[]);
         let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
-        let report = TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap();
+        let report = TrieJax::new(TrieJaxConfig::default())
+            .run(&plan, &c)
+            .unwrap();
         assert_eq!(report.results, 0);
         assert_eq!(report.cycles, 0);
     }
@@ -894,16 +942,24 @@ mod tests {
     #[test]
     fn missing_relation_is_an_error() {
         let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
-        assert!(TrieJax::new(TrieJaxConfig::default()).run(&plan, &Catalog::new()).is_err());
+        assert!(TrieJax::new(TrieJaxConfig::default())
+            .run(&plan, &Catalog::new())
+            .is_err());
     }
 
     #[test]
     fn energy_is_dram_dominated() {
         let c = catalog(&test_edges());
         let plan = CompiledQuery::compile(&patterns::path4()).unwrap();
-        let report = TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap();
+        let report = TrieJax::new(TrieJaxConfig::default())
+            .run(&plan, &c)
+            .unwrap();
         assert!(report.energy.total() > 0.0);
-        assert!(report.energy.dram_fraction() > 0.5, "{}", report.energy.dram_fraction());
+        assert!(
+            report.energy.dram_fraction() > 0.5,
+            "{}",
+            report.energy.dram_fraction()
+        );
     }
 
     #[test]
@@ -932,7 +988,9 @@ mod tests {
         }
         let c = catalog(&edges);
         let plan = CompiledQuery::compile(&patterns::path4()).unwrap();
-        let full = TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap();
+        let full = TrieJax::new(TrieJaxConfig::default())
+            .run(&plan, &c)
+            .unwrap();
         let agg = TrieJax::new(TrieJaxConfig::default().with_aggregate(true))
             .run(&plan, &c)
             .unwrap();
@@ -957,9 +1015,12 @@ mod tests {
         }
         let c = catalog(&edges);
         let plan = CompiledQuery::compile(&patterns::path4()).unwrap();
-        let with = TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap();
-        let without =
-            TrieJax::new(TrieJaxConfig::default().with_write_bypass(false)).run(&plan, &c).unwrap();
+        let with = TrieJax::new(TrieJaxConfig::default())
+            .run(&plan, &c)
+            .unwrap();
+        let without = TrieJax::new(TrieJaxConfig::default().with_write_bypass(false))
+            .run(&plan, &c)
+            .unwrap();
         assert_eq!(with.results, without.results);
         assert!(with.mem.llc.accesses() < without.mem.llc.accesses());
     }

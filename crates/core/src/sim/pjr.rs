@@ -85,8 +85,12 @@ impl PjrCache {
     /// time. Banks serve one access per `latency` window.
     pub fn access(&mut self, now: Cycle) -> Cycle {
         self.stats.accesses += 1;
-        let (idx, &slot) =
-            self.banks.iter().enumerate().min_by_key(|&(_, &t)| t).expect("non-empty banks");
+        let (idx, &slot) = self
+            .banks
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .expect("non-empty banks");
         let start = slot.max(now);
         self.banks[idx] = start + self.latency;
         start + self.latency
@@ -114,7 +118,12 @@ impl PjrCache {
         }
         self.fills.insert(
             key.clone(),
-            FillState { path: path.to_vec(), values: Vec::new(), threads: 1, aborted: false },
+            FillState {
+                path: path.to_vec(),
+                values: Vec::new(),
+                threads: 1,
+                aborted: false,
+            },
         );
         true
     }
@@ -136,7 +145,9 @@ impl PjrCache {
     /// insertion-buffer write).
     pub fn record(&mut self, key: &PjrKey, value: Value, positions: Vec<u32>) -> bool {
         let cap = self.entry_cap;
-        let Some(f) = self.fills.get_mut(key) else { return false };
+        let Some(f) = self.fills.get_mut(key) else {
+            return false;
+        };
         if f.aborted {
             return false;
         }
@@ -152,7 +163,9 @@ impl PjrCache {
     /// One thread finished analyzing the level: decrement the counter;
     /// when it drains, commit or discard (§3.5).
     pub fn release_fill(&mut self, key: &PjrKey) {
-        let Some(f) = self.fills.get_mut(key) else { return };
+        let Some(f) = self.fills.get_mut(key) else {
+            return;
+        };
         f.threads -= 1;
         if f.threads > 0 {
             return;
@@ -192,7 +205,10 @@ impl PjrCache {
     /// Bytes one entry occupies: key/count metadata plus one word per value
     /// and per stored index.
     fn entry_bytes(values: &[(Value, Vec<u32>)]) -> u64 {
-        let per_value: u64 = values.iter().map(|(_, idxs)| 4 + 4 * idxs.len() as u64).sum();
+        let per_value: u64 = values
+            .iter()
+            .map(|(_, idxs)| 4 + 4 * idxs.len() as u64)
+            .sum();
         16 + per_value
     }
 }
@@ -227,7 +243,10 @@ mod tests {
         let key = (1usize, vec![1u32]);
         assert!(c.begin_fill(&key, &[5, 1]));
         assert!(!c.begin_fill(&key, &[6, 1]), "second path refused");
-        assert!(!c.join_fill(&key, &[6, 1]), "join from another path refused");
+        assert!(
+            !c.join_fill(&key, &[6, 1]),
+            "join from another path refused"
+        );
         assert!(c.join_fill(&key, &[5, 1]), "same path joins");
     }
 

@@ -20,14 +20,21 @@ pub(crate) struct UnitPool {
 impl UnitPool {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "unit pool needs at least one unit");
-        UnitPool { free: vec![0; n], issued: 0 }
+        UnitPool {
+            free: vec![0; n],
+            issued: 0,
+        }
     }
 
     /// Claims the earliest issue slot at-or-after `now`; returns the issue
     /// time. The unit is busy for one cycle (pipelined).
     pub fn issue(&mut self, now: Cycle) -> Cycle {
-        let (idx, &slot) =
-            self.free.iter().enumerate().min_by_key(|&(_, &t)| t).expect("non-empty pool");
+        let (idx, &slot) = self
+            .free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .expect("non-empty pool");
         let start = slot.max(now);
         self.free[idx] = start + 1;
         self.issued += 1;

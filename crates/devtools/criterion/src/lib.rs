@@ -1,0 +1,265 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! a dependency-free benchmark harness with the same API shape:
+//! [`Criterion::benchmark_group`], `bench_function` / `bench_with_input`,
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up, then
+//! timed over `sample_size` samples of auto-scaled iteration batches, and
+//! the median per-iteration time is printed as
+//! `name/id ... median <t> (min <t>, max <t>)`. There are no HTML reports,
+//! no statistical regression analysis, and no baseline comparisons — just
+//! stable wall-clock numbers suitable for before/after comparisons.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per sample batch, in nanoseconds.
+const TARGET_SAMPLE_NS: u128 = 20_000_000;
+/// Warm-up budget per benchmark, in nanoseconds.
+const WARMUP_NS: u128 = 50_000_000;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name plus a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives timed iterations of one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `body`, collecting per-iteration nanoseconds.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm up and estimate a batch size that runs ~TARGET_SAMPLE_NS.
+        let mut iters_per_batch = 1u64;
+        let warm_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(body());
+            }
+            let elapsed = t.elapsed().as_nanos().max(1);
+            if warm_start.elapsed().as_nanos() > WARMUP_NS || elapsed > TARGET_SAMPLE_NS / 2 {
+                let per_iter = elapsed / u128::from(iters_per_batch);
+                iters_per_batch =
+                    (TARGET_SAMPLE_NS / per_iter.max(1)).clamp(1, 1_000_000_000) as u64;
+                break;
+            }
+            iters_per_batch = iters_per_batch.saturating_mul(2);
+        }
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(body());
+            }
+            let elapsed = t.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / iters_per_batch as f64);
+        }
+    }
+
+    fn summary(&self) -> Option<(f64, f64, f64)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        Some((median, sorted[0], sorted[sorted.len() - 1]))
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    match b.summary() {
+        Some((median, min, max)) => println!(
+            "{label:<40} median {} (min {}, max {})",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max)
+        ),
+        None => println!("{label:<40} (no measurement)"),
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut f = f;
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        run_one(name, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Configures the measurement duration (accepted for API
+    /// compatibility; the stand-in keys off sample counts instead).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::from_parameter("lftj").to_string(), "lftj");
+        assert_eq!(BenchmarkId::new("scan", 4).to_string(), "scan/4");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 3,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), 3);
+        let (median, min, max) = b.summary().unwrap();
+        assert!(min <= median && median <= max);
+    }
+}

@@ -174,7 +174,9 @@ impl Dataset {
 
     /// Finds a dataset by its short name, case-insensitively.
     pub fn from_label(label: &str) -> Option<Dataset> {
-        Dataset::ALL.into_iter().find(|d| d.label().eq_ignore_ascii_case(label))
+        Dataset::ALL
+            .into_iter()
+            .find(|d| d.label().eq_ignore_ascii_case(label))
     }
 
     /// Deterministically generates the synthetic stand-in at `scale`.

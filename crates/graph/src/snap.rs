@@ -72,7 +72,9 @@ pub fn read_snap<R: Read>(reader: R) -> Result<Graph, SnapError> {
         *ids.entry(raw).or_insert(next)
     };
     for (i, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| SnapError::Io { message: e.to_string() })?;
+        let line = line.map_err(|e| SnapError::Io {
+            message: e.to_string(),
+        })?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -98,9 +100,16 @@ pub fn read_snap<R: Read>(reader: R) -> Result<Graph, SnapError> {
 ///
 /// Returns [`SnapError::Io`] if writing fails.
 pub fn write_snap<W: Write>(graph: &Graph, mut writer: W) -> Result<(), SnapError> {
-    let io = |e: std::io::Error| SnapError::Io { message: e.to_string() };
-    writeln!(writer, "# Nodes: {} Edges: {}", graph.num_nodes(), graph.num_edges())
-        .map_err(io)?;
+    let io = |e: std::io::Error| SnapError::Io {
+        message: e.to_string(),
+    };
+    writeln!(
+        writer,
+        "# Nodes: {} Edges: {}",
+        graph.num_nodes(),
+        graph.num_edges()
+    )
+    .map_err(io)?;
     for &(a, b) in graph.edges() {
         writeln!(writer, "{a}\t{b}").map_err(io)?;
     }
@@ -127,7 +136,10 @@ mod tests {
 
     #[test]
     fn rejects_malformed_lines() {
-        assert_eq!(read_snap("1\n".as_bytes()).unwrap_err(), SnapError::BadLine { line: 1 });
+        assert_eq!(
+            read_snap("1\n".as_bytes()).unwrap_err(),
+            SnapError::BadLine { line: 1 }
+        );
         assert_eq!(
             read_snap("1 2\nx y\n".as_bytes()).unwrap_err(),
             SnapError::BadLine { line: 2 }

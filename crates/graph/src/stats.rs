@@ -43,7 +43,10 @@ impl GraphStats {
         let reciprocity = if edges.is_empty() {
             0.0
         } else {
-            edges.iter().filter(|&&(a, b)| edge_set.contains(&(b, a))).count() as f64
+            edges
+                .iter()
+                .filter(|&&(a, b)| edge_set.contains(&(b, a)))
+                .count() as f64
                 / edges.len() as f64
         };
 
@@ -67,7 +70,11 @@ impl GraphStats {
                 }
             }
         }
-        let clustering = if wedges == 0 { 0.0 } else { closed as f64 / wedges as f64 };
+        let clustering = if wedges == 0 {
+            0.0
+        } else {
+            closed as f64 / wedges as f64
+        };
 
         GraphStats {
             nodes: graph.num_nodes(),

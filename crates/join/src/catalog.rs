@@ -80,7 +80,9 @@ impl TrieSet {
         for ap in plan.atom_plans() {
             let rel = catalog
                 .get(ap.relation())
-                .ok_or_else(|| JoinError::MissingRelation { name: ap.relation().to_owned() })?;
+                .ok_or_else(|| JoinError::MissingRelation {
+                    name: ap.relation().to_owned(),
+                })?;
             if rel.arity() != ap.arity() {
                 return Err(JoinError::ArityMismatch {
                     name: ap.relation().to_owned(),

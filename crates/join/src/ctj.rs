@@ -2,10 +2,10 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use triejax_query::CompiledQuery;
-use triejax_relation::{AccessKind, TrieCursor, Value, WORD_BYTES};
+use triejax_relation::{AccessKind, Counting, Tally, TrieCursor, Value, WORD_BYTES};
 
 use crate::engine::head_slots;
-use crate::{Catalog, EngineStats, JoinError, JoinEngine, Leapfrog, ResultSink, TrieSet};
+use crate::{Catalog, EngineStats, JoinEngine, JoinError, Leapfrog, ResultSink, TrieSet};
 
 /// Configuration of the software partial-join-result cache.
 ///
@@ -69,6 +69,25 @@ impl Ctj {
     pub fn config(&self) -> CtjConfig {
         self.config
     }
+
+    /// Runs the query with an explicit [`Tally`] choice; see
+    /// [`crate::Lftj::run_tallied`] for the counting/fast trade-off.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JoinError`] when the catalog is missing a relation or a
+    /// relation's arity mismatches its atom.
+    pub fn run_tallied<T: Tally>(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats<T>, JoinError> {
+        let tries = TrieSet::build(plan, catalog)?;
+        let mut driver = CtjDriver::new(plan, &tries, self.config);
+        driver.level(0, sink);
+        Ok(driver.stats)
+    }
 }
 
 impl JoinEngine for Ctj {
@@ -82,10 +101,7 @@ impl JoinEngine for Ctj {
         catalog: &Catalog,
         sink: &mut dyn ResultSink,
     ) -> Result<EngineStats, JoinError> {
-        let tries = TrieSet::build(plan, catalog)?;
-        let mut driver = CtjDriver::new(plan, &tries, self.config);
-        driver.level(0, sink);
-        Ok(driver.stats)
+        self.run_tallied::<Counting>(plan, catalog, sink)
     }
 }
 
@@ -93,23 +109,29 @@ impl JoinEngine for Ctj {
 /// indexes (atoms in `atoms_at(depth)` order).
 type Entry = Rc<Vec<(Value, Vec<u32>)>>;
 
-struct CtjDriver<'a> {
+struct CtjDriver<'a, T: Tally> {
     plan: &'a CompiledQuery,
     config: CtjConfig,
     cursors: Vec<TrieCursor<'a>>,
     binding: Vec<Value>,
     emit: Vec<Value>,
     slots: Vec<usize>,
+    /// Per depth: participating cursor indices, preallocated once so the
+    /// recursive driver never allocates per node.
+    members_at: Vec<Vec<usize>>,
     cache: HashMap<(usize, Vec<Value>), Entry>,
-    stats: EngineStats,
+    stats: EngineStats<T>,
 }
 
-impl<'a> CtjDriver<'a> {
+impl<'a, T: Tally> CtjDriver<'a, T> {
     fn new(plan: &'a CompiledQuery, tries: &'a TrieSet, config: CtjConfig) -> Self {
         let cursors = (0..plan.atom_plans().len())
             .map(|i| TrieCursor::new(tries.for_atom(i)))
             .collect();
         let n = plan.arity();
+        let members_at = (0..n)
+            .map(|d| plan.atoms_at(d).iter().map(|&(a, _)| a).collect())
+            .collect();
         CtjDriver {
             plan,
             config,
@@ -117,6 +139,7 @@ impl<'a> CtjDriver<'a> {
             binding: vec![0; n],
             emit: vec![0; n],
             slots: head_slots(plan),
+            members_at,
             cache: HashMap::new(),
             stats: EngineStats::default(),
         }
@@ -136,8 +159,11 @@ impl<'a> CtjDriver<'a> {
     fn level(&mut self, d: usize, sink: &mut dyn ResultSink) {
         let record_key = match self.plan.cache_spec_at(d) {
             Some(spec) => {
-                let key: Vec<Value> =
-                    spec.key_depths().iter().map(|&kd| self.binding[kd]).collect();
+                let key: Vec<Value> = spec
+                    .key_depths()
+                    .iter()
+                    .map(|&kd| self.binding[kd])
+                    .collect();
                 // Cache lookup: hash probe over the key words.
                 self.stats
                     .access
@@ -161,7 +187,7 @@ impl<'a> CtjDriver<'a> {
     /// step 5: "read next z from cache").
     fn replay(&mut self, d: usize, entry: &[(Value, Vec<u32>)], sink: &mut dyn ResultSink) {
         let last = d + 1 == self.plan.arity();
-        let parts: Vec<(usize, usize)> = self.plan.atoms_at(d).to_vec();
+        let parts = self.plan.atoms_at(d);
         for (v, positions) in entry {
             self.stats.access.record(
                 AccessKind::Intermediate,
@@ -175,7 +201,7 @@ impl<'a> CtjDriver<'a> {
                     self.cursors[a].open_at(positions[i] as usize);
                 }
                 self.level(d + 1, sink);
-                for &(a, _) in &parts {
+                for &(a, _) in parts {
                     self.cursors[a].up();
                 }
             }
@@ -186,7 +212,7 @@ impl<'a> CtjDriver<'a> {
     /// matches for insertion into the cache once the level completes.
     fn compute(&mut self, d: usize, record_key: Option<Vec<Value>>, sink: &mut dyn ResultSink) {
         // Open level d on every participant.
-        let parts: Vec<(usize, usize)> = self.plan.atoms_at(d).to_vec();
+        let parts = self.plan.atoms_at(d);
         for (i, &(a, lvl)) in parts.iter().enumerate() {
             if lvl > 0 {
                 self.stats.expand_ops += 1;
@@ -199,9 +225,9 @@ impl<'a> CtjDriver<'a> {
             }
         }
 
-        let mut pending: Option<Vec<(Value, Vec<u32>)>> =
-            record_key.as_ref().map(|_| Vec::new());
-        let mut lf = Leapfrog::new(parts.iter().map(|&(a, _)| a).collect());
+        let mut pending: Option<Vec<(Value, Vec<u32>)>> = record_key.as_ref().map(|_| Vec::new());
+        // Recycle this depth's member vector (no per-node allocation).
+        let mut lf = Leapfrog::new(std::mem::take(&mut self.members_at[d]));
         let mut m = lf.search(&mut self.cursors, &mut self.stats);
         while let Some(v) = m {
             self.binding[d] = v;
@@ -211,8 +237,10 @@ impl<'a> CtjDriver<'a> {
                     self.stats.cache_overflows += 1;
                     pending = None;
                 } else {
-                    let positions: Vec<u32> =
-                        parts.iter().map(|&(a, _)| self.cursors[a].pos() as u32).collect();
+                    let positions: Vec<u32> = parts
+                        .iter()
+                        .map(|&(a, _)| self.cursors[a].pos() as u32)
+                        .collect();
                     p.push((v, positions));
                 }
             }
@@ -223,17 +251,21 @@ impl<'a> CtjDriver<'a> {
             }
             m = lf.next(&mut self.cursors, &mut self.stats);
         }
-        for &(a, _) in &parts {
+        self.members_at[d] = lf.into_members();
+        for &(a, _) in parts {
             self.cursors[a].up();
         }
 
         // The level is fully analyzed: commit the entry (paper §3.5).
         if let (Some(key), Some(p)) = (record_key, pending) {
-            if self.config.max_entries.is_some_and(|max| self.cache.len() >= max) {
+            if self
+                .config
+                .max_entries
+                .is_some_and(|max| self.cache.len() >= max)
+            {
                 self.stats.cache_overflows += 1;
             } else {
-                let words: u64 =
-                    p.iter().map(|(_, pos)| (1 + pos.len()) as u64).sum();
+                let words: u64 = p.iter().map(|(_, pos)| (1 + pos.len()) as u64).sum();
                 self.stats.intermediates += p.len() as u64;
                 self.stats
                     .access
@@ -326,7 +358,10 @@ mod tests {
         let mut unbounded = CollectSink::new();
         let s1 = Ctj::new().execute(&plan, &c, &mut unbounded).unwrap();
         let mut tiny = CollectSink::new();
-        let cfg = CtjConfig { entry_capacity: Some(1), max_entries: None };
+        let cfg = CtjConfig {
+            entry_capacity: Some(1),
+            max_entries: None,
+        };
         let s2 = Ctj::with_config(cfg).execute(&plan, &c, &mut tiny).unwrap();
         assert_eq!(unbounded.into_sorted(), tiny.into_sorted());
         assert!(s2.cache_overflows > 0);
@@ -337,7 +372,10 @@ mod tests {
     fn max_entries_zero_disables_caching() {
         let c = catalog(&test_edges());
         let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
-        let cfg = CtjConfig { entry_capacity: None, max_entries: Some(0) };
+        let cfg = CtjConfig {
+            entry_capacity: None,
+            max_entries: Some(0),
+        };
         let mut sink = CountSink::default();
         let stats = Ctj::with_config(cfg).execute(&plan, &c, &mut sink).unwrap();
         assert_eq!(stats.cache_hits, 0);

@@ -53,7 +53,11 @@ pub(crate) fn head_slots(plan: &CompiledQuery) -> Vec<usize> {
     let head = plan.query().head();
     plan.order()
         .iter()
-        .map(|v| head.iter().position(|h| h == v).expect("order vars appear in head"))
+        .map(|v| {
+            head.iter()
+                .position(|h| h == v)
+                .expect("order vars appear in head")
+        })
         .collect()
 }
 

@@ -27,7 +27,11 @@ impl fmt::Display for JoinError {
             JoinError::MissingRelation { name } => {
                 write!(f, "catalog has no relation named {name}")
             }
-            JoinError::ArityMismatch { name, atom_arity, relation_arity } => write!(
+            JoinError::ArityMismatch {
+                name,
+                atom_arity,
+                relation_arity,
+            } => write!(
                 f,
                 "relation {name} has arity {relation_arity} but the atom expects {atom_arity}"
             ),
@@ -45,7 +49,11 @@ mod tests {
     fn display_is_informative() {
         let e = JoinError::MissingRelation { name: "G".into() };
         assert!(e.to_string().contains('G'));
-        let e = JoinError::ArityMismatch { name: "G".into(), atom_arity: 2, relation_arity: 3 };
+        let e = JoinError::ArityMismatch {
+            name: "G".into(),
+            atom_arity: 2,
+            relation_arity: 3,
+        };
         assert!(e.to_string().contains('2') && e.to_string().contains('3'));
     }
 }

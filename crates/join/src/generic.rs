@@ -1,9 +1,9 @@
 use triejax_query::CompiledQuery;
-use triejax_relation::{AccessKind, Trie, Value, WORD_BYTES};
+use triejax_relation::{AccessKind, Counting, Tally, Trie, Value, WORD_BYTES};
 
 use crate::engine::head_slots;
 use crate::intersect::intersect_sorted;
-use crate::{Catalog, EngineStats, JoinError, JoinEngine, ResultSink, TrieSet};
+use crate::{Catalog, EngineStats, JoinEngine, JoinError, ResultSink, TrieSet};
 
 /// Generic Join in the EmptyHeaded style (Aberger et al., SIGMOD'16): a
 /// worst-case-optimal join that materializes, per variable, the
@@ -14,6 +14,11 @@ use crate::{Catalog, EngineStats, JoinError, JoinEngine, ResultSink, TrieSet};
 /// as an intermediate value (the buffers EmptyHeaded allocates per level).
 /// Its memory-access totals therefore land *between* CTJ and the pairwise
 /// engines, as in paper Figure 17.
+///
+/// Candidate buffers are allocated once per depth and reused across every
+/// visit, so the kernel does no per-node allocation; with
+/// [`triejax_relation::NoTally`] (via [`GenericJoin::run_tallied`]) the
+/// access instrumentation also compiles away.
 ///
 /// # Example
 ///
@@ -40,6 +45,37 @@ impl GenericJoin {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Runs the query with an explicit [`Tally`] choice; see
+    /// [`crate::Lftj::run_tallied`] for the counting/fast trade-off.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JoinError`] when the catalog is missing a relation or a
+    /// relation's arity mismatches its atom.
+    pub fn run_tallied<T: Tally>(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats<T>, JoinError> {
+        let tries = TrieSet::build(plan, catalog)?;
+        let mut driver = GjDriver {
+            plan,
+            tries: &tries,
+            ranges: vec![Vec::new(); plan.atom_plans().len()],
+            candidates: vec![Vec::new(); plan.arity()],
+            scratch: vec![Vec::new(); plan.arity()],
+            order: vec![Vec::new(); plan.arity()],
+            pushed: vec![Vec::new(); plan.arity()],
+            binding: vec![0; plan.arity()],
+            emit: vec![0; plan.arity()],
+            slots: head_slots(plan),
+            stats: EngineStats::default(),
+        };
+        driver.level(0, sink);
+        Ok(driver.stats)
+    }
 }
 
 impl JoinEngine for GenericJoin {
@@ -53,33 +89,32 @@ impl JoinEngine for GenericJoin {
         catalog: &Catalog,
         sink: &mut dyn ResultSink,
     ) -> Result<EngineStats, JoinError> {
-        let tries = TrieSet::build(plan, catalog)?;
-        let mut driver = GjDriver {
-            plan,
-            tries: &tries,
-            ranges: vec![Vec::new(); plan.atom_plans().len()],
-            binding: vec![0; plan.arity()],
-            emit: vec![0; plan.arity()],
-            slots: head_slots(plan),
-            stats: EngineStats::default(),
-        };
-        driver.level(0, sink);
-        Ok(driver.stats)
+        self.run_tallied::<Counting>(plan, catalog, sink)
     }
 }
 
-struct GjDriver<'a> {
+struct GjDriver<'a, T: Tally> {
     plan: &'a CompiledQuery,
     tries: &'a TrieSet,
     /// Per atom: stack of open ranges, one per bound trie level.
     ranges: Vec<Vec<(usize, usize)>>,
+    /// Per depth: reusable candidate buffer (the EmptyHeaded per-level
+    /// intersection output), allocated once and recycled across visits.
+    candidates: Vec<Vec<Value>>,
+    /// Per depth: reusable scratch buffer the multiway intersection
+    /// ping-pongs with.
+    scratch: Vec<Vec<Value>>,
+    /// Per depth: reusable participant-ordering scratch.
+    order: Vec<Vec<usize>>,
+    /// Per depth: reusable list of atoms whose child range was pushed.
+    pushed: Vec<Vec<usize>>,
     binding: Vec<Value>,
     emit: Vec<Value>,
     slots: Vec<usize>,
-    stats: EngineStats,
+    stats: EngineStats<T>,
 }
 
-impl<'a> GjDriver<'a> {
+impl<'a, T: Tally> GjDriver<'a, T> {
     /// Current candidate slice of atom `a` at trie level `lvl`.
     fn slice(&self, a: usize, lvl: usize) -> &'a [Value] {
         let trie: &'a Trie = self.tries.for_atom(a);
@@ -103,27 +138,27 @@ impl<'a> GjDriver<'a> {
     }
 
     fn level(&mut self, d: usize, sink: &mut dyn ResultSink) {
-        let parts: Vec<(usize, usize)> = self.plan.atoms_at(d).to_vec();
+        let parts: &'a [(usize, usize)] = self.plan.atoms_at(d);
         self.stats.match_ops += 1;
 
-        // Candidate set: k-way intersection, smallest slice first.
-        let mut order: Vec<usize> = (0..parts.len()).collect();
+        // Candidate set: k-way intersection, smallest slice first, built
+        // into this depth's reusable buffer.
+        let mut acc = std::mem::take(&mut self.candidates[d]);
+        let mut tmp = std::mem::take(&mut self.scratch[d]);
+        let mut order = std::mem::take(&mut self.order[d]);
+        order.clear();
+        order.extend(0..parts.len());
         order.sort_by_key(|&i| self.slice(parts[i].0, parts[i].1).len());
-        let first = self.slice(parts[order[0]].0, parts[order[0]].1);
-        let candidates: Vec<Value> = if parts.len() == 1 {
-            // Single participant: stream the slice without materializing.
-            self.stats
-                .access
-                .record(AccessKind::IndexRead, first.len() as u64 * WORD_BYTES);
-            first.to_vec()
-        } else {
-            let mut acc = first.to_vec();
-            self.stats
-                .access
-                .record(AccessKind::IndexRead, acc.len() as u64 * WORD_BYTES);
+        acc.clear();
+        acc.extend_from_slice(self.slice(parts[order[0]].0, parts[order[0]].1));
+        self.stats
+            .access
+            .record(AccessKind::IndexRead, acc.len() as u64 * WORD_BYTES);
+        if parts.len() > 1 {
             for &i in &order[1..] {
                 let next = self.slice(parts[i].0, parts[i].1);
-                acc = intersect_sorted(&acc, next, &mut self.stats);
+                intersect_sorted(&acc, next, &mut tmp, &mut self.stats);
+                std::mem::swap(&mut acc, &mut tmp);
                 if acc.is_empty() {
                     break;
                 }
@@ -133,11 +168,11 @@ impl<'a> GjDriver<'a> {
             self.stats
                 .access
                 .record(AccessKind::Intermediate, acc.len() as u64 * WORD_BYTES);
-            acc
-        };
+        }
 
         let last = d + 1 == self.plan.arity();
-        for v in candidates {
+        let mut pushed = std::mem::take(&mut self.pushed[d]);
+        for &v in &acc {
             self.binding[d] = v;
             if last {
                 self.emit_result(sink);
@@ -145,8 +180,8 @@ impl<'a> GjDriver<'a> {
             }
             // Descend: locate v in every continuing participant and push
             // its child range.
-            let mut pushed: Vec<usize> = Vec::with_capacity(parts.len());
-            for &(a, lvl) in &parts {
+            pushed.clear();
+            for &(a, lvl) in parts {
                 if !self.plan.atom_plans()[a].continues_below(lvl) {
                     continue;
                 }
@@ -160,20 +195,28 @@ impl<'a> GjDriver<'a> {
                 let pos = lo + binary_search(values, v, &mut self.stats);
                 // Midwife-equivalent: read the child range pair.
                 self.stats.expand_ops += 1;
-                self.stats.access.record(AccessKind::IndexRead, 2 * WORD_BYTES);
+                self.stats
+                    .access
+                    .record(AccessKind::IndexRead, 2 * WORD_BYTES);
                 self.ranges[a].push(trie.level(lvl).child_range(pos));
                 pushed.push(a);
             }
             self.level(d + 1, sink);
-            for a in pushed {
+            for &a in &pushed {
                 self.ranges[a].pop();
             }
         }
+        // Return the buffers (with their grown capacity) for the next
+        // visit of this depth.
+        self.candidates[d] = acc;
+        self.scratch[d] = tmp;
+        self.order[d] = order;
+        self.pushed[d] = pushed;
     }
 }
 
 /// Binary search for an existing value, counting probes.
-fn binary_search(values: &[Value], v: Value, stats: &mut EngineStats) -> usize {
+fn binary_search<T: Tally>(values: &[Value], v: Value, stats: &mut EngineStats<T>) -> usize {
     stats.lub_ops += 1;
     let (mut lo, mut hi) = (0usize, values.len());
     while lo < hi {
@@ -194,7 +237,7 @@ mod tests {
     use super::*;
     use crate::{CollectSink, CountSink, Lftj};
     use triejax_query::patterns::{self, Pattern};
-    use triejax_relation::Relation;
+    use triejax_relation::{NoTally, Relation};
 
     fn catalog(edges: &[(u32, u32)]) -> Catalog {
         let mut c = Catalog::new();
@@ -248,5 +291,25 @@ mod tests {
         let mut sink = CountSink::default();
         let stats = GenericJoin::new().execute(&plan, &c, &mut sink).unwrap();
         assert_eq!(stats.results, 0);
+    }
+
+    #[test]
+    fn untallied_run_matches_counting_run() {
+        let c = catalog(&test_edges());
+        for p in [Pattern::Cycle3, Pattern::Path4, Pattern::Clique4] {
+            let plan = CompiledQuery::compile(&p.query()).unwrap();
+            let mut counting = CollectSink::new();
+            let cs = GenericJoin::new()
+                .run_tallied::<Counting>(&plan, &c, &mut counting)
+                .unwrap();
+            let mut fast = CollectSink::new();
+            let fs = GenericJoin::new()
+                .run_tallied::<NoTally>(&plan, &c, &mut fast)
+                .unwrap();
+            assert_eq!(counting.tuples(), fast.tuples(), "{p}");
+            assert_eq!(cs.intermediates, fs.intermediates, "{p}");
+            assert_eq!(cs.lub_ops, fs.lub_ops, "{p}");
+            assert_eq!(fs.memory_accesses(), 0);
+        }
     }
 }

@@ -1,28 +1,42 @@
-use triejax_relation::{AccessKind, Value, WORD_BYTES};
+use triejax_relation::{AccessKind, Tally, Value, WORD_BYTES};
 
 use crate::EngineStats;
 
 /// Galloping intersection of two sorted, duplicate-free slices — the
 /// set-intersection primitive of Generic Join / EmptyHeaded.
 ///
-/// Every element read is counted as an index read in `stats`, and each
-/// gallop counts one LUB operation, so engine-level access totals remain
-/// comparable with the trie-cursor engines.
+/// The intersection is written into `out`, which is cleared (not
+/// reallocated) first, so a caller looping over many intersections reuses
+/// one buffer instead of allocating per call.
+///
+/// With a [`triejax_relation::Counting`] tally every element read is
+/// counted as an index read in `stats` and each gallop counts one LUB
+/// operation, keeping engine-level access totals comparable with the
+/// trie-cursor engines; with [`triejax_relation::NoTally`] the
+/// instrumentation compiles away.
 ///
 /// # Example
 ///
 /// ```
-/// use triejax_join::{intersect_sorted, EngineStats};
+/// use triejax_join::{intersect_sorted, Counting, EngineStats};
 ///
-/// let mut stats = EngineStats::default();
-/// let out = intersect_sorted(&[1, 3, 5, 7], &[2, 3, 4, 7, 9], &mut stats);
+/// let mut stats = EngineStats::<Counting>::default();
+/// let mut out = Vec::new();
+/// intersect_sorted(&[1, 3, 5, 7], &[2, 3, 4, 7, 9], &mut out, &mut stats);
 /// assert_eq!(out, vec![3, 7]);
 /// assert!(stats.lub_ops > 0);
 /// ```
-pub fn intersect_sorted(a: &[Value], b: &[Value], stats: &mut EngineStats) -> Vec<Value> {
+#[inline]
+pub fn intersect_sorted<T: Tally>(
+    a: &[Value],
+    b: &[Value],
+    out: &mut Vec<Value>,
+    stats: &mut EngineStats<T>,
+) {
     // Probe with the smaller side, gallop in the larger.
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    let mut out = Vec::new();
+    out.clear();
+    out.reserve(small.len());
     let mut base = 0usize;
     for &x in small {
         stats.access.record(AccessKind::IndexRead, WORD_BYTES);
@@ -54,16 +68,18 @@ pub fn intersect_sorted(a: &[Value], b: &[Value], stats: &mut EngineStats) -> Ve
             base += 1;
         }
     }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use triejax_relation::{Counting, NoTally};
 
     fn intersect(a: &[Value], b: &[Value]) -> Vec<Value> {
-        let mut stats = EngineStats::default();
-        intersect_sorted(a, b, &mut stats)
+        let mut stats = EngineStats::<Counting>::default();
+        let mut out = Vec::new();
+        intersect_sorted(a, b, &mut out, &mut stats);
+        out
     }
 
     #[test]
@@ -103,9 +119,46 @@ mod tests {
 
     #[test]
     fn counts_reads() {
-        let mut stats = EngineStats::default();
-        let _ = intersect_sorted(&[1, 5, 9], &(0..64).collect::<Vec<_>>(), &mut stats);
+        let mut stats = EngineStats::<Counting>::default();
+        let mut out = Vec::new();
+        intersect_sorted(
+            &[1, 5, 9],
+            &(0..64).collect::<Vec<_>>(),
+            &mut out,
+            &mut stats,
+        );
         assert!(stats.access.index_reads >= 3);
-        assert_eq!(stats.access.index_bytes, stats.access.index_reads * WORD_BYTES);
+        assert_eq!(
+            stats.access.index_bytes,
+            stats.access.index_reads * WORD_BYTES
+        );
+    }
+
+    #[test]
+    fn output_buffer_is_reused_and_cleared() {
+        let mut stats = EngineStats::<Counting>::default();
+        let mut out = vec![99, 98, 97];
+        intersect_sorted(&[1, 2], &[2, 3], &mut out, &mut stats);
+        assert_eq!(out, vec![2]);
+        let cap = out.capacity();
+        intersect_sorted(&[1], &[1], &mut out, &mut stats);
+        assert_eq!(out, vec![1]);
+        assert!(out.capacity() >= cap.min(1));
+    }
+
+    #[test]
+    fn untallied_matches_counting() {
+        let a: Vec<Value> = (0..200).filter(|v| v % 3 == 0).collect();
+        let b: Vec<Value> = (0..200).filter(|v| v % 5 == 0).collect();
+        let mut counting = EngineStats::<Counting>::default();
+        let mut fast: EngineStats<NoTally> = EngineStats::new();
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        intersect_sorted(&a, &b, &mut out_a, &mut counting);
+        intersect_sorted(&a, &b, &mut out_b, &mut fast);
+        assert_eq!(out_a, out_b);
+        assert_eq!(counting.lub_ops, fast.lub_ops);
+        assert_eq!(fast.memory_accesses(), 0);
+        assert!(counting.memory_accesses() > 0);
     }
 }

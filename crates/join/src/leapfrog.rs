@@ -1,4 +1,4 @@
-use triejax_relation::{TrieCursor, Value};
+use triejax_relation::{Tally, TrieCursor, Value};
 
 use crate::EngineStats;
 
@@ -37,13 +37,19 @@ impl Leapfrog {
         &self.members
     }
 
+    /// Consumes the leapfrog, returning its member vector so drivers can
+    /// recycle the allocation across level visits.
+    pub fn into_members(self) -> Vec<usize> {
+        self.members
+    }
+
     /// Aligns all members on the smallest common value at-or-after their
     /// positions. Returns the matched value, or `None` if any member is
     /// exhausted first. Cursors are left positioned on the match.
-    pub fn search(
+    pub fn search<T: Tally>(
         &mut self,
         cursors: &mut [TrieCursor<'_>],
-        stats: &mut EngineStats,
+        stats: &mut EngineStats<T>,
     ) -> Option<Value> {
         stats.match_ops += 1;
         if self.members.iter().any(|&m| cursors[m].at_end()) {
@@ -87,13 +93,36 @@ impl Leapfrog {
     }
 
     /// Advances past the current match and realigns on the next one.
-    pub fn next(
+    pub fn next<T: Tally>(
         &mut self,
         cursors: &mut [TrieCursor<'_>],
-        stats: &mut EngineStats,
+        stats: &mut EngineStats<T>,
     ) -> Option<Value> {
         let first = self.members[self.p];
         if !cursors[first].next(&mut stats.access) {
+            return None;
+        }
+        self.search(cursors, stats)
+    }
+
+    /// Fast-forwards to the first match at-or-after `v`.
+    ///
+    /// Seeks the round-robin cursor to `v` and realigns; used by the
+    /// root-partitioned parallel engine to enter its shard's value range
+    /// without walking the values before it. Like every leapfrog motion
+    /// this is forward-only.
+    pub fn seek<T: Tally>(
+        &mut self,
+        cursors: &mut [TrieCursor<'_>],
+        v: Value,
+        stats: &mut EngineStats<T>,
+    ) -> Option<Value> {
+        let first = self.members[self.p];
+        if cursors[first].at_end() {
+            return None;
+        }
+        stats.lub_ops += 1;
+        if !cursors[first].seek(v, &mut stats.access) {
             return None;
         }
         self.search(cursors, stats)
@@ -103,7 +132,7 @@ impl Leapfrog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use triejax_relation::{AccessCounter, Relation, Trie};
+    use triejax_relation::{AccessCounter, Counting, Relation, Trie};
 
     fn unary(vals: &[Value]) -> Trie {
         Trie::build(
@@ -115,7 +144,7 @@ mod tests {
         let tries: Vec<Trie> = sets.iter().map(|s| unary(s)).collect();
         let mut cursors: Vec<TrieCursor> = tries.iter().map(TrieCursor::new).collect();
         let mut opens = AccessCounter::default();
-        let mut stats = EngineStats::default();
+        let mut stats = EngineStats::<Counting>::default();
         for c in &mut cursors {
             assert!(c.open(&mut opens));
         }
@@ -155,7 +184,10 @@ mod tests {
 
     #[test]
     fn overlapping_sets_yield_intersection() {
-        assert_eq!(run_leapfrog(&[&[1, 2, 3, 7, 9], &[2, 7, 10], &[2, 3, 7]]), vec![2, 7]);
+        assert_eq!(
+            run_leapfrog(&[&[1, 2, 3, 7, 9], &[2, 7, 10], &[2, 3, 7]]),
+            vec![2, 7]
+        );
     }
 
     #[test]
@@ -163,7 +195,7 @@ mod tests {
         let tries = [unary(&[1, 2, 3]), unary(&[3])];
         let mut cursors: Vec<TrieCursor> = tries.iter().map(TrieCursor::new).collect();
         let mut opens = AccessCounter::default();
-        let mut stats = EngineStats::default();
+        let mut stats = EngineStats::<Counting>::default();
         for c in &mut cursors {
             c.open(&mut opens);
         }

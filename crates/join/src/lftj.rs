@@ -1,12 +1,17 @@
 use triejax_query::CompiledQuery;
-use triejax_relation::{AccessKind, TrieCursor, Value, WORD_BYTES};
+use triejax_relation::{AccessKind, Counting, Tally, TrieCursor, Value, WORD_BYTES};
 
 use crate::engine::head_slots;
-use crate::{Catalog, EngineStats, JoinError, JoinEngine, Leapfrog, ResultSink, TrieSet};
+use crate::{Catalog, EngineStats, JoinEngine, JoinError, Leapfrog, ResultSink, TrieSet};
 
 /// LeapFrog TrieJoin (Veldhuizen, ICDT'14): the worst-case-optimal join
 /// that backtracks over trie indexes, materializing *no* intermediate
 /// results at the cost of recomputing recurring partial joins (paper §2.2).
+///
+/// [`JoinEngine::execute`] runs the instrumented kernel (every memory
+/// touch counted, as the paper figures require); [`Lftj::run_tallied`]
+/// exposes the same kernel generic over a [`Tally`], so
+/// `run_tallied::<NoTally>` runs with all instrumentation compiled away.
 ///
 /// # Example
 ///
@@ -34,6 +39,28 @@ impl Lftj {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Runs the query with an explicit [`Tally`] choice.
+    ///
+    /// `run_tallied::<Counting>` is what [`JoinEngine::execute`] calls;
+    /// `run_tallied::<triejax_relation::NoTally>` is the zero-overhead
+    /// fast path (identical results, no access accounting).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JoinError`] when the catalog is missing a relation or a
+    /// relation's arity mismatches its atom.
+    pub fn run_tallied<T: Tally>(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats<T>, JoinError> {
+        let tries = TrieSet::build(plan, catalog)?;
+        let mut driver = Driver::new(plan, &tries);
+        driver.run(sink);
+        Ok(driver.stats)
+    }
 }
 
 impl JoinEngine for Lftj {
@@ -47,37 +74,67 @@ impl JoinEngine for Lftj {
         catalog: &Catalog,
         sink: &mut dyn ResultSink,
     ) -> Result<EngineStats, JoinError> {
-        let tries = TrieSet::build(plan, catalog)?;
-        let mut driver = Driver::new(plan, &tries);
-        driver.level(0, sink);
-        Ok(driver.stats)
+        self.run_tallied::<Counting>(plan, catalog, sink)
     }
 }
 
-/// Shared recursive backtracking driver (also the skeleton CTJ extends).
-struct Driver<'a> {
+/// Shared recursive backtracking driver (also the skeleton CTJ extends and
+/// the per-shard worker of the parallel engine).
+///
+/// The driver optionally restricts the *root* variable to the value range
+/// `[root_min, root_sup)`: the parallel engine gives each shard a
+/// contiguous slice of the first join variable's domain, which keeps every
+/// shard's emission order identical to the sequential engine's.
+pub(crate) struct Driver<'a, T: Tally> {
     plan: &'a CompiledQuery,
     cursors: Vec<TrieCursor<'a>>,
     binding: Vec<Value>,
     emit: Vec<Value>,
     slots: Vec<usize>,
-    pub stats: EngineStats,
+    /// Per depth: participating cursor indices, preallocated once so the
+    /// recursive driver never allocates per node.
+    members_at: Vec<Vec<usize>>,
+    root_min: Value,
+    root_sup: Option<Value>,
+    pub stats: EngineStats<T>,
 }
 
-impl<'a> Driver<'a> {
-    fn new(plan: &'a CompiledQuery, tries: &'a TrieSet) -> Self {
+impl<'a, T: Tally> Driver<'a, T> {
+    pub(crate) fn new(plan: &'a CompiledQuery, tries: &'a TrieSet) -> Self {
+        Self::with_root_range(plan, tries, 0, None)
+    }
+
+    /// Driver restricted to root-variable values in `[root_min, root_sup)`
+    /// (`None` = unbounded above).
+    pub(crate) fn with_root_range(
+        plan: &'a CompiledQuery,
+        tries: &'a TrieSet,
+        root_min: Value,
+        root_sup: Option<Value>,
+    ) -> Self {
         let cursors = (0..plan.atom_plans().len())
             .map(|i| TrieCursor::new(tries.for_atom(i)))
             .collect();
         let n = plan.arity();
+        let members_at = (0..n)
+            .map(|d| plan.atoms_at(d).iter().map(|&(a, _)| a).collect())
+            .collect();
         Driver {
             plan,
             cursors,
             binding: vec![0; n],
             emit: vec![0; n],
             slots: head_slots(plan),
+            members_at,
+            root_min,
+            root_sup,
             stats: EngineStats::default(),
         }
+    }
+
+    /// Runs the full backtracking join.
+    pub(crate) fn run(&mut self, sink: &mut dyn ResultSink) {
+        self.level(0, sink);
     }
 
     /// Opens level `d` on every participating cursor; on an empty open
@@ -120,10 +177,21 @@ impl<'a> Driver<'a> {
         if !self.open_level(d) {
             return;
         }
-        let members: Vec<usize> = self.plan.atoms_at(d).iter().map(|&(a, _)| a).collect();
-        let mut lf = Leapfrog::new(members);
+        // Recycle this depth's member vector: the recursion must not
+        // allocate per visited node.
+        let mut lf = Leapfrog::new(std::mem::take(&mut self.members_at[d]));
         let mut m = lf.search(&mut self.cursors, &mut self.stats);
+        if d == 0 && self.root_min > 0 {
+            if let Some(v) = m {
+                if v < self.root_min {
+                    m = lf.seek(&mut self.cursors, self.root_min, &mut self.stats);
+                }
+            }
+        }
         while let Some(v) = m {
+            if d == 0 && self.root_sup.is_some_and(|sup| v >= sup) {
+                break;
+            }
             self.binding[d] = v;
             if d + 1 == self.plan.arity() {
                 self.emit_result(sink);
@@ -132,6 +200,7 @@ impl<'a> Driver<'a> {
             }
             m = lf.next(&mut self.cursors, &mut self.stats);
         }
+        self.members_at[d] = lf.into_members();
         self.close_level(d);
     }
 }
@@ -141,7 +210,7 @@ mod tests {
     use super::*;
     use crate::{CollectSink, CountSink};
     use triejax_query::patterns;
-    use triejax_relation::Relation;
+    use triejax_relation::{NoTally, Relation};
 
     fn catalog(edges: &[(u32, u32)]) -> Catalog {
         let mut c = Catalog::new();
@@ -232,5 +301,49 @@ mod tests {
         let mut sink = CountSink::default();
         let err = Lftj::new().execute(&plan, &Catalog::new(), &mut sink);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn untallied_run_matches_counting_run() {
+        let c = catalog(&[(0, 1), (1, 2), (2, 0), (2, 3), (3, 1), (0, 2), (1, 3)]);
+        for q in [patterns::path3(), patterns::cycle3(), patterns::clique4()] {
+            let plan = CompiledQuery::compile(&q).unwrap();
+            let mut counting = CollectSink::new();
+            let cs = Lftj::new()
+                .run_tallied::<Counting>(&plan, &c, &mut counting)
+                .unwrap();
+            let mut fast = CollectSink::new();
+            let fs = Lftj::new()
+                .run_tallied::<NoTally>(&plan, &c, &mut fast)
+                .unwrap();
+            // Tuple-for-tuple identical, including emission order.
+            assert_eq!(counting.tuples(), fast.tuples(), "{}", q.name());
+            // Same discrete work, no access accounting.
+            assert_eq!(cs.lub_ops, fs.lub_ops);
+            assert_eq!(cs.match_ops, fs.match_ops);
+            assert_eq!(cs.results, fs.results);
+            assert!(cs.memory_accesses() > 0);
+            assert_eq!(fs.memory_accesses(), 0);
+        }
+    }
+
+    #[test]
+    fn root_range_driver_partitions_the_result_stream() {
+        let c = catalog(&[(0, 1), (1, 2), (2, 3), (3, 4), (5, 6), (6, 7)]);
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let tries = TrieSet::build(&plan, &c).unwrap();
+
+        let mut full = CollectSink::new();
+        let mut driver = Driver::<Counting>::new(&plan, &tries);
+        driver.run(&mut full);
+
+        let mut lo = CollectSink::new();
+        Driver::<Counting>::with_root_range(&plan, &tries, 0, Some(3)).run(&mut lo);
+        let mut hi = CollectSink::new();
+        Driver::<Counting>::with_root_range(&plan, &tries, 3, None).run(&mut hi);
+
+        let mut stitched = lo.tuples().to_vec();
+        stitched.extend_from_slice(hi.tuples());
+        assert_eq!(stitched, full.tuples());
     }
 }

@@ -1,6 +1,6 @@
 //! Software join engines for the TrieJax reproduction.
 //!
-//! Four engines share one interface ([`JoinEngine`]) and one plan format
+//! Six engines share one interface ([`JoinEngine`]) and one plan format
 //! ([`triejax_query::CompiledQuery`]):
 //!
 //! * [`Lftj`] — LeapFrog TrieJoin (Veldhuizen, ICDT'14): the WCOJ backbone,
@@ -14,11 +14,20 @@
 //!   binary join plans (hash and Q100's sort-merge operators), the
 //!   algorithm class of Q100 and Graphicionado's pattern expansion; both
 //!   materialize every intermediate relation.
+//! * [`ParLftj`] — LFTJ parallelized by partitioning the first join
+//!   variable's domain across threads (the software analogue of TrieJax's
+//!   static multithreading, paper §3.4).
 //!
 //! Engines count their work in [`EngineStats`] (operation counts, memory
 //! touches, intermediate results, cache hits), which the harness uses to
 //! regenerate the paper's Figures 17 and 18 and to drive the baseline
 //! performance models.
+//!
+//! Instrumentation is a compile-time choice through the [`Tally`] trait:
+//! [`JoinEngine::execute`] always runs the [`Counting`] kernels (the
+//! paper-figure mode), while each engine's `run_tallied::<NoTally>` runs
+//! the *same* kernel with every access-accounting call compiled away —
+//! the zero-overhead mode for throughput benchmarking.
 //!
 //! # Example
 //!
@@ -51,6 +60,7 @@ mod intersect;
 mod leapfrog;
 mod lftj;
 mod pairwise;
+mod parlftj;
 mod sink;
 mod sortmerge;
 mod stats;
@@ -64,6 +74,8 @@ pub use intersect::intersect_sorted;
 pub use leapfrog::Leapfrog;
 pub use lftj::Lftj;
 pub use pairwise::PairwiseHash;
+pub use parlftj::ParLftj;
 pub use sink::{CollectSink, CountSink, ResultSink};
 pub use sortmerge::PairwiseSortMerge;
 pub use stats::EngineStats;
+pub use triejax_relation::{Counting, NoTally, Tally};

@@ -1,9 +1,9 @@
 use std::collections::HashMap;
 
 use triejax_query::{CompiledQuery, VarId};
-use triejax_relation::{AccessKind, Value, WORD_BYTES};
+use triejax_relation::{AccessKind, Counting, Tally, Value, WORD_BYTES};
 
-use crate::{Catalog, EngineStats, JoinError, JoinEngine, ResultSink};
+use crate::{Catalog, EngineStats, JoinEngine, JoinError, ResultSink};
 
 /// Traditional left-deep binary hash-join plan — the join-algorithm class
 /// of Q100 and of Graphicionado's message-passing pattern expansion
@@ -40,27 +40,30 @@ impl PairwiseHash {
     pub fn new() -> Self {
         Self::default()
     }
-}
 
-impl JoinEngine for PairwiseHash {
-    fn name(&self) -> &'static str {
-        "pairwise-hash"
-    }
-
-    fn execute(
+    /// Runs the query with an explicit [`Tally`] choice; see
+    /// [`crate::Lftj::run_tallied`] for the counting/fast trade-off.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JoinError`] when the catalog is missing a relation or a
+    /// relation's arity mismatches its atom.
+    pub fn run_tallied<T: Tally>(
         &mut self,
         plan: &CompiledQuery,
         catalog: &Catalog,
         sink: &mut dyn ResultSink,
-    ) -> Result<EngineStats, JoinError> {
-        let mut stats = EngineStats::default();
+    ) -> Result<EngineStats<T>, JoinError> {
+        let mut stats = EngineStats::<T>::default();
         let query = plan.query();
 
         // Seed with the first atom's tuples.
         let first = query.atoms().first().expect("validated queries have atoms");
         let rel = catalog
             .get(first.relation())
-            .ok_or_else(|| JoinError::MissingRelation { name: first.relation().to_owned() })?;
+            .ok_or_else(|| JoinError::MissingRelation {
+                name: first.relation().to_owned(),
+            })?;
         if rel.arity() != first.arity() {
             return Err(JoinError::ArityMismatch {
                 name: first.relation().to_owned(),
@@ -77,7 +80,9 @@ impl JoinEngine for PairwiseHash {
         for atom in &query.atoms()[1..] {
             let rel = catalog
                 .get(atom.relation())
-                .ok_or_else(|| JoinError::MissingRelation { name: atom.relation().to_owned() })?;
+                .ok_or_else(|| JoinError::MissingRelation {
+                    name: atom.relation().to_owned(),
+                })?;
             if rel.arity() != atom.arity() {
                 return Err(JoinError::ArityMismatch {
                     name: atom.relation().to_owned(),
@@ -90,9 +95,7 @@ impl JoinEngine for PairwiseHash {
             let shared: Vec<(usize, usize)> = schema
                 .iter()
                 .enumerate()
-                .filter_map(|(si, v)| {
-                    atom.vars().iter().position(|av| av == v).map(|ai| (si, ai))
-                })
+                .filter_map(|(si, v)| atom.vars().iter().position(|av| av == v).map(|ai| (si, ai)))
                 .collect();
             let new_cols: Vec<usize> = (0..atom.arity())
                 .filter(|ai| !shared.iter().any(|&(_, a)| a == *ai))
@@ -100,7 +103,9 @@ impl JoinEngine for PairwiseHash {
 
             // Build side: hash the atom's relation on the shared columns.
             let mut table: HashMap<Vec<Value>, Vec<&[Value]>> = HashMap::new();
-            stats.access.record(AccessKind::IndexRead, rel.payload_bytes());
+            stats
+                .access
+                .record(AccessKind::IndexRead, rel.payload_bytes());
             for t in rel.iter() {
                 let key: Vec<Value> = shared.iter().map(|&(_, ai)| t[ai]).collect();
                 // Hash-table insertion is intermediate state.
@@ -144,7 +149,12 @@ impl JoinEngine for PairwiseHash {
         let head_pos: Vec<usize> = query
             .head()
             .iter()
-            .map(|hv| schema.iter().position(|v| v == hv).expect("full join covers head"))
+            .map(|hv| {
+                schema
+                    .iter()
+                    .position(|v| v == hv)
+                    .expect("full join covers head")
+            })
             .collect();
         let mut emit = vec![0; head_pos.len()];
         for row in &rows {
@@ -158,6 +168,21 @@ impl JoinEngine for PairwiseHash {
                 .record(AccessKind::ResultWrite, emit.len() as u64 * WORD_BYTES);
         }
         Ok(stats)
+    }
+}
+
+impl JoinEngine for PairwiseHash {
+    fn name(&self) -> &'static str {
+        "pairwise-hash"
+    }
+
+    fn execute(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats, JoinError> {
+        self.run_tallied::<Counting>(plan, catalog, sink)
     }
 }
 

@@ -1,0 +1,325 @@
+use std::num::NonZeroUsize;
+
+use triejax_query::CompiledQuery;
+use triejax_relation::{Counting, Tally, Value};
+
+use crate::lftj::Driver;
+use crate::{Catalog, EngineStats, JoinEngine, JoinError, ResultSink, TrieSet};
+
+/// Parallel LeapFrog TrieJoin: root-partitioned LFTJ across OS threads.
+///
+/// TrieJax gets its throughput from many concurrent join-processing units
+/// walking one shared trie (paper §3.4, static first-attribute
+/// partitioning); the same idea applied to the software engine is the
+/// classic parallel-LFTJ construction: snapshot the trie level of the
+/// *first* join variable, shard its value domain into contiguous ranges,
+/// and run an independent sequential driver per shard. Shards share the
+/// read-only tries and write into thread-local sinks; after the join the
+/// per-shard result streams are concatenated in shard order and the
+/// per-shard [`EngineStats`] are merged.
+///
+/// Because LFTJ emits root values in ascending order and the shards cover
+/// contiguous ascending ranges, the merged stream is **tuple-for-tuple
+/// identical** to sequential [`crate::Lftj`] — same tuples, same order.
+/// Access *counts* differ slightly (each shard opens the root level and
+/// seeks into its range independently), so use [`crate::Lftj`] when
+/// reproducing the paper's exact access totals and `ParLftj` when you want
+/// wall-clock speed.
+///
+/// Threading uses `std::thread::scope` (the build environment has no
+/// external thread-pool crate); one thread is spawned per shard.
+///
+/// # Example
+///
+/// ```
+/// use triejax_join::{Catalog, CollectSink, JoinEngine, Lftj, ParLftj};
+/// use triejax_query::{patterns, CompiledQuery};
+/// use triejax_relation::Relation;
+///
+/// let mut catalog = Catalog::new();
+/// catalog.insert("G", Relation::from_pairs(vec![(0, 1), (1, 2), (2, 0), (1, 0)]));
+/// let plan = CompiledQuery::compile(&patterns::cycle3())?;
+///
+/// let mut seq = CollectSink::new();
+/// Lftj::new().execute(&plan, &catalog, &mut seq)?;
+/// let mut par = CollectSink::new();
+/// ParLftj::with_shards(2).execute(&plan, &catalog, &mut par)?;
+/// assert_eq!(seq.tuples(), par.tuples()); // identical, order included
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParLftj {
+    /// Explicit shard count; `None` = one shard per available core.
+    shards: Option<NonZeroUsize>,
+}
+
+impl ParLftj {
+    /// Engine with one shard per available core; identical to
+    /// `Default::default()`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engine with an explicit shard (thread) count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_shards(shards: usize) -> Self {
+        ParLftj {
+            shards: Some(NonZeroUsize::new(shards).expect("shards must be positive")),
+        }
+    }
+
+    /// The configured shard count, or `None` for automatic.
+    pub fn shards(&self) -> Option<usize> {
+        self.shards.map(NonZeroUsize::get)
+    }
+
+    fn effective_shards(&self, root_len: usize) -> usize {
+        let want = self.shards.map(NonZeroUsize::get).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        want.min(root_len).max(1)
+    }
+
+    /// Runs the query with an explicit [`Tally`] choice; see
+    /// [`crate::Lftj::run_tallied`] for the counting/fast trade-off. The
+    /// usual pairing is `ParLftj` + [`triejax_relation::NoTally`] for pure
+    /// throughput.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JoinError`] when the catalog is missing a relation or a
+    /// relation's arity mismatches its atom.
+    pub fn run_tallied<T: Tally>(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats<T>, JoinError> {
+        let tries = TrieSet::build(plan, catalog)?;
+
+        // Snapshot the root level of the first join variable: any
+        // participant's root values are a superset of the depth-0 matches;
+        // the smallest one gives the best shard balance for the least
+        // boundary-scanning.
+        let root_values: &[Value] = plan
+            .atoms_at(0)
+            .iter()
+            .map(|&(a, _)| tries.for_atom(a).level(0).values())
+            .min_by_key(|v| v.len())
+            .expect("every depth has at least one participant");
+
+        let shards = self.effective_shards(root_values.len());
+        if shards <= 1 {
+            let mut driver = Driver::<T>::new(plan, &tries);
+            driver.run(sink);
+            return Ok(driver.stats);
+        }
+
+        // Contiguous value ranges [min, sup); the first shard starts at the
+        // bottom of the domain and the last is unbounded above.
+        let mut ranges: Vec<(Value, Option<Value>)> = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let lo_idx = i * root_values.len() / shards;
+            let hi_idx = (i + 1) * root_values.len() / shards;
+            if lo_idx == hi_idx {
+                continue; // empty shard (more shards than values)
+            }
+            let min = if ranges.is_empty() {
+                0
+            } else {
+                root_values[lo_idx]
+            };
+            let sup = if hi_idx == root_values.len() {
+                None
+            } else {
+                Some(root_values[hi_idx])
+            };
+            ranges.push((min, sup));
+        }
+
+        let arity = plan.arity();
+        let tries_ref = &tries;
+        let shard_outputs: Vec<(EngineStats<T>, Vec<Value>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(min, sup)| {
+                    scope.spawn(move || {
+                        let mut driver = Driver::<T>::with_root_range(plan, tries_ref, min, sup);
+                        let mut local = RowBuffer { rows: Vec::new() };
+                        driver.run(&mut local);
+                        (driver.stats, local.rows)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        });
+
+        let mut stats = EngineStats::<T>::default();
+        for (shard_stats, rows) in &shard_outputs {
+            stats.merge(shard_stats);
+            for tuple in rows.chunks_exact(arity) {
+                sink.push(tuple);
+            }
+        }
+        Ok(stats)
+    }
+}
+
+impl JoinEngine for ParLftj {
+    fn name(&self) -> &'static str {
+        "par-lftj"
+    }
+
+    fn execute(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats, JoinError> {
+        self.run_tallied::<Counting>(plan, catalog, sink)
+    }
+}
+
+/// Thread-local sink: flat row storage, merged into the caller's sink
+/// after the parallel phase.
+struct RowBuffer {
+    rows: Vec<Value>,
+}
+
+impl ResultSink for RowBuffer {
+    fn push(&mut self, tuple: &[Value]) {
+        self.rows.extend_from_slice(tuple);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollectSink, CountSink, Lftj};
+    use triejax_query::patterns::{self, Pattern};
+    use triejax_relation::{NoTally, Relation};
+
+    fn catalog(edges: &[(u32, u32)]) -> Catalog {
+        let mut c = Catalog::new();
+        c.insert("G", Relation::from_pairs(edges.to_vec()));
+        c
+    }
+
+    fn test_edges() -> Vec<(u32, u32)> {
+        let mut edges = vec![
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 1),
+            (0, 2),
+            (3, 0),
+            (1, 3),
+            (4, 1),
+            (2, 4),
+            (4, 0),
+        ];
+        // A larger fringe so the root level has enough values to shard.
+        for i in 5..40u32 {
+            edges.push((i, (i + 1) % 40));
+            edges.push((i, (i * 7 + 3) % 40));
+        }
+        edges
+    }
+
+    #[test]
+    fn agrees_with_lftj_in_order_for_every_shard_count() {
+        let c = catalog(&test_edges());
+        for p in Pattern::ALL {
+            let plan = CompiledQuery::compile(&p.query()).unwrap();
+            let mut reference = CollectSink::new();
+            Lftj::new().execute(&plan, &c, &mut reference).unwrap();
+            for shards in [1, 2, 3, 7, 64] {
+                let mut sink = CollectSink::new();
+                let stats = ParLftj::with_shards(shards)
+                    .execute(&plan, &c, &mut sink)
+                    .unwrap();
+                assert_eq!(
+                    sink.tuples(),
+                    reference.tuples(),
+                    "{p} with {shards} shards"
+                );
+                assert_eq!(stats.results as usize, reference.tuples().len());
+            }
+        }
+    }
+
+    #[test]
+    fn auto_shard_count_agrees_too() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let mut reference = CollectSink::new();
+        Lftj::new().execute(&plan, &c, &mut reference).unwrap();
+        let mut sink = CollectSink::new();
+        ParLftj::new().execute(&plan, &c, &mut sink).unwrap();
+        assert_eq!(sink.tuples(), reference.tuples());
+    }
+
+    #[test]
+    fn untallied_parallel_run_matches() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::cycle4()).unwrap();
+        let mut reference = CollectSink::new();
+        Lftj::new().execute(&plan, &c, &mut reference).unwrap();
+        let mut sink = CollectSink::new();
+        let stats = ParLftj::with_shards(4)
+            .run_tallied::<NoTally>(&plan, &c, &mut sink)
+            .unwrap();
+        assert_eq!(sink.tuples(), reference.tuples());
+        assert_eq!(stats.memory_accesses(), 0);
+        assert_eq!(stats.results as usize, reference.tuples().len());
+    }
+
+    #[test]
+    fn empty_graph_yields_nothing() {
+        let c = catalog(&[]);
+        let plan = CompiledQuery::compile(&patterns::cycle4()).unwrap();
+        let mut sink = CountSink::default();
+        let stats = ParLftj::with_shards(4)
+            .execute(&plan, &c, &mut sink)
+            .unwrap();
+        assert_eq!(sink.count(), 0);
+        assert_eq!(stats.results, 0);
+    }
+
+    #[test]
+    fn more_shards_than_root_values_is_fine() {
+        let c = catalog(&[(0, 1), (1, 0)]);
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let mut reference = CollectSink::new();
+        Lftj::new().execute(&plan, &c, &mut reference).unwrap();
+        let mut sink = CollectSink::new();
+        ParLftj::with_shards(16)
+            .execute(&plan, &c, &mut sink)
+            .unwrap();
+        assert_eq!(sink.tuples(), reference.tuples());
+    }
+
+    #[test]
+    fn missing_relation_is_an_error() {
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let mut sink = CountSink::default();
+        assert!(ParLftj::new()
+            .execute(&plan, &Catalog::new(), &mut sink)
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_shards_panics() {
+        let _ = ParLftj::with_shards(0);
+    }
+}

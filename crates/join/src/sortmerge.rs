@@ -1,7 +1,7 @@
 use triejax_query::{CompiledQuery, VarId};
-use triejax_relation::{AccessKind, Value, WORD_BYTES};
+use triejax_relation::{AccessKind, Counting, Tally, Value, WORD_BYTES};
 
-use crate::{Catalog, EngineStats, JoinError, JoinEngine, ResultSink};
+use crate::{Catalog, EngineStats, JoinEngine, JoinError, ResultSink};
 
 /// Traditional left-deep binary **sort-merge** join plan — the literal
 /// operator repertoire of Q100 (Sort, Merge-Join; paper §2.1).
@@ -32,24 +32,29 @@ struct Stage {
     rows: Vec<Vec<Value>>,
 }
 
-impl JoinEngine for PairwiseSortMerge {
-    fn name(&self) -> &'static str {
-        "pairwise-sortmerge"
-    }
-
-    fn execute(
+impl PairwiseSortMerge {
+    /// Runs the query with an explicit [`Tally`] choice; see
+    /// [`crate::Lftj::run_tallied`] for the counting/fast trade-off.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JoinError`] when the catalog is missing a relation or a
+    /// relation's arity mismatches its atom.
+    pub fn run_tallied<T: Tally>(
         &mut self,
         plan: &CompiledQuery,
         catalog: &Catalog,
         sink: &mut dyn ResultSink,
-    ) -> Result<EngineStats, JoinError> {
-        let mut stats = EngineStats::default();
+    ) -> Result<EngineStats<T>, JoinError> {
+        let mut stats = EngineStats::<T>::default();
         let query = plan.query();
 
         let fetch = |name: &str, arity: usize| -> Result<Vec<Vec<Value>>, JoinError> {
             let rel = catalog
                 .get(name)
-                .ok_or_else(|| JoinError::MissingRelation { name: name.to_owned() })?;
+                .ok_or_else(|| JoinError::MissingRelation {
+                    name: name.to_owned(),
+                })?;
             if rel.arity() != arity {
                 return Err(JoinError::ArityMismatch {
                     name: name.to_owned(),
@@ -65,9 +70,10 @@ impl JoinEngine for PairwiseSortMerge {
             schema: first.vars().to_vec(),
             rows: fetch(first.relation(), first.arity())?,
         };
-        stats
-            .access
-            .record(AccessKind::IndexRead, (acc.rows.len() * first.arity()) as u64 * WORD_BYTES);
+        stats.access.record(
+            AccessKind::IndexRead,
+            (acc.rows.len() * first.arity()) as u64 * WORD_BYTES,
+        );
 
         for atom in &query.atoms()[1..] {
             let mut right = Stage {
@@ -85,7 +91,11 @@ impl JoinEngine for PairwiseSortMerge {
                 .iter()
                 .enumerate()
                 .filter_map(|(li, v)| {
-                    right.schema.iter().position(|rv| rv == v).map(|ri| (li, ri))
+                    right
+                        .schema
+                        .iter()
+                        .position(|rv| rv == v)
+                        .map(|ri| (li, ri))
                 })
                 .collect();
             let new_cols: Vec<usize> = (0..right.schema.len())
@@ -93,12 +103,10 @@ impl JoinEngine for PairwiseSortMerge {
                 .collect();
 
             // Sort both sides on the join key (a Q100 Sort operator each).
-            let lkey = |row: &Vec<Value>| -> Vec<Value> {
-                shared.iter().map(|&(l, _)| row[l]).collect()
-            };
-            let rkey = |row: &Vec<Value>| -> Vec<Value> {
-                shared.iter().map(|&(_, r)| row[r]).collect()
-            };
+            let lkey =
+                |row: &Vec<Value>| -> Vec<Value> { shared.iter().map(|&(l, _)| row[l]).collect() };
+            let rkey =
+                |row: &Vec<Value>| -> Vec<Value> { shared.iter().map(|&(_, r)| row[r]).collect() };
             sort_counted(&mut acc.rows, &lkey, &mut stats);
             sort_counted(&mut right.rows, &rkey, &mut stats);
 
@@ -114,16 +122,9 @@ impl JoinEngine for PairwiseSortMerge {
                     std::cmp::Ordering::Greater => j += 1,
                     std::cmp::Ordering::Equal => {
                         // Emit the cross product of the equal-key runs.
-                        let i_end = acc.rows[i..]
-                            .iter()
-                            .take_while(|r| lkey(r) == kl)
-                            .count()
-                            + i;
-                        let j_end = right.rows[j..]
-                            .iter()
-                            .take_while(|r| rkey(r) == kr)
-                            .count()
-                            + j;
+                        let i_end = acc.rows[i..].iter().take_while(|r| lkey(r) == kl).count() + i;
+                        let j_end =
+                            right.rows[j..].iter().take_while(|r| rkey(r) == kr).count() + j;
                         for li in i..i_end {
                             for rj in j..j_end {
                                 let mut row = acc.rows[li].clone();
@@ -153,7 +154,12 @@ impl JoinEngine for PairwiseSortMerge {
         let head_pos: Vec<usize> = query
             .head()
             .iter()
-            .map(|hv| acc.schema.iter().position(|v| v == hv).expect("full join covers head"))
+            .map(|hv| {
+                acc.schema
+                    .iter()
+                    .position(|v| v == hv)
+                    .expect("full join covers head")
+            })
             .collect();
         let mut emit = vec![0; head_pos.len()];
         for row in &acc.rows {
@@ -170,12 +176,27 @@ impl JoinEngine for PairwiseSortMerge {
     }
 }
 
+impl JoinEngine for PairwiseSortMerge {
+    fn name(&self) -> &'static str {
+        "pairwise-sortmerge"
+    }
+
+    fn execute(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats, JoinError> {
+        self.run_tallied::<Counting>(plan, catalog, sink)
+    }
+}
+
 /// Sorts rows by a key extractor, charging `n log n` comparisons as match
 /// operations and each row move as intermediate traffic.
-fn sort_counted<K: Ord>(
+fn sort_counted<K: Ord, T: Tally>(
     rows: &mut [Vec<Value>],
     key: &impl Fn(&Vec<Value>) -> K,
-    stats: &mut EngineStats,
+    stats: &mut EngineStats<T>,
 ) {
     let n = rows.len() as u64;
     if n > 1 {
@@ -235,7 +256,9 @@ mod tests {
         for p in [Pattern::Path4, Pattern::Cycle4, Pattern::Clique4] {
             let plan = CompiledQuery::compile(&p.query()).unwrap();
             let mut s1 = CountSink::default();
-            let sm = PairwiseSortMerge::new().execute(&plan, &c, &mut s1).unwrap();
+            let sm = PairwiseSortMerge::new()
+                .execute(&plan, &c, &mut s1)
+                .unwrap();
             let mut s2 = CountSink::default();
             let hj = PairwiseHash::new().execute(&plan, &c, &mut s2).unwrap();
             assert_eq!(sm.intermediates, hj.intermediates, "{p}");
@@ -248,7 +271,9 @@ mod tests {
         let c = catalog(&test_edges());
         let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
         let mut sink = CountSink::default();
-        let stats = PairwiseSortMerge::new().execute(&plan, &c, &mut sink).unwrap();
+        let stats = PairwiseSortMerge::new()
+            .execute(&plan, &c, &mut sink)
+            .unwrap();
         assert!(stats.match_ops > 0);
         assert!(stats.access.intermediate_bytes > 0, "sorts move rows");
     }
@@ -259,7 +284,9 @@ mod tests {
         c.insert("G", Relation::new(2).unwrap());
         let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
         let mut sink = CountSink::default();
-        let stats = PairwiseSortMerge::new().execute(&plan, &c, &mut sink).unwrap();
+        let stats = PairwiseSortMerge::new()
+            .execute(&plan, &c, &mut sink)
+            .unwrap();
         assert_eq!(stats.results, 0);
     }
 }

@@ -1,4 +1,4 @@
-use triejax_relation::AccessCounter;
+use triejax_relation::{Counting, Tally};
 
 /// Work counters accumulated by a join engine during one execution.
 ///
@@ -6,8 +6,15 @@ use triejax_relation::AccessCounter;
 /// per system), Figure 18 (intermediate results, CTJ versus pairwise), and
 /// the baseline performance models in `triejax-baselines`, which convert
 /// operation counts into cycles and energy.
+///
+/// The memory-access side is generic over a [`Tally`]: the default
+/// [`Counting`] parameter records every simulated word touch (paper-figure
+/// mode), while [`triejax_relation::NoTally`] turns the whole access
+/// accounting into no-ops that the optimizer deletes (throughput mode).
+/// The discrete operation counters (`lub_ops`, `match_ops`, …) are plain
+/// integer increments and are kept in both modes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct EngineStats {
+pub struct EngineStats<T: Tally = Counting> {
     /// Number of result tuples emitted.
     pub results: u64,
     /// Intermediate results materialized: cached partial-join values for
@@ -28,25 +35,27 @@ pub struct EngineStats {
     /// searches, or per-level intersection calls for Generic Join, or
     /// probe operations for hash joins).
     pub match_ops: u64,
-    /// Simulated memory touches.
-    pub access: AccessCounter,
+    /// Simulated memory touches, reported through the [`Tally`].
+    pub access: T,
 }
 
-impl EngineStats {
+impl<T: Tally> EngineStats<T> {
     /// Creates zeroed stats; identical to `Default::default()`.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Total main-memory accesses (the Figure 17 metric): every simulated
-    /// word touch of index, intermediate, or result data.
+    /// word touch of index, intermediate, or result data. Always zero when
+    /// the tally is [`triejax_relation::NoTally`].
     pub fn memory_accesses(&self) -> u64 {
-        self.access.total_accesses()
+        self.access.snapshot().total_accesses()
     }
 
-    /// Total simulated bytes moved.
+    /// Total simulated bytes moved. Always zero when the tally is
+    /// [`triejax_relation::NoTally`].
     pub fn bytes_moved(&self) -> u64 {
-        self.access.total_bytes()
+        self.access.snapshot().total_bytes()
     }
 
     /// Total discrete engine operations (used by software cost models).
@@ -63,16 +72,30 @@ impl EngineStats {
             self.cache_hits as f64 / lookups as f64
         }
     }
+
+    /// Adds another run's totals into this one (used by the parallel
+    /// engine to combine per-shard stats).
+    pub fn merge(&mut self, other: &Self) {
+        self.results += other.results;
+        self.intermediates += other.intermediates;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_overflows += other.cache_overflows;
+        self.lub_ops += other.lub_ops;
+        self.expand_ops += other.expand_ops;
+        self.match_ops += other.match_ops;
+        Tally::merge(&mut self.access, &other.access);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use triejax_relation::AccessKind;
+    use triejax_relation::{AccessKind, NoTally};
 
     #[test]
     fn totals_sum_fields() {
-        let mut s = EngineStats::new();
+        let mut s = EngineStats::<Counting>::new();
         s.lub_ops = 3;
         s.expand_ops = 2;
         s.match_ops = 5;
@@ -85,10 +108,40 @@ mod tests {
 
     #[test]
     fn hit_rate_handles_zero_lookups() {
-        let mut s = EngineStats::new();
+        let mut s = EngineStats::<Counting>::new();
         assert_eq!(s.cache_hit_rate(), 0.0);
         s.cache_hits = 3;
         s.cache_misses = 1;
         assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = EngineStats::<Counting>::new();
+        a.results = 2;
+        a.lub_ops = 1;
+        a.access.record(AccessKind::IndexRead, 4);
+        let mut b = EngineStats::<Counting>::new();
+        b.results = 3;
+        b.match_ops = 7;
+        b.access.record(AccessKind::ResultWrite, 8);
+        a.merge(&b);
+        assert_eq!(a.results, 5);
+        assert_eq!(a.lub_ops, 1);
+        assert_eq!(a.match_ops, 7);
+        assert_eq!(a.memory_accesses(), 2);
+        assert_eq!(a.bytes_moved(), 12);
+    }
+
+    #[test]
+    fn untallied_stats_report_zero_traffic() {
+        let mut s: EngineStats<NoTally> = EngineStats::new();
+        s.results = 9;
+        s.access.record(AccessKind::ResultWrite, 1 << 30);
+        assert_eq!(s.memory_accesses(), 0);
+        assert_eq!(s.bytes_moved(), 0);
+        let other = s;
+        s.merge(&other);
+        assert_eq!(s.results, 18);
     }
 }

@@ -6,9 +6,10 @@ use std::collections::HashMap;
 
 use proptest::prelude::*;
 use triejax_join::{
-    Catalog, CollectSink, Ctj, CtjConfig, GenericJoin, JoinEngine, Lftj, PairwiseHash,
+    Catalog, CollectSink, Counting, Ctj, CtjConfig, GenericJoin, JoinEngine, Lftj, NoTally,
+    PairwiseHash, ParLftj,
 };
-use triejax_query::{CompiledQuery, Query};
+use triejax_query::{patterns::Pattern, CompiledQuery, Query};
 use triejax_relation::{Relation, Value};
 
 /// Brute-force reference: enumerate every assignment of values to
@@ -29,7 +30,10 @@ fn nested_loop_reference(q: &Query, catalog: &Catalog) -> Vec<Vec<Value>> {
         .atoms()
         .iter()
         .map(|a| {
-            (a.relation(), catalog.get(a.relation()).expect("present").iter().collect())
+            (
+                a.relation(),
+                catalog.get(a.relation()).expect("present").iter().collect(),
+            )
         })
         .collect();
 
@@ -160,6 +164,101 @@ proptest! {
         let mut sink = CollectSink::new();
         Ctj::with_config(cfg).execute(&plan, &catalog, &mut sink).unwrap();
         prop_assert_eq!(sink.into_sorted(), reference.into_sorted());
+    }
+
+    /// The `Counting` and `NoTally` kernels are the same code path: on
+    /// arbitrary graphs and every paper pattern they produce identical
+    /// result sets (tuple-for-tuple, order included) and identical
+    /// discrete operation counts — only the access accounting differs.
+    #[test]
+    fn tally_modes_produce_identical_results(
+        edges in arb_edges(14, 90),
+        pattern_idx in 0usize..Pattern::PAPER.len(),
+    ) {
+        let mut catalog = Catalog::new();
+        catalog.insert("G", Relation::from_pairs(edges));
+        let pattern = Pattern::PAPER[pattern_idx];
+        let plan = CompiledQuery::compile(&pattern.query()).unwrap();
+
+        let mut counted = CollectSink::new();
+        let cs = Lftj::new()
+            .run_tallied::<Counting>(&plan, &catalog, &mut counted)
+            .unwrap();
+        let mut fast = CollectSink::new();
+        let fs = Lftj::new()
+            .run_tallied::<NoTally>(&plan, &catalog, &mut fast)
+            .unwrap();
+        prop_assert_eq!(counted.tuples(), fast.tuples(), "lftj {}", pattern);
+        prop_assert_eq!(cs.results, fs.results);
+        prop_assert_eq!(cs.lub_ops, fs.lub_ops);
+        prop_assert_eq!(cs.expand_ops, fs.expand_ops);
+        prop_assert_eq!(cs.match_ops, fs.match_ops);
+        prop_assert_eq!(fs.memory_accesses(), 0);
+
+        let mut counted = CollectSink::new();
+        let cs = Ctj::new()
+            .run_tallied::<Counting>(&plan, &catalog, &mut counted)
+            .unwrap();
+        let mut fast = CollectSink::new();
+        let fs = Ctj::new()
+            .run_tallied::<NoTally>(&plan, &catalog, &mut fast)
+            .unwrap();
+        prop_assert_eq!(counted.tuples(), fast.tuples(), "ctj {}", pattern);
+        prop_assert_eq!(cs.cache_hits, fs.cache_hits);
+        prop_assert_eq!(cs.intermediates, fs.intermediates);
+        prop_assert_eq!(fs.memory_accesses(), 0);
+
+        let mut counted = CollectSink::new();
+        let cs = GenericJoin::new()
+            .run_tallied::<Counting>(&plan, &catalog, &mut counted)
+            .unwrap();
+        let mut fast = CollectSink::new();
+        let fs = GenericJoin::new()
+            .run_tallied::<NoTally>(&plan, &catalog, &mut fast)
+            .unwrap();
+        prop_assert_eq!(counted.tuples(), fast.tuples(), "generic {}", pattern);
+        prop_assert_eq!(cs.intermediates, fs.intermediates);
+        prop_assert_eq!(fs.memory_accesses(), 0);
+    }
+
+    /// The root-partitioned parallel engine agrees with sequential LFTJ
+    /// tuple-for-tuple (order included) for shard counts 1, 2 and 7 on
+    /// random graphs, in both tally modes.
+    #[test]
+    fn parlftj_agrees_with_lftj_across_shard_counts(
+        edges in arb_edges(18, 140),
+        pattern_idx in 0usize..Pattern::PAPER.len(),
+    ) {
+        let mut catalog = Catalog::new();
+        catalog.insert("G", Relation::from_pairs(edges));
+        let pattern = Pattern::PAPER[pattern_idx];
+        let plan = CompiledQuery::compile(&pattern.query()).unwrap();
+
+        let mut reference = CollectSink::new();
+        Lftj::new().execute(&plan, &catalog, &mut reference).unwrap();
+
+        for shards in [1usize, 2, 7] {
+            let mut par = CollectSink::new();
+            let stats = ParLftj::with_shards(shards)
+                .execute(&plan, &catalog, &mut par)
+                .unwrap();
+            prop_assert_eq!(
+                par.tuples(),
+                reference.tuples(),
+                "{} with {} shards",
+                pattern,
+                shards
+            );
+            prop_assert_eq!(stats.results as usize, reference.tuples().len());
+
+            let mut fast = CollectSink::new();
+            let fstats = ParLftj::with_shards(shards)
+                .run_tallied::<NoTally>(&plan, &catalog, &mut fast)
+                .unwrap();
+            prop_assert_eq!(fast.tuples(), reference.tuples(),
+                "untallied {} with {} shards", pattern, shards);
+            prop_assert_eq!(fstats.memory_accesses(), 0);
+        }
     }
 
     /// Engine statistics are internally consistent on arbitrary inputs.

@@ -152,7 +152,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets x 2 ways x 64B lines = 256B.
-        Cache::new(CacheGeometry { capacity: 256, ways: 2, line_bytes: 64, latency: 1 })
+        Cache::new(CacheGeometry {
+            capacity: 256,
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+        })
     }
 
     #[test]
@@ -208,13 +213,23 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one set")]
     fn bad_geometry_panics() {
-        let _ = Cache::new(CacheGeometry { capacity: 32, ways: 1, line_bytes: 64, latency: 1 });
+        let _ = Cache::new(CacheGeometry {
+            capacity: 32,
+            ways: 1,
+            line_bytes: 64,
+            latency: 1,
+        });
     }
 
     #[test]
     fn non_power_of_two_set_counts_work() {
         // 3 sets x 1 way: lines 0,3 collide; 0,1,2 do not.
-        let mut c = Cache::new(CacheGeometry { capacity: 192, ways: 1, line_bytes: 64, latency: 1 });
+        let mut c = Cache::new(CacheGeometry {
+            capacity: 192,
+            ways: 1,
+            line_bytes: 64,
+            latency: 1,
+        });
         c.access(0);
         c.access(64);
         c.access(128);

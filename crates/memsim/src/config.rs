@@ -23,9 +23,24 @@ impl MemConfig {
     pub fn triejax() -> Self {
         MemConfig {
             freq_ghz: 2.38,
-            l1: CacheGeometry { capacity: 32 << 10, ways: 8, line_bytes: 64, latency: 3 },
-            l2: CacheGeometry { capacity: 32 << 10, ways: 8, line_bytes: 64, latency: 10 },
-            llc: CacheGeometry { capacity: 20 << 20, ways: 16, line_bytes: 64, latency: 48 },
+            l1: CacheGeometry {
+                capacity: 32 << 10,
+                ways: 8,
+                line_bytes: 64,
+                latency: 3,
+            },
+            l2: CacheGeometry {
+                capacity: 32 << 10,
+                ways: 8,
+                line_bytes: 64,
+                latency: 10,
+            },
+            llc: CacheGeometry {
+                capacity: 20 << 20,
+                ways: 16,
+                line_bytes: 64,
+                latency: 48,
+            },
             dram: DramConfig::default(),
             write_bypass: true,
         }
@@ -36,9 +51,24 @@ impl MemConfig {
     pub fn cpu() -> Self {
         MemConfig {
             freq_ghz: 2.4,
-            l1: CacheGeometry { capacity: 32 << 10, ways: 8, line_bytes: 64, latency: 4 },
-            l2: CacheGeometry { capacity: 512 << 10, ways: 8, line_bytes: 64, latency: 12 },
-            llc: CacheGeometry { capacity: 40 << 20, ways: 16, line_bytes: 64, latency: 42 },
+            l1: CacheGeometry {
+                capacity: 32 << 10,
+                ways: 8,
+                line_bytes: 64,
+                latency: 4,
+            },
+            l2: CacheGeometry {
+                capacity: 512 << 10,
+                ways: 8,
+                line_bytes: 64,
+                latency: 12,
+            },
+            llc: CacheGeometry {
+                capacity: 40 << 20,
+                ways: 16,
+                line_bytes: 64,
+                latency: 42,
+            },
             dram: DramConfig {
                 channels: 2,
                 banks: 8,

@@ -97,7 +97,10 @@ impl Dram {
     ///
     /// Panics if `channels` or `banks` is zero.
     pub fn new(config: DramConfig) -> Self {
-        assert!(config.channels > 0 && config.banks > 0, "need channels and banks");
+        assert!(
+            config.channels > 0 && config.banks > 0,
+            "need channels and banks"
+        );
         Dram {
             config,
             open_rows: vec![u64::MAX; (config.channels * config.banks) as usize],
@@ -176,7 +179,10 @@ mod tests {
         // Two back-to-back accesses on the same channel at the same time.
         let a = d.access(0, 0, false);
         let b = d.access(256, 0, false); // line 4, channel 0 (4 % 2 == 0)
-        assert!(b > a - cfg.row_miss_cycles + cfg.row_hit_cycles - 1, "second waits for burst");
+        assert!(
+            b > a - cfg.row_miss_cycles + cfg.row_hit_cycles - 1,
+            "second waits for burst"
+        );
         assert!(d.stats().queue_cycles >= cfg.burst_cycles);
     }
 
@@ -185,7 +191,11 @@ mod tests {
         let mut d = Dram::new(DramConfig::default());
         d.access(0, 0, false); // channel 0
         let lat = d.access(64, 0, false); // line 1 -> channel 1
-        assert_eq!(lat, DramConfig::default().row_miss_cycles, "no queueing across channels");
+        assert_eq!(
+            lat,
+            DramConfig::default().row_miss_cycles,
+            "no queueing across channels"
+        );
         assert_eq!(d.stats().queue_cycles, 0);
     }
 

@@ -74,7 +74,11 @@ impl EnergyModel {
         EnergyBreakdown {
             core: core_ops as f64 * self.core_op_pj * pj + self.core_static_mw * mw * runtime_s,
             pjr: pjr_accesses as f64 * self.pjr_pj * pj
-                + if pjr_accesses > 0 { self.pjr_leak_mw * mw * runtime_s } else { 0.0 },
+                + if pjr_accesses > 0 {
+                    self.pjr_leak_mw * mw * runtime_s
+                } else {
+                    0.0
+                },
             l1: mem.l1.accesses() as f64 * self.l1_pj * pj,
             l2: mem.l2.accesses() as f64 * self.l2_pj * pj,
             llc: mem.llc.accesses() as f64 * self.llc_pj * pj,
@@ -146,10 +150,25 @@ mod tests {
 
     fn mem_stats() -> MemStats {
         MemStats {
-            l1: CacheStats { hits: 900, misses: 100 },
-            l2: CacheStats { hits: 60, misses: 40 },
-            llc: CacheStats { hits: 30, misses: 10 },
-            dram: DramStats { reads: 8, writes: 2, row_hits: 6, row_misses: 4, queue_cycles: 0 },
+            l1: CacheStats {
+                hits: 900,
+                misses: 100,
+            },
+            l2: CacheStats {
+                hits: 60,
+                misses: 40,
+            },
+            llc: CacheStats {
+                hits: 30,
+                misses: 10,
+            },
+            dram: DramStats {
+                reads: 8,
+                writes: 2,
+                row_hits: 6,
+                row_misses: 4,
+                queue_cycles: 0,
+            },
         }
     }
 
@@ -168,7 +187,11 @@ mod tests {
         // as in paper Figure 15 (74-90% of total).
         let m = EnergyModel::default();
         let b = m.breakdown(&mem_stats(), 50, 1000, 10e-3);
-        assert!(b.dram_fraction() > 0.7, "dram fraction {}", b.dram_fraction());
+        assert!(
+            b.dram_fraction() > 0.7,
+            "dram fraction {}",
+            b.dram_fraction()
+        );
         assert!(b.memory_fraction() > 0.8);
     }
 

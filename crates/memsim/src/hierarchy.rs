@@ -148,7 +148,11 @@ mod tests {
         }
         let lat = m.read(0, 0);
         let cfg = m.config();
-        assert_eq!(lat, cfg.l1.latency + cfg.l2.latency + cfg.llc.latency, "LLC hit");
+        assert_eq!(
+            lat,
+            cfg.l1.latency + cfg.l2.latency + cfg.llc.latency,
+            "LLC hit"
+        );
         assert_eq!(m.stats().dram.reads, 9, "no extra DRAM traffic");
     }
 

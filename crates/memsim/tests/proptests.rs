@@ -3,7 +3,9 @@
 //! bookkeeping stays conserved under arbitrary access traces.
 
 use proptest::prelude::*;
-use triejax_memsim::{Cache, CacheGeometry, Dram, DramConfig, EnergyModel, MemConfig, MemorySystem};
+use triejax_memsim::{
+    Cache, CacheGeometry, Dram, DramConfig, EnergyModel, MemConfig, MemorySystem,
+};
 
 /// Reference model: per-set Vec of lines in recency order.
 struct RefLru {

@@ -45,7 +45,10 @@ pub fn fractional_edge_cover(query: &Query) -> Result<f64, QueryError> {
     }
     let m = query.atoms().len();
     let n = query.num_vars();
-    assert!(m <= 12, "half-integral search is exponential; queries stay small");
+    assert!(
+        m <= 12,
+        "half-integral search is exponential; queries stay small"
+    );
 
     // Search weights in half-units: w_i in {0, 1, 2} halves.
     let mut best = f64::INFINITY;
@@ -55,7 +58,7 @@ pub fn fractional_edge_cover(query: &Query) -> Result<f64, QueryError> {
 }
 
 fn search(query: &Query, weights: &mut Vec<u8>, i: usize, n: usize, best: &mut f64) {
-    let partial: u32 = weights[..i].iter().map(|&w| u32::from(w)) .sum();
+    let partial: u32 = weights[..i].iter().map(|&w| u32::from(w)).sum();
     if partial as f64 >= *best {
         return; // already no better than the incumbent
     }

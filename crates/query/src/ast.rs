@@ -58,7 +58,11 @@ pub struct Query {
 impl Query {
     /// Starts building a query with the given head-predicate name.
     pub fn builder(name: impl Into<String>) -> QueryBuilder {
-        QueryBuilder { name: name.into(), head: Vec::new(), atoms: Vec::new() }
+        QueryBuilder {
+            name: name.into(),
+            head: Vec::new(),
+            atoms: Vec::new(),
+        }
     }
 
     /// Query (head predicate) name, e.g. `"path3"`.
@@ -105,7 +109,12 @@ impl Query {
         let mut s = String::new();
         let _ = write!(s, "{}(", self.name);
         s.push_str(
-            &self.head.iter().map(|&v| self.var_names[v].as_str()).collect::<Vec<_>>().join(","),
+            &self
+                .head
+                .iter()
+                .map(|&v| self.var_names[v].as_str())
+                .collect::<Vec<_>>()
+                .join(","),
         );
         s.push_str(") = ");
         let body: Vec<String> = self
@@ -159,7 +168,8 @@ impl QueryBuilder {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.atoms.push((relation.into(), vars.into_iter().map(Into::into).collect()));
+        self.atoms
+            .push((relation.into(), vars.into_iter().map(Into::into).collect()));
         self
     }
 
@@ -200,7 +210,10 @@ impl QueryBuilder {
                 }
                 ids.push(id);
             }
-            atoms.push(Atom { relation: rel.clone(), vars: ids });
+            atoms.push(Atom {
+                relation: rel.clone(),
+                vars: ids,
+            });
         }
         // Full join: head must cover exactly the body variables.
         let mut seen_in_head = vec![false; var_names.len()];
@@ -213,7 +226,12 @@ impl QueryBuilder {
         if seen_in_head.iter().any(|&s| !s) || head.len() != var_names.len() {
             return Err(QueryError::HeadBodyMismatch);
         }
-        Ok(Query { name: self.name, var_names, head, atoms })
+        Ok(Query {
+            name: self.name,
+            var_names,
+            head,
+            atoms,
+        })
     }
 }
 

@@ -30,13 +30,19 @@ impl fmt::Display for QueryError {
         match self {
             QueryError::NoAtoms => write!(f, "query must have at least one atom"),
             QueryError::DuplicateVarInAtom { atom, var } => {
-                write!(f, "atom {atom} repeats variable {var}, which is unsupported")
+                write!(
+                    f,
+                    "atom {atom} repeats variable {var}, which is unsupported"
+                )
             }
             QueryError::HeadBodyMismatch => {
                 write!(f, "head variables must be exactly the body variables")
             }
             QueryError::BadVariableOrder => {
-                write!(f, "variable order must be a permutation of the query variables")
+                write!(
+                    f,
+                    "variable order must be a permutation of the query variables"
+                )
             }
             QueryError::Parse { message } => write!(f, "parse error: {message}"),
         }
@@ -51,7 +57,10 @@ mod tests {
 
     #[test]
     fn display_mentions_details() {
-        let e = QueryError::DuplicateVarInAtom { atom: "R".into(), var: "x".into() };
+        let e = QueryError::DuplicateVarInAtom {
+            atom: "R".into(),
+            var: "x".into(),
+        };
         assert!(e.to_string().contains('R'));
         assert!(e.to_string().contains('x'));
     }

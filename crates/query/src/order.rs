@@ -20,7 +20,13 @@ use crate::{CompiledQuery, Query, VarId};
 pub fn suggest_order(query: &Query) -> Vec<VarId> {
     let mut vars: Vec<VarId> = query.head().to_vec();
     let count = |v: VarId| query.atoms_with(v).count();
-    let head_pos = |v: VarId| query.head().iter().position(|&h| h == v).unwrap_or(usize::MAX);
+    let head_pos = |v: VarId| {
+        query
+            .head()
+            .iter()
+            .position(|&h| h == v)
+            .unwrap_or(usize::MAX)
+    };
     vars.sort_by(|&a, &b| count(b).cmp(&count(a)).then(head_pos(a).cmp(&head_pos(b))));
     vars
 }
@@ -130,9 +136,10 @@ fn score_order(query: &Query, order: &[VarId]) -> f64 {
     // 1. Connectivity: each non-first variable should share an atom with
     //    the prefix (heavily weighted).
     for (d, &v) in order.iter().enumerate().skip(1) {
-        let connected = query.atoms().iter().any(|a| {
-            a.vars().contains(&v) && a.vars().iter().any(|u| order[..d].contains(u))
-        });
+        let connected = query
+            .atoms()
+            .iter()
+            .any(|a| a.vars().contains(&v) && a.vars().iter().any(|u| order[..d].contains(u)));
         if connected {
             score += 100.0;
         }
@@ -165,8 +172,7 @@ mod optimizer_tests {
             let order = optimize_order(&q);
             for d in 1..order.len() {
                 let connected = q.atoms().iter().any(|a| {
-                    a.vars().contains(&order[d])
-                        && a.vars().iter().any(|u| order[..d].contains(u))
+                    a.vars().contains(&order[d]) && a.vars().iter().any(|u| order[..d].contains(u))
                 });
                 assert!(connected, "{p}: disconnected prefix at depth {d}");
             }

@@ -53,7 +53,9 @@ fn split_rule(text: &str) -> Result<(&str, &str), QueryError> {
             _ => {}
         }
     }
-    Err(QueryError::Parse { message: "missing `=` or `:-` rule separator".into() })
+    Err(QueryError::Parse {
+        message: "missing `=` or `:-` rule separator".into(),
+    })
 }
 
 /// Splits the body on top-level commas into atom strings.
@@ -69,7 +71,9 @@ fn split_atoms(body: &str) -> Result<Vec<String>, QueryError> {
             }
             ')' => {
                 if depth == 0 {
-                    return Err(QueryError::Parse { message: "unbalanced parentheses".into() });
+                    return Err(QueryError::Parse {
+                        message: "unbalanced parentheses".into(),
+                    });
                 }
                 depth -= 1;
                 current.push(ch);
@@ -81,13 +85,20 @@ fn split_atoms(body: &str) -> Result<Vec<String>, QueryError> {
         }
     }
     if depth != 0 {
-        return Err(QueryError::Parse { message: "unbalanced parentheses".into() });
+        return Err(QueryError::Parse {
+            message: "unbalanced parentheses".into(),
+        });
     }
     atoms.push(current);
-    let atoms: Vec<String> =
-        atoms.into_iter().map(|a| a.trim().to_owned()).filter(|a| !a.is_empty()).collect();
+    let atoms: Vec<String> = atoms
+        .into_iter()
+        .map(|a| a.trim().to_owned())
+        .filter(|a| !a.is_empty())
+        .collect();
     if atoms.is_empty() {
-        return Err(QueryError::Parse { message: "empty rule body".into() });
+        return Err(QueryError::Parse {
+            message: "empty rule body".into(),
+        });
     }
     Ok(atoms)
 }
@@ -95,20 +106,29 @@ fn split_atoms(body: &str) -> Result<Vec<String>, QueryError> {
 /// Parses `Name(v1, v2, ...)` into the name and variable list.
 fn parse_predicate(text: &str) -> Result<(String, Vec<String>), QueryError> {
     let text = text.trim();
-    let open = text
-        .find('(')
-        .ok_or_else(|| QueryError::Parse { message: format!("expected `(` in `{text}`") })?;
+    let open = text.find('(').ok_or_else(|| QueryError::Parse {
+        message: format!("expected `(` in `{text}`"),
+    })?;
     if !text.ends_with(')') {
-        return Err(QueryError::Parse { message: format!("expected `)` at end of `{text}`") });
+        return Err(QueryError::Parse {
+            message: format!("expected `)` at end of `{text}`"),
+        });
     }
     let name = text[..open].trim();
     if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
-        return Err(QueryError::Parse { message: format!("bad predicate name in `{text}`") });
+        return Err(QueryError::Parse {
+            message: format!("bad predicate name in `{text}`"),
+        });
     }
     let inner = &text[open + 1..text.len() - 1];
     let vars: Vec<String> = inner.split(',').map(|v| v.trim().to_owned()).collect();
-    if vars.iter().any(|v| v.is_empty() || !v.chars().all(|c| c.is_alphanumeric() || c == '_')) {
-        return Err(QueryError::Parse { message: format!("bad variable list in `{text}`") });
+    if vars
+        .iter()
+        .any(|v| v.is_empty() || !v.chars().all(|c| c.is_alphanumeric() || c == '_'))
+    {
+        return Err(QueryError::Parse {
+            message: format!("bad variable list in `{text}`"),
+        });
     }
     Ok((name.to_owned(), vars))
 }

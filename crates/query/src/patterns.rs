@@ -32,8 +32,13 @@ pub enum Pattern {
 
 impl Pattern {
     /// The five patterns evaluated in the paper (Table 1), in paper order.
-    pub const PAPER: [Pattern; 5] =
-        [Pattern::Path3, Pattern::Path4, Pattern::Cycle3, Pattern::Cycle4, Pattern::Clique4];
+    pub const PAPER: [Pattern; 5] = [
+        Pattern::Path3,
+        Pattern::Path4,
+        Pattern::Cycle3,
+        Pattern::Cycle4,
+        Pattern::Clique4,
+    ];
 
     /// All built-in patterns, including extensions beyond the paper.
     pub const ALL: [Pattern; 8] = [
@@ -77,7 +82,9 @@ impl Pattern {
 
     /// Parses a pattern from its label, case-insensitively.
     pub fn from_label(label: &str) -> Option<Pattern> {
-        Pattern::ALL.into_iter().find(|p| p.label().eq_ignore_ascii_case(label))
+        Pattern::ALL
+            .into_iter()
+            .find(|p| p.label().eq_ignore_ascii_case(label))
     }
 }
 
@@ -93,90 +100,106 @@ fn must(q: Result<Query, crate::QueryError>) -> Query {
 
 /// `path3(x,y,z) = G(x,y),G(y,z)`.
 pub fn path3() -> Query {
-    must(Query::builder("path3")
-        .head(["x", "y", "z"])
-        .atom("G", ["x", "y"])
-        .atom("G", ["y", "z"])
-        .build())
+    must(
+        Query::builder("path3")
+            .head(["x", "y", "z"])
+            .atom("G", ["x", "y"])
+            .atom("G", ["y", "z"])
+            .build(),
+    )
 }
 
 /// `path4(x,y,z,w) = G(x,y),G(y,z),G(z,w)`.
 pub fn path4() -> Query {
-    must(Query::builder("path4")
-        .head(["x", "y", "z", "w"])
-        .atom("G", ["x", "y"])
-        .atom("G", ["y", "z"])
-        .atom("G", ["z", "w"])
-        .build())
+    must(
+        Query::builder("path4")
+            .head(["x", "y", "z", "w"])
+            .atom("G", ["x", "y"])
+            .atom("G", ["y", "z"])
+            .atom("G", ["z", "w"])
+            .build(),
+    )
 }
 
 /// `cycle3(x,y,z) = G(x,y),G(y,z),G(z,x)` (triangles).
 pub fn cycle3() -> Query {
-    must(Query::builder("cycle3")
-        .head(["x", "y", "z"])
-        .atom("G", ["x", "y"])
-        .atom("G", ["y", "z"])
-        .atom("G", ["z", "x"])
-        .build())
+    must(
+        Query::builder("cycle3")
+            .head(["x", "y", "z"])
+            .atom("G", ["x", "y"])
+            .atom("G", ["y", "z"])
+            .atom("G", ["z", "x"])
+            .build(),
+    )
 }
 
 /// `cycle4(x,y,z,w) = G(x,y),G(y,z),G(z,w),G(w,x)`.
 pub fn cycle4() -> Query {
-    must(Query::builder("cycle4")
-        .head(["x", "y", "z", "w"])
-        .atom("G", ["x", "y"])
-        .atom("G", ["y", "z"])
-        .atom("G", ["z", "w"])
-        .atom("G", ["w", "x"])
-        .build())
+    must(
+        Query::builder("cycle4")
+            .head(["x", "y", "z", "w"])
+            .atom("G", ["x", "y"])
+            .atom("G", ["y", "z"])
+            .atom("G", ["z", "w"])
+            .atom("G", ["w", "x"])
+            .build(),
+    )
 }
 
 /// `clique4(x,y,z,w) = G(x,y),G(y,z),G(z,w),G(w,x),G(z,x),G(w,y)`
 /// (paper Table 1, with `V` and `W` also reading the edge table).
 pub fn clique4() -> Query {
-    must(Query::builder("clique4")
-        .head(["x", "y", "z", "w"])
-        .atom("G", ["x", "y"])
-        .atom("G", ["y", "z"])
-        .atom("G", ["z", "w"])
-        .atom("G", ["w", "x"])
-        .atom("G", ["z", "x"])
-        .atom("G", ["w", "y"])
-        .build())
+    must(
+        Query::builder("clique4")
+            .head(["x", "y", "z", "w"])
+            .atom("G", ["x", "y"])
+            .atom("G", ["y", "z"])
+            .atom("G", ["z", "w"])
+            .atom("G", ["w", "x"])
+            .atom("G", ["z", "x"])
+            .atom("G", ["w", "y"])
+            .build(),
+    )
 }
 
 /// Extension: `path5(x,y,z,w,v) = G(x,y),G(y,z),G(z,w),G(w,v)`.
 pub fn path5() -> Query {
-    must(Query::builder("path5")
-        .head(["x", "y", "z", "w", "v"])
-        .atom("G", ["x", "y"])
-        .atom("G", ["y", "z"])
-        .atom("G", ["z", "w"])
-        .atom("G", ["w", "v"])
-        .build())
+    must(
+        Query::builder("path5")
+            .head(["x", "y", "z", "w", "v"])
+            .atom("G", ["x", "y"])
+            .atom("G", ["y", "z"])
+            .atom("G", ["z", "w"])
+            .atom("G", ["w", "v"])
+            .build(),
+    )
 }
 
 /// Extension: `cycle5(x,y,z,w,v)` — 5-cycle.
 pub fn cycle5() -> Query {
-    must(Query::builder("cycle5")
-        .head(["x", "y", "z", "w", "v"])
-        .atom("G", ["x", "y"])
-        .atom("G", ["y", "z"])
-        .atom("G", ["z", "w"])
-        .atom("G", ["w", "v"])
-        .atom("G", ["v", "x"])
-        .build())
+    must(
+        Query::builder("cycle5")
+            .head(["x", "y", "z", "w", "v"])
+            .atom("G", ["x", "y"])
+            .atom("G", ["y", "z"])
+            .atom("G", ["z", "w"])
+            .atom("G", ["w", "v"])
+            .atom("G", ["v", "x"])
+            .build(),
+    )
 }
 
 /// Extension: `star3(x,a,b,c)` — a hub `x` with three distinct-variable
 /// out-edges (out-star of size 3).
 pub fn star3() -> Query {
-    must(Query::builder("star3")
-        .head(["x", "a", "b", "c"])
-        .atom("G", ["x", "a"])
-        .atom("G", ["x", "b"])
-        .atom("G", ["x", "c"])
-        .build())
+    must(
+        Query::builder("star3")
+            .head(["x", "a", "b", "c"])
+            .atom("G", ["x", "a"])
+            .atom("G", ["x", "b"])
+            .atom("G", ["x", "c"])
+            .build(),
+    )
 }
 
 #[cfg(test)]

@@ -148,8 +148,7 @@ impl CompiledQuery {
             let mut cols: Vec<usize> = (0..atom.arity()).collect();
             cols.sort_by_key(|&c| depth_of_var[atom.vars()[c]]);
             let var_order: Vec<VarId> = cols.iter().map(|&c| atom.vars()[c]).collect();
-            let depth_of_level: Vec<usize> =
-                var_order.iter().map(|&v| depth_of_var[v]).collect();
+            let depth_of_level: Vec<usize> = var_order.iter().map(|&v| depth_of_var[v]).collect();
             atom_plans.push(AtomPlan {
                 atom_index: ai,
                 relation: atom.relation().to_owned(),
@@ -172,12 +171,11 @@ impl CompiledQuery {
         // variable at depth >= d. A spec is valid iff the key is a strict
         // subset of the bound prefix.
         let mut cache_specs = Vec::new();
-        let mut cache_at_depth = vec![None; n];
-        for d in 1..n {
+        let mut cache_at_depth: Vec<Option<usize>> = vec![None; n];
+        for (d, slot) in cache_at_depth.iter_mut().enumerate().skip(1) {
             let mut in_key = vec![false; n];
             for atom in query.atoms() {
-                let touches_suffix =
-                    atom.vars().iter().any(|&v| depth_of_var[v] >= d);
+                let touches_suffix = atom.vars().iter().any(|&v| depth_of_var[v] >= d);
                 if touches_suffix {
                     for &v in atom.vars() {
                         let dv = depth_of_var[v];
@@ -189,8 +187,11 @@ impl CompiledQuery {
             }
             let key_depths: Vec<usize> = (0..d).filter(|&dd| in_key[dd]).collect();
             if key_depths.len() < d {
-                cache_at_depth[d] = Some(cache_specs.len());
-                cache_specs.push(CacheSpec { key_depths, value_depth: d });
+                *slot = Some(cache_specs.len());
+                cache_specs.push(CacheSpec {
+                    key_depths,
+                    value_depth: d,
+                });
             }
         }
 
@@ -368,8 +369,7 @@ mod tests {
     #[test]
     fn reverse_order_changes_cache_structure() {
         // path3 evaluated z -> y -> x caches x keyed by {y}.
-        let plan =
-            CompiledQuery::compile_with_order(&patterns::path3(), vec![2, 1, 0]).unwrap();
+        let plan = CompiledQuery::compile_with_order(&patterns::path3(), vec![2, 1, 0]).unwrap();
         assert_eq!(plan.cache_specs().len(), 1);
         assert_eq!(plan.cache_specs()[0].value_depth(), 2);
         assert_eq!(plan.cache_specs()[0].key_depths(), &[1]);

@@ -8,33 +8,28 @@ use triejax_query::{agm, parse_query, CompiledQuery, Query};
 /// variables named v0..v4 and 1..=6 atoms.
 fn arb_query() -> impl Strategy<Value = Query> {
     (2usize..=5).prop_flat_map(|nvars| {
-        let atom = (0..nvars, 0..nvars)
-            .prop_filter("no repeated var in atom", |(a, b)| a != b);
-        prop::collection::vec(atom, 1..=6).prop_filter_map(
-            "head must cover body",
-            move |atoms| {
-                let names: Vec<String> = (0..nvars).map(|i| format!("v{i}")).collect();
-                // Ensure every variable appears in some atom by extending
-                // with a chain over missing ones.
-                let mut used: Vec<bool> = vec![false; nvars];
-                for &(a, b) in &atoms {
-                    used[a] = true;
-                    used[b] = true;
+        let atom = (0..nvars, 0..nvars).prop_filter("no repeated var in atom", |(a, b)| a != b);
+        prop::collection::vec(atom, 1..=6).prop_filter_map("head must cover body", move |atoms| {
+            let names: Vec<String> = (0..nvars).map(|i| format!("v{i}")).collect();
+            // Ensure every variable appears in some atom by extending
+            // with a chain over missing ones.
+            let mut used: Vec<bool> = vec![false; nvars];
+            for &(a, b) in &atoms {
+                used[a] = true;
+                used[b] = true;
+            }
+            let mut atoms = atoms;
+            for v in 0..nvars {
+                if !used[v] {
+                    atoms.push((v, (v + 1) % nvars));
                 }
-                let mut atoms = atoms;
-                for v in 0..nvars {
-                    if !used[v] {
-                        atoms.push((v, (v + 1) % nvars));
-                    }
-                }
-                let mut builder = Query::builder("q").head(names.clone());
-                for (a, b) in atoms {
-                    builder =
-                        builder.atom("G", [names[a].clone(), names[b].clone()]);
-                }
-                builder.build().ok()
-            },
-        )
+            }
+            let mut builder = Query::builder("q").head(names.clone());
+            for (a, b) in atoms {
+                builder = builder.atom("G", [names[a].clone(), names[b].clone()]);
+            }
+            builder.build().ok()
+        })
     })
 }
 

@@ -1,3 +1,97 @@
+/// Compile-time choice between *instrumented* and *fast* kernels.
+///
+/// Every hot-path trie read in the join kernels is reported through a
+/// `Tally`. The two implementations make instrumentation a zero-cost
+/// dial:
+///
+/// * [`Counting`] (an alias for [`AccessCounter`]) records every touch —
+///   use it when reproducing the paper's memory-access comparisons
+///   (Figure 17) or feeding the baseline cost models, where the counts
+///   *are* the result.
+/// * [`NoTally`] is a zero-sized type whose `record` is an empty inline
+///   function: the optimizer deletes every instrumentation call, so the
+///   kernels run as fast as the hardware allows — use it for throughput
+///   benchmarking and production-style serving, where only the join
+///   results matter.
+///
+/// Both modes execute the *same* kernel code, so result sets are
+/// identical by construction (and verified by property tests in
+/// `triejax-join`).
+///
+/// # Example
+///
+/// ```
+/// use triejax_relation::{AccessCounter, AccessKind, NoTally, Tally};
+///
+/// fn probe<T: Tally>(tally: &mut T) {
+///     tally.record(AccessKind::IndexRead, 4);
+/// }
+///
+/// let mut counting = AccessCounter::default();
+/// probe(&mut counting);
+/// assert_eq!(counting.index_reads, 1);
+///
+/// let mut fast = NoTally;
+/// probe(&mut fast); // compiles to nothing
+/// assert_eq!(fast.snapshot(), AccessCounter::default());
+/// ```
+pub trait Tally:
+    Default + Copy + Clone + PartialEq + Eq + std::fmt::Debug + Send + 'static
+{
+    /// `true` when this tally actually counts (lets generic code skip
+    /// work that only exists to be counted, e.g. byte-size bookkeeping).
+    const ENABLED: bool;
+
+    /// Records one touch of `bytes` bytes.
+    fn record(&mut self, kind: AccessKind, bytes: u64);
+
+    /// Adds another tally's totals into this one.
+    fn merge(&mut self, other: &Self);
+
+    /// Current totals as a plain [`AccessCounter`] (all-zero for
+    /// [`NoTally`]).
+    fn snapshot(&self) -> AccessCounter;
+}
+
+/// The instrumented [`Tally`]: today's `AccessCounter` behavior.
+pub type Counting = AccessCounter;
+
+/// The zero-cost [`Tally`]: every `record` call is an empty `#[inline]`
+/// function the optimizer deletes. See [`Tally`] for when to use it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NoTally;
+
+impl Tally for NoTally {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _kind: AccessKind, _bytes: u64) {}
+
+    #[inline(always)]
+    fn merge(&mut self, _other: &Self) {}
+
+    fn snapshot(&self) -> AccessCounter {
+        AccessCounter::default()
+    }
+}
+
+impl Tally for AccessCounter {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn record(&mut self, kind: AccessKind, bytes: u64) {
+        AccessCounter::record(self, kind, bytes);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        AccessCounter::merge(self, other);
+    }
+
+    fn snapshot(&self) -> AccessCounter {
+        *self
+    }
+}
+
 /// The kind of memory touch performed by an instrumented operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
@@ -108,6 +202,27 @@ mod tests {
         assert_eq!(c.intermediate_bytes, 8);
         assert_eq!(c.total_accesses(), 4);
         assert_eq!(c.total_bytes(), 32);
+    }
+
+    #[test]
+    fn tally_impls_agree_on_interface() {
+        fn drive<T: Tally>(t: &mut T) {
+            t.record(AccessKind::IndexRead, 4);
+            t.record(AccessKind::ResultWrite, 8);
+        }
+        let mut counting = Counting::default();
+        drive(&mut counting);
+        assert!(Counting::ENABLED);
+        assert_eq!(counting.snapshot().total_bytes(), 12);
+
+        let mut fast = NoTally;
+        drive(&mut fast);
+        assert!(!NoTally::ENABLED);
+        assert_eq!(fast.snapshot(), AccessCounter::default());
+
+        let mut merged = NoTally;
+        Tally::merge(&mut merged, &fast);
+        assert_eq!(merged, NoTally);
     }
 
     #[test]

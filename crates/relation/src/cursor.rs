@@ -1,4 +1,4 @@
-use crate::{AccessCounter, AccessKind, Trie, Value, WORD_BYTES};
+use crate::{AccessKind, Tally, Trie, Value, WORD_BYTES};
 
 /// A LeapFrog-TrieJoin cursor over a [`Trie`] (Veldhuizen, ICDT'14).
 ///
@@ -8,9 +8,11 @@ use crate::{AccessCounter, AccessKind, Trie, Value, WORD_BYTES};
 /// sibling, and [`seek`](Self::seek) performs the lowest-upper-bound search
 /// that the paper's LUB hardware unit implements with binary search.
 ///
-/// Every value or child-range word fetched from the trie is recorded in the
-/// caller's [`AccessCounter`], which is how the software engines reproduce
-/// the paper's memory-access comparison (Figure 17).
+/// Every value or child-range word fetched from the trie is reported to the
+/// caller's [`Tally`]. With [`crate::Counting`] (an [`crate::AccessCounter`])
+/// that is how the software engines reproduce the paper's memory-access
+/// comparison (Figure 17); with [`crate::NoTally`] the instrumentation
+/// compiles away entirely and the cursor runs at full speed.
 ///
 /// # Example
 ///
@@ -44,7 +46,10 @@ struct Frame {
 impl<'a> TrieCursor<'a> {
     /// Creates a cursor positioned above the root of `trie`.
     pub fn new(trie: &'a Trie) -> Self {
-        TrieCursor { trie, frames: Vec::with_capacity(trie.arity()) }
+        TrieCursor {
+            trie,
+            frames: Vec::with_capacity(trie.arity()),
+        }
     }
 
     /// The trie this cursor walks.
@@ -53,6 +58,7 @@ impl<'a> TrieCursor<'a> {
     }
 
     /// Current depth: number of open levels (0 = above root).
+    #[inline]
     pub fn depth(&self) -> usize {
         self.frames.len()
     }
@@ -63,6 +69,7 @@ impl<'a> TrieCursor<'a> {
     /// # Panics
     ///
     /// Panics if the cursor is above the root.
+    #[inline]
     pub fn at_end(&self) -> bool {
         let f = self.frames.last().expect("cursor is above the root");
         f.pos >= f.hi
@@ -73,6 +80,7 @@ impl<'a> TrieCursor<'a> {
     /// # Panics
     ///
     /// Panics if the cursor is above the root or at the end of a level.
+    #[inline]
     pub fn key(&self) -> Value {
         let f = self.frames.last().expect("cursor is above the root");
         assert!(f.pos < f.hi, "cursor is at end");
@@ -87,6 +95,7 @@ impl<'a> TrieCursor<'a> {
     /// # Panics
     ///
     /// Panics if the cursor is above the root or at the end of a level.
+    #[inline]
     pub fn pos(&self) -> usize {
         let f = self.frames.last().expect("cursor is above the root");
         assert!(f.pos < f.hi, "cursor is at end");
@@ -112,7 +121,8 @@ impl<'a> TrieCursor<'a> {
     /// # Panics
     ///
     /// Panics when called on a leaf-level node or on an ended level.
-    pub fn open(&mut self, counter: &mut AccessCounter) -> bool {
+    #[inline]
+    pub fn open<T: Tally>(&mut self, counter: &mut T) -> bool {
         let (lo, hi) = if self.frames.is_empty() {
             (0, self.trie.level(0).len())
         } else {
@@ -148,7 +158,8 @@ impl<'a> TrieCursor<'a> {
     /// # Panics
     ///
     /// Panics if the cursor is above the root or already at the end.
-    pub fn next(&mut self, counter: &mut AccessCounter) -> bool {
+    #[inline]
+    pub fn next<T: Tally>(&mut self, counter: &mut T) -> bool {
         let f = self.frames.last_mut().expect("cursor is above the root");
         assert!(f.pos < f.hi, "cursor is already at end");
         f.pos += 1;
@@ -176,8 +187,15 @@ impl<'a> TrieCursor<'a> {
     pub fn open_at(&mut self, pos: usize) {
         let depth = self.frames.len();
         assert!(depth < self.trie.arity(), "cannot open past the leaf level");
-        assert!(pos < self.trie.level(depth).len(), "open_at index outside level");
-        self.frames.push(Frame { lo: pos, hi: pos + 1, pos });
+        assert!(
+            pos < self.trie.level(depth).len(),
+            "open_at index outside level"
+        );
+        self.frames.push(Frame {
+            lo: pos,
+            hi: pos + 1,
+            pos,
+        });
     }
 
     /// Repositions the cursor at an absolute index of the current level,
@@ -193,7 +211,10 @@ impl<'a> TrieCursor<'a> {
     /// current sibling range.
     pub fn jump(&mut self, pos: usize) {
         let f = self.frames.last_mut().expect("cursor is above the root");
-        assert!(pos >= f.lo && pos < f.hi, "jump target outside sibling range");
+        assert!(
+            pos >= f.lo && pos < f.hi,
+            "jump target outside sibling range"
+        );
         f.pos = pos;
     }
 
@@ -207,7 +228,8 @@ impl<'a> TrieCursor<'a> {
     /// # Panics
     ///
     /// Panics if the cursor is above the root or already at the end.
-    pub fn seek(&mut self, v: Value, counter: &mut AccessCounter) -> bool {
+    #[inline]
+    pub fn seek<T: Tally>(&mut self, v: Value, counter: &mut T) -> bool {
         let depth = self.frames.len();
         let f = self.frames.last_mut().expect("cursor is above the root");
         assert!(f.pos < f.hi, "cursor is already at end");
@@ -230,11 +252,17 @@ impl<'a> TrieCursor<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Relation;
+    use crate::{AccessCounter, Relation};
 
     fn trie() -> Trie {
         // Level 0: [1, 3, 7]; children: 1 -> [2, 5], 3 -> [4], 7 -> [1, 9]
-        Trie::build(&Relation::from_pairs(vec![(1, 2), (1, 5), (3, 4), (7, 1), (7, 9)]))
+        Trie::build(&Relation::from_pairs(vec![
+            (1, 2),
+            (1, 5),
+            (3, 4),
+            (7, 1),
+            (7, 9),
+        ]))
     }
 
     #[test]

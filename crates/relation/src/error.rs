@@ -20,7 +20,10 @@ impl fmt::Display for RelationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RelationError::ArityMismatch { expected, found } => {
-                write!(f, "tuple arity {found} does not match relation arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {found} does not match relation arity {expected}"
+                )
             }
             RelationError::ZeroArity => write!(f, "relation arity must be at least 1"),
         }
@@ -35,10 +38,16 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let err = RelationError::ArityMismatch { expected: 2, found: 3 };
+        let err = RelationError::ArityMismatch {
+            expected: 2,
+            found: 3,
+        };
         let msg = err.to_string();
         assert!(msg.contains('2') && msg.contains('3'));
-        assert_eq!(RelationError::ZeroArity.to_string(), "relation arity must be at least 1");
+        assert_eq!(
+            RelationError::ZeroArity.to_string(),
+            "relation arity must be at least 1"
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ impl ArraySpan {
     /// Panics (in debug builds) if the word lies outside the span.
     pub fn word(&self, index: usize) -> Addr {
         let off = index as u64 * WORD_BYTES;
-        debug_assert!(off < self.bytes || self.bytes == 0, "word index out of span");
+        debug_assert!(
+            off < self.bytes || self.bytes == 0,
+            "word index out of span"
+        );
         self.base + off
     }
 }
@@ -62,7 +65,10 @@ impl AddressSpace {
     /// Cache-line aligned allocator starting at a non-zero base (address 0 is
     /// reserved so that a zero span is recognizably "unassigned").
     pub fn new() -> Self {
-        AddressSpace { next: 0x1000, align: 64 }
+        AddressSpace {
+            next: 0x1000,
+            align: 64,
+        }
     }
 
     /// Allocator with a custom alignment (must be a power of two).
@@ -72,7 +78,10 @@ impl AddressSpace {
     /// Panics if `align` is zero or not a power of two.
     pub fn with_alignment(align: u64) -> Self {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
-        AddressSpace { next: 0x1000, align }
+        AddressSpace {
+            next: 0x1000,
+            align,
+        }
     }
 
     /// Reserves `bytes` of simulated memory and returns its span.

@@ -14,7 +14,9 @@
 //!   cycle-level simulators can replay each word access.
 //! * [`TrieCursor`] — a LeapFrog-TrieJoin style cursor with `open`, `up`,
 //!   `next` and `seek` (lowest-upper-bound) operations, instrumented through
-//!   [`AccessCounter`] so software engines can count every memory touch.
+//!   the [`Tally`] trait: pass a [`Counting`] (alias of [`AccessCounter`])
+//!   to count every memory touch, or [`NoTally`] to compile the
+//!   instrumentation away entirely.
 //!
 //! # Example
 //!
@@ -38,7 +40,7 @@ mod layout;
 mod relation;
 mod trie;
 
-pub use access::{AccessCounter, AccessKind};
+pub use access::{AccessCounter, AccessKind, Counting, NoTally, Tally};
 pub use cursor::TrieCursor;
 pub use error::RelationError;
 pub use layout::{AddressSpace, ArraySpan, WORD_BYTES};

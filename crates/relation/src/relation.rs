@@ -34,7 +34,10 @@ impl Relation {
         if arity == 0 {
             return Err(RelationError::ZeroArity);
         }
-        Ok(Relation { arity, data: Vec::new() })
+        Ok(Relation {
+            arity,
+            data: Vec::new(),
+        })
     }
 
     /// Builds a relation from an iterator of tuples, sorting and removing
@@ -55,7 +58,10 @@ impl Relation {
         for t in tuples {
             let t = t.as_ref();
             if t.len() != arity {
-                return Err(RelationError::ArityMismatch { expected: arity, found: t.len() });
+                return Err(RelationError::ArityMismatch {
+                    expected: arity,
+                    found: t.len(),
+                });
             }
             data.extend_from_slice(t);
         }
@@ -121,10 +127,17 @@ impl Relation {
     ///
     /// Panics if `perm` is not a permutation of `0..arity`.
     pub fn permute(&self, perm: &[usize]) -> Relation {
-        assert_eq!(perm.len(), self.arity, "permutation length must equal arity");
+        assert_eq!(
+            perm.len(),
+            self.arity,
+            "permutation length must equal arity"
+        );
         let mut seen = vec![false; self.arity];
         for &p in perm {
-            assert!(p < self.arity && !seen[p], "perm must be a permutation of 0..arity");
+            assert!(
+                p < self.arity && !seen[p],
+                "perm must be a permutation of 0..arity"
+            );
             seen[p] = true;
         }
         let mut data = Vec::with_capacity(self.data.len());
@@ -133,7 +146,10 @@ impl Relation {
                 data.push(t[p]);
             }
         }
-        let mut rel = Relation { arity: self.arity, data };
+        let mut rel = Relation {
+            arity: self.arity,
+            data,
+        };
         rel.normalize();
         rel
     }
@@ -179,14 +195,26 @@ mod tests {
     #[test]
     fn arity_mismatch_is_rejected() {
         let err = Relation::from_tuples(2, vec![vec![1u32, 2, 3]]).unwrap_err();
-        assert_eq!(err, RelationError::ArityMismatch { expected: 2, found: 3 });
+        assert_eq!(
+            err,
+            RelationError::ArityMismatch {
+                expected: 2,
+                found: 3
+            }
+        );
     }
 
     #[test]
     fn tuples_are_sorted_and_deduplicated() {
         let rel = Relation::from_tuples(
             2,
-            vec![vec![3u32, 1], vec![1, 2], vec![3, 1], vec![1, 1], vec![2, 9]],
+            vec![
+                vec![3u32, 1],
+                vec![1, 2],
+                vec![3, 1],
+                vec![1, 1],
+                vec![2, 9],
+            ],
         )
         .unwrap();
         let rows: Vec<_> = rel.iter().collect();
@@ -239,8 +267,8 @@ mod tests {
 
     #[test]
     fn triple_arity_sorting_is_lexicographic() {
-        let rel = Relation::from_tuples(3, vec![vec![1u32, 2, 3], vec![1, 2, 1], vec![0, 9, 9]])
-            .unwrap();
+        let rel =
+            Relation::from_tuples(3, vec![vec![1u32, 2, 3], vec![1, 2, 1], vec![0, 9, 9]]).unwrap();
         assert_eq!(rel.tuple(0), &[0, 9, 9]);
         assert_eq!(rel.tuple(1), &[1, 2, 1]);
         assert_eq!(rel.tuple(2), &[1, 2, 3]);

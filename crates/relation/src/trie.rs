@@ -43,7 +43,10 @@ impl TrieLevel {
     ///
     /// Panics if this is the leaf level or `i` is out of bounds.
     pub fn child_range(&self, i: usize) -> (usize, usize) {
-        (self.child_starts[i] as usize, self.child_starts[i + 1] as usize)
+        (
+            self.child_starts[i] as usize,
+            self.child_starts[i + 1] as usize,
+        )
     }
 
     /// Simulated placement of the value array (valid after
@@ -95,8 +98,10 @@ impl Trie {
         // the pseudo-root owns all rows.
         let mut groups: Vec<(usize, usize)> = vec![(0, nrows)];
         for level in 0..arity {
-            let mut values = Vec::new();
-            let mut next_groups = Vec::new();
+            // Each level holds at most one node per source row; reserving
+            // up front keeps the build free of reallocation churn.
+            let mut values = Vec::with_capacity(nrows);
+            let mut next_groups = Vec::with_capacity(nrows);
             let mut counts = Vec::with_capacity(groups.len());
             for &(s, e) in &groups {
                 let before = values.len();
@@ -123,10 +128,17 @@ impl Trie {
                 }
                 levels[level - 1].child_starts = starts;
             }
+            // Non-leaf levels hold only the distinct values, typically far
+            // fewer than nrows: return the over-reservation rather than
+            // retaining it for the trie's lifetime.
+            values.shrink_to_fit();
             levels[level].values = values;
             groups = next_groups;
         }
-        Trie { levels, tuple_count: nrows }
+        Trie {
+            levels,
+            tuple_count: nrows,
+        }
     }
 
     /// Number of attributes (trie depth).

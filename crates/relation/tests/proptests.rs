@@ -3,7 +3,11 @@
 use proptest::prelude::*;
 use triejax_relation::{AccessCounter, Relation, Trie, TrieCursor, Value};
 
-fn arb_tuples(arity: usize, max_len: usize, domain: Value) -> impl Strategy<Value = Vec<Vec<Value>>> {
+fn arb_tuples(
+    arity: usize,
+    max_len: usize,
+    domain: Value,
+) -> impl Strategy<Value = Vec<Vec<Value>>> {
     prop::collection::vec(prop::collection::vec(0..domain, arity), 0..max_len)
 }
 

@@ -39,9 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     catalog.insert("Flow", graph.edge_relation());
 
     // Ad-hoc datalog: a 4-hop lateral-movement loop.
-    let loop4 = parse_query(
-        "lateral4(a,b,c,d) = Flow(a,b),Flow(b,c),Flow(c,d),Flow(d,a)",
-    )?;
+    let loop4 = parse_query("lateral4(a,b,c,d) = Flow(a,b),Flow(b,c),Flow(c,d),Flow(d,a)")?;
     let plan = CompiledQuery::compile(&loop4)?;
     println!("hunting: {loop4}");
 
@@ -59,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|t| t.contains(&100))
         .cloned()
         .collect();
-    println!("  instances through host 100 (the planted ring): {}", ring.len());
+    println!(
+        "  instances through host 100 (the planted ring): {}",
+        ring.len()
+    );
     assert!(ring.iter().any(|t| {
         let mut s = t.clone();
         s.sort_unstable();

@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             p.label(),
             report.pjr.hit_rate() * 100.0,
             report.pjr.values_replayed,
-            if plan.cache_specs().is_empty() { "  (no valid cache)" } else { "" }
+            if plan.cache_specs().is_empty() {
+                "  (no valid cache)"
+            } else {
+                ""
+            }
         );
     }
     Ok(())

@@ -17,9 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let posts = 500u32;
 
     // Posts(author, postID); Likes(user, post); Follows(follower, followed).
-    let posts_rel = Relation::from_pairs(
-        (0..posts).map(|p| (rng.gen_range(0..users), 10_000 + p)),
-    );
+    let posts_rel = Relation::from_pairs((0..posts).map(|p| (rng.gen_range(0..users), 10_000 + p)));
     let likes_rel = Relation::from_pairs(
         (0..2_000).map(|_| (rng.gen_range(0..users), 10_000 + rng.gen_range(0..posts))),
     );

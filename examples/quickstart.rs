@@ -41,9 +41,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = accel.run_with_sink(&plan, &catalog, &mut hardware)?;
     println!("TrieJax simulated run:");
     println!("  results:  {}", report.results);
-    println!("  cycles:   {} @2.38GHz ({:.3} us)", report.cycles, report.runtime_s * 1e6);
-    println!("  threads:  {} used, {} dynamic spawns", report.threads_used, report.spawns);
-    println!("  energy:   {:.3} uJ ({:.0}% in the memory system)",
+    println!(
+        "  cycles:   {} @2.38GHz ({:.3} us)",
+        report.cycles,
+        report.runtime_s * 1e6
+    );
+    println!(
+        "  threads:  {} used, {} dynamic spawns",
+        report.threads_used, report.spawns
+    );
+    println!(
+        "  energy:   {:.3} uJ ({:.0}% in the memory system)",
         report.energy_j() * 1e6,
         report.energy.memory_fraction() * 100.0
     );

@@ -10,7 +10,9 @@ fn run_all(text: &str, catalog: &Catalog) -> Vec<Vec<u32>> {
     let q = parse_query(text).expect("parses");
     let plan = CompiledQuery::compile(&q).expect("compiles");
     let mut reference = CollectSink::new();
-    Lftj::new().execute(&plan, catalog, &mut reference).expect("runs");
+    Lftj::new()
+        .execute(&plan, catalog, &mut reference)
+        .expect("runs");
     let reference = reference.into_sorted();
     let engines: Vec<Box<dyn JoinEngine>> = vec![
         Box::new(Ctj::new()),
@@ -20,7 +22,12 @@ fn run_all(text: &str, catalog: &Catalog) -> Vec<Vec<u32>> {
     for mut e in engines {
         let mut sink = CollectSink::new();
         e.execute(&plan, catalog, &mut sink).expect("runs");
-        assert_eq!(sink.into_sorted(), reference, "{} disagrees on {text}", e.name());
+        assert_eq!(
+            sink.into_sorted(),
+            reference,
+            "{} disagrees on {text}",
+            e.name()
+        );
     }
     let mut hw = CollectSink::new();
     TrieJax::new(TrieJaxConfig::default())
@@ -37,8 +44,7 @@ fn two_relation_queries() {
     catalog.insert("Likes", power_law_fixed(60, 300, 2.2, 10).edge_relation());
     // The paper's Figure 1 query shape: posts liked by users with
     // followers.
-    let results =
-        run_all("q(u,p,f) = Likes(u,p), Follows(f,u)", &catalog);
+    let results = run_all("q(u,p,f) = Likes(u,p), Follows(f,u)", &catalog);
     assert!(!results.is_empty());
 }
 
@@ -48,7 +54,10 @@ fn diamond_and_butterfly_shapes() {
     catalog.insert("G", power_law_fixed(50, 420, 2.0, 11).edge_relation());
     let diamond = run_all("diamond(a,b,c,d) = G(a,b),G(a,c),G(b,d),G(c,d)", &catalog);
     assert!(!diamond.is_empty());
-    run_all("butterfly(h,a,b,t) = G(h,a),G(h,b),G(a,t),G(b,t),G(h,t)", &catalog);
+    run_all(
+        "butterfly(h,a,b,t) = G(h,a),G(h,b),G(a,t),G(b,t),G(h,t)",
+        &catalog,
+    );
 }
 
 #[test]

@@ -30,16 +30,28 @@ fn all_systems_agree_on_every_pattern_and_dataset() {
         for p in Pattern::PAPER {
             let plan = CompiledQuery::compile(&p.query()).expect("compiles");
             let mut reference = CountSink::default();
-            Lftj::new().execute(&plan, &catalog, &mut reference).expect("runs");
+            Lftj::new()
+                .execute(&plan, &catalog, &mut reference)
+                .expect("runs");
             for mut e in engines() {
                 let mut sink = CountSink::default();
                 e.execute(&plan, &catalog, &mut sink).expect("runs");
-                assert_eq!(sink.count(), reference.count(), "{} on {d} via {}", p, e.name());
+                assert_eq!(
+                    sink.count(),
+                    reference.count(),
+                    "{} on {d} via {}",
+                    p,
+                    e.name()
+                );
             }
             let report = TrieJax::new(TrieJaxConfig::default())
                 .run(&plan, &catalog)
                 .expect("runs");
-            assert_eq!(report.results, reference.count(), "{p} on {d} via simulator");
+            assert_eq!(
+                report.results,
+                reference.count(),
+                "{p} on {d} via simulator"
+            );
         }
     }
 }
@@ -51,14 +63,17 @@ fn extension_patterns_agree_too() {
     for p in [Pattern::Path5, Pattern::Cycle5, Pattern::Star3] {
         let plan = CompiledQuery::compile(&p.query()).expect("compiles");
         let mut reference = CountSink::default();
-        Lftj::new().execute(&plan, &catalog, &mut reference).expect("runs");
+        Lftj::new()
+            .execute(&plan, &catalog, &mut reference)
+            .expect("runs");
         for mut e in engines() {
             let mut sink = CountSink::default();
             e.execute(&plan, &catalog, &mut sink).expect("runs");
             assert_eq!(sink.count(), reference.count(), "{p} via {}", e.name());
         }
-        let report =
-            TrieJax::new(TrieJaxConfig::default()).run(&plan, &catalog).expect("runs");
+        let report = TrieJax::new(TrieJaxConfig::default())
+            .run(&plan, &catalog)
+            .expect("runs");
         assert_eq!(report.results, reference.count(), "{p} via simulator");
     }
 }

@@ -21,7 +21,9 @@ fn triejax_beats_software_ctj_everywhere() {
         let c = catalog(d);
         for p in Pattern::PAPER {
             let plan = CompiledQuery::compile(&p.query()).unwrap();
-            let hw = TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap();
+            let hw = TrieJax::new(TrieJaxConfig::default())
+                .run(&plan, &c)
+                .unwrap();
             let sw = CtjSoftware::new().evaluate(&plan, &c).unwrap();
             let speedup = sw.time_s / hw.runtime_s;
             assert!(
@@ -41,12 +43,18 @@ fn q100_is_comparable_on_path3_and_crushed_on_clique4() {
     let accel = TrieJax::new(TrieJaxConfig::default());
     let path3 = CompiledQuery::compile(&Pattern::Path3.query()).unwrap();
     let clique4 = CompiledQuery::compile(&Pattern::Clique4.query()).unwrap();
-    let s_path3 = Q100::new().evaluate(&path3, &c).unwrap().time_s
-        / accel.run(&path3, &c).unwrap().runtime_s;
+    let s_path3 =
+        Q100::new().evaluate(&path3, &c).unwrap().time_s / accel.run(&path3, &c).unwrap().runtime_s;
     let s_clique4 = Q100::new().evaluate(&clique4, &c).unwrap().time_s
         / accel.run(&clique4, &c).unwrap().runtime_s;
-    assert!(s_path3 < 5.0, "path3 should be comparable, got {s_path3:.1}x");
-    assert!(s_clique4 > 50.0, "clique4 should explode, got {s_clique4:.1}x");
+    assert!(
+        s_path3 < 5.0,
+        "path3 should be comparable, got {s_path3:.1}x"
+    );
+    assert!(
+        s_clique4 > 50.0,
+        "clique4 should explode, got {s_clique4:.1}x"
+    );
     assert!(s_clique4 > 20.0 * s_path3);
 }
 
@@ -65,7 +73,10 @@ fn graphicionado_wins_path4_on_social_graphs_and_loses_cyclic() {
         let cycle4 = CompiledQuery::compile(&Pattern::Cycle4.query()).unwrap();
         let g = Graphicionado::new().evaluate(&cycle4, &c).unwrap().time_s;
         let t = accel.run(&cycle4, &c).unwrap().runtime_s;
-        assert!(g > 5.0 * t, "cyclic queries explode on the message model ({d})");
+        assert!(
+            g > 5.0 * t,
+            "cyclic queries explode on the message model ({d})"
+        );
     }
 }
 
@@ -89,14 +100,29 @@ fn energy_ranking_matches_figure_16() {
     // on complex ones.
     let c = catalog(Dataset::WikiVote);
     let plan = CompiledQuery::compile(&Pattern::Cycle4.query()).unwrap();
-    let t = TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap().energy_j();
+    let t = TrieJax::new(TrieJaxConfig::default())
+        .run(&plan, &c)
+        .unwrap()
+        .energy_j();
     for (name, e) in [
-        ("ctj", CtjSoftware::new().evaluate(&plan, &c).unwrap().energy_j),
-        ("emptyheaded", EmptyHeaded::new().evaluate(&plan, &c).unwrap().energy_j),
+        (
+            "ctj",
+            CtjSoftware::new().evaluate(&plan, &c).unwrap().energy_j,
+        ),
+        (
+            "emptyheaded",
+            EmptyHeaded::new().evaluate(&plan, &c).unwrap().energy_j,
+        ),
         ("q100", Q100::new().evaluate(&plan, &c).unwrap().energy_j),
-        ("graphicionado", Graphicionado::new().evaluate(&plan, &c).unwrap().energy_j),
+        (
+            "graphicionado",
+            Graphicionado::new().evaluate(&plan, &c).unwrap().energy_j,
+        ),
     ] {
-        assert!(e > 3.0 * t, "{name} should consume several times more energy");
+        assert!(
+            e > 3.0 * t,
+            "{name} should consume several times more energy"
+        );
     }
 }
 
@@ -132,7 +158,10 @@ fn write_bypass_matters_exactly_on_result_heavy_queries() {
     let path4 = CompiledQuery::compile(&Pattern::Path4.query()).unwrap();
     let gain_path4 = accel_off.run(&path4, &c).unwrap().cycles as f64
         / accel_on.run(&path4, &c).unwrap().cycles as f64;
-    assert!(gain_path4 > 1.5, "path4 bypass gain {gain_path4:.2} too small");
+    assert!(
+        gain_path4 > 1.5,
+        "path4 bypass gain {gain_path4:.2} too small"
+    );
     let cycle3 = CompiledQuery::compile(&Pattern::Cycle3.query()).unwrap();
     let gain_cycle3 = accel_off.run(&cycle3, &c).unwrap().cycles as f64
         / accel_on.run(&cycle3, &c).unwrap().cycles as f64;
@@ -145,7 +174,9 @@ fn memory_system_dominates_energy_on_every_query() {
     let c = catalog(Dataset::GrQc);
     for p in Pattern::PAPER {
         let plan = CompiledQuery::compile(&p.query()).unwrap();
-        let r = TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap();
+        let r = TrieJax::new(TrieJaxConfig::default())
+            .run(&plan, &c)
+            .unwrap();
         assert!(
             r.energy.memory_fraction() > 0.6,
             "{p}: memory fraction {:.2}",

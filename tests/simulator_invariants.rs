@@ -27,8 +27,10 @@ fn results_are_invariant_to_threads_mt_mode_and_pjr() {
     let c = catalog(Dataset::GrQc);
     for p in [Pattern::Path4, Pattern::Cycle4, Pattern::Clique4] {
         let plan = CompiledQuery::compile(&p.query()).unwrap();
-        let reference =
-            TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap().results;
+        let reference = TrieJax::new(TrieJaxConfig::default())
+            .run(&plan, &c)
+            .unwrap()
+            .results;
         let configs = [
             TrieJaxConfig::default().with_threads(1),
             TrieJaxConfig::default().with_threads(64),
@@ -49,7 +51,9 @@ fn results_are_invariant_to_threads_mt_mode_and_pjr() {
 fn energy_breakdown_is_conserved() {
     let c = catalog(Dataset::WikiVote);
     let plan = CompiledQuery::compile(&Pattern::Cycle4.query()).unwrap();
-    let r = TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap();
+    let r = TrieJax::new(TrieJaxConfig::default())
+        .run(&plan, &c)
+        .unwrap();
     let e = &r.energy;
     let component_sum = e.core + e.pjr + e.l1 + e.l2 + e.llc + e.dram;
     assert!((r.energy_j() - component_sum).abs() < 1e-15);
@@ -62,7 +66,9 @@ fn energy_breakdown_is_conserved() {
 fn cache_hierarchy_bookkeeping_is_consistent() {
     let c = catalog(Dataset::Bitcoin);
     let plan = CompiledQuery::compile(&Pattern::Path4.query()).unwrap();
-    let r = TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap();
+    let r = TrieJax::new(TrieJaxConfig::default())
+        .run(&plan, &c)
+        .unwrap();
     let m = &r.mem;
     // Every L2 access is an L1 miss; every LLC *read* access is an L2 miss
     // (writes bypass under the default config).
@@ -78,15 +84,25 @@ fn cache_hierarchy_bookkeeping_is_consistent() {
 fn pjr_stats_are_internally_consistent() {
     let c = catalog(Dataset::GrQc);
     let plan = CompiledQuery::compile(&Pattern::Path3.query()).unwrap();
-    let r = TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap();
+    let r = TrieJax::new(TrieJaxConfig::default())
+        .run(&plan, &c)
+        .unwrap();
     assert!(r.pjr.hits + r.pjr.misses > 0, "path3 is cacheable");
-    assert!(r.pjr.insertions <= r.pjr.misses, "at most one insertion per miss");
+    assert!(
+        r.pjr.insertions <= r.pjr.misses,
+        "at most one insertion per miss"
+    );
     assert!(r.pjr.accesses >= r.pjr.hits + r.pjr.misses);
     // No cache specs -> the PJR is never touched at all.
     let plan = CompiledQuery::compile(&Pattern::Cycle3.query()).unwrap();
-    let r = TrieJax::new(TrieJaxConfig::default()).run(&plan, &c).unwrap();
+    let r = TrieJax::new(TrieJaxConfig::default())
+        .run(&plan, &c)
+        .unwrap();
     assert_eq!(r.pjr.accesses, 0);
-    assert_eq!(r.energy.pjr, 0.0, "unused PJR consumes no energy (paper Fig. 15)");
+    assert_eq!(
+        r.energy.pjr, 0.0,
+        "unused PJR consumes no energy (paper Fig. 15)"
+    );
 }
 
 #[test]
@@ -98,6 +114,9 @@ fn component_ops_scale_with_work() {
     let rs = accel.run(&small, &c).unwrap();
     let rl = accel.run(&large, &c).unwrap();
     assert!(rl.ops.total() > rs.ops.total());
-    assert!(rl.ops.lub_probes >= rl.ops.lub_seeks, "each seek probes at least once");
+    assert!(
+        rl.ops.lub_probes >= rl.ops.lub_seeks,
+        "each seek probes at least once"
+    );
     assert!(rs.ops.matchmaker > 0 && rs.ops.cupid > 0);
 }

@@ -18,7 +18,9 @@ fn result_counts_respect_the_agm_bound() {
             let bound = agm::agm_bound(&q, n).expect("binary atoms");
             let plan = CompiledQuery::compile(&q).expect("compiles");
             let mut sink = CountSink::default();
-            Ctj::new().execute(&plan, &catalog, &mut sink).expect("runs");
+            Ctj::new()
+                .execute(&plan, &catalog, &mut sink)
+                .expect("runs");
             assert!(
                 (sink.count() as f64) <= bound,
                 "{p} on {d}: {} results exceed AGM bound {bound}",
@@ -55,7 +57,11 @@ fn triangle_bound_matches_the_paper_example() {
     let bound = agm::agm_bound(&q, n).unwrap();
     assert!(sink.count() as f64 <= bound);
     // The dense instance is within a small constant of the bound.
-    assert!(sink.count() as f64 > bound / 8.0, "{} vs bound {bound}", sink.count());
+    assert!(
+        sink.count() as f64 > bound / 8.0,
+        "{} vs bound {bound}",
+        sink.count()
+    );
 }
 
 #[test]
@@ -76,10 +82,18 @@ fn pairwise_intermediates_can_exceed_the_output_bound() {
     catalog.insert("G", triejax_relation::Relation::from_pairs(edges));
     let plan = CompiledQuery::compile(&Pattern::Cycle3.query()).unwrap();
     let mut s1 = CountSink::default();
-    let pw = PairwiseHash::new().execute(&plan, &catalog, &mut s1).unwrap();
+    let pw = PairwiseHash::new()
+        .execute(&plan, &catalog, &mut s1)
+        .unwrap();
     let mut s2 = CountSink::default();
     let ctj = Ctj::new().execute(&plan, &catalog, &mut s2).unwrap();
     assert_eq!(s1.count(), 0, "bipartite: no triangles");
-    assert!(pw.intermediates > 10_000, "pairwise still materialized a lot");
-    assert_eq!(ctj.intermediates, 0, "cycle3 admits no cache, CTJ stores nothing");
+    assert!(
+        pw.intermediates > 10_000,
+        "pairwise still materialized a lot"
+    );
+    assert_eq!(
+        ctj.intermediates, 0,
+        "cycle3 admits no cache, CTJ stores nothing"
+    );
 }
