@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use triejax_graph::{Dataset, Scale};
 use triejax_join::{
     Catalog, CountSink, Counting, Ctj, GenericJoin, JoinEngine, Lftj, NoTally, PairwiseHash,
-    PairwiseSortMerge, ParLftj,
+    PairwiseSortMerge, ParCtj, ParLftj,
 };
 use triejax_query::{patterns::Pattern, CompiledQuery};
 
@@ -26,13 +26,15 @@ fn bench_engines(c: &mut Criterion) {
     for pattern in [Pattern::Cycle3, Pattern::Cycle4] {
         let plan = CompiledQuery::compile(&pattern.query()).expect("compiles");
         let mut group = c.benchmark_group(format!("engines_{}", pattern.label()));
-        let engines: Vec<(&str, Box<dyn Fn() -> Box<dyn JoinEngine>>)> = vec![
+        type EngineFactory = Box<dyn Fn() -> Box<dyn JoinEngine>>;
+        let engines: Vec<(&str, EngineFactory)> = vec![
             ("lftj", Box::new(|| Box::new(Lftj::new()))),
             ("ctj", Box::new(|| Box::new(Ctj::new()))),
             ("generic", Box::new(|| Box::new(GenericJoin::new()))),
             ("pairwise", Box::new(|| Box::new(PairwiseHash::new()))),
             ("sortmerge", Box::new(|| Box::new(PairwiseSortMerge::new()))),
             ("par-lftj", Box::new(|| Box::new(ParLftj::new()))),
+            ("par-ctj", Box::new(|| Box::new(ParCtj::new()))),
         ];
         for (name, make) in engines {
             group.bench_function(BenchmarkId::from_parameter(name), |b| {

@@ -1,18 +1,31 @@
-//! Machine-readable join-engine benchmark: writes `BENCH_joins.json`.
+//! Machine-readable join-engine benchmark: writes `BENCH_joins.json` and
+//! gates on regressions against the previous artifact.
 //!
-//! Times triangle counting (and Cycle4) with the instrumented LFTJ kernel,
-//! the zero-overhead `NoTally` kernel, and the root-partitioned parallel
-//! engine, so successive PRs can track the performance trajectory from a
-//! stable JSON artifact instead of scraping bench output.
+//! Times triangle counting (and Cycle4) with the instrumented and
+//! zero-overhead (`NoTally`) LFTJ and CTJ kernels plus both pool-based
+//! parallel engines (`parlftj`, `parctj`), so successive PRs can track
+//! the performance trajectory from a stable JSON artifact instead of
+//! scraping bench output.
+//!
+//! If an output artifact from a previous run (same dataset/scale/runs/pool
+//! configuration) exists, the per-(query, engine) median deltas are
+//! printed and any row whose median *and* min both regressed beyond
+//! `GATE_THRESHOLD_PCT` makes the run exit non-zero *without* overwriting
+//! the baseline (requiring the min too keeps scheduler noise on loaded
+//! machines from flapping the gate; pass `--no-gate` to report deltas but
+//! always write and exit 0 — e.g. to rebase the artifact).
 //!
 //! Usage: `bench_joins [--scale tiny|mini|full] [--dataset <label>]
-//! [--runs N] [--out PATH]`
+//! [--runs N] [--pool N] [--out PATH] [--no-gate]`
 
 use std::time::Instant;
 
 use triejax_graph::{Dataset, Scale};
-use triejax_join::{Catalog, CountSink, Counting, Lftj, NoTally, ParLftj};
+use triejax_join::{Catalog, CountSink, Counting, Ctj, Lftj, NoTally, ParCtj, ParLftj};
 use triejax_query::{patterns::Pattern, CompiledQuery};
+
+/// Median slowdown (percent) beyond which the gate fails the run.
+const GATE_THRESHOLD_PCT: f64 = 25.0;
 
 /// One named, boxed benchmark body (borrowing the plan and catalog).
 type BenchCase<'a> = (&'static str, Box<dyn FnMut() -> u64 + 'a>);
@@ -44,11 +57,58 @@ fn time_runs(runs: usize, mut f: impl FnMut() -> u64) -> (u128, u128, u128, u64)
     )
 }
 
+/// Extracts `(query, engine, median_ns, min_ns)` rows from a previous
+/// artifact (the exact format this binary writes; no serde in the offline
+/// environment).
+fn parse_previous(text: &str) -> Vec<(String, String, u128, u128)> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            Some((
+                field_str(line, "query")?,
+                field_str(line, "engine")?,
+                field_num(line, "median_ns")?,
+                field_num(line, "min_ns")?,
+            ))
+        })
+        .collect()
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<u128> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// The benchmark configuration recorded in (or computed for) one artifact;
+/// medians are only comparable between identical configurations.
+fn config_signature(text: &str) -> (Option<String>, Option<String>, Option<u128>, Option<u128>) {
+    (
+        field_str(text, "dataset"),
+        field_str(text, "scale"),
+        field_num(text, "runs"),
+        field_num(text, "pool"),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Tiny;
     let mut dataset = Dataset::GrQc;
     let mut runs = 7usize;
+    let mut pool: Option<usize> = None;
+    let mut gate = true;
     let mut out_path = String::from("BENCH_joins.json");
     let mut i = 0;
     while i < args.len() {
@@ -72,6 +132,13 @@ fn main() {
                 runs = args[i].parse().expect("--runs takes a number");
                 assert!(runs > 0, "--runs must be at least 1");
             }
+            "--pool" => {
+                i += 1;
+                let n: usize = args[i].parse().expect("--pool takes a number");
+                assert!(n > 0, "--pool must be at least 1");
+                pool = Some(n);
+            }
+            "--no-gate" => gate = false,
             "--out" => {
                 i += 1;
                 out_path = args[i].clone();
@@ -83,6 +150,8 @@ fn main() {
 
     let mut catalog = Catalog::new();
     catalog.insert("G", dataset.generate(scale).edge_relation());
+    let par_lftj = || pool.map_or_else(ParLftj::new, ParLftj::with_pool);
+    let par_ctj = || pool.map_or_else(ParCtj::new, ParCtj::with_pool);
 
     let mut measurements: Vec<Measurement> = Vec::new();
     for pattern in [Pattern::Cycle3, Pattern::Cycle4] {
@@ -109,10 +178,30 @@ fn main() {
                 }),
             ),
             (
+                "ctj-counting",
+                Box::new(|| {
+                    let mut sink = CountSink::default();
+                    Ctj::new()
+                        .run_tallied::<Counting>(&plan, &catalog, &mut sink)
+                        .expect("runs");
+                    sink.count()
+                }),
+            ),
+            (
+                "ctj-notally",
+                Box::new(|| {
+                    let mut sink = CountSink::default();
+                    Ctj::new()
+                        .run_tallied::<NoTally>(&plan, &catalog, &mut sink)
+                        .expect("runs");
+                    sink.count()
+                }),
+            ),
+            (
                 "parlftj-counting",
                 Box::new(|| {
                     let mut sink = CountSink::default();
-                    ParLftj::new()
+                    par_lftj()
                         .run_tallied::<Counting>(&plan, &catalog, &mut sink)
                         .expect("runs");
                     sink.count()
@@ -122,7 +211,27 @@ fn main() {
                 "parlftj-notally",
                 Box::new(|| {
                     let mut sink = CountSink::default();
-                    ParLftj::new()
+                    par_lftj()
+                        .run_tallied::<NoTally>(&plan, &catalog, &mut sink)
+                        .expect("runs");
+                    sink.count()
+                }),
+            ),
+            (
+                "parctj-counting",
+                Box::new(|| {
+                    let mut sink = CountSink::default();
+                    par_ctj()
+                        .run_tallied::<Counting>(&plan, &catalog, &mut sink)
+                        .expect("runs");
+                    sink.count()
+                }),
+            ),
+            (
+                "parctj-notally",
+                Box::new(|| {
+                    let mut sink = CountSink::default();
+                    par_ctj()
                         .run_tallied::<NoTally>(&plan, &catalog, &mut sink)
                         .expect("runs");
                     sink.count()
@@ -149,12 +258,103 @@ fn main() {
         }
     }
 
+    // Regression gate: compare medians against the previous artifact —
+    // but only when it was produced by the same configuration, otherwise
+    // every delta is an artifact of the config change, not a regression.
+    let previous_text = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let current_sig = (
+        Some(dataset.label().to_string()),
+        Some(scale.label().to_string()),
+        Some(runs as u128),
+        pool.map(|n| n as u128),
+    );
+    let previous = if previous_text.is_empty() {
+        Vec::new()
+    } else if config_signature(&previous_text) != current_sig {
+        println!(
+            "previous {out_path} used a different dataset/scale/runs/pool \
+             configuration: skipping the regression gate"
+        );
+        Vec::new()
+    } else {
+        parse_previous(&previous_text)
+    };
+    let mut regressions: Vec<String> = Vec::new();
+    let mut compared = 0usize;
+    if previous.is_empty() {
+        if previous_text.is_empty() {
+            println!("no previous {out_path}: skipping the regression gate");
+        }
+    } else {
+        println!("median deltas vs previous {out_path}:");
+        for m in &measurements {
+            let Some((_, _, old_median, old_min)) = previous
+                .iter()
+                .find(|(q, e, _, _)| q == m.query && e == m.engine)
+            else {
+                println!("  {:>8} {:<18} (new row)", m.query, m.engine);
+                continue;
+            };
+            compared += 1;
+            let delta = (m.median_ns as f64 - *old_median as f64) / *old_median as f64 * 100.0;
+            let min_delta = (m.min_ns as f64 - *old_min as f64) / *old_min as f64 * 100.0;
+            println!(
+                "  {:>8} {:<18} {:>+8.1}%  ({} -> {} ns)",
+                m.query, m.engine, delta, old_median, m.median_ns
+            );
+            // A real regression slows the best case down too; requiring
+            // both deltas keeps scheduler noise (which inflates medians
+            // far more than minima, especially on loaded single-core
+            // machines) from flapping the gate.
+            if delta > GATE_THRESHOLD_PCT && min_delta > GATE_THRESHOLD_PCT {
+                regressions.push(format!(
+                    "{} {}: median {:+.1}%, min {:+.1}% (both > {GATE_THRESHOLD_PCT}%)",
+                    m.query, m.engine, delta, min_delta
+                ));
+            }
+        }
+        // Reverse pass: a row that exists in the baseline but not in this
+        // run means perf coverage silently shrank — say so.
+        for (q, e, _, _) in &previous {
+            if !measurements.iter().any(|m| m.query == *q && m.engine == *e) {
+                println!("  {q:>8} {e:<18} (row disappeared from this run)");
+            }
+        }
+    }
+    // Every compared row regressing in lockstep is a machine-speed shift
+    // (throttling, co-tenant load), not a code regression — a code change
+    // slows specific engines, not all sixteen rows uniformly. Report it
+    // and rebase instead of failing. The sample-size floor keeps a small
+    // row overlap (e.g. after an engine rename) from auto-rebasing on
+    // what may be real regressions. (A genuinely global slowdown across
+    // a full row set still slips through — the printed deltas are there
+    // for a human to read.)
+    const LOCKSTEP_MIN_ROWS: usize = 8;
+    if compared >= LOCKSTEP_MIN_ROWS && regressions.len() == compared {
+        println!(
+            "all {compared} compared rows regressed together: treating as a \
+             machine-speed shift, gate skipped and baseline rebased"
+        );
+        regressions.clear();
+    }
+    if gate && !regressions.is_empty() {
+        eprintln!("performance regressions detected; baseline left untouched:");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+
     // Hand-rolled JSON (no serde in the offline environment).
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"dataset\": \"{}\",\n", dataset.label()));
     json.push_str(&format!("  \"scale\": \"{}\",\n", scale.label()));
     json.push_str(&format!("  \"runs\": {runs},\n"));
+    match pool {
+        Some(n) => json.push_str(&format!("  \"pool\": {n},\n")),
+        None => json.push_str("  \"pool\": null,\n"),
+    }
     json.push_str("  \"measurements\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         json.push_str(&format!(

@@ -23,7 +23,7 @@ pub(crate) struct SimCursor {
 }
 
 impl SimCursor {
-    #[cfg_attr(not(test), allow(dead_code))]
+    #[allow(dead_code)] // kept for parity with TrieCursor's API
     pub fn depth(&self) -> usize {
         self.frames.len()
     }

@@ -1,0 +1,66 @@
+//! Shared parallel execution runtime for the TrieJax reproduction.
+//!
+//! TrieJax gets its throughput from many concurrent join-processing units
+//! that *dynamically* spawn work on cached sub-joins (paper §3.4) rather
+//! than carving the input into static per-thread partitions: a unit that
+//! finishes its share of the first-attribute domain immediately picks up
+//! outstanding work from the shared pool, so a skewed value domain
+//! rebalances instead of straggling. This crate is the software analogue
+//! of that execution model, shared by every parallel join engine:
+//!
+//! * [`WorkerPool`] — a reusable, scoped worker pool. A query's root-value
+//!   domain is split into many more contiguous *root ranges* (shards) than
+//!   there are workers; each worker owns a shard queue and **steals** from
+//!   its siblings once its own queue runs dry. Oversharding plus stealing
+//!   is the software equivalent of §3.4's dynamic spawn-on-match: no unit
+//!   idles while another still holds unstarted work, whichever shard turns
+//!   out to carry the heavy hitters.
+//! * [`OrderedMerge`] — an order-preserving merge of per-shard *batch*
+//!   streams. Workers flush small batches as they are produced (instead of
+//!   materializing each shard's full result), and a foreground drainer
+//!   forwards them downstream in shard order as soon as every earlier
+//!   shard has caught up. Memory is bounded by the out-of-order tail, not
+//!   by the result set.
+//!
+//! The pool is deliberately engine-agnostic — it schedules opaque tasks
+//! and knows nothing about tries or tuples — so LFTJ, CTJ and any future
+//! engine parallelize through the same runtime (see `triejax_join::ParLftj`
+//! and `triejax_join::ParCtj`).
+//!
+//! The default worker count honours the `TRIEJAX_POOL` environment
+//! variable, falling back to [`std::thread::available_parallelism`]; CI
+//! exercises the multi-worker code paths with `TRIEJAX_POOL=2` even on
+//! single-core runners.
+//!
+//! # Example
+//!
+//! ```
+//! use triejax_exec::{OrderedMerge, WorkerPool};
+//!
+//! // Square numbers across a pool, draining batches in task order.
+//! let pool = WorkerPool::with_workers(3);
+//! let merge = OrderedMerge::new(8);
+//! let tasks: Vec<u64> = (0..8).collect();
+//! let mut drained = Vec::new();
+//! let ((results, stats), ()) = pool.run_with_foreground(
+//!     &tasks,
+//!     |_ctx, lane, &n| {
+//!         merge.push(lane, vec![n * n]);
+//!         merge.finish(lane);
+//!         n * n
+//!     },
+//!     || merge.drain(|batch| drained.extend(batch)),
+//! );
+//! assert_eq!(results, vec![0, 1, 4, 9, 16, 25, 36, 49]); // task order
+//! assert_eq!(drained, results); // merge preserves lane order
+//! assert_eq!(stats.tasks, 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod merge;
+mod pool;
+
+pub use merge::OrderedMerge;
+pub use pool::{PoolStats, WorkerCtx, WorkerPool};

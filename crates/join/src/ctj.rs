@@ -1,10 +1,11 @@
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use triejax_query::CompiledQuery;
 use triejax_relation::{AccessKind, Counting, Tally, TrieCursor, Value, WORD_BYTES};
 
 use crate::engine::head_slots;
+use crate::sink::BatchEmitter;
 use crate::{Catalog, EngineStats, JoinEngine, JoinError, Leapfrog, ResultSink, TrieSet};
 
 /// Configuration of the software partial-join-result cache.
@@ -84,8 +85,8 @@ impl Ctj {
         sink: &mut dyn ResultSink,
     ) -> Result<EngineStats<T>, JoinError> {
         let tries = TrieSet::build(plan, catalog)?;
-        let mut driver = CtjDriver::new(plan, &tries, self.config);
-        driver.level(0, sink);
+        let mut driver = CtjDriver::new(plan, &tries, self.config)?;
+        driver.run(sink);
         Ok(driver.stats)
     }
 }
@@ -106,25 +107,41 @@ impl JoinEngine for Ctj {
 }
 
 /// A committed cache entry: matched values and their per-participant trie
-/// indexes (atoms in `atoms_at(depth)` order).
-type Entry = Rc<Vec<(Value, Vec<u32>)>>;
+/// indexes (atoms in `atoms_at(depth)` order). `Arc` (not `Rc`) so a
+/// per-worker driver — and its cache — can be handed to a pool worker.
+type Entry = Arc<Vec<(Value, Vec<u32>)>>;
 
-struct CtjDriver<'a, T: Tally> {
+/// The CTJ backtracking driver, shared by the sequential [`Ctj`] engine
+/// and the per-worker state of [`crate::ParCtj`].
+///
+/// Cache entries are keyed by `(depth, key bindings)` only — never by the
+/// root range — which is sound because a valid [`triejax_query::CacheSpec`]
+/// guarantees the memoized match list depends on nothing but the key
+/// bindings. A worker that keeps its driver across shards therefore reuses
+/// partial-join results *across root ranges*.
+pub(crate) struct CtjDriver<'a, T: Tally> {
     plan: &'a CompiledQuery,
     config: CtjConfig,
     cursors: Vec<TrieCursor<'a>>,
     binding: Vec<Value>,
     emit: Vec<Value>,
     slots: Vec<usize>,
+    emitter: BatchEmitter,
     /// Per depth: participating cursor indices, preallocated once so the
     /// recursive driver never allocates per node.
     members_at: Vec<Vec<usize>>,
     cache: HashMap<(usize, Vec<Value>), Entry>,
-    stats: EngineStats<T>,
+    root_min: Value,
+    root_sup: Option<Value>,
+    pub(crate) stats: EngineStats<T>,
 }
 
 impl<'a, T: Tally> CtjDriver<'a, T> {
-    fn new(plan: &'a CompiledQuery, tries: &'a TrieSet, config: CtjConfig) -> Self {
+    pub(crate) fn new(
+        plan: &'a CompiledQuery,
+        tries: &'a TrieSet,
+        config: CtjConfig,
+    ) -> Result<Self, JoinError> {
         let cursors = (0..plan.atom_plans().len())
             .map(|i| TrieCursor::new(tries.for_atom(i)))
             .collect();
@@ -132,24 +149,53 @@ impl<'a, T: Tally> CtjDriver<'a, T> {
         let members_at = (0..n)
             .map(|d| plan.atoms_at(d).iter().map(|&(a, _)| a).collect())
             .collect();
-        CtjDriver {
+        Ok(CtjDriver {
             plan,
             config,
             cursors,
             binding: vec![0; n],
             emit: vec![0; n],
-            slots: head_slots(plan),
+            slots: head_slots(plan)?,
+            emitter: BatchEmitter::new(n),
             members_at,
             cache: HashMap::new(),
+            root_min: 0,
+            root_sup: None,
             stats: EngineStats::default(),
-        }
+        })
+    }
+
+    /// Emits tuples straight through to the sink instead of batching —
+    /// for sinks that batch themselves (the parallel engines' per-shard
+    /// [`crate::ShardSink`]s).
+    pub(crate) fn emit_passthrough(&mut self) {
+        self.emitter.passthrough();
+    }
+
+    /// Runs the full join.
+    pub(crate) fn run(&mut self, sink: &mut dyn ResultSink) {
+        self.run_range(0, None, sink);
+    }
+
+    /// Runs one root-range shard `[root_min, root_sup)`, keeping the cache
+    /// (and accumulated stats) across calls.
+    pub(crate) fn run_range(
+        &mut self,
+        root_min: Value,
+        root_sup: Option<Value>,
+        sink: &mut dyn ResultSink,
+    ) {
+        self.root_min = root_min;
+        self.root_sup = root_sup;
+        self.level(0, sink);
+        self.emitter.flush(sink);
     }
 
     fn emit_result(&mut self, sink: &mut dyn ResultSink) {
         for d in 0..self.binding.len() {
             self.emit[self.slots[d]] = self.binding[d];
         }
-        sink.push(&self.emit);
+        self.emitter.push(&self.emit, sink);
         self.stats.results += 1;
         self.stats
             .access
@@ -169,7 +215,7 @@ impl<'a, T: Tally> CtjDriver<'a, T> {
                     .access
                     .record(AccessKind::Intermediate, key.len() as u64 * WORD_BYTES);
                 if let Some(entry) = self.cache.get(&(d, key.clone())) {
-                    let entry = Rc::clone(entry);
+                    let entry = Arc::clone(entry);
                     self.stats.cache_hits += 1;
                     self.replay(d, &entry, sink);
                     return;
@@ -211,13 +257,24 @@ impl<'a, T: Tally> CtjDriver<'a, T> {
     /// Standard leapfrog execution at depth `d`, optionally recording the
     /// matches for insertion into the cache once the level completes.
     fn compute(&mut self, d: usize, record_key: Option<Vec<Value>>, sink: &mut dyn ResultSink) {
-        // Open level d on every participant.
+        // Open level d on every participant (clamped to the root range at
+        // depth 0, so shards never leapfrog outside their slice).
         let parts = self.plan.atoms_at(d);
+        let ranged_root = d == 0 && (self.root_min > 0 || self.root_sup.is_some());
         for (i, &(a, lvl)) in parts.iter().enumerate() {
             if lvl > 0 {
                 self.stats.expand_ops += 1;
             }
-            if !self.cursors[a].open(&mut self.stats.access) {
+            let opened = if ranged_root {
+                self.cursors[a].open_root_range(
+                    self.root_min,
+                    self.root_sup,
+                    &mut self.stats.access,
+                )
+            } else {
+                self.cursors[a].open(&mut self.stats.access)
+            };
+            if !opened {
                 for &(b, _) in &parts[..i] {
                     self.cursors[b].up();
                 }
@@ -270,7 +327,7 @@ impl<'a, T: Tally> CtjDriver<'a, T> {
                 self.stats
                     .access
                     .record(AccessKind::Intermediate, words * WORD_BYTES);
-                self.cache.insert((d, key), Rc::new(p));
+                self.cache.insert((d, key), Arc::new(p));
             }
         }
     }

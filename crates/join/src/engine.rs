@@ -6,7 +6,7 @@ use crate::{Catalog, EngineStats, JoinError, ResultSink};
 /// result tuples (in head-variable order) into a sink and reporting its
 /// work in [`EngineStats`].
 ///
-/// All four engines in this crate implement the trait, so harness code can
+/// Every engine in this crate implements the trait, so harness code can
 /// swap algorithms behind one interface:
 ///
 /// ```
@@ -49,14 +49,26 @@ pub trait JoinEngine {
 }
 
 /// Maps evaluation depth to the head slot each bound value belongs to.
-pub(crate) fn head_slots(plan: &CompiledQuery) -> Vec<usize> {
+///
+/// # Errors
+///
+/// Returns [`JoinError::Plan`] when some order variable has no head slot —
+/// a projected query (see `triejax_query::QueryBuilder::build_projected`),
+/// which the full-join engines cannot emit.
+pub(crate) fn head_slots(plan: &CompiledQuery) -> Result<Vec<usize>, JoinError> {
     let head = plan.query().head();
     plan.order()
         .iter()
         .map(|v| {
             head.iter()
                 .position(|h| h == v)
-                .expect("order vars appear in head")
+                .ok_or_else(|| JoinError::Plan {
+                    detail: format!(
+                        "variable {} is projected away from the head; \
+                         this engine only emits full joins",
+                        plan.query().var_name(*v)
+                    ),
+                })
         })
         .collect()
 }
@@ -71,6 +83,20 @@ mod tests {
         let q = patterns::path3();
         let plan = CompiledQuery::compile_with_order(&q, vec![2, 0, 1]).unwrap();
         // depth 0 binds z (head slot 2), depth 1 binds x (slot 0), ...
-        assert_eq!(head_slots(&plan), vec![2, 0, 1]);
+        assert_eq!(head_slots(&plan).unwrap(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn projected_plans_are_a_plan_error_not_a_panic() {
+        let q = triejax_query::Query::builder("pairs")
+            .head(["x", "z"])
+            .atom("G", ["x", "y"])
+            .atom("G", ["y", "z"])
+            .build_projected()
+            .unwrap();
+        let plan = CompiledQuery::compile(&q).unwrap();
+        let err = head_slots(&plan).unwrap_err();
+        assert!(matches!(err, JoinError::Plan { .. }));
+        assert!(err.to_string().contains('y'), "{err}");
     }
 }

@@ -19,6 +19,12 @@ pub enum JoinError {
         /// Arity of the stored relation.
         relation_arity: usize,
     },
+    /// The compiled plan asks for something this engine cannot execute
+    /// (e.g. a projected head, which the full-join engines do not emit).
+    Plan {
+        /// What the engine cannot do.
+        detail: String,
+    },
 }
 
 impl fmt::Display for JoinError {
@@ -35,6 +41,7 @@ impl fmt::Display for JoinError {
                 f,
                 "relation {name} has arity {relation_arity} but the atom expects {atom_arity}"
             ),
+            JoinError::Plan { detail } => write!(f, "plan not executable: {detail}"),
         }
     }
 }
@@ -55,5 +62,9 @@ mod tests {
             relation_arity: 3,
         };
         assert!(e.to_string().contains('2') && e.to_string().contains('3'));
+        let e = JoinError::Plan {
+            detail: "projected head".into(),
+        };
+        assert!(e.to_string().contains("projected head"));
     }
 }

@@ -3,6 +3,7 @@ use triejax_relation::{AccessKind, Counting, Tally, Trie, Value, WORD_BYTES};
 
 use crate::engine::head_slots;
 use crate::intersect::intersect_sorted;
+use crate::sink::BatchEmitter;
 use crate::{Catalog, EngineStats, JoinEngine, JoinError, ResultSink, TrieSet};
 
 /// Generic Join in the EmptyHeaded style (Aberger et al., SIGMOD'16): a
@@ -70,10 +71,12 @@ impl GenericJoin {
             pushed: vec![Vec::new(); plan.arity()],
             binding: vec![0; plan.arity()],
             emit: vec![0; plan.arity()],
-            slots: head_slots(plan),
+            slots: head_slots(plan)?,
+            emitter: BatchEmitter::new(plan.arity()),
             stats: EngineStats::default(),
         };
         driver.level(0, sink);
+        driver.emitter.flush(sink);
         Ok(driver.stats)
     }
 }
@@ -111,6 +114,7 @@ struct GjDriver<'a, T: Tally> {
     binding: Vec<Value>,
     emit: Vec<Value>,
     slots: Vec<usize>,
+    emitter: BatchEmitter,
     stats: EngineStats<T>,
 }
 
@@ -130,7 +134,7 @@ impl<'a, T: Tally> GjDriver<'a, T> {
         for d in 0..self.binding.len() {
             self.emit[self.slots[d]] = self.binding[d];
         }
-        sink.push(&self.emit);
+        self.emitter.push(&self.emit, sink);
         self.stats.results += 1;
         self.stats
             .access

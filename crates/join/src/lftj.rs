@@ -2,6 +2,7 @@ use triejax_query::CompiledQuery;
 use triejax_relation::{AccessKind, Counting, Tally, TrieCursor, Value, WORD_BYTES};
 
 use crate::engine::head_slots;
+use crate::sink::BatchEmitter;
 use crate::{Catalog, EngineStats, JoinEngine, JoinError, Leapfrog, ResultSink, TrieSet};
 
 /// LeapFrog TrieJoin (Veldhuizen, ICDT'14): the worst-case-optimal join
@@ -57,7 +58,7 @@ impl Lftj {
         sink: &mut dyn ResultSink,
     ) -> Result<EngineStats<T>, JoinError> {
         let tries = TrieSet::build(plan, catalog)?;
-        let mut driver = Driver::new(plan, &tries);
+        let mut driver = Driver::new(plan, &tries)?;
         driver.run(sink);
         Ok(driver.stats)
     }
@@ -84,13 +85,17 @@ impl JoinEngine for Lftj {
 /// The driver optionally restricts the *root* variable to the value range
 /// `[root_min, root_sup)`: the parallel engine gives each shard a
 /// contiguous slice of the first join variable's domain, which keeps every
-/// shard's emission order identical to the sequential engine's.
+/// shard's emission order identical to the sequential engine's. Shard
+/// entry clamps the root level of every participating cursor to the range
+/// ([`TrieCursor::open_root_range`]), so the leapfrog never probes outside
+/// the shard.
 pub(crate) struct Driver<'a, T: Tally> {
     plan: &'a CompiledQuery,
     cursors: Vec<TrieCursor<'a>>,
     binding: Vec<Value>,
     emit: Vec<Value>,
     slots: Vec<usize>,
+    emitter: BatchEmitter,
     /// Per depth: participating cursor indices, preallocated once so the
     /// recursive driver never allocates per node.
     members_at: Vec<Vec<usize>>,
@@ -100,7 +105,7 @@ pub(crate) struct Driver<'a, T: Tally> {
 }
 
 impl<'a, T: Tally> Driver<'a, T> {
-    pub(crate) fn new(plan: &'a CompiledQuery, tries: &'a TrieSet) -> Self {
+    pub(crate) fn new(plan: &'a CompiledQuery, tries: &'a TrieSet) -> Result<Self, JoinError> {
         Self::with_root_range(plan, tries, 0, None)
     }
 
@@ -111,7 +116,7 @@ impl<'a, T: Tally> Driver<'a, T> {
         tries: &'a TrieSet,
         root_min: Value,
         root_sup: Option<Value>,
-    ) -> Self {
+    ) -> Result<Self, JoinError> {
         let cursors = (0..plan.atom_plans().len())
             .map(|i| TrieCursor::new(tries.for_atom(i)))
             .collect();
@@ -119,34 +124,53 @@ impl<'a, T: Tally> Driver<'a, T> {
         let members_at = (0..n)
             .map(|d| plan.atoms_at(d).iter().map(|&(a, _)| a).collect())
             .collect();
-        Driver {
+        Ok(Driver {
             plan,
             cursors,
             binding: vec![0; n],
             emit: vec![0; n],
-            slots: head_slots(plan),
+            slots: head_slots(plan)?,
+            emitter: BatchEmitter::new(n),
             members_at,
             root_min,
             root_sup,
             stats: EngineStats::default(),
-        }
+        })
+    }
+
+    /// Emits tuples straight through to the sink instead of batching —
+    /// for sinks that batch themselves (the parallel engines' per-shard
+    /// [`crate::ShardSink`]s).
+    pub(crate) fn emit_passthrough(&mut self) {
+        self.emitter.passthrough();
     }
 
     /// Runs the full backtracking join.
     pub(crate) fn run(&mut self, sink: &mut dyn ResultSink) {
         self.level(0, sink);
+        self.emitter.flush(sink);
     }
 
-    /// Opens level `d` on every participating cursor; on an empty open
-    /// (possible only for an empty relation at the root) closes what was
-    /// opened and returns `false`.
+    /// Opens level `d` on every participating cursor (clamped to the root
+    /// range at depth 0); on an empty open closes what was opened and
+    /// returns `false`.
     fn open_level(&mut self, d: usize) -> bool {
         let parts = self.plan.atoms_at(d);
+        let ranged_root = d == 0 && (self.root_min > 0 || self.root_sup.is_some());
         for (i, &(a, lvl)) in parts.iter().enumerate() {
             if lvl > 0 {
                 self.stats.expand_ops += 1;
             }
-            if !self.cursors[a].open(&mut self.stats.access) {
+            let opened = if ranged_root {
+                self.cursors[a].open_root_range(
+                    self.root_min,
+                    self.root_sup,
+                    &mut self.stats.access,
+                )
+            } else {
+                self.cursors[a].open(&mut self.stats.access)
+            };
+            if !opened {
                 for &(b, _) in &parts[..i] {
                     self.cursors[b].up();
                 }
@@ -166,7 +190,7 @@ impl<'a, T: Tally> Driver<'a, T> {
         for d in 0..self.binding.len() {
             self.emit[self.slots[d]] = self.binding[d];
         }
-        sink.push(&self.emit);
+        self.emitter.push(&self.emit, sink);
         self.stats.results += 1;
         self.stats
             .access
@@ -178,20 +202,11 @@ impl<'a, T: Tally> Driver<'a, T> {
             return;
         }
         // Recycle this depth's member vector: the recursion must not
-        // allocate per visited node.
+        // allocate per visited node. The root level needs no range checks
+        // here — `open_level` already clamped the cursors to the shard.
         let mut lf = Leapfrog::new(std::mem::take(&mut self.members_at[d]));
         let mut m = lf.search(&mut self.cursors, &mut self.stats);
-        if d == 0 && self.root_min > 0 {
-            if let Some(v) = m {
-                if v < self.root_min {
-                    m = lf.seek(&mut self.cursors, self.root_min, &mut self.stats);
-                }
-            }
-        }
         while let Some(v) = m {
-            if d == 0 && self.root_sup.is_some_and(|sup| v >= sup) {
-                break;
-            }
             self.binding[d] = v;
             if d + 1 == self.plan.arity() {
                 self.emit_result(sink);
@@ -334,13 +349,17 @@ mod tests {
         let tries = TrieSet::build(&plan, &c).unwrap();
 
         let mut full = CollectSink::new();
-        let mut driver = Driver::<Counting>::new(&plan, &tries);
+        let mut driver = Driver::<Counting>::new(&plan, &tries).unwrap();
         driver.run(&mut full);
 
         let mut lo = CollectSink::new();
-        Driver::<Counting>::with_root_range(&plan, &tries, 0, Some(3)).run(&mut lo);
+        Driver::<Counting>::with_root_range(&plan, &tries, 0, Some(3))
+            .unwrap()
+            .run(&mut lo);
         let mut hi = CollectSink::new();
-        Driver::<Counting>::with_root_range(&plan, &tries, 3, None).run(&mut hi);
+        Driver::<Counting>::with_root_range(&plan, &tries, 3, None)
+            .unwrap()
+            .run(&mut hi);
 
         let mut stitched = lo.tuples().to_vec();
         stitched.extend_from_slice(hi.tuples());

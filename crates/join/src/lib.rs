@@ -14,14 +14,19 @@
 //!   binary join plans (hash and Q100's sort-merge operators), the
 //!   algorithm class of Q100 and Graphicionado's pattern expansion; both
 //!   materialize every intermediate relation.
-//! * [`ParLftj`] — LFTJ parallelized by partitioning the first join
-//!   variable's domain across threads (the software analogue of TrieJax's
-//!   static multithreading, paper §3.4).
+//! * [`ParLftj`] / [`ParCtj`] — LFTJ and CTJ parallelized on the shared
+//!   `triejax-exec` runtime: the first join variable's domain is split
+//!   into many contiguous root ranges, scheduled on a work-stealing
+//!   worker pool (the software analogue of TrieJax's dynamic
+//!   spawn-on-match multithreading, paper §3.4), and emitted through
+//!   batched [`ShardSink`]s into an order-preserving merge. `ParCtj`
+//!   keeps one partial-join-result cache per worker, persisted across the
+//!   shards that worker executes and merged into the stats at shard join.
 //!
 //! Engines count their work in [`EngineStats`] (operation counts, memory
-//! touches, intermediate results, cache hits), which the harness uses to
-//! regenerate the paper's Figures 17 and 18 and to drive the baseline
-//! performance models.
+//! touches, intermediate results, cache hits, shard/steal scheduling
+//! counters), which the harness uses to regenerate the paper's Figures 17
+//! and 18 and to drive the baseline performance models.
 //!
 //! Instrumentation is a compile-time choice through the [`Tally`] trait:
 //! [`JoinEngine::execute`] always runs the [`Counting`] kernels (the
@@ -60,7 +65,9 @@ mod intersect;
 mod leapfrog;
 mod lftj;
 mod pairwise;
+mod parctj;
 mod parlftj;
+mod shard;
 mod sink;
 mod sortmerge;
 mod stats;
@@ -74,8 +81,9 @@ pub use intersect::intersect_sorted;
 pub use leapfrog::Leapfrog;
 pub use lftj::Lftj;
 pub use pairwise::PairwiseHash;
+pub use parctj::ParCtj;
 pub use parlftj::ParLftj;
-pub use sink::{CollectSink, CountSink, ResultSink};
+pub use sink::{CollectSink, CountSink, ResultSink, ShardSink};
 pub use sortmerge::PairwiseSortMerge;
 pub use stats::EngineStats;
 pub use triejax_relation::{Counting, NoTally, Tally};

@@ -3,6 +3,7 @@ use std::collections::HashMap;
 use triejax_query::{CompiledQuery, VarId};
 use triejax_relation::{AccessKind, Counting, Tally, Value, WORD_BYTES};
 
+use crate::sink::BatchEmitter;
 use crate::{Catalog, EngineStats, JoinEngine, JoinError, ResultSink};
 
 /// Traditional left-deep binary hash-join plan — the join-algorithm class
@@ -56,6 +57,11 @@ impl PairwiseHash {
     ) -> Result<EngineStats<T>, JoinError> {
         let mut stats = EngineStats::<T>::default();
         let query = plan.query();
+        if query.is_projection() {
+            return Err(JoinError::Plan {
+                detail: "projected heads are not supported; every engine emits full joins".into(),
+            });
+        }
 
         // Seed with the first atom's tuples.
         let first = query.atoms().first().expect("validated queries have atoms");
@@ -157,16 +163,18 @@ impl PairwiseHash {
             })
             .collect();
         let mut emit = vec![0; head_pos.len()];
+        let mut emitter = BatchEmitter::new(head_pos.len());
         for row in &rows {
             for (slot, &pos) in head_pos.iter().enumerate() {
                 emit[slot] = row[pos];
             }
-            sink.push(&emit);
+            emitter.push(&emit, sink);
             stats.results += 1;
             stats
                 .access
                 .record(AccessKind::ResultWrite, emit.len() as u64 * WORD_BYTES);
         }
+        emitter.flush(sink);
         Ok(stats)
     }
 }

@@ -1,0 +1,389 @@
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+use triejax_query::CompiledQuery;
+use triejax_relation::{Counting, Tally};
+
+use crate::ctj::CtjDriver;
+use crate::engine::head_slots;
+use crate::shard::{execute_sharded, make_pool, plan_shards};
+use crate::{Catalog, CtjConfig, EngineStats, JoinEngine, JoinError, ResultSink, TrieSet};
+
+/// Parallel Cached TrieJoin: root-partitioned CTJ on the shared
+/// [`triejax_exec::WorkerPool`] runtime, with one partial-join-result cache per worker.
+///
+/// "Flexible Caching in Trie Joins" (Kalinsky et al.) shows the PJR cache
+/// is what makes CTJ competitive, so the parallel engine keeps it: every
+/// worker owns a private cache that *persists across the root-range
+/// shards it executes*. Cross-shard reuse is sound because cache entries
+/// are keyed by the spec's key bindings only — a valid
+/// [`triejax_query::CacheSpec`] guarantees the memoized match list
+/// depends on nothing else — so a sub-join cached while working one root
+/// range replays for every later range the worker picks up. At shard
+/// join the per-worker caches' hit/miss/overflow counters are merged into
+/// the returned [`EngineStats`] (total hits are at most sequential
+/// [`crate::Ctj`]'s, since workers do not share entries).
+///
+/// Scheduling and emission are exactly [`crate::ParLftj`]'s: plan-seeded
+/// root-range shards on the work-stealing pool, [`crate::ShardSink`]
+/// batches through an order-preserving [`triejax_exec::OrderedMerge`].
+/// The merged stream is
+/// tuple-for-tuple identical to sequential [`crate::Ctj`] (and
+/// [`crate::Lftj`]) — same tuples, same order.
+///
+/// # Example
+///
+/// ```
+/// use triejax_join::{Catalog, CollectSink, Ctj, JoinEngine, ParCtj};
+/// use triejax_query::{patterns, CompiledQuery};
+/// use triejax_relation::Relation;
+///
+/// let mut catalog = Catalog::new();
+/// catalog.insert("G", Relation::from_pairs(vec![(0, 1), (3, 1), (1, 5), (1, 6)]));
+/// let plan = CompiledQuery::compile(&patterns::path3())?;
+///
+/// let mut seq = CollectSink::new();
+/// Ctj::new().execute(&plan, &catalog, &mut seq)?;
+/// let mut par = CollectSink::new();
+/// ParCtj::with_pool(2).execute(&plan, &catalog, &mut par)?;
+/// assert_eq!(seq.tuples(), par.tuples()); // identical, order included
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParCtj {
+    /// Explicit worker count; `None` = `TRIEJAX_POOL` or one per core.
+    workers: Option<NonZeroUsize>,
+    /// Explicit shard count; `None` = seeded from the plan.
+    granularity: Option<NonZeroUsize>,
+    config: CtjConfig,
+}
+
+impl ParCtj {
+    /// Engine with the default pool size, plan-seeded granularity and an
+    /// unbounded cache; identical to `Default::default()`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engine with an explicit pool (worker) count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_pool(workers: usize) -> Self {
+        ParCtj {
+            workers: Some(NonZeroUsize::new(workers).expect("workers must be positive")),
+            granularity: None,
+            config: CtjConfig::default(),
+        }
+    }
+
+    /// Engine with an explicit per-worker cache configuration.
+    pub fn with_config(config: CtjConfig) -> Self {
+        ParCtj {
+            workers: None,
+            granularity: None,
+            config,
+        }
+    }
+
+    /// Sets the cache configuration, keeping the scheduling knobs.
+    pub fn config(mut self, config: CtjConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets an explicit shard count, keeping the pool size (otherwise the
+    /// count is seeded from the plan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_granularity(mut self, shards: usize) -> Self {
+        self.granularity = Some(NonZeroUsize::new(shards).expect("shards must be positive"));
+        self
+    }
+
+    /// The configured worker count, or `None` for automatic.
+    pub fn workers(&self) -> Option<usize> {
+        self.workers.map(NonZeroUsize::get)
+    }
+
+    /// The configured shard count, or `None` for plan-seeded.
+    pub fn granularity(&self) -> Option<usize> {
+        self.granularity.map(NonZeroUsize::get)
+    }
+
+    /// Runs the query with an explicit [`Tally`] choice; see
+    /// [`crate::Lftj::run_tallied`] for the counting/fast trade-off.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JoinError`] when the catalog is missing a relation, a
+    /// relation's arity mismatches its atom, or the plan projects
+    /// variables away from the head.
+    pub fn run_tallied<T: Tally>(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats<T>, JoinError> {
+        let tries = TrieSet::build(plan, catalog)?;
+        let pool = make_pool(self.workers);
+        let ranges = plan_shards(
+            plan,
+            catalog,
+            &tries,
+            pool.workers(),
+            self.granularity.map(NonZeroUsize::get),
+        );
+
+        if ranges.len() <= 1 {
+            let mut driver = CtjDriver::<T>::new(plan, &tries, self.config)?;
+            driver.run(sink);
+            let mut stats = driver.stats;
+            stats.shards = 1;
+            return Ok(stats);
+        }
+
+        // Validate the emission plan up front so shard workers cannot fail.
+        head_slots(plan)?;
+        let tries_ref = &tries;
+        let config = self.config;
+        // One lazily-created driver (and thus one PJR cache) per worker,
+        // addressed by `WorkerCtx::worker`; a slot's mutex is only ever
+        // taken by its owning worker during the run.
+        let worker_drivers: Vec<Mutex<Option<CtjDriver<'_, T>>>> =
+            (0..pool.workers().min(ranges.len()))
+                .map(|_| Mutex::new(None))
+                .collect();
+        let (_, pool_stats) = execute_sharded(
+            &pool,
+            &ranges,
+            plan.arity(),
+            sink,
+            |ctx, _lane, min, sup, shard_sink| {
+                let mut slot = worker_drivers[ctx.worker]
+                    .lock()
+                    .expect("worker driver poisoned");
+                let driver = slot.get_or_insert_with(|| {
+                    let mut d = CtjDriver::new(plan, tries_ref, config)
+                        .expect("emission plan validated before the parallel phase");
+                    d.emit_passthrough(); // the ShardSink already batches
+                    d
+                });
+                driver.run_range(min, sup, shard_sink);
+            },
+        );
+
+        // Shard join: fold every worker's accumulated stats (cache
+        // hit/miss/overflow counters included) into the run total.
+        let mut stats = EngineStats::<T>::default();
+        for slot in worker_drivers {
+            if let Some(driver) = slot.into_inner().expect("worker driver poisoned") {
+                stats.merge(&driver.stats);
+            }
+        }
+        stats.shards = ranges.len() as u64;
+        stats.steals = pool_stats.steals;
+        Ok(stats)
+    }
+}
+
+impl JoinEngine for ParCtj {
+    fn name(&self) -> &'static str {
+        "par-ctj"
+    }
+
+    fn execute(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats, JoinError> {
+        self.run_tallied::<Counting>(plan, catalog, sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollectSink, CountSink, Ctj, Lftj};
+    use triejax_query::patterns::{self, Pattern};
+    use triejax_relation::{NoTally, Relation};
+
+    fn catalog(edges: &[(u32, u32)]) -> Catalog {
+        let mut c = Catalog::new();
+        c.insert("G", Relation::from_pairs(edges.to_vec()));
+        c
+    }
+
+    fn test_edges() -> Vec<(u32, u32)> {
+        let mut edges = vec![
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 1),
+            (0, 2),
+            (3, 0),
+            (1, 3),
+            (4, 1),
+            (2, 4),
+        ];
+        for i in 5..40u32 {
+            edges.push((i, (i + 1) % 40));
+            edges.push((i, (i * 7 + 3) % 40));
+        }
+        edges
+    }
+
+    #[test]
+    fn agrees_with_sequential_ctj_in_order_for_every_pool_size() {
+        let c = catalog(&test_edges());
+        for p in Pattern::ALL {
+            let plan = CompiledQuery::compile(&p.query()).unwrap();
+            let mut reference = CollectSink::new();
+            Ctj::new().execute(&plan, &c, &mut reference).unwrap();
+            for workers in [1, 2, 3, 7, 64] {
+                let mut sink = CollectSink::new();
+                let stats = ParCtj::with_pool(workers)
+                    .execute(&plan, &c, &mut sink)
+                    .unwrap();
+                assert_eq!(
+                    sink.tuples(),
+                    reference.tuples(),
+                    "{p} with {workers} workers"
+                );
+                assert_eq!(stats.results as usize, reference.tuples().len());
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_lftj_too() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::path4()).unwrap();
+        let mut reference = CollectSink::new();
+        Lftj::new().execute(&plan, &c, &mut reference).unwrap();
+        let mut sink = CollectSink::new();
+        ParCtj::with_pool(3).execute(&plan, &c, &mut sink).unwrap();
+        assert_eq!(sink.tuples(), reference.tuples());
+    }
+
+    #[test]
+    fn per_worker_caches_report_merged_hit_stats() {
+        // Heavily shared y values make caching pay off (cf. the sequential
+        // CTJ tests): many x-parents funnel into one hub.
+        let mut edges = Vec::new();
+        for x in 0..30u32 {
+            edges.push((x, 100));
+        }
+        for z in 200..220u32 {
+            edges.push((100, z));
+        }
+        let c = catalog(&edges);
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let mut seq_sink = CountSink::default();
+        let seq = Ctj::new().execute(&plan, &c, &mut seq_sink).unwrap();
+        let mut par_sink = CountSink::default();
+        let par = ParCtj::with_pool(2)
+            .execute(&plan, &c, &mut par_sink)
+            .unwrap();
+        assert_eq!(seq_sink.count(), par_sink.count());
+        assert!(par.shards > 1, "hub graph must actually shard");
+        // Every shard after a worker's first miss on y=100 replays from its
+        // private cache: hits surface in the merged stats.
+        assert!(par.cache_hits > 0, "expected cross-shard cache hits");
+        assert!(par.cache_misses >= 1);
+        assert!(
+            par.cache_hits <= seq.cache_hits,
+            "per-worker caches cannot beat the shared sequential cache"
+        );
+        assert_eq!(par.cache_hits + par.cache_misses, 30, "one lookup per x");
+    }
+
+    #[test]
+    fn bounded_caches_stay_correct_in_parallel() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::path4()).unwrap();
+        let mut reference = CollectSink::new();
+        Ctj::new().execute(&plan, &c, &mut reference).unwrap();
+        let cfg = CtjConfig {
+            entry_capacity: Some(1),
+            max_entries: Some(2),
+        };
+        let mut sink = CollectSink::new();
+        ParCtj::with_config(cfg)
+            .execute(&plan, &c, &mut sink)
+            .unwrap();
+        assert_eq!(sink.tuples(), reference.tuples());
+    }
+
+    #[test]
+    fn untallied_parallel_run_matches() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let mut reference = CollectSink::new();
+        Ctj::new().execute(&plan, &c, &mut reference).unwrap();
+        let mut sink = CollectSink::new();
+        let stats = ParCtj::with_pool(4)
+            .run_tallied::<NoTally>(&plan, &c, &mut sink)
+            .unwrap();
+        assert_eq!(sink.tuples(), reference.tuples());
+        assert_eq!(stats.memory_accesses(), 0);
+    }
+
+    #[test]
+    fn explicit_granularity_is_respected() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let mut sink = CountSink::default();
+        let stats = ParCtj::with_pool(2)
+            .with_granularity(5)
+            .execute(&plan, &c, &mut sink)
+            .unwrap();
+        assert_eq!(stats.shards, 5);
+        assert_eq!(ParCtj::new().with_granularity(5).granularity(), Some(5));
+    }
+
+    #[test]
+    fn empty_graph_yields_nothing() {
+        let c = catalog(&[]);
+        let plan = CompiledQuery::compile(&patterns::path4()).unwrap();
+        let mut sink = CountSink::default();
+        let stats = ParCtj::with_pool(4).execute(&plan, &c, &mut sink).unwrap();
+        assert_eq!(sink.count(), 0);
+        assert_eq!(stats.results, 0);
+    }
+
+    #[test]
+    fn missing_relation_is_an_error() {
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let mut sink = CountSink::default();
+        assert!(ParCtj::new()
+            .execute(&plan, &Catalog::new(), &mut sink)
+            .is_err());
+    }
+
+    #[test]
+    fn projected_plans_error_gracefully() {
+        let q = triejax_query::Query::builder("pairs")
+            .head(["x", "z"])
+            .atom("G", ["x", "y"])
+            .atom("G", ["y", "z"])
+            .build_projected()
+            .unwrap();
+        let plan = CompiledQuery::compile(&q).unwrap();
+        let c = catalog(&test_edges());
+        let mut sink = CountSink::default();
+        let err = ParCtj::with_pool(2).execute(&plan, &c, &mut sink);
+        assert!(matches!(err, Err(JoinError::Plan { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_workers_panics() {
+        let _ = ParCtj::with_pool(0);
+    }
+}

@@ -1,33 +1,36 @@
 use std::num::NonZeroUsize;
 
 use triejax_query::CompiledQuery;
-use triejax_relation::{Counting, Tally, Value};
+use triejax_relation::{Counting, Tally};
 
+use crate::engine::head_slots;
 use crate::lftj::Driver;
+use crate::shard::{execute_sharded, make_pool, plan_shards};
 use crate::{Catalog, EngineStats, JoinEngine, JoinError, ResultSink, TrieSet};
 
-/// Parallel LeapFrog TrieJoin: root-partitioned LFTJ across OS threads.
+/// Parallel LeapFrog TrieJoin: root-partitioned LFTJ on the shared
+/// [`triejax_exec::WorkerPool`] runtime.
 ///
 /// TrieJax gets its throughput from many concurrent join-processing units
-/// walking one shared trie (paper §3.4, static first-attribute
-/// partitioning); the same idea applied to the software engine is the
-/// classic parallel-LFTJ construction: snapshot the trie level of the
-/// *first* join variable, shard its value domain into contiguous ranges,
-/// and run an independent sequential driver per shard. Shards share the
-/// read-only tries and write into thread-local sinks; after the join the
-/// per-shard result streams are concatenated in shard order and the
-/// per-shard [`EngineStats`] are merged.
+/// walking one shared trie, dynamically picking up work instead of being
+/// statically partitioned (paper §3.4). The software construction: shard
+/// the first join variable's value domain into many more contiguous
+/// *root ranges* than there are workers, queue them on a work-stealing
+/// pool (`triejax-exec`), and run an independent sequential driver per
+/// shard. Skewed root domains rebalance by stealing; a heavy range is one
+/// unit of work among many, not a thread's whole static share.
 ///
+/// Shards emit through [`crate::ShardSink`]s into an order-preserving
+/// [`triejax_exec::OrderedMerge`]: batches stream to the caller's sink while later
+/// shards are still running, so no shard materializes its full result.
 /// Because LFTJ emits root values in ascending order and the shards cover
 /// contiguous ascending ranges, the merged stream is **tuple-for-tuple
 /// identical** to sequential [`crate::Lftj`] — same tuples, same order.
-/// Access *counts* differ slightly (each shard opens the root level and
-/// seeks into its range independently), so use [`crate::Lftj`] when
-/// reproducing the paper's exact access totals and `ParLftj` when you want
-/// wall-clock speed.
-///
-/// Threading uses `std::thread::scope` (the build environment has no
-/// external thread-pool crate); one thread is spawned per shard.
+/// Access *counts* differ slightly (each shard opens the root level
+/// clamped to its range), so use [`crate::Lftj`] when reproducing the
+/// paper's exact access totals and `ParLftj` when you want wall-clock
+/// speed. [`EngineStats::shards`] and [`EngineStats::steals`] report how
+/// the run was scheduled.
 ///
 /// # Example
 ///
@@ -43,46 +46,74 @@ use crate::{Catalog, EngineStats, JoinEngine, JoinError, ResultSink, TrieSet};
 /// let mut seq = CollectSink::new();
 /// Lftj::new().execute(&plan, &catalog, &mut seq)?;
 /// let mut par = CollectSink::new();
-/// ParLftj::with_shards(2).execute(&plan, &catalog, &mut par)?;
+/// ParLftj::with_pool(2).execute(&plan, &catalog, &mut par)?;
 /// assert_eq!(seq.tuples(), par.tuples()); // identical, order included
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ParLftj {
-    /// Explicit shard count; `None` = one shard per available core.
-    shards: Option<NonZeroUsize>,
+    /// Explicit worker count; `None` = `TRIEJAX_POOL` or one per core.
+    workers: Option<NonZeroUsize>,
+    /// Explicit shard count; `None` = seeded from the plan's root-domain
+    /// estimate (see `CompiledQuery::shard_granularity`).
+    granularity: Option<NonZeroUsize>,
 }
 
 impl ParLftj {
-    /// Engine with one shard per available core; identical to
-    /// `Default::default()`.
+    /// Engine with the default pool size (the `TRIEJAX_POOL` environment
+    /// variable, else one worker per core) and plan-seeded shard
+    /// granularity; identical to `Default::default()`.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Engine with an explicit shard (thread) count.
+    /// Engine with an explicit pool (worker) count; shard granularity is
+    /// still seeded from the plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_pool(workers: usize) -> Self {
+        ParLftj {
+            workers: Some(NonZeroUsize::new(workers).expect("workers must be positive")),
+            granularity: None,
+        }
+    }
+
+    /// Engine with an explicit shard count, one worker per shard — the
+    /// pre-pool behaviour, kept for callers that want deterministic
+    /// scheduling in experiments.
     ///
     /// # Panics
     ///
     /// Panics if `shards == 0`.
     pub fn with_shards(shards: usize) -> Self {
+        let n = NonZeroUsize::new(shards).expect("shards must be positive");
         ParLftj {
-            shards: Some(NonZeroUsize::new(shards).expect("shards must be positive")),
+            workers: Some(n),
+            granularity: Some(n),
         }
     }
 
-    /// The configured shard count, or `None` for automatic.
-    pub fn shards(&self) -> Option<usize> {
-        self.shards.map(NonZeroUsize::get)
+    /// The configured worker count, or `None` for automatic.
+    pub fn workers(&self) -> Option<usize> {
+        self.workers.map(NonZeroUsize::get)
     }
 
-    fn effective_shards(&self, root_len: usize) -> usize {
-        let want = self.shards.map(NonZeroUsize::get).unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-        });
-        want.min(root_len).max(1)
+    /// Sets an explicit shard count, keeping the pool size (otherwise the
+    /// count is seeded from the plan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_granularity(mut self, shards: usize) -> Self {
+        self.granularity = Some(NonZeroUsize::new(shards).expect("shards must be positive"));
+        self
+    }
+
+    /// The configured shard count, or `None` for plan-seeded.
+    pub fn granularity(&self) -> Option<usize> {
+        self.granularity.map(NonZeroUsize::get)
     }
 
     /// Runs the query with an explicit [`Tally`] choice; see
@@ -92,8 +123,9 @@ impl ParLftj {
     ///
     /// # Errors
     ///
-    /// Returns a [`JoinError`] when the catalog is missing a relation or a
-    /// relation's arity mismatches its atom.
+    /// Returns a [`JoinError`] when the catalog is missing a relation, a
+    /// relation's arity mismatches its atom, or the plan projects
+    /// variables away from the head.
     pub fn run_tallied<T: Tally>(
         &mut self,
         plan: &CompiledQuery,
@@ -101,74 +133,46 @@ impl ParLftj {
         sink: &mut dyn ResultSink,
     ) -> Result<EngineStats<T>, JoinError> {
         let tries = TrieSet::build(plan, catalog)?;
+        let pool = make_pool(self.workers);
+        let ranges = plan_shards(
+            plan,
+            catalog,
+            &tries,
+            pool.workers(),
+            self.granularity.map(NonZeroUsize::get),
+        );
 
-        // Snapshot the root level of the first join variable: any
-        // participant's root values are a superset of the depth-0 matches;
-        // the smallest one gives the best shard balance for the least
-        // boundary-scanning.
-        let root_values: &[Value] = plan
-            .atoms_at(0)
-            .iter()
-            .map(|&(a, _)| tries.for_atom(a).level(0).values())
-            .min_by_key(|v| v.len())
-            .expect("every depth has at least one participant");
-
-        let shards = self.effective_shards(root_values.len());
-        if shards <= 1 {
-            let mut driver = Driver::<T>::new(plan, &tries);
+        if ranges.len() <= 1 {
+            let mut driver = Driver::<T>::new(plan, &tries)?;
             driver.run(sink);
-            return Ok(driver.stats);
+            let mut stats = driver.stats;
+            stats.shards = 1;
+            return Ok(stats);
         }
 
-        // Contiguous value ranges [min, sup); the first shard starts at the
-        // bottom of the domain and the last is unbounded above.
-        let mut ranges: Vec<(Value, Option<Value>)> = Vec::with_capacity(shards);
-        for i in 0..shards {
-            let lo_idx = i * root_values.len() / shards;
-            let hi_idx = (i + 1) * root_values.len() / shards;
-            if lo_idx == hi_idx {
-                continue; // empty shard (more shards than values)
-            }
-            let min = if ranges.is_empty() {
-                0
-            } else {
-                root_values[lo_idx]
-            };
-            let sup = if hi_idx == root_values.len() {
-                None
-            } else {
-                Some(root_values[hi_idx])
-            };
-            ranges.push((min, sup));
-        }
-
-        let arity = plan.arity();
+        // Validate the emission plan up front so shard workers cannot fail.
+        head_slots(plan)?;
         let tries_ref = &tries;
-        let shard_outputs: Vec<(EngineStats<T>, Vec<Value>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .iter()
-                .map(|&(min, sup)| {
-                    scope.spawn(move || {
-                        let mut driver = Driver::<T>::with_root_range(plan, tries_ref, min, sup);
-                        let mut local = RowBuffer { rows: Vec::new() };
-                        driver.run(&mut local);
-                        (driver.stats, local.rows)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard thread panicked"))
-                .collect()
-        });
+        let (shard_stats, pool_stats) = execute_sharded(
+            &pool,
+            &ranges,
+            plan.arity(),
+            sink,
+            |_ctx, _lane, min, sup, shard_sink| {
+                let mut driver = Driver::<T>::with_root_range(plan, tries_ref, min, sup)
+                    .expect("emission plan validated before the parallel phase");
+                driver.emit_passthrough(); // the ShardSink already batches
+                driver.run(shard_sink);
+                driver.stats
+            },
+        );
 
         let mut stats = EngineStats::<T>::default();
-        for (shard_stats, rows) in &shard_outputs {
-            stats.merge(shard_stats);
-            for tuple in rows.chunks_exact(arity) {
-                sink.push(tuple);
-            }
+        for shard in &shard_stats {
+            stats.merge(shard);
         }
+        stats.shards = ranges.len() as u64;
+        stats.steals = pool_stats.steals;
         Ok(stats)
     }
 }
@@ -185,18 +189,6 @@ impl JoinEngine for ParLftj {
         sink: &mut dyn ResultSink,
     ) -> Result<EngineStats, JoinError> {
         self.run_tallied::<Counting>(plan, catalog, sink)
-    }
-}
-
-/// Thread-local sink: flat row storage, merged into the caller's sink
-/// after the parallel phase.
-struct RowBuffer {
-    rows: Vec<Value>,
-}
-
-impl ResultSink for RowBuffer {
-    fn push(&mut self, tuple: &[Value]) {
-        self.rows.extend_from_slice(tuple);
     }
 }
 
@@ -236,9 +228,32 @@ mod tests {
     }
 
     #[test]
-    fn agrees_with_lftj_in_order_for_every_shard_count() {
+    fn agrees_with_lftj_in_order_for_every_pool_size() {
         let c = catalog(&test_edges());
         for p in Pattern::ALL {
+            let plan = CompiledQuery::compile(&p.query()).unwrap();
+            let mut reference = CollectSink::new();
+            Lftj::new().execute(&plan, &c, &mut reference).unwrap();
+            for workers in [1, 2, 3, 7, 64] {
+                let mut sink = CollectSink::new();
+                let stats = ParLftj::with_pool(workers)
+                    .execute(&plan, &c, &mut sink)
+                    .unwrap();
+                assert_eq!(
+                    sink.tuples(),
+                    reference.tuples(),
+                    "{p} with {workers} workers"
+                );
+                assert_eq!(stats.results as usize, reference.tuples().len());
+                assert!(stats.shards >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_shard_counts_agree_too() {
+        let c = catalog(&test_edges());
+        for p in [Pattern::Cycle3, Pattern::Path4] {
             let plan = CompiledQuery::compile(&p.query()).unwrap();
             let mut reference = CollectSink::new();
             Lftj::new().execute(&plan, &c, &mut reference).unwrap();
@@ -247,18 +262,18 @@ mod tests {
                 let stats = ParLftj::with_shards(shards)
                     .execute(&plan, &c, &mut sink)
                     .unwrap();
-                assert_eq!(
-                    sink.tuples(),
-                    reference.tuples(),
-                    "{p} with {shards} shards"
+                assert_eq!(sink.tuples(), reference.tuples(), "{p} x{shards}");
+                assert!(
+                    stats.shards >= 1 && stats.shards <= shards as u64,
+                    "{p} x{shards}: reported {} shards",
+                    stats.shards
                 );
-                assert_eq!(stats.results as usize, reference.tuples().len());
             }
         }
     }
 
     #[test]
-    fn auto_shard_count_agrees_too() {
+    fn auto_pool_size_agrees_too() {
         let c = catalog(&test_edges());
         let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
         let mut reference = CollectSink::new();
@@ -275,7 +290,7 @@ mod tests {
         let mut reference = CollectSink::new();
         Lftj::new().execute(&plan, &c, &mut reference).unwrap();
         let mut sink = CollectSink::new();
-        let stats = ParLftj::with_shards(4)
+        let stats = ParLftj::with_pool(4)
             .run_tallied::<NoTally>(&plan, &c, &mut sink)
             .unwrap();
         assert_eq!(sink.tuples(), reference.tuples());
@@ -284,13 +299,24 @@ mod tests {
     }
 
     #[test]
+    fn multi_worker_runs_overshard_for_stealing() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let mut sink = CountSink::default();
+        let stats = ParLftj::with_pool(4).execute(&plan, &c, &mut sink).unwrap();
+        assert!(
+            stats.shards > 4,
+            "4 workers over a 40-value domain should overshard, got {}",
+            stats.shards
+        );
+    }
+
+    #[test]
     fn empty_graph_yields_nothing() {
         let c = catalog(&[]);
         let plan = CompiledQuery::compile(&patterns::cycle4()).unwrap();
         let mut sink = CountSink::default();
-        let stats = ParLftj::with_shards(4)
-            .execute(&plan, &c, &mut sink)
-            .unwrap();
+        let stats = ParLftj::with_pool(4).execute(&plan, &c, &mut sink).unwrap();
         assert_eq!(sink.count(), 0);
         assert_eq!(stats.results, 0);
     }
@@ -318,8 +344,29 @@ mod tests {
     }
 
     #[test]
+    fn projected_plans_error_gracefully() {
+        let q = triejax_query::Query::builder("pairs")
+            .head(["x", "z"])
+            .atom("G", ["x", "y"])
+            .atom("G", ["y", "z"])
+            .build_projected()
+            .unwrap();
+        let plan = CompiledQuery::compile(&q).unwrap();
+        let c = catalog(&test_edges());
+        let mut sink = CountSink::default();
+        let err = ParLftj::with_pool(2).execute(&plan, &c, &mut sink);
+        assert!(matches!(err, Err(JoinError::Plan { .. })));
+    }
+
+    #[test]
     #[should_panic(expected = "positive")]
     fn zero_shards_panics() {
         let _ = ParLftj::with_shards(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_workers_panics() {
+        let _ = ParLftj::with_pool(0);
     }
 }

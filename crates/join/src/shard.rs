@@ -1,0 +1,163 @@
+//! Root-range shard planning and execution shared by the parallel
+//! engines.
+
+use triejax_exec::{OrderedMerge, PoolStats, WorkerCtx, WorkerPool};
+use triejax_query::CompiledQuery;
+use triejax_relation::Value;
+
+use crate::{Catalog, ResultSink, ShardSink, TrieSet};
+
+/// Plans the contiguous root-value ranges `[min, sup)` a parallel run
+/// executes as independent work units.
+///
+/// The shard count is seeded from the compiled plan: the catalog's
+/// relation cardinalities feed [`CompiledQuery::root_domain_estimate`],
+/// and [`CompiledQuery::shard_granularity`] overshards relative to the
+/// worker count so the work-stealing pool can rebalance skew (callers may
+/// force an exact count with `granularity`). Returns a single unbounded
+/// range when sharding isn't worthwhile — callers treat that as the
+/// sequential fast path.
+///
+/// Range boundaries are drawn from the *smallest* depth-0 participant's
+/// root level: any participant's root values are a superset of the
+/// depth-0 matches, and the smallest one balances shards with the least
+/// boundary scanning. The first shard starts at the bottom of the domain
+/// and the last is unbounded above, so the ranges cover every root value
+/// of every participant.
+pub(crate) fn plan_shards(
+    plan: &CompiledQuery,
+    catalog: &Catalog,
+    tries: &TrieSet,
+    workers: usize,
+    granularity: Option<usize>,
+) -> Vec<(Value, Option<Value>)> {
+    let root_values: &[Value] = plan
+        .atoms_at(0)
+        .iter()
+        .map(|&(a, _)| tries.for_atom(a).level(0).values())
+        .min_by_key(|v| v.len())
+        .expect("every depth has at least one participant");
+
+    let shards = granularity
+        .unwrap_or_else(|| {
+            let estimate = plan
+                .root_domain_estimate(|name| catalog.get(name).map(|r| r.len()))
+                .unwrap_or(root_values.len());
+            plan.shard_granularity(estimate.min(root_values.len()), workers)
+        })
+        .clamp(1, root_values.len().max(1));
+
+    if shards <= 1 {
+        return vec![(0, None)];
+    }
+
+    let mut ranges: Vec<(Value, Option<Value>)> = Vec::with_capacity(shards);
+    for i in 0..shards {
+        let lo_idx = i * root_values.len() / shards;
+        let hi_idx = (i + 1) * root_values.len() / shards;
+        if lo_idx == hi_idx {
+            continue; // empty shard (more shards than values)
+        }
+        let min = if ranges.is_empty() {
+            0
+        } else {
+            root_values[lo_idx]
+        };
+        let sup = if hi_idx == root_values.len() {
+            None
+        } else {
+            Some(root_values[hi_idx])
+        };
+        ranges.push((min, sup));
+    }
+    ranges
+}
+
+/// Runs every planned shard on the pool, streaming batches through an
+/// order-preserving merge into `sink` — the execution skeleton every
+/// pool-parallel engine shares.
+///
+/// `work` receives the worker context, the shard's lane, its root range
+/// and a ready [`ShardSink`]. The sink is created *before* `work` runs so
+/// its `Drop` closes the lane even when the shard body panics, keeping
+/// the foreground drain (which runs on the calling thread, so `sink`
+/// needs no `Send` bound) from blocking forever. Task results come back
+/// in shard order alongside the pool's scheduling stats.
+pub(crate) fn execute_sharded<R, F>(
+    pool: &WorkerPool,
+    ranges: &[(Value, Option<Value>)],
+    arity: usize,
+    sink: &mut dyn ResultSink,
+    work: F,
+) -> (Vec<R>, PoolStats)
+where
+    R: Send,
+    F: Fn(WorkerCtx, usize, Value, Option<Value>, &mut ShardSink<'_>) -> R + Sync,
+{
+    let merge = OrderedMerge::new(ranges.len());
+    let ((results, pool_stats), ()) = pool.run_with_foreground(
+        ranges,
+        |ctx, lane, &(min, sup)| {
+            let mut shard_sink = ShardSink::new(&merge, lane, arity);
+            work(ctx, lane, min, sup, &mut shard_sink)
+        },
+        || merge.drain(|batch| sink.push_rows(&batch, arity)),
+    );
+    (results, pool_stats)
+}
+
+/// Builds the pool for a parallel run: the engine's explicit worker count
+/// when set, otherwise the environment/core-count default.
+pub(crate) fn make_pool(workers: Option<std::num::NonZeroUsize>) -> WorkerPool {
+    match workers {
+        Some(w) => WorkerPool::with_workers(w.get()),
+        None => WorkerPool::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triejax_query::patterns;
+    use triejax_relation::Relation;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let edges: Vec<(u32, u32)> = (0..40).map(|i| (i, (i + 1) % 40)).collect();
+        c.insert("G", Relation::from_pairs(edges));
+        c
+    }
+
+    #[test]
+    fn ranges_cover_the_domain_without_gaps() {
+        let c = catalog();
+        let plan = triejax_query::CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let tries = TrieSet::build(&plan, &c).unwrap();
+        let ranges = plan_shards(&plan, &c, &tries, 4, None);
+        assert!(ranges.len() > 4, "overshards beyond the worker count");
+        assert_eq!(ranges[0].0, 0, "first shard starts at the domain bottom");
+        assert_eq!(ranges.last().unwrap().1, None, "last shard is unbounded");
+        for pair in ranges.windows(2) {
+            assert_eq!(pair[0].1, Some(pair[1].0), "contiguous boundaries");
+        }
+    }
+
+    #[test]
+    fn single_worker_gets_the_sequential_range() {
+        let c = catalog();
+        let plan = triejax_query::CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let tries = TrieSet::build(&plan, &c).unwrap();
+        assert_eq!(plan_shards(&plan, &c, &tries, 1, None), vec![(0, None)]);
+    }
+
+    #[test]
+    fn explicit_granularity_wins_and_is_clamped() {
+        let c = catalog();
+        let plan = triejax_query::CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let tries = TrieSet::build(&plan, &c).unwrap();
+        assert_eq!(plan_shards(&plan, &c, &tries, 4, Some(3)).len(), 3);
+        // More shards than root values: clamped, never empty ranges.
+        let ranges = plan_shards(&plan, &c, &tries, 4, Some(10_000));
+        assert_eq!(ranges.len(), 40);
+    }
+}

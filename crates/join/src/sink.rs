@@ -1,3 +1,4 @@
+use triejax_exec::OrderedMerge;
 use triejax_relation::Value;
 
 /// Consumer of join results.
@@ -8,6 +9,33 @@ use triejax_relation::Value;
 pub trait ResultSink {
     /// Receives one result tuple.
     fn push(&mut self, tuple: &[Value]);
+
+    /// Receives a batch of result tuples, in stream order — the
+    /// convenience flavour for callers whose tuples are not stored
+    /// contiguously. The engines' own hot paths emit through
+    /// [`push_rows`](Self::push_rows) (flat storage) or plain
+    /// [`push`](Self::push); override this only if batch callers matter
+    /// for your sink.
+    ///
+    /// The default forwards tuple-by-tuple to [`push`](Self::push).
+    fn push_batch(&mut self, tuples: &[&[Value]]) {
+        for t in tuples {
+            self.push(t);
+        }
+    }
+
+    /// Receives a batch of `arity`-wide tuples stored contiguously — the
+    /// allocation-free bulk path the drivers' emit buffers and the
+    /// parallel merge drain use (their batches are flat row storage
+    /// already, so no per-flush vector of slice refs is needed). **This
+    /// is the override that matters for throughput.**
+    ///
+    /// The default forwards tuple-by-tuple to [`push`](Self::push).
+    fn push_rows(&mut self, rows: &[Value], arity: usize) {
+        for t in rows.chunks_exact(arity.max(1)) {
+            self.push(t);
+        }
+    }
 }
 
 /// Counts results without storing them — the usual sink for benchmarks,
@@ -43,6 +71,14 @@ impl CountSink {
 impl ResultSink for CountSink {
     fn push(&mut self, _tuple: &[Value]) {
         self.count += 1;
+    }
+
+    fn push_batch(&mut self, tuples: &[&[Value]]) {
+        self.count += tuples.len() as u64;
+    }
+
+    fn push_rows(&mut self, rows: &[Value], arity: usize) {
+        self.count += (rows.len() / arity.max(1)) as u64;
     }
 }
 
@@ -87,11 +123,289 @@ impl ResultSink for CollectSink {
     fn push(&mut self, tuple: &[Value]) {
         self.tuples.push(tuple.to_vec());
     }
+
+    fn push_batch(&mut self, tuples: &[&[Value]]) {
+        self.tuples.reserve(tuples.len());
+        self.tuples.extend(tuples.iter().map(|t| t.to_vec()));
+    }
+
+    fn push_rows(&mut self, rows: &[Value], arity: usize) {
+        let arity = arity.max(1);
+        self.tuples.reserve(rows.len() / arity);
+        self.tuples
+            .extend(rows.chunks_exact(arity).map(<[Value]>::to_vec));
+    }
+}
+
+/// Per-shard sink of the parallel engines: buffers a worker's result rows
+/// into fixed-size batches and flushes them to an [`OrderedMerge`] lane,
+/// so the foreground drainer can forward results downstream *while later
+/// shards are still running* — no shard ever materializes its full result.
+///
+/// Dropping the sink flushes the final partial batch and closes the lane
+/// (so a panicking shard still unblocks the drainer); [`finish`]
+/// (Self::finish) does the same explicitly.
+///
+/// # Example
+///
+/// ```
+/// use triejax_exec::OrderedMerge;
+/// use triejax_join::{ResultSink, ShardSink};
+///
+/// let merge = OrderedMerge::new(2);
+/// // Shard 1 completes first; its rows wait for shard 0.
+/// ShardSink::new(&merge, 1, 2).push(&[9, 9]);
+/// ShardSink::new(&merge, 0, 2).push(&[1, 1]);
+/// let mut rows = Vec::new();
+/// merge.drain(|batch| rows.extend(batch));
+/// assert_eq!(rows, vec![1, 1, 9, 9]);
+/// ```
+#[derive(Debug)]
+pub struct ShardSink<'m> {
+    merge: &'m OrderedMerge<Vec<Value>>,
+    lane: usize,
+    arity: usize,
+    /// Flush threshold in values (rows x arity).
+    batch_values: usize,
+    buf: Vec<Value>,
+}
+
+impl<'m> ShardSink<'m> {
+    /// Rows per batch unless overridden: large enough to amortize the
+    /// merge lock, small enough to keep the drainer streaming.
+    pub const DEFAULT_BATCH_ROWS: usize = 256;
+
+    /// Sink feeding `lane` of `merge` with `arity`-wide tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0`.
+    pub fn new(merge: &'m OrderedMerge<Vec<Value>>, lane: usize, arity: usize) -> Self {
+        Self::with_batch_rows(merge, lane, arity, Self::DEFAULT_BATCH_ROWS)
+    }
+
+    /// Sink with an explicit batch size in rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity == 0` or `batch_rows == 0`.
+    pub fn with_batch_rows(
+        merge: &'m OrderedMerge<Vec<Value>>,
+        lane: usize,
+        arity: usize,
+        batch_rows: usize,
+    ) -> Self {
+        assert!(arity > 0, "tuples must have at least one column");
+        assert!(batch_rows > 0, "batches must hold at least one row");
+        ShardSink {
+            merge,
+            lane,
+            arity,
+            batch_values: batch_rows * arity,
+            buf: Vec::with_capacity(batch_rows * arity),
+        }
+    }
+
+    /// Flushes any buffered rows and closes the lane (equivalent to
+    /// dropping the sink, made explicit for readability at call sites).
+    pub fn finish(self) {}
+
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch_values));
+            self.merge.push(self.lane, batch);
+        }
+    }
+}
+
+impl ResultSink for ShardSink<'_> {
+    fn push(&mut self, tuple: &[Value]) {
+        debug_assert_eq!(tuple.len(), self.arity);
+        self.buf.extend_from_slice(tuple);
+        if self.buf.len() >= self.batch_values {
+            self.flush();
+        }
+    }
+
+    /// Bulk path: append the whole batch, then check the threshold once
+    /// (a flushed batch may exceed the configured size — it's a target,
+    /// not a bound — in exchange for no per-tuple bookkeeping).
+    fn push_batch(&mut self, tuples: &[&[Value]]) {
+        self.buf.reserve(tuples.len() * self.arity);
+        for t in tuples {
+            debug_assert_eq!(t.len(), self.arity);
+            self.buf.extend_from_slice(t);
+        }
+        if self.buf.len() >= self.batch_values {
+            self.flush();
+        }
+    }
+
+    fn push_rows(&mut self, rows: &[Value], arity: usize) {
+        debug_assert_eq!(arity, self.arity);
+        debug_assert_eq!(rows.len() % self.arity, 0);
+        self.buf.extend_from_slice(rows);
+        if self.buf.len() >= self.batch_values {
+            self.flush();
+        }
+    }
+}
+
+impl Drop for ShardSink<'_> {
+    fn drop(&mut self) {
+        // When the shard body panicked, only the lane close matters (it
+        // unblocks the drainer); flushing would hand the truncated
+        // mid-shard buffer downstream as if it were valid output.
+        if !std::thread::panicking() {
+            self.flush();
+        }
+        self.merge.finish(self.lane);
+    }
+}
+
+/// Driver-side batching helper: accumulates emitted rows and forwards them
+/// to the sink through [`ResultSink::push_batch`], taking the virtual call
+/// out of the per-tuple path. Drivers must [`flush`](Self::flush) before
+/// returning.
+///
+/// [`passthrough`](Self::passthrough) disables the buffering: the parallel
+/// engines use it because their drivers already write into a [`ShardSink`]
+/// that batches — stacking a second same-sized buffer in front of it would
+/// just copy every row twice.
+#[derive(Debug)]
+pub(crate) struct BatchEmitter {
+    arity: usize,
+    /// Flush threshold in values; `0` = passthrough (no buffering).
+    batch_values: usize,
+    rows: Vec<Value>,
+}
+
+impl BatchEmitter {
+    pub(crate) fn new(arity: usize) -> Self {
+        let batch_values = ShardSink::DEFAULT_BATCH_ROWS * arity.max(1);
+        BatchEmitter {
+            arity: arity.max(1),
+            batch_values,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Switches to passthrough: every tuple goes straight to `sink.push`.
+    pub(crate) fn passthrough(&mut self) {
+        debug_assert!(self.rows.is_empty(), "switch modes before emitting");
+        self.batch_values = 0;
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, tuple: &[Value], sink: &mut dyn ResultSink) {
+        if self.batch_values == 0 {
+            sink.push(tuple);
+            return;
+        }
+        self.rows.extend_from_slice(tuple);
+        if self.rows.len() >= self.batch_values {
+            self.flush(sink);
+        }
+    }
+
+    pub(crate) fn flush(&mut self, sink: &mut dyn ResultSink) {
+        if self.rows.is_empty() {
+            return;
+        }
+        sink.push_rows(&self.rows, self.arity);
+        self.rows.clear();
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn push_batch_defaults_and_overrides_agree() {
+        let rows: Vec<&[Value]> = vec![&[1, 2], &[3, 4], &[5, 6]];
+        let mut count = CountSink::new();
+        count.push_batch(&rows);
+        assert_eq!(count.count(), 3);
+        let mut collect = CollectSink::new();
+        collect.push_batch(&rows);
+        assert_eq!(collect.tuples(), &[vec![1, 2], vec![3, 4], vec![5, 6]]);
+    }
+
+    #[test]
+    fn shard_sink_batches_and_preserves_lane_order() {
+        let merge = OrderedMerge::new(2);
+        {
+            let mut late = ShardSink::with_batch_rows(&merge, 1, 2, 2);
+            late.push(&[7, 8]);
+            late.push(&[9, 10]); // second row triggers a mid-stream flush
+            late.push(&[11, 12]);
+            late.finish();
+            let mut early = ShardSink::new(&merge, 0, 2);
+            early.push(&[1, 2]);
+            // Dropped without finish(): the Drop impl flushes and closes.
+        }
+        let mut rows: Vec<Value> = Vec::new();
+        merge.drain(|batch| rows.extend(batch));
+        assert_eq!(rows, vec![1, 2, 7, 8, 9, 10, 11, 12]);
+    }
+
+    #[test]
+    fn panicking_shard_closes_its_lane_without_flushing_partial_rows() {
+        let merge = OrderedMerge::new(1);
+        let result = std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut sink = ShardSink::new(&merge, 0, 2);
+                sink.push(&[1, 2]);
+                panic!("shard died mid-run");
+            })
+            .join()
+        });
+        assert!(result.is_err());
+        let mut rows: Vec<Value> = Vec::new();
+        merge.drain(|b| rows.extend(b)); // lane was closed: no hang...
+        assert!(rows.is_empty(), "...and no truncated output leaked");
+    }
+
+    #[test]
+    fn push_rows_default_and_overrides_agree() {
+        let rows: &[Value] = &[1, 2, 3, 4, 5, 6];
+        let mut count = CountSink::new();
+        count.push_rows(rows, 2);
+        assert_eq!(count.count(), 3);
+        let mut collect = CollectSink::new();
+        collect.push_rows(rows, 3);
+        assert_eq!(collect.tuples(), &[vec![1, 2, 3], vec![4, 5, 6]]);
+        let merge = OrderedMerge::new(1);
+        ShardSink::new(&merge, 0, 2).push_rows(rows, 2);
+        let mut drained: Vec<Value> = Vec::new();
+        merge.drain(|batch| drained.extend(batch));
+        assert_eq!(drained, rows);
+    }
+
+    #[test]
+    fn passthrough_emitter_skips_buffering() {
+        let mut emitter = BatchEmitter::new(2);
+        emitter.passthrough();
+        let mut sink = CollectSink::new();
+        emitter.push(&[1, 2], &mut sink);
+        assert_eq!(sink.len(), 1, "no buffering in passthrough mode");
+        emitter.flush(&mut sink); // nothing pending
+        assert_eq!(sink.tuples(), &[vec![1, 2]]);
+    }
+
+    #[test]
+    fn batch_emitter_flushes_complete_rows() {
+        let mut emitter = BatchEmitter::new(3);
+        let mut sink = CollectSink::new();
+        emitter.push(&[1, 2, 3], &mut sink);
+        emitter.push(&[4, 5, 6], &mut sink);
+        assert!(sink.is_empty(), "buffered until flushed");
+        emitter.flush(&mut sink);
+        assert_eq!(sink.tuples(), &[vec![1, 2, 3], vec![4, 5, 6]]);
+        emitter.flush(&mut sink); // empty flush is a no-op
+        assert_eq!(sink.len(), 2);
+    }
 
     #[test]
     fn collect_sink_sorts() {

@@ -1,6 +1,7 @@
 use triejax_query::{CompiledQuery, VarId};
 use triejax_relation::{AccessKind, Counting, Tally, Value, WORD_BYTES};
 
+use crate::sink::BatchEmitter;
 use crate::{Catalog, EngineStats, JoinEngine, JoinError, ResultSink};
 
 /// Traditional left-deep binary **sort-merge** join plan — the literal
@@ -48,6 +49,11 @@ impl PairwiseSortMerge {
     ) -> Result<EngineStats<T>, JoinError> {
         let mut stats = EngineStats::<T>::default();
         let query = plan.query();
+        if query.is_projection() {
+            return Err(JoinError::Plan {
+                detail: "projected heads are not supported; every engine emits full joins".into(),
+            });
+        }
 
         let fetch = |name: &str, arity: usize| -> Result<Vec<Vec<Value>>, JoinError> {
             let rel = catalog
@@ -162,16 +168,18 @@ impl PairwiseSortMerge {
             })
             .collect();
         let mut emit = vec![0; head_pos.len()];
+        let mut emitter = BatchEmitter::new(head_pos.len());
         for row in &acc.rows {
             for (slot, &pos) in head_pos.iter().enumerate() {
                 emit[slot] = row[pos];
             }
-            sink.push(&emit);
+            emitter.push(&emit, sink);
             stats.results += 1;
             stats
                 .access
                 .record(AccessKind::ResultWrite, emit.len() as u64 * WORD_BYTES);
         }
+        emitter.flush(sink);
         Ok(stats)
     }
 }

@@ -35,6 +35,13 @@ pub struct EngineStats<T: Tally = Counting> {
     /// searches, or per-level intersection calls for Generic Join, or
     /// probe operations for hash joins).
     pub match_ops: u64,
+    /// Root-range shards executed (parallel engines; 1 when an engine ran
+    /// its sequential fast path, 0 for the inherently sequential engines).
+    pub shards: u64,
+    /// Shards obtained by work stealing — a sibling worker's queue ran dry
+    /// and took the shard — rather than from the owning worker's queue
+    /// (parallel engines only).
+    pub steals: u64,
     /// Simulated memory touches, reported through the [`Tally`].
     pub access: T,
 }
@@ -84,6 +91,8 @@ impl<T: Tally> EngineStats<T> {
         self.lub_ops += other.lub_ops;
         self.expand_ops += other.expand_ops;
         self.match_ops += other.match_ops;
+        self.shards += other.shards;
+        self.steals += other.steals;
         Tally::merge(&mut self.access, &other.access);
     }
 }

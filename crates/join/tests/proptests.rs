@@ -56,7 +56,7 @@ fn enumerate(
     if var == q.num_vars() {
         let ok = q.atoms().iter().all(|a| {
             let want: Vec<Value> = a.vars().iter().map(|&v| binding[v]).collect();
-            tuples[a.relation()].iter().any(|t| *t == want.as_slice())
+            tuples[a.relation()].contains(&want.as_slice())
         });
         if ok {
             // Head order == variable id order by construction.

@@ -171,6 +171,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op, clippy::identity_op)] // line_index * 64 reads as an address
     fn lru_evicts_oldest() {
         let mut c = tiny();
         // Set 0 holds lines 0, 2, 4 (line index even -> set 0).
@@ -183,6 +184,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op, clippy::identity_op)] // line_index * 64 reads as an address
     fn sets_are_independent() {
         let mut c = tiny();
         c.access(0 * 64); // set 0

@@ -89,6 +89,12 @@ impl Query {
         &self.head
     }
 
+    /// `true` when the head projects away at least one body variable
+    /// (only constructible through [`QueryBuilder::build_projected`]).
+    pub fn is_projection(&self) -> bool {
+        self.head.len() < self.var_names.len()
+    }
+
     /// Body atoms in declaration order.
     pub fn atoms(&self) -> &[Atom] {
         &self.atoms
@@ -180,6 +186,29 @@ impl QueryBuilder {
     /// Returns [`QueryError::NoAtoms`], [`QueryError::DuplicateVarInAtom`],
     /// or [`QueryError::HeadBodyMismatch`] on invalid input.
     pub fn build(self) -> Result<Query, QueryError> {
+        self.build_inner(false)
+    }
+
+    /// Validates and constructs the [`Query`], allowing the head to
+    /// *project*: body variables may be absent from the head.
+    ///
+    /// The paper's evaluation queries are all full joins, and the join
+    /// engines do not implement projection — they reject such plans
+    /// gracefully with a plan error instead of executing them. This
+    /// constructor exists so harness code can express the query and get
+    /// that graceful error (rather than the builder refusing the query
+    /// outright, or an engine panicking mid-execution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::NoAtoms`], [`QueryError::DuplicateVarInAtom`],
+    /// or [`QueryError::HeadBodyMismatch`] (duplicate head variable, or a
+    /// head variable that appears in no body atom).
+    pub fn build_projected(self) -> Result<Query, QueryError> {
+        self.build_inner(true)
+    }
+
+    fn build_inner(self, allow_projection: bool) -> Result<Query, QueryError> {
         if self.atoms.is_empty() {
             return Err(QueryError::NoAtoms);
         }
@@ -215,7 +244,8 @@ impl QueryBuilder {
                 vars: ids,
             });
         }
-        // Full join: head must cover exactly the body variables.
+        // Duplicate head variables are never allowed; a full join must
+        // additionally cover exactly the body variables.
         let mut seen_in_head = vec![false; var_names.len()];
         for &h in &head {
             if seen_in_head[h] {
@@ -223,7 +253,14 @@ impl QueryBuilder {
             }
             seen_in_head[h] = true;
         }
-        if seen_in_head.iter().any(|&s| !s) || head.len() != var_names.len() {
+        if allow_projection {
+            // Every head variable must still be bound by some atom.
+            for &h in &head {
+                if !atoms.iter().any(|a| a.vars.contains(&h)) {
+                    return Err(QueryError::HeadBodyMismatch);
+                }
+            }
+        } else if seen_in_head.iter().any(|&s| !s) || head.len() != var_names.len() {
             return Err(QueryError::HeadBodyMismatch);
         }
         Ok(Query {
@@ -238,6 +275,53 @@ impl QueryBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn build_projected_allows_a_strict_head_subset() {
+        let q = Query::builder("pairs")
+            .head(["x", "z"])
+            .atom("G", ["x", "y"])
+            .atom("G", ["y", "z"])
+            .build_projected()
+            .unwrap();
+        assert!(q.is_projection());
+        assert_eq!(q.head(), &[0, 1]);
+        assert_eq!(q.num_vars(), 3);
+        // The same query is rejected by the full-join builder.
+        let err = Query::builder("pairs")
+            .head(["x", "z"])
+            .atom("G", ["x", "y"])
+            .atom("G", ["y", "z"])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, QueryError::HeadBodyMismatch);
+    }
+
+    #[test]
+    fn build_projected_still_rejects_bad_heads() {
+        // Duplicate head variable.
+        assert!(Query::builder("q")
+            .head(["x", "x"])
+            .atom("G", ["x", "y"])
+            .build_projected()
+            .is_err());
+        // Head variable bound by no atom.
+        assert!(Query::builder("q")
+            .head(["w"])
+            .atom("G", ["x", "y"])
+            .build_projected()
+            .is_err());
+    }
+
+    #[test]
+    fn full_queries_are_not_projections() {
+        let q = Query::builder("q")
+            .head(["x", "y"])
+            .atom("G", ["x", "y"])
+            .build()
+            .unwrap();
+        assert!(!q.is_projection());
+    }
 
     fn path3() -> Query {
         Query::builder("path3")

@@ -112,12 +112,24 @@ impl CompiledQuery {
     /// Compiles `query` using its head order as the variable order (the
     /// order used throughout the paper's evaluation).
     ///
+    /// For a projected query (see
+    /// [`crate::QueryBuilder::build_projected`]) the non-head variables
+    /// are appended to the order after the head, so the plan itself is
+    /// well-formed; engines that cannot emit projected results reject it
+    /// at execution time.
+    ///
     /// # Errors
     ///
     /// Propagates [`QueryError::BadVariableOrder`] (impossible from this
     /// entry point) — see [`CompiledQuery::compile_with_order`].
     pub fn compile(query: &Query) -> Result<CompiledQuery, QueryError> {
-        CompiledQuery::compile_with_order(query, query.head().to_vec())
+        let mut order = query.head().to_vec();
+        for v in 0..query.num_vars() {
+            if !order.contains(&v) {
+                order.push(v);
+            }
+        }
+        CompiledQuery::compile_with_order(query, order)
     }
 
     /// Compiles `query` with an explicit variable order.
@@ -254,6 +266,42 @@ impl CompiledQuery {
         self.cache_at_depth[depth].map(|i| &self.cache_specs[i])
     }
 
+    /// Upper-bound estimate of the root variable's domain size, given a
+    /// way to look up relation cardinalities (typically
+    /// `|name| catalog.get(name).map(Relation::len)`).
+    ///
+    /// Every depth-0 participant's root level holds at most as many
+    /// distinct values as its relation holds tuples, so the minimum over
+    /// the participants bounds the domain the parallel engines shard.
+    /// Returns `None` when no participating relation's cardinality is
+    /// known.
+    pub fn root_domain_estimate<F>(&self, cardinality: F) -> Option<usize>
+    where
+        F: Fn(&str) -> Option<usize>,
+    {
+        self.atoms_at(0)
+            .iter()
+            .filter_map(|&(a, _)| cardinality(self.atom_plans[a].relation()))
+            .min()
+    }
+
+    /// Suggested number of root-range shards for a parallel run over
+    /// `workers` workers, given the (estimated or exact) root-domain size.
+    ///
+    /// The plan overshards by 4x so the work-stealing pool can rebalance a
+    /// skewed root domain — a shard that turns out to carry the heavy
+    /// hitters is one unit of work among many, not a worker's whole static
+    /// partition (paper §3.4's dynamic spawn-on-match is the model).
+    /// Clamped to the domain size; degenerate domains and single-worker
+    /// pools get one shard (the sequential fast path).
+    pub fn shard_granularity(&self, root_domain: usize, workers: usize) -> usize {
+        const OVERSHARD: usize = 4;
+        if workers <= 1 || root_domain <= 1 {
+            return 1;
+        }
+        workers.saturating_mul(OVERSHARD).min(root_domain)
+    }
+
     /// Human-readable plan summary (variable order plus cache specs).
     pub fn describe(&self) -> String {
         use std::fmt::Write as _;
@@ -381,6 +429,60 @@ mod tests {
         let d = plan.describe();
         assert!(d.contains("x -> y -> z"));
         assert!(d.contains("cache z keyed by {y}"));
+    }
+
+    #[test]
+    fn projected_query_compiles_with_non_head_vars_appended() {
+        use crate::Query;
+        let q = Query::builder("pairs")
+            .head(["x", "z"])
+            .atom("G", ["x", "y"])
+            .atom("G", ["y", "z"])
+            .build_projected()
+            .unwrap();
+        assert!(q.is_projection());
+        let plan = CompiledQuery::compile(&q).unwrap();
+        // Order is head (x, z) then the projected-away y.
+        assert_eq!(plan.arity(), 3);
+        assert_eq!(plan.order().len(), 3);
+        assert_eq!(&plan.order()[..2], q.head());
+    }
+
+    #[test]
+    fn root_domain_estimate_takes_the_smallest_participant() {
+        use std::collections::HashMap;
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        // Every atom scans G; estimate = |G|.
+        let cards = HashMap::from([("G".to_string(), 42usize)]);
+        let est = plan.root_domain_estimate(|n| cards.get(n).copied());
+        assert_eq!(est, Some(42));
+        assert_eq!(plan.root_domain_estimate(|_| None), None);
+
+        // Two-relation query: only depth-0 participants count.
+        let q = crate::Query::builder("two")
+            .head(["x", "y", "z"])
+            .atom("R", ["x", "y"])
+            .atom("S", ["y", "z"])
+            .build()
+            .unwrap();
+        let plan = CompiledQuery::compile(&q).unwrap();
+        let cards = HashMap::from([("R".to_string(), 10usize), ("S".to_string(), 3usize)]);
+        // Depth 0 binds x: only R participates, so S's smaller cardinality
+        // must not leak into the estimate.
+        assert_eq!(
+            plan.root_domain_estimate(|n| cards.get(n).copied()),
+            Some(10)
+        );
+    }
+
+    #[test]
+    fn shard_granularity_overshards_and_clamps() {
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        assert_eq!(plan.shard_granularity(1000, 4), 16, "4x oversharding");
+        assert_eq!(plan.shard_granularity(10, 4), 10, "clamped to the domain");
+        assert_eq!(plan.shard_granularity(1000, 1), 1, "one worker: sequential");
+        assert_eq!(plan.shard_granularity(0, 8), 1);
+        assert_eq!(plan.shard_granularity(1, 8), 1);
     }
 
     #[test]

@@ -19,10 +19,8 @@ fn arb_query() -> impl Strategy<Value = Query> {
                 used[b] = true;
             }
             let mut atoms = atoms;
-            for v in 0..nvars {
-                if !used[v] {
-                    atoms.push((v, (v + 1) % nvars));
-                }
+            for (v, _) in used.iter().enumerate().filter(|(_, u)| !**u) {
+                atoms.push((v, (v + 1) % nvars));
             }
             let mut builder = Query::builder("q").head(names.clone());
             for (a, b) in atoms {

@@ -212,12 +212,12 @@ mod tests {
         }
         let mut counting = Counting::default();
         drive(&mut counting);
-        assert!(Counting::ENABLED);
+        const { assert!(Counting::ENABLED) };
         assert_eq!(counting.snapshot().total_bytes(), 12);
 
         let mut fast = NoTally;
         drive(&mut fast);
-        assert!(!NoTally::ENABLED);
+        const { assert!(!NoTally::ENABLED) };
         assert_eq!(fast.snapshot(), AccessCounter::default());
 
         let mut merged = NoTally;

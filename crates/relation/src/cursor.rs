@@ -143,6 +143,82 @@ impl<'a> TrieCursor<'a> {
         true
     }
 
+    /// Descends to the root level restricted to values in `[min, sup)`
+    /// (`sup = None` means unbounded above), reading the bounding child
+    /// range and locating the bounds by counted binary search.
+    ///
+    /// This is the shard-entry operation of the parallel engines: each
+    /// root-range shard opens every participating trie's root level
+    /// clamped to its slice of the first join variable's domain, so the
+    /// subsequent leapfrog never probes outside the shard.
+    ///
+    /// Returns `false` (leaving the cursor above the root) when no root
+    /// value falls inside the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor is not above the root.
+    pub fn open_root_range<T: Tally>(
+        &mut self,
+        min: Value,
+        sup: Option<Value>,
+        counter: &mut T,
+    ) -> bool {
+        assert!(
+            self.frames.is_empty(),
+            "root range opens from above the root"
+        );
+        let values = self.trie.level(0).values();
+        // An unbounded side needs no probing, so the first shard (min 0)
+        // and the last (sup None) pay only for the bound they actually
+        // have — and a fully unbounded "range" costs the same as `open`.
+        let lo = if min == 0 {
+            0
+        } else {
+            lower_bound(values, 0, values.len(), min, counter)
+        };
+        let hi = match sup {
+            Some(s) => lower_bound(values, lo, values.len(), s, counter),
+            None => values.len(),
+        };
+        if lo >= hi {
+            return false;
+        }
+        // Fetch the first in-range value.
+        counter.record(AccessKind::IndexRead, WORD_BYTES);
+        self.frames.push(Frame { lo, hi, pos: lo });
+        true
+    }
+
+    /// Clones this cursor with the root level opened and restricted to
+    /// values in `[min, sup)`, or `None` when the range holds no root
+    /// value.
+    ///
+    /// Shard-handoff convenience over
+    /// [`open_root_range`](Self::open_root_range) for callers that keep a
+    /// prototype cursor per trie and want a positioned, range-clamped
+    /// clone per shard (the in-tree engine drivers construct their own
+    /// cursors and clamp them with `open_root_range` directly). The
+    /// bounding binary searches are untallied — handoff is scheduling
+    /// work, not simulated memory traffic; a shard's own accesses are
+    /// counted when its driver opens the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor is not above the root.
+    pub fn clone_at_root_range(&self, min: Value, sup: Option<Value>) -> Option<TrieCursor<'a>> {
+        assert!(
+            self.frames.is_empty(),
+            "root range clones from above the root"
+        );
+        let mut clone = TrieCursor::new(self.trie);
+        if clone.open_root_range(min, sup, &mut crate::NoTally) {
+            Some(clone)
+        } else {
+            None
+        }
+    }
+
     /// Ascends one level.
     ///
     /// # Panics
@@ -249,6 +325,27 @@ impl<'a> TrieCursor<'a> {
     }
 }
 
+/// First index in `values[lo..hi]` whose value is `>= v` (counting one
+/// probe per midpoint read, like [`TrieCursor::seek`]).
+fn lower_bound<T: Tally>(
+    values: &[Value],
+    mut lo: usize,
+    mut hi: usize,
+    v: Value,
+    counter: &mut T,
+) -> usize {
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        counter.record(AccessKind::IndexRead, WORD_BYTES);
+        if values[mid] < v {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,7 +402,7 @@ mod tests {
         assert_eq!(cur.key(), 3);
         assert!(cur.seek(3, &mut c), "seek to the current key stays put");
         assert_eq!(cur.key(), 3);
-        assert!(cur.seek(8, &mut c) == false);
+        assert!(!cur.seek(8, &mut c));
         assert!(cur.at_end());
     }
 
@@ -355,6 +452,68 @@ mod tests {
         let mut c = AccessCounter::default();
         assert!(!cur.open(&mut c));
         assert_eq!(cur.depth(), 0);
+    }
+
+    #[test]
+    fn open_root_range_clamps_both_bounds() {
+        // Root level: [1, 3, 7].
+        let t = trie();
+        let mut cur = TrieCursor::new(&t);
+        let mut c = AccessCounter::default();
+        assert!(cur.open_root_range(2, Some(7), &mut c));
+        assert_eq!(cur.key(), 3);
+        let (lo, hi) = cur.sibling_range();
+        assert_eq!(hi - lo, 1, "only 3 lies in [2, 7)");
+        assert!(!cur.next(&mut c));
+        cur.up();
+        // Unbounded above: [3, inf) holds 3 and 7.
+        assert!(cur.open_root_range(3, None, &mut c));
+        assert_eq!(cur.key(), 3);
+        assert!(cur.next(&mut c));
+        assert_eq!(cur.key(), 7);
+        assert!(c.index_reads > 0, "range probes are counted");
+    }
+
+    #[test]
+    fn open_root_range_rejects_empty_ranges() {
+        let t = trie();
+        let mut cur = TrieCursor::new(&t);
+        let mut c = AccessCounter::default();
+        assert!(!cur.open_root_range(4, Some(7), &mut c));
+        assert_eq!(cur.depth(), 0, "cursor stays above the root");
+        assert!(!cur.open_root_range(8, None, &mut c));
+        assert!(
+            cur.open_root_range(0, None, &mut c),
+            "full range still opens"
+        );
+        assert_eq!(cur.key(), 1);
+    }
+
+    #[test]
+    fn clone_at_root_range_hands_off_a_positioned_cursor() {
+        let t = trie();
+        let proto = TrieCursor::new(&t);
+        let mut shard = proto
+            .clone_at_root_range(3, Some(8))
+            .expect("range holds 3 and 7");
+        assert_eq!(shard.depth(), 1);
+        assert_eq!(shard.key(), 3);
+        let mut c = AccessCounter::default();
+        assert!(shard.next(&mut c));
+        assert_eq!(shard.key(), 7);
+        assert!(proto.clone_at_root_range(4, Some(7)).is_none());
+        // The prototype itself is untouched (still above the root).
+        assert_eq!(proto.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "above the root")]
+    fn open_root_range_below_root_panics() {
+        let t = trie();
+        let mut cur = TrieCursor::new(&t);
+        let mut c = AccessCounter::default();
+        cur.open(&mut c);
+        cur.open_root_range(0, None, &mut c);
     }
 
     #[test]
