@@ -16,7 +16,13 @@
 //! always write and exit 0 — e.g. to rebase the artifact).
 //!
 //! Usage: `bench_joins [--scale tiny|mini|full] [--dataset <label>]
-//! [--runs N] [--pool N] [--out PATH] [--no-gate]`
+//! [--runs N] [--pool N] [--cache-cap N] [--out PATH] [--no-gate]`
+//!
+//! `--cache-cap N` bounds the `parctj` rows' shared PJR cache to `N`
+//! total entries (per-stripe FIFO eviction; `0` disables caching), so
+//! the eviction-churn path can be benchmarked and gated like any other
+//! configuration. Artifacts record the capacity, and medians are only
+//! compared between identical configurations.
 
 use std::time::Instant;
 
@@ -93,12 +99,22 @@ fn field_num(line: &str, key: &str) -> Option<u128> {
 
 /// The benchmark configuration recorded in (or computed for) one artifact;
 /// medians are only comparable between identical configurations.
-fn config_signature(text: &str) -> (Option<String>, Option<String>, Option<u128>, Option<u128>) {
+#[allow(clippy::type_complexity)]
+fn config_signature(
+    text: &str,
+) -> (
+    Option<String>,
+    Option<String>,
+    Option<u128>,
+    Option<u128>,
+    Option<u128>,
+) {
     (
         field_str(text, "dataset"),
         field_str(text, "scale"),
         field_num(text, "runs"),
         field_num(text, "pool"),
+        field_num(text, "cache_cap"),
     )
 }
 
@@ -108,6 +124,7 @@ fn main() {
     let mut dataset = Dataset::GrQc;
     let mut runs = 7usize;
     let mut pool: Option<usize> = None;
+    let mut cache_cap: Option<usize> = None;
     let mut gate = true;
     let mut out_path = String::from("BENCH_joins.json");
     let mut i = 0;
@@ -138,6 +155,10 @@ fn main() {
                 assert!(n > 0, "--pool must be at least 1");
                 pool = Some(n);
             }
+            "--cache-cap" => {
+                i += 1;
+                cache_cap = Some(args[i].parse().expect("--cache-cap takes a number"));
+            }
             "--no-gate" => gate = false,
             "--out" => {
                 i += 1;
@@ -148,10 +169,24 @@ fn main() {
         i += 1;
     }
 
+    // Without --cache-cap the engines would read TRIEJAX_CACHE_CAP on
+    // their own; resolve it up front (through the engine's own
+    // resolution, so the rules can never drift) and pin it explicitly,
+    // so the measured capacity is always the recorded one — otherwise an
+    // env-capped run would signature-match (and gate against) uncapped
+    // baselines.
+    let cache_cap = cache_cap.or_else(|| ParCtj::new().effective_config().max_entries);
+
     let mut catalog = Catalog::new();
     catalog.insert("G", dataset.generate(scale).edge_relation());
     let par_lftj = || pool.map_or_else(ParLftj::new, ParLftj::with_pool);
-    let par_ctj = || pool.map_or_else(ParCtj::new, ParCtj::with_pool);
+    let par_ctj = || {
+        let engine = pool.map_or_else(ParCtj::new, ParCtj::with_pool);
+        match cache_cap {
+            Some(cap) => engine.cache_capacity(cap),
+            None => engine,
+        }
+    };
 
     let mut measurements: Vec<Measurement> = Vec::new();
     for pattern in [Pattern::Cycle3, Pattern::Cycle4] {
@@ -267,12 +302,13 @@ fn main() {
         Some(scale.label().to_string()),
         Some(runs as u128),
         pool.map(|n| n as u128),
+        cache_cap.map(|n| n as u128),
     );
     let previous = if previous_text.is_empty() {
         Vec::new()
     } else if config_signature(&previous_text) != current_sig {
         println!(
-            "previous {out_path} used a different dataset/scale/runs/pool \
+            "previous {out_path} used a different dataset/scale/runs/pool/cache-cap \
              configuration: skipping the regression gate"
         );
         Vec::new()
@@ -354,6 +390,11 @@ fn main() {
     match pool {
         Some(n) => json.push_str(&format!("  \"pool\": {n},\n")),
         None => json.push_str("  \"pool\": null,\n"),
+    }
+    // Written only when set so artifacts from before the knob existed
+    // (no "cache_cap" field) still signature-match uncapped runs.
+    if let Some(n) = cache_cap {
+        json.push_str(&format!("  \"cache_cap\": {n},\n"));
     }
     json.push_str("  \"measurements\": [\n");
     for (i, m) in measurements.iter().enumerate() {

@@ -21,6 +21,13 @@
 //!   forwards them downstream in shard order as soon as every earlier
 //!   shard has caught up. Memory is bounded by the out-of-order tail, not
 //!   by the result set.
+//! * [`Striped`] — lock-striped shared state, the primitive behind
+//!   runtime structures *shared by* all workers (TrieJax's on-chip PJR
+//!   cache is shared by every lane; its software analogue, the shared
+//!   partial-join-result cache of `triejax_join::ParCtj`, stripes its
+//!   entries over these lanes). Stripe selection is hash-determined so
+//!   every worker finds its siblings' entries; [`suggested_stripes`]
+//!   overshards relative to the worker count to keep collisions rare.
 //!
 //! The pool is deliberately engine-agnostic — it schedules opaque tasks
 //! and knows nothing about tries or tuples — so LFTJ, CTJ and any future
@@ -61,6 +68,8 @@
 
 mod merge;
 mod pool;
+mod striped;
 
 pub use merge::OrderedMerge;
 pub use pool::{PoolStats, WorkerCtx, WorkerPool};
+pub use striped::{suggested_stripes, Striped};

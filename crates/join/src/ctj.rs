@@ -1,9 +1,7 @@
-use std::collections::HashMap;
-use std::sync::Arc;
-
 use triejax_query::CompiledQuery;
 use triejax_relation::{AccessKind, Counting, Tally, TrieCursor, Value, WORD_BYTES};
 
+use crate::cache::{LocalPjr, Looked, PjrStore};
 use crate::engine::head_slots;
 use crate::sink::BatchEmitter;
 use crate::{Catalog, EngineStats, JoinEngine, JoinError, Leapfrog, ResultSink, TrieSet};
@@ -19,7 +17,10 @@ pub struct CtjConfig {
     /// this while being filled is discarded, mirroring the hardware
     /// insertion-buffer overflow rule (paper §3.5).
     pub entry_capacity: Option<usize>,
-    /// Maximum number of live cache entries; further insertions are dropped.
+    /// Maximum number of live cache entries. For sequential [`Ctj`] this
+    /// bounds the worker-local store, which *drops* further insertions;
+    /// for [`crate::ParCtj`] it is the total capacity of the shared
+    /// sharded cache, which *evicts* (FIFO per stripe) to stay within it.
     pub max_entries: Option<usize>,
 }
 
@@ -106,20 +107,18 @@ impl JoinEngine for Ctj {
     }
 }
 
-/// A committed cache entry: matched values and their per-participant trie
-/// indexes (atoms in `atoms_at(depth)` order). `Arc` (not `Rc`) so a
-/// per-worker driver — and its cache — can be handed to a pool worker.
-type Entry = Arc<Vec<(Value, Vec<u32>)>>;
-
 /// The CTJ backtracking driver, shared by the sequential [`Ctj`] engine
-/// and the per-worker state of [`crate::ParCtj`].
+/// and the per-worker drivers of [`crate::ParCtj`], generic over the
+/// [`PjrStore`] that holds (and accounts for) the partial-join-result
+/// cache: sequential CTJ owns a [`LocalPjr`], while every `ParCtj` worker
+/// drives a handle onto one [`crate::cache::SharedPjrCache`].
 ///
 /// Cache entries are keyed by `(depth, key bindings)` only — never by the
-/// root range — which is sound because a valid [`triejax_query::CacheSpec`]
-/// guarantees the memoized match list depends on nothing but the key
-/// bindings. A worker that keeps its driver across shards therefore reuses
-/// partial-join results *across root ranges*.
-pub(crate) struct CtjDriver<'a, T: Tally> {
+/// root range or the executing worker — which is sound because a valid
+/// [`triejax_query::CacheSpec`] guarantees the memoized match list depends
+/// on nothing but the key bindings. Partial-join results therefore replay
+/// *across root ranges* (and, with the shared store, across workers).
+pub(crate) struct CtjDriver<'a, T: Tally, C: PjrStore = LocalPjr> {
     plan: &'a CompiledQuery,
     config: CtjConfig,
     cursors: Vec<TrieCursor<'a>>,
@@ -130,17 +129,31 @@ pub(crate) struct CtjDriver<'a, T: Tally> {
     /// Per depth: participating cursor indices, preallocated once so the
     /// recursive driver never allocates per node.
     members_at: Vec<Vec<usize>>,
-    cache: HashMap<(usize, Vec<Value>), Entry>,
+    cache: C,
     root_min: Value,
     root_sup: Option<Value>,
     pub(crate) stats: EngineStats<T>,
 }
 
 impl<'a, T: Tally> CtjDriver<'a, T> {
+    /// Driver with a worker-local store (sequential CTJ semantics).
     pub(crate) fn new(
         plan: &'a CompiledQuery,
         tries: &'a TrieSet,
         config: CtjConfig,
+    ) -> Result<Self, JoinError> {
+        Self::with_store(plan, tries, config, LocalPjr::new(config))
+    }
+}
+
+impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
+    /// Driver emitting into `cache` — any [`PjrStore`], in particular one
+    /// worker's handle onto the shared sharded cache.
+    pub(crate) fn with_store(
+        plan: &'a CompiledQuery,
+        tries: &'a TrieSet,
+        config: CtjConfig,
+        cache: C,
     ) -> Result<Self, JoinError> {
         let cursors = (0..plan.atom_plans().len())
             .map(|i| TrieCursor::new(tries.for_atom(i)))
@@ -158,7 +171,7 @@ impl<'a, T: Tally> CtjDriver<'a, T> {
             slots: head_slots(plan)?,
             emitter: BatchEmitter::new(n),
             members_at,
-            cache: HashMap::new(),
+            cache,
             root_min: 0,
             root_sup: None,
             stats: EngineStats::default(),
@@ -210,18 +223,19 @@ impl<'a, T: Tally> CtjDriver<'a, T> {
                     .iter()
                     .map(|&kd| self.binding[kd])
                     .collect();
-                // Cache lookup: hash probe over the key words.
+                // Cache lookup: hash probe over the key words. The store
+                // accounts the hit/miss and, on a miss, hands the key
+                // back for the publish once the level completes.
                 self.stats
                     .access
                     .record(AccessKind::Intermediate, key.len() as u64 * WORD_BYTES);
-                if let Some(entry) = self.cache.get(&(d, key.clone())) {
-                    let entry = Arc::clone(entry);
-                    self.stats.cache_hits += 1;
-                    self.replay(d, &entry, sink);
-                    return;
+                match self.cache.lookup(d, key, &mut self.stats) {
+                    Looked::Hit(entry) => {
+                        self.replay(d, &entry, sink);
+                        return;
+                    }
+                    Looked::Miss(key, token) => Some((key, token)),
                 }
-                self.stats.cache_misses += 1;
-                Some(key)
             }
             None => None,
         };
@@ -256,7 +270,12 @@ impl<'a, T: Tally> CtjDriver<'a, T> {
 
     /// Standard leapfrog execution at depth `d`, optionally recording the
     /// matches for insertion into the cache once the level completes.
-    fn compute(&mut self, d: usize, record_key: Option<Vec<Value>>, sink: &mut dyn ResultSink) {
+    fn compute(
+        &mut self,
+        d: usize,
+        record_key: Option<(Vec<Value>, u64)>,
+        sink: &mut dyn ResultSink,
+    ) {
         // Open level d on every participant (clamped to the root range at
         // depth 0, so shards never leapfrog outside their slice).
         let parts = self.plan.atoms_at(d);
@@ -313,22 +332,11 @@ impl<'a, T: Tally> CtjDriver<'a, T> {
             self.cursors[a].up();
         }
 
-        // The level is fully analyzed: commit the entry (paper §3.5).
-        if let (Some(key), Some(p)) = (record_key, pending) {
-            if self
-                .config
-                .max_entries
-                .is_some_and(|max| self.cache.len() >= max)
-            {
-                self.stats.cache_overflows += 1;
-            } else {
-                let words: u64 = p.iter().map(|(_, pos)| (1 + pos.len()) as u64).sum();
-                self.stats.intermediates += p.len() as u64;
-                self.stats
-                    .access
-                    .record(AccessKind::Intermediate, words * WORD_BYTES);
-                self.cache.insert((d, key), Arc::new(p));
-            }
+        // The level is fully analyzed: commit the entry (paper §3.5). The
+        // store applies its capacity policy (drop / evict / lose an
+        // insert race) and the matching accounting.
+        if let (Some((key, token)), Some(p)) = (record_key, pending) {
+            self.cache.publish(d, key, token, p, &mut self.stats);
         }
     }
 }

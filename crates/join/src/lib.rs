@@ -20,8 +20,11 @@
 //!   worker pool (the software analogue of TrieJax's dynamic
 //!   spawn-on-match multithreading, paper §3.4), and emitted through
 //!   batched [`ShardSink`]s into an order-preserving merge. `ParCtj`
-//!   keeps one partial-join-result cache per worker, persisted across the
-//!   shards that worker executes and merged into the stats at shard join.
+//!   shares **one sharded partial-join-result cache across all workers**
+//!   (lock-striped, bounded with per-stripe FIFO eviction,
+//!   first-writer-wins insert races) — the software analogue of the
+//!   on-chip PJR cache every TrieJax lane shares, and the reason its hit
+//!   counts match sequential CTJ's instead of being capped below them.
 //!
 //! Engines count their work in [`EngineStats`] (operation counts, memory
 //! touches, intermediate results, cache hits, shard/steal scheduling
@@ -56,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod catalog;
 mod ctj;
 mod engine;

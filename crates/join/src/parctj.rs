@@ -4,32 +4,47 @@ use std::sync::Mutex;
 use triejax_query::CompiledQuery;
 use triejax_relation::{Counting, Tally};
 
+use crate::cache::{SharedPjrCache, SharedPjrHandle};
 use crate::ctj::CtjDriver;
 use crate::engine::head_slots;
 use crate::shard::{execute_sharded, make_pool, plan_shards};
 use crate::{Catalog, CtjConfig, EngineStats, JoinEngine, JoinError, ResultSink, TrieSet};
 
+/// Name of the environment variable supplying the default shared-cache
+/// capacity (total entries; `0` disables caching) for engines that were
+/// not given an explicit [`CtjConfig`]. CI uses it (together with
+/// `TRIEJAX_POOL`) to force the eviction and contention paths through the
+/// whole test suite.
+pub(crate) const CACHE_CAP_ENV: &str = "TRIEJAX_CACHE_CAP";
+
 /// Parallel Cached TrieJoin: root-partitioned CTJ on the shared
-/// [`triejax_exec::WorkerPool`] runtime, with one partial-join-result cache per worker.
+/// [`triejax_exec::WorkerPool`] runtime, with **one partial-join-result
+/// cache shared by all workers** — the software analogue of the paper's
+/// on-chip PJR cache, which every TrieJax lane reads and writes (§3.5).
 ///
 /// "Flexible Caching in Trie Joins" (Kalinsky et al.) shows the PJR cache
-/// is what makes CTJ competitive, so the parallel engine keeps it: every
-/// worker owns a private cache that *persists across the root-range
-/// shards it executes*. Cross-shard reuse is sound because cache entries
-/// are keyed by the spec's key bindings only — a valid
+/// is what makes CTJ competitive, and sharing it is where the speedup
+/// lives: entries are keyed by the spec's key bindings only — a valid
 /// [`triejax_query::CacheSpec`] guarantees the memoized match list
-/// depends on nothing else — so a sub-join cached while working one root
-/// range replays for every later range the worker picks up. At shard
-/// join the per-worker caches' hit/miss/overflow counters are merged into
-/// the returned [`EngineStats`] (total hits are at most sequential
-/// [`crate::Ctj`]'s, since workers do not share entries).
+/// depends on nothing else — so an entry built by *any* worker in *any*
+/// root range replays for every other worker and range. (The per-worker
+/// caches this design replaced structurally capped hits below sequential
+/// [`crate::Ctj`]'s; the shared cache restores them — a property the
+/// conformance suite asserts.) The cache is lock-striped
+/// ([`triejax_exec::Striped`]) with hash-determined stripe selection,
+/// bounded by [`CtjConfig::max_entries`] as a *total* capacity with
+/// per-stripe FIFO eviction, and insert races resolve first-writer-wins
+/// with race-deduped miss accounting (`EngineStats::{cache_evictions,
+/// cache_races, cache_contention}` report the churn).
+///
+/// Engines without an explicit config read the default capacity from the
+/// `TRIEJAX_CACHE_CAP` environment variable (unset = unbounded).
 ///
 /// Scheduling and emission are exactly [`crate::ParLftj`]'s: plan-seeded
 /// root-range shards on the work-stealing pool, [`crate::ShardSink`]
 /// batches through an order-preserving [`triejax_exec::OrderedMerge`].
-/// The merged stream is
-/// tuple-for-tuple identical to sequential [`crate::Ctj`] (and
-/// [`crate::Lftj`]) — same tuples, same order.
+/// The merged stream is tuple-for-tuple identical to sequential
+/// [`crate::Ctj`] (and [`crate::Lftj`]) — same tuples, same order.
 ///
 /// # Example
 ///
@@ -55,12 +70,15 @@ pub struct ParCtj {
     workers: Option<NonZeroUsize>,
     /// Explicit shard count; `None` = seeded from the plan.
     granularity: Option<NonZeroUsize>,
-    config: CtjConfig,
+    /// Explicit cache configuration; `None` = unbounded entries with the
+    /// shared capacity taken from `TRIEJAX_CACHE_CAP` (if set).
+    config: Option<CtjConfig>,
 }
 
 impl ParCtj {
-    /// Engine with the default pool size, plan-seeded granularity and an
-    /// unbounded cache; identical to `Default::default()`.
+    /// Engine with the default pool size, plan-seeded granularity and the
+    /// default cache capacity (`TRIEJAX_CACHE_CAP` or unbounded);
+    /// identical to `Default::default()`.
     pub fn new() -> Self {
         Self::default()
     }
@@ -74,22 +92,35 @@ impl ParCtj {
         ParCtj {
             workers: Some(NonZeroUsize::new(workers).expect("workers must be positive")),
             granularity: None,
-            config: CtjConfig::default(),
+            config: None,
         }
     }
 
-    /// Engine with an explicit per-worker cache configuration.
+    /// Engine with an explicit cache configuration
+    /// ([`CtjConfig::max_entries`] is the shared cache's *total*
+    /// capacity). An explicit config — even the default unbounded one —
+    /// overrides `TRIEJAX_CACHE_CAP`.
     pub fn with_config(config: CtjConfig) -> Self {
         ParCtj {
             workers: None,
             granularity: None,
-            config,
+            config: Some(config),
         }
     }
 
-    /// Sets the cache configuration, keeping the scheduling knobs.
+    /// Sets the cache configuration, keeping the scheduling knobs; see
+    /// [`with_config`](Self::with_config).
     pub fn config(mut self, config: CtjConfig) -> Self {
-        self.config = config;
+        self.config = Some(config);
+        self
+    }
+
+    /// Sets the shared cache's total entry capacity (`0` disables
+    /// caching), keeping the rest of the configuration.
+    pub fn cache_capacity(mut self, entries: usize) -> Self {
+        let mut config = self.config.unwrap_or_default();
+        config.max_entries = Some(entries);
+        self.config = Some(config);
         self
     }
 
@@ -112,6 +143,23 @@ impl ParCtj {
     /// The configured shard count, or `None` for plan-seeded.
     pub fn granularity(&self) -> Option<usize> {
         self.granularity.map(NonZeroUsize::get)
+    }
+
+    /// The cache configuration this run will use: the explicit one if
+    /// set, otherwise unbounded entries with `TRIEJAX_CACHE_CAP` (when
+    /// present in the environment) as the shared capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `TRIEJAX_CACHE_CAP` is consulted and set to anything
+    /// but a non-negative integer — an explicitly configured capacity
+    /// that silently fell back to unbounded would defeat its purpose
+    /// (e.g. CI pinning a tiny capacity to force the eviction paths).
+    pub fn effective_config(&self) -> CtjConfig {
+        self.config.unwrap_or_else(|| CtjConfig {
+            entry_capacity: None,
+            max_entries: env_cache_cap(),
+        })
     }
 
     /// Runs the query with an explicit [`Tally`] choice; see
@@ -137,9 +185,14 @@ impl ParCtj {
             pool.workers(),
             self.granularity.map(NonZeroUsize::get),
         );
+        let config = self.effective_config();
 
         if ranges.len() <= 1 {
-            let mut driver = CtjDriver::<T>::new(plan, &tries, self.config)?;
+            // Single-shard fast path: one driver on a worker-local store
+            // (no stripe locks to pay when nothing is shared). The
+            // capacity then bounds live entries by dropping new inserts
+            // rather than evicting.
+            let mut driver = CtjDriver::<T>::new(plan, &tries, config)?;
             driver.run(sink);
             let mut stats = driver.stats;
             stats.shards = 1;
@@ -149,14 +202,17 @@ impl ParCtj {
         // Validate the emission plan up front so shard workers cannot fail.
         head_slots(plan)?;
         let tries_ref = &tries;
-        let config = self.config;
-        // One lazily-created driver (and thus one PJR cache) per worker,
-        // addressed by `WorkerCtx::worker`; a slot's mutex is only ever
-        // taken by its owning worker during the run.
-        let worker_drivers: Vec<Mutex<Option<CtjDriver<'_, T>>>> =
-            (0..pool.workers().min(ranges.len()))
-                .map(|_| Mutex::new(None))
-                .collect();
+        let workers = pool.workers().min(ranges.len());
+        // One cache shared by every worker, striped for the worker count,
+        // pre-sized from the plan's entry estimate over the catalog.
+        let entries_hint = plan.cache_entries_estimate(|name| catalog.get(name).map(|r| r.len()));
+        let cache = SharedPjrCache::new(workers, config.max_entries, entries_hint);
+        // One lazily-created driver per worker, addressed by
+        // `WorkerCtx::worker`; a slot's mutex is only ever taken by its
+        // owning worker during the run. Each driver holds its own handle
+        // onto the shared cache.
+        let worker_drivers: Vec<Mutex<Option<CtjDriver<'_, T, SharedPjrHandle<'_>>>>> =
+            (0..workers).map(|_| Mutex::new(None)).collect();
         let (_, pool_stats) = execute_sharded(
             &pool,
             &ranges,
@@ -167,7 +223,7 @@ impl ParCtj {
                     .lock()
                     .expect("worker driver poisoned");
                 let driver = slot.get_or_insert_with(|| {
-                    let mut d = CtjDriver::new(plan, tries_ref, config)
+                    let mut d = CtjDriver::with_store(plan, tries_ref, config, cache.handle())
                         .expect("emission plan validated before the parallel phase");
                     d.emit_passthrough(); // the ShardSink already batches
                     d
@@ -176,8 +232,10 @@ impl ParCtj {
             },
         );
 
-        // Shard join: fold every worker's accumulated stats (cache
-        // hit/miss/overflow counters included) into the run total.
+        // Shard join: fold every worker's accumulated stats into the run
+        // total. Cache counters sum cleanly because the shared store
+        // already deduped insert races (a raced build is a late hit plus
+        // a `cache_races` tick, never a second miss).
         let mut stats = EngineStats::<T>::default();
         for slot in worker_drivers {
             if let Some(driver) = slot.into_inner().expect("worker driver poisoned") {
@@ -203,6 +261,22 @@ impl JoinEngine for ParCtj {
     ) -> Result<EngineStats, JoinError> {
         self.run_tallied::<Counting>(plan, catalog, sink)
     }
+}
+
+/// Reads the default shared-cache capacity from `TRIEJAX_CACHE_CAP`.
+/// `None` when the variable is unset or empty; panics on junk (see
+/// [`ParCtj::effective_config`]). `0` is valid and disables caching.
+fn env_cache_cap() -> Option<usize> {
+    let v = std::env::var(CACHE_CAP_ENV).ok()?;
+    if v.trim().is_empty() {
+        // CI matrices pass "" for "no cap"; treat it as unset.
+        return None;
+    }
+    Some(
+        v.trim().parse::<usize>().unwrap_or_else(|_| {
+            panic!("{CACHE_CAP_ENV} must be a non-negative integer, got {v:?}")
+        }),
+    )
 }
 
 #[cfg(test)]
@@ -234,6 +308,19 @@ mod tests {
         for i in 5..40u32 {
             edges.push((i, (i + 1) % 40));
             edges.push((i, (i * 7 + 3) % 40));
+        }
+        edges
+    }
+
+    /// Hub graph: many x-parents funnel into one shared y, so caching
+    /// pays off and hit counts are exactly predictable.
+    fn hub_edges() -> Vec<(u32, u32)> {
+        let mut edges = Vec::new();
+        for x in 0..30u32 {
+            edges.push((x, 100));
+        }
+        for z in 200..220u32 {
+            edges.push((100, z));
         }
         edges
     }
@@ -271,36 +358,37 @@ mod tests {
         assert_eq!(sink.tuples(), reference.tuples());
     }
 
+    /// The tentpole invariant: with one cache shared by all workers, the
+    /// parallel hit count matches sequential CTJ's — the per-worker
+    /// caches this replaced were structurally capped *below* it (each
+    /// worker re-missed on entries a sibling had already built).
     #[test]
-    fn per_worker_caches_report_merged_hit_stats() {
-        // Heavily shared y values make caching pay off (cf. the sequential
-        // CTJ tests): many x-parents funnel into one hub.
-        let mut edges = Vec::new();
-        for x in 0..30u32 {
-            edges.push((x, 100));
-        }
-        for z in 200..220u32 {
-            edges.push((100, z));
-        }
-        let c = catalog(&edges);
+    fn shared_cache_hits_match_sequential_ctj() {
+        let c = catalog(&hub_edges());
         let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
         let mut seq_sink = CountSink::default();
         let seq = Ctj::new().execute(&plan, &c, &mut seq_sink).unwrap();
         let mut par_sink = CountSink::default();
+        // Explicitly unbounded so a TRIEJAX_CACHE_CAP test environment
+        // cannot shrink the cache under this exact-count assertion.
         let par = ParCtj::with_pool(2)
+            .config(CtjConfig::default())
             .execute(&plan, &c, &mut par_sink)
             .unwrap();
         assert_eq!(seq_sink.count(), par_sink.count());
         assert!(par.shards > 1, "hub graph must actually shard");
-        // Every shard after a worker's first miss on y=100 replays from its
-        // private cache: hits surface in the merged stats.
-        assert!(par.cache_hits > 0, "expected cross-shard cache hits");
-        assert!(par.cache_misses >= 1);
         assert!(
-            par.cache_hits <= seq.cache_hits,
-            "per-worker caches cannot beat the shared sequential cache"
+            par.cache_hits >= seq.cache_hits,
+            "shared cache must not lose hits to partitioning: par {} < seq {}",
+            par.cache_hits,
+            seq.cache_hits
         );
-        assert_eq!(par.cache_hits + par.cache_misses, 30, "one lookup per x");
+        // One lookup per x-parent; misses count unique entry builds, so
+        // the books balance exactly even when workers race.
+        assert_eq!(par.cache_hits + par.cache_misses, 30);
+        assert_eq!(par.cache_misses, 1, "y=100's entry is built exactly once");
+        assert_eq!(par.cache_hits, 29);
+        assert_eq!(seq.cache_hits, 29);
     }
 
     #[test]
@@ -314,10 +402,31 @@ mod tests {
             max_entries: Some(2),
         };
         let mut sink = CollectSink::new();
-        ParCtj::with_config(cfg)
+        let stats = ParCtj::with_config(cfg)
+            .with_granularity(6)
             .execute(&plan, &c, &mut sink)
             .unwrap();
         assert_eq!(sink.tuples(), reference.tuples());
+        assert!(stats.shards > 1);
+    }
+
+    #[test]
+    fn tiny_shared_capacity_evicts_and_stays_exact() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::path4()).unwrap();
+        let mut reference = CollectSink::new();
+        Ctj::new().execute(&plan, &c, &mut reference).unwrap();
+        let mut sink = CollectSink::new();
+        let stats = ParCtj::with_pool(2)
+            .cache_capacity(2)
+            .with_granularity(8)
+            .execute(&plan, &c, &mut sink)
+            .unwrap();
+        assert_eq!(sink.tuples(), reference.tuples());
+        assert!(
+            stats.cache_evictions > 0,
+            "a 2-entry shared cache must churn on path4"
+        );
     }
 
     #[test]
@@ -345,6 +454,20 @@ mod tests {
             .unwrap();
         assert_eq!(stats.shards, 5);
         assert_eq!(ParCtj::new().with_granularity(5).granularity(), Some(5));
+    }
+
+    #[test]
+    fn cache_capacity_builder_sets_an_explicit_config() {
+        let engine = ParCtj::with_pool(2).cache_capacity(16);
+        assert_eq!(engine.effective_config().max_entries, Some(16));
+        let engine = ParCtj::with_config(CtjConfig {
+            entry_capacity: Some(3),
+            max_entries: None,
+        })
+        .cache_capacity(5);
+        let cfg = engine.effective_config();
+        assert_eq!(cfg.entry_capacity, Some(3), "other knobs are kept");
+        assert_eq!(cfg.max_entries, Some(5));
     }
 
     #[test]

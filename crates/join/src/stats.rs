@@ -25,8 +25,22 @@ pub struct EngineStats<T: Tally = Counting> {
     pub cache_hits: u64,
     /// Partial-join cache misses on cacheable lookups (CTJ only).
     pub cache_misses: u64,
-    /// Cache entries discarded due to capacity overflow (CTJ only).
+    /// Cache entries discarded due to capacity overflow (CTJ only): an
+    /// entry that outgrew `entry_capacity` while being filled, or an
+    /// insertion into a full store that does not evict.
     pub cache_overflows: u64,
+    /// Cache entries evicted to make room for newer ones (the shared
+    /// sharded cache of `ParCtj` only; the sequential store drops new
+    /// insertions instead of evicting old entries).
+    pub cache_evictions: u64,
+    /// Insert races lost on the shared cache: a sibling worker published
+    /// the same entry first, so this worker's duplicate build was
+    /// discarded (first writer wins) and its miss reclassified as a late
+    /// hit. Summed `cache_misses` therefore count *unique* entry builds.
+    pub cache_races: u64,
+    /// Shared-cache stripe locks that were contended — another worker
+    /// held the stripe when this one arrived, so the acquisition waited.
+    pub cache_contention: u64,
     /// Lowest-upper-bound (binary-search) operations issued.
     pub lub_ops: u64,
     /// Child-range expansions (the Midwife operation).
@@ -88,6 +102,9 @@ impl<T: Tally> EngineStats<T> {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_overflows += other.cache_overflows;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_races += other.cache_races;
+        self.cache_contention += other.cache_contention;
         self.lub_ops += other.lub_ops;
         self.expand_ops += other.expand_ops;
         self.match_ops += other.match_ops;
@@ -129,15 +146,22 @@ mod tests {
         let mut a = EngineStats::<Counting>::new();
         a.results = 2;
         a.lub_ops = 1;
+        a.cache_evictions = 4;
         a.access.record(AccessKind::IndexRead, 4);
         let mut b = EngineStats::<Counting>::new();
         b.results = 3;
         b.match_ops = 7;
+        b.cache_evictions = 1;
+        b.cache_races = 2;
+        b.cache_contention = 3;
         b.access.record(AccessKind::ResultWrite, 8);
         a.merge(&b);
         assert_eq!(a.results, 5);
         assert_eq!(a.lub_ops, 1);
         assert_eq!(a.match_ops, 7);
+        assert_eq!(a.cache_evictions, 5);
+        assert_eq!(a.cache_races, 2);
+        assert_eq!(a.cache_contention, 3);
         assert_eq!(a.memory_accesses(), 2);
         assert_eq!(a.bytes_moved(), 12);
     }

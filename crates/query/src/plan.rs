@@ -279,10 +279,55 @@ impl CompiledQuery {
     where
         F: Fn(&str) -> Option<usize>,
     {
-        self.atoms_at(0)
+        self.depth_domain_estimate(0, cardinality)
+    }
+
+    /// Upper-bound estimate of the domain of the variable bound at
+    /// `depth`: every participating trie level holds at most as many
+    /// distinct values as its relation holds tuples, so the minimum over
+    /// the participants bounds the domain. Returns `None` when no
+    /// participating relation's cardinality is known.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth >= self.arity()`.
+    pub fn depth_domain_estimate<F>(&self, depth: usize, cardinality: F) -> Option<usize>
+    where
+        F: Fn(&str) -> Option<usize>,
+    {
+        self.atoms_at(depth)
             .iter()
             .filter_map(|&(a, _)| cardinality(self.atom_plans[a].relation()))
             .min()
+    }
+
+    /// Upper-bound estimate of the number of live partial-join-result
+    /// cache entries this plan can create: for each [`CacheSpec`], the
+    /// distinct key bindings are bounded by the product of the key
+    /// depths' domain estimates; the per-spec bounds sum (saturating).
+    ///
+    /// This is the plan-side capacity hint for the shared sharded PJR
+    /// cache of the parallel CTJ engine: an unbounded cache pre-sizes its
+    /// stripe tables from it, and operators picking a `--cache-cap` can
+    /// compare against it. Returns `None` when the plan has no cache
+    /// specs or some participating cardinality is unknown — callers fall
+    /// back to not pre-sizing.
+    pub fn cache_entries_estimate<F>(&self, cardinality: F) -> Option<usize>
+    where
+        F: Fn(&str) -> Option<usize>,
+    {
+        if self.cache_specs.is_empty() {
+            return None;
+        }
+        let mut total = 0usize;
+        for spec in &self.cache_specs {
+            let mut keys = 1usize;
+            for &kd in spec.key_depths() {
+                keys = keys.saturating_mul(self.depth_domain_estimate(kd, &cardinality)?);
+            }
+            total = total.saturating_add(keys);
+        }
+        Some(total)
     }
 
     /// Suggested number of root-range shards for a parallel run over
@@ -472,6 +517,39 @@ mod tests {
         assert_eq!(
             plan.root_domain_estimate(|n| cards.get(n).copied()),
             Some(10)
+        );
+    }
+
+    #[test]
+    fn cache_entries_estimate_bounds_distinct_keys() {
+        use std::collections::HashMap;
+        let cards = HashMap::from([("G".to_string(), 42usize)]);
+        let card = |n: &str| cards.get(n).copied();
+
+        // path3: one spec keyed by {y}; y's domain is bounded by |G|.
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        assert_eq!(plan.depth_domain_estimate(1, card), Some(42));
+        assert_eq!(plan.cache_entries_estimate(card), Some(42));
+
+        // path4: two single-key specs sum.
+        let plan = CompiledQuery::compile(&patterns::path4()).unwrap();
+        assert_eq!(plan.cache_entries_estimate(card), Some(84));
+
+        // cycle4: one spec keyed by {x, z} — the key domains multiply.
+        let plan = CompiledQuery::compile(&patterns::cycle4()).unwrap();
+        assert_eq!(plan.cache_entries_estimate(card), Some(42 * 42));
+
+        // No valid specs (cycle3) or unknown cardinalities: no hint.
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        assert_eq!(plan.cache_entries_estimate(card), None);
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        assert_eq!(plan.cache_entries_estimate(|_| None), None);
+
+        // Huge cardinalities saturate instead of overflowing.
+        let plan = CompiledQuery::compile(&patterns::cycle4()).unwrap();
+        assert_eq!(
+            plan.cache_entries_estimate(|_| Some(usize::MAX / 2)),
+            Some(usize::MAX)
         );
     }
 
