@@ -16,13 +16,20 @@
 //! always write and exit 0 — e.g. to rebase the artifact).
 //!
 //! Usage: `bench_joins [--scale tiny|mini|full] [--dataset <label>]
-//! [--runs N] [--pool N] [--cache-cap N] [--out PATH] [--no-gate]`
+//! [--runs N] [--pool N] [--cache-cap N] [--split | --no-split]
+//! [--out PATH] [--no-gate]`
 //!
 //! `--cache-cap N` bounds the `parctj` rows' shared PJR cache to `N`
 //! total entries (per-stripe FIFO eviction; `0` disables caching), so
 //! the eviction-churn path can be benchmarked and gated like any other
 //! configuration. Artifacts record the capacity, and medians are only
 //! compared between identical configurations.
+//!
+//! `--split` / `--no-split` pins dynamic shard splitting for the
+//! parallel rows (default: the engines' `TRIEJAX_SPLIT` resolution).
+//! Splitting runs record `"split": true` in the artifact and its config
+//! signature; non-splitting runs omit the field, so artifacts from
+//! before the knob existed still gate against non-splitting runs.
 
 use std::time::Instant;
 
@@ -97,6 +104,12 @@ fn field_num(line: &str, key: &str) -> Option<u128> {
     digits.parse().ok()
 }
 
+/// `true` when the artifact recorded `"key": true` (the field is only
+/// written for splitting runs, so absent means `false`).
+fn field_bool(text: &str, key: &str) -> bool {
+    text.contains(&format!("\"{key}\": true"))
+}
+
 /// The benchmark configuration recorded in (or computed for) one artifact;
 /// medians are only comparable between identical configurations.
 #[allow(clippy::type_complexity)]
@@ -108,6 +121,7 @@ fn config_signature(
     Option<u128>,
     Option<u128>,
     Option<u128>,
+    bool,
 ) {
     (
         field_str(text, "dataset"),
@@ -115,6 +129,7 @@ fn config_signature(
         field_num(text, "runs"),
         field_num(text, "pool"),
         field_num(text, "cache_cap"),
+        field_bool(text, "split"),
     )
 }
 
@@ -125,6 +140,7 @@ fn main() {
     let mut runs = 7usize;
     let mut pool: Option<usize> = None;
     let mut cache_cap: Option<usize> = None;
+    let mut split: Option<bool> = None;
     let mut gate = true;
     let mut out_path = String::from("BENCH_joins.json");
     let mut i = 0;
@@ -159,6 +175,8 @@ fn main() {
                 i += 1;
                 cache_cap = Some(args[i].parse().expect("--cache-cap takes a number"));
             }
+            "--split" => split = Some(true),
+            "--no-split" => split = Some(false),
             "--no-gate" => gate = false,
             "--out" => {
                 i += 1;
@@ -176,12 +194,21 @@ fn main() {
     // env-capped run would signature-match (and gate against) uncapped
     // baselines.
     let cache_cap = cache_cap.or_else(|| ParCtj::new().effective_config().max_entries);
+    // Same resolution for the split knob: pin the engines' own
+    // `TRIEJAX_SPLIT` default explicitly so the measured schedule is
+    // always the recorded one.
+    let split = split.unwrap_or_else(|| ParLftj::new().effective_split());
 
     let mut catalog = Catalog::new();
     catalog.insert("G", dataset.generate(scale).edge_relation());
-    let par_lftj = || pool.map_or_else(ParLftj::new, ParLftj::with_pool);
+    let par_lftj = || {
+        pool.map_or_else(ParLftj::new, ParLftj::with_pool)
+            .with_split(split)
+    };
     let par_ctj = || {
-        let engine = pool.map_or_else(ParCtj::new, ParCtj::with_pool);
+        let engine = pool
+            .map_or_else(ParCtj::new, ParCtj::with_pool)
+            .with_split(split);
         match cache_cap {
             Some(cap) => engine.cache_capacity(cap),
             None => engine,
@@ -303,12 +330,13 @@ fn main() {
         Some(runs as u128),
         pool.map(|n| n as u128),
         cache_cap.map(|n| n as u128),
+        split,
     );
     let previous = if previous_text.is_empty() {
         Vec::new()
     } else if config_signature(&previous_text) != current_sig {
         println!(
-            "previous {out_path} used a different dataset/scale/runs/pool/cache-cap \
+            "previous {out_path} used a different dataset/scale/runs/pool/cache-cap/split \
              configuration: skipping the regression gate"
         );
         Vec::new()
@@ -395,6 +423,11 @@ fn main() {
     // (no "cache_cap" field) still signature-match uncapped runs.
     if let Some(n) = cache_cap {
         json.push_str(&format!("  \"cache_cap\": {n},\n"));
+    }
+    // Likewise written only for splitting runs, so pre-knob artifacts
+    // still signature-match non-splitting runs.
+    if split {
+        json.push_str("  \"split\": true,\n");
     }
     json.push_str("  \"measurements\": [\n");
     for (i, m) in measurements.iter().enumerate() {

@@ -3,6 +3,7 @@ use triejax_relation::{AccessKind, Counting, Tally, TrieCursor, Value, WORD_BYTE
 
 use crate::cache::{LocalPjr, Looked, PjrStore};
 use crate::engine::head_slots;
+use crate::shard::{try_split_root, NoSplit, SplitSpawn};
 use crate::sink::BatchEmitter;
 use crate::{Catalog, EngineStats, JoinEngine, JoinError, Leapfrog, ResultSink, TrieSet};
 
@@ -120,6 +121,7 @@ impl JoinEngine for Ctj {
 /// *across root ranges* (and, with the shared store, across workers).
 pub(crate) struct CtjDriver<'a, T: Tally, C: PjrStore = LocalPjr> {
     plan: &'a CompiledQuery,
+    tries: &'a TrieSet,
     config: CtjConfig,
     cursors: Vec<TrieCursor<'a>>,
     binding: Vec<Value>,
@@ -164,6 +166,7 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
             .collect();
         Ok(CtjDriver {
             plan,
+            tries,
             config,
             cursors,
             binding: vec![0; n],
@@ -198,9 +201,23 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
         root_sup: Option<Value>,
         sink: &mut dyn ResultSink,
     ) {
+        self.run_range_split(root_min, root_sup, sink, &mut NoSplit);
+    }
+
+    /// Like [`run_range`](Self::run_range), with a split controller
+    /// polled at every root-level advance (see
+    /// [`crate::shard::try_split_root`]); [`NoSplit`] monomorphizes the
+    /// polling away for the sequential paths.
+    pub(crate) fn run_range_split<S: SplitSpawn>(
+        &mut self,
+        root_min: Value,
+        root_sup: Option<Value>,
+        sink: &mut dyn ResultSink,
+        ctl: &mut S,
+    ) {
         self.root_min = root_min;
         self.root_sup = root_sup;
-        self.level(0, sink);
+        self.level(0, sink, ctl);
         self.emitter.flush(sink);
     }
 
@@ -215,7 +232,7 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
             .record(AccessKind::ResultWrite, self.emit.len() as u64 * WORD_BYTES);
     }
 
-    fn level(&mut self, d: usize, sink: &mut dyn ResultSink) {
+    fn level<S: SplitSpawn>(&mut self, d: usize, sink: &mut dyn ResultSink, ctl: &mut S) {
         let record_key = match self.plan.cache_spec_at(d) {
             Some(spec) => {
                 let key: Vec<Value> = spec
@@ -231,7 +248,7 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
                     .record(AccessKind::Intermediate, key.len() as u64 * WORD_BYTES);
                 match self.cache.lookup(d, key, &mut self.stats) {
                     Looked::Hit(entry) => {
-                        self.replay(d, &entry, sink);
+                        self.replay(d, &entry, sink, ctl);
                         return;
                     }
                     Looked::Miss(key, token) => Some((key, token)),
@@ -239,13 +256,19 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
             }
             None => None,
         };
-        self.compute(d, record_key, sink);
+        self.compute(d, record_key, sink, ctl);
     }
 
     /// Cache hit: iterate the stored `(value, index)` list, re-opening each
     /// participating cursor directly at the stored index (paper Fig. 3,
     /// step 5: "read next z from cache").
-    fn replay(&mut self, d: usize, entry: &[(Value, Vec<u32>)], sink: &mut dyn ResultSink) {
+    fn replay<S: SplitSpawn>(
+        &mut self,
+        d: usize,
+        entry: &[(Value, Vec<u32>)],
+        sink: &mut dyn ResultSink,
+        ctl: &mut S,
+    ) {
         let last = d + 1 == self.plan.arity();
         let parts = self.plan.atoms_at(d);
         for (v, positions) in entry {
@@ -260,7 +283,7 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
                 for (i, &(a, _)) in parts.iter().enumerate() {
                     self.cursors[a].open_at(positions[i] as usize);
                 }
-                self.level(d + 1, sink);
+                self.level(d + 1, sink, ctl);
                 for &(a, _) in parts {
                     self.cursors[a].up();
                 }
@@ -270,11 +293,12 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
 
     /// Standard leapfrog execution at depth `d`, optionally recording the
     /// matches for insertion into the cache once the level completes.
-    fn compute(
+    fn compute<S: SplitSpawn>(
         &mut self,
         d: usize,
         record_key: Option<(Vec<Value>, u64)>,
         sink: &mut dyn ResultSink,
+        ctl: &mut S,
     ) {
         // Open level d on every participant (clamped to the root range at
         // depth 0, so shards never leapfrog outside their slice).
@@ -307,6 +331,21 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
         let mut m = lf.search(&mut self.cursors, &mut self.stats);
         while let Some(v) = m {
             self.binding[d] = v;
+            if d == 0 {
+                // Root-level advance: the split poll point (the current
+                // value v stays with this shard). Only reachable outside
+                // a cache replay — a cacheable depth is never depth 0,
+                // and a split never moves the cache: entries are keyed
+                // by bindings alone, so both halves keep hitting it.
+                try_split_root(
+                    self.plan,
+                    self.tries,
+                    &mut self.cursors,
+                    &mut self.root_sup,
+                    ctl,
+                    &mut self.stats,
+                );
+            }
             if let Some(p) = pending.as_mut() {
                 if self.config.entry_capacity.is_some_and(|cap| p.len() >= cap) {
                     // Insertion-buffer overflow: drop the partial entry.
@@ -323,7 +362,7 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
             if d + 1 == self.plan.arity() {
                 self.emit_result(sink);
             } else {
-                self.level(d + 1, sink);
+                self.level(d + 1, sink, ctl);
             }
             m = lf.next(&mut self.cursors, &mut self.stats);
         }

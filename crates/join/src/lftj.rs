@@ -2,6 +2,7 @@ use triejax_query::CompiledQuery;
 use triejax_relation::{AccessKind, Counting, Tally, TrieCursor, Value, WORD_BYTES};
 
 use crate::engine::head_slots;
+use crate::shard::{try_split_root, NoSplit, SplitSpawn};
 use crate::sink::BatchEmitter;
 use crate::{Catalog, EngineStats, JoinEngine, JoinError, Leapfrog, ResultSink, TrieSet};
 
@@ -91,6 +92,7 @@ impl JoinEngine for Lftj {
 /// the shard.
 pub(crate) struct Driver<'a, T: Tally> {
     plan: &'a CompiledQuery,
+    tries: &'a TrieSet,
     cursors: Vec<TrieCursor<'a>>,
     binding: Vec<Value>,
     emit: Vec<Value>,
@@ -126,6 +128,7 @@ impl<'a, T: Tally> Driver<'a, T> {
             .collect();
         Ok(Driver {
             plan,
+            tries,
             cursors,
             binding: vec![0; n],
             emit: vec![0; n],
@@ -147,7 +150,16 @@ impl<'a, T: Tally> Driver<'a, T> {
 
     /// Runs the full backtracking join.
     pub(crate) fn run(&mut self, sink: &mut dyn ResultSink) {
-        self.level(0, sink);
+        self.run_split(sink, &mut NoSplit);
+    }
+
+    /// Runs the join with a split controller polled at every root-level
+    /// advance: when it reports an idle sibling worker, the unvisited
+    /// tail of this shard's root range is carved off into a new task (see
+    /// [`try_split_root`]). Sequential callers pass [`NoSplit`], which
+    /// monomorphizes the polling away entirely.
+    pub(crate) fn run_split<C: SplitSpawn>(&mut self, sink: &mut dyn ResultSink, ctl: &mut C) {
+        self.level(0, sink, ctl);
         self.emitter.flush(sink);
     }
 
@@ -197,7 +209,7 @@ impl<'a, T: Tally> Driver<'a, T> {
             .record(AccessKind::ResultWrite, self.emit.len() as u64 * WORD_BYTES);
     }
 
-    fn level(&mut self, d: usize, sink: &mut dyn ResultSink) {
+    fn level<C: SplitSpawn>(&mut self, d: usize, sink: &mut dyn ResultSink, ctl: &mut C) {
         if !self.open_level(d) {
             return;
         }
@@ -208,10 +220,23 @@ impl<'a, T: Tally> Driver<'a, T> {
         let mut m = lf.search(&mut self.cursors, &mut self.stats);
         while let Some(v) = m {
             self.binding[d] = v;
+            if d == 0 {
+                // Root-level advance: the split poll point. The current
+                // value v stays with this shard; only values beyond the
+                // boundary are handed off.
+                try_split_root(
+                    self.plan,
+                    self.tries,
+                    &mut self.cursors,
+                    &mut self.root_sup,
+                    ctl,
+                    &mut self.stats,
+                );
+            }
             if d + 1 == self.plan.arity() {
                 self.emit_result(sink);
             } else {
-                self.level(d + 1, sink);
+                self.level(d + 1, sink, ctl);
             }
             m = lf.next(&mut self.cursors, &mut self.stats);
         }

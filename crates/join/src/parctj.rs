@@ -7,7 +7,7 @@ use triejax_relation::{Counting, Tally};
 use crate::cache::{SharedPjrCache, SharedPjrHandle};
 use crate::ctj::CtjDriver;
 use crate::engine::head_slots;
-use crate::shard::{execute_sharded, make_pool, plan_shards};
+use crate::shard::{can_split, env_split, execute_sharded, execute_split, make_pool, plan_shards};
 use crate::{Catalog, CtjConfig, EngineStats, JoinEngine, JoinError, ResultSink, TrieSet};
 
 /// Name of the environment variable supplying the default shared-cache
@@ -73,6 +73,8 @@ pub struct ParCtj {
     /// Explicit cache configuration; `None` = unbounded entries with the
     /// shared capacity taken from `TRIEJAX_CACHE_CAP` (if set).
     config: Option<CtjConfig>,
+    /// Explicit dynamic-splitting choice; `None` = `TRIEJAX_SPLIT` or off.
+    split: Option<bool>,
 }
 
 impl ParCtj {
@@ -91,8 +93,7 @@ impl ParCtj {
     pub fn with_pool(workers: usize) -> Self {
         ParCtj {
             workers: Some(NonZeroUsize::new(workers).expect("workers must be positive")),
-            granularity: None,
-            config: None,
+            ..Self::default()
         }
     }
 
@@ -102,9 +103,8 @@ impl ParCtj {
     /// overrides `TRIEJAX_CACHE_CAP`.
     pub fn with_config(config: CtjConfig) -> Self {
         ParCtj {
-            workers: None,
-            granularity: None,
             config: Some(config),
+            ..Self::default()
         }
     }
 
@@ -145,6 +145,41 @@ impl ParCtj {
         self.granularity.map(NonZeroUsize::get)
     }
 
+    /// Enables or disables dynamic shard splitting, overriding the
+    /// `TRIEJAX_SPLIT` environment default; see
+    /// [`crate::ParLftj::with_split`] for the full protocol. Splitting
+    /// never moves the shared PJR cache: entries are keyed by bindings
+    /// alone, so both halves of a split keep hitting the same entries.
+    ///
+    /// ```
+    /// use triejax_join::ParCtj;
+    ///
+    /// let engine = ParCtj::with_pool(4).with_split(true);
+    /// assert_eq!(engine.splitting(), Some(true));
+    /// ```
+    pub fn with_split(mut self, on: bool) -> Self {
+        self.split = Some(on);
+        self
+    }
+
+    /// The configured splitting choice, or `None` for the `TRIEJAX_SPLIT`
+    /// environment default.
+    pub fn splitting(&self) -> Option<bool> {
+        self.split
+    }
+
+    /// The splitting choice this run will use: the explicit one if set,
+    /// otherwise the `TRIEJAX_SPLIT` environment default (off when the
+    /// variable is unset); see [`crate::ParLftj::effective_split`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `TRIEJAX_SPLIT` is consulted and set to anything but a
+    /// recognised on/off spelling.
+    pub fn effective_split(&self) -> bool {
+        self.split.unwrap_or_else(env_split)
+    }
+
     /// The cache configuration this run will use: the explicit one if
     /// set, otherwise unbounded entries with `TRIEJAX_CACHE_CAP` (when
     /// present in the environment) as the shared capacity.
@@ -178,16 +213,24 @@ impl ParCtj {
     ) -> Result<EngineStats<T>, JoinError> {
         let tries = TrieSet::build(plan, catalog)?;
         let pool = make_pool(self.workers);
+        // Splitting needs a spare worker to hand work to and a root
+        // domain wide enough to ever carve; otherwise fall back to the
+        // static schedule (and its sequential single-shard fast path).
+        let split = self.effective_split() && pool.workers() > 1 && can_split(plan, &tries);
         let ranges = plan_shards(
             plan,
             catalog,
             &tries,
             pool.workers(),
             self.granularity.map(NonZeroUsize::get),
+            split,
         );
         let config = self.effective_config();
 
-        if ranges.len() <= 1 {
+        // With splitting on, even a single seeded range spreads itself
+        // across the idle pool; without it, a lone range runs
+        // sequentially.
+        if !split && ranges.len() <= 1 {
             // Single-shard fast path: one driver on a worker-local store
             // (no stripe locks to pay when nothing is shared). The
             // capacity then bounds live entries by dropping new inserts
@@ -202,7 +245,14 @@ impl ParCtj {
         // Validate the emission plan up front so shard workers cannot fail.
         head_slots(plan)?;
         let tries_ref = &tries;
-        let workers = pool.workers().min(ranges.len());
+        // With splitting, every configured worker may end up running a
+        // spawned shard; without it, a run never uses more workers than
+        // it has planned ranges.
+        let workers = if split {
+            pool.workers()
+        } else {
+            pool.workers().min(ranges.len())
+        };
         // One cache shared by every worker, striped for the worker count,
         // pre-sized from the plan's entry estimate over the catalog.
         let entries_hint = plan.cache_entries_estimate(|name| catalog.get(name).map(|r| r.len()));
@@ -213,24 +263,43 @@ impl ParCtj {
         // onto the shared cache.
         let worker_drivers: Vec<Mutex<Option<CtjDriver<'_, T, SharedPjrHandle<'_>>>>> =
             (0..workers).map(|_| Mutex::new(None)).collect();
-        let (_, pool_stats) = execute_sharded(
-            &pool,
-            &ranges,
-            plan.arity(),
-            sink,
-            |ctx, _lane, min, sup, shard_sink| {
-                let mut slot = worker_drivers[ctx.worker]
-                    .lock()
-                    .expect("worker driver poisoned");
-                let driver = slot.get_or_insert_with(|| {
-                    let mut d = CtjDriver::with_store(plan, tries_ref, config, cache.handle())
-                        .expect("emission plan validated before the parallel phase");
-                    d.emit_passthrough(); // the ShardSink already batches
-                    d
-                });
-                driver.run_range(min, sup, shard_sink);
-            },
-        );
+        let new_driver = || {
+            let mut d = CtjDriver::with_store(plan, tries_ref, config, cache.handle())
+                .expect("emission plan validated before the parallel phase");
+            d.emit_passthrough(); // the ShardSink already batches
+            d
+        };
+        let pool_stats = if split {
+            let (_, pool_stats) = execute_split(
+                &pool,
+                &ranges,
+                plan.arity(),
+                sink,
+                |ctx, min, sup, shard_sink, ctl| {
+                    let mut slot = worker_drivers[ctx.worker]
+                        .lock()
+                        .expect("worker driver poisoned");
+                    let driver = slot.get_or_insert_with(new_driver);
+                    driver.run_range_split(min, sup, shard_sink, ctl);
+                },
+            );
+            pool_stats
+        } else {
+            let (_, pool_stats) = execute_sharded(
+                &pool,
+                &ranges,
+                plan.arity(),
+                sink,
+                |ctx, _lane, min, sup, shard_sink| {
+                    let mut slot = worker_drivers[ctx.worker]
+                        .lock()
+                        .expect("worker driver poisoned");
+                    let driver = slot.get_or_insert_with(new_driver);
+                    driver.run_range(min, sup, shard_sink);
+                },
+            );
+            pool_stats
+        };
 
         // Shard join: fold every worker's accumulated stats into the run
         // total. Cache counters sum cleanly because the shared store
@@ -242,7 +311,8 @@ impl ParCtj {
                 stats.merge(&driver.stats);
             }
         }
-        stats.shards = ranges.len() as u64;
+        // Split shards are shards too: count every task the pool ran.
+        stats.shards = pool_stats.tasks as u64;
         stats.steals = pool_stats.steals;
         Ok(stats)
     }
@@ -478,6 +548,41 @@ mod tests {
         let stats = ParCtj::with_pool(4).execute(&plan, &c, &mut sink).unwrap();
         assert_eq!(sink.count(), 0);
         assert_eq!(stats.results, 0);
+    }
+
+    /// A root domain too narrow to ever carve (< 3 values) must not pay
+    /// for the splitting machinery: the run falls back to the static
+    /// schedule — and for a domain of one value, its sequential
+    /// single-shard fast path (worker-local drop-new cache semantics) —
+    /// exactly as if splitting were off.
+    #[test]
+    fn split_on_a_tiny_root_domain_falls_back_to_the_static_schedule() {
+        let c = catalog(&[(0, 1), (1, 0)]);
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let mut reference = CollectSink::new();
+        let static_stats = ParCtj::with_pool(4)
+            .with_split(false)
+            .execute(&plan, &c, &mut reference)
+            .unwrap();
+        let mut sink = CollectSink::new();
+        let stats = ParCtj::with_pool(4)
+            .with_split(true)
+            .execute(&plan, &c, &mut sink)
+            .unwrap();
+        assert_eq!(sink.tuples(), reference.tuples());
+        assert_eq!(stats.shards, static_stats.shards, "static schedule");
+        assert_eq!(stats.splits, 0);
+
+        // One root value: even the static schedule is a single shard, so
+        // a split-requested run takes the sequential fast path.
+        let c1 = catalog(&[(0, 1)]);
+        let plan1 = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let mut sink1 = CountSink::default();
+        let stats1 = ParCtj::with_pool(4)
+            .with_split(true)
+            .execute(&plan1, &c1, &mut sink1)
+            .unwrap();
+        assert_eq!(stats1.shards, 1, "sequential fast path");
     }
 
     #[test]

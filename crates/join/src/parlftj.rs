@@ -5,7 +5,7 @@ use triejax_relation::{Counting, Tally};
 
 use crate::engine::head_slots;
 use crate::lftj::Driver;
-use crate::shard::{execute_sharded, make_pool, plan_shards};
+use crate::shard::{can_split, env_split, execute_sharded, execute_split, make_pool, plan_shards};
 use crate::{Catalog, EngineStats, JoinEngine, JoinError, ResultSink, TrieSet};
 
 /// Parallel LeapFrog TrieJoin: root-partitioned LFTJ on the shared
@@ -57,6 +57,8 @@ pub struct ParLftj {
     /// Explicit shard count; `None` = seeded from the plan's root-domain
     /// estimate (see `CompiledQuery::shard_granularity`).
     granularity: Option<NonZeroUsize>,
+    /// Explicit dynamic-splitting choice; `None` = `TRIEJAX_SPLIT` or off.
+    split: Option<bool>,
 }
 
 impl ParLftj {
@@ -76,7 +78,7 @@ impl ParLftj {
     pub fn with_pool(workers: usize) -> Self {
         ParLftj {
             workers: Some(NonZeroUsize::new(workers).expect("workers must be positive")),
-            granularity: None,
+            ..Self::default()
         }
     }
 
@@ -92,6 +94,7 @@ impl ParLftj {
         ParLftj {
             workers: Some(n),
             granularity: Some(n),
+            ..Self::default()
         }
     }
 
@@ -116,6 +119,51 @@ impl ParLftj {
         self.granularity.map(NonZeroUsize::get)
     }
 
+    /// Enables or disables dynamic shard splitting (TrieJax §3.4
+    /// spawn-on-match), overriding the `TRIEJAX_SPLIT` environment
+    /// default.
+    ///
+    /// With splitting on, the plan seeds only one coarse root-range shard
+    /// per worker; whenever a worker goes idle mid-run, a running shard
+    /// observes it at its next root-level advance and hands the unvisited
+    /// tail of its range off as a freshly spawned shard. Results remain
+    /// tuple-for-tuple identical to sequential [`crate::Lftj`];
+    /// [`EngineStats::splits`] and [`EngineStats::split_depth`] report the
+    /// rebalancing. With splitting off (the default), skew is absorbed by
+    /// 4x oversharding plus work stealing alone.
+    ///
+    /// ```
+    /// use triejax_join::ParLftj;
+    ///
+    /// let engine = ParLftj::with_pool(4).with_split(true);
+    /// assert_eq!(engine.splitting(), Some(true));
+    /// ```
+    pub fn with_split(mut self, on: bool) -> Self {
+        self.split = Some(on);
+        self
+    }
+
+    /// The configured splitting choice, or `None` for the `TRIEJAX_SPLIT`
+    /// environment default.
+    pub fn splitting(&self) -> Option<bool> {
+        self.split
+    }
+
+    /// The splitting choice this run will use: the explicit one if set,
+    /// otherwise the `TRIEJAX_SPLIT` environment default (off when the
+    /// variable is unset).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `TRIEJAX_SPLIT` is consulted and set to anything but a
+    /// recognised on/off spelling (`0`/`1`/`true`/`false`/`on`/`off`) — an
+    /// explicitly configured mode that silently fell back to "off" would
+    /// defeat the configuration's purpose (e.g. CI pinning
+    /// `TRIEJAX_SPLIT=1` to force the split paths through the test suite).
+    pub fn effective_split(&self) -> bool {
+        self.split.unwrap_or_else(env_split)
+    }
+
     /// Runs the query with an explicit [`Tally`] choice; see
     /// [`crate::Lftj::run_tallied`] for the counting/fast trade-off. The
     /// usual pairing is `ParLftj` + [`triejax_relation::NoTally`] for pure
@@ -134,15 +182,23 @@ impl ParLftj {
     ) -> Result<EngineStats<T>, JoinError> {
         let tries = TrieSet::build(plan, catalog)?;
         let pool = make_pool(self.workers);
+        // Splitting needs a spare worker to hand work to and a root
+        // domain wide enough to ever carve; otherwise fall back to the
+        // static schedule (and its sequential single-shard fast path).
+        let split = self.effective_split() && pool.workers() > 1 && can_split(plan, &tries);
         let ranges = plan_shards(
             plan,
             catalog,
             &tries,
             pool.workers(),
             self.granularity.map(NonZeroUsize::get),
+            split,
         );
 
-        if ranges.len() <= 1 {
+        // With splitting on, even a single seeded range spreads itself
+        // across the idle pool; without it, a lone range runs
+        // sequentially.
+        if !split && ranges.len() <= 1 {
             let mut driver = Driver::<T>::new(plan, &tries)?;
             driver.run(sink);
             let mut stats = driver.stats;
@@ -153,25 +209,44 @@ impl ParLftj {
         // Validate the emission plan up front so shard workers cannot fail.
         head_slots(plan)?;
         let tries_ref = &tries;
-        let (shard_stats, pool_stats) = execute_sharded(
-            &pool,
-            &ranges,
-            plan.arity(),
-            sink,
-            |_ctx, _lane, min, sup, shard_sink| {
-                let mut driver = Driver::<T>::with_root_range(plan, tries_ref, min, sup)
-                    .expect("emission plan validated before the parallel phase");
-                driver.emit_passthrough(); // the ShardSink already batches
-                driver.run(shard_sink);
-                driver.stats
-            },
-        );
+        let new_driver = |min, sup| {
+            let mut d = Driver::<T>::with_root_range(plan, tries_ref, min, sup)
+                .expect("emission plan validated before the parallel phase");
+            d.emit_passthrough(); // the ShardSink already batches
+            d
+        };
+        let (shard_stats, pool_stats) = if split {
+            execute_split(
+                &pool,
+                &ranges,
+                plan.arity(),
+                sink,
+                |_ctx, min, sup, shard_sink, ctl| {
+                    let mut driver = new_driver(min, sup);
+                    driver.run_split(shard_sink, ctl);
+                    driver.stats
+                },
+            )
+        } else {
+            execute_sharded(
+                &pool,
+                &ranges,
+                plan.arity(),
+                sink,
+                |_ctx, _lane, min, sup, shard_sink| {
+                    let mut driver = new_driver(min, sup);
+                    driver.run(shard_sink);
+                    driver.stats
+                },
+            )
+        };
 
         let mut stats = EngineStats::<T>::default();
         for shard in &shard_stats {
             stats.merge(shard);
         }
-        stats.shards = ranges.len() as u64;
+        // Split shards are shards too: count every task the pool ran.
+        stats.shards = pool_stats.tasks as u64;
         stats.steals = pool_stats.steals;
         Ok(stats)
     }
@@ -303,7 +378,12 @@ mod tests {
         let c = catalog(&test_edges());
         let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
         let mut sink = CountSink::default();
-        let stats = ParLftj::with_pool(4).execute(&plan, &c, &mut sink).unwrap();
+        // Pinned to the static schedule: with splitting (builder or env)
+        // the initial cut is deliberately coarse, not oversharded.
+        let stats = ParLftj::with_pool(4)
+            .with_split(false)
+            .execute(&plan, &c, &mut sink)
+            .unwrap();
         assert!(
             stats.shards > 4,
             "4 workers over a 40-value domain should overshard, got {}",
@@ -332,6 +412,28 @@ mod tests {
             .execute(&plan, &c, &mut sink)
             .unwrap();
         assert_eq!(sink.tuples(), reference.tuples());
+    }
+
+    /// A root domain too narrow to ever carve (< 3 values) must not pay
+    /// for the splitting machinery: the run falls back to the static
+    /// schedule and behaves exactly as if splitting were off.
+    #[test]
+    fn split_on_a_tiny_root_domain_falls_back_to_the_static_schedule() {
+        let c = catalog(&[(0, 1), (1, 0)]);
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let mut reference = CollectSink::new();
+        let static_stats = ParLftj::with_pool(4)
+            .with_split(false)
+            .execute(&plan, &c, &mut reference)
+            .unwrap();
+        let mut sink = CollectSink::new();
+        let stats = ParLftj::with_pool(4)
+            .with_split(true)
+            .execute(&plan, &c, &mut sink)
+            .unwrap();
+        assert_eq!(sink.tuples(), reference.tuples());
+        assert_eq!(stats.shards, static_stats.shards, "static schedule");
+        assert_eq!(stats.splits, 0);
     }
 
     #[test]

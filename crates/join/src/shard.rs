@@ -1,11 +1,35 @@
-//! Root-range shard planning and execution shared by the parallel
-//! engines.
+//! Root-range shard planning, execution, and the dynamic split protocol
+//! shared by the parallel engines.
 
-use triejax_exec::{OrderedMerge, PoolStats, WorkerCtx, WorkerPool};
+use triejax_exec::{OrderedMerge, PoolStats, Spawner, WorkerCtx, WorkerPool};
 use triejax_query::CompiledQuery;
-use triejax_relation::Value;
+use triejax_relation::{Tally, TrieCursor, Value};
 
-use crate::{Catalog, ResultSink, ShardSink, TrieSet};
+use crate::{Catalog, EngineStats, ResultSink, ShardSink, TrieSet};
+
+/// Name of the environment variable enabling dynamic shard splitting for
+/// engines that were not configured explicitly. Accepts `1`/`true`/`on`
+/// and `0`/`false`/`off`; unset or empty means off.
+pub(crate) const SPLIT_ENV: &str = "TRIEJAX_SPLIT";
+
+/// Reads the default splitting choice from `TRIEJAX_SPLIT`.
+///
+/// # Panics
+///
+/// Panics on anything but a recognised on/off spelling — an explicitly
+/// configured mode that silently fell back to "off" would defeat the
+/// configuration's purpose (e.g. CI pinning `TRIEJAX_SPLIT=1` to force
+/// the split paths through the whole test suite).
+pub(crate) fn env_split() -> bool {
+    match std::env::var(SPLIT_ENV) {
+        Ok(v) => match v.trim() {
+            "" | "0" | "false" | "off" => false,
+            "1" | "true" | "on" => true,
+            other => panic!("{SPLIT_ENV} must be 0/1/true/false/on/off, got {other:?}"),
+        },
+        Err(_) => false,
+    }
+}
 
 /// Plans the contiguous root-value ranges `[min, sup)` a parallel run
 /// executes as independent work units.
@@ -30,20 +54,24 @@ pub(crate) fn plan_shards(
     tries: &TrieSet,
     workers: usize,
     granularity: Option<usize>,
+    split: bool,
 ) -> Vec<(Value, Option<Value>)> {
-    let root_values: &[Value] = plan
-        .atoms_at(0)
-        .iter()
-        .map(|&(a, _)| tries.for_atom(a).level(0).values())
-        .min_by_key(|v| v.len())
-        .expect("every depth has at least one participant");
+    let root_values = planning_root_values(plan, tries);
 
     let shards = granularity
         .unwrap_or_else(|| {
             let estimate = plan
                 .root_domain_estimate(|name| catalog.get(name).map(|r| r.len()))
                 .unwrap_or(root_values.len());
-            plan.shard_granularity(estimate.min(root_values.len()), workers)
+            let domain = estimate.min(root_values.len());
+            // With dynamic splitting the run rebalances itself, so the
+            // initial cut is coarse (one shard per worker); without it,
+            // 4x oversharding is the only skew absorber.
+            if split {
+                plan.initial_shard_granularity(domain, workers)
+            } else {
+                plan.shard_granularity(domain, workers)
+            }
         })
         .clamp(1, root_values.len().max(1));
 
@@ -71,6 +99,29 @@ pub(crate) fn plan_shards(
         ranges.push((min, sup));
     }
     ranges
+}
+
+/// The root level shard planning draws its boundaries from: the
+/// *smallest* depth-0 participant's root values (any participant's root
+/// values are a superset of the depth-0 matches, and the smallest one
+/// balances shards with the least boundary scanning).
+fn planning_root_values<'t>(plan: &CompiledQuery, tries: &'t TrieSet) -> &'t [Value] {
+    plan.atoms_at(0)
+        .iter()
+        .map(|&(a, _)| tries.for_atom(a).level(0).values())
+        .min_by_key(|v| v.len())
+        .expect("every depth has at least one participant")
+}
+
+/// `true` when a run over these tries could ever split: the planning
+/// root level must hold the current value plus a non-empty kept head
+/// and a non-empty tail (see [`MIN_SPLIT_TAIL`]). Engines with
+/// splitting enabled fall back to the static schedule — and its
+/// sequential single-shard fast path — when it cannot, instead of
+/// paying for a pool, merge and shared cache that zero splits could
+/// ever use.
+pub(crate) fn can_split(plan: &CompiledQuery, tries: &TrieSet) -> bool {
+    planning_root_values(plan, tries).len() > MIN_SPLIT_TAIL
 }
 
 /// Runs every planned shard on the pool, streaming batches through an
@@ -115,11 +166,236 @@ pub(crate) fn make_pool(workers: Option<std::num::NonZeroUsize>) -> WorkerPool {
     }
 }
 
+/// The split protocol between a driver's root loop and the runtime.
+///
+/// A driver running a root-range shard polls
+/// [`should_split`](SplitSpawn::should_split) at every root-level
+/// advance (a cheap atomic poll) and, when it reports an unserved idle
+/// sibling, computes a tail boundary and calls
+/// [`handoff`](SplitSpawn::handoff) to turn the unvisited tail of its
+/// range into a new task on a fresh merge lane.
+pub(crate) trait SplitSpawn {
+    /// Cheap poll: is handing work off worthwhile right now?
+    fn should_split(&self) -> bool;
+    /// This shard's split generation (0 for an initial shard, parent + 1
+    /// for a split shard) — recorded as `EngineStats::split_depth`.
+    fn generation(&self) -> u64;
+    /// Hands the tail `[min, sup)` off as a new task whose results drain
+    /// immediately after this shard's.
+    fn handoff(&mut self, min: Value, sup: Option<Value>);
+    /// Records that the tail `[boundary, sup)` failed validation (some
+    /// participant has no root value in it). A shard's `sup` only
+    /// shrinks, so every later candidate at or above this boundary is
+    /// doomed too and is skipped without re-probing
+    /// ([`vetoed`](Self::vetoed)); *lower* candidates stay allowed — a
+    /// different donor can legitimately propose one that validates.
+    fn veto_at(&mut self, _boundary: Value) {}
+    /// `true` when a previously failed boundary already covers
+    /// `boundary`, so validation would probe the same doomed tail again.
+    fn vetoed(&self, _boundary: Value) -> bool {
+        false
+    }
+}
+
+/// The sequential no-op controller: never splits, so the generic drivers
+/// monomorphize their root loops down to the pre-split code.
+pub(crate) struct NoSplit;
+
+impl SplitSpawn for NoSplit {
+    #[inline]
+    fn should_split(&self) -> bool {
+        false
+    }
+    fn generation(&self) -> u64 {
+        0
+    }
+    fn handoff(&mut self, _min: Value, _sup: Option<Value>) {
+        unreachable!("NoSplit never offers a handoff")
+    }
+}
+
+/// Smallest number of unvisited root values a shard must still hold to
+/// split: one for the tail and one to keep, so neither side is empty.
+const MIN_SPLIT_TAIL: usize = 2;
+
+/// One splitting step of a driver's root loop: polls `ctl`, and when an
+/// idle sibling is reported, carves the far half of the *unvisited* root
+/// values off into a handed-off tail task, clamping the live cursors and
+/// `root_sup` so this shard never walks into the range it gave away.
+///
+/// Must be called with every depth-0 participant cursor positioned on the
+/// current root match (exactly the state of the drivers' root loops).
+///
+/// The boundary is the midpoint of the unvisited siblings of the
+/// participant with the *fewest* of them — that participant bounds the
+/// remaining intersection most tightly, so its midpoint best balances the
+/// halves. Before committing, the tail `[boundary, sup)` is validated
+/// against every depth-0 participant (a counted
+/// [`TrieCursor::open_root_range`] probe, so instrumented runs charge
+/// the validation searches exactly like the clamp searches): a root
+/// match must appear in all of them, so if any participant has no root
+/// value in the tail, the tail joins to nothing and the split is
+/// skipped. A failed boundary is [vetoed](SplitSpawn::veto_at): `sup`
+/// only shrinks, so any candidate at or above it stays doomed and is
+/// skipped without re-probing — while a lower candidate (a different
+/// donor's midpoint after the cursors advance) is still attempted.
+pub(crate) fn try_split_root<T: Tally, C: SplitSpawn>(
+    plan: &CompiledQuery,
+    tries: &TrieSet,
+    cursors: &mut [TrieCursor<'_>],
+    root_sup: &mut Option<Value>,
+    ctl: &mut C,
+    stats: &mut EngineStats<T>,
+) {
+    if !ctl.should_split() {
+        return;
+    }
+    let parts = plan.atoms_at(0);
+    let (donor, remaining) = parts
+        .iter()
+        .map(|&(a, _)| {
+            let c = &cursors[a];
+            let (_, hi) = c.sibling_range();
+            (a, hi - c.pos() - 1)
+        })
+        .min_by_key(|&(_, r)| r)
+        .expect("every depth has at least one participant");
+    if remaining < MIN_SPLIT_TAIL {
+        return;
+    }
+    let c = &cursors[donor];
+    let (_, hi) = c.sibling_range();
+    let pos = c.pos();
+    let boundary = c.trie().level(0).values()[pos + 1 + remaining / 2];
+    debug_assert!(hi - pos - 1 == remaining && boundary > c.key());
+    if ctl.vetoed(boundary) {
+        return;
+    }
+    for &(a, _) in parts {
+        if !TrieCursor::new(tries.for_atom(a)).open_root_range(
+            boundary,
+            *root_sup,
+            &mut stats.access,
+        ) {
+            ctl.veto_at(boundary);
+            return;
+        }
+    }
+    let sup = *root_sup;
+    for &(a, _) in parts {
+        cursors[a].clamp_root_sup(boundary, &mut stats.access);
+    }
+    *root_sup = Some(boundary);
+    ctl.handoff(boundary, sup);
+    stats.splits += 1;
+    stats.split_depth = stats.split_depth.max(ctl.generation() + 1);
+}
+
+/// One unit of work of a splitting run: a root range plus the merge lane
+/// its results stream into and its split generation.
+pub(crate) struct SplitTask {
+    lane: usize,
+    min: Value,
+    sup: Option<Value>,
+    gen: u64,
+}
+
+/// The controller handed to a driver running one [`SplitTask`]: wires
+/// [`SplitSpawn::handoff`] to a fresh merge lane (inserted right after
+/// this task's own, keeping the drain order equal to root-range order)
+/// and a [`Spawner::spawn`] onto the pool.
+pub(crate) struct SplitHandle<'r> {
+    spawner: &'r Spawner<'r, SplitTask>,
+    merge: &'r OrderedMerge<Vec<Value>>,
+    lane: usize,
+    gen: u64,
+    /// Lowest boundary whose tail failed validation; candidates at or
+    /// above it are skipped without re-probing (see
+    /// [`SplitSpawn::veto_at`]).
+    veto: Option<Value>,
+}
+
+impl SplitSpawn for SplitHandle<'_> {
+    #[inline]
+    fn should_split(&self) -> bool {
+        self.spawner.should_split()
+    }
+
+    fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    fn handoff(&mut self, min: Value, sup: Option<Value>) {
+        let lane = self.merge.open_lane_after(self.lane);
+        self.spawner.spawn(SplitTask {
+            lane,
+            min,
+            sup,
+            gen: self.gen + 1,
+        });
+    }
+
+    fn veto_at(&mut self, boundary: Value) {
+        self.veto = Some(self.veto.map_or(boundary, |v| v.min(boundary)));
+    }
+
+    fn vetoed(&self, boundary: Value) -> bool {
+        self.veto.is_some_and(|v| boundary >= v)
+    }
+}
+
+/// Runs the planned shards with dynamic splitting enabled: the pool's
+/// spawning entry point plus mid-run merge lanes. `work` receives the
+/// worker context, the shard's root range, its [`ShardSink`] and a
+/// [`SplitHandle`] to thread into the driver's root loop. Results come
+/// back in completion order (the engines only merge stats, which
+/// commutes); the streamed tuples stay in exact submission order through
+/// the merge.
+pub(crate) fn execute_split<R, F>(
+    pool: &WorkerPool,
+    ranges: &[(Value, Option<Value>)],
+    arity: usize,
+    sink: &mut dyn ResultSink,
+    work: F,
+) -> (Vec<R>, PoolStats)
+where
+    R: Send,
+    F: Fn(WorkerCtx, Value, Option<Value>, &mut ShardSink<'_>, &mut SplitHandle<'_>) -> R + Sync,
+{
+    let merge = OrderedMerge::new(ranges.len());
+    let seeds: Vec<SplitTask> = ranges
+        .iter()
+        .enumerate()
+        .map(|(lane, &(min, sup))| SplitTask {
+            lane,
+            min,
+            sup,
+            gen: 0,
+        })
+        .collect();
+    let ((results, pool_stats), ()) = pool.run_spawning(
+        seeds,
+        |ctx, spawner, task| {
+            let mut shard_sink = ShardSink::new(&merge, task.lane, arity);
+            let mut handle = SplitHandle {
+                spawner,
+                merge: &merge,
+                lane: task.lane,
+                gen: task.gen,
+                veto: None,
+            };
+            work(ctx, task.min, task.sup, &mut shard_sink, &mut handle)
+        },
+        || merge.drain(|batch| sink.push_rows(&batch, arity)),
+    );
+    (results, pool_stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use triejax_query::patterns;
-    use triejax_relation::Relation;
+    use triejax_query::{patterns, Query};
+    use triejax_relation::{Counting, Relation};
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
@@ -133,7 +409,7 @@ mod tests {
         let c = catalog();
         let plan = triejax_query::CompiledQuery::compile(&patterns::cycle3()).unwrap();
         let tries = TrieSet::build(&plan, &c).unwrap();
-        let ranges = plan_shards(&plan, &c, &tries, 4, None);
+        let ranges = plan_shards(&plan, &c, &tries, 4, None, false);
         assert!(ranges.len() > 4, "overshards beyond the worker count");
         assert_eq!(ranges[0].0, 0, "first shard starts at the domain bottom");
         assert_eq!(ranges.last().unwrap().1, None, "last shard is unbounded");
@@ -147,7 +423,281 @@ mod tests {
         let c = catalog();
         let plan = triejax_query::CompiledQuery::compile(&patterns::cycle3()).unwrap();
         let tries = TrieSet::build(&plan, &c).unwrap();
-        assert_eq!(plan_shards(&plan, &c, &tries, 1, None), vec![(0, None)]);
+        assert_eq!(
+            plan_shards(&plan, &c, &tries, 1, None, false),
+            vec![(0, None)]
+        );
+    }
+
+    /// With splitting on, the initial cut is coarse — one shard per
+    /// worker, the run rebalances itself — instead of 4x oversharded.
+    #[test]
+    fn splitting_runs_start_with_one_shard_per_worker() {
+        let c = catalog();
+        let plan = triejax_query::CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let tries = TrieSet::build(&plan, &c).unwrap();
+        let ranges = plan_shards(&plan, &c, &tries, 4, None, true);
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[0].0, 0);
+        assert_eq!(ranges.last().unwrap().1, None);
+        for pair in ranges.windows(2) {
+            assert_eq!(pair[0].1, Some(pair[1].0), "contiguous boundaries");
+        }
+    }
+
+    /// Controller that always claims an idle sibling exists and records
+    /// the offered handoffs — the driver-side protocol under a microscope.
+    #[derive(Default)]
+    struct Recorder {
+        offers: Vec<(Value, Option<Value>)>,
+        veto: Option<Value>,
+    }
+
+    impl SplitSpawn for Recorder {
+        fn should_split(&self) -> bool {
+            true
+        }
+        fn generation(&self) -> u64 {
+            0
+        }
+        fn handoff(&mut self, min: Value, sup: Option<Value>) {
+            self.offers.push((min, sup));
+        }
+        fn veto_at(&mut self, boundary: Value) {
+            self.veto = Some(self.veto.map_or(boundary, |v| v.min(boundary)));
+        }
+        fn vetoed(&self, boundary: Value) -> bool {
+            self.veto.is_some_and(|v| boundary >= v)
+        }
+    }
+
+    /// `ans(x, y) :- R(x, y), S(x, y)` — two depth-0 participants over
+    /// *different* relations, so donor choice and tail validation both
+    /// have real work to do. `compile` binds the head order, so `x` is
+    /// the root variable.
+    fn two_rel_fixture(
+        r_roots: &[u32],
+        s_roots: &[u32],
+    ) -> (CompiledQuery, Catalog, crate::TrieSet) {
+        let q = Query::builder("split_math")
+            .head(["x", "y"])
+            .atom("R", ["x", "y"])
+            .atom("S", ["x", "y"])
+            .build()
+            .unwrap();
+        let plan = CompiledQuery::compile(&q).unwrap();
+        let mut c = Catalog::new();
+        c.insert(
+            "R",
+            Relation::from_pairs(r_roots.iter().map(|&x| (x, 1)).collect::<Vec<_>>()),
+        );
+        c.insert(
+            "S",
+            Relation::from_pairs(s_roots.iter().map(|&x| (x, 1)).collect::<Vec<_>>()),
+        );
+        let tries = crate::TrieSet::build(&plan, &c).unwrap();
+        (plan, c, tries)
+    }
+
+    /// Opens every depth-0 participant at the bottom of the root range —
+    /// the drivers' root-loop state at the first common match.
+    fn root_cursors<'a>(
+        plan: &CompiledQuery,
+        tries: &'a crate::TrieSet,
+        sup: Option<Value>,
+        stats: &mut EngineStats<Counting>,
+    ) -> Vec<TrieCursor<'a>> {
+        (0..plan.atoms_at(0).len())
+            .map(|a| {
+                let mut c = TrieCursor::new(tries.for_atom(a));
+                assert!(c.open_root_range(0, sup, &mut stats.access));
+                c
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_hands_off_the_far_half_and_clamps_the_donor() {
+        // Donor is S (fewest unvisited siblings): positioned on 0 with
+        // {4, 8} remaining, the midpoint boundary is 8.
+        let (plan, _c, tries) = two_rel_fixture(&[0, 1, 2, 3, 4, 5, 6, 7, 8], &[0, 4, 8]);
+        let mut stats = EngineStats::<Counting>::default();
+        let mut cursors = root_cursors(&plan, &tries, None, &mut stats);
+        let mut root_sup = None;
+        let mut ctl = Recorder::default();
+        try_split_root(
+            &plan,
+            &tries,
+            &mut cursors,
+            &mut root_sup,
+            &mut ctl,
+            &mut stats,
+        );
+        assert_eq!(ctl.offers, vec![(8, None)], "tail = far half, open above");
+        assert_eq!(root_sup, Some(8), "parent's range shrank to [0, 8)");
+        assert_eq!(stats.splits, 1);
+        assert_eq!(stats.split_depth, 1);
+        // Both cursors were clamped below the boundary: S now ends at 4,
+        // R at 7.
+        let s = &mut cursors[1];
+        assert!(s.next(&mut stats.access));
+        assert_eq!(s.key(), 4);
+        assert!(!s.next(&mut stats.access), "8 was handed away");
+    }
+
+    #[test]
+    fn single_spare_value_is_too_small_to_split() {
+        // S has one unvisited sibling: a split would leave the parent or
+        // the tail empty, so the offer must not happen.
+        let (plan, _c, tries) = two_rel_fixture(&[0, 1, 2, 3, 4], &[0, 4]);
+        let mut stats = EngineStats::<Counting>::default();
+        let mut cursors = root_cursors(&plan, &tries, None, &mut stats);
+        let mut root_sup = None;
+        let mut ctl = Recorder::default();
+        try_split_root(
+            &plan,
+            &tries,
+            &mut cursors,
+            &mut root_sup,
+            &mut ctl,
+            &mut stats,
+        );
+        assert!(ctl.offers.is_empty());
+        assert_eq!(root_sup, None, "range untouched");
+        assert_eq!(stats.splits, 0);
+    }
+
+    #[test]
+    fn empty_tail_in_any_participant_skips_the_split() {
+        // Donor S offers boundary 20, but R has no root value >= 20: the
+        // tail joins to nothing, so no task is spawned and the parent
+        // keeps its range.
+        let (plan, _c, tries) = two_rel_fixture(&[0, 1, 2, 3, 4, 5], &[0, 10, 20]);
+        let mut stats = EngineStats::<Counting>::default();
+        let mut cursors = root_cursors(&plan, &tries, None, &mut stats);
+        let mut root_sup = None;
+        let mut ctl = Recorder::default();
+        try_split_root(
+            &plan,
+            &tries,
+            &mut cursors,
+            &mut root_sup,
+            &mut ctl,
+            &mut stats,
+        );
+        assert!(ctl.offers.is_empty(), "empty tail must be rejected");
+        assert_eq!(root_sup, None);
+        assert_eq!(stats.splits, 0);
+        // The failed boundary is vetoed: re-attempting the same (or any
+        // higher) candidate skips the validation probes entirely.
+        assert!(ctl.vetoed(20) && ctl.vetoed(21));
+        assert!(!ctl.vetoed(19), "lower candidates stay allowed");
+        let probes = stats.memory_accesses();
+        try_split_root(
+            &plan,
+            &tries,
+            &mut cursors,
+            &mut root_sup,
+            &mut ctl,
+            &mut stats,
+        );
+        assert!(ctl.offers.is_empty() && stats.splits == 0);
+        assert_eq!(
+            stats.memory_accesses(),
+            probes,
+            "a vetoed candidate must not re-probe"
+        );
+    }
+
+    /// A vetoed boundary must not kill splitting for good: after the
+    /// cursors advance, a *different* donor can propose a lower boundary
+    /// whose tail validates — and the shard still rebalances.
+    #[test]
+    fn lower_boundary_from_another_donor_splits_after_a_veto() {
+        // At root match 0: R is the min-remaining donor, proposes 5000,
+        // and S (nothing >= 5000) vetoes it. At root match 50: S is the
+        // donor, proposes 70 < 5000, and both participants have root
+        // values in [70, None) — the split must happen.
+        let (plan, _c, tries) = two_rel_fixture(
+            &[0, 50, 80, 5000, 6000, 7000],
+            &[0, 1, 2, 3, 4, 50, 60, 70, 80],
+        );
+        let mut stats = EngineStats::<Counting>::default();
+        let mut cursors = root_cursors(&plan, &tries, None, &mut stats);
+        let mut root_sup = None;
+        let mut ctl = Recorder::default();
+        try_split_root(
+            &plan,
+            &tries,
+            &mut cursors,
+            &mut root_sup,
+            &mut ctl,
+            &mut stats,
+        );
+        assert!(ctl.offers.is_empty() && ctl.vetoed(5000), "5000 vetoed");
+        // Advance every cursor to the next common root match, 50.
+        for c in &mut cursors {
+            assert!(c.seek(50, &mut stats.access));
+            assert_eq!(c.key(), 50);
+        }
+        try_split_root(
+            &plan,
+            &tries,
+            &mut cursors,
+            &mut root_sup,
+            &mut ctl,
+            &mut stats,
+        );
+        assert_eq!(ctl.offers, vec![(70, None)], "the lower boundary splits");
+        assert_eq!(root_sup, Some(70));
+        assert_eq!(stats.splits, 1);
+    }
+
+    /// The validation probes are real simulated traffic and must be
+    /// charged like the clamp probes: a committed split records strictly
+    /// more index reads than positioning the cursors did.
+    #[test]
+    fn split_validation_probes_are_counted() {
+        let (plan, _c, tries) = two_rel_fixture(&[0, 1, 2, 3, 4, 5, 6, 7, 8], &[0, 4, 8]);
+        let mut stats = EngineStats::<Counting>::default();
+        let mut cursors = root_cursors(&plan, &tries, None, &mut stats);
+        let mut root_sup = None;
+        let mut ctl = Recorder::default();
+        let before = stats.memory_accesses();
+        try_split_root(
+            &plan,
+            &tries,
+            &mut cursors,
+            &mut root_sup,
+            &mut ctl,
+            &mut stats,
+        );
+        assert_eq!(stats.splits, 1);
+        assert!(
+            stats.memory_accesses() > before,
+            "validation + clamp searches must be tallied"
+        );
+    }
+
+    #[test]
+    fn bounded_shards_hand_off_within_their_own_sup() {
+        // A shard already bounded above splits strictly inside [0, 7):
+        // the tail inherits the parent's old sup.
+        let (plan, _c, tries) = two_rel_fixture(&[0, 1, 2, 3, 4, 5, 6], &[0, 2, 4, 6]);
+        let mut stats = EngineStats::<Counting>::default();
+        let mut cursors = root_cursors(&plan, &tries, Some(7), &mut stats);
+        let mut root_sup = Some(7);
+        let mut ctl = Recorder::default();
+        try_split_root(
+            &plan,
+            &tries,
+            &mut cursors,
+            &mut root_sup,
+            &mut ctl,
+            &mut stats,
+        );
+        assert_eq!(ctl.offers, vec![(4, Some(7))], "tail ends at the old sup");
+        assert_eq!(root_sup, Some(4));
     }
 
     #[test]
@@ -155,9 +705,9 @@ mod tests {
         let c = catalog();
         let plan = triejax_query::CompiledQuery::compile(&patterns::cycle3()).unwrap();
         let tries = TrieSet::build(&plan, &c).unwrap();
-        assert_eq!(plan_shards(&plan, &c, &tries, 4, Some(3)).len(), 3);
+        assert_eq!(plan_shards(&plan, &c, &tries, 4, Some(3), false).len(), 3);
         // More shards than root values: clamped, never empty ranges.
-        let ranges = plan_shards(&plan, &c, &tries, 4, Some(10_000));
+        let ranges = plan_shards(&plan, &c, &tries, 4, Some(10_000), false);
         assert_eq!(ranges.len(), 40);
     }
 }

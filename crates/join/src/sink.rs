@@ -143,8 +143,8 @@ impl ResultSink for CollectSink {
 /// shards are still running* — no shard ever materializes its full result.
 ///
 /// Dropping the sink flushes the final partial batch and closes the lane
-/// (so a panicking shard still unblocks the drainer); [`finish`]
-/// (Self::finish) does the same explicitly.
+/// (so a panicking shard still unblocks the drainer);
+/// [`finish`](Self::finish) does the same explicitly.
 ///
 /// # Example
 ///

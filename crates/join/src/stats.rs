@@ -56,6 +56,19 @@ pub struct EngineStats<T: Tally = Counting> {
     /// and took the shard — rather than from the owning worker's queue
     /// (parallel engines only).
     pub steals: u64,
+    /// Dynamic shard splits performed (parallel engines with splitting
+    /// enabled, see `ParLftj::with_split`/`ParCtj::with_split` and the
+    /// `TRIEJAX_SPLIT` environment default): a running shard observed an
+    /// idle sibling worker and carved the unvisited tail of its root
+    /// range off into a freshly spawned shard. Split shards are included
+    /// in [`shards`](Self::shards).
+    pub splits: u64,
+    /// Deepest split generation reached: `0` when no split happened, `1`
+    /// when an initial shard split, `2` when a split shard split again,
+    /// and so on. Unlike the other counters this merges by *maximum* —
+    /// it measures how long the longest handoff chain grew, which is the
+    /// paper's §3.4 spawn depth, not a volume.
+    pub split_depth: u64,
     /// Simulated memory touches, reported through the [`Tally`].
     pub access: T,
 }
@@ -110,6 +123,8 @@ impl<T: Tally> EngineStats<T> {
         self.match_ops += other.match_ops;
         self.shards += other.shards;
         self.steals += other.steals;
+        self.splits += other.splits;
+        self.split_depth = self.split_depth.max(other.split_depth);
         Tally::merge(&mut self.access, &other.access);
     }
 }
@@ -154,9 +169,15 @@ mod tests {
         b.cache_evictions = 1;
         b.cache_races = 2;
         b.cache_contention = 3;
+        a.splits = 4;
+        a.split_depth = 3;
+        b.splits = 1;
+        b.split_depth = 2;
         b.access.record(AccessKind::ResultWrite, 8);
         a.merge(&b);
         assert_eq!(a.results, 5);
+        assert_eq!(a.splits, 5, "splits sum");
+        assert_eq!(a.split_depth, 3, "split depth merges by maximum");
         assert_eq!(a.lub_ops, 1);
         assert_eq!(a.match_ops, 7);
         assert_eq!(a.cache_evictions, 5);

@@ -38,7 +38,7 @@ mod parser;
 pub mod patterns;
 mod plan;
 
-pub use ast::{Atom, Query, VarId};
+pub use ast::{Atom, Query, QueryBuilder, VarId};
 pub use error::QueryError;
 pub use order::{optimize_order, suggest_order};
 pub use parser::parse_query;

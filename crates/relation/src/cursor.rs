@@ -219,6 +219,32 @@ impl<'a> TrieCursor<'a> {
         }
     }
 
+    /// Shrinks the open root level's sibling range to values `< sup`,
+    /// locating the new bound by counted binary search (one probe per
+    /// midpoint read, like [`seek`](Self::seek)).
+    ///
+    /// This is the parent side of a dynamic shard split: after handing
+    /// the unvisited tail `[sup, old_sup)` of its root range to a freshly
+    /// spawned task, a driver clamps every participating cursor so its
+    /// own leapfrog never walks into the range it just gave away.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly the root level is open, positioned on a key
+    /// smaller than `sup` (a split boundary always lies strictly beyond
+    /// the value being processed).
+    pub fn clamp_root_sup<T: Tally>(&mut self, sup: Value, counter: &mut T) {
+        assert_eq!(self.frames.len(), 1, "clamp applies to the open root level");
+        let values = self.trie.level(0).values();
+        let f = self.frames.last_mut().expect("non-empty frames");
+        assert!(f.pos < f.hi, "cursor is at end");
+        assert!(
+            values[f.pos] < sup,
+            "split boundary must lie beyond the current key"
+        );
+        f.hi = lower_bound(values, f.pos, f.hi, sup, counter);
+    }
+
     /// Ascends one level.
     ///
     /// # Panics
@@ -504,6 +530,57 @@ mod tests {
         assert!(proto.clone_at_root_range(4, Some(7)).is_none());
         // The prototype itself is untouched (still above the root).
         assert_eq!(proto.depth(), 0);
+    }
+
+    #[test]
+    fn clamp_root_sup_shrinks_the_live_frame() {
+        // Root level: [1, 3, 7].
+        let t = trie();
+        let mut cur = TrieCursor::new(&t);
+        let mut c = AccessCounter::default();
+        assert!(cur.open_root_range(0, None, &mut c));
+        assert_eq!(cur.key(), 1);
+        let before = c.index_reads;
+        cur.clamp_root_sup(7, &mut c);
+        assert!(c.index_reads > before, "the bounding search is counted");
+        assert_eq!(cur.key(), 1, "current position is untouched");
+        assert!(cur.next(&mut c));
+        assert_eq!(cur.key(), 3);
+        assert!(!cur.next(&mut c), "7 was clamped away");
+    }
+
+    #[test]
+    fn clamp_root_sup_can_leave_only_the_current_key() {
+        let t = trie();
+        let mut cur = TrieCursor::new(&t);
+        let mut c = AccessCounter::default();
+        cur.open(&mut c);
+        cur.seek(3, &mut c);
+        cur.clamp_root_sup(4, &mut c); // everything after 3 is handed off
+        assert_eq!(cur.key(), 3);
+        assert!(!cur.next(&mut c));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the current key")]
+    fn clamp_root_sup_at_or_before_the_current_key_panics() {
+        let t = trie();
+        let mut cur = TrieCursor::new(&t);
+        let mut c = AccessCounter::default();
+        cur.open(&mut c);
+        cur.seek(3, &mut c);
+        cur.clamp_root_sup(3, &mut c);
+    }
+
+    #[test]
+    #[should_panic(expected = "open root level")]
+    fn clamp_root_sup_below_the_root_panics() {
+        let t = trie();
+        let mut cur = TrieCursor::new(&t);
+        let mut c = AccessCounter::default();
+        cur.open(&mut c);
+        cur.open(&mut c);
+        cur.clamp_root_sup(9, &mut c);
     }
 
     #[test]

@@ -1,13 +1,15 @@
 //! The paper's introductory example (Figure 1): the natural join of
 //! Posts, Likes and Follows — "posts liked by users with followers" — run
-//! over a synthetic social schema with multiple distinct relations.
+//! over a synthetic social schema with multiple distinct relations,
+//! with the worst-case-optimal engines (sequential CTJ and the
+//! pool-based `ParCtj` builder) against the traditional pairwise plan.
 //!
 //! Run with: `cargo run --release --example paper_figure1`
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use triejax::{TrieJax, TrieJaxConfig};
-use triejax_join::{Catalog, CollectSink, CountSink, Ctj, JoinEngine, PairwiseHash};
+use triejax_join::{Catalog, CollectSink, CountSink, Ctj, JoinEngine, PairwiseHash, ParCtj};
 use triejax_query::{parse_query, CompiledQuery};
 use triejax_relation::Relation;
 
@@ -50,6 +52,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "intermediates: CTJ cached {} values, pairwise materialized {} tuples",
         ctj_stats.intermediates, pw_stats.intermediates
+    );
+
+    // The pool-based parallel engine streams the identical tuple order
+    // through its shard merge (root-range shards + shared PJR cache).
+    let mut parallel = CollectSink::new();
+    let par_stats = ParCtj::with_pool(2).execute(&plan, &catalog, &mut parallel)?;
+    assert_eq!(parallel.tuples(), wcoj.tuples());
+    println!(
+        "parallel CTJ agrees in order across {} shards ({} stolen)",
+        par_stats.shards, par_stats.steals
     );
 
     // And on the accelerator.

@@ -1,11 +1,13 @@
 //! Quickstart: find every triangle in a small graph, first with the
-//! software Cached TrieJoin engine, then on the simulated TrieJax
-//! accelerator — and check they agree.
+//! software Cached TrieJoin engine, then on the shared parallel runtime
+//! (the pool-based `ParCtj` builder with dynamic splitting enabled),
+//! then on the simulated TrieJax accelerator — and check they all
+//! agree, tuple for tuple.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use triejax::{TrieJax, TrieJaxConfig};
-use triejax_join::{Catalog, CollectSink, Ctj, JoinEngine};
+use triejax_join::{Catalog, CollectSink, Ctj, JoinEngine, ParCtj};
 use triejax_query::{patterns, CompiledQuery};
 use triejax_relation::Relation;
 
@@ -35,7 +37,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.bytes_moved()
     );
 
-    // 2. The TrieJax accelerator (cycle-level simulation).
+    // 2. The same join on the shared parallel runtime: a pool of
+    // workers over root-range shards, dynamic splitting on, one PJR
+    // cache shared by every worker. The merged stream is guaranteed to
+    // be tuple-for-tuple identical to the sequential engine — same
+    // tuples, same order.
+    let mut parallel = CollectSink::new();
+    let par_stats =
+        ParCtj::with_pool(2)
+            .with_split(true)
+            .execute(&plan, &catalog, &mut parallel)?;
+    assert_eq!(parallel.tuples(), software.tuples());
+    println!(
+        "parallel CTJ agrees in order: {} shards, {} stolen, {} split off mid-run\n",
+        par_stats.shards, par_stats.steals, par_stats.splits
+    );
+
+    // 3. The TrieJax accelerator (cycle-level simulation).
     let accel = TrieJax::new(TrieJaxConfig::default());
     let mut hardware = CollectSink::new();
     let report = accel.run_with_sink(&plan, &catalog, &mut hardware)?;
