@@ -17,7 +17,7 @@
 //!
 //! Usage: `bench_joins [--scale tiny|mini|full] [--dataset <label>]
 //! [--runs N] [--pool N] [--cache-cap N] [--split | --no-split]
-//! [--out PATH] [--no-gate]`
+//! [--row-limit N] [--deadline-ms N] [--out PATH] [--no-gate]`
 //!
 //! `--cache-cap N` bounds the `parctj` rows' shared PJR cache to `N`
 //! total entries (per-stripe FIFO eviction; `0` disables caching), so
@@ -30,11 +30,19 @@
 //! Splitting runs record `"split": true` in the artifact and its config
 //! signature; non-splitting runs omit the field, so artifacts from
 //! before the knob existed still gate against non-splitting runs.
+//!
+//! `--row-limit N` / `--deadline-ms N` put the parallel rows under a
+//! query budget, timing cancellation (time-to-first-N-rows /
+//! time-to-deadline) instead of full runs. Governed runs record the knob
+//! in the artifact and its config signature; ungoverned runs omit the
+//! fields, so pre-knob artifacts still gate against ungoverned runs.
+//! Every invocation also smoke-checks that a zero-deadline run reports
+//! `Cancelled` — a cheap liveness probe that is never a gated row.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use triejax_graph::{Dataset, Scale};
-use triejax_join::{Catalog, CountSink, Counting, Ctj, Lftj, NoTally, ParCtj, ParLftj};
+use triejax_join::{Catalog, CountSink, Counting, Ctj, JoinError, Lftj, NoTally, ParCtj, ParLftj};
 use triejax_query::{patterns::Pattern, CompiledQuery};
 
 /// Median slowdown (percent) beyond which the gate fails the run.
@@ -122,6 +130,8 @@ fn config_signature(
     Option<u128>,
     Option<u128>,
     bool,
+    Option<u128>,
+    Option<u128>,
 ) {
     (
         field_str(text, "dataset"),
@@ -130,6 +140,8 @@ fn config_signature(
         field_num(text, "pool"),
         field_num(text, "cache_cap"),
         field_bool(text, "split"),
+        field_num(text, "row_limit"),
+        field_num(text, "deadline_ms"),
     )
 }
 
@@ -141,6 +153,8 @@ fn main() {
     let mut pool: Option<usize> = None;
     let mut cache_cap: Option<usize> = None;
     let mut split: Option<bool> = None;
+    let mut row_limit: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut gate = true;
     let mut out_path = String::from("BENCH_joins.json");
     let mut i = 0;
@@ -177,6 +191,18 @@ fn main() {
             }
             "--split" => split = Some(true),
             "--no-split" => split = Some(false),
+            "--row-limit" => {
+                i += 1;
+                let n: u64 = args[i].parse().expect("--row-limit takes a number");
+                assert!(n > 0, "--row-limit must be at least 1");
+                row_limit = Some(n);
+            }
+            "--deadline-ms" => {
+                i += 1;
+                let n: u64 = args[i].parse().expect("--deadline-ms takes a number");
+                assert!(n > 0, "--deadline-ms must be at least 1");
+                deadline_ms = Some(n);
+            }
             "--no-gate" => gate = false,
             "--out" => {
                 i += 1;
@@ -202,18 +228,59 @@ fn main() {
     let mut catalog = Catalog::new();
     catalog.insert("G", dataset.generate(scale).edge_relation());
     let par_lftj = || {
-        pool.map_or_else(ParLftj::new, ParLftj::with_pool)
-            .with_split(split)
+        let mut engine = pool
+            .map_or_else(ParLftj::new, ParLftj::with_pool)
+            .with_split(split);
+        if let Some(n) = row_limit {
+            engine = engine.with_row_limit(n);
+        }
+        if let Some(ms) = deadline_ms {
+            engine = engine.with_deadline(Duration::from_millis(ms));
+        }
+        engine
     };
     let par_ctj = || {
-        let engine = pool
+        let mut engine = pool
             .map_or_else(ParCtj::new, ParCtj::with_pool)
             .with_split(split);
-        match cache_cap {
-            Some(cap) => engine.cache_capacity(cap),
-            None => engine,
+        if let Some(cap) = cache_cap {
+            engine = engine.cache_capacity(cap);
+        }
+        if let Some(n) = row_limit {
+            engine = engine.with_row_limit(n);
+        }
+        if let Some(ms) = deadline_ms {
+            engine = engine.with_deadline(Duration::from_millis(ms));
+        }
+        engine
+    };
+    // A governed row legitimately reports `Cancelled` — the time to trip
+    // the budget is the thing being measured; any other error is a bug.
+    let settle = |outcome: Result<(), JoinError>| {
+        if let Err(e) = outcome {
+            assert!(matches!(e, JoinError::Cancelled { .. }), "runs: {e}");
         }
     };
+
+    // Robustness smoke probe (never a timed or gated row): a zero-deadline
+    // governed run must come back `Cancelled`, proving the cancellation
+    // path is live on this build before any measurement depends on it.
+    {
+        let plan = CompiledQuery::compile(&Pattern::Cycle3.query()).expect("compiles");
+        let mut sink = CountSink::default();
+        let outcome = pool
+            .map_or_else(ParLftj::new, ParLftj::with_pool)
+            .with_split(split)
+            .with_deadline(Duration::ZERO)
+            .run_tallied::<Counting>(&plan, &catalog, &mut sink);
+        match outcome {
+            Err(JoinError::Cancelled { reason, .. }) => {
+                println!("cancellation smoke check: zero-deadline run reported \"{reason}\"");
+            }
+            Ok(_) => panic!("zero-deadline run must report Cancelled, got a full result"),
+            Err(other) => panic!("zero-deadline run must report Cancelled, got {other}"),
+        }
+    }
 
     let mut measurements: Vec<Measurement> = Vec::new();
     for pattern in [Pattern::Cycle3, Pattern::Cycle4] {
@@ -263,9 +330,11 @@ fn main() {
                 "parlftj-counting",
                 Box::new(|| {
                     let mut sink = CountSink::default();
-                    par_lftj()
-                        .run_tallied::<Counting>(&plan, &catalog, &mut sink)
-                        .expect("runs");
+                    settle(
+                        par_lftj()
+                            .run_tallied::<Counting>(&plan, &catalog, &mut sink)
+                            .map(|_| ()),
+                    );
                     sink.count()
                 }),
             ),
@@ -273,9 +342,11 @@ fn main() {
                 "parlftj-notally",
                 Box::new(|| {
                     let mut sink = CountSink::default();
-                    par_lftj()
-                        .run_tallied::<NoTally>(&plan, &catalog, &mut sink)
-                        .expect("runs");
+                    settle(
+                        par_lftj()
+                            .run_tallied::<NoTally>(&plan, &catalog, &mut sink)
+                            .map(|_| ()),
+                    );
                     sink.count()
                 }),
             ),
@@ -283,9 +354,11 @@ fn main() {
                 "parctj-counting",
                 Box::new(|| {
                     let mut sink = CountSink::default();
-                    par_ctj()
-                        .run_tallied::<Counting>(&plan, &catalog, &mut sink)
-                        .expect("runs");
+                    settle(
+                        par_ctj()
+                            .run_tallied::<Counting>(&plan, &catalog, &mut sink)
+                            .map(|_| ()),
+                    );
                     sink.count()
                 }),
             ),
@@ -293,9 +366,11 @@ fn main() {
                 "parctj-notally",
                 Box::new(|| {
                     let mut sink = CountSink::default();
-                    par_ctj()
-                        .run_tallied::<NoTally>(&plan, &catalog, &mut sink)
-                        .expect("runs");
+                    settle(
+                        par_ctj()
+                            .run_tallied::<NoTally>(&plan, &catalog, &mut sink)
+                            .map(|_| ()),
+                    );
                     sink.count()
                 }),
             ),
@@ -331,13 +406,15 @@ fn main() {
         pool.map(|n| n as u128),
         cache_cap.map(|n| n as u128),
         split,
+        row_limit.map(u128::from),
+        deadline_ms.map(u128::from),
     );
     let previous = if previous_text.is_empty() {
         Vec::new()
     } else if config_signature(&previous_text) != current_sig {
         println!(
-            "previous {out_path} used a different dataset/scale/runs/pool/cache-cap/split \
-             configuration: skipping the regression gate"
+            "previous {out_path} used a different dataset/scale/runs/pool/cache-cap/split/\
+             budget configuration: skipping the regression gate"
         );
         Vec::new()
     } else {
@@ -428,6 +505,15 @@ fn main() {
     // still signature-match non-splitting runs.
     if split {
         json.push_str("  \"split\": true,\n");
+    }
+    // Budget knobs are also written only when set: a governed run times
+    // something different (cancellation latency), so it must never
+    // signature-match — and silently gate against — ungoverned baselines.
+    if let Some(n) = row_limit {
+        json.push_str(&format!("  \"row_limit\": {n},\n"));
+    }
+    if let Some(n) = deadline_ms {
+        json.push_str(&format!("  \"deadline_ms\": {n},\n"));
     }
     json.push_str("  \"measurements\": [\n");
     for (i, m) in measurements.iter().enumerate() {

@@ -45,6 +45,19 @@
 //! exercises the multi-worker code paths with `TRIEJAX_POOL=2` even on
 //! single-core runners.
 //!
+//! Two further layers make the runtime governable and testable:
+//!
+//! * [`RunBudget`] / [`Budget`] — cooperative cancellation and query
+//!   budgets (deadline, row quota, intermediate-tuple budget). Kernels
+//!   generic over [`Budget`] stay zero-cost when un-governed
+//!   ([`NoBudget`]) and poll a shared flag when governed
+//!   ([`BudgetHandle`]); a tripped budget winds the whole pool run down
+//!   cooperatively instead of abandoning merge lanes.
+//! * `faults` (tests / `--features faults` only) — a deterministic
+//!   fault-injection harness that forces panics, delays, and failed
+//!   split handoffs at precise `(worker, event, ordinal)` points, so the
+//!   no-hang/no-lost-lane properties above are *tested*, not assumed.
+//!
 //! # Example
 //!
 //! ```
@@ -72,11 +85,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
+#[cfg(any(test, feature = "faults"))]
+pub mod faults;
 mod merge;
 mod pool;
 mod split;
 mod striped;
 
+pub use budget::{Budget, BudgetHandle, CancelReason, CancelToken, NoBudget, RunBudget};
 pub use merge::OrderedMerge;
 pub use pool::{PoolStats, WorkerCtx, WorkerPool};
 pub use split::Spawner;

@@ -140,6 +140,11 @@ impl<B> OrderedMerge<B> {
     ///
     /// Panics if `lane` is out of range or already finished.
     pub fn push(&self, lane: usize, batch: B) {
+        // Fault hook before the lock: an injected panic here unwinds
+        // with the merge state untouched and unpoisoned, so the
+        // producer's RAII lane cleanup (and every other lane) proceeds.
+        #[cfg(any(test, feature = "faults"))]
+        crate::faults::fire(crate::faults::FaultEvent::MergePush);
         let mut s = self.state.lock().expect("merge poisoned");
         assert!(!s.finished[lane], "push to a finished lane");
         s.pending[lane].push_back(batch);

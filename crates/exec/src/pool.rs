@@ -139,6 +139,8 @@ impl WorkerPool {
                     let work = &work;
                     let panicked = &panicked;
                     scope.spawn(move || {
+                        #[cfg(any(test, feature = "faults"))]
+                        crate::faults::set_worker(id);
                         let ctx = WorkerCtx {
                             worker: id,
                             workers: n,
@@ -149,6 +151,22 @@ impl WorkerPool {
                             // (back) — the classic stealing discipline.
                             let mut task = queues[id].lock().expect("queue poisoned").pop_front();
                             if task.is_none() {
+                                // Fault hook *before* any victim pop: a
+                                // worker injected to die here has claimed
+                                // nothing, so its siblings still complete
+                                // every task and no merge lane is lost.
+                                // Caught here so the dying worker retires
+                                // with its finished results instead of
+                                // taking the whole thread (and the real
+                                // payload) down with it.
+                                #[cfg(any(test, feature = "faults"))]
+                                if let Err(payload) = std::panic::catch_unwind(|| {
+                                    crate::faults::fire(crate::faults::FaultEvent::Steal);
+                                }) {
+                                    let mut first = panicked.lock().expect("panic slot poisoned");
+                                    first.get_or_insert(payload);
+                                    break;
+                                }
                                 for k in 1..n {
                                     let victim = (id + k) % n;
                                     let stolen =
@@ -289,6 +307,8 @@ impl WorkerPool {
                     let work = &work;
                     let panicked = &panicked;
                     scope.spawn(move || {
+                        #[cfg(any(test, feature = "faults"))]
+                        crate::faults::set_worker(id);
                         let ctx = WorkerCtx {
                             worker: id,
                             workers: n,
@@ -296,7 +316,27 @@ impl WorkerPool {
                         let spawner = Spawner::new(state, id);
                         let mut local: Vec<R> = Vec::new();
                         loop {
-                            let Some(task) = state.claim(id) else {
+                            // The claim path hosts the steal-site fault
+                            // hook; catch it so an injected death there
+                            // retires the worker (which holds no task)
+                            // instead of killing the thread and losing
+                            // both its results and the panic payload.
+                            #[cfg(any(test, feature = "faults"))]
+                            let claimed =
+                                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    state.claim(id)
+                                })) {
+                                    Ok(t) => t,
+                                    Err(payload) => {
+                                        let mut first =
+                                            panicked.lock().expect("panic slot poisoned");
+                                        first.get_or_insert(payload);
+                                        break;
+                                    }
+                                };
+                            #[cfg(not(any(test, feature = "faults")))]
+                            let claimed = state.claim(id);
+                            let Some(task) = claimed else {
                                 if state.wait_for_work() {
                                     continue;
                                 }

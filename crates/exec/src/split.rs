@@ -67,6 +67,12 @@ impl<T> SpawnState<T> {
             .expect("queue poisoned")
             .pop_front();
         if task.is_none() {
+            // Fault hook *before* any victim pop: a worker injected to
+            // die here holds no task, so pending/running stay accurate
+            // and the survivors drain every queue (no hang, no lost
+            // lane).
+            #[cfg(any(test, feature = "faults"))]
+            crate::faults::fire(crate::faults::FaultEvent::Steal);
             for k in 1..n {
                 let victim = (worker + k) % n;
                 let stolen = self.queues[victim]

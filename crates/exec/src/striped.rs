@@ -1,4 +1,4 @@
-use std::sync::{Mutex, MutexGuard, TryLockError};
+use std::sync::{Mutex, MutexGuard, PoisonError, TryLockError};
 
 /// Lock-striped shared state: one value of `T` per *stripe*, each behind
 /// its own [`Mutex`], addressed by a caller-supplied hash.
@@ -60,29 +60,31 @@ impl<T> Striped<T> {
     /// the acquisition had to wait. Callers surface that as a contention
     /// counter (e.g. `EngineStats::cache_contention`).
     ///
-    /// # Panics
-    ///
-    /// Panics if a previous holder of the stripe panicked (poisoning).
+    /// Poisoning is recovered from, not propagated: a sibling worker
+    /// that panicked while holding a stripe must not cascade its failure
+    /// into every survivor (the pool already captures and re-throws the
+    /// original panic). Callers keep stripe values panic-consistent by
+    /// ordering their mutations so any intermediate state is valid —
+    /// see the shared PJR cache's publish path.
     pub fn lock(&self, hash: u64) -> (MutexGuard<'_, T>, bool) {
         let lane = &self.lanes[self.lane(hash)];
         match lane.try_lock() {
             Ok(guard) => (guard, false),
-            Err(TryLockError::WouldBlock) => (lane.lock().expect("stripe poisoned"), true),
-            Err(TryLockError::Poisoned(_)) => panic!("stripe poisoned"),
+            Err(TryLockError::WouldBlock) => {
+                (lane.lock().unwrap_or_else(PoisonError::into_inner), true)
+            }
+            Err(TryLockError::Poisoned(poisoned)) => (poisoned.into_inner(), false),
         }
     }
 
     /// Iterates over every stripe's value. Requires `&mut self`, which
     /// proves no worker still holds a lane — the teardown/inspection path
-    /// once a parallel run has joined.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a previous holder of a stripe panicked (poisoning).
+    /// once a parallel run has joined. Stripes poisoned by a panicked
+    /// worker are recovered, matching [`lock`](Self::lock).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
         self.lanes
             .iter_mut()
-            .map(|m| m.get_mut().expect("stripe poisoned"))
+            .map(|m| m.get_mut().unwrap_or_else(PoisonError::into_inner))
     }
 }
 

@@ -20,9 +20,18 @@ use crate::Graph;
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SnapError {
-    /// A data line did not contain two integers.
+    /// A data line did not contain exactly two integers (a third
+    /// whitespace-separated token is tolerated only when it opens an
+    /// inline `#` comment).
     BadLine {
         /// 1-based line number.
+        line: usize,
+    },
+    /// The input names more than `u32::MAX` distinct nodes, which the
+    /// densified id space cannot represent. Truncating instead would
+    /// silently alias unrelated nodes and corrupt every pattern count.
+    TooManyNodes {
+        /// 1-based line number of the edge that overflowed the id space.
         line: usize,
     },
     /// The underlying reader failed.
@@ -36,6 +45,10 @@ impl fmt::Display for SnapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SnapError::BadLine { line } => write!(f, "malformed edge at line {line}"),
+            SnapError::TooManyNodes { line } => write!(
+                f,
+                "more distinct nodes than the u32 id space can hold (line {line})"
+            ),
             SnapError::Io { message } => write!(f, "io error: {message}"),
         }
     }
@@ -67,27 +80,46 @@ pub fn read_snap<R: Read>(reader: R) -> Result<Graph, SnapError> {
     let reader = BufReader::new(reader);
     let mut ids: HashMap<u64, u32> = HashMap::new();
     let mut edges: Vec<(u32, u32)> = Vec::new();
-    let densify = |raw: u64, ids: &mut HashMap<u64, u32>| -> u32 {
-        let next = ids.len() as u32;
-        *ids.entry(raw).or_insert(next)
+    let densify = |raw: u64, ids: &mut HashMap<u64, u32>| -> Option<u32> {
+        if let Some(&id) = ids.get(&raw) {
+            return Some(id);
+        }
+        let next = u32::try_from(ids.len()).ok()?;
+        ids.insert(raw, next);
+        Some(next)
     };
     for (i, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| SnapError::Io {
             message: e.to_string(),
         })?;
+        // Strip a UTF-8 byte-order mark: editors on some platforms add
+        // one, and it would otherwise glue itself onto the first token.
+        let line = if i == 0 {
+            line.trim_start_matches('\u{feff}')
+        } else {
+            line.as_str()
+        };
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        let bad = || SnapError::BadLine { line: i + 1 };
         let mut it = line.split_whitespace();
         let (a, b) = match (it.next(), it.next()) {
             (Some(a), Some(b)) => (a, b),
-            _ => return Err(SnapError::BadLine { line: i + 1 }),
+            _ => return Err(bad()),
         };
-        let a: u64 = a.parse().map_err(|_| SnapError::BadLine { line: i + 1 })?;
-        let b: u64 = b.parse().map_err(|_| SnapError::BadLine { line: i + 1 })?;
-        let a = densify(a, &mut ids);
-        let b = densify(b, &mut ids);
+        // Trailing tokens are corruption (a truncated line glued to the
+        // next, a weight column this format does not model) unless they
+        // open an inline comment. Accepting them silently would load a
+        // different graph than the file describes.
+        if it.next().is_some_and(|rest| !rest.starts_with('#')) {
+            return Err(bad());
+        }
+        let a: u64 = a.parse().map_err(|_| bad())?;
+        let b: u64 = b.parse().map_err(|_| bad())?;
+        let a = densify(a, &mut ids).ok_or(SnapError::TooManyNodes { line: i + 1 })?;
+        let b = densify(b, &mut ids).ok_or(SnapError::TooManyNodes { line: i + 1 })?;
         edges.push((a, b));
     }
     Ok(Graph::from_edges(ids.len() as u32, edges))
@@ -162,5 +194,68 @@ mod tests {
         let g = read_snap("# nothing\n".as_bytes()).unwrap();
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_but_allows_inline_comments() {
+        assert_eq!(
+            read_snap("1 2 3\n".as_bytes()).unwrap_err(),
+            SnapError::BadLine { line: 1 },
+            "a third integer column is corruption, not an edge"
+        );
+        assert_eq!(
+            read_snap("1 2\n3 4 junk\n".as_bytes()).unwrap_err(),
+            SnapError::BadLine { line: 2 }
+        );
+        let g = read_snap("1 2 # weight omitted\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn strips_a_leading_byte_order_mark() {
+        let g = read_snap("\u{feff}1 2\n2 3\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_nodes(), 3);
+    }
+
+    #[test]
+    fn crlf_line_endings_parse() {
+        let g = read_snap("# header\r\n1 2\r\n2 3\r\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn negative_and_overflowing_ids_are_malformed() {
+        assert_eq!(
+            read_snap("-1 2\n".as_bytes()).unwrap_err(),
+            SnapError::BadLine { line: 1 }
+        );
+        // One digit past u64::MAX.
+        assert_eq!(
+            read_snap("18446744073709551616 2\n".as_bytes()).unwrap_err(),
+            SnapError::BadLine { line: 1 }
+        );
+    }
+
+    #[test]
+    fn io_failures_surface_as_io_errors() {
+        struct Failing;
+        impl std::io::Read for Failing {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+        }
+        match read_snap(Failing).unwrap_err() {
+            SnapError::Io { message } => assert!(message.contains("disk on fire")),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_displays_are_informative() {
+        assert!(SnapError::BadLine { line: 7 }.to_string().contains('7'));
+        assert!(SnapError::TooManyNodes { line: 9 }
+            .to_string()
+            .contains("u32"));
     }
 }

@@ -298,6 +298,13 @@ impl PjrStore for SharedPjrHandle<'_> {
         rows: Vec<(Value, Vec<u32>)>,
         stats: &mut EngineStats<T>,
     ) {
+        // Fault hook *before* the stripe lock: an injected panic here
+        // models a worker dying between its miss and its insert — the
+        // entry is simply never published (first-writer-wins means a
+        // sibling rebuilds it), and no stripe is left poisoned with a
+        // half-inserted entry.
+        #[cfg(feature = "faults")]
+        triejax_exec::faults::fire(triejax_exec::faults::FaultEvent::CacheInsert);
         let (mut stripe, contended) = self.cache.stripes.lock(hash);
         if contended {
             stats.cache_contention += 1;

@@ -1,3 +1,4 @@
+use triejax_exec::{Budget, NoBudget};
 use triejax_query::CompiledQuery;
 use triejax_relation::{AccessKind, Counting, Tally, TrieCursor, Value, WORD_BYTES};
 
@@ -119,7 +120,14 @@ impl JoinEngine for Ctj {
 /// [`triejax_query::CacheSpec`] guarantees the memoized match list depends
 /// on nothing but the key bindings. Partial-join results therefore replay
 /// *across root ranges* (and, with the shared store, across workers).
-pub(crate) struct CtjDriver<'a, T: Tally, C: PjrStore = LocalPjr> {
+///
+/// Like the LFTJ driver, the CTJ driver is generic over a [`Budget`]:
+/// [`NoBudget`] (the default) compiles every governance check away, a
+/// [`triejax_exec::BudgetHandle`] polls at root advances, charges rows at
+/// emit/replay points, and charges every recorded cache-entry tuple
+/// against the intermediate budget. A budget-stopped level never
+/// publishes its partially recorded entry.
+pub(crate) struct CtjDriver<'a, T: Tally, C: PjrStore = LocalPjr, B: Budget = NoBudget> {
     plan: &'a CompiledQuery,
     tries: &'a TrieSet,
     config: CtjConfig,
@@ -134,6 +142,7 @@ pub(crate) struct CtjDriver<'a, T: Tally, C: PjrStore = LocalPjr> {
     cache: C,
     root_min: Value,
     root_sup: Option<Value>,
+    budget: B,
     pub(crate) stats: EngineStats<T>,
 }
 
@@ -157,6 +166,19 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
         config: CtjConfig,
         cache: C,
     ) -> Result<Self, JoinError> {
+        Self::with_store_budget(plan, tries, config, cache, NoBudget)
+    }
+}
+
+impl<'a, T: Tally, C: PjrStore, B: Budget> CtjDriver<'a, T, C, B> {
+    /// Driver over an explicit store *and* budget (see the type docs).
+    pub(crate) fn with_store_budget(
+        plan: &'a CompiledQuery,
+        tries: &'a TrieSet,
+        config: CtjConfig,
+        cache: C,
+        budget: B,
+    ) -> Result<Self, JoinError> {
         let cursors = (0..plan.atom_plans().len())
             .map(|i| TrieCursor::new(tries.for_atom(i)))
             .collect();
@@ -177,6 +199,7 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
             cache,
             root_min: 0,
             root_sup: None,
+            budget,
             stats: EngineStats::default(),
         })
     }
@@ -221,7 +244,12 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
         self.emitter.flush(sink);
     }
 
-    fn emit_result(&mut self, sink: &mut dyn ResultSink) {
+    /// Emits the current binding; returns `false` when the budget refused
+    /// the row and the driver must stop.
+    fn emit_result(&mut self, sink: &mut dyn ResultSink) -> bool {
+        if B::GOVERNED && !self.budget.charge_row() {
+            return false;
+        }
         for d in 0..self.binding.len() {
             self.emit[self.slots[d]] = self.binding[d];
         }
@@ -230,9 +258,12 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
         self.stats
             .access
             .record(AccessKind::ResultWrite, self.emit.len() as u64 * WORD_BYTES);
+        true
     }
 
-    fn level<S: SplitSpawn>(&mut self, d: usize, sink: &mut dyn ResultSink, ctl: &mut S) {
+    /// Returns `false` when the budget stopped the run at this level or
+    /// below; cursors are unwound normally either way.
+    fn level<S: SplitSpawn>(&mut self, d: usize, sink: &mut dyn ResultSink, ctl: &mut S) -> bool {
         let record_key = match self.plan.cache_spec_at(d) {
             Some(spec) => {
                 let key: Vec<Value> = spec
@@ -248,15 +279,14 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
                     .record(AccessKind::Intermediate, key.len() as u64 * WORD_BYTES);
                 match self.cache.lookup(d, key, &mut self.stats) {
                     Looked::Hit(entry) => {
-                        self.replay(d, &entry, sink, ctl);
-                        return;
+                        return self.replay(d, &entry, sink, ctl);
                     }
                     Looked::Miss(key, token) => Some((key, token)),
                 }
             }
             None => None,
         };
-        self.compute(d, record_key, sink, ctl);
+        self.compute(d, record_key, sink, ctl)
     }
 
     /// Cache hit: iterate the stored `(value, index)` list, re-opening each
@@ -268,7 +298,7 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
         entry: &[(Value, Vec<u32>)],
         sink: &mut dyn ResultSink,
         ctl: &mut S,
-    ) {
+    ) -> bool {
         let last = d + 1 == self.plan.arity();
         let parts = self.plan.atoms_at(d);
         for (v, positions) in entry {
@@ -278,17 +308,23 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
             );
             self.binding[d] = *v;
             if last {
-                self.emit_result(sink);
+                if !self.emit_result(sink) {
+                    return false;
+                }
             } else {
                 for (i, &(a, _)) in parts.iter().enumerate() {
                     self.cursors[a].open_at(positions[i] as usize);
                 }
-                self.level(d + 1, sink, ctl);
+                let live = self.level(d + 1, sink, ctl);
                 for &(a, _) in parts {
                     self.cursors[a].up();
                 }
+                if !live {
+                    return false;
+                }
             }
         }
+        true
     }
 
     /// Standard leapfrog execution at depth `d`, optionally recording the
@@ -299,7 +335,7 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
         record_key: Option<(Vec<Value>, u64)>,
         sink: &mut dyn ResultSink,
         ctl: &mut S,
-    ) {
+    ) -> bool {
         // Open level d on every participant (clamped to the root range at
         // depth 0, so shards never leapfrog outside their slice).
         let parts = self.plan.atoms_at(d);
@@ -321,10 +357,11 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
                 for &(b, _) in &parts[..i] {
                     self.cursors[b].up();
                 }
-                return;
+                return true;
             }
         }
 
+        let mut live = true;
         let mut pending: Option<Vec<(Value, Vec<u32>)>> = record_key.as_ref().map(|_| Vec::new());
         // Recycle this depth's member vector (no per-node allocation).
         let mut lf = Leapfrog::new(std::mem::take(&mut self.members_at[d]));
@@ -332,11 +369,16 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
         while let Some(v) = m {
             self.binding[d] = v;
             if d == 0 {
-                // Root-level advance: the split poll point (the current
-                // value v stays with this shard). Only reachable outside
-                // a cache replay — a cacheable depth is never depth 0,
-                // and a split never moves the cache: entries are keyed
-                // by bindings alone, so both halves keep hitting it.
+                // Root-level advance: the budget poll and split points
+                // (the current value v stays with this shard). Only
+                // reachable outside a cache replay — a cacheable depth is
+                // never depth 0, and a split never moves the cache:
+                // entries are keyed by bindings alone, so both halves
+                // keep hitting it.
+                if B::GOVERNED && self.budget.poll().is_some() {
+                    live = false;
+                    break;
+                }
                 try_split_root(
                     self.plan,
                     self.tries,
@@ -351,6 +393,12 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
                     // Insertion-buffer overflow: drop the partial entry.
                     self.stats.cache_overflows += 1;
                     pending = None;
+                } else if B::GOVERNED && !self.budget.charge_intermediates(1) {
+                    // Memory budget exhausted: the flag is tripped; drop
+                    // the partial entry and wind down.
+                    pending = None;
+                    live = false;
+                    break;
                 } else {
                     let positions: Vec<u32> = parts
                         .iter()
@@ -359,10 +407,14 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
                     p.push((v, positions));
                 }
             }
-            if d + 1 == self.plan.arity() {
-                self.emit_result(sink);
+            let descended = if d + 1 == self.plan.arity() {
+                self.emit_result(sink)
             } else {
-                self.level(d + 1, sink, ctl);
+                self.level(d + 1, sink, ctl)
+            };
+            if !descended {
+                live = false;
+                break;
             }
             m = lf.next(&mut self.cursors, &mut self.stats);
         }
@@ -373,10 +425,15 @@ impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
 
         // The level is fully analyzed: commit the entry (paper §3.5). The
         // store applies its capacity policy (drop / evict / lose an
-        // insert race) and the matching accounting.
-        if let (Some((key, token)), Some(p)) = (record_key, pending) {
-            self.cache.publish(d, key, token, p, &mut self.stats);
+        // insert race) and the matching accounting. A budget-stopped
+        // level never publishes: its match list is truncated and a replay
+        // of it would silently drop rows from an un-cancelled rerun.
+        if live {
+            if let (Some((key, token)), Some(p)) = (record_key, pending) {
+                self.cache.publish(d, key, token, p, &mut self.stats);
+            }
         }
+        live
     }
 }
 
@@ -512,6 +569,78 @@ mod tests {
             ctj.match_ops,
             lftj.match_ops
         );
+    }
+
+    #[test]
+    fn budgeted_ctj_row_limit_is_an_exact_prefix() {
+        use std::sync::Arc;
+        use triejax_exec::{BudgetHandle, CancelReason, RunBudget};
+
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let tries = TrieSet::build(&plan, &c).unwrap();
+
+        let mut full = CollectSink::new();
+        CtjDriver::<Counting>::new(&plan, &tries, CtjConfig::default())
+            .unwrap()
+            .run(&mut full);
+        assert!(full.tuples().len() > 3);
+
+        let shared = Arc::new(RunBudget::new().with_row_limit(3));
+        let mut capped = CollectSink::new();
+        let mut driver = CtjDriver::<Counting, LocalPjr, BudgetHandle>::with_store_budget(
+            &plan,
+            &tries,
+            CtjConfig::default(),
+            LocalPjr::new(CtjConfig::default()),
+            BudgetHandle::driving(Arc::clone(&shared)),
+        )
+        .unwrap();
+        driver.run(&mut capped);
+        assert_eq!(capped.tuples(), &full.tuples()[..3]);
+        assert_eq!(driver.stats.results, 3);
+        assert_eq!(shared.cancelled(), Some(CancelReason::RowLimit));
+    }
+
+    #[test]
+    fn intermediate_budget_stops_ctj_with_a_prefix() {
+        use std::sync::Arc;
+        use triejax_exec::{BudgetHandle, CancelReason, RunBudget};
+
+        // Heavily shared y values: lots of cached intermediate tuples.
+        let mut edges = Vec::new();
+        for x in 0..20u32 {
+            edges.push((x, 100));
+        }
+        for z in 200..220u32 {
+            edges.push((100, z));
+        }
+        let c = catalog(&edges);
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let tries = TrieSet::build(&plan, &c).unwrap();
+
+        let mut full = CollectSink::new();
+        CtjDriver::<Counting>::new(&plan, &tries, CtjConfig::default())
+            .unwrap()
+            .run(&mut full);
+
+        let shared = Arc::new(RunBudget::new().with_intermediate_limit(5));
+        let mut capped = CollectSink::new();
+        let mut driver = CtjDriver::<Counting, LocalPjr, BudgetHandle>::with_store_budget(
+            &plan,
+            &tries,
+            CtjConfig::default(),
+            LocalPjr::new(CtjConfig::default()),
+            BudgetHandle::driving(Arc::clone(&shared)),
+        )
+        .unwrap();
+        driver.run(&mut capped);
+        assert_eq!(shared.cancelled(), Some(CancelReason::MemoryBudget));
+        assert!(
+            full.tuples().starts_with(capped.tuples()),
+            "delivered rows must be a prefix"
+        );
+        assert!(capped.tuples().len() < full.tuples().len());
     }
 
     #[test]

@@ -1,6 +1,10 @@
 use std::error::Error;
 use std::fmt;
 
+use triejax_exec::CancelReason;
+
+use crate::stats::EngineStats;
+
 /// Errors raised while executing a join.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -25,6 +29,22 @@ pub enum JoinError {
         /// What the engine cannot do.
         detail: String,
     },
+    /// The run was cancelled before completing — a configured budget
+    /// tripped (deadline, row limit, intermediate-result limit) or an
+    /// external [`triejax_exec::CancelToken`] fired. The rows delivered
+    /// to the sink before cancellation are an exact prefix of the full
+    /// result stream; for a [`CancelReason::RowLimit`] trip the prefix is
+    /// exactly `min(total, limit)` rows long.
+    Cancelled {
+        /// Which budget tripped (first trip wins).
+        reason: CancelReason,
+        /// Work accounted up to the cancellation point, with the access
+        /// tally snapshotted to the concrete counting representation
+        /// (boxed: stats are much larger than the other variants).
+        /// `results` counts rows *emitted by workers*, which can exceed
+        /// the rows actually delivered once the budget cut the stream.
+        partial: Box<EngineStats>,
+    },
 }
 
 impl fmt::Display for JoinError {
@@ -42,6 +62,9 @@ impl fmt::Display for JoinError {
                 "relation {name} has arity {relation_arity} but the atom expects {atom_arity}"
             ),
             JoinError::Plan { detail } => write!(f, "plan not executable: {detail}"),
+            JoinError::Cancelled { reason, .. } => {
+                write!(f, "query cancelled: {reason}")
+            }
         }
     }
 }
@@ -66,5 +89,32 @@ mod tests {
             detail: "projected head".into(),
         };
         assert!(e.to_string().contains("projected head"));
+        let mut partial = EngineStats::new();
+        partial.results = 42;
+        let e = JoinError::Cancelled {
+            reason: CancelReason::Deadline,
+            partial: Box::new(partial),
+        };
+        assert!(e.to_string().contains("cancelled"));
+        assert!(e.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn cancelled_carries_partial_stats() {
+        let mut partial = EngineStats::new();
+        partial.results = 7;
+        partial.shards = 3;
+        let e = JoinError::Cancelled {
+            reason: CancelReason::RowLimit,
+            partial: Box::new(partial),
+        };
+        match e {
+            JoinError::Cancelled { reason, partial } => {
+                assert_eq!(reason, CancelReason::RowLimit);
+                assert_eq!(partial.results, 7);
+                assert_eq!(partial.shards, 3);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 }

@@ -1,3 +1,4 @@
+use triejax_exec::{Budget, NoBudget};
 use triejax_query::CompiledQuery;
 use triejax_relation::{AccessKind, Counting, Tally, Trie, Value, WORD_BYTES};
 
@@ -61,20 +62,7 @@ impl GenericJoin {
         sink: &mut dyn ResultSink,
     ) -> Result<EngineStats<T>, JoinError> {
         let tries = TrieSet::build(plan, catalog)?;
-        let mut driver = GjDriver {
-            plan,
-            tries: &tries,
-            ranges: vec![Vec::new(); plan.atom_plans().len()],
-            candidates: vec![Vec::new(); plan.arity()],
-            scratch: vec![Vec::new(); plan.arity()],
-            order: vec![Vec::new(); plan.arity()],
-            pushed: vec![Vec::new(); plan.arity()],
-            binding: vec![0; plan.arity()],
-            emit: vec![0; plan.arity()],
-            slots: head_slots(plan)?,
-            emitter: BatchEmitter::new(plan.arity()),
-            stats: EngineStats::default(),
-        };
+        let mut driver = GjDriver::budgeted(plan, &tries, NoBudget)?;
         driver.level(0, sink);
         driver.emitter.flush(sink);
         Ok(driver.stats)
@@ -96,7 +84,12 @@ impl JoinEngine for GenericJoin {
     }
 }
 
-struct GjDriver<'a, T: Tally> {
+/// The Generic Join backtracking driver, generic over a [`Budget`] like
+/// the LFTJ/CTJ drivers: [`NoBudget`] compiles governance away; a
+/// [`triejax_exec::BudgetHandle`] polls the root loop, charges rows at
+/// emission, and charges every materialized candidate buffer against the
+/// intermediate budget.
+struct GjDriver<'a, T: Tally, B: Budget = NoBudget> {
     plan: &'a CompiledQuery,
     tries: &'a TrieSet,
     /// Per atom: stack of open ranges, one per bound trie level.
@@ -115,10 +108,29 @@ struct GjDriver<'a, T: Tally> {
     emit: Vec<Value>,
     slots: Vec<usize>,
     emitter: BatchEmitter,
+    budget: B,
     stats: EngineStats<T>,
 }
 
-impl<'a, T: Tally> GjDriver<'a, T> {
+impl<'a, T: Tally, B: Budget> GjDriver<'a, T, B> {
+    fn budgeted(plan: &'a CompiledQuery, tries: &'a TrieSet, budget: B) -> Result<Self, JoinError> {
+        Ok(GjDriver {
+            plan,
+            tries,
+            ranges: vec![Vec::new(); plan.atom_plans().len()],
+            candidates: vec![Vec::new(); plan.arity()],
+            scratch: vec![Vec::new(); plan.arity()],
+            order: vec![Vec::new(); plan.arity()],
+            pushed: vec![Vec::new(); plan.arity()],
+            binding: vec![0; plan.arity()],
+            emit: vec![0; plan.arity()],
+            slots: head_slots(plan)?,
+            emitter: BatchEmitter::new(plan.arity()),
+            budget,
+            stats: EngineStats::default(),
+        })
+    }
+
     /// Current candidate slice of atom `a` at trie level `lvl`.
     fn slice(&self, a: usize, lvl: usize) -> &'a [Value] {
         let trie: &'a Trie = self.tries.for_atom(a);
@@ -130,7 +142,12 @@ impl<'a, T: Tally> GjDriver<'a, T> {
         &trie.level(lvl).values()[lo..hi]
     }
 
-    fn emit_result(&mut self, sink: &mut dyn ResultSink) {
+    /// Emits the current binding; returns `false` when the budget refused
+    /// the row and the driver must stop.
+    fn emit_result(&mut self, sink: &mut dyn ResultSink) -> bool {
+        if B::GOVERNED && !self.budget.charge_row() {
+            return false;
+        }
         for d in 0..self.binding.len() {
             self.emit[self.slots[d]] = self.binding[d];
         }
@@ -139,9 +156,12 @@ impl<'a, T: Tally> GjDriver<'a, T> {
         self.stats
             .access
             .record(AccessKind::ResultWrite, self.emit.len() as u64 * WORD_BYTES);
+        true
     }
 
-    fn level(&mut self, d: usize, sink: &mut dyn ResultSink) {
+    /// Returns `false` when the budget stopped the run at this level or
+    /// below; range stacks are unwound normally either way.
+    fn level(&mut self, d: usize, sink: &mut dyn ResultSink) -> bool {
         let parts: &'a [(usize, usize)] = self.plan.atoms_at(d);
         self.stats.match_ops += 1;
 
@@ -174,40 +194,60 @@ impl<'a, T: Tally> GjDriver<'a, T> {
                 .record(AccessKind::Intermediate, acc.len() as u64 * WORD_BYTES);
         }
 
+        let mut live = true;
+        if B::GOVERNED && parts.len() > 1 && !self.budget.charge_intermediates(acc.len() as u64) {
+            // Memory budget exhausted by this candidate buffer: wind down
+            // without descending into it.
+            live = false;
+        }
         let last = d + 1 == self.plan.arity();
         let mut pushed = std::mem::take(&mut self.pushed[d]);
-        for &v in &acc {
-            self.binding[d] = v;
-            if last {
-                self.emit_result(sink);
-                continue;
-            }
-            // Descend: locate v in every continuing participant and push
-            // its child range.
-            pushed.clear();
-            for &(a, lvl) in parts {
-                if !self.plan.atom_plans()[a].continues_below(lvl) {
+        if live {
+            for &v in &acc {
+                self.binding[d] = v;
+                if d == 0 && B::GOVERNED && self.budget.poll().is_some() {
+                    // Root-level advance: the budget poll point.
+                    live = false;
+                    break;
+                }
+                if last {
+                    if !self.emit_result(sink) {
+                        live = false;
+                        break;
+                    }
                     continue;
                 }
-                let trie = self.tries.for_atom(a);
-                let (lo, hi) = if lvl == 0 {
-                    (0, trie.level(0).len())
-                } else {
-                    *self.ranges[a].last().expect("parent level must be open")
-                };
-                let values = &trie.level(lvl).values()[lo..hi];
-                let pos = lo + binary_search(values, v, &mut self.stats);
-                // Midwife-equivalent: read the child range pair.
-                self.stats.expand_ops += 1;
-                self.stats
-                    .access
-                    .record(AccessKind::IndexRead, 2 * WORD_BYTES);
-                self.ranges[a].push(trie.level(lvl).child_range(pos));
-                pushed.push(a);
-            }
-            self.level(d + 1, sink);
-            for &a in &pushed {
-                self.ranges[a].pop();
+                // Descend: locate v in every continuing participant and
+                // push its child range.
+                pushed.clear();
+                for &(a, lvl) in parts {
+                    if !self.plan.atom_plans()[a].continues_below(lvl) {
+                        continue;
+                    }
+                    let trie = self.tries.for_atom(a);
+                    let (lo, hi) = if lvl == 0 {
+                        (0, trie.level(0).len())
+                    } else {
+                        *self.ranges[a].last().expect("parent level must be open")
+                    };
+                    let values = &trie.level(lvl).values()[lo..hi];
+                    let pos = lo + binary_search(values, v, &mut self.stats);
+                    // Midwife-equivalent: read the child range pair.
+                    self.stats.expand_ops += 1;
+                    self.stats
+                        .access
+                        .record(AccessKind::IndexRead, 2 * WORD_BYTES);
+                    self.ranges[a].push(trie.level(lvl).child_range(pos));
+                    pushed.push(a);
+                }
+                let descended = self.level(d + 1, sink);
+                for &a in &pushed {
+                    self.ranges[a].pop();
+                }
+                if !descended {
+                    live = false;
+                    break;
+                }
             }
         }
         // Return the buffers (with their grown capacity) for the next
@@ -216,6 +256,7 @@ impl<'a, T: Tally> GjDriver<'a, T> {
         self.scratch[d] = tmp;
         self.order[d] = order;
         self.pushed[d] = pushed;
+        live
     }
 }
 
@@ -295,6 +336,33 @@ mod tests {
         let mut sink = CountSink::default();
         let stats = GenericJoin::new().execute(&plan, &c, &mut sink).unwrap();
         assert_eq!(stats.results, 0);
+    }
+
+    #[test]
+    fn budgeted_driver_delivers_an_exact_row_limited_prefix() {
+        use std::sync::Arc;
+        use triejax_exec::{BudgetHandle, CancelReason, RunBudget};
+
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let mut full = CollectSink::new();
+        GenericJoin::new().execute(&plan, &c, &mut full).unwrap();
+        assert!(full.tuples().len() > 2);
+
+        let tries = TrieSet::build(&plan, &c).unwrap();
+        let shared = Arc::new(RunBudget::new().with_row_limit(2));
+        let mut capped = CollectSink::new();
+        let mut driver = GjDriver::<Counting, BudgetHandle>::budgeted(
+            &plan,
+            &tries,
+            BudgetHandle::driving(Arc::clone(&shared)),
+        )
+        .unwrap();
+        driver.level(0, &mut capped);
+        driver.emitter.flush(&mut capped);
+        assert_eq!(capped.tuples(), &full.tuples()[..2]);
+        assert_eq!(driver.stats.results, 2);
+        assert_eq!(shared.cancelled(), Some(CancelReason::RowLimit));
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use triejax_exec::{Budget, NoBudget};
 use triejax_query::CompiledQuery;
 use triejax_relation::{AccessKind, Counting, Tally, TrieCursor, Value, WORD_BYTES};
 
@@ -90,7 +91,15 @@ impl JoinEngine for Lftj {
 /// entry clamps the root level of every participating cursor to the range
 /// ([`TrieCursor::open_root_range`]), so the leapfrog never probes outside
 /// the shard.
-pub(crate) struct Driver<'a, T: Tally> {
+///
+/// The driver is additionally generic over a [`Budget`]: the default
+/// [`NoBudget`] monomorphizes every cancellation check away, while a
+/// [`triejax_exec::BudgetHandle`] makes the root loop poll for
+/// deadline/token trips and every emission charge the row quota. A
+/// governed driver stops early — `run`/`run_split` still flush whatever
+/// the emitter buffered, so the delivered rows stay an exact stream
+/// prefix.
+pub(crate) struct Driver<'a, T: Tally, B: Budget = NoBudget> {
     plan: &'a CompiledQuery,
     tries: &'a TrieSet,
     cursors: Vec<TrieCursor<'a>>,
@@ -103,6 +112,7 @@ pub(crate) struct Driver<'a, T: Tally> {
     members_at: Vec<Vec<usize>>,
     root_min: Value,
     root_sup: Option<Value>,
+    budget: B,
     pub stats: EngineStats<T>,
 }
 
@@ -118,6 +128,19 @@ impl<'a, T: Tally> Driver<'a, T> {
         tries: &'a TrieSet,
         root_min: Value,
         root_sup: Option<Value>,
+    ) -> Result<Self, JoinError> {
+        Self::budgeted(plan, tries, root_min, root_sup, NoBudget)
+    }
+}
+
+impl<'a, T: Tally, B: Budget> Driver<'a, T, B> {
+    /// Root-ranged driver governed by `budget` (see the type docs).
+    pub(crate) fn budgeted(
+        plan: &'a CompiledQuery,
+        tries: &'a TrieSet,
+        root_min: Value,
+        root_sup: Option<Value>,
+        budget: B,
     ) -> Result<Self, JoinError> {
         let cursors = (0..plan.atom_plans().len())
             .map(|i| TrieCursor::new(tries.for_atom(i)))
@@ -137,6 +160,7 @@ impl<'a, T: Tally> Driver<'a, T> {
             members_at,
             root_min,
             root_sup,
+            budget,
             stats: EngineStats::default(),
         })
     }
@@ -158,6 +182,10 @@ impl<'a, T: Tally> Driver<'a, T> {
     /// tail of this shard's root range is carved off into a new task (see
     /// [`try_split_root`]). Sequential callers pass [`NoSplit`], which
     /// monomorphizes the polling away entirely.
+    ///
+    /// A governed driver (see [`Driver::budgeted`]) may stop early; the
+    /// rows already allowed through are flushed either way, so the sink
+    /// always holds an exact prefix of the driver's emission order.
     pub(crate) fn run_split<C: SplitSpawn>(&mut self, sink: &mut dyn ResultSink, ctl: &mut C) {
         self.level(0, sink, ctl);
         self.emitter.flush(sink);
@@ -198,7 +226,12 @@ impl<'a, T: Tally> Driver<'a, T> {
         }
     }
 
-    fn emit_result(&mut self, sink: &mut dyn ResultSink) {
+    /// Emits the current binding; returns `false` when the budget refused
+    /// the row (quota exhausted or run cancelled) and the driver must stop.
+    fn emit_result(&mut self, sink: &mut dyn ResultSink) -> bool {
+        if B::GOVERNED && !self.budget.charge_row() {
+            return false;
+        }
         for d in 0..self.binding.len() {
             self.emit[self.slots[d]] = self.binding[d];
         }
@@ -207,12 +240,16 @@ impl<'a, T: Tally> Driver<'a, T> {
         self.stats
             .access
             .record(AccessKind::ResultWrite, self.emit.len() as u64 * WORD_BYTES);
+        true
     }
 
-    fn level<C: SplitSpawn>(&mut self, d: usize, sink: &mut dyn ResultSink, ctl: &mut C) {
+    /// Returns `false` when the budget stopped the run at this level or
+    /// below; cursors are unwound normally either way.
+    fn level<C: SplitSpawn>(&mut self, d: usize, sink: &mut dyn ResultSink, ctl: &mut C) -> bool {
         if !self.open_level(d) {
-            return;
+            return true;
         }
+        let mut live = true;
         // Recycle this depth's member vector: the recursion must not
         // allocate per visited node. The root level needs no range checks
         // here — `open_level` already clamped the cursors to the shard.
@@ -221,9 +258,15 @@ impl<'a, T: Tally> Driver<'a, T> {
         while let Some(v) = m {
             self.binding[d] = v;
             if d == 0 {
-                // Root-level advance: the split poll point. The current
-                // value v stays with this shard; only values beyond the
-                // boundary are handed off.
+                // Root-level advance: the budget poll and split points.
+                // Polling before the (possibly expensive) subtree visit
+                // bounds the overshoot past a deadline by one root value.
+                if B::GOVERNED && self.budget.poll().is_some() {
+                    live = false;
+                    break;
+                }
+                // The current value v stays with this shard; only values
+                // beyond the boundary are handed off.
                 try_split_root(
                     self.plan,
                     self.tries,
@@ -233,15 +276,20 @@ impl<'a, T: Tally> Driver<'a, T> {
                     &mut self.stats,
                 );
             }
-            if d + 1 == self.plan.arity() {
-                self.emit_result(sink);
+            let descended = if d + 1 == self.plan.arity() {
+                self.emit_result(sink)
             } else {
-                self.level(d + 1, sink, ctl);
+                self.level(d + 1, sink, ctl)
+            };
+            if !descended {
+                live = false;
+                break;
             }
             m = lf.next(&mut self.cursors, &mut self.stats);
         }
         self.members_at[d] = lf.into_members();
         self.close_level(d);
+        live
     }
 }
 
@@ -365,6 +413,63 @@ mod tests {
             assert!(cs.memory_accesses() > 0);
             assert_eq!(fs.memory_accesses(), 0);
         }
+    }
+
+    #[test]
+    fn budgeted_driver_delivers_an_exact_row_limited_prefix() {
+        use std::sync::Arc;
+        use triejax_exec::{BudgetHandle, CancelReason, RunBudget};
+
+        let c = catalog(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let tries = TrieSet::build(&plan, &c).unwrap();
+
+        let mut full = CollectSink::new();
+        Driver::<Counting>::new(&plan, &tries)
+            .unwrap()
+            .run(&mut full);
+        assert!(full.tuples().len() > 2);
+
+        let shared = Arc::new(RunBudget::new().with_row_limit(2));
+        let mut capped = CollectSink::new();
+        let mut driver = Driver::<Counting, BudgetHandle>::budgeted(
+            &plan,
+            &tries,
+            0,
+            None,
+            BudgetHandle::driving(Arc::clone(&shared)),
+        )
+        .unwrap();
+        driver.run(&mut capped);
+        assert_eq!(capped.tuples(), &full.tuples()[..2]);
+        assert_eq!(driver.stats.results, 2);
+        assert_eq!(shared.cancelled(), Some(CancelReason::RowLimit));
+    }
+
+    #[test]
+    fn cancelled_token_stops_a_budgeted_driver_before_any_row() {
+        use std::sync::Arc;
+        use triejax_exec::{BudgetHandle, CancelToken, RunBudget};
+
+        let c = catalog(&[(0, 1), (1, 2), (2, 3)]);
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let tries = TrieSet::build(&plan, &c).unwrap();
+
+        let token = CancelToken::new();
+        token.cancel();
+        let shared = Arc::new(RunBudget::new().with_cancel_token(token));
+        let mut sink = CollectSink::new();
+        let mut driver = Driver::<Counting, BudgetHandle>::budgeted(
+            &plan,
+            &tries,
+            0,
+            None,
+            BudgetHandle::driving(Arc::clone(&shared)),
+        )
+        .unwrap();
+        driver.run(&mut sink);
+        assert!(sink.tuples().is_empty(), "poll at the first root advance");
+        assert_eq!(driver.stats.results, 0);
     }
 
     #[test]

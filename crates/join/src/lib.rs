@@ -90,4 +90,12 @@ pub use parlftj::ParLftj;
 pub use sink::{CollectSink, CountSink, ResultSink, ShardSink};
 pub use sortmerge::PairwiseSortMerge;
 pub use stats::EngineStats;
+pub use triejax_exec::{CancelReason, CancelToken, RunBudget};
 pub use triejax_relation::{Counting, NoTally, Tally};
+
+/// Deterministic fault-injection harness for the parallel runtime,
+/// re-exported for integration tests driving the engines through the
+/// public API; see [`triejax_exec::faults`]. Compiled only with the
+/// `faults` feature.
+#[cfg(feature = "faults")]
+pub use triejax_exec::faults;

@@ -1,13 +1,17 @@
 use std::num::NonZeroUsize;
 use std::sync::Mutex;
+use std::time::Duration;
 
+use triejax_exec::{Budget, BudgetHandle, CancelToken, NoBudget, RunBudget};
 use triejax_query::CompiledQuery;
 use triejax_relation::{Counting, Tally};
 
-use crate::cache::{SharedPjrCache, SharedPjrHandle};
+use crate::cache::{LocalPjr, SharedPjrCache, SharedPjrHandle};
 use crate::ctj::CtjDriver;
 use crate::engine::head_slots;
-use crate::shard::{can_split, env_split, execute_sharded, execute_split, make_pool, plan_shards};
+use crate::shard::{
+    can_split, compose_budget, env_split, execute_sharded, execute_split, make_pool, plan_shards,
+};
 use crate::{Catalog, CtjConfig, EngineStats, JoinEngine, JoinError, ResultSink, TrieSet};
 
 /// Name of the environment variable supplying the default shared-cache
@@ -64,7 +68,7 @@ pub(crate) const CACHE_CAP_ENV: &str = "TRIEJAX_CACHE_CAP";
 /// assert_eq!(seq.tuples(), par.tuples()); // identical, order included
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ParCtj {
     /// Explicit worker count; `None` = `TRIEJAX_POOL` or one per core.
     workers: Option<NonZeroUsize>,
@@ -75,6 +79,14 @@ pub struct ParCtj {
     config: Option<CtjConfig>,
     /// Explicit dynamic-splitting choice; `None` = `TRIEJAX_SPLIT` or off.
     split: Option<bool>,
+    /// Explicit wall-clock deadline; `None` = `TRIEJAX_DEADLINE_MS` or none.
+    deadline: Option<Duration>,
+    /// Explicit result-row cap; `None` = `TRIEJAX_ROW_LIMIT` or none.
+    row_limit: Option<u64>,
+    /// Cap on charged intermediate tuples (cache entry rows); builder-only.
+    intermediate_limit: Option<u64>,
+    /// External cancellation token the caller can fire from another thread.
+    cancel: Option<CancelToken>,
 }
 
 impl ParCtj {
@@ -197,6 +209,51 @@ impl ParCtj {
         })
     }
 
+    /// Caps the run's wall-clock time; see
+    /// [`crate::ParLftj::with_deadline`] for the cancellation contract.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps delivered result rows at `limit`; see
+    /// [`crate::ParLftj::with_row_limit`] for the exact-prefix contract.
+    pub fn with_row_limit(mut self, limit: u64) -> Self {
+        self.row_limit = Some(limit);
+        self
+    }
+
+    /// Caps charged intermediate tuples — for CTJ that is the rows
+    /// recorded into partial-join-result cache entries — at `limit`.
+    pub fn with_intermediate_limit(mut self, limit: u64) -> Self {
+        self.intermediate_limit = Some(limit);
+        self
+    }
+
+    /// Ties every run of this engine to `token`; see
+    /// [`crate::ParLftj::with_cancel_token`].
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The shared [`RunBudget`] the next run will be governed by, or
+    /// `None` for an ungoverned run; see
+    /// [`crate::ParLftj::effective_budget`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a consulted environment knob (`TRIEJAX_DEADLINE_MS`,
+    /// `TRIEJAX_ROW_LIMIT`) is set to anything but a non-negative integer.
+    pub fn effective_budget(&self) -> Option<std::sync::Arc<RunBudget>> {
+        compose_budget(
+            self.deadline,
+            self.row_limit,
+            self.intermediate_limit,
+            self.cancel.as_ref(),
+        )
+    }
+
     /// Runs the query with an explicit [`Tally`] choice; see
     /// [`crate::Lftj::run_tallied`] for the counting/fast trade-off.
     ///
@@ -210,6 +267,44 @@ impl ParCtj {
         plan: &CompiledQuery,
         catalog: &Catalog,
         sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats<T>, JoinError> {
+        match self.effective_budget() {
+            // Ungoverned: monomorphize with NoBudget — byte-identical to
+            // the pre-governance engine.
+            None => self.run_budgeted::<T, NoBudget>(plan, catalog, sink, NoBudget, NoBudget, None),
+            Some(shared) => {
+                let stats = self.run_budgeted::<T, BudgetHandle>(
+                    plan,
+                    catalog,
+                    sink,
+                    BudgetHandle::driving(shared.clone()),
+                    BudgetHandle::worker(shared.clone()),
+                    Some(&shared),
+                )?;
+                match shared.cancelled() {
+                    Some(reason) => Err(JoinError::Cancelled {
+                        reason,
+                        partial: Box::new(stats.to_counting()),
+                    }),
+                    None => Ok(stats),
+                }
+            }
+        }
+    }
+
+    /// The engine body, generic over the run's [`Budget`]; same private
+    /// contract as `ParLftj::run_budgeted` — `driving` for the sequential
+    /// fast path (charges the row quota at emit), `worker` cloned into
+    /// every shard driver (flag-only), `budget` polled by drain and task
+    /// wrappers.
+    fn run_budgeted<T: Tally, B: Budget + Clone + Send + Sync>(
+        &self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        sink: &mut dyn ResultSink,
+        driving: B,
+        worker: B,
+        budget: Option<&RunBudget>,
     ) -> Result<EngineStats<T>, JoinError> {
         let tries = TrieSet::build(plan, catalog)?;
         let pool = make_pool(self.workers);
@@ -235,7 +330,13 @@ impl ParCtj {
             // (no stripe locks to pay when nothing is shared). The
             // capacity then bounds live entries by dropping new inserts
             // rather than evicting.
-            let mut driver = CtjDriver::<T>::new(plan, &tries, config)?;
+            let mut driver = CtjDriver::<T, LocalPjr, B>::with_store_budget(
+                plan,
+                &tries,
+                config,
+                LocalPjr::new(config),
+                driving,
+            )?;
             driver.run(sink);
             let mut stats = driver.stats;
             stats.shards = 1;
@@ -261,11 +362,17 @@ impl ParCtj {
         // `WorkerCtx::worker`; a slot's mutex is only ever taken by its
         // owning worker during the run. Each driver holds its own handle
         // onto the shared cache.
-        let worker_drivers: Vec<Mutex<Option<CtjDriver<'_, T, SharedPjrHandle<'_>>>>> =
+        let worker_drivers: Vec<Mutex<Option<CtjDriver<'_, T, SharedPjrHandle<'_>, B>>>> =
             (0..workers).map(|_| Mutex::new(None)).collect();
         let new_driver = || {
-            let mut d = CtjDriver::with_store(plan, tries_ref, config, cache.handle())
-                .expect("emission plan validated before the parallel phase");
+            let mut d = CtjDriver::with_store_budget(
+                plan,
+                tries_ref,
+                config,
+                cache.handle(),
+                worker.clone(),
+            )
+            .expect("emission plan validated before the parallel phase");
             d.emit_passthrough(); // the ShardSink already batches
             d
         };
@@ -275,6 +382,7 @@ impl ParCtj {
                 &ranges,
                 plan.arity(),
                 sink,
+                budget,
                 |ctx, min, sup, shard_sink, ctl| {
                     let mut slot = worker_drivers[ctx.worker]
                         .lock()
@@ -290,6 +398,7 @@ impl ParCtj {
                 &ranges,
                 plan.arity(),
                 sink,
+                budget,
                 |ctx, _lane, min, sup, shard_sink| {
                     let mut slot = worker_drivers[ctx.worker]
                         .lock()
@@ -592,6 +701,102 @@ mod tests {
         assert!(ParCtj::new()
             .execute(&plan, &Catalog::new(), &mut sink)
             .is_err());
+    }
+
+    #[test]
+    fn row_limit_returns_cancelled_with_an_exact_prefix() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let mut reference = CollectSink::new();
+        Ctj::new().execute(&plan, &c, &mut reference).unwrap();
+        assert!(reference.tuples().len() > 4);
+        for workers in [1, 2, 7] {
+            for split in [false, true] {
+                let mut sink = CollectSink::new();
+                let err = ParCtj::with_pool(workers)
+                    .with_split(split)
+                    .with_row_limit(4)
+                    .execute(&plan, &c, &mut sink)
+                    .unwrap_err();
+                match err {
+                    JoinError::Cancelled { reason, partial } => {
+                        assert_eq!(reason, triejax_exec::CancelReason::RowLimit);
+                        assert!(partial.results >= 4);
+                    }
+                    other => panic!("expected Cancelled, got {other:?}"),
+                }
+                assert_eq!(
+                    sink.tuples(),
+                    &reference.tuples()[..4],
+                    "{workers} workers, split={split}: the delivered rows \
+                     must be the exact ordered prefix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intermediate_budget_cancels_with_a_prefix() {
+        let c = catalog(&hub_edges());
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let mut reference = CollectSink::new();
+        Ctj::new().execute(&plan, &c, &mut reference).unwrap();
+        let mut sink = CollectSink::new();
+        // The hub entry alone holds 20 match rows, so a budget of 5 must
+        // trip while it is being recorded.
+        let err = ParCtj::with_pool(2)
+            .with_intermediate_limit(5)
+            .execute(&plan, &c, &mut sink)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            JoinError::Cancelled {
+                reason: triejax_exec::CancelReason::MemoryBudget,
+                ..
+            }
+        ));
+        assert!(
+            reference.tuples().starts_with(sink.tuples()),
+            "delivered rows stay a prefix after a memory-budget trip"
+        );
+        assert!(sink.tuples().len() < reference.tuples().len());
+    }
+
+    #[test]
+    fn pre_fired_token_cancels_before_any_row() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::path4()).unwrap();
+        let token = triejax_exec::CancelToken::new();
+        token.cancel();
+        let mut sink = CollectSink::new();
+        let err = ParCtj::with_pool(2)
+            .with_cancel_token(token)
+            .execute(&plan, &c, &mut sink)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            JoinError::Cancelled {
+                reason: triejax_exec::CancelReason::External,
+                ..
+            }
+        ));
+        assert!(sink.tuples().is_empty());
+    }
+
+    #[test]
+    fn generous_budgets_never_cancel() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let mut reference = CollectSink::new();
+        Ctj::new().execute(&plan, &c, &mut reference).unwrap();
+        let mut sink = CollectSink::new();
+        let stats = ParCtj::with_pool(4)
+            .with_row_limit(u64::MAX)
+            .with_deadline(Duration::from_secs(3600))
+            .execute(&plan, &c, &mut sink)
+            .unwrap();
+        assert_eq!(sink.tuples(), reference.tuples());
+        assert_eq!(stats.results as usize, reference.tuples().len());
     }
 
     #[test]

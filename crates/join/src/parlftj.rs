@@ -1,11 +1,15 @@
 use std::num::NonZeroUsize;
+use std::time::Duration;
 
+use triejax_exec::{Budget, BudgetHandle, CancelToken, NoBudget, RunBudget};
 use triejax_query::CompiledQuery;
 use triejax_relation::{Counting, Tally};
 
 use crate::engine::head_slots;
 use crate::lftj::Driver;
-use crate::shard::{can_split, env_split, execute_sharded, execute_split, make_pool, plan_shards};
+use crate::shard::{
+    can_split, compose_budget, env_split, execute_sharded, execute_split, make_pool, plan_shards,
+};
 use crate::{Catalog, EngineStats, JoinEngine, JoinError, ResultSink, TrieSet};
 
 /// Parallel LeapFrog TrieJoin: root-partitioned LFTJ on the shared
@@ -50,7 +54,7 @@ use crate::{Catalog, EngineStats, JoinEngine, JoinError, ResultSink, TrieSet};
 /// assert_eq!(seq.tuples(), par.tuples()); // identical, order included
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ParLftj {
     /// Explicit worker count; `None` = `TRIEJAX_POOL` or one per core.
     workers: Option<NonZeroUsize>,
@@ -59,6 +63,14 @@ pub struct ParLftj {
     granularity: Option<NonZeroUsize>,
     /// Explicit dynamic-splitting choice; `None` = `TRIEJAX_SPLIT` or off.
     split: Option<bool>,
+    /// Explicit wall-clock deadline; `None` = `TRIEJAX_DEADLINE_MS` or none.
+    deadline: Option<Duration>,
+    /// Explicit result-row cap; `None` = `TRIEJAX_ROW_LIMIT` or none.
+    row_limit: Option<u64>,
+    /// Cap on charged intermediate tuples; builder-only (no env default).
+    intermediate_limit: Option<u64>,
+    /// External cancellation token the caller can fire from another thread.
+    cancel: Option<CancelToken>,
 }
 
 impl ParLftj {
@@ -164,6 +176,62 @@ impl ParLftj {
         self.split.unwrap_or_else(env_split)
     }
 
+    /// Caps the run's wall-clock time, overriding the `TRIEJAX_DEADLINE_MS`
+    /// environment default. A run that outlives the deadline is cancelled
+    /// cooperatively: workers stop at their next poll point, the rows
+    /// already streamed to the sink stay an exact prefix of the full
+    /// result, and the engine returns [`JoinError::Cancelled`] carrying
+    /// the partial [`EngineStats`].
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps delivered result rows at `limit`, overriding the
+    /// `TRIEJAX_ROW_LIMIT` environment default. The sink receives exactly
+    /// the first `min(total, limit)` rows of the sequential result stream
+    /// and the engine returns [`JoinError::Cancelled`] with
+    /// [`triejax_exec::CancelReason::RowLimit`] when the cap actually
+    /// truncated the run.
+    pub fn with_row_limit(mut self, limit: u64) -> Self {
+        self.row_limit = Some(limit);
+        self
+    }
+
+    /// Caps charged intermediate tuples (materialized candidate sets;
+    /// cache entry rows in [`crate::ParCtj`]) at `limit`.
+    pub fn with_intermediate_limit(mut self, limit: u64) -> Self {
+        self.intermediate_limit = Some(limit);
+        self
+    }
+
+    /// Ties every run of this engine to `token`: firing it from any
+    /// thread cancels the run cooperatively (see
+    /// [`with_deadline`](Self::with_deadline) for the delivery contract).
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The shared [`RunBudget`] the next run will be governed by — the
+    /// explicit builder knobs with `TRIEJAX_DEADLINE_MS` /
+    /// `TRIEJAX_ROW_LIMIT` as per-knob environment fallbacks — or `None`
+    /// when nothing governs the run and the engine stays on its zero-cost
+    /// ungoverned code paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a consulted environment knob is set to anything but a
+    /// non-negative integer.
+    pub fn effective_budget(&self) -> Option<std::sync::Arc<RunBudget>> {
+        compose_budget(
+            self.deadline,
+            self.row_limit,
+            self.intermediate_limit,
+            self.cancel.as_ref(),
+        )
+    }
+
     /// Runs the query with an explicit [`Tally`] choice; see
     /// [`crate::Lftj::run_tallied`] for the counting/fast trade-off. The
     /// usual pairing is `ParLftj` + [`triejax_relation::NoTally`] for pure
@@ -179,6 +247,44 @@ impl ParLftj {
         plan: &CompiledQuery,
         catalog: &Catalog,
         sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats<T>, JoinError> {
+        match self.effective_budget() {
+            // Ungoverned: monomorphize with NoBudget — byte-identical to
+            // the pre-governance engine.
+            None => self.run_budgeted::<T, NoBudget>(plan, catalog, sink, NoBudget, NoBudget, None),
+            Some(shared) => {
+                let stats = self.run_budgeted::<T, BudgetHandle>(
+                    plan,
+                    catalog,
+                    sink,
+                    BudgetHandle::driving(shared.clone()),
+                    BudgetHandle::worker(shared.clone()),
+                    Some(&shared),
+                )?;
+                match shared.cancelled() {
+                    Some(reason) => Err(JoinError::Cancelled {
+                        reason,
+                        partial: Box::new(stats.to_counting()),
+                    }),
+                    None => Ok(stats),
+                }
+            }
+        }
+    }
+
+    /// The engine body, generic over the run's [`Budget`]: `driving` is
+    /// the handle for the sequential fast path (it charges the row quota
+    /// at emit time), `worker` is cloned into every shard driver (flag
+    /// polling only — the ordered drain owns the quota in a parallel run),
+    /// and `budget` is what the drain and the task wrappers poll.
+    fn run_budgeted<T: Tally, B: Budget + Clone + Send + Sync>(
+        &self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        sink: &mut dyn ResultSink,
+        driving: B,
+        worker: B,
+        budget: Option<&RunBudget>,
     ) -> Result<EngineStats<T>, JoinError> {
         let tries = TrieSet::build(plan, catalog)?;
         let pool = make_pool(self.workers);
@@ -199,7 +305,7 @@ impl ParLftj {
         // across the idle pool; without it, a lone range runs
         // sequentially.
         if !split && ranges.len() <= 1 {
-            let mut driver = Driver::<T>::new(plan, &tries)?;
+            let mut driver = Driver::<T, B>::budgeted(plan, &tries, 0, None, driving)?;
             driver.run(sink);
             let mut stats = driver.stats;
             stats.shards = 1;
@@ -210,7 +316,7 @@ impl ParLftj {
         head_slots(plan)?;
         let tries_ref = &tries;
         let new_driver = |min, sup| {
-            let mut d = Driver::<T>::with_root_range(plan, tries_ref, min, sup)
+            let mut d = Driver::<T, B>::budgeted(plan, tries_ref, min, sup, worker.clone())
                 .expect("emission plan validated before the parallel phase");
             d.emit_passthrough(); // the ShardSink already batches
             d
@@ -221,6 +327,7 @@ impl ParLftj {
                 &ranges,
                 plan.arity(),
                 sink,
+                budget,
                 |_ctx, min, sup, shard_sink, ctl| {
                     let mut driver = new_driver(min, sup);
                     driver.run_split(shard_sink, ctl);
@@ -233,6 +340,7 @@ impl ParLftj {
                 &ranges,
                 plan.arity(),
                 sink,
+                budget,
                 |_ctx, _lane, min, sup, shard_sink| {
                     let mut driver = new_driver(min, sup);
                     driver.run(shard_sink);
@@ -338,10 +446,16 @@ mod tests {
                     .execute(&plan, &c, &mut sink)
                     .unwrap();
                 assert_eq!(sink.tuples(), reference.tuples(), "{p} x{shards}");
+                // Only the *seeded* shard count is bounded by the request:
+                // when `TRIEJAX_SPLIT` is on, idle workers may split extra
+                // shards off mid-run, and each is counted in both `shards`
+                // and `splits`.
+                let seeded = stats.shards - stats.splits;
                 assert!(
-                    stats.shards >= 1 && stats.shards <= shards as u64,
-                    "{p} x{shards}: reported {} shards",
-                    stats.shards
+                    seeded >= 1 && seeded <= shards as u64,
+                    "{p} x{shards}: reported {} shards ({} split off)",
+                    stats.shards,
+                    stats.splits
                 );
             }
         }
@@ -443,6 +557,112 @@ mod tests {
         assert!(ParLftj::new()
             .execute(&plan, &Catalog::new(), &mut sink)
             .is_err());
+    }
+
+    #[test]
+    fn row_limit_returns_cancelled_with_an_exact_prefix() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let mut reference = CollectSink::new();
+        Lftj::new().execute(&plan, &c, &mut reference).unwrap();
+        assert!(reference.tuples().len() > 3);
+        for workers in [1, 2, 7] {
+            for split in [false, true] {
+                let mut sink = CollectSink::new();
+                let err = ParLftj::with_pool(workers)
+                    .with_split(split)
+                    .with_row_limit(3)
+                    .execute(&plan, &c, &mut sink)
+                    .unwrap_err();
+                match err {
+                    JoinError::Cancelled { reason, partial } => {
+                        assert_eq!(reason, triejax_exec::CancelReason::RowLimit);
+                        assert!(
+                            partial.results >= 3,
+                            "workers emitted at least the delivered rows"
+                        );
+                    }
+                    other => panic!("expected Cancelled, got {other:?}"),
+                }
+                assert_eq!(
+                    sink.tuples(),
+                    &reference.tuples()[..3],
+                    "{workers} workers, split={split}: the delivered rows \
+                     must be the exact ordered prefix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generous_row_limit_never_cancels() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let mut reference = CollectSink::new();
+        Lftj::new().execute(&plan, &c, &mut reference).unwrap();
+        let mut sink = CollectSink::new();
+        let stats = ParLftj::with_pool(4)
+            .with_row_limit(u64::MAX)
+            .execute(&plan, &c, &mut sink)
+            .unwrap();
+        assert_eq!(sink.tuples(), reference.tuples());
+        assert_eq!(stats.results as usize, reference.tuples().len());
+    }
+
+    #[test]
+    fn pre_fired_token_cancels_before_any_row() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let token = triejax_exec::CancelToken::new();
+        token.cancel();
+        let mut sink = CollectSink::new();
+        let err = ParLftj::with_pool(2)
+            .with_cancel_token(token)
+            .execute(&plan, &c, &mut sink)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            JoinError::Cancelled {
+                reason: triejax_exec::CancelReason::External,
+                ..
+            }
+        ));
+        assert!(sink.tuples().is_empty(), "no rows after a pre-fired token");
+    }
+
+    #[test]
+    fn elapsed_deadline_cancels_and_keeps_the_prefix_exact() {
+        let c = catalog(&test_edges());
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let mut reference = CollectSink::new();
+        Lftj::new().execute(&plan, &c, &mut reference).unwrap();
+        let mut sink = CollectSink::new();
+        let err = ParLftj::with_pool(2)
+            .with_deadline(Duration::ZERO)
+            .execute(&plan, &c, &mut sink)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            JoinError::Cancelled {
+                reason: triejax_exec::CancelReason::Deadline,
+                ..
+            }
+        ));
+        let delivered = sink.tuples();
+        assert!(
+            reference.tuples().starts_with(delivered),
+            "whatever was delivered before the deadline is a prefix"
+        );
+    }
+
+    #[test]
+    fn effective_budget_is_none_without_knobs() {
+        assert!(ParLftj::with_pool(4)
+            .with_split(true)
+            .effective_budget()
+            .is_none());
+        let governed = ParLftj::new().with_row_limit(10).effective_budget();
+        assert_eq!(governed.unwrap().row_limit(), Some(10));
     }
 
     #[test]

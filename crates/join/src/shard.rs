@@ -1,7 +1,9 @@
 //! Root-range shard planning, execution, and the dynamic split protocol
 //! shared by the parallel engines.
 
-use triejax_exec::{OrderedMerge, PoolStats, Spawner, WorkerCtx, WorkerPool};
+use triejax_exec::{
+    CancelReason, OrderedMerge, PoolStats, RunBudget, Spawner, WorkerCtx, WorkerPool,
+};
 use triejax_query::CompiledQuery;
 use triejax_relation::{Tally, TrieCursor, Value};
 
@@ -29,6 +31,78 @@ pub(crate) fn env_split() -> bool {
         },
         Err(_) => false,
     }
+}
+
+/// Name of the environment variable supplying a default wall-clock
+/// deadline, in milliseconds, for engines that were not given one through
+/// [`crate::ParLftj::with_deadline`] / [`crate::ParCtj::with_deadline`].
+/// Unset or empty means no deadline.
+pub(crate) const DEADLINE_ENV: &str = "TRIEJAX_DEADLINE_MS";
+
+/// Name of the environment variable supplying a default result-row limit
+/// for engines that were not given one through
+/// [`crate::ParLftj::with_row_limit`] / [`crate::ParCtj::with_row_limit`].
+/// Unset or empty means unlimited; `0` is valid and delivers nothing.
+pub(crate) const ROW_LIMIT_ENV: &str = "TRIEJAX_ROW_LIMIT";
+
+/// Reads the default deadline from `TRIEJAX_DEADLINE_MS`. `None` when the
+/// variable is unset or empty; panics on junk — a configured deadline
+/// that silently fell back to "unlimited" would defeat its purpose.
+pub(crate) fn env_deadline() -> Option<std::time::Duration> {
+    let v = std::env::var(DEADLINE_ENV).ok()?;
+    if v.trim().is_empty() {
+        return None;
+    }
+    let ms = v.trim().parse::<u64>().unwrap_or_else(|_| {
+        panic!("{DEADLINE_ENV} must be a non-negative integer of milliseconds, got {v:?}")
+    });
+    Some(std::time::Duration::from_millis(ms))
+}
+
+/// Reads the default row limit from `TRIEJAX_ROW_LIMIT`. `None` when the
+/// variable is unset or empty; panics on junk (see [`env_deadline`]).
+pub(crate) fn env_row_limit() -> Option<u64> {
+    let v = std::env::var(ROW_LIMIT_ENV).ok()?;
+    if v.trim().is_empty() {
+        return None;
+    }
+    Some(
+        v.trim().parse::<u64>().unwrap_or_else(|_| {
+            panic!("{ROW_LIMIT_ENV} must be a non-negative integer, got {v:?}")
+        }),
+    )
+}
+
+/// Composes a run's shared [`RunBudget`] from the engine's explicit knobs
+/// and the environment defaults (explicit wins, per knob). `None` when
+/// nothing governs the run, so the engines can stay on their zero-cost
+/// [`triejax_exec::NoBudget`] monomorphization.
+pub(crate) fn compose_budget(
+    deadline: Option<std::time::Duration>,
+    row_limit: Option<u64>,
+    intermediate_limit: Option<u64>,
+    cancel: Option<&triejax_exec::CancelToken>,
+) -> Option<std::sync::Arc<RunBudget>> {
+    let deadline = deadline.or_else(env_deadline);
+    let row_limit = row_limit.or_else(env_row_limit);
+    if deadline.is_none() && row_limit.is_none() && intermediate_limit.is_none() && cancel.is_none()
+    {
+        return None;
+    }
+    let mut budget = RunBudget::new();
+    if let Some(d) = deadline {
+        budget = budget.with_deadline(d);
+    }
+    if let Some(l) = row_limit {
+        budget = budget.with_row_limit(l);
+    }
+    if let Some(l) = intermediate_limit {
+        budget = budget.with_intermediate_limit(l);
+    }
+    if let Some(t) = cancel {
+        budget = budget.with_cancel_token(t.clone());
+    }
+    Some(std::sync::Arc::new(budget))
 }
 
 /// Plans the contiguous root-value ranges `[min, sup)` a parallel run
@@ -124,6 +198,49 @@ pub(crate) fn can_split(plan: &CompiledQuery, tries: &TrieSet) -> bool {
     planning_root_values(plan, tries).len() > MIN_SPLIT_TAIL
 }
 
+/// Drains the merge into `sink`, enforcing `budget` when one governs the
+/// run.
+///
+/// The foreground drain is the **only** consumer of the row quota in a
+/// parallel run: workers emit freely into their merge lanes (their
+/// [`triejax_exec::BudgetHandle`]s are flag-only), and the drain charges
+/// [`RunBudget::charge_rows`] in exact stream order — so the rows that
+/// reach the sink are exactly the first `limit` rows of the sequential
+/// result, no matter how lanes interleaved. The cut is *sticky*: once the
+/// quota is exhausted or a non-row-limit cancellation is observed, every
+/// later batch is discarded but the drain keeps consuming, so producers
+/// never block on a full merge and the run winds down instead of hanging.
+fn drain_into(
+    merge: &OrderedMerge<Vec<Value>>,
+    sink: &mut dyn ResultSink,
+    arity: usize,
+    budget: Option<&RunBudget>,
+) {
+    match budget {
+        None => merge.drain(|batch| sink.push_rows(&batch, arity)),
+        Some(b) => {
+            let mut cut = false;
+            merge.drain(|batch| {
+                if cut {
+                    return;
+                }
+                if b.cancelled().is_some_and(|r| r != CancelReason::RowLimit) {
+                    cut = true;
+                    return;
+                }
+                let rows = (batch.len() / arity.max(1)) as u64;
+                let allowed = b.charge_rows(rows);
+                if allowed < rows {
+                    cut = true;
+                }
+                if allowed > 0 {
+                    sink.push_rows(&batch[..allowed as usize * arity], arity);
+                }
+            });
+        }
+    }
+}
+
 /// Runs every planned shard on the pool, streaming batches through an
 /// order-preserving merge into `sink` — the execution skeleton every
 /// pool-parallel engine shares.
@@ -134,15 +251,21 @@ pub(crate) fn can_split(plan: &CompiledQuery, tries: &TrieSet) -> bool {
 /// the foreground drain (which runs on the calling thread, so `sink`
 /// needs no `Send` bound) from blocking forever. Task results come back
 /// in shard order alongside the pool's scheduling stats.
+///
+/// When `budget` governs the run, the drain enforces it (see
+/// [`drain_into`]) and shards claimed after cancellation return
+/// `R::default()` without running their driver — the lane still opens and
+/// closes, so the drain always terminates.
 pub(crate) fn execute_sharded<R, F>(
     pool: &WorkerPool,
     ranges: &[(Value, Option<Value>)],
     arity: usize,
     sink: &mut dyn ResultSink,
+    budget: Option<&RunBudget>,
     work: F,
 ) -> (Vec<R>, PoolStats)
 where
-    R: Send,
+    R: Send + Default,
     F: Fn(WorkerCtx, usize, Value, Option<Value>, &mut ShardSink<'_>) -> R + Sync,
 {
     let merge = OrderedMerge::new(ranges.len());
@@ -150,9 +273,19 @@ where
         ranges,
         |ctx, lane, &(min, sup)| {
             let mut shard_sink = ShardSink::new(&merge, lane, arity);
+            // Fault hook *after* the sink exists: an injected panic here
+            // unwinds through the sink's Drop, which closes the lane, so
+            // the drain never waits on a dead shard.
+            #[cfg(feature = "faults")]
+            triejax_exec::faults::fire(triejax_exec::faults::FaultEvent::TaskStart);
+            if budget.is_some_and(|b| b.cancelled().is_some()) {
+                // Cancelled while queued: drop the task (the ShardSink
+                // Drop closes the lane on the way out).
+                return R::default();
+            }
             work(ctx, lane, min, sup, &mut shard_sink)
         },
-        || merge.drain(|batch| sink.push_rows(&batch, arity)),
+        || drain_into(&merge, sink, arity, budget),
     );
     (results, pool_stats)
 }
@@ -327,6 +460,27 @@ impl SplitSpawn for SplitHandle<'_> {
 
     fn handoff(&mut self, min: Value, sup: Option<Value>) {
         let lane = self.merge.open_lane_after(self.lane);
+        // Fault window: the lane is open but the task not yet spawned. An
+        // injected failure here must close the lane before unwinding —
+        // otherwise the drain waits forever on a shard that will never
+        // run. This is exactly the invariant the fault harness probes.
+        #[cfg(feature = "faults")]
+        match triejax_exec::faults::on_event(triejax_exec::faults::FaultEvent::SplitHandoff) {
+            Some(
+                triejax_exec::faults::FaultAction::Panic
+                | triejax_exec::faults::FaultAction::FailHandoff,
+            ) => {
+                self.merge.finish(lane);
+                panic!(
+                    "injected fault: SplitHandoff on worker {}",
+                    triejax_exec::faults::current_worker()
+                );
+            }
+            Some(triejax_exec::faults::FaultAction::Delay(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            _ => {}
+        }
         self.spawner.spawn(SplitTask {
             lane,
             min,
@@ -356,10 +510,11 @@ pub(crate) fn execute_split<R, F>(
     ranges: &[(Value, Option<Value>)],
     arity: usize,
     sink: &mut dyn ResultSink,
+    budget: Option<&RunBudget>,
     work: F,
 ) -> (Vec<R>, PoolStats)
 where
-    R: Send,
+    R: Send + Default,
     F: Fn(WorkerCtx, Value, Option<Value>, &mut ShardSink<'_>, &mut SplitHandle<'_>) -> R + Sync,
 {
     let merge = OrderedMerge::new(ranges.len());
@@ -377,6 +532,11 @@ where
         seeds,
         |ctx, spawner, task| {
             let mut shard_sink = ShardSink::new(&merge, task.lane, arity);
+            #[cfg(feature = "faults")]
+            triejax_exec::faults::fire(triejax_exec::faults::FaultEvent::TaskStart);
+            if budget.is_some_and(|b| b.cancelled().is_some()) {
+                return R::default();
+            }
             let mut handle = SplitHandle {
                 spawner,
                 merge: &merge,
@@ -386,7 +546,7 @@ where
             };
             work(ctx, task.min, task.sup, &mut shard_sink, &mut handle)
         },
-        || merge.drain(|batch| sink.push_rows(&batch, arity)),
+        || drain_into(&merge, sink, arity, budget),
     );
     (results, pool_stats)
 }

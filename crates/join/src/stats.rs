@@ -107,6 +107,31 @@ impl<T: Tally> EngineStats<T> {
         }
     }
 
+    /// These stats with the access tally snapshotted into the concrete
+    /// [`Counting`] representation. A cancelled run reports its partial
+    /// progress through [`crate::JoinError::Cancelled`] in this form
+    /// regardless of which tally the engine ran with.
+    pub fn to_counting(&self) -> EngineStats<Counting> {
+        EngineStats {
+            results: self.results,
+            intermediates: self.intermediates,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            cache_overflows: self.cache_overflows,
+            cache_evictions: self.cache_evictions,
+            cache_races: self.cache_races,
+            cache_contention: self.cache_contention,
+            lub_ops: self.lub_ops,
+            expand_ops: self.expand_ops,
+            match_ops: self.match_ops,
+            shards: self.shards,
+            steals: self.steals,
+            splits: self.splits,
+            split_depth: self.split_depth,
+            access: self.access.snapshot(),
+        }
+    }
+
     /// Adds another run's totals into this one (used by the parallel
     /// engine to combine per-shard stats).
     pub fn merge(&mut self, other: &Self) {
@@ -185,6 +210,24 @@ mod tests {
         assert_eq!(a.cache_contention, 3);
         assert_eq!(a.memory_accesses(), 2);
         assert_eq!(a.bytes_moved(), 12);
+    }
+
+    #[test]
+    fn to_counting_preserves_counters_and_snapshots_the_tally() {
+        let mut s: EngineStats<NoTally> = EngineStats::new();
+        s.results = 7;
+        s.shards = 3;
+        s.splits = 2;
+        s.access.record(AccessKind::IndexRead, 1 << 20);
+        let c = s.to_counting();
+        assert_eq!(c.results, 7);
+        assert_eq!(c.shards, 3);
+        assert_eq!(c.splits, 2);
+        assert_eq!(c.memory_accesses(), 0, "NoTally snapshots to zero");
+
+        let mut t = EngineStats::<Counting>::new();
+        t.access.record(AccessKind::ResultWrite, 8);
+        assert_eq!(t.to_counting().bytes_moved(), 8);
     }
 
     #[test]

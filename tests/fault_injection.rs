@@ -1,0 +1,283 @@
+//! Deterministic fault injection against the parallel runtime (compiled
+//! only with `--features faults`): injected panics, delays, and failed
+//! handoffs at every event class must never hang the ordered drain, never
+//! leak a merge lane, and never corrupt shared-cache accounting. A
+//! panicked run surfaces its payload to the caller (the pool rethrows
+//! after the drain completes), and the very next clean run must be exact
+//! — nothing a dying worker did may outlive its run.
+
+#![cfg(feature = "faults")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use triejax_join::faults::{self, FaultAction, FaultEvent, FaultPlan, FaultRule};
+use triejax_join::{
+    CancelReason, Catalog, CollectSink, CountSink, JoinEngine, JoinError, Lftj, ParCtj, ParLftj,
+};
+use triejax_query::{patterns::Pattern, CompiledQuery};
+use triejax_relation::Relation;
+
+/// Fires `action` on the first occurrence of `event` on any worker.
+fn first(event: FaultEvent, action: FaultAction) -> FaultRule {
+    FaultRule {
+        worker: None,
+        event,
+        ordinal: 0,
+        action,
+    }
+}
+
+fn catalog_from(edges: Vec<(u32, u32)>) -> Catalog {
+    let mut c = Catalog::new();
+    c.insert("G", Relation::from_pairs(edges));
+    c
+}
+
+/// Hub star (every vertex joined to 0, both ways): enough root-level
+/// work for splits, steals, and cache traffic to actually occur.
+fn hub_edges() -> Vec<(u32, u32)> {
+    let mut edges = Vec::new();
+    for i in 1..220u32 {
+        edges.push((0, i));
+        edges.push((i, 0));
+    }
+    edges
+}
+
+/// Funnel graph for CTJ cache accounting: 30 parents share one hub whose
+/// entry is built once, so lookups are exactly predictable.
+fn funnel_edges() -> Vec<(u32, u32)> {
+    let mut edges = Vec::new();
+    for x in 0..30u32 {
+        edges.push((x, 100));
+    }
+    for z in 200..220u32 {
+        edges.push((100, z));
+    }
+    edges
+}
+
+fn reference_tuples(plan: &CompiledQuery, catalog: &Catalog) -> Vec<Vec<u32>> {
+    let mut sink = CollectSink::new();
+    Lftj::new().execute(plan, catalog, &mut sink).expect("runs");
+    sink.tuples().to_vec()
+}
+
+/// Asserts a caught panic payload is ours, not an incidental one.
+fn assert_injected(payload: Box<dyn std::any::Any + Send>) {
+    let text = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_default();
+    assert!(
+        text.contains("injected fault"),
+        "panic was not the injected one: {text:?}"
+    );
+}
+
+/// A panic injected at each event class the LFTJ runtime passes through:
+/// the run either completes exactly (the site was never reached on this
+/// schedule — e.g. no steal happened) or surfaces the injected payload —
+/// and in both cases the drain terminates and the very next clean run is
+/// exact. A hang here is the failure mode this harness exists to catch.
+#[test]
+fn injected_panics_never_hang_the_drain() {
+    let catalog = catalog_from(hub_edges());
+    let plan = CompiledQuery::compile(&Pattern::Path3.query()).expect("compiles");
+    let reference = reference_tuples(&plan, &catalog);
+    for event in [
+        FaultEvent::TaskStart,
+        FaultEvent::Steal,
+        FaultEvent::SplitHandoff,
+        FaultEvent::MergePush,
+    ] {
+        for action in [FaultAction::Panic, FaultAction::FailHandoff] {
+            let guard = faults::install(FaultPlan::new().rule(first(event, action)));
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut sink = CollectSink::new();
+                ParLftj::with_pool(4)
+                    .with_granularity(1)
+                    .with_split(true)
+                    .execute(&plan, &catalog, &mut sink)
+                    .expect("a faulted run that completes completes cleanly");
+                sink
+            }));
+            drop(guard);
+            match outcome {
+                Ok(sink) => assert_eq!(
+                    sink.tuples(),
+                    reference,
+                    "{event:?}/{action:?}: untripped run must be exact"
+                ),
+                Err(payload) => assert_injected(payload),
+            }
+            // Whatever the dying worker left behind must not outlive its
+            // run: the next clean run is exact.
+            let mut clean = CollectSink::new();
+            ParLftj::with_pool(4)
+                .with_granularity(1)
+                .with_split(true)
+                .execute(&plan, &catalog, &mut clean)
+                .expect("clean run");
+            assert_eq!(
+                clean.tuples(),
+                reference,
+                "{event:?}/{action:?}: post-fault"
+            );
+        }
+    }
+}
+
+/// A worker dying between its cache miss and its insert (panic at the
+/// publish site) must not corrupt the shared store: the run surfaces the
+/// panic, and a fresh run's books balance exactly — the hub entry is
+/// built once and every other lookup hits it.
+#[test]
+fn cache_insert_panic_leaves_accounting_consistent() {
+    let catalog = catalog_from(funnel_edges());
+    let plan = CompiledQuery::compile(&Pattern::Path3.query()).expect("compiles");
+    let reference = reference_tuples(&plan, &catalog);
+    let guard =
+        faults::install(FaultPlan::new().rule(first(FaultEvent::CacheInsert, FaultAction::Panic)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut sink = CountSink::default();
+        ParCtj::with_pool(2)
+            .execute(&plan, &catalog, &mut sink)
+            .expect("a faulted run that completes completes cleanly");
+    }));
+    drop(guard);
+    match outcome {
+        // Publish always happens on this fixture, so the rule must fire.
+        Ok(()) => panic!("the first cache insert must have tripped the fault"),
+        Err(payload) => assert_injected(payload),
+    }
+    let mut sink = CollectSink::new();
+    let stats = ParCtj::with_pool(2)
+        .execute(&plan, &catalog, &mut sink)
+        .expect("clean run");
+    assert_eq!(sink.tuples(), reference);
+    assert_eq!(
+        stats.cache_hits + stats.cache_misses,
+        30,
+        "one lookup per parent; races reclassify, they never double-count"
+    );
+    assert_eq!(stats.cache_misses, 1, "the hub entry is built exactly once");
+}
+
+/// Delaying the first publish widens the lookup→insert window so sibling
+/// workers race the build. First-writer-wins must keep the run exact and
+/// the books balanced: hits + misses still equals the lookup count, with
+/// any duplicate build reclassified as a race, not a second miss.
+#[test]
+fn delayed_cache_insert_keeps_racing_books_balanced() {
+    let catalog = catalog_from(funnel_edges());
+    let plan = CompiledQuery::compile(&Pattern::Path3.query()).expect("compiles");
+    let reference = reference_tuples(&plan, &catalog);
+    let guard = faults::install(
+        FaultPlan::new().rule(first(FaultEvent::CacheInsert, FaultAction::Delay(5))),
+    );
+    let mut sink = CollectSink::new();
+    let stats = ParCtj::with_pool(2)
+        .execute(&plan, &catalog, &mut sink)
+        .expect("delays never fail a run");
+    drop(guard);
+    assert_eq!(sink.tuples(), reference);
+    assert_eq!(stats.cache_hits + stats.cache_misses, 30);
+    assert_eq!(stats.cache_misses, 1);
+}
+
+/// The tentpole race: the budget trips while a split handoff is in
+/// flight — the new merge lane is open but its task not yet spawned (the
+/// injected delay pins the window). The drain must still terminate and
+/// deliver the exact ordered prefix.
+#[test]
+fn budget_trip_during_inflight_handoff_keeps_the_prefix_exact() {
+    let catalog = catalog_from(hub_edges());
+    let plan = CompiledQuery::compile(&Pattern::Path3.query()).expect("compiles");
+    let reference = reference_tuples(&plan, &catalog);
+    for limit in [1u64, 5, 40] {
+        let guard = faults::install(
+            FaultPlan::new().rule(first(FaultEvent::SplitHandoff, FaultAction::Delay(3))),
+        );
+        let mut sink = CollectSink::new();
+        let err = ParLftj::with_pool(4)
+            .with_granularity(1)
+            .with_split(true)
+            .with_row_limit(limit)
+            .execute(&plan, &catalog, &mut sink)
+            .expect_err("limit below total must cancel");
+        drop(guard);
+        match err {
+            JoinError::Cancelled { reason, .. } => {
+                assert_eq!(reason, CancelReason::RowLimit, "limit={limit}")
+            }
+            other => panic!("limit={limit}: wrong error {other:?}"),
+        }
+        assert_eq!(
+            sink.tuples(),
+            &reference[..limit as usize],
+            "limit={limit}: prefix must survive the in-flight handoff"
+        );
+    }
+}
+
+/// A failed handoff during a deadline-cancelled run: the handoff site
+/// closes its freshly opened lane before panicking, so even the
+/// combination of an injected handoff failure and a tripping budget
+/// leaves no lane for the drain to wait on.
+#[test]
+fn failed_handoff_under_a_deadline_never_hangs() {
+    let catalog = catalog_from(hub_edges());
+    let plan = CompiledQuery::compile(&Pattern::Path3.query()).expect("compiles");
+    let guard = faults::install(
+        FaultPlan::new().rule(first(FaultEvent::SplitHandoff, FaultAction::FailHandoff)),
+    );
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut sink = CollectSink::new();
+        let _ = ParLftj::with_pool(4)
+            .with_granularity(1)
+            .with_split(true)
+            .with_deadline(Duration::from_millis(1))
+            .execute(&plan, &catalog, &mut sink);
+    }));
+    drop(guard);
+    if let Err(payload) = outcome {
+        assert_injected(payload);
+    }
+}
+
+/// Seed-driven sweep: deterministic plans drawn over all five event
+/// classes. Every schedule must terminate; completed runs must be exact.
+/// A failure replays from its seed alone.
+#[test]
+fn seeded_fault_sweep_terminates_and_stays_exact() {
+    let catalog = catalog_from(hub_edges());
+    let plan = CompiledQuery::compile(&Pattern::Path3.query()).expect("compiles");
+    let reference = reference_tuples(&plan, &catalog);
+    let events = [
+        FaultEvent::TaskStart,
+        FaultEvent::Steal,
+        FaultEvent::SplitHandoff,
+        FaultEvent::CacheInsert,
+        FaultEvent::MergePush,
+    ];
+    for seed in 0..12u64 {
+        let guard = faults::install(FaultPlan::from_seed(seed, &events, 4));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut sink = CollectSink::new();
+            ParCtj::with_pool(4)
+                .with_split(true)
+                .with_granularity(1)
+                .execute(&plan, &catalog, &mut sink)
+                .expect("a faulted run that completes completes cleanly");
+            sink
+        }));
+        drop(guard);
+        match outcome {
+            Ok(sink) => assert_eq!(sink.tuples(), reference, "seed {seed}"),
+            Err(payload) => assert_injected(payload),
+        }
+    }
+}
