@@ -16,8 +16,9 @@
 //! always write and exit 0 — e.g. to rebase the artifact).
 //!
 //! Usage: `bench_joins [--scale tiny|mini|full] [--dataset <label>]
-//! [--runs N] [--pool N] [--cache-cap N] [--split | --no-split]
-//! [--row-limit N] [--deadline-ms N] [--out PATH] [--no-gate]`
+//! [--runs N] [--pool N] [--cache-cap N] [--trie-cache-mb N]
+//! [--split | --no-split] [--row-limit N] [--deadline-ms N] [--out PATH]
+//! [--no-gate]`
 //!
 //! `--cache-cap N` bounds the `parctj` rows' shared PJR cache to `N`
 //! total entries (per-stripe FIFO eviction; `0` disables caching), so
@@ -38,11 +39,24 @@
 //! fields, so pre-knob artifacts still gate against ungoverned runs.
 //! Every invocation also smoke-checks that a zero-deadline run reports
 //! `Cancelled` — a cheap liveness probe that is never a gated row.
+//!
+//! `--trie-cache-mb N` shares one cross-query [`triejax_join::TrieCache`]
+//! (capacity `N` MiB; `0` disables it) across every parallel engine row.
+//! Every invocation records a per-query `trie-build-cold` row (the trie
+//! construction phase timed through `EngineStats::trie_build_ns`, cache
+//! explicitly off); with the cache enabled a `trie-build-warm` row rides
+//! along — every build served from the cache — together with a
+//! `trie_cache_mb` config-signature field, so cacheless artifacts from
+//! before the knob existed still gate against cacheless runs. Build rows
+//! report `trie_cache_hits` in their `results` column.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use triejax_graph::{Dataset, Scale};
-use triejax_join::{Catalog, CountSink, Counting, Ctj, JoinError, Lftj, NoTally, ParCtj, ParLftj};
+use triejax_join::{
+    Catalog, CountSink, Counting, Ctj, JoinError, Lftj, NoTally, ParCtj, ParLftj, TrieCache,
+};
 use triejax_query::{patterns::Pattern, CompiledQuery};
 
 /// Median slowdown (percent) beyond which the gate fails the run.
@@ -129,6 +143,7 @@ fn config_signature(
     Option<u128>,
     Option<u128>,
     Option<u128>,
+    Option<u128>,
     bool,
     Option<u128>,
     Option<u128>,
@@ -139,9 +154,42 @@ fn config_signature(
         field_num(text, "runs"),
         field_num(text, "pool"),
         field_num(text, "cache_cap"),
+        field_num(text, "trie_cache_mb"),
         field_bool(text, "split"),
         field_num(text, "row_limit"),
         field_num(text, "deadline_ms"),
+    )
+}
+
+/// Samples the trie-construction phase of `runs` engine runs through
+/// `EngineStats::trie_build_ns` (median, min, max) plus the last run's
+/// `trie_cache_hits` — reported in the artifact's `results` column: 0
+/// for a cold row, one per distinct `(relation, perm)` build for a warm
+/// one. Build rows always run ungoverned: the build phase completes
+/// before any budget is consulted, so a budget knob could only add
+/// noise, not change what is measured.
+fn build_phase_samples(
+    runs: usize,
+    plan: &CompiledQuery,
+    catalog: &Catalog,
+    mut engine: impl FnMut() -> ParLftj,
+) -> (u128, u128, u128, u64) {
+    let mut samples: Vec<u128> = Vec::with_capacity(runs);
+    let mut hits = 0u64;
+    for _ in 0..runs {
+        let mut sink = CountSink::default();
+        let stats = engine()
+            .run_tallied::<NoTally>(plan, catalog, &mut sink)
+            .expect("build rows run ungoverned");
+        samples.push(u128::from(stats.trie_build_ns));
+        hits = stats.trie_cache_hits;
+    }
+    samples.sort_unstable();
+    (
+        samples[samples.len() / 2],
+        samples[0],
+        samples[samples.len() - 1],
+        hits,
     )
 }
 
@@ -152,6 +200,7 @@ fn main() {
     let mut runs = 7usize;
     let mut pool: Option<usize> = None;
     let mut cache_cap: Option<usize> = None;
+    let mut trie_cache_mb: Option<u64> = None;
     let mut split: Option<bool> = None;
     let mut row_limit: Option<u64> = None;
     let mut deadline_ms: Option<u64> = None;
@@ -189,6 +238,10 @@ fn main() {
                 i += 1;
                 cache_cap = Some(args[i].parse().expect("--cache-cap takes a number"));
             }
+            "--trie-cache-mb" => {
+                i += 1;
+                trie_cache_mb = Some(args[i].parse().expect("--trie-cache-mb takes a number"));
+            }
             "--split" => split = Some(true),
             "--no-split" => split = Some(false),
             "--row-limit" => {
@@ -224,13 +277,29 @@ fn main() {
     // `TRIEJAX_SPLIT` default explicitly so the measured schedule is
     // always the recorded one.
     let split = split.unwrap_or_else(|| ParLftj::new().effective_split());
+    // The trie cache is flag-only: without `--trie-cache-mb` (or with 0)
+    // the parallel rows run with the cache pinned *off* — an ambient
+    // `TRIEJAX_TRIE_CACHE_MB` must not make the measured configuration
+    // drift from the recorded one.
+    let trie_cache: Option<Arc<TrieCache>> = trie_cache_mb
+        .filter(|&mb| mb > 0)
+        .map(|mb| Arc::new(TrieCache::with_capacity_mb(mb)));
 
     let mut catalog = Catalog::new();
     catalog.insert("G", dataset.generate(scale).edge_relation());
+    let pin_trie_cache = |engine: ParLftj| match &trie_cache {
+        Some(c) => engine.with_trie_cache(c.clone()),
+        None => engine.without_trie_cache(),
+    };
+    let pin_trie_cache_ctj = |engine: ParCtj| match &trie_cache {
+        Some(c) => engine.with_trie_cache(c.clone()),
+        None => engine.without_trie_cache(),
+    };
     let par_lftj = || {
-        let mut engine = pool
-            .map_or_else(ParLftj::new, ParLftj::with_pool)
-            .with_split(split);
+        let mut engine = pin_trie_cache(
+            pool.map_or_else(ParLftj::new, ParLftj::with_pool)
+                .with_split(split),
+        );
         if let Some(n) = row_limit {
             engine = engine.with_row_limit(n);
         }
@@ -240,9 +309,10 @@ fn main() {
         engine
     };
     let par_ctj = || {
-        let mut engine = pool
-            .map_or_else(ParCtj::new, ParCtj::with_pool)
-            .with_split(split);
+        let mut engine = pin_trie_cache_ctj(
+            pool.map_or_else(ParCtj::new, ParCtj::with_pool)
+                .with_split(split),
+        );
         if let Some(cap) = cache_cap {
             engine = engine.cache_capacity(cap);
         }
@@ -393,6 +463,62 @@ fn main() {
                 results,
             });
         }
+
+        // Build-phase rows. Cold (always): the cache pinned off, every
+        // sampled run pays the full trie construction. Warm (cache on):
+        // one untimed priming run fills the shared cache, then every
+        // sampled run serves all of the query's builds from it.
+        let (cold_median, cold_min, cold_max, cold_hits) =
+            build_phase_samples(runs, &plan, &catalog, || {
+                pool.map_or_else(ParLftj::new, ParLftj::with_pool)
+                    .with_split(split)
+                    .without_trie_cache()
+            });
+        println!(
+            "{:>8} {:<18} median {:>12} ns  ({} hits)",
+            pattern.label(),
+            "trie-build-cold",
+            cold_median,
+            cold_hits
+        );
+        measurements.push(Measurement {
+            engine: "trie-build-cold",
+            query: pattern.label(),
+            median_ns: cold_median,
+            min_ns: cold_min,
+            max_ns: cold_max,
+            results: cold_hits,
+        });
+        if let Some(cache) = &trie_cache {
+            build_phase_samples(1, &plan, &catalog, || {
+                pool.map_or_else(ParLftj::new, ParLftj::with_pool)
+                    .with_split(split)
+                    .with_trie_cache(cache.clone())
+            });
+            let (median_ns, min_ns, max_ns, hits) =
+                build_phase_samples(runs, &plan, &catalog, || {
+                    pool.map_or_else(ParLftj::new, ParLftj::with_pool)
+                        .with_split(split)
+                        .with_trie_cache(cache.clone())
+                });
+            assert!(hits > 0, "a primed cache must serve the warm build row");
+            println!(
+                "{:>8} {:<18} median {:>12} ns  ({} hits, {:.1}x cheaper than cold)",
+                pattern.label(),
+                "trie-build-warm",
+                median_ns,
+                hits,
+                cold_median as f64 / median_ns.max(1) as f64
+            );
+            measurements.push(Measurement {
+                engine: "trie-build-warm",
+                query: pattern.label(),
+                median_ns,
+                min_ns,
+                max_ns,
+                results: hits,
+            });
+        }
     }
 
     // Regression gate: compare medians against the previous artifact —
@@ -405,6 +531,9 @@ fn main() {
         Some(runs as u128),
         pool.map(|n| n as u128),
         cache_cap.map(|n| n as u128),
+        // Signature-relevant only when the cache is actually on: `0`
+        // measures the same thing as an absent flag.
+        trie_cache.as_ref().and(trie_cache_mb).map(u128::from),
         split,
         row_limit.map(u128::from),
         deadline_ms.map(u128::from),
@@ -500,6 +629,13 @@ fn main() {
     // (no "cache_cap" field) still signature-match uncapped runs.
     if let Some(n) = cache_cap {
         json.push_str(&format!("  \"cache_cap\": {n},\n"));
+    }
+    // Written only for cache-enabled runs, so cacheless artifacts from
+    // before the knob existed still signature-match cacheless runs.
+    if trie_cache.is_some() {
+        if let Some(mb) = trie_cache_mb {
+            json.push_str(&format!("  \"trie_cache_mb\": {mb},\n"));
+        }
     }
     // Likewise written only for splitting runs, so pre-knob artifacts
     // still signature-match non-splitting runs.

@@ -39,6 +39,9 @@ pub enum FaultEvent {
     CacheInsert,
     /// A producer is about to push a batch into an ordered merge lane.
     MergePush,
+    /// A trie build is about to run (one per distinct `(relation, perm)`
+    /// build of a `TrieSet`, fired before any partition task starts).
+    TrieBuild,
 }
 
 /// What happens when a rule matches.

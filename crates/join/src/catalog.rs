@@ -1,8 +1,11 @@
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use triejax_exec::WorkerPool;
 use triejax_query::CompiledQuery;
 use triejax_relation::{AddressSpace, Relation, Trie};
 
+use crate::triecache::TrieCache;
 use crate::JoinError;
 
 /// A named collection of base relations (the "database").
@@ -62,12 +65,27 @@ impl Catalog {
 /// its trie.
 #[derive(Debug, Clone)]
 pub struct TrieSet {
-    tries: Vec<Trie>,
+    /// Shared so the cross-query [`TrieCache`] and every concurrent query
+    /// can hold the same built trie without copying it.
+    tries: Vec<Arc<Trie>>,
     atom_trie: Vec<usize>,
 }
 
+/// One deduplicated trie the plan needs but the cache could not serve.
+struct PendingBuild<'a> {
+    /// Index into `TrieSet::tries` this build fills.
+    slot: usize,
+    rel: &'a Relation,
+    name: &'a str,
+    perm: &'a [usize],
+    /// Base-relation fingerprint, present when the built trie should be
+    /// published to the cache afterwards.
+    fingerprint: Option<u64>,
+}
+
 impl TrieSet {
-    /// Builds (or reuses) every trie the plan needs from `catalog`.
+    /// Builds (or reuses) every trie the plan needs from `catalog`,
+    /// sequentially on the caller's thread.
     ///
     /// # Errors
     ///
@@ -78,24 +96,13 @@ impl TrieSet {
         let mut tries = Vec::new();
         let mut atom_trie = Vec::with_capacity(plan.atom_plans().len());
         for ap in plan.atom_plans() {
-            let rel = catalog
-                .get(ap.relation())
-                .ok_or_else(|| JoinError::MissingRelation {
-                    name: ap.relation().to_owned(),
-                })?;
-            if rel.arity() != ap.arity() {
-                return Err(JoinError::ArityMismatch {
-                    name: ap.relation().to_owned(),
-                    atom_arity: ap.arity(),
-                    relation_arity: rel.arity(),
-                });
-            }
+            let rel = resolve(catalog, ap.relation(), ap.arity())?;
             let key = (ap.relation().to_owned(), ap.perm().to_vec());
             let idx = match keys.get(&key) {
                 Some(&i) => i,
                 None => {
                     let permuted = rel.permute(ap.perm());
-                    tries.push(Trie::build(&permuted));
+                    tries.push(Arc::new(Trie::build(&permuted)));
                     keys.insert(key, tries.len() - 1);
                     tries.len() - 1
                 }
@@ -105,17 +112,111 @@ impl TrieSet {
         Ok(TrieSet { tries, atom_trie })
     }
 
+    /// Builds every trie the plan needs with the cold work scheduled on
+    /// `pool`, consulting (and filling) the cross-query `cache` when one
+    /// is given. Returns the trie set plus the number of tries served from
+    /// the cache.
+    ///
+    /// Each distinct `(relation, perm)` that misses the cache is one unit
+    /// of cold work: when several miss, they run as independent pool tasks
+    /// (inter-trie parallelism); a single miss instead runs on the caller
+    /// with the chunk-parallel permute ([`Relation::permute_on`]) and
+    /// partitioned build ([`Trie::par_build`]) so the pool is never idle
+    /// either way. Both paths produce tries byte-identical to
+    /// [`TrieSet::build`]'s, and cache publication is first-writer-wins:
+    /// on a race the sibling's [`Arc`] is adopted and the duplicate build
+    /// discarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::MissingRelation`] or [`JoinError::ArityMismatch`]
+    /// when the catalog does not satisfy the query's schema.
+    pub fn build_on(
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        pool: &WorkerPool,
+        cache: Option<&TrieCache>,
+    ) -> Result<(TrieSet, u64), JoinError> {
+        let mut keys: HashMap<(String, Vec<usize>), usize> = HashMap::new();
+        let mut slots: Vec<Option<Arc<Trie>>> = Vec::new();
+        let mut pending: Vec<PendingBuild<'_>> = Vec::new();
+        let mut atom_trie = Vec::with_capacity(plan.atom_plans().len());
+        let mut fingerprints: HashMap<&str, u64> = HashMap::new();
+        let mut cache_hits = 0u64;
+        for ap in plan.atom_plans() {
+            let rel = resolve(catalog, ap.relation(), ap.arity())?;
+            let key = (ap.relation().to_owned(), ap.perm().to_vec());
+            let idx = match keys.get(&key) {
+                Some(&i) => i,
+                None => {
+                    let i = slots.len();
+                    let mut served = None;
+                    let mut fingerprint = None;
+                    if let Some(c) = cache {
+                        let fp = *fingerprints
+                            .entry(ap.relation())
+                            .or_insert_with(|| TrieCache::fingerprint(rel));
+                        match c.lookup(ap.relation(), fp, ap.perm()) {
+                            Some(t) => {
+                                cache_hits += 1;
+                                served = Some(t);
+                            }
+                            None => fingerprint = Some(fp),
+                        }
+                    }
+                    if served.is_none() {
+                        pending.push(PendingBuild {
+                            slot: i,
+                            rel,
+                            name: ap.relation(),
+                            perm: ap.perm(),
+                            fingerprint,
+                        });
+                    }
+                    slots.push(served);
+                    keys.insert(key, i);
+                    i
+                }
+            };
+            atom_trie.push(idx);
+        }
+        // Cold builds: many misses become independent pool tasks; a lone
+        // miss parallelizes *within* the build instead.
+        let built: Vec<Trie> = if pending.len() == 1 {
+            vec![build_one(pending[0].rel, pending[0].perm, Some(pool))]
+        } else if !pending.is_empty() {
+            let (tries, _stats) =
+                pool.run(&pending, |_ctx, _lane, pb| build_one(pb.rel, pb.perm, None));
+            tries
+        } else {
+            Vec::new()
+        };
+        for (pb, trie) in pending.iter().zip(built) {
+            let trie = Arc::new(trie);
+            let published = match (cache, pb.fingerprint) {
+                (Some(c), Some(fp)) => c.insert(pb.name, fp, pb.perm, trie),
+                _ => trie,
+            };
+            slots[pb.slot] = Some(published);
+        }
+        let tries = slots
+            .into_iter()
+            .map(|s| s.expect("every slot is served or built"))
+            .collect();
+        Ok((TrieSet { tries, atom_trie }, cache_hits))
+    }
+
     /// The trie backing atom-plan `i`.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     pub fn for_atom(&self, i: usize) -> &Trie {
-        &self.tries[self.atom_trie[i]]
+        self.tries[self.atom_trie[i]].as_ref()
     }
 
     /// The deduplicated tries.
-    pub fn tries(&self) -> &[Trie] {
+    pub fn tries(&self) -> &[Arc<Trie>] {
         &self.tries
     }
 
@@ -126,13 +227,46 @@ impl TrieSet {
 
     /// Assigns simulated addresses to every trie (for cycle-level
     /// simulation); returns the total index footprint in bytes.
+    ///
+    /// Tries shared with a cache (or another query) are copied on write
+    /// first, so simulated placement never mutates a cached trie.
     pub fn assign_addresses(&mut self, asp: &mut AddressSpace) -> u64 {
         let mut total = 0;
         for t in &mut self.tries {
-            t.assign_addresses(asp);
+            Arc::make_mut(t).assign_addresses(asp);
             total += t.bytes();
         }
         total
+    }
+}
+
+/// Looks up `name` in the catalog and checks its arity against the atom's.
+fn resolve<'a>(catalog: &'a Catalog, name: &str, arity: usize) -> Result<&'a Relation, JoinError> {
+    let rel = catalog
+        .get(name)
+        .ok_or_else(|| JoinError::MissingRelation {
+            name: name.to_owned(),
+        })?;
+    if rel.arity() != arity {
+        return Err(JoinError::ArityMismatch {
+            name: name.to_owned(),
+            atom_arity: arity,
+            relation_arity: rel.arity(),
+        });
+    }
+    Ok(rel)
+}
+
+/// One cold trie build: permute into the atom's attribute order, then
+/// build. With a pool the permute chunk-sorts and the build partitions by
+/// root key; without one both run sequentially (the per-task body when
+/// many builds already share the pool).
+fn build_one(rel: &Relation, perm: &[usize], pool: Option<&WorkerPool>) -> Trie {
+    #[cfg(feature = "faults")]
+    triejax_exec::faults::fire(triejax_exec::faults::FaultEvent::TrieBuild);
+    match pool {
+        Some(p) => Trie::par_build(&rel.permute_on(perm, p), p),
+        None => Trie::build(&rel.permute(perm)),
     }
 }
 
@@ -185,6 +319,50 @@ mod tests {
         let rev = ts.for_atom(2);
         assert_eq!(rev.level(0).values(), &[1, 2, 3]);
         assert_eq!(rev.enumerate(), vec![vec![1, 3], vec![2, 1], vec![3, 2]]);
+    }
+
+    #[test]
+    fn build_on_matches_sequential_build() {
+        let pool = WorkerPool::with_workers(4);
+        for p in [patterns::cycle3(), patterns::path4(), patterns::clique4()] {
+            let plan = CompiledQuery::compile(&p).unwrap();
+            let seq = TrieSet::build(&plan, &catalog()).unwrap();
+            let (par, hits) = TrieSet::build_on(&plan, &catalog(), &pool, None).unwrap();
+            assert_eq!(hits, 0, "no cache, no hits");
+            assert_eq!(par.atom_trie_indices(), seq.atom_trie_indices());
+            assert_eq!(par.tries().len(), seq.tries().len());
+            for (a, b) in par.tries().iter().zip(seq.tries()) {
+                assert_eq!(a, b, "parallel build must be byte-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn build_on_serves_and_fills_the_cache() {
+        let pool = WorkerPool::with_workers(2);
+        let cache = TrieCache::unbounded();
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let (cold, hits) = TrieSet::build_on(&plan, &catalog(), &pool, Some(&cache)).unwrap();
+        assert_eq!(hits, 0);
+        assert_eq!(cache.insertions(), 2, "both distinct tries published");
+        let (warm, hits) = TrieSet::build_on(&plan, &catalog(), &pool, Some(&cache)).unwrap();
+        assert_eq!(hits, 2, "warm build is all lookups");
+        for (a, b) in warm.tries().iter().zip(cold.tries()) {
+            assert!(Arc::ptr_eq(a, b), "warm query adopts the cached Arc");
+        }
+        // A changed relation under the same name misses by fingerprint.
+        let mut changed = Catalog::new();
+        changed.insert("G", Relation::from_pairs(vec![(9, 8), (8, 7), (7, 9)]));
+        let (_, hits) = TrieSet::build_on(&plan, &changed, &pool, Some(&cache)).unwrap();
+        assert_eq!(hits, 0, "stale tries are unreachable by fingerprint");
+    }
+
+    #[test]
+    fn build_on_propagates_schema_errors() {
+        let pool = WorkerPool::with_workers(2);
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let err = TrieSet::build_on(&plan, &Catalog::new(), &pool, None).unwrap_err();
+        assert!(matches!(err, JoinError::MissingRelation { .. }));
     }
 
     #[test]

@@ -104,6 +104,11 @@ struct GjDriver<'a, T: Tally, B: Budget = NoBudget> {
     order: Vec<Vec<usize>>,
     /// Per depth: reusable list of atoms whose child range was pushed.
     pushed: Vec<Vec<usize>>,
+    /// Per depth: last hit position per participant, the galloping-search
+    /// start point (candidates ascend within a level visit, so each
+    /// participant's matches are found at monotonically increasing
+    /// positions).
+    hints: Vec<Vec<usize>>,
     binding: Vec<Value>,
     emit: Vec<Value>,
     slots: Vec<usize>,
@@ -122,6 +127,7 @@ impl<'a, T: Tally, B: Budget> GjDriver<'a, T, B> {
             scratch: vec![Vec::new(); plan.arity()],
             order: vec![Vec::new(); plan.arity()],
             pushed: vec![Vec::new(); plan.arity()],
+            hints: vec![Vec::new(); plan.arity()],
             binding: vec![0; plan.arity()],
             emit: vec![0; plan.arity()],
             slots: head_slots(plan)?,
@@ -202,6 +208,9 @@ impl<'a, T: Tally, B: Budget> GjDriver<'a, T, B> {
         }
         let last = d + 1 == self.plan.arity();
         let mut pushed = std::mem::take(&mut self.pushed[d]);
+        let mut hints = std::mem::take(&mut self.hints[d]);
+        hints.clear();
+        hints.resize(parts.len(), 0);
         if live {
             for &v in &acc {
                 self.binding[d] = v;
@@ -220,7 +229,7 @@ impl<'a, T: Tally, B: Budget> GjDriver<'a, T, B> {
                 // Descend: locate v in every continuing participant and
                 // push its child range.
                 pushed.clear();
-                for &(a, lvl) in parts {
+                for (pi, &(a, lvl)) in parts.iter().enumerate() {
                     if !self.plan.atom_plans()[a].continues_below(lvl) {
                         continue;
                     }
@@ -231,7 +240,9 @@ impl<'a, T: Tally, B: Budget> GjDriver<'a, T, B> {
                         *self.ranges[a].last().expect("parent level must be open")
                     };
                     let values = &trie.level(lvl).values()[lo..hi];
-                    let pos = lo + binary_search(values, v, &mut self.stats);
+                    let rel = gallop_search(values, hints[pi], v, &mut self.stats);
+                    hints[pi] = rel;
+                    let pos = lo + rel;
                     // Midwife-equivalent: read the child range pair.
                     self.stats.expand_ops += 1;
                     self.stats
@@ -256,25 +267,54 @@ impl<'a, T: Tally, B: Budget> GjDriver<'a, T, B> {
         self.scratch[d] = tmp;
         self.order[d] = order;
         self.pushed[d] = pushed;
+        self.hints[d] = hints;
         live
     }
 }
 
-/// Binary search for an existing value, counting probes.
-fn binary_search<T: Tally>(values: &[Value], v: Value, stats: &mut EngineStats<T>) -> usize {
+/// Galloping (exponential) search for an existing value, starting from a
+/// previous hit position rather than restarting at 0: the candidates at one
+/// depth ascend, so each participant's matches land at monotonically
+/// increasing positions, usually close together. One `lub_op` per search;
+/// every probed word is tallied so Counting-mode figures stay honest.
+fn gallop_search<T: Tally>(
+    values: &[Value],
+    hint: usize,
+    v: Value,
+    stats: &mut EngineStats<T>,
+) -> usize {
     stats.lub_ops += 1;
-    let (mut lo, mut hi) = (0usize, values.len());
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
+    stats.access.record(AccessKind::IndexRead, WORD_BYTES);
+    if values[hint] >= v {
+        debug_assert!(values[hint] == v, "value must exist");
+        return hint;
+    }
+    // Invariant: values[lo] < v. Gallop to bracket the target, then binary
+    // search the bracketed gap.
+    let (mut lo, mut hi) = (hint, values.len());
+    let mut step = 1usize;
+    while lo + step < values.len() {
         stats.access.record(AccessKind::IndexRead, WORD_BYTES);
-        if values[mid] < v {
-            lo = mid + 1;
+        if values[lo + step] < v {
+            lo += step;
+            step <<= 1;
         } else {
-            hi = mid;
+            hi = lo + step;
+            break;
         }
     }
-    debug_assert!(lo < values.len() && values[lo] == v, "value must exist");
-    lo
+    let (mut l, mut h) = (lo + 1, hi);
+    while l < h {
+        let mid = l + (h - l) / 2;
+        stats.access.record(AccessKind::IndexRead, WORD_BYTES);
+        if values[mid] < v {
+            l = mid + 1;
+        } else {
+            h = mid;
+        }
+    }
+    debug_assert!(l < values.len() && values[l] == v, "value must exist");
+    l
 }
 
 #[cfg(test)]
@@ -363,6 +403,26 @@ mod tests {
         assert_eq!(capped.tuples(), &full.tuples()[..2]);
         assert_eq!(driver.stats.results, 2);
         assert_eq!(shared.cancelled(), Some(CancelReason::RowLimit));
+    }
+
+    #[test]
+    fn gallop_search_counts_every_probe() {
+        // 0..16 so probe sequences are hand-checkable.
+        let values: Vec<Value> = (0..16).collect();
+        // Hint is the target: the initial probe answers it.
+        let mut stats = EngineStats::<Counting>::default();
+        assert_eq!(gallop_search(&values, 0, 0, &mut stats), 0);
+        assert_eq!((stats.lub_ops, stats.access.index_reads), (1, 1));
+        // Cold search for 5: initial probe at 0, gallop probes at 1, 3, 7,
+        // binary probes at 5 and 4 — exactly 6 tallied reads.
+        let mut stats = EngineStats::<Counting>::default();
+        assert_eq!(gallop_search(&values, 0, 5, &mut stats), 5);
+        assert_eq!((stats.lub_ops, stats.access.index_reads), (1, 6));
+        // Adjacent hint: probes at 5 and 6 only — a restart-from-0 binary
+        // search would have paid log2(16).
+        let mut stats = EngineStats::<Counting>::default();
+        assert_eq!(gallop_search(&values, 5, 6, &mut stats), 6);
+        assert_eq!((stats.lub_ops, stats.access.index_reads), (1, 2));
     }
 
     #[test]

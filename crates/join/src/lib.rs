@@ -75,6 +75,7 @@ mod shard;
 mod sink;
 mod sortmerge;
 mod stats;
+mod triecache;
 
 pub use catalog::{Catalog, TrieSet};
 pub use ctj::{Ctj, CtjConfig};
@@ -90,6 +91,7 @@ pub use parlftj::ParLftj;
 pub use sink::{CollectSink, CountSink, ResultSink, ShardSink};
 pub use sortmerge::PairwiseSortMerge;
 pub use stats::EngineStats;
+pub use triecache::{TrieCache, TRIE_CACHE_ENV};
 pub use triejax_exec::{CancelReason, CancelToken, RunBudget};
 pub use triejax_relation::{Counting, NoTally, Tally};
 

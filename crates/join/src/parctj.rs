@@ -12,7 +12,9 @@ use crate::engine::head_slots;
 use crate::shard::{
     can_split, compose_budget, env_split, execute_sharded, execute_split, make_pool, plan_shards,
 };
-use crate::{Catalog, CtjConfig, EngineStats, JoinEngine, JoinError, ResultSink, TrieSet};
+use crate::{
+    Catalog, CtjConfig, EngineStats, JoinEngine, JoinError, ResultSink, TrieCache, TrieSet,
+};
 
 /// Name of the environment variable supplying the default shared-cache
 /// capacity (total entries; `0` disables caching) for engines that were
@@ -87,6 +89,10 @@ pub struct ParCtj {
     intermediate_limit: Option<u64>,
     /// External cancellation token the caller can fire from another thread.
     cancel: Option<CancelToken>,
+    /// Cross-query trie cache choice: `None` = the process-wide default
+    /// (`TRIEJAX_TRIE_CACHE_MB`), `Some(None)` = explicitly disabled,
+    /// `Some(Some(c))` = an explicit cache instance.
+    trie_cache: Option<Option<std::sync::Arc<TrieCache>>>,
 }
 
 impl ParCtj {
@@ -237,6 +243,36 @@ impl ParCtj {
         self
     }
 
+    /// Serves and fills trie builds through `cache`, overriding the
+    /// `TRIEJAX_TRIE_CACHE_MB` process default; see
+    /// [`crate::ParLftj::with_trie_cache`].
+    pub fn with_trie_cache(mut self, cache: std::sync::Arc<TrieCache>) -> Self {
+        self.trie_cache = Some(Some(cache));
+        self
+    }
+
+    /// Disables the cross-query trie cache for this engine even when
+    /// `TRIEJAX_TRIE_CACHE_MB` enables one process-wide.
+    pub fn without_trie_cache(mut self) -> Self {
+        self.trie_cache = Some(None);
+        self
+    }
+
+    /// The trie cache the next run will consult: the explicit choice if
+    /// one was made, otherwise the process-wide
+    /// [`TrieCache::global`] default.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `TRIEJAX_TRIE_CACHE_MB` is consulted (first call
+    /// process-wide) and set to anything but a non-negative integer.
+    pub fn effective_trie_cache(&self) -> Option<std::sync::Arc<TrieCache>> {
+        match &self.trie_cache {
+            Some(choice) => choice.clone(),
+            None => TrieCache::global(),
+        }
+    }
+
     /// The shared [`RunBudget`] the next run will be governed by, or
     /// `None` for an ungoverned run; see
     /// [`crate::ParLftj::effective_budget`].
@@ -306,8 +342,11 @@ impl ParCtj {
         worker: B,
         budget: Option<&RunBudget>,
     ) -> Result<EngineStats<T>, JoinError> {
-        let tries = TrieSet::build(plan, catalog)?;
         let pool = make_pool(self.workers);
+        let cache = self.effective_trie_cache();
+        let build_t0 = std::time::Instant::now();
+        let (tries, trie_cache_hits) = TrieSet::build_on(plan, catalog, &pool, cache.as_deref())?;
+        let trie_build_ns = build_t0.elapsed().as_nanos() as u64;
         // Splitting needs a spare worker to hand work to and a root
         // domain wide enough to ever carve; otherwise fall back to the
         // static schedule (and its sequential single-shard fast path).
@@ -340,6 +379,8 @@ impl ParCtj {
             driver.run(sink);
             let mut stats = driver.stats;
             stats.shards = 1;
+            stats.trie_build_ns = trie_build_ns;
+            stats.trie_cache_hits = trie_cache_hits;
             return Ok(stats);
         }
 
@@ -423,6 +464,8 @@ impl ParCtj {
         // Split shards are shards too: count every task the pool ran.
         stats.shards = pool_stats.tasks as u64;
         stats.steals = pool_stats.steals;
+        stats.trie_build_ns = trie_build_ns;
+        stats.trie_cache_hits = trie_cache_hits;
         Ok(stats)
     }
 }

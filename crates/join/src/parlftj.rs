@@ -10,7 +10,7 @@ use crate::lftj::Driver;
 use crate::shard::{
     can_split, compose_budget, env_split, execute_sharded, execute_split, make_pool, plan_shards,
 };
-use crate::{Catalog, EngineStats, JoinEngine, JoinError, ResultSink, TrieSet};
+use crate::{Catalog, EngineStats, JoinEngine, JoinError, ResultSink, TrieCache, TrieSet};
 
 /// Parallel LeapFrog TrieJoin: root-partitioned LFTJ on the shared
 /// [`triejax_exec::WorkerPool`] runtime.
@@ -71,6 +71,10 @@ pub struct ParLftj {
     intermediate_limit: Option<u64>,
     /// External cancellation token the caller can fire from another thread.
     cancel: Option<CancelToken>,
+    /// Cross-query trie cache choice: `None` = the `TRIEJAX_TRIE_CACHE_MB`
+    /// process default, `Some(None)` = explicitly disabled, `Some(Some(c))`
+    /// = an explicit cache instance.
+    trie_cache: Option<Option<std::sync::Arc<TrieCache>>>,
 }
 
 impl ParLftj {
@@ -213,6 +217,32 @@ impl ParLftj {
         self
     }
 
+    /// Consults (and fills) `cache` before building tries, overriding the
+    /// `TRIEJAX_TRIE_CACHE_MB` process default. Share one cache across
+    /// engines to amortize trie construction over a query stream; see
+    /// [`TrieCache`].
+    pub fn with_trie_cache(mut self, cache: std::sync::Arc<TrieCache>) -> Self {
+        self.trie_cache = Some(Some(cache));
+        self
+    }
+
+    /// Disables trie caching for this engine even when
+    /// `TRIEJAX_TRIE_CACHE_MB` configures a process-wide cache.
+    pub fn without_trie_cache(mut self) -> Self {
+        self.trie_cache = Some(None);
+        self
+    }
+
+    /// The trie cache the next run will consult: the explicit choice if
+    /// one was made, otherwise the process-wide [`TrieCache::global`]
+    /// (`None` disables caching).
+    pub fn effective_trie_cache(&self) -> Option<std::sync::Arc<TrieCache>> {
+        match &self.trie_cache {
+            Some(choice) => choice.clone(),
+            None => TrieCache::global(),
+        }
+    }
+
     /// The shared [`RunBudget`] the next run will be governed by — the
     /// explicit builder knobs with `TRIEJAX_DEADLINE_MS` /
     /// `TRIEJAX_ROW_LIMIT` as per-knob environment fallbacks — or `None`
@@ -286,8 +316,13 @@ impl ParLftj {
         worker: B,
         budget: Option<&RunBudget>,
     ) -> Result<EngineStats<T>, JoinError> {
-        let tries = TrieSet::build(plan, catalog)?;
+        // The pool exists before the tries so construction itself runs on
+        // it (partitioned builds, or one task per cold trie).
         let pool = make_pool(self.workers);
+        let cache = self.effective_trie_cache();
+        let build_t0 = std::time::Instant::now();
+        let (tries, trie_cache_hits) = TrieSet::build_on(plan, catalog, &pool, cache.as_deref())?;
+        let trie_build_ns = build_t0.elapsed().as_nanos() as u64;
         // Splitting needs a spare worker to hand work to and a root
         // domain wide enough to ever carve; otherwise fall back to the
         // static schedule (and its sequential single-shard fast path).
@@ -309,6 +344,8 @@ impl ParLftj {
             driver.run(sink);
             let mut stats = driver.stats;
             stats.shards = 1;
+            stats.trie_build_ns = trie_build_ns;
+            stats.trie_cache_hits = trie_cache_hits;
             return Ok(stats);
         }
 
@@ -356,6 +393,8 @@ impl ParLftj {
         // Split shards are shards too: count every task the pool ran.
         stats.shards = pool_stats.tasks as u64;
         stats.steals = pool_stats.steals;
+        stats.trie_build_ns = trie_build_ns;
+        stats.trie_cache_hits = trie_cache_hits;
         Ok(stats)
     }
 }

@@ -69,6 +69,14 @@ pub struct EngineStats<T: Tally = Counting> {
     /// it measures how long the longest handoff chain grew, which is the
     /// paper's §3.4 spawn depth, not a volume.
     pub split_depth: u64,
+    /// Wall-clock nanoseconds spent building (or fetching) the query's
+    /// [`crate::TrieSet`] before the join proper started (parallel engines
+    /// only; the sequential engines report 0). Set once per run by the
+    /// driving engine, so merging per-shard stats does not inflate it.
+    pub trie_build_ns: u64,
+    /// Tries served from the cross-query [`crate::TrieCache`] instead of
+    /// being built (parallel engines with a trie cache only).
+    pub trie_cache_hits: u64,
     /// Simulated memory touches, reported through the [`Tally`].
     pub access: T,
 }
@@ -128,6 +136,8 @@ impl<T: Tally> EngineStats<T> {
             steals: self.steals,
             splits: self.splits,
             split_depth: self.split_depth,
+            trie_build_ns: self.trie_build_ns,
+            trie_cache_hits: self.trie_cache_hits,
             access: self.access.snapshot(),
         }
     }
@@ -150,6 +160,8 @@ impl<T: Tally> EngineStats<T> {
         self.steals += other.steals;
         self.splits += other.splits;
         self.split_depth = self.split_depth.max(other.split_depth);
+        self.trie_build_ns += other.trie_build_ns;
+        self.trie_cache_hits += other.trie_cache_hits;
         Tally::merge(&mut self.access, &other.access);
     }
 }

@@ -1,0 +1,435 @@
+//! Cross-query trie cache: amortizes `TrieSet` construction over a stream
+//! of queries against the same catalog.
+//!
+//! A [`TrieCache`] is a byte-capacity-bounded, lock-striped map from
+//! `(relation name, content fingerprint, column permutation)` to
+//! [`Arc<Trie>`]. The parallel engines ([`crate::ParLftj`] /
+//! [`crate::ParCtj`]) consult it before building: a warm query's build
+//! phase collapses to a handful of lookups. Keying on a *content
+//! fingerprint* of the base relation (not just its name) means replacing a
+//! relation in the catalog naturally invalidates its cached tries — stale
+//! entries can never be served, only aged out.
+//!
+//! Insert races follow the shared PJR cache's discipline: first writer
+//! wins, the loser discards its duplicate build and adopts the published
+//! [`Arc`], and the accounting stays deduplicated (one insertion, one
+//! race, no double byte charge). Capacity is enforced in bytes of trie
+//! footprint ([`Trie::bytes`]) with per-stripe FIFO eviction; the entry
+//! just published is never evicted by its own insert.
+//!
+//! The process-wide default instance honours the `TRIEJAX_TRIE_CACHE_MB`
+//! environment variable (read once per process): unset or `0` disables
+//! caching; engines can override per instance with
+//! `with_trie_cache`/`without_trie_cache`.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use triejax_exec::{suggested_stripes, Striped};
+use triejax_relation::{Relation, Trie};
+
+/// Environment variable naming the default cross-query trie cache
+/// capacity in mebibytes; unset or `0` disables the cache.
+pub const TRIE_CACHE_ENV: &str = "TRIEJAX_TRIE_CACHE_MB";
+
+/// Cache key: relation name, content fingerprint of the *base* relation,
+/// and the column permutation the trie is built in.
+type TrieKey = (String, u64, Vec<usize>);
+
+#[derive(Debug, Default)]
+struct TrieStripe {
+    map: HashMap<TrieKey, Arc<Trie>>,
+    /// Insertion order within the stripe, for FIFO eviction.
+    fifo: VecDeque<TrieKey>,
+}
+
+/// A byte-capacity-bounded, lock-striped cross-query cache of built tries.
+///
+/// See the module docs for semantics. Shareable across threads and
+/// engine instances via [`Arc`].
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use triejax_join::TrieCache;
+/// use triejax_relation::{Relation, Trie};
+///
+/// let cache = TrieCache::with_capacity_mb(64);
+/// let rel = Relation::from_pairs(vec![(1, 2), (2, 3)]);
+/// let fp = TrieCache::fingerprint(&rel);
+/// assert!(cache.lookup("G", fp, &[0, 1]).is_none()); // cold
+/// let built = Arc::new(Trie::build(&rel));
+/// cache.insert("G", fp, &[0, 1], Arc::clone(&built));
+/// assert!(cache.lookup("G", fp, &[0, 1]).is_some()); // warm
+/// ```
+#[derive(Debug)]
+pub struct TrieCache {
+    stripes: Striped<TrieStripe>,
+    /// Byte bound over all live entries; `None` is unbounded.
+    capacity: Option<u64>,
+    /// Total bytes of live entries, maintained outside the stripe locks so
+    /// capacity can be checked without sweeping.
+    bytes: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    overflows: AtomicU64,
+    races: AtomicU64,
+}
+
+impl TrieCache {
+    /// Creates a cache bounded to `capacity` bytes of trie footprint
+    /// (`None` is unbounded). A capacity of `Some(0)` admits nothing.
+    pub fn new(capacity: Option<u64>) -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, usize::from);
+        TrieCache {
+            stripes: Striped::with_stripes(suggested_stripes(workers), TrieStripe::default),
+            capacity,
+            bytes: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            overflows: AtomicU64::new(0),
+            races: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a cache bounded to `mb` mebibytes of trie footprint.
+    pub fn with_capacity_mb(mb: u64) -> Self {
+        TrieCache::new(Some(mb.saturating_mul(1024 * 1024)))
+    }
+
+    /// Creates an unbounded cache.
+    pub fn unbounded() -> Self {
+        TrieCache::new(None)
+    }
+
+    /// Stable content fingerprint of a base relation (arity + every tuple,
+    /// via the std `DefaultHasher` with its fixed default keys).
+    pub fn fingerprint(relation: &Relation) -> u64 {
+        let mut h = DefaultHasher::new();
+        relation.hash(&mut h);
+        h.finish()
+    }
+
+    /// The process-wide default cache, sized by `TRIEJAX_TRIE_CACHE_MB`
+    /// **once per process**; `None` when the variable is unset, empty, or
+    /// `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (on first use) if the variable is set to a value that does
+    /// not parse as a non-negative integer.
+    pub fn global() -> Option<Arc<TrieCache>> {
+        static GLOBAL: OnceLock<Option<Arc<TrieCache>>> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| match env_mb() {
+                None | Some(0) => None,
+                Some(mb) => Some(Arc::new(TrieCache::with_capacity_mb(mb))),
+            })
+            .clone()
+    }
+
+    /// Looks up the trie for `(name, fingerprint, perm)`, counting a hit
+    /// or a miss.
+    pub fn lookup(&self, name: &str, fingerprint: u64, perm: &[usize]) -> Option<Arc<Trie>> {
+        let key = (name.to_owned(), fingerprint, perm.to_vec());
+        let (stripe, _) = self.stripes.lock(stripe_hash(&key));
+        let found = stripe.map.get(&key).cloned();
+        drop(stripe);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Publishes a built trie under `(name, fingerprint, perm)` and returns
+    /// the canonical [`Arc`] for that key: the given one if this call
+    /// published it, the sibling's if another thread won the insert race
+    /// (first writer wins, the duplicate build is discarded and counted as
+    /// a race, never double-charged against the byte bound).
+    ///
+    /// An entry larger than the whole capacity is not stored (counted as
+    /// an overflow); the caller still uses the returned trie for its own
+    /// query.
+    pub fn insert(
+        &self,
+        name: &str,
+        fingerprint: u64,
+        perm: &[usize],
+        trie: Arc<Trie>,
+    ) -> Arc<Trie> {
+        let entry_bytes = trie.bytes();
+        if self.capacity.is_some_and(|cap| entry_bytes > cap) {
+            self.overflows.fetch_add(1, Ordering::Relaxed);
+            return trie;
+        }
+        #[cfg(feature = "faults")]
+        triejax_exec::faults::fire(triejax_exec::faults::FaultEvent::CacheInsert);
+        let key = (name.to_owned(), fingerprint, perm.to_vec());
+        let hash = stripe_hash(&key);
+        let lane = self.stripes.lane(hash);
+        let (mut stripe, _) = self.stripes.lock(hash);
+        if let Some(existing) = stripe.map.get(&key) {
+            let existing = Arc::clone(existing);
+            drop(stripe);
+            self.races.fetch_add(1, Ordering::Relaxed);
+            return existing;
+        }
+        stripe.fifo.push_back(key.clone());
+        stripe.map.insert(key.clone(), Arc::clone(&trie));
+        drop(stripe);
+        self.bytes.fetch_add(entry_bytes, Ordering::AcqRel);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.enforce_capacity(lane, &key);
+        trie
+    }
+
+    /// Evicts oldest-first, stripe by stripe starting at `start_lane`,
+    /// until total bytes fit the capacity again. The freshly inserted
+    /// `protect` key is never evicted by its own insert (it fits the
+    /// capacity by itself — larger entries were rejected up front).
+    fn enforce_capacity(&self, start_lane: usize, protect: &TrieKey) {
+        let Some(cap) = self.capacity else { return };
+        let n = self.stripes.stripes();
+        loop {
+            if self.bytes.load(Ordering::Acquire) <= cap {
+                return;
+            }
+            let mut evicted_any = false;
+            for off in 0..n {
+                let lane = (start_lane + off) % n;
+                let (mut stripe, _) = self.stripes.lock(lane as u64);
+                while self.bytes.load(Ordering::Acquire) > cap {
+                    let Some(front) = stripe.fifo.front() else {
+                        break;
+                    };
+                    if front == protect {
+                        if stripe.fifo.len() <= 1 {
+                            break;
+                        }
+                        stripe.fifo.rotate_left(1);
+                        continue;
+                    }
+                    let victim = stripe.fifo.pop_front().expect("front exists");
+                    if let Some(t) = stripe.map.remove(&victim) {
+                        self.bytes.fetch_sub(t.bytes(), Ordering::AcqRel);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        evicted_any = true;
+                    }
+                }
+            }
+            if !evicted_any {
+                // Nothing left to evict anywhere (only protected or empty
+                // stripes): the bound cannot be tightened further.
+                return;
+            }
+        }
+    }
+
+    /// Total bytes of live entries.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Acquire)
+    }
+
+    /// The byte capacity (`None` is unbounded).
+    pub fn capacity_bytes(&self) -> Option<u64> {
+        self.capacity
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Unique entries published (races and overflows excluded).
+    pub fn insertions(&self) -> u64 {
+        self.insertions.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to fit the byte bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Entries rejected because they alone exceed the capacity.
+    pub fn overflows(&self) -> u64 {
+        self.overflows.load(Ordering::Relaxed)
+    }
+
+    /// Insert races lost to a sibling (first writer wins).
+    pub fn races(&self) -> u64 {
+        self.races.load(Ordering::Relaxed)
+    }
+
+    /// Number of live entries (sweeps every stripe).
+    pub fn len(&self) -> usize {
+        (0..self.stripes.stripes())
+            .map(|i| self.stripes.lock(i as u64).0.map.len())
+            .sum()
+    }
+
+    /// Returns `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Stripe-selection hash: the std `DefaultHasher` (SipHash with fixed
+/// default keys) — deterministic across threads and processes, so every
+/// worker maps a key to the same stripe.
+fn stripe_hash(key: &TrieKey) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Parses `TRIEJAX_TRIE_CACHE_MB`: `None` when unset or empty, panics on
+/// junk so a typo'd knob fails loudly instead of silently disabling the
+/// cache.
+fn env_mb() -> Option<u64> {
+    let v = std::env::var(TRIE_CACHE_ENV).ok()?;
+    if v.trim().is_empty() {
+        return None;
+    }
+    Some(v.trim().parse::<u64>().unwrap_or_else(|_| {
+        panic!("{TRIE_CACHE_ENV} must be a non-negative integer (mebibytes), got {v:?}")
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(seed: u32, rows: u32) -> Relation {
+        Relation::from_pairs((0..rows).map(|i| (seed.wrapping_mul(31).wrapping_add(i), i)))
+    }
+
+    fn arc_trie(r: &Relation) -> Arc<Trie> {
+        Arc::new(Trie::build(r))
+    }
+
+    #[test]
+    fn lookup_after_insert_hits_and_counts() {
+        let cache = TrieCache::unbounded();
+        let r = rel(1, 8);
+        let fp = TrieCache::fingerprint(&r);
+        assert!(cache.lookup("G", fp, &[0, 1]).is_none());
+        let t = cache.insert("G", fp, &[0, 1], arc_trie(&r));
+        let got = cache.lookup("G", fp, &[0, 1]).expect("warm lookup hits");
+        assert!(Arc::ptr_eq(&t, &got));
+        assert_eq!(
+            (cache.hits(), cache.misses(), cache.insertions()),
+            (1, 1, 1)
+        );
+        assert_eq!(cache.bytes(), t.bytes());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_name() {
+        let a = rel(1, 8);
+        let b = rel(2, 8);
+        assert_ne!(TrieCache::fingerprint(&a), TrieCache::fingerprint(&b));
+        assert_eq!(
+            TrieCache::fingerprint(&a),
+            TrieCache::fingerprint(&a.clone())
+        );
+        // Same name, different content: the stale trie is unreachable.
+        let cache = TrieCache::unbounded();
+        cache.insert("G", TrieCache::fingerprint(&a), &[0, 1], arc_trie(&a));
+        assert!(cache
+            .lookup("G", TrieCache::fingerprint(&b), &[0, 1])
+            .is_none());
+    }
+
+    #[test]
+    fn distinct_perms_are_distinct_entries() {
+        let cache = TrieCache::unbounded();
+        let r = rel(3, 8);
+        let fp = TrieCache::fingerprint(&r);
+        cache.insert("G", fp, &[0, 1], arc_trie(&r));
+        assert!(cache.lookup("G", fp, &[1, 0]).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_admits_nothing() {
+        let cache = TrieCache::new(Some(0));
+        let r = rel(4, 8);
+        let fp = TrieCache::fingerprint(&r);
+        let t = cache.insert("G", fp, &[0, 1], arc_trie(&r));
+        assert_eq!(t.tuple_count(), r.len(), "caller keeps its build");
+        assert!(cache.lookup("G", fp, &[0, 1]).is_none());
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.overflows(), 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn byte_bound_is_exact_after_every_insert() {
+        let r = rel(0, 16);
+        let one = arc_trie(&r).bytes();
+        // Room for exactly two entries of this shape.
+        let cache = TrieCache::new(Some(2 * one));
+        for i in 0..10u32 {
+            let ri = rel(i, 16);
+            cache.insert("G", TrieCache::fingerprint(&ri), &[0, 1], arc_trie(&ri));
+            assert!(
+                cache.bytes() <= 2 * one,
+                "insert {i}: {} bytes exceeds bound {}",
+                cache.bytes(),
+                2 * one
+            );
+        }
+        assert_eq!(cache.evictions(), 8, "each overflowing insert evicts");
+        assert_eq!(cache.len(), 2);
+        // The newest entry survived its own insert's eviction pass.
+        let last = rel(9, 16);
+        assert!(cache
+            .lookup("G", TrieCache::fingerprint(&last), &[0, 1])
+            .is_some());
+    }
+
+    #[test]
+    fn insert_race_keeps_first_writer_and_accounting_balances() {
+        let cache = TrieCache::unbounded();
+        let r = rel(5, 32);
+        let fp = TrieCache::fingerprint(&r);
+        let winners: Vec<Arc<Trie>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| cache.insert("G", fp, &[0, 1], arc_trie(&r))))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Everyone adopted the same published Arc.
+        assert!(winners.iter().all(|w| Arc::ptr_eq(w, &winners[0])));
+        assert_eq!(cache.insertions(), 1);
+        assert_eq!(cache.races(), 3);
+        assert_eq!(cache.bytes(), winners[0].bytes(), "no double charge");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn env_parse_rejects_junk() {
+        // Direct parse-path check without touching process env.
+        assert_eq!("64".trim().parse::<u64>().ok(), Some(64));
+        let err = std::panic::catch_unwind(|| {
+            "junk".parse::<u64>().unwrap_or_else(|_| {
+                panic!("{TRIE_CACHE_ENV} must be a non-negative integer (mebibytes), got \"junk\"")
+            })
+        });
+        assert!(err.is_err());
+    }
+}

@@ -320,12 +320,18 @@ impl<'a> TrieCursor<'a> {
         f.pos = pos;
     }
 
-    /// Seeks the lowest upper bound of `v` among the remaining siblings
-    /// (binary search, one counted probe per midpoint read). Returns `false`
-    /// when every remaining sibling is smaller than `v`.
+    /// Seeks the lowest upper bound of `v` among the remaining siblings.
+    /// Returns `false` when every remaining sibling is smaller than `v`.
     ///
     /// Seeking is forward-only: positions before the current one are never
-    /// revisited, as required by LeapFrog TrieJoin.
+    /// revisited, as required by LeapFrog TrieJoin. Because successive seeks
+    /// within a level are monotone, the target is usually *near* the current
+    /// position, so the search gallops (exponential probe strides from
+    /// `pos`) before binary-searching the bracketed gap — `O(log d)` probes
+    /// for a target `d` ahead, instead of `O(log (hi - pos))` for a
+    /// restart-from-`pos` binary search. Every probed word is tallied
+    /// (one counted probe per value read), keeping Counting-mode figures
+    /// honest.
     ///
     /// # Panics
     ///
@@ -336,17 +342,25 @@ impl<'a> TrieCursor<'a> {
         let f = self.frames.last_mut().expect("cursor is above the root");
         assert!(f.pos < f.hi, "cursor is already at end");
         let values = self.trie.level(depth - 1).values();
+        counter.record(AccessKind::IndexRead, WORD_BYTES);
+        if values[f.pos] >= v {
+            return true;
+        }
+        // Invariant: values[lo] < v. Gallop until a probe lands >= v (new
+        // exclusive upper bracket) or the stride runs off the sibling range.
         let (mut lo, mut hi) = (f.pos, f.hi);
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
+        let mut step = 1usize;
+        while lo + step < f.hi {
             counter.record(AccessKind::IndexRead, WORD_BYTES);
-            if values[mid] < v {
-                lo = mid + 1;
+            if values[lo + step] < v {
+                lo += step;
+                step <<= 1;
             } else {
-                hi = mid;
+                hi = lo + step;
+                break;
             }
         }
-        f.pos = lo;
+        f.pos = lower_bound(values, lo + 1, hi, v, counter);
         f.pos < f.hi
     }
 }
@@ -386,6 +400,37 @@ mod tests {
             (7, 1),
             (7, 9),
         ]))
+    }
+
+    #[test]
+    fn galloping_seek_counts_every_probe() {
+        // Single level holding 0..16 so probe sequences are hand-checkable.
+        let rel =
+            Relation::from_tuples(1, (0..16u32).map(|v| vec![v]).collect::<Vec<_>>()).unwrap();
+        let t = Trie::build(&rel);
+        let mut cur = TrieCursor::new(&t);
+        let mut c = AccessCounter::default();
+        assert!(cur.open(&mut c));
+        // Seek to the current key: the initial probe answers it.
+        let mut c = AccessCounter::default();
+        assert!(cur.seek(0, &mut c));
+        assert_eq!((cur.key(), c.index_reads), (0, 1));
+        // Seek 5 from pos 0: initial probe at 0, gallop probes at 1, 3, 7,
+        // binary probes at 5 and 4 — exactly 6 tallied reads.
+        let mut c = AccessCounter::default();
+        assert!(cur.seek(5, &mut c));
+        assert_eq!((cur.key(), c.index_reads), (5, 6));
+        // Adjacent seek: initial probe at 5, gallop probe at 6 brackets an
+        // empty gap — exactly 2 tallied reads (a restart-from-pos binary
+        // search would have paid ~log2(11)).
+        let mut c = AccessCounter::default();
+        assert!(cur.seek(6, &mut c));
+        assert_eq!((cur.key(), c.index_reads), (6, 2));
+        // Seek past the end: probes at 6, 7, 9, 13, then binary probe at 15
+        // — exactly 5 tallied reads, and the cursor reports exhaustion.
+        let mut c = AccessCounter::default();
+        assert!(!cur.seek(99, &mut c));
+        assert_eq!(c.index_reads, 5);
     }
 
     #[test]

@@ -1,4 +1,5 @@
 use crate::{RelationError, Value};
+use triejax_exec::WorkerPool;
 
 /// A relation: a sorted, duplicate-free set of fixed-arity tuples.
 ///
@@ -127,19 +128,7 @@ impl Relation {
     ///
     /// Panics if `perm` is not a permutation of `0..arity`.
     pub fn permute(&self, perm: &[usize]) -> Relation {
-        assert_eq!(
-            perm.len(),
-            self.arity,
-            "permutation length must equal arity"
-        );
-        let mut seen = vec![false; self.arity];
-        for &p in perm {
-            assert!(
-                p < self.arity && !seen[p],
-                "perm must be a permutation of 0..arity"
-            );
-            seen[p] = true;
-        }
+        self.validate_perm(perm);
         let mut data = Vec::with_capacity(self.data.len());
         for t in self.iter() {
             for &p in perm {
@@ -154,24 +143,122 @@ impl Relation {
         rel
     }
 
+    /// Parallel [`Relation::permute`]: column-permutes row chunks as pool
+    /// tasks (each chunk sorted and deduplicated locally), then k-way
+    /// merge-deduplicates the sorted chunks on the caller's thread.
+    ///
+    /// The result is the sorted duplicate-free set of permuted tuples, which
+    /// is independent of the chunking — `permute_on` is deterministic and
+    /// always equals [`Relation::permute`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..arity`.
+    pub fn permute_on(&self, perm: &[usize], pool: &WorkerPool) -> Relation {
+        self.validate_perm(perm);
+        let arity = self.arity;
+        let n = self.len();
+        let k = pool.workers().min(n);
+        if k <= 1 {
+            return self.permute(perm);
+        }
+        let chunks: Vec<(usize, usize)> = (0..k)
+            .map(|i| (i * n / k, (i + 1) * n / k))
+            .filter(|&(s, e)| s < e)
+            .collect();
+        let (parts, _stats) = pool.run(&chunks, |_ctx, _lane, &(s, e)| {
+            let mut part = Vec::with_capacity((e - s) * arity);
+            for i in s..e {
+                let t = self.tuple(i);
+                for &p in perm {
+                    part.push(t[p]);
+                }
+            }
+            sort_dedup_rows(&mut part, arity);
+            part
+        });
+        // K-way merge of the sorted chunks, dropping cross-chunk duplicates
+        // by comparing against the last emitted row.
+        let total: usize = parts.iter().map(Vec::len).sum();
+        let mut data: Vec<Value> = Vec::with_capacity(total);
+        let mut pos = vec![0usize; parts.len()];
+        loop {
+            let mut best: Option<usize> = None;
+            for (pi, part) in parts.iter().enumerate() {
+                if pos[pi] >= part.len() {
+                    continue;
+                }
+                let r = &part[pos[pi]..pos[pi] + arity];
+                best = match best {
+                    Some(b) if parts[b][pos[b]..pos[b] + arity] <= *r => Some(b),
+                    _ => Some(pi),
+                };
+            }
+            let Some(b) = best else { break };
+            let r = &parts[b][pos[b]..pos[b] + arity];
+            if data.len() < arity || data[data.len() - arity..] != *r {
+                data.extend_from_slice(r);
+            }
+            pos[b] += arity;
+        }
+        Relation { arity, data }
+    }
+
     /// Total bytes of the row-major tuple payload (4 bytes per value).
     pub fn payload_bytes(&self) -> u64 {
         (self.data.len() * std::mem::size_of::<Value>()) as u64
+    }
+
+    fn validate_perm(&self, perm: &[usize]) {
+        assert_eq!(
+            perm.len(),
+            self.arity,
+            "permutation length must equal arity"
+        );
+        let mut seen = vec![false; self.arity];
+        for &p in perm {
+            assert!(
+                p < self.arity && !seen[p],
+                "perm must be a permutation of 0..arity"
+            );
+            seen[p] = true;
+        }
     }
 
     /// Sorts tuples lexicographically and removes duplicates, establishing
     /// the struct invariant.
     fn normalize(&mut self) {
         let arity = self.arity;
-        let mut rows: Vec<&[Value]> = self.data.chunks_exact(arity).collect();
-        rows.sort_unstable();
-        rows.dedup();
-        let mut data = Vec::with_capacity(rows.len() * arity);
-        for r in rows {
-            data.extend_from_slice(r);
-        }
-        self.data = data;
+        sort_dedup_rows(&mut self.data, arity);
     }
+}
+
+/// Sorts row-major `data` lexicographically by row and removes duplicate
+/// rows. A strict-ascending pre-check skips all work when the rows are
+/// already sorted *and* duplicate-free (the common case for data that went
+/// through [`Relation`] construction once); otherwise row **indexes** are
+/// sorted instead of a `Vec<&[Value]>` of slice refs, halving the scratch
+/// allocation on the `permute` hot path.
+fn sort_dedup_rows(data: &mut Vec<Value>, arity: usize) {
+    let n = data.len() / arity;
+    let already_sorted =
+        (1..n).all(|i| data[(i - 1) * arity..i * arity] < data[i * arity..(i + 1) * arity]);
+    if already_sorted {
+        return;
+    }
+    debug_assert!(n <= u32::MAX as usize, "row count exceeds u32 index space");
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    {
+        let d = &*data;
+        let row = |i: u32| &d[i as usize * arity..(i as usize + 1) * arity];
+        idx.sort_unstable_by(|&a, &b| row(a).cmp(row(b)));
+        idx.dedup_by(|a, b| row(*a) == row(*b));
+    }
+    let mut out = Vec::with_capacity(idx.len() * arity);
+    for i in idx {
+        out.extend_from_slice(&data[i as usize * arity..(i as usize + 1) * arity]);
+    }
+    *data = out;
 }
 
 impl<'a> IntoIterator for &'a Relation {
@@ -263,6 +350,47 @@ mod tests {
         assert_eq!(rel.iter().count(), 0);
         assert_eq!(rel.len(), 0);
         assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn sorted_input_skips_the_sort_pass() {
+        // Already strictly ascending: the pre-check must leave data as-is.
+        let mut data = vec![1u32, 1, 1, 2, 2, 9];
+        let before = data.clone();
+        sort_dedup_rows(&mut data, 2);
+        assert_eq!(data, before);
+        // Sorted but with a duplicate: the pre-check must NOT fire.
+        let mut dup = vec![1u32, 1, 1, 1, 2, 9];
+        sort_dedup_rows(&mut dup, 2);
+        assert_eq!(dup, vec![1, 1, 2, 9]);
+    }
+
+    #[test]
+    fn permute_on_matches_permute() {
+        use triejax_exec::WorkerPool;
+        // Rows chosen so duplicates appear only *after* the column swap and
+        // straddle chunk boundaries.
+        let tuples: Vec<Vec<Value>> = (0..64u32)
+            .map(|i| vec![i % 8, i / 8, i % 3])
+            .chain((0..64u32).map(|i| vec![i / 8, i % 8, i % 3]))
+            .collect();
+        let rel = Relation::from_tuples(3, tuples).unwrap();
+        for workers in [1, 2, 3, 7] {
+            let pool = WorkerPool::with_workers(workers);
+            for perm in [[0, 1, 2], [2, 1, 0], [1, 2, 0]] {
+                assert_eq!(rel.permute_on(&perm, &pool), rel.permute(&perm));
+            }
+        }
+        let empty = Relation::new(2).unwrap();
+        let pool = WorkerPool::with_workers(4);
+        assert_eq!(empty.permute_on(&[1, 0], &pool), empty.permute(&[1, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "perm must be a permutation")]
+    fn permute_on_rejects_non_permutation() {
+        let rel = Relation::from_pairs(vec![(1, 2)]);
+        let _ = rel.permute_on(&[1, 1], &triejax_exec::WorkerPool::with_workers(2));
     }
 
     #[test]

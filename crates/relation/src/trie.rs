@@ -1,4 +1,5 @@
 use crate::{AddressSpace, ArraySpan, Relation, Value, WORD_BYTES};
+use triejax_exec::WorkerPool;
 
 /// One level of a [`Trie`] in the flat EmptyHeaded-style layout.
 ///
@@ -90,57 +91,38 @@ impl Trie {
     ///
     /// Use [`Relation::permute`] first to index a different attribute order.
     pub fn build(relation: &Relation) -> Trie {
-        let arity = relation.arity();
-        let nrows = relation.len();
-        let mut levels: Vec<TrieLevel> = vec![TrieLevel::default(); arity];
-
-        // Each group is the row range below one node of the previous level;
-        // the pseudo-root owns all rows.
-        let mut groups: Vec<(usize, usize)> = vec![(0, nrows)];
-        for level in 0..arity {
-            // Each level holds at most one node per source row; reserving
-            // up front keeps the build free of reallocation churn.
-            let mut values = Vec::with_capacity(nrows);
-            let mut next_groups = Vec::with_capacity(nrows);
-            let mut counts = Vec::with_capacity(groups.len());
-            for &(s, e) in &groups {
-                let before = values.len();
-                let mut i = s;
-                while i < e {
-                    let v = relation.tuple(i)[level];
-                    let mut j = i + 1;
-                    while j < e && relation.tuple(j)[level] == v {
-                        j += 1;
-                    }
-                    values.push(v);
-                    next_groups.push((i, j));
-                    i = j;
-                }
-                counts.push((values.len() - before) as u32);
-            }
-            if level > 0 {
-                let mut starts = Vec::with_capacity(counts.len() + 1);
-                let mut acc = 0u32;
-                starts.push(0);
-                for c in counts {
-                    acc += c;
-                    starts.push(acc);
-                }
-                levels[level - 1].child_starts = starts;
-            }
-            // Non-leaf levels hold only the distinct values, typically far
-            // fewer than nrows: return the over-reservation rather than
-            // retaining it for the trie's lifetime.
-            values.shrink_to_fit();
-            levels[level].values = values;
-            groups = next_groups;
-        }
         Trie {
-            levels,
-            tuple_count: nrows,
+            levels: build_fragment(relation, 0, relation.len()),
+            tuple_count: relation.len(),
         }
     }
 
+    /// Builds the trie for `relation` with the row range partitioned across
+    /// `pool`, producing a result **byte-identical** to [`Trie::build`].
+    ///
+    /// Rows are split into contiguous ranges whose boundaries are snapped
+    /// forward to the next root-key change, so no root value ever spans two
+    /// partitions. Each partition then runs the exact sequential grouping
+    /// loop of [`Trie::build`] as an independent pool task, and the
+    /// per-partition level fragments are stitched back together by rebasing
+    /// `child_starts` offsets. Because the grouping recursion never crosses a
+    /// root-key boundary, concatenating the fragments in partition order
+    /// reproduces the sequential `TrieLevel` vectors exactly — every engine,
+    /// the simulator and [`Trie::assign_addresses`] consume the result
+    /// unchanged.
+    pub fn par_build(relation: &Relation, pool: &WorkerPool) -> Trie {
+        let parts = partition_rows(relation, pool.workers());
+        if parts.len() <= 1 {
+            return Trie::build(relation);
+        }
+        let (frags, _stats) = pool.run(&parts, |_ctx, _lane, &(s, e)| {
+            build_fragment(relation, s, e)
+        });
+        Trie {
+            levels: stitch_fragments(frags, relation.arity()),
+            tuple_count: relation.len(),
+        }
+    }
     /// Number of attributes (trie depth).
     pub fn arity(&self) -> usize {
         self.levels.len()
@@ -222,6 +204,113 @@ impl From<&Relation> for Trie {
     fn from(relation: &Relation) -> Self {
         Trie::build(relation)
     }
+}
+
+/// Runs the sequential grouping loop over the row range `lo..hi`, producing
+/// this fragment's `TrieLevel` vectors with *fragment-local* `child_starts`
+/// offsets. [`Trie::build`] is exactly `build_fragment(rel, 0, rel.len())`,
+/// which is what makes the partition/stitch scheme byte-identical by
+/// construction: both paths execute the same loop over the same row groups.
+fn build_fragment(relation: &Relation, lo: usize, hi: usize) -> Vec<TrieLevel> {
+    let arity = relation.arity();
+    let nrows = hi - lo;
+    let mut levels: Vec<TrieLevel> = vec![TrieLevel::default(); arity];
+
+    // Each group is the row range below one node of the previous level;
+    // the pseudo-root owns all rows of the fragment.
+    let mut groups: Vec<(usize, usize)> = vec![(lo, hi)];
+    for level in 0..arity {
+        // Each level holds at most one node per source row; reserving
+        // up front keeps the build free of reallocation churn.
+        let mut values = Vec::with_capacity(nrows);
+        let mut next_groups = Vec::with_capacity(nrows);
+        let mut counts = Vec::with_capacity(groups.len());
+        for &(s, e) in &groups {
+            let before = values.len();
+            let mut i = s;
+            while i < e {
+                let v = relation.tuple(i)[level];
+                let mut j = i + 1;
+                while j < e && relation.tuple(j)[level] == v {
+                    j += 1;
+                }
+                values.push(v);
+                next_groups.push((i, j));
+                i = j;
+            }
+            counts.push((values.len() - before) as u32);
+        }
+        if level > 0 {
+            let mut starts = Vec::with_capacity(counts.len() + 1);
+            let mut acc = 0u32;
+            starts.push(0);
+            for c in counts {
+                acc += c;
+                starts.push(acc);
+            }
+            levels[level - 1].child_starts = starts;
+        }
+        // Non-leaf levels hold only the distinct values, typically far
+        // fewer than nrows: return the over-reservation rather than
+        // retaining it for the trie's lifetime.
+        values.shrink_to_fit();
+        levels[level].values = values;
+        groups = next_groups;
+    }
+    levels
+}
+
+/// Splits `0..relation.len()` into at most `parts` contiguous row ranges
+/// whose boundaries fall on root-key changes. Every range is non-empty; a
+/// range may be larger than its even share when one root value dominates
+/// (the boundary is snapped *forward* past the run).
+fn partition_rows(relation: &Relation, parts: usize) -> Vec<(usize, usize)> {
+    let nrows = relation.len();
+    if nrows == 0 || parts <= 1 {
+        return vec![(0, nrows)];
+    }
+    let mut bounds = vec![0usize];
+    for k in 1..parts {
+        let mut b = k * nrows / parts;
+        if b <= *bounds.last().expect("bounds is never empty") {
+            continue;
+        }
+        while b < nrows && relation.tuple(b)[0] == relation.tuple(b - 1)[0] {
+            b += 1;
+        }
+        if b < nrows {
+            bounds.push(b);
+        }
+    }
+    bounds.push(nrows);
+    bounds.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// Concatenates per-partition level fragments in partition order, rebasing
+/// each fragment's `child_starts` by the number of next-level values already
+/// emitted (a fragment's last cumulative entry *is* its next-level value
+/// count, so the running base is simply the last element stitched so far).
+fn stitch_fragments(frags: Vec<Vec<TrieLevel>>, arity: usize) -> Vec<TrieLevel> {
+    let mut levels: Vec<TrieLevel> = vec![TrieLevel::default(); arity];
+    for (l, out) in levels.iter_mut().enumerate() {
+        let total: usize = frags.iter().map(|f| f[l].values.len()).sum();
+        let mut values = Vec::with_capacity(total);
+        let mut starts: Vec<u32> = Vec::new();
+        for f in &frags {
+            values.extend_from_slice(&f[l].values);
+            if l + 1 < arity {
+                if starts.is_empty() {
+                    starts.extend_from_slice(&f[l].child_starts);
+                } else {
+                    let base = *starts.last().expect("non-empty starts");
+                    starts.extend(f[l].child_starts.iter().skip(1).map(|&c| base + c));
+                }
+            }
+        }
+        out.values = values;
+        out.child_starts = starts;
+    }
+    levels
 }
 
 #[cfg(test)]
@@ -320,5 +409,69 @@ mod tests {
         let trie = Trie::build(&figure6_r());
         // 4 + 5 values, 5 child starts = 14 words.
         assert_eq!(trie.bytes(), 14 * 4);
+    }
+
+    #[test]
+    fn partition_boundaries_fall_on_root_key_changes() {
+        // Root value 1 owns 6 of 8 rows; no boundary may land inside its run.
+        let rel = Relation::from_tuples(
+            2,
+            (0..6u32)
+                .map(|y| vec![1u32, y])
+                .chain([vec![2, 0], vec![3, 0]])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        for parts in 1..=8 {
+            let ranges = partition_rows(&rel, parts);
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, rel.len());
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
+            }
+            for &(s, e) in &ranges {
+                assert!(s < e, "ranges must be non-empty");
+                if s > 0 {
+                    assert_ne!(
+                        rel.tuple(s - 1)[0],
+                        rel.tuple(s)[0],
+                        "boundary inside a root-key run"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_build_matches_build_on_figure6() {
+        for workers in [1, 2, 3, 7] {
+            let pool = WorkerPool::with_workers(workers);
+            assert_eq!(
+                Trie::par_build(&figure6_r(), &pool),
+                Trie::build(&figure6_r())
+            );
+            assert_eq!(
+                Trie::par_build(&figure6_s(), &pool),
+                Trie::build(&figure6_s())
+            );
+        }
+    }
+
+    #[test]
+    fn par_build_handles_empty_and_single_row() {
+        let pool = WorkerPool::with_workers(4);
+        let empty = Relation::new(3).unwrap();
+        assert_eq!(Trie::par_build(&empty, &pool), Trie::build(&empty));
+        let one = Relation::from_tuples(2, vec![vec![7u32, 9]]).unwrap();
+        assert_eq!(Trie::par_build(&one, &pool), Trie::build(&one));
+    }
+
+    #[test]
+    fn par_build_single_root_value_collapses_to_one_partition() {
+        let rel =
+            Relation::from_tuples(2, (0..100u32).map(|y| vec![5, y]).collect::<Vec<_>>()).unwrap();
+        let pool = WorkerPool::with_workers(4);
+        assert_eq!(partition_rows(&rel, 4).len(), 1);
+        assert_eq!(Trie::par_build(&rel, &pool), Trie::build(&rel));
     }
 }

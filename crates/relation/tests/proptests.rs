@@ -1,6 +1,7 @@
 //! Property tests for the relation/trie substrate.
 
 use proptest::prelude::*;
+use triejax_exec::WorkerPool;
 use triejax_relation::{AccessCounter, Relation, Trie, TrieCursor, Value};
 
 fn arb_tuples(
@@ -58,6 +59,51 @@ proptest! {
         }
         // Keep the borrow checker quiet about `vals` mutability lint.
         vals.clear();
+    }
+
+    /// Parallel trie construction is byte-identical to the sequential
+    /// build — same `Trie`, field for field — across pool sizes (1, 2,
+    /// 7), arities 1–4, and both uniform and power-law root-key skew
+    /// (squaring a uniform draw concentrates mass near zero, so
+    /// partition boundaries land mid-root-group and must snap forward).
+    /// Empty and single-row relations ride along via the 0-length end of
+    /// the size range.
+    #[test]
+    fn par_build_matches_build(
+        arity in 1usize..=4,
+        raw in arb_tuples(4, 80, 24),
+        skew in 0u32..2,
+    ) {
+        let tuples: Vec<Vec<Value>> = raw
+            .into_iter()
+            .map(|mut t| {
+                t.truncate(arity);
+                if skew == 1 {
+                    t[0] = (t[0] * t[0]) / 24; // power-law-ish pile-up at small roots
+                }
+                t
+            })
+            .collect();
+        let rel = Relation::from_tuples(arity, tuples).unwrap();
+        let seq = Trie::build(&rel);
+        for workers in [1usize, 2, 7] {
+            let pool = WorkerPool::with_workers(workers);
+            let par = Trie::par_build(&rel, &pool);
+            prop_assert_eq!(&par, &seq, "pool of {} diverged", workers);
+        }
+    }
+
+    /// Pool-parallel permute+normalize produces exactly the sequential
+    /// relation: same sort, same dedup, any worker count.
+    #[test]
+    fn permute_on_matches_permute_under_any_pool(tuples in arb_tuples(3, 70, 8)) {
+        let rel = Relation::from_tuples(3, tuples).unwrap();
+        let perm = [2usize, 0, 1];
+        let seq = rel.permute(&perm);
+        for workers in [1usize, 2, 7] {
+            let pool = WorkerPool::with_workers(workers);
+            prop_assert_eq!(&rel.permute_on(&perm, &pool), &seq);
+        }
     }
 
     /// Permuting twice with inverse permutations round-trips.

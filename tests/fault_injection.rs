@@ -248,7 +248,52 @@ fn failed_handoff_under_a_deadline_never_hangs() {
     }
 }
 
-/// Seed-driven sweep: deterministic plans drawn over all five event
+/// A trie build task dying on the pool (panic at the `TrieBuild` site)
+/// must surface the injected payload — never hang the run — and leave
+/// no half-built trie behind: the shared trie cache stays empty, and
+/// the very next clean run over the same cache is exact and fills it
+/// normally.
+#[test]
+fn trie_build_panic_surfaces_and_leaves_the_trie_cache_clean() {
+    use std::sync::Arc;
+    use triejax_join::TrieCache;
+
+    let catalog = catalog_from(hub_edges());
+    // cycle3 needs two distinct (relation, perm) builds, so the build
+    // phase goes through the pool — the panic must be captured by a
+    // worker and rethrown after the scope, not swallowed or deadlocked.
+    let plan = CompiledQuery::compile(&Pattern::Cycle3.query()).expect("compiles");
+    let reference = reference_tuples(&plan, &catalog);
+    let cache = Arc::new(TrieCache::unbounded());
+
+    let guard =
+        faults::install(FaultPlan::new().rule(first(FaultEvent::TrieBuild, FaultAction::Panic)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut sink = CollectSink::new();
+        let _ = ParLftj::with_pool(4)
+            .with_trie_cache(cache.clone())
+            .execute(&plan, &catalog, &mut sink);
+    }));
+    drop(guard);
+    match outcome {
+        // Every run of this plan builds tries, so the rule always trips.
+        Ok(()) => panic!("the first trie build must have tripped the fault"),
+        Err(payload) => assert_injected(payload),
+    }
+    assert_eq!(cache.len(), 0, "a dying build phase must publish nothing");
+    assert_eq!(cache.insertions(), 0);
+
+    let mut clean = CollectSink::new();
+    let stats = ParLftj::with_pool(4)
+        .with_trie_cache(cache.clone())
+        .execute(&plan, &catalog, &mut clean)
+        .expect("clean run");
+    assert_eq!(clean.tuples(), reference, "post-fault run must be exact");
+    assert_eq!(stats.trie_cache_hits, 0, "nothing to hit after the wipe");
+    assert_eq!(cache.insertions(), 2, "both distinct builds fill the cache");
+}
+
+/// Seed-driven sweep: deterministic plans drawn over all six event
 /// classes. Every schedule must terminate; completed runs must be exact.
 /// A failure replays from its seed alone.
 #[test]
@@ -262,6 +307,7 @@ fn seeded_fault_sweep_terminates_and_stays_exact() {
         FaultEvent::SplitHandoff,
         FaultEvent::CacheInsert,
         FaultEvent::MergePush,
+        FaultEvent::TrieBuild,
     ];
     for seed in 0..12u64 {
         let guard = faults::install(FaultPlan::from_seed(seed, &events, 4));
