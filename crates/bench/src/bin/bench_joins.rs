@@ -17,8 +17,8 @@
 //!
 //! Usage: `bench_joins [--scale tiny|mini|full] [--dataset <label>]
 //! [--runs N] [--pool N] [--cache-cap N] [--trie-cache-mb N]
-//! [--split | --no-split] [--row-limit N] [--deadline-ms N] [--out PATH]
-//! [--no-gate]`
+//! [--split | --no-split] [--row-limit N] [--deadline-ms N]
+//! [--store PATH] [--out PATH] [--no-gate]`
 //!
 //! `--cache-cap N` bounds the `parctj` rows' shared PJR cache to `N`
 //! total entries (per-stripe FIFO eviction; `0` disables caching), so
@@ -49,13 +49,25 @@
 //! `trie_cache_mb` config-signature field, so cacheless artifacts from
 //! before the knob existed still gate against cacheless runs. Build rows
 //! report `trie_cache_hits` in their `results` column.
+//!
+//! `--store PATH` benchmarks the persistent trie store: if `PATH` does
+//! not exist it is created once (a [`triejax_join::Session`] snapshot of
+//! the benchmark catalog's Cycle3+Cycle4 tries, saved through
+//! `StoredCatalog::save`), then every sampled `store-open-cold` row times
+//! a full cold open — `StoredCatalog::open` plus a cache preload — and
+//! verifies the serving claim by running the query against the preloaded
+//! cache and asserting `EngineStats::trie_build_ns == 0`. The row's
+//! `results` column reports the store-served hit count. Store runs record
+//! `"store": true` in the artifact and its config signature; storeless
+//! runs omit the field, so pre-knob artifacts still gate.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use triejax_graph::{Dataset, Scale};
 use triejax_join::{
-    Catalog, CountSink, Counting, Ctj, JoinError, Lftj, NoTally, ParCtj, ParLftj, TrieCache,
+    Catalog, CountSink, Counting, Ctj, JoinError, Lftj, NoTally, ParCtj, ParLftj, Session,
+    StoredCatalog, TrieCache,
 };
 use triejax_query::{patterns::Pattern, CompiledQuery};
 
@@ -147,6 +159,7 @@ fn config_signature(
     bool,
     Option<u128>,
     Option<u128>,
+    bool,
 ) {
     (
         field_str(text, "dataset"),
@@ -158,6 +171,7 @@ fn config_signature(
         field_bool(text, "split"),
         field_num(text, "row_limit"),
         field_num(text, "deadline_ms"),
+        field_bool(text, "store"),
     )
 }
 
@@ -193,6 +207,51 @@ fn build_phase_samples(
     )
 }
 
+/// Samples a full cold open of the persistent store — `StoredCatalog::open`
+/// plus a fresh cache preload, the whole O(bytes-read) serving path — and
+/// verifies the claim each time by running `plan` against the preloaded
+/// cache: the run must report zero `trie_build_ns` (nothing was rebuilt)
+/// and its store-served hit count lands in the row's `results` column.
+fn store_open_samples(
+    runs: usize,
+    path: &str,
+    plan: &CompiledQuery,
+    catalog: &Catalog,
+    pool: Option<usize>,
+    split: bool,
+) -> (u128, u128, u128, u64) {
+    let mut samples: Vec<u128> = Vec::with_capacity(runs);
+    let mut hits = 0u64;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let stored = StoredCatalog::open(path).expect("open store");
+        let cache = Arc::new(TrieCache::unbounded());
+        cache.preload(&stored);
+        samples.push(t.elapsed().as_nanos());
+
+        let mut sink = CountSink::default();
+        let stats = pool
+            .map_or_else(ParLftj::new, ParLftj::with_pool)
+            .with_split(split)
+            .with_trie_cache(cache)
+            .run_tallied::<NoTally>(plan, catalog, &mut sink)
+            .expect("store rows run ungoverned");
+        assert_eq!(
+            stats.trie_build_ns, 0,
+            "a store-served run must do zero trie-build work"
+        );
+        assert!(stats.trie_cache_hits > 0, "the store served nothing");
+        hits = stats.trie_cache_hits;
+    }
+    samples.sort_unstable();
+    (
+        samples[samples.len() / 2],
+        samples[0],
+        samples[samples.len() - 1],
+        hits,
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Tiny;
@@ -204,6 +263,7 @@ fn main() {
     let mut split: Option<bool> = None;
     let mut row_limit: Option<u64> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut store_path: Option<String> = None;
     let mut gate = true;
     let mut out_path = String::from("BENCH_joins.json");
     let mut i = 0;
@@ -256,6 +316,10 @@ fn main() {
                 assert!(n > 0, "--deadline-ms must be at least 1");
                 deadline_ms = Some(n);
             }
+            "--store" => {
+                i += 1;
+                store_path = Some(args[i].clone());
+            }
             "--no-gate" => gate = false,
             "--out" => {
                 i += 1;
@@ -287,6 +351,24 @@ fn main() {
 
     let mut catalog = Catalog::new();
     catalog.insert("G", dataset.generate(scale).edge_relation());
+    // A missing --store file is created once from this catalog's own
+    // Cycle3+Cycle4 tries, so the first invocation bootstraps the store
+    // that later ones (and CI) open cold.
+    if let Some(path) = &store_path {
+        if !std::path::Path::new(path).exists() {
+            let plans: Vec<CompiledQuery> = [Pattern::Cycle3, Pattern::Cycle4]
+                .iter()
+                .map(|p| CompiledQuery::compile(&p.query()).expect("compiles"))
+                .collect();
+            let mut session = Session::new(catalog.clone());
+            if let Some(n) = pool {
+                session = session.with_pool(n);
+            }
+            let stored = session.snapshot(&plans).expect("snapshot");
+            stored.save(path).expect("save store");
+            println!("created trie store {path} ({} tries)", stored.tries().len());
+        }
+    }
     let pin_trie_cache = |engine: ParLftj| match &trie_cache {
         Some(c) => engine.with_trie_cache(c.clone()),
         None => engine.without_trie_cache(),
@@ -519,6 +601,25 @@ fn main() {
                 results: hits,
             });
         }
+        if let Some(path) = &store_path {
+            let (median_ns, min_ns, max_ns, hits) =
+                store_open_samples(runs, path, &plan, &catalog, pool, split);
+            println!(
+                "{:>8} {:<18} median {:>12} ns  ({} hits)",
+                pattern.label(),
+                "store-open-cold",
+                median_ns,
+                hits
+            );
+            measurements.push(Measurement {
+                engine: "store-open-cold",
+                query: pattern.label(),
+                median_ns,
+                min_ns,
+                max_ns,
+                results: hits,
+            });
+        }
     }
 
     // Regression gate: compare medians against the previous artifact —
@@ -537,6 +638,7 @@ fn main() {
         split,
         row_limit.map(u128::from),
         deadline_ms.map(u128::from),
+        store_path.is_some(),
     );
     let previous = if previous_text.is_empty() {
         Vec::new()
@@ -650,6 +752,11 @@ fn main() {
     }
     if let Some(n) = deadline_ms {
         json.push_str(&format!("  \"deadline_ms\": {n},\n"));
+    }
+    // Written only for store-backed runs, so pre-knob artifacts still
+    // signature-match storeless runs (absent means `false`).
+    if store_path.is_some() {
+        json.push_str("  \"store\": true,\n");
     }
     json.push_str("  \"measurements\": [\n");
     for (i, m) in measurements.iter().enumerate() {

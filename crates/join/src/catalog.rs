@@ -45,6 +45,12 @@ impl Catalog {
         self.relations.get(name)
     }
 
+    /// Iterates over `(name, relation)` pairs in unspecified order
+    /// (snapshotting into a persistent store, listing, diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> + '_ {
+        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
     /// Number of registered relations.
     pub fn len(&self) -> usize {
         self.relations.len()
@@ -114,8 +120,10 @@ impl TrieSet {
 
     /// Builds every trie the plan needs with the cold work scheduled on
     /// `pool`, consulting (and filling) the cross-query `cache` when one
-    /// is given. Returns the trie set plus the number of tries served from
-    /// the cache.
+    /// is given. Returns the trie set, the number of tries served from
+    /// the cache, and the nanoseconds spent on cold builds — exactly `0`
+    /// when every trie was served (the "zero trie builds" acceptance
+    /// signal for store-backed serving).
     ///
     /// Each distinct `(relation, perm)` that misses the cache is one unit
     /// of cold work: when several miss, they run as independent pool tasks
@@ -136,7 +144,7 @@ impl TrieSet {
         catalog: &Catalog,
         pool: &WorkerPool,
         cache: Option<&TrieCache>,
-    ) -> Result<(TrieSet, u64), JoinError> {
+    ) -> Result<(TrieSet, u64, u64), JoinError> {
         let mut keys: HashMap<(String, Vec<usize>), usize> = HashMap::new();
         let mut slots: Vec<Option<Arc<Trie>>> = Vec::new();
         let mut pending: Vec<PendingBuild<'_>> = Vec::new();
@@ -181,7 +189,9 @@ impl TrieSet {
             atom_trie.push(idx);
         }
         // Cold builds: many misses become independent pool tasks; a lone
-        // miss parallelizes *within* the build instead.
+        // miss parallelizes *within* the build instead. Only this section
+        // is timed, so a fully-served query reports build_ns == 0.
+        let build_t0 = (!pending.is_empty()).then(std::time::Instant::now);
         let built: Vec<Trie> = if pending.len() == 1 {
             vec![build_one(pending[0].rel, pending[0].perm, Some(pool))]
         } else if !pending.is_empty() {
@@ -191,6 +201,7 @@ impl TrieSet {
         } else {
             Vec::new()
         };
+        let build_ns = build_t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
         for (pb, trie) in pending.iter().zip(built) {
             let trie = Arc::new(trie);
             let published = match (cache, pb.fingerprint) {
@@ -203,7 +214,7 @@ impl TrieSet {
             .into_iter()
             .map(|s| s.expect("every slot is served or built"))
             .collect();
-        Ok((TrieSet { tries, atom_trie }, cache_hits))
+        Ok((TrieSet { tries, atom_trie }, cache_hits, build_ns))
     }
 
     /// The trie backing atom-plan `i`.
@@ -327,8 +338,9 @@ mod tests {
         for p in [patterns::cycle3(), patterns::path4(), patterns::clique4()] {
             let plan = CompiledQuery::compile(&p).unwrap();
             let seq = TrieSet::build(&plan, &catalog()).unwrap();
-            let (par, hits) = TrieSet::build_on(&plan, &catalog(), &pool, None).unwrap();
+            let (par, hits, build_ns) = TrieSet::build_on(&plan, &catalog(), &pool, None).unwrap();
             assert_eq!(hits, 0, "no cache, no hits");
+            assert!(build_ns > 0, "cold builds report nonzero build time");
             assert_eq!(par.atom_trie_indices(), seq.atom_trie_indices());
             assert_eq!(par.tries().len(), seq.tries().len());
             for (a, b) in par.tries().iter().zip(seq.tries()) {
@@ -342,18 +354,20 @@ mod tests {
         let pool = WorkerPool::with_workers(2);
         let cache = TrieCache::unbounded();
         let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
-        let (cold, hits) = TrieSet::build_on(&plan, &catalog(), &pool, Some(&cache)).unwrap();
+        let (cold, hits, _) = TrieSet::build_on(&plan, &catalog(), &pool, Some(&cache)).unwrap();
         assert_eq!(hits, 0);
         assert_eq!(cache.insertions(), 2, "both distinct tries published");
-        let (warm, hits) = TrieSet::build_on(&plan, &catalog(), &pool, Some(&cache)).unwrap();
+        let (warm, hits, build_ns) =
+            TrieSet::build_on(&plan, &catalog(), &pool, Some(&cache)).unwrap();
         assert_eq!(hits, 2, "warm build is all lookups");
+        assert_eq!(build_ns, 0, "a fully-served query does zero build work");
         for (a, b) in warm.tries().iter().zip(cold.tries()) {
             assert!(Arc::ptr_eq(a, b), "warm query adopts the cached Arc");
         }
         // A changed relation under the same name misses by fingerprint.
         let mut changed = Catalog::new();
         changed.insert("G", Relation::from_pairs(vec![(9, 8), (8, 7), (7, 9)]));
-        let (_, hits) = TrieSet::build_on(&plan, &changed, &pool, Some(&cache)).unwrap();
+        let (_, hits, _) = TrieSet::build_on(&plan, &changed, &pool, Some(&cache)).unwrap();
         assert_eq!(hits, 0, "stale tries are unreachable by fingerprint");
     }
 

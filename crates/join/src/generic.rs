@@ -140,12 +140,13 @@ impl<'a, T: Tally, B: Budget> GjDriver<'a, T, B> {
     /// Current candidate slice of atom `a` at trie level `lvl`.
     fn slice(&self, a: usize, lvl: usize) -> &'a [Value] {
         let trie: &'a Trie = self.tries.for_atom(a);
+        let level = trie.level(lvl);
         let (lo, hi) = if lvl == 0 {
-            (0, trie.level(0).len())
+            (0, level.len())
         } else {
             *self.ranges[a].last().expect("parent level must be open")
         };
-        &trie.level(lvl).values()[lo..hi]
+        &level.values()[lo..hi]
     }
 
     /// Emits the current binding; returns `false` when the budget refused
@@ -233,13 +234,13 @@ impl<'a, T: Tally, B: Budget> GjDriver<'a, T, B> {
                     if !self.plan.atom_plans()[a].continues_below(lvl) {
                         continue;
                     }
-                    let trie = self.tries.for_atom(a);
+                    let level = self.tries.for_atom(a).level(lvl);
                     let (lo, hi) = if lvl == 0 {
-                        (0, trie.level(0).len())
+                        (0, level.len())
                     } else {
                         *self.ranges[a].last().expect("parent level must be open")
                     };
-                    let values = &trie.level(lvl).values()[lo..hi];
+                    let values = &level.values()[lo..hi];
                     let rel = gallop_search(values, hints[pi], v, &mut self.stats);
                     hints[pi] = rel;
                     let pos = lo + rel;
@@ -248,7 +249,7 @@ impl<'a, T: Tally, B: Budget> GjDriver<'a, T, B> {
                     self.stats
                         .access
                         .record(AccessKind::IndexRead, 2 * WORD_BYTES);
-                    self.ranges[a].push(trie.level(lvl).child_range(pos));
+                    self.ranges[a].push(level.child_range(pos));
                     pushed.push(a);
                 }
                 let descended = self.level(d + 1, sink);

@@ -71,6 +71,7 @@ mod lftj;
 mod pairwise;
 mod parctj;
 mod parlftj;
+mod session;
 mod shard;
 mod sink;
 mod sortmerge;
@@ -88,12 +89,14 @@ pub use lftj::Lftj;
 pub use pairwise::PairwiseHash;
 pub use parctj::ParCtj;
 pub use parlftj::ParLftj;
+pub use session::{QueryHandle, ResultStream, Session};
 pub use sink::{CollectSink, CountSink, ResultSink, ShardSink};
 pub use sortmerge::PairwiseSortMerge;
 pub use stats::EngineStats;
-pub use triecache::{TrieCache, TRIE_CACHE_ENV};
+pub use triecache::{TrieCache, STORE_ENV, TRIE_CACHE_ENV};
 pub use triejax_exec::{CancelReason, CancelToken, RunBudget};
 pub use triejax_relation::{Counting, NoTally, Tally};
+pub use triejax_store::{StoreError, StoredCatalog, StoredTrie};
 
 /// Deterministic fault-injection harness for the parallel runtime,
 /// re-exported for integration tests driving the engines through the

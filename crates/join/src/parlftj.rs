@@ -320,9 +320,11 @@ impl ParLftj {
         // it (partitioned builds, or one task per cold trie).
         let pool = make_pool(self.workers);
         let cache = self.effective_trie_cache();
-        let build_t0 = std::time::Instant::now();
-        let (tries, trie_cache_hits) = TrieSet::build_on(plan, catalog, &pool, cache.as_deref())?;
-        let trie_build_ns = build_t0.elapsed().as_nanos() as u64;
+        // build_on times only actual cold-build work internally, so a
+        // query fully served from the cache (or a preloaded store) reports
+        // trie_build_ns == 0 exactly.
+        let (tries, trie_cache_hits, trie_build_ns) =
+            TrieSet::build_on(plan, catalog, &pool, cache.as_deref())?;
         // Splitting needs a spare worker to hand work to and a root
         // domain wide enough to ever carve; otherwise fall back to the
         // static schedule (and its sequential single-shard fast path).

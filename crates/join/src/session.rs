@@ -1,0 +1,655 @@
+//! Streaming query sessions: the serving layer over the parallel engines.
+//!
+//! A [`Session`] owns what a serving process shares across queries — the
+//! catalog, one worker-pool configuration, and one cross-query
+//! [`TrieCache`] — and hands out per-query [`QueryHandle`]s that carry
+//! their own budgets (row limits, deadlines, shard granularity). A handle
+//! either runs synchronously into any [`ResultSink`], or becomes a
+//! pull-based [`ResultStream`]: an iterator that delivers tuples in the
+//! **exact sequential order** while the join is still running, and whose
+//! `Drop` cancels the run cooperatively — walking away from a stream can
+//! never hang the pool or leak a runaway query.
+//!
+//! Sessions open directly from a persistent [`StoredCatalog`]
+//! ([`Session::open`]): the stored tries preload the session cache, so the
+//! first query of a cold process runs with zero trie builds. The inverse,
+//! [`Session::snapshot`], warms the cache with a set of plans and packages
+//! catalog + tries for [`StoredCatalog::save`].
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use triejax_exec::{CancelToken, WorkerPool};
+use triejax_query::CompiledQuery;
+use triejax_relation::Value;
+use triejax_store::{StoreError, StoredCatalog};
+
+use crate::{Catalog, EngineStats, JoinError, ParCtj, ParLftj, ResultSink, TrieCache, TrieSet};
+
+/// Rows per batch pushed through a stream's channel — same batching the
+/// shard sinks use, so streaming adds one copy, not per-tuple signalling.
+const STREAM_BATCH_ROWS: usize = 256;
+
+/// Batches buffered in a stream's channel before the producing engine
+/// blocks: bounds the memory between a fast producer and a slow consumer.
+const STREAM_CHANNEL_BATCHES: usize = 16;
+
+/// A serving-process context: one catalog, one worker-pool configuration,
+/// and one shared cross-query trie cache.
+///
+/// Concurrent queries are the point — [`Session::query`] borrows nothing
+/// mutably, and every [`QueryHandle`]/[`ResultStream`] owns `Arc`s into
+/// the shared state, so any number of streams can run at once against the
+/// same tries.
+///
+/// # Example
+///
+/// ```
+/// use triejax_join::{Catalog, Session};
+/// use triejax_query::{patterns, CompiledQuery};
+/// use triejax_relation::Relation;
+///
+/// let mut catalog = Catalog::new();
+/// catalog.insert("G", Relation::from_pairs(vec![(0, 1), (1, 2), (2, 0)]));
+/// let session = Session::new(catalog).with_pool(2);
+/// let plan = CompiledQuery::compile(&patterns::cycle3())?;
+///
+/// let mut rows = Vec::new();
+/// for row in session.query(&plan).stream() {
+///     rows.push(row); // arrives incrementally, in sequential order
+/// }
+/// assert_eq!(rows.len(), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session {
+    catalog: Arc<Catalog>,
+    /// The pool configuration every query and snapshot of this session
+    /// shares ([`WorkerPool`] is a `Copy` config; each run spawns its
+    /// scoped workers from it).
+    pool: WorkerPool,
+    cache: Arc<TrieCache>,
+}
+
+impl Session {
+    /// Creates a session over `catalog` with the default pool size
+    /// (`TRIEJAX_POOL`, else one worker per core) and a fresh unbounded
+    /// trie cache.
+    pub fn new(catalog: Catalog) -> Self {
+        Session {
+            catalog: Arc::new(catalog),
+            pool: WorkerPool::new(),
+            cache: Arc::new(TrieCache::unbounded()),
+        }
+    }
+
+    /// Opens a session from a saved [`StoredCatalog`] file: the stored
+    /// relations become the catalog and every stored trie preloads the
+    /// session cache, so queries whose tries were saved run with **zero**
+    /// trie builds ([`EngineStats::trie_build_ns`] stays `0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`StoreError`] if the file cannot be read or fails
+    /// validation.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, StoreError> {
+        Ok(Session::from_stored(&StoredCatalog::open(path)?))
+    }
+
+    /// Builds a session from an already-loaded stored catalog (the
+    /// in-memory form of [`Session::open`]).
+    pub fn from_stored(stored: &StoredCatalog) -> Self {
+        let mut catalog = Catalog::new();
+        for (name, rel) in stored.relations() {
+            catalog.insert(name.clone(), rel.clone());
+        }
+        let cache = TrieCache::unbounded();
+        cache.preload(stored);
+        Session {
+            catalog: Arc::new(catalog),
+            pool: WorkerPool::new(),
+            cache: Arc::new(cache),
+        }
+    }
+
+    /// Sets the worker count shared by every query and snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_pool(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "workers must be positive");
+        self.pool = WorkerPool::with_workers(workers);
+        self
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The shared cross-query trie cache (inspect its hit/insertion
+    /// counters to observe store/cache effectiveness).
+    pub fn trie_cache(&self) -> &Arc<TrieCache> {
+        &self.cache
+    }
+
+    /// The worker count this session's queries run with.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Creates a query handle over `plan` sharing this session's catalog,
+    /// pool configuration, and trie cache.
+    pub fn query(&self, plan: &CompiledQuery) -> QueryHandle {
+        QueryHandle {
+            plan: plan.clone(),
+            catalog: Arc::clone(&self.catalog),
+            cache: Arc::clone(&self.cache),
+            workers: self.pool.workers(),
+            granularity: None,
+            split: None,
+            deadline: None,
+            row_limit: None,
+            ctj: false,
+        }
+    }
+
+    /// Builds (into the session cache) every trie the given plans need,
+    /// then packages the catalog plus all cached tries as a
+    /// [`StoredCatalog`] ready for [`StoredCatalog::save`]. Entries are
+    /// emitted in sorted key order, so the same session state always
+    /// serializes to the same bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JoinError`] if a plan references a relation the catalog
+    /// is missing or whose arity mismatches.
+    pub fn snapshot(&self, plans: &[CompiledQuery]) -> Result<StoredCatalog, JoinError> {
+        for plan in plans {
+            TrieSet::build_on(plan, &self.catalog, &self.pool, Some(&self.cache))?;
+        }
+        let mut stored = StoredCatalog::new();
+        let mut relations: Vec<_> = self.catalog.iter().collect();
+        relations.sort_by_key(|(name, _)| name.to_owned());
+        for (name, rel) in relations {
+            stored.insert_relation(name, rel.clone());
+        }
+        let mut entries = self.cache.entries();
+        entries.sort_by(|a, b| (&a.0, &a.2, a.1).cmp(&(&b.0, &b.2, b.1)));
+        for (name, fingerprint, perm, trie) in entries {
+            stored.insert_trie(name, fingerprint, perm, trie);
+        }
+        Ok(stored)
+    }
+}
+
+/// One query's configuration against a [`Session`]: the per-query budgets
+/// (row limit, deadline, shard granularity, splitting) layered over the
+/// session's shared state.
+///
+/// Consume it with [`QueryHandle::stream`] for incremental pull-based
+/// delivery, or [`QueryHandle::run`] to drive a sink synchronously.
+#[derive(Debug, Clone)]
+pub struct QueryHandle {
+    plan: CompiledQuery,
+    catalog: Arc<Catalog>,
+    cache: Arc<TrieCache>,
+    workers: usize,
+    granularity: Option<usize>,
+    split: Option<bool>,
+    deadline: Option<Duration>,
+    row_limit: Option<u64>,
+    ctj: bool,
+}
+
+impl QueryHandle {
+    /// Caps delivered rows: the stream (or sink) receives exactly the
+    /// first `min(total, limit)` rows of the sequential result order.
+    pub fn with_row_limit(mut self, limit: u64) -> Self {
+        self.row_limit = Some(limit);
+        self
+    }
+
+    /// Caps the query's wall-clock time; an overrunning query is
+    /// cancelled cooperatively with the delivered rows staying an exact
+    /// sequential prefix.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets an explicit shard count for this query (the per-query shard
+    /// budget; defaults to the plan-seeded granularity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` (when the query runs).
+    pub fn with_granularity(mut self, shards: usize) -> Self {
+        self.granularity = Some(shards);
+        self
+    }
+
+    /// Enables or disables dynamic shard splitting for this query,
+    /// overriding the `TRIEJAX_SPLIT` environment default.
+    pub fn with_split(mut self, on: bool) -> Self {
+        self.split = Some(on);
+        self
+    }
+
+    /// Runs this query on [`ParCtj`] (the cached-TrieJoin engine) instead
+    /// of the default [`ParLftj`]; result tuples and their order are
+    /// identical either way.
+    pub fn with_ctj(mut self) -> Self {
+        self.ctj = true;
+        self
+    }
+
+    /// Runs the query synchronously on the calling thread, pushing every
+    /// result row into `sink` in exact sequential order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's [`JoinError`]; a budget-terminated run
+    /// reports [`JoinError::Cancelled`] with the rows delivered so far
+    /// forming an exact prefix.
+    pub fn run(&self, sink: &mut dyn ResultSink) -> Result<EngineStats, JoinError> {
+        self.execute_into(None, sink)
+    }
+
+    /// Starts the query on a background thread and returns the pull-based
+    /// stream of its results. See [`ResultStream`] for the delivery and
+    /// cancellation contract.
+    pub fn stream(self) -> ResultStream {
+        let token = CancelToken::new();
+        let cancel = token.clone();
+        let arity = self.plan.arity();
+        let (tx, rx) = sync_channel::<Vec<Value>>(STREAM_CHANNEL_BATCHES);
+        let worker = std::thread::spawn(move || {
+            let mut sink = ChannelSink::new(tx, arity);
+            let result = self.execute_into(Some(token), &mut sink);
+            sink.flush();
+            result
+        });
+        ResultStream {
+            arity,
+            rx: Some(rx),
+            batch: Vec::new(),
+            pos: 0,
+            cancel,
+            worker: Some(worker),
+            outcome: None,
+        }
+    }
+
+    /// Builds the configured engine and runs it. Both engines share the
+    /// builder surface, so the only divergence is the type name.
+    fn execute_into(
+        &self,
+        token: Option<CancelToken>,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats, JoinError> {
+        macro_rules! run {
+            ($engine:ty) => {{
+                let mut e =
+                    <$engine>::with_pool(self.workers).with_trie_cache(Arc::clone(&self.cache));
+                if let Some(g) = self.granularity {
+                    e = e.with_granularity(g);
+                }
+                if let Some(s) = self.split {
+                    e = e.with_split(s);
+                }
+                if let Some(d) = self.deadline {
+                    e = e.with_deadline(d);
+                }
+                if let Some(l) = self.row_limit {
+                    e = e.with_row_limit(l);
+                }
+                if let Some(t) = token {
+                    e = e.with_cancel_token(t);
+                }
+                e.run_tallied::<triejax_relation::Counting>(&self.plan, &self.catalog, sink)
+            }};
+        }
+        if self.ctj {
+            run!(ParCtj)
+        } else {
+            run!(ParLftj)
+        }
+    }
+}
+
+/// A pull-based iterator over one running query's result tuples.
+///
+/// Delivery contract:
+///
+/// * **Order** — tuples arrive in the exact sequential engine order
+///   (tuple-for-tuple what [`crate::Lftj`] would emit), incrementally
+///   while later shards are still executing.
+/// * **Budgets** — a row-limited or deadlined query ends the stream after
+///   an exact sequential prefix; [`ResultStream::outcome`] then reports
+///   the [`JoinError::Cancelled`] carrying the partial stats.
+/// * **Backpressure** — a bounded channel separates the engine from the
+///   consumer; a slow consumer blocks the producer after
+///   a fixed number of buffered batches instead of buffering the result.
+/// * **Drop** — dropping the stream mid-iteration fires the query's
+///   cancel token, disconnects the channel (which immediately unblocks
+///   any waiting producer), and joins the engine thread: cooperative
+///   cancellation, never a hung pool.
+pub struct ResultStream {
+    arity: usize,
+    rx: Option<Receiver<Vec<Value>>>,
+    /// The batch currently being sliced into rows, and the cursor into it.
+    batch: Vec<Value>,
+    pos: usize,
+    cancel: CancelToken,
+    worker: Option<JoinHandle<Result<EngineStats, JoinError>>>,
+    outcome: Option<Result<EngineStats, JoinError>>,
+}
+
+impl std::fmt::Debug for ResultStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultStream")
+            .field("arity", &self.arity)
+            .field("live", &self.worker.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ResultStream {
+    /// Number of values per delivered row.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The engine's final result, available once the stream is exhausted
+    /// (iteration returned `None`): the run's [`EngineStats`] on success,
+    /// or the [`JoinError`] — e.g. `Cancelled` after a row limit truncated
+    /// the stream. `None` while tuples may still arrive.
+    pub fn outcome(&mut self) -> Option<&Result<EngineStats, JoinError>> {
+        if self.outcome.is_none() && self.rx.is_none() {
+            self.join_worker();
+        }
+        self.outcome.as_ref()
+    }
+
+    fn join_worker(&mut self) {
+        if let Some(handle) = self.worker.take() {
+            match handle.join() {
+                Ok(result) => self.outcome = Some(result),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    }
+}
+
+impl Iterator for ResultStream {
+    type Item = Vec<Value>;
+
+    fn next(&mut self) -> Option<Vec<Value>> {
+        loop {
+            if self.pos < self.batch.len() {
+                let row = self.batch[self.pos..self.pos + self.arity].to_vec();
+                self.pos += self.arity;
+                return Some(row);
+            }
+            let rx = self.rx.as_ref()?;
+            match rx.recv() {
+                Ok(batch) => {
+                    self.batch = batch;
+                    self.pos = 0;
+                }
+                Err(_) => {
+                    // Producer finished (or failed): all rows delivered.
+                    self.rx = None;
+                    self.join_worker();
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ResultStream {
+    fn drop(&mut self) {
+        self.cancel.cancel();
+        // Disconnecting the receiver makes any blocked `send` in the
+        // producer return an error immediately — the engine thread can
+        // never stay wedged on a full channel.
+        self.rx = None;
+        if let Some(handle) = self.worker.take() {
+            // A panicking engine thread must not double-panic in drop;
+            // its payload is intentionally discarded here.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The producer-side sink of a [`ResultStream`]: batches rows and sends
+/// them through the bounded channel. Once the consumer disconnects, rows
+/// are discarded without blocking (the cancel token ends the run at its
+/// next poll point).
+struct ChannelSink {
+    tx: SyncSender<Vec<Value>>,
+    buf: Vec<Value>,
+    batch_values: usize,
+    disconnected: bool,
+}
+
+impl ChannelSink {
+    fn new(tx: SyncSender<Vec<Value>>, arity: usize) -> Self {
+        let batch_values = STREAM_BATCH_ROWS * arity.max(1);
+        ChannelSink {
+            tx,
+            buf: Vec::with_capacity(batch_values),
+            batch_values,
+            disconnected: false,
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.buf);
+        if !self.disconnected && self.tx.send(batch).is_err() {
+            self.disconnected = true;
+        }
+    }
+}
+
+impl ResultSink for ChannelSink {
+    fn push(&mut self, tuple: &[Value]) {
+        if self.disconnected {
+            return;
+        }
+        self.buf.extend_from_slice(tuple);
+        if self.buf.len() >= self.batch_values {
+            self.flush();
+        }
+    }
+
+    fn push_rows(&mut self, rows: &[Value], _arity: usize) {
+        if self.disconnected {
+            return;
+        }
+        self.buf.extend_from_slice(rows);
+        if self.buf.len() >= self.batch_values {
+            self.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollectSink, JoinEngine, Lftj};
+    use triejax_exec::CancelReason;
+    use triejax_query::patterns;
+    use triejax_relation::Relation;
+
+    fn grid_session(workers: usize) -> Session {
+        let mut catalog = Catalog::new();
+        // Complete directed graph on 12 vertices: plenty of cycles and
+        // paths, so every pattern yields a multi-batch result stream.
+        catalog.insert(
+            "G",
+            Relation::from_pairs(
+                (0..12u32).flat_map(|a| (0..12u32).filter(move |&b| b != a).map(move |b| (a, b))),
+            ),
+        );
+        Session::new(catalog).with_pool(workers)
+    }
+
+    fn sequential_tuples(session: &Session, plan: &CompiledQuery) -> Vec<Vec<Value>> {
+        let mut sink = CollectSink::new();
+        Lftj::new()
+            .execute(plan, session.catalog(), &mut sink)
+            .unwrap();
+        sink.tuples().to_vec()
+    }
+
+    #[test]
+    fn stream_delivers_exact_sequential_order() {
+        let session = grid_session(4);
+        for pattern in [patterns::cycle3(), patterns::path4()] {
+            let plan = CompiledQuery::compile(&pattern).unwrap();
+            let expect = sequential_tuples(&session, &plan);
+            let mut stream = session.query(&plan).stream();
+            let got: Vec<Vec<Value>> = stream.by_ref().collect();
+            assert_eq!(got, expect, "stream must equal sequential order");
+            assert!(stream.outcome().unwrap().is_ok());
+        }
+    }
+
+    #[test]
+    fn run_matches_stream() {
+        let session = grid_session(2);
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let mut sink = CollectSink::new();
+        let stats = session.query(&plan).run(&mut sink).unwrap();
+        assert!(stats.results > 0);
+        let streamed: Vec<Vec<Value>> = session.query(&plan).stream().collect();
+        assert_eq!(streamed, sink.tuples());
+    }
+
+    #[test]
+    fn row_limit_truncates_to_exact_prefix() {
+        let session = grid_session(3);
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let expect = sequential_tuples(&session, &plan);
+        assert!(expect.len() > 5);
+        let mut stream = session.query(&plan).with_row_limit(5).stream();
+        let got: Vec<Vec<Value>> = stream.by_ref().collect();
+        assert_eq!(got, expect[..5], "row limit keeps the sequential prefix");
+        match stream.outcome().unwrap() {
+            Err(JoinError::Cancelled { reason, .. }) => {
+                assert_eq!(*reason, CancelReason::RowLimit)
+            }
+            other => panic!("expected RowLimit cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropping_a_stream_mid_run_cancels_without_hanging() {
+        let session = grid_session(4);
+        let plan = CompiledQuery::compile(&patterns::path4()).unwrap();
+        let expect = sequential_tuples(&session, &plan);
+        // Take a couple of rows, then drop with the engine (very likely)
+        // still producing; Drop must cancel and join promptly either way.
+        let mut stream = session.query(&plan).stream();
+        let first: Vec<_> = stream.by_ref().take(2).collect();
+        assert_eq!(first, expect[..2]);
+        drop(stream);
+        // The session stays fully usable afterwards.
+        let again: Vec<Vec<Value>> = session.query(&plan).stream().collect();
+        assert_eq!(again, expect);
+    }
+
+    #[test]
+    fn concurrent_streams_share_one_session() {
+        let session = grid_session(2);
+        let c3 = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let p4 = CompiledQuery::compile(&patterns::path4()).unwrap();
+        let (e3, e4) = (
+            sequential_tuples(&session, &c3),
+            sequential_tuples(&session, &p4),
+        );
+        // Interleave pulls from two live streams against the same session.
+        let mut s3 = session.query(&c3).stream();
+        let mut s4 = session.query(&p4).stream();
+        let (mut g3, mut g4) = (Vec::new(), Vec::new());
+        loop {
+            let a = s3.next();
+            let b = s4.next();
+            if let Some(r) = a {
+                g3.push(r);
+            }
+            if let Some(r) = b {
+                g4.push(r);
+            }
+            if s3.outcome().is_some() && s4.outcome().is_some() {
+                break;
+            }
+        }
+        g3.extend(s3.by_ref());
+        g4.extend(s4.by_ref());
+        assert_eq!(g3, e3);
+        assert_eq!(g4, e4);
+    }
+
+    #[test]
+    fn snapshot_then_open_serves_with_zero_builds() {
+        let session = grid_session(2);
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let expect = sequential_tuples(&session, &plan);
+        let stored = session.snapshot(std::slice::from_ref(&plan)).unwrap();
+        assert!(!stored.tries().is_empty());
+
+        // A fresh session from the stored bytes (as a cold process would
+        // open them) answers with zero trie builds.
+        let reopened =
+            Session::from_stored(&StoredCatalog::from_bytes(&stored.to_bytes()).unwrap())
+                .with_pool(2);
+        let mut sink = CollectSink::new();
+        let stats = reopened.query(&plan).run(&mut sink).unwrap();
+        assert_eq!(sink.tuples(), expect);
+        assert_eq!(stats.trie_build_ns, 0, "no build work after preload");
+        assert!(stats.trie_cache_hits > 0, "tries came from the store");
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let session = grid_session(2);
+        let plans = [
+            CompiledQuery::compile(&patterns::cycle3()).unwrap(),
+            CompiledQuery::compile(&patterns::path3()).unwrap(),
+        ];
+        let a = session.snapshot(&plans).unwrap().to_bytes();
+        let b = session.snapshot(&plans).unwrap().to_bytes();
+        assert_eq!(a, b, "same state must serialize to the same bytes");
+    }
+
+    #[test]
+    fn ctj_streams_identically() {
+        let session = grid_session(3);
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let lftj: Vec<Vec<Value>> = session.query(&plan).stream().collect();
+        let ctj: Vec<Vec<Value>> = session.query(&plan).with_ctj().stream().collect();
+        assert_eq!(lftj, ctj);
+    }
+
+    #[test]
+    fn schema_errors_surface_through_the_outcome() {
+        let session = Session::new(Catalog::new()).with_pool(2);
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let mut stream = session.query(&plan).stream();
+        assert_eq!(stream.next(), None, "no rows from a failed query");
+        assert!(matches!(
+            stream.outcome().unwrap(),
+            Err(JoinError::MissingRelation { .. })
+        ));
+    }
+}

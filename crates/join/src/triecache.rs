@@ -20,7 +20,10 @@
 //! The process-wide default instance honours the `TRIEJAX_TRIE_CACHE_MB`
 //! environment variable (read once per process): unset or `0` disables
 //! caching; engines can override per instance with
-//! `with_trie_cache`/`without_trie_cache`.
+//! `with_trie_cache`/`without_trie_cache`. Setting `TRIEJAX_STORE` to a
+//! saved catalog path additionally *preloads* the default cache with every
+//! trie in the store, so a cold process serves its first query with zero
+//! trie builds.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
@@ -34,6 +37,15 @@ use triejax_relation::{Relation, Trie};
 /// Environment variable naming the default cross-query trie cache
 /// capacity in mebibytes; unset or `0` disables the cache.
 pub const TRIE_CACHE_ENV: &str = "TRIEJAX_TRIE_CACHE_MB";
+
+/// Environment variable naming a saved [`StoredCatalog`] file to preload
+/// into the process-wide default trie cache (unset or empty: no preload).
+/// With the store set but `TRIEJAX_TRIE_CACHE_MB` unset, the default cache
+/// is created unbounded so every stored trie stays servable; an explicit
+/// `TRIEJAX_TRIE_CACHE_MB=0` still disables caching entirely.
+///
+/// [`StoredCatalog`]: triejax_store::StoredCatalog
+pub const STORE_ENV: &str = "TRIEJAX_STORE";
 
 /// Cache key: relation name, content fingerprint of the *base* relation,
 /// and the column permutation the trie is built in.
@@ -110,30 +122,73 @@ impl TrieCache {
         TrieCache::new(None)
     }
 
-    /// Stable content fingerprint of a base relation (arity + every tuple,
-    /// via the std `DefaultHasher` with its fixed default keys).
+    /// Stable content fingerprint of a base relation: the relation's
+    /// memoized [`Relation::fingerprint`], maintained at construction and
+    /// mutation time — reading it here is free, so keying a cache (or a
+    /// persistent store) never rehashes the full row buffer per query.
     pub fn fingerprint(relation: &Relation) -> u64 {
-        let mut h = DefaultHasher::new();
-        relation.hash(&mut h);
-        h.finish()
+        relation.fingerprint()
     }
 
-    /// The process-wide default cache, sized by `TRIEJAX_TRIE_CACHE_MB`
-    /// **once per process**; `None` when the variable is unset, empty, or
-    /// `0`.
+    /// The process-wide default cache, configured **once per process**:
+    /// sized by `TRIEJAX_TRIE_CACHE_MB` (`None` when unset, empty, or `0`)
+    /// and preloaded from the [`StoredCatalog`] named by `TRIEJAX_STORE`
+    /// when that is set (creating an unbounded cache if no size was given).
+    /// An explicit size of `0` disables caching even when a store is set.
     ///
     /// # Panics
     ///
-    /// Panics (on first use) if the variable is set to a value that does
-    /// not parse as a non-negative integer.
+    /// Panics (on first use) if the size variable does not parse as a
+    /// non-negative integer, or if the store path cannot be opened and
+    /// validated — a broken store file should fail loudly at startup, not
+    /// silently degrade every query to cold builds.
+    ///
+    /// [`StoredCatalog`]: triejax_store::StoredCatalog
     pub fn global() -> Option<Arc<TrieCache>> {
         static GLOBAL: OnceLock<Option<Arc<TrieCache>>> = OnceLock::new();
         GLOBAL
-            .get_or_init(|| match env_mb() {
-                None | Some(0) => None,
-                Some(mb) => Some(Arc::new(TrieCache::with_capacity_mb(mb))),
+            .get_or_init(|| {
+                let store = env_store();
+                let cache = match (env_mb(), &store) {
+                    (None | Some(0), None) | (Some(0), Some(_)) => return None,
+                    (None, Some(_)) => TrieCache::unbounded(),
+                    (Some(mb), _) => TrieCache::with_capacity_mb(mb),
+                };
+                if let Some(path) = store {
+                    let stored = triejax_store::StoredCatalog::open(&path).unwrap_or_else(|e| {
+                        panic!("{STORE_ENV}={path:?} could not be opened: {e}")
+                    });
+                    cache.preload(&stored);
+                }
+                Some(Arc::new(cache))
             })
             .clone()
+    }
+
+    /// Inserts every trie of a stored catalog, making them servable under
+    /// their saved `(name, fingerprint, perm)` keys. Tries whose base data
+    /// has since changed are simply never looked up (stale-by-fingerprint).
+    pub fn preload(&self, stored: &triejax_store::StoredCatalog) {
+        for t in stored.tries() {
+            self.insert(&t.name, t.fingerprint, &t.perm, Arc::clone(&t.trie));
+        }
+    }
+
+    /// Snapshots every live entry as `(name, fingerprint, perm, trie)`
+    /// (sweeps the stripes; order unspecified) — the producer side of a
+    /// persistent store: run the queries to warm the cache, then snapshot
+    /// and save.
+    pub fn entries(&self) -> Vec<(String, u64, Vec<usize>, Arc<Trie>)> {
+        (0..self.stripes.stripes())
+            .flat_map(|i| {
+                let (stripe, _) = self.stripes.lock(i as u64);
+                stripe
+                    .map
+                    .iter()
+                    .map(|((n, fp, perm), t)| (n.clone(), *fp, perm.clone(), Arc::clone(t)))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
     }
 
     /// Looks up the trie for `(name, fingerprint, perm)`, counting a hit
@@ -309,6 +364,17 @@ fn env_mb() -> Option<u64> {
     }))
 }
 
+/// Reads `TRIEJAX_STORE`: `None` when unset or empty, otherwise the path
+/// verbatim (existence and validity are checked at open time, which panics
+/// with the typed store error on failure).
+fn env_store() -> Option<String> {
+    let v = std::env::var(STORE_ENV).ok()?;
+    if v.trim().is_empty() {
+        return None;
+    }
+    Some(v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,6 +485,27 @@ mod tests {
         assert_eq!(cache.races(), 3);
         assert_eq!(cache.bytes(), winners[0].bytes(), "no double charge");
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn preload_and_entries_round_trip_through_a_store() {
+        let r = rel(6, 8);
+        let fp = TrieCache::fingerprint(&r);
+        let producer = TrieCache::unbounded();
+        producer.insert("G", fp, &[0, 1], arc_trie(&r));
+        producer.insert("G", fp, &[1, 0], arc_trie(&r.permute(&[1, 0])));
+        let mut stored = triejax_store::StoredCatalog::new();
+        for (name, fpr, perm, trie) in producer.entries() {
+            stored.insert_trie(name, fpr, perm, trie);
+        }
+        let stored =
+            triejax_store::StoredCatalog::from_bytes(&stored.to_bytes()).expect("round trip");
+        let consumer = TrieCache::unbounded();
+        consumer.preload(&stored);
+        assert_eq!(consumer.len(), 2);
+        let got = consumer.lookup("G", fp, &[0, 1]).expect("preload serves");
+        assert_eq!(*got, Trie::build(&r));
+        assert!(consumer.lookup("G", fp.wrapping_add(1), &[0, 1]).is_none());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use crate::{AccessKind, Tally, Trie, Value, WORD_BYTES};
+use crate::{AccessKind, Tally, Trie, TrieLevel, Value, WORD_BYTES};
 
 /// A LeapFrog-TrieJoin cursor over a [`Trie`] (Veldhuizen, ICDT'14).
 ///
@@ -32,6 +32,11 @@ use crate::{AccessKind, Tally, Trie, Value, WORD_BYTES};
 #[derive(Debug, Clone)]
 pub struct TrieCursor<'a> {
     trie: &'a Trie,
+    /// Per-depth level views, computed once at construction. The views are
+    /// `Copy` borrows into the trie's flat word buffer; caching them keeps
+    /// the per-probe hot path (`key`, `open`, `seek`) to a single indexed
+    /// read instead of re-slicing the buffer on every call.
+    levels: Vec<TrieLevel<'a>>,
     /// One frame per open level: sibling range `[lo, hi)` and position.
     frames: Vec<Frame>,
 }
@@ -48,6 +53,7 @@ impl<'a> TrieCursor<'a> {
     pub fn new(trie: &'a Trie) -> Self {
         TrieCursor {
             trie,
+            levels: (0..trie.arity()).map(|i| trie.level(i)).collect(),
             frames: Vec::with_capacity(trie.arity()),
         }
     }
@@ -84,7 +90,7 @@ impl<'a> TrieCursor<'a> {
     pub fn key(&self) -> Value {
         let f = self.frames.last().expect("cursor is above the root");
         assert!(f.pos < f.hi, "cursor is at end");
-        self.trie.level(self.frames.len() - 1).values()[f.pos]
+        self.levels[self.frames.len() - 1].values()[f.pos]
     }
 
     /// Index of the current node within its level's value array.
@@ -124,7 +130,7 @@ impl<'a> TrieCursor<'a> {
     #[inline]
     pub fn open<T: Tally>(&mut self, counter: &mut T) -> bool {
         let (lo, hi) = if self.frames.is_empty() {
-            (0, self.trie.level(0).len())
+            (0, self.levels[0].len())
         } else {
             let depth = self.frames.len();
             assert!(depth < self.trie.arity(), "cannot open past the leaf level");
@@ -132,7 +138,7 @@ impl<'a> TrieCursor<'a> {
             assert!(f.pos < f.hi, "cannot open an ended level");
             // Midwife reads child_starts[pos] and child_starts[pos + 1].
             counter.record(AccessKind::IndexRead, 2 * WORD_BYTES);
-            self.trie.level(depth - 1).child_range(f.pos)
+            self.levels[depth - 1].child_range(f.pos)
         };
         if lo >= hi {
             return false;
@@ -168,7 +174,7 @@ impl<'a> TrieCursor<'a> {
             self.frames.is_empty(),
             "root range opens from above the root"
         );
-        let values = self.trie.level(0).values();
+        let values = self.levels[0].values();
         // An unbounded side needs no probing, so the first shard (min 0)
         // and the last (sup None) pay only for the bound they actually
         // have — and a fully unbounded "range" costs the same as `open`.
@@ -235,7 +241,7 @@ impl<'a> TrieCursor<'a> {
     /// the value being processed).
     pub fn clamp_root_sup<T: Tally>(&mut self, sup: Value, counter: &mut T) {
         assert_eq!(self.frames.len(), 1, "clamp applies to the open root level");
-        let values = self.trie.level(0).values();
+        let values = self.levels[0].values();
         let f = self.frames.last_mut().expect("non-empty frames");
         assert!(f.pos < f.hi, "cursor is at end");
         assert!(
@@ -290,7 +296,7 @@ impl<'a> TrieCursor<'a> {
         let depth = self.frames.len();
         assert!(depth < self.trie.arity(), "cannot open past the leaf level");
         assert!(
-            pos < self.trie.level(depth).len(),
+            pos < self.levels[depth].len(),
             "open_at index outside level"
         );
         self.frames.push(Frame {
@@ -341,7 +347,7 @@ impl<'a> TrieCursor<'a> {
         let depth = self.frames.len();
         let f = self.frames.last_mut().expect("cursor is above the root");
         assert!(f.pos < f.hi, "cursor is already at end");
-        let values = self.trie.level(depth - 1).values();
+        let values = self.levels[depth - 1].values();
         counter.record(AccessKind::IndexRead, WORD_BYTES);
         if values[f.pos] >= v {
             return true;

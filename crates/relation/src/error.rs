@@ -32,6 +32,89 @@ impl fmt::Display for RelationError {
 
 impl Error for RelationError {}
 
+/// Structural violations found while re-adopting an exported flat trie
+/// buffer in [`crate::Trie::from_parts`].
+///
+/// Every variant pinpoints the first inconsistency between the word buffer
+/// and the per-level offset table, so a corrupted or hand-edited store file
+/// is rejected with a diagnosable error instead of panicking (or silently
+/// walking garbage) inside a cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TrieLayoutError {
+    /// The level dimensions do not sum to the buffer length.
+    WordCount {
+        /// Word count implied by the level dimensions.
+        expected: usize,
+        /// Actual length of the supplied buffer.
+        found: usize,
+    },
+    /// A level's child-range array has the wrong number of entries
+    /// (non-leaf levels need exactly `values + 1`; the leaf level none).
+    ChildCount {
+        /// Level index (root is 0).
+        level: usize,
+        /// Number of values on the level.
+        values: usize,
+        /// Number of child-range entries found.
+        child_entries: usize,
+    },
+    /// A child-range offset is non-monotone, does not start at zero, or
+    /// points past the next level's value array.
+    Offset {
+        /// Level index whose child-range array is inconsistent.
+        level: usize,
+        /// Index of the offending entry within the child-range array.
+        index: usize,
+        /// The offending offset value.
+        offset: u32,
+        /// The maximum admissible offset (next level's value count).
+        limit: usize,
+    },
+    /// The declared tuple count disagrees with the leaf level's width.
+    TupleCount {
+        /// Leaf level value count (the true tuple count).
+        expected: usize,
+        /// Tuple count that was declared.
+        found: usize,
+    },
+}
+
+impl fmt::Display for TrieLayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrieLayoutError::WordCount { expected, found } => write!(
+                f,
+                "trie buffer holds {found} words but level dimensions require {expected}"
+            ),
+            TrieLayoutError::ChildCount {
+                level,
+                values,
+                child_entries,
+            } => write!(
+                f,
+                "level {level} has {values} values but {child_entries} child-range entries"
+            ),
+            TrieLayoutError::Offset {
+                level,
+                index,
+                offset,
+                limit,
+            } => write!(
+                f,
+                "level {level} child-range entry {index} is {offset}, outside 0..={limit} \
+                 or non-monotone"
+            ),
+            TrieLayoutError::TupleCount { expected, found } => write!(
+                f,
+                "declared tuple count {found} does not match leaf width {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for TrieLayoutError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

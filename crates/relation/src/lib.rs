@@ -42,7 +42,7 @@ mod trie;
 
 pub use access::{AccessCounter, AccessKind, Counting, NoTally, Tally};
 pub use cursor::TrieCursor;
-pub use error::RelationError;
+pub use error::{RelationError, TrieLayoutError};
 pub use layout::{AddressSpace, ArraySpan, WORD_BYTES};
 pub use relation::Relation;
 pub use trie::{Trie, TrieLevel};

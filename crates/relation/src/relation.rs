@@ -18,11 +18,34 @@ use triejax_exec::WorkerPool;
 /// assert_eq!(rel.tuple(0), &[1, 3]); // sorted
 /// # Ok::<(), triejax_relation::RelationError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct Relation {
     arity: usize,
     /// Row-major tuple storage; `data.len() == arity * len`.
     data: Vec<Value>,
+    /// Lazily memoized content fingerprint: computed on first use, so
+    /// caches and stores never rehash the full row buffer per query —
+    /// and throwaway intermediates (e.g. the permuted relation a trie
+    /// build consumes) never pay the hash at all.
+    fingerprint: std::sync::OnceLock<u64>,
+}
+
+// Equality, ordering-for-hash and the fingerprint are all functions of
+// (arity, data) alone — the memo cell must not participate, or an
+// unhashed relation would compare unequal to its hashed twin.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity && self.data == other.data
+    }
+}
+
+impl Eq for Relation {}
+
+impl std::hash::Hash for Relation {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.arity.hash(state);
+        self.data.hash(state);
+    }
 }
 
 impl Relation {
@@ -38,6 +61,7 @@ impl Relation {
         Ok(Relation {
             arity,
             data: Vec::new(),
+            fingerprint: std::sync::OnceLock::new(),
         })
     }
 
@@ -84,7 +108,11 @@ impl Relation {
             data.push(a);
             data.push(b);
         }
-        let mut rel = Relation { arity: 2, data };
+        let mut rel = Relation {
+            arity: 2,
+            data,
+            fingerprint: std::sync::OnceLock::new(),
+        };
         rel.normalize();
         rel
     }
@@ -138,6 +166,7 @@ impl Relation {
         let mut rel = Relation {
             arity: self.arity,
             data,
+            fingerprint: std::sync::OnceLock::new(),
         };
         rel.normalize();
         rel
@@ -201,12 +230,42 @@ impl Relation {
             }
             pos[b] += arity;
         }
-        Relation { arity, data }
+        // The merge emits sorted, duplicate-free rows directly, so no
+        // normalize() pass runs here; the fingerprint memo starts empty
+        // either way.
+        Relation {
+            arity,
+            data,
+            fingerprint: std::sync::OnceLock::new(),
+        }
     }
 
     /// Total bytes of the row-major tuple payload (4 bytes per value).
     pub fn payload_bytes(&self) -> u64 {
         (self.data.len() * std::mem::size_of::<Value>()) as u64
+    }
+
+    /// The memoized content fingerprint: a 64-bit FNV-1a hash over the
+    /// arity and the normalized row buffer.
+    ///
+    /// Two relations with equal tuples always share a fingerprint, and the
+    /// value is stable across processes and Rust versions — it keys both
+    /// the in-process trie cache and the persistent store, so a trie saved
+    /// by one process is found by another as long as the data is unchanged.
+    /// Computed on first use, then free: relations whose fingerprint is
+    /// never asked for (e.g. the permuted intermediate a trie build
+    /// consumes) never pay the hash.
+    pub fn fingerprint(&self) -> u64 {
+        *self
+            .fingerprint
+            .get_or_init(|| content_fingerprint(self.arity, &self.data))
+    }
+
+    /// The raw row-major value buffer (length `arity * len`), for
+    /// serialization. Reconstruct with [`Relation::from_tuples`] over
+    /// `values().chunks_exact(arity)`.
+    pub fn values(&self) -> &[Value] {
+        &self.data
     }
 
     fn validate_perm(&self, perm: &[usize]) {
@@ -228,9 +287,35 @@ impl Relation {
     /// Sorts tuples lexicographically and removes duplicates, establishing
     /// the struct invariant.
     fn normalize(&mut self) {
-        let arity = self.arity;
-        sort_dedup_rows(&mut self.data, arity);
+        sort_dedup_rows(&mut self.data, self.arity);
+        // Any mutation invalidates the memo; the next fingerprint() call
+        // rehashes.
+        self.fingerprint = std::sync::OnceLock::new();
     }
+}
+
+/// 64-bit FNV-1a over the arity and the normalized row buffer.
+///
+/// Hand-rolled rather than `DefaultHasher` because the value is persisted:
+/// it must be identical across processes, platforms, and Rust releases for
+/// store lookups to hit.
+fn content_fingerprint(arity: usize, data: &[Value]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut byte = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    for b in (arity as u64).to_le_bytes() {
+        byte(b);
+    }
+    for &v in data {
+        for b in v.to_le_bytes() {
+            byte(b);
+        }
+    }
+    h
 }
 
 /// Sorts row-major `data` lexicographically by row and removes duplicate
@@ -391,6 +476,40 @@ mod tests {
     fn permute_on_rejects_non_permutation() {
         let rel = Relation::from_pairs(vec![(1, 2)]);
         let _ = rel.permute_on(&[1, 1], &triejax_exec::WorkerPool::with_workers(2));
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_construction_path() {
+        // Same tuple set through different construction orders and paths.
+        let a = Relation::from_pairs(vec![(2, 1), (1, 2), (2, 1)]);
+        let b = Relation::from_tuples(2, vec![vec![1u32, 2], vec![2, 1]]).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different content, different fingerprint.
+        let c = Relation::from_pairs(vec![(1, 2)]);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Arity participates: {1,2} as one binary tuple vs two unary tuples.
+        let bin = Relation::from_tuples(2, vec![vec![1u32, 2]]).unwrap();
+        let un = Relation::from_tuples(1, vec![vec![1u32], vec![2]]).unwrap();
+        assert_ne!(bin.fingerprint(), un.fingerprint());
+        // permute_on (no normalize pass) agrees with permute (normalize).
+        let pool = WorkerPool::with_workers(3);
+        let rel = Relation::from_tuples(
+            2,
+            (0..32u32).map(|i| vec![i % 5, i % 7]).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert_eq!(
+            rel.permute_on(&[1, 0], &pool).fingerprint(),
+            rel.permute(&[1, 0]).fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_processes() {
+        // Golden value: the persisted store format depends on this hash
+        // never changing. If this test fails, the store version must bump.
+        let rel = Relation::from_pairs(vec![(1, 2), (3, 4)]);
+        assert_eq!(rel.fingerprint(), 8_260_193_526_488_586_819);
     }
 
     #[test]

@@ -1,7 +1,8 @@
-use crate::{AddressSpace, ArraySpan, Relation, Value, WORD_BYTES};
+use crate::{AddressSpace, ArraySpan, Relation, TrieLayoutError, Value, WORD_BYTES};
 use triejax_exec::WorkerPool;
 
-/// One level of a [`Trie`] in the flat EmptyHeaded-style layout.
+/// A borrowed view of one level of a [`Trie`] in the flat EmptyHeaded-style
+/// layout.
 ///
 /// `values` concatenates, parent by parent, the sorted unique values of this
 /// attribute. `child_starts` (absent on the deepest level) has one more
@@ -9,32 +10,41 @@ use triejax_exec::WorkerPool;
 /// `child_starts[i]..child_starts[i+1]` of the next level's `values` array.
 /// This mirrors paper Figure 6, where `Rx = [1,2,3,4]` carries the child
 /// ranges array `[0,2,3,4,5]` into `Ry`.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct TrieLevel {
-    values: Vec<Value>,
-    child_starts: Vec<u32>,
+///
+/// The view is `Copy` and borrows directly into the trie's single
+/// contiguous word buffer — a level never owns its arrays, which is what
+/// makes the whole trie relocatable (serialize the buffer, reload it
+/// anywhere, and every view is valid again).
+#[derive(Debug, Clone, Copy)]
+pub struct TrieLevel<'a> {
+    values: &'a [Value],
+    child_starts: &'a [u32],
     values_span: ArraySpan,
     child_span: ArraySpan,
 }
 
-impl TrieLevel {
+impl<'a> TrieLevel<'a> {
     /// The concatenated sorted value array of this level.
-    pub fn values(&self) -> &[Value] {
-        &self.values
+    #[inline]
+    pub fn values(self) -> &'a [Value] {
+        self.values
     }
 
     /// The cumulative child-range array (empty on the leaf level).
-    pub fn child_starts(&self) -> &[u32] {
-        &self.child_starts
+    #[inline]
+    pub fn child_starts(self) -> &'a [u32] {
+        self.child_starts
     }
 
     /// Number of trie nodes on this level.
-    pub fn len(&self) -> usize {
+    #[inline]
+    pub fn len(self) -> usize {
         self.values.len()
     }
 
     /// Returns `true` if the level holds no nodes.
-    pub fn is_empty(&self) -> bool {
+    #[inline]
+    pub fn is_empty(self) -> bool {
         self.values.is_empty()
     }
 
@@ -43,7 +53,8 @@ impl TrieLevel {
     /// # Panics
     ///
     /// Panics if this is the leaf level or `i` is out of bounds.
-    pub fn child_range(&self, i: usize) -> (usize, usize) {
+    #[inline]
+    pub fn child_range(self, i: usize) -> (usize, usize) {
         (
             self.child_starts[i] as usize,
             self.child_starts[i + 1] as usize,
@@ -52,14 +63,28 @@ impl TrieLevel {
 
     /// Simulated placement of the value array (valid after
     /// [`Trie::assign_addresses`]).
-    pub fn values_span(&self) -> ArraySpan {
+    #[inline]
+    pub fn values_span(self) -> ArraySpan {
         self.values_span
     }
 
     /// Simulated placement of the child-range array.
-    pub fn child_span(&self) -> ArraySpan {
+    #[inline]
+    pub fn child_span(self) -> ArraySpan {
         self.child_span
     }
+}
+
+/// Placement of one level's arrays inside the flat word buffer, plus the
+/// simulated address spans assigned by [`Trie::assign_addresses`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct LevelMeta {
+    values_start: usize,
+    values_len: usize,
+    child_start: usize,
+    child_len: usize,
+    values_span: ArraySpan,
+    child_span: ArraySpan,
 }
 
 /// A columnar trie index over a [`Relation`], one level per attribute.
@@ -67,6 +92,13 @@ impl TrieLevel {
 /// Built once per (relation, attribute order) pair; join engines walk it
 /// through [`crate::TrieCursor`]s, and the TrieJax simulator reads its raw
 /// arrays at simulated addresses.
+///
+/// Physically the trie is **one contiguous `u32` buffer** (per level: the
+/// value array, then the child-range array) plus a per-level offset table —
+/// no pointers, no per-level ownership. [`Trie::words`] and
+/// [`Trie::level_dims`] expose the buffer for serialization and
+/// [`Trie::from_parts`] validates and re-adopts it, so a trie can be copied
+/// byte-for-byte to disk and back ("relocated") without rebuilding.
 ///
 /// # Example
 ///
@@ -82,8 +114,18 @@ impl TrieLevel {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Trie {
-    levels: Vec<TrieLevel>,
+    /// The single flat buffer: per level, values then child_starts.
+    words: Vec<u32>,
+    meta: Vec<LevelMeta>,
     tuple_count: usize,
+}
+
+/// One level under construction: owned arrays with fragment-local offsets,
+/// packed into the flat buffer once the build completes.
+#[derive(Debug, Clone, Default)]
+struct LevelFrag {
+    values: Vec<Value>,
+    child_starts: Vec<u32>,
 }
 
 impl Trie {
@@ -91,10 +133,7 @@ impl Trie {
     ///
     /// Use [`Relation::permute`] first to index a different attribute order.
     pub fn build(relation: &Relation) -> Trie {
-        Trie {
-            levels: build_fragment(relation, 0, relation.len()),
-            tuple_count: relation.len(),
-        }
+        Trie::pack(build_fragment(relation, 0, relation.len()), relation.len())
     }
 
     /// Builds the trie for `relation` with the row range partitioned across
@@ -107,7 +146,7 @@ impl Trie {
     /// per-partition level fragments are stitched back together by rebasing
     /// `child_starts` offsets. Because the grouping recursion never crosses a
     /// root-key boundary, concatenating the fragments in partition order
-    /// reproduces the sequential `TrieLevel` vectors exactly — every engine,
+    /// reproduces the sequential word buffer exactly — every engine,
     /// the simulator and [`Trie::assign_addresses`] consume the result
     /// unchanged.
     pub fn par_build(relation: &Relation, pool: &WorkerPool) -> Trie {
@@ -118,41 +157,185 @@ impl Trie {
         let (frags, _stats) = pool.run(&parts, |_ctx, _lane, &(s, e)| {
             build_fragment(relation, s, e)
         });
+        Trie::pack(stitch_fragments(frags, relation.arity()), relation.len())
+    }
+
+    /// Packs per-level owned arrays into the flat single-buffer layout.
+    fn pack(levels: Vec<LevelFrag>, tuple_count: usize) -> Trie {
+        let total: usize = levels
+            .iter()
+            .map(|l| l.values.len() + l.child_starts.len())
+            .sum();
+        let mut words = Vec::with_capacity(total);
+        let mut meta = Vec::with_capacity(levels.len());
+        for l in &levels {
+            let values_start = words.len();
+            words.extend_from_slice(&l.values);
+            let child_start = words.len();
+            words.extend_from_slice(&l.child_starts);
+            meta.push(LevelMeta {
+                values_start,
+                values_len: l.values.len(),
+                child_start,
+                child_len: l.child_starts.len(),
+                ..LevelMeta::default()
+            });
+        }
         Trie {
-            levels: stitch_fragments(frags, relation.arity()),
-            tuple_count: relation.len(),
+            words,
+            meta,
+            tuple_count,
         }
     }
+
+    /// Re-adopts a previously exported flat buffer (see [`Trie::words`] /
+    /// [`Trie::level_dims`]) after validating its structure: every
+    /// child-range array must be exactly one entry longer than its value
+    /// array, start at `0`, be monotone, and end exactly at the next
+    /// level's width. The validation is what makes deserialized tries safe
+    /// to walk — a corrupted offset is rejected here instead of panicking
+    /// (or reading garbage) deep inside a cursor.
+    ///
+    /// Reconstructing with the dims returned by [`Trie::level_dims`] and
+    /// the buffer returned by [`Trie::words`] yields a trie equal to the
+    /// original (simulated address spans reset to unassigned).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrieLayoutError`] describing the first structural
+    /// violation found.
+    pub fn from_parts(
+        words: Vec<u32>,
+        dims: &[(usize, usize)],
+        tuple_count: usize,
+    ) -> Result<Trie, TrieLayoutError> {
+        let expected: usize = dims.iter().map(|&(v, c)| v + c).sum();
+        if expected != words.len() {
+            return Err(TrieLayoutError::WordCount {
+                expected,
+                found: words.len(),
+            });
+        }
+        let mut meta = Vec::with_capacity(dims.len());
+        let mut offset = 0usize;
+        for (l, &(values_len, child_len)) in dims.iter().enumerate() {
+            let values_start = offset;
+            let child_start = offset + values_len;
+            offset = child_start + child_len;
+            let leaf = l + 1 == dims.len();
+            if (leaf && child_len != 0) || (!leaf && child_len != values_len + 1) {
+                return Err(TrieLayoutError::ChildCount {
+                    level: l,
+                    values: values_len,
+                    child_entries: child_len,
+                });
+            }
+            if !leaf {
+                let starts = &words[child_start..child_start + child_len];
+                let next_len = dims[l + 1].0;
+                if starts[0] != 0 {
+                    return Err(TrieLayoutError::Offset {
+                        level: l,
+                        index: 0,
+                        offset: starts[0],
+                        limit: 0,
+                    });
+                }
+                for (i, w) in starts.windows(2).enumerate() {
+                    if w[1] < w[0] || w[1] as usize > next_len {
+                        return Err(TrieLayoutError::Offset {
+                            level: l,
+                            index: i + 1,
+                            offset: w[1],
+                            limit: next_len,
+                        });
+                    }
+                }
+                if starts[child_len - 1] as usize != next_len {
+                    return Err(TrieLayoutError::Offset {
+                        level: l,
+                        index: child_len - 1,
+                        offset: starts[child_len - 1],
+                        limit: next_len,
+                    });
+                }
+            }
+            meta.push(LevelMeta {
+                values_start,
+                values_len,
+                child_start,
+                child_len,
+                ..LevelMeta::default()
+            });
+        }
+        let leaf_len = dims.last().map_or(0, |&(v, _)| v);
+        if tuple_count != leaf_len {
+            return Err(TrieLayoutError::TupleCount {
+                expected: leaf_len,
+                found: tuple_count,
+            });
+        }
+        Ok(Trie {
+            words,
+            meta,
+            tuple_count,
+        })
+    }
+
     /// Number of attributes (trie depth).
+    #[inline]
     pub fn arity(&self) -> usize {
-        self.levels.len()
+        self.meta.len()
     }
 
     /// Number of tuples (root-to-leaf paths).
+    #[inline]
     pub fn tuple_count(&self) -> usize {
         self.tuple_count
     }
 
-    /// The `i`-th level.
+    /// The `i`-th level, as a borrowed view into the flat buffer.
+    ///
+    /// Constructing the view is a meta lookup plus two bounds-checked
+    /// slicings of the flat buffer — cheap, but not free in a per-probe
+    /// loop. [`TrieCursor`](crate::TrieCursor) therefore caches one view
+    /// per depth at construction instead of calling this per operation.
     ///
     /// # Panics
     ///
     /// Panics if `i >= self.arity()`.
-    pub fn level(&self, i: usize) -> &TrieLevel {
-        &self.levels[i]
+    #[inline]
+    pub fn level(&self, i: usize) -> TrieLevel<'_> {
+        let m = &self.meta[i];
+        TrieLevel {
+            values: &self.words[m.values_start..m.values_start + m.values_len],
+            child_starts: &self.words[m.child_start..m.child_start + m.child_len],
+            values_span: m.values_span,
+            child_span: m.child_span,
+        }
     }
 
-    /// All levels, root first.
-    pub fn levels(&self) -> &[TrieLevel] {
-        &self.levels
+    /// The single contiguous word buffer backing every level: per level,
+    /// the value array immediately followed by the child-range array. Pair
+    /// with [`Trie::level_dims`] to serialize, and [`Trie::from_parts`] to
+    /// reload.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Per-level `(value count, child-range entry count)` pairs, root
+    /// first — the offset table that, together with [`Trie::words`], fully
+    /// describes the flat layout.
+    pub fn level_dims(&self) -> Vec<(usize, usize)> {
+        self.meta
+            .iter()
+            .map(|m| (m.values_len, m.child_len))
+            .collect()
     }
 
     /// Total index footprint in bytes (values plus child-range words).
     pub fn bytes(&self) -> u64 {
-        self.levels
-            .iter()
-            .map(|l| (l.values.len() + l.child_starts.len()) as u64 * WORD_BYTES)
-            .sum()
+        self.words.len() as u64 * WORD_BYTES
     }
 
     /// Places every level's arrays in the simulated address space.
@@ -160,9 +343,9 @@ impl Trie {
     /// Must be called before a cycle-level simulator derives addresses from
     /// [`TrieLevel::values_span`] / [`TrieLevel::child_span`].
     pub fn assign_addresses(&mut self, asp: &mut AddressSpace) {
-        for level in &mut self.levels {
-            level.values_span = asp.alloc(level.values.len() as u64 * WORD_BYTES);
-            level.child_span = asp.alloc(level.child_starts.len() as u64 * WORD_BYTES);
+        for m in &mut self.meta {
+            m.values_span = asp.alloc(m.values_len as u64 * WORD_BYTES);
+            m.child_span = asp.alloc(m.child_len as u64 * WORD_BYTES);
         }
     }
 
@@ -170,11 +353,11 @@ impl Trie {
     /// the result must equal the source relation's tuples).
     pub fn enumerate(&self) -> Vec<Vec<Value>> {
         let mut out = Vec::with_capacity(self.tuple_count);
-        if self.levels.is_empty() || self.levels[0].is_empty() {
+        if self.meta.is_empty() || self.level(0).is_empty() {
             return out;
         }
         let mut path = Vec::with_capacity(self.arity());
-        self.walk(0, 0, self.levels[0].len(), &mut path, &mut out);
+        self.walk(0, 0, self.level(0).len(), &mut path, &mut out);
         out
     }
 
@@ -186,10 +369,10 @@ impl Trie {
         path: &mut Vec<Value>,
         out: &mut Vec<Vec<Value>>,
     ) {
-        let l = &self.levels[level];
+        let l = self.level(level);
         for i in lo..hi {
-            path.push(l.values[i]);
-            if level + 1 == self.levels.len() {
+            path.push(l.values()[i]);
+            if level + 1 == self.arity() {
                 out.push(path.clone());
             } else {
                 let (s, e) = l.child_range(i);
@@ -207,14 +390,15 @@ impl From<&Relation> for Trie {
 }
 
 /// Runs the sequential grouping loop over the row range `lo..hi`, producing
-/// this fragment's `TrieLevel` vectors with *fragment-local* `child_starts`
-/// offsets. [`Trie::build`] is exactly `build_fragment(rel, 0, rel.len())`,
-/// which is what makes the partition/stitch scheme byte-identical by
-/// construction: both paths execute the same loop over the same row groups.
-fn build_fragment(relation: &Relation, lo: usize, hi: usize) -> Vec<TrieLevel> {
+/// this fragment's level arrays with *fragment-local* `child_starts`
+/// offsets. [`Trie::build`] is exactly `build_fragment(rel, 0, rel.len())`
+/// packed into the flat buffer, which is what makes the partition/stitch
+/// scheme byte-identical by construction: both paths execute the same loop
+/// over the same row groups.
+fn build_fragment(relation: &Relation, lo: usize, hi: usize) -> Vec<LevelFrag> {
     let arity = relation.arity();
     let nrows = hi - lo;
-    let mut levels: Vec<TrieLevel> = vec![TrieLevel::default(); arity];
+    let mut levels: Vec<LevelFrag> = vec![LevelFrag::default(); arity];
 
     // Each group is the row range below one node of the previous level;
     // the pseudo-root owns all rows of the fragment.
@@ -252,7 +436,7 @@ fn build_fragment(relation: &Relation, lo: usize, hi: usize) -> Vec<TrieLevel> {
         }
         // Non-leaf levels hold only the distinct values, typically far
         // fewer than nrows: return the over-reservation rather than
-        // retaining it for the trie's lifetime.
+        // retaining it until the fragment is packed.
         values.shrink_to_fit();
         levels[level].values = values;
         groups = next_groups;
@@ -290,8 +474,8 @@ fn partition_rows(relation: &Relation, parts: usize) -> Vec<(usize, usize)> {
 /// each fragment's `child_starts` by the number of next-level values already
 /// emitted (a fragment's last cumulative entry *is* its next-level value
 /// count, so the running base is simply the last element stitched so far).
-fn stitch_fragments(frags: Vec<Vec<TrieLevel>>, arity: usize) -> Vec<TrieLevel> {
-    let mut levels: Vec<TrieLevel> = vec![TrieLevel::default(); arity];
+fn stitch_fragments(frags: Vec<Vec<LevelFrag>>, arity: usize) -> Vec<LevelFrag> {
+    let mut levels: Vec<LevelFrag> = vec![LevelFrag::default(); arity];
     for (l, out) in levels.iter_mut().enumerate() {
         let total: usize = frags.iter().map(|f| f[l].values.len()).sum();
         let mut values = Vec::with_capacity(total);
@@ -341,6 +525,89 @@ mod tests {
         assert_eq!(trie.level(0).values(), &[1, 2]);
         assert_eq!(trie.level(0).child_starts(), &[0, 3, 5]);
         assert_eq!(trie.level(1).values(), &[1, 2, 3, 5, 7]);
+    }
+
+    #[test]
+    fn flat_buffer_concatenates_levels_in_order() {
+        let trie = Trie::build(&figure6_r());
+        // Level 0 values, level 0 child_starts, level 1 values.
+        assert_eq!(trie.words(), &[1, 2, 3, 4, 0, 2, 3, 4, 5, 1, 2, 2, 5, 4]);
+        assert_eq!(trie.level_dims(), vec![(4, 5), (5, 0)]);
+    }
+
+    #[test]
+    fn from_parts_round_trips_the_flat_buffer() {
+        for rel in [figure6_r(), figure6_s()] {
+            let trie = Trie::build(&rel);
+            let rebuilt = Trie::from_parts(
+                trie.words().to_vec(),
+                &trie.level_dims(),
+                trie.tuple_count(),
+            )
+            .expect("exported parts are valid");
+            assert_eq!(rebuilt, trie, "relocation must be lossless");
+            assert_eq!(rebuilt.enumerate(), trie.enumerate());
+        }
+        // Empty tries relocate too.
+        let empty = Trie::build(&Relation::new(2).unwrap());
+        let rebuilt = Trie::from_parts(empty.words().to_vec(), &empty.level_dims(), 0).unwrap();
+        assert_eq!(rebuilt, empty);
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupted_layouts() {
+        let trie = Trie::build(&figure6_r());
+        let dims = trie.level_dims();
+        let words = trie.words().to_vec();
+        // Wrong total word count.
+        let mut short = words.clone();
+        short.pop();
+        assert!(matches!(
+            Trie::from_parts(short, &dims, trie.tuple_count()),
+            Err(TrieLayoutError::WordCount { .. })
+        ));
+        // Child array not values + 1 entries long.
+        assert!(matches!(
+            Trie::from_parts(words.clone(), &[(4, 4), (6, 0)], trie.tuple_count()),
+            Err(TrieLayoutError::ChildCount { level: 0, .. })
+        ));
+        // Oversize child offset: the last start runs past the leaf level.
+        let mut oversize = words.clone();
+        oversize[8] = 99; // child_starts[4] of level 0
+        assert!(matches!(
+            Trie::from_parts(oversize, &dims, trie.tuple_count()),
+            Err(TrieLayoutError::Offset {
+                level: 0,
+                offset: 99,
+                ..
+            })
+        ));
+        // Non-monotone offsets.
+        let mut backwards = words.clone();
+        backwards[6] = 1; // starts 0,2,1,...
+        assert!(matches!(
+            Trie::from_parts(backwards, &dims, trie.tuple_count()),
+            Err(TrieLayoutError::Offset { level: 0, .. })
+        ));
+        // First offset not zero.
+        let mut nonzero = words.clone();
+        nonzero[4] = 1;
+        assert!(matches!(
+            Trie::from_parts(nonzero, &dims, trie.tuple_count()),
+            Err(TrieLayoutError::Offset {
+                level: 0,
+                index: 0,
+                ..
+            })
+        ));
+        // Tuple count disagreeing with the leaf width.
+        assert!(matches!(
+            Trie::from_parts(words, &dims, 99),
+            Err(TrieLayoutError::TupleCount {
+                expected: 5,
+                found: 99
+            })
+        ));
     }
 
     #[test]

@@ -1,0 +1,561 @@
+//! Persistent, relocatable catalog of relations and pre-built tries.
+//!
+//! TrieJax's premise is "build the trie index once, then let the hardware
+//! rip through joins" — this crate makes the *once* literal across process
+//! boundaries. A [`StoredCatalog`] serializes base relations together with
+//! their built [`Trie`] indexes into a single versioned, checksummed file.
+//! A cold process calls [`StoredCatalog::open`] and can serve queries in
+//! O(bytes-read) with **zero** trie builds: each stored trie is keyed by the
+//! same `(name, content fingerprint, permutation)` scheme the in-process
+//! trie cache uses, so after the underlying data changes, stale entries are
+//! simply unreachable — there is no invalidation protocol.
+//!
+//! Relocation is what makes this cheap: a [`Trie`] is one contiguous `u32`
+//! buffer plus a per-level offset table ([`Trie::words`] /
+//! [`Trie::level_dims`]), so saving is a buffer copy and opening is a
+//! validated buffer adoption ([`Trie::from_parts`]) — no pointer fix-ups,
+//! no rebuild.
+//!
+//! # File format (version 1)
+//!
+//! All integers little-endian.
+//!
+//! ```text
+//! magic        8 bytes   "TJXSTORE"
+//! version      u32
+//! payload_len  u64
+//! checksum     u64       FNV-1a 64 over the payload bytes
+//! payload:
+//!   rel_count  u64
+//!   per relation:
+//!     name_len u64, name (UTF-8), arity u64, word_count u64, words u32[]
+//!   trie_count u64
+//!   per trie:
+//!     name_len u64, name (UTF-8), fingerprint u64,
+//!     perm_len u64, perm u64[], tuple_count u64,
+//!     level_count u64, (values_len u64, child_len u64) per level,
+//!     word_count u64, words u32[]
+//! ```
+//!
+//! Every length is validated against the remaining bytes before any
+//! allocation, and every trie's offset table is structurally validated by
+//! [`Trie::from_parts`]; corrupt input yields a typed [`StoreError`], never
+//! a panic or a silently-wrong catalog.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod format;
+
+pub use error::StoreError;
+
+use format::{fnv1a64, Reader, Writer};
+use std::path::Path;
+use std::sync::Arc;
+use triejax_relation::{Relation, Trie, TrieLayoutError};
+
+/// The magic bytes opening every store file.
+const MAGIC: &[u8; 8] = b"TJXSTORE";
+
+/// The newest store format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// One pre-built trie in a stored catalog, addressed by the same
+/// `(name, fingerprint, perm)` triple the in-process trie cache uses.
+#[derive(Debug, Clone)]
+pub struct StoredTrie {
+    /// Name of the relation the trie indexes.
+    pub name: String,
+    /// Content fingerprint of the relation *at build time*
+    /// ([`Relation::fingerprint`]). If the relation changes, lookups
+    /// compute a different fingerprint and this entry is never found.
+    pub fingerprint: u64,
+    /// The attribute permutation the trie was built under.
+    pub perm: Vec<usize>,
+    /// The trie itself, shared so openers can hand it straight to a cache.
+    pub trie: Arc<Trie>,
+}
+
+/// A serializable catalog: named base relations plus the tries built over
+/// them.
+///
+/// # Example
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use triejax_relation::{Relation, Trie};
+/// use triejax_store::StoredCatalog;
+///
+/// let edges = Relation::from_pairs(vec![(1, 2), (2, 3), (3, 1)]);
+/// let trie = Arc::new(Trie::build(&edges));
+/// let mut cat = StoredCatalog::new();
+/// cat.insert_trie("edge", edges.fingerprint(), vec![0, 1], trie);
+/// cat.insert_relation("edge", edges);
+/// cat.save("graph.tjx")?;
+///
+/// // ... later, in a cold process:
+/// let reopened = StoredCatalog::open("graph.tjx")?;
+/// assert_eq!(reopened.tries().len(), 1); // zero Trie::build calls
+/// # Ok::<(), triejax_store::StoreError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StoredCatalog {
+    relations: Vec<(String, Relation)>,
+    tries: Vec<StoredTrie>,
+}
+
+impl StoredCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        StoredCatalog::default()
+    }
+
+    /// Adds a named base relation.
+    pub fn insert_relation(&mut self, name: impl Into<String>, relation: Relation) {
+        self.relations.push((name.into(), relation));
+    }
+
+    /// Adds a pre-built trie under its cache key.
+    pub fn insert_trie(
+        &mut self,
+        name: impl Into<String>,
+        fingerprint: u64,
+        perm: Vec<usize>,
+        trie: Arc<Trie>,
+    ) {
+        self.tries.push(StoredTrie {
+            name: name.into(),
+            fingerprint,
+            perm,
+            trie,
+        });
+    }
+
+    /// The stored relations, in insertion order.
+    pub fn relations(&self) -> &[(String, Relation)] {
+        &self.relations
+    }
+
+    /// The stored tries, in insertion order.
+    pub fn tries(&self) -> &[StoredTrie] {
+        &self.tries
+    }
+
+    /// Serializes the catalog into the version-1 byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut p = Writer::new();
+        p.u64(self.relations.len() as u64);
+        for (name, rel) in &self.relations {
+            p.u64(name.len() as u64);
+            p.bytes(name.as_bytes());
+            p.u64(rel.arity() as u64);
+            p.u64(rel.values().len() as u64);
+            p.words(rel.values());
+        }
+        p.u64(self.tries.len() as u64);
+        for t in &self.tries {
+            p.u64(t.name.len() as u64);
+            p.bytes(t.name.as_bytes());
+            p.u64(t.fingerprint);
+            p.u64(t.perm.len() as u64);
+            for &x in &t.perm {
+                p.u64(x as u64);
+            }
+            p.u64(t.trie.tuple_count() as u64);
+            let dims = t.trie.level_dims();
+            p.u64(dims.len() as u64);
+            for (v, c) in dims {
+                p.u64(v as u64);
+                p.u64(c as u64);
+            }
+            p.u64(t.trie.words().len() as u64);
+            p.words(t.trie.words());
+        }
+        let payload = p.into_bytes();
+
+        let mut out = Vec::with_capacity(28 + payload.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Parses a catalog from bytes, validating header, checksum, and every
+    /// structural invariant of the payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`StoreError`] describing the first problem found; see
+    /// the variant docs for the taxonomy.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        if bytes.len() < 8 {
+            return Err(StoreError::Truncated {
+                needed: 8,
+                available: bytes.len(),
+            });
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let mut h = Reader::new(&bytes[8..]);
+        let version = h.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let payload_len = h.count()?;
+        let checksum = h.u64()?;
+        let payload_start = bytes.len() - h.remaining();
+        let available = bytes.len() - payload_start;
+        if available < payload_len {
+            return Err(StoreError::Truncated {
+                needed: payload_len,
+                available,
+            });
+        }
+        if available > payload_len {
+            return Err(StoreError::Malformed {
+                detail: format!("{} trailing bytes after payload", available - payload_len),
+            });
+        }
+        let payload = &bytes[payload_start..];
+        let found = fnv1a64(payload);
+        if found != checksum {
+            return Err(StoreError::ChecksumMismatch {
+                expected: checksum,
+                found,
+            });
+        }
+
+        let mut r = Reader::new(payload);
+        let mut catalog = StoredCatalog::new();
+        let rel_count = r.count()?;
+        for _ in 0..rel_count {
+            let name = r.string()?;
+            let arity = r.count()?;
+            let word_count = r.count()?;
+            let data = r.words(word_count)?;
+            if arity == 0 {
+                return Err(StoreError::Malformed {
+                    detail: format!("relation {name:?} has arity 0"),
+                });
+            }
+            if data.len() % arity != 0 {
+                return Err(StoreError::Malformed {
+                    detail: format!(
+                        "relation {name:?} row buffer of {} words is not divisible by \
+                         arity {arity}",
+                        data.len()
+                    ),
+                });
+            }
+            let rel = Relation::from_tuples(arity, data.chunks_exact(arity)).map_err(|e| {
+                StoreError::Malformed {
+                    detail: format!("relation {name:?}: {e}"),
+                }
+            })?;
+            catalog.insert_relation(name, rel);
+        }
+        let trie_count = r.count()?;
+        for _ in 0..trie_count {
+            let name = r.string()?;
+            let fingerprint = r.u64()?;
+            let perm_len = r.count()?;
+            let mut perm = Vec::with_capacity(perm_len.min(r.remaining() / 8));
+            for _ in 0..perm_len {
+                perm.push(r.count()?);
+            }
+            let tuple_count = r.count()?;
+            let level_count = r.count()?;
+            let mut dims = Vec::with_capacity(level_count.min(r.remaining() / 16));
+            for _ in 0..level_count {
+                let v = r.count()?;
+                let c = r.count()?;
+                dims.push((v, c));
+            }
+            let word_count = r.count()?;
+            let words = r.words(word_count)?;
+            let trie = Trie::from_parts(words, &dims, tuple_count).map_err(|e| match e {
+                TrieLayoutError::Offset {
+                    level,
+                    index,
+                    offset,
+                    limit,
+                } => StoreError::OversizeOffset {
+                    level,
+                    index,
+                    offset,
+                    limit,
+                },
+                other => StoreError::Malformed {
+                    detail: format!("stored trie {name:?}: {other}"),
+                },
+            })?;
+            catalog.insert_trie(name, fingerprint, perm, Arc::new(trie));
+        }
+        if !r.is_exhausted() {
+            return Err(StoreError::Malformed {
+                detail: format!("{} unparsed bytes inside payload", r.remaining()),
+            });
+        }
+        Ok(catalog)
+    }
+
+    /// Writes the catalog to `path` (atomically enough for a build
+    /// artifact: a full rewrite, no partial update protocol).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the file cannot be written.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and validates a catalog from `path`. Cost is O(bytes-read):
+    /// no trie is ever rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the file cannot be read, or any
+    /// validation error from [`StoredCatalog::from_bytes`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let bytes = std::fs::read(path)?;
+        StoredCatalog::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_catalog() -> StoredCatalog {
+        let edges = Relation::from_pairs(vec![(1, 2), (2, 3), (3, 1), (1, 3)]);
+        let rev = edges.permute(&[1, 0]);
+        let mut cat = StoredCatalog::new();
+        cat.insert_trie(
+            "edge",
+            edges.fingerprint(),
+            vec![0, 1],
+            Arc::new(Trie::build(&edges)),
+        );
+        cat.insert_trie(
+            "edge",
+            edges.fingerprint(),
+            vec![1, 0],
+            Arc::new(Trie::build(&rev)),
+        );
+        cat.insert_relation("edge", edges);
+        cat
+    }
+
+    /// Wraps a raw payload in a valid header (correct checksum), so tests
+    /// can hand-craft payload-level corruption.
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn round_trip_preserves_relations_and_tries() {
+        let cat = sample_catalog();
+        let bytes = cat.to_bytes();
+        let back = StoredCatalog::from_bytes(&bytes).unwrap();
+        assert_eq!(back.relations().len(), 1);
+        assert_eq!(back.relations()[0].0, "edge");
+        assert_eq!(back.relations()[0].1, cat.relations()[0].1);
+        assert_eq!(
+            back.relations()[0].1.fingerprint(),
+            cat.relations()[0].1.fingerprint(),
+            "fingerprints must survive the round trip (they key the cache)"
+        );
+        assert_eq!(back.tries().len(), 2);
+        for (a, b) in back.tries().iter().zip(cat.tries()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.fingerprint, b.fingerprint);
+            assert_eq!(a.perm, b.perm);
+            assert_eq!(*a.trie, *b.trie, "tries must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn save_and_open_round_trip_through_a_file() {
+        let cat = sample_catalog();
+        let path = std::env::temp_dir().join("triejax_store_roundtrip.tjx");
+        cat.save(&path).unwrap();
+        let back = StoredCatalog::open(&path).unwrap();
+        assert_eq!(back.to_bytes(), cat.to_bytes());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_missing_file_is_io_error() {
+        let err = StoredCatalog::open("/nonexistent/definitely/missing.tjx").unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+    }
+
+    #[test]
+    fn truncated_files_are_rejected_at_every_cut() {
+        let bytes = sample_catalog().to_bytes();
+        // Cut inside the magic, the header, and the payload.
+        for cut in [0, 4, 8, 12, 20, 27, 28, bytes.len() / 2, bytes.len() - 1] {
+            let err = StoredCatalog::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, StoreError::Truncated { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample_catalog().to_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            StoredCatalog::from_bytes(&bytes).unwrap_err(),
+            StoreError::BadMagic
+        ));
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut bytes = sample_catalog().to_bytes();
+        bytes[8] = 99;
+        assert!(matches!(
+            StoredCatalog::from_bytes(&bytes).unwrap_err(),
+            StoreError::UnsupportedVersion {
+                found: 99,
+                supported: FORMAT_VERSION
+            }
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_a_checksum_mismatch() {
+        let mut bytes = sample_catalog().to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            StoredCatalog::from_bytes(&bytes).unwrap_err(),
+            StoreError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample_catalog().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            StoredCatalog::from_bytes(&bytes).unwrap_err(),
+            StoreError::Malformed { .. }
+        ));
+    }
+
+    #[test]
+    fn oversize_offset_is_rejected_with_its_own_error() {
+        // Hand-craft a payload with a valid checksum whose trie offset
+        // table points past the leaf level: 0 relations, 1 binary trie
+        // with values [1] and child_starts [0, 9] over a 1-wide leaf.
+        let mut p = Writer::new();
+        p.u64(0); // rel_count
+        p.u64(1); // trie_count
+        p.u64(1);
+        p.bytes(b"t");
+        p.u64(0xDEAD); // fingerprint
+        p.u64(2); // perm_len
+        p.u64(0);
+        p.u64(1);
+        p.u64(1); // tuple_count
+        p.u64(2); // level_count
+        p.u64(1); // level 0 values
+        p.u64(2); // level 0 child entries
+        p.u64(1); // level 1 values (leaf)
+        p.u64(0);
+        p.u64(4); // word_count
+        p.words(&[1, 0, 9, 5]); // values, starts 0..9 (!), leaf value
+        let bytes = frame(&p.into_bytes());
+        let err = StoredCatalog::from_bytes(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::OversizeOffset {
+                    level: 0,
+                    offset: 9,
+                    limit: 1,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected_not_panicked_on() {
+        // Row buffer not divisible by arity.
+        let mut p = Writer::new();
+        p.u64(1);
+        p.u64(1);
+        p.bytes(b"r");
+        p.u64(2); // arity
+        p.u64(3); // word_count — not a multiple of 2
+        p.words(&[1, 2, 3]);
+        p.u64(0);
+        assert!(matches!(
+            StoredCatalog::from_bytes(&frame(&p.into_bytes())).unwrap_err(),
+            StoreError::Malformed { .. }
+        ));
+
+        // Zero-arity relation.
+        let mut p = Writer::new();
+        p.u64(1);
+        p.u64(1);
+        p.bytes(b"r");
+        p.u64(0);
+        p.u64(0);
+        p.u64(0);
+        assert!(matches!(
+            StoredCatalog::from_bytes(&frame(&p.into_bytes())).unwrap_err(),
+            StoreError::Malformed { .. }
+        ));
+
+        // Non-UTF-8 name.
+        let mut p = Writer::new();
+        p.u64(1);
+        p.u64(2);
+        p.bytes(&[0xFF, 0xFE]);
+        assert!(matches!(
+            StoredCatalog::from_bytes(&frame(&p.into_bytes())).unwrap_err(),
+            StoreError::Malformed { .. }
+        ));
+
+        // Inflated word count: claims 2^40 words in an 8-byte payload.
+        let mut p = Writer::new();
+        p.u64(1);
+        p.u64(1);
+        p.bytes(b"r");
+        p.u64(2);
+        p.u64(1 << 40);
+        assert!(matches!(
+            StoredCatalog::from_bytes(&frame(&p.into_bytes())).unwrap_err(),
+            StoreError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_catalog_round_trips() {
+        let cat = StoredCatalog::new();
+        let back = StoredCatalog::from_bytes(&cat.to_bytes()).unwrap();
+        assert!(back.relations().is_empty());
+        assert!(back.tries().is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! Streaming-session properties: a [`ResultStream`] must deliver the
+//! **exact sequential tuple order** incrementally (equal to a
+//! `CollectSink` run of the same plan), truncate to an exact prefix under
+//! a row limit, and cancel cooperatively — never hang — when dropped
+//! mid-stream. Checked on random graphs across pool sizes and engines.
+
+use proptest::prelude::*;
+use triejax_join::Catalog;
+use triejax_join::{CollectSink, JoinEngine, Lftj, Session};
+use triejax_query::{patterns::Pattern, CompiledQuery};
+use triejax_relation::Relation;
+
+const POOL_SIZES: [usize; 3] = [1, 2, 7];
+
+fn catalog_from(edges: Vec<(u32, u32)>) -> Catalog {
+    let mut c = Catalog::new();
+    c.insert("G", Relation::from_pairs(edges));
+    c
+}
+
+fn sequential(plan: &CompiledQuery, catalog: &Catalog) -> Vec<Vec<u32>> {
+    let mut sink = CollectSink::new();
+    Lftj::new().execute(plan, catalog, &mut sink).expect("runs");
+    sink.tuples().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// On any random graph and paper pattern, the pull-based stream
+    /// yields exactly the sequential tuple sequence, for every pool size
+    /// and on both parallel engines.
+    #[test]
+    fn streams_equal_sequential_order(
+        edges in prop::collection::btree_set((0u32..22, 0u32..22), 1..130),
+        pattern_idx in 0usize..Pattern::PAPER.len(),
+    ) {
+        let edges: Vec<(u32, u32)> = edges.into_iter().filter(|(a, b)| a != b).collect();
+        prop_assume!(!edges.is_empty());
+        let catalog = catalog_from(edges);
+        let plan = CompiledQuery::compile(&Pattern::PAPER[pattern_idx].query())
+            .expect("compiles");
+        let reference = sequential(&plan, &catalog);
+
+        for pool in POOL_SIZES {
+            let session = Session::new(catalog.clone()).with_pool(pool);
+            for ctj in [false, true] {
+                let mut handle = session.query(&plan);
+                if ctj {
+                    handle = handle.with_ctj();
+                }
+                let mut stream = handle.stream();
+                let got: Vec<Vec<u32>> = stream.by_ref().collect();
+                prop_assert_eq!(&got, &reference, "pool={} ctj={}", pool, ctj);
+                let stats = stream
+                    .outcome()
+                    .expect("exhausted stream has an outcome")
+                    .as_ref()
+                    .expect("clean run");
+                prop_assert_eq!(stats.results, reference.len() as u64);
+            }
+        }
+    }
+
+    /// A row limit yields exactly the first `limit` tuples of the
+    /// sequential order — a true prefix, never a different subset.
+    #[test]
+    fn row_limits_stream_exact_prefixes(
+        edges in prop::collection::btree_set((0u32..18, 0u32..18), 1..110),
+        limit in 1u64..40,
+    ) {
+        let edges: Vec<(u32, u32)> = edges.into_iter().filter(|(a, b)| a != b).collect();
+        prop_assume!(!edges.is_empty());
+        let catalog = catalog_from(edges);
+        let plan = CompiledQuery::compile(&triejax_query::patterns::cycle3())
+            .expect("compiles");
+        let reference = sequential(&plan, &catalog);
+
+        let session = Session::new(catalog).with_pool(2);
+        let stream = session.query(&plan).with_row_limit(limit).stream();
+        let got: Vec<Vec<u32>> = stream.collect();
+        let want = &reference[..reference.len().min(limit as usize)];
+        prop_assert_eq!(got.as_slice(), want);
+    }
+
+    /// Dropping a stream after a partial read cancels the run without
+    /// hanging, and the tuples read before the drop are still the exact
+    /// sequential prefix.
+    #[test]
+    fn early_drop_keeps_the_prefix_and_never_hangs(
+        edges in prop::collection::btree_set((0u32..22, 0u32..22), 40..130),
+        take in 0usize..25,
+    ) {
+        let edges: Vec<(u32, u32)> = edges.into_iter().filter(|(a, b)| a != b).collect();
+        prop_assume!(!edges.is_empty());
+        let catalog = catalog_from(edges);
+        let plan = CompiledQuery::compile(&triejax_query::patterns::path4())
+            .expect("compiles");
+        let reference = sequential(&plan, &catalog);
+
+        let session = Session::new(catalog).with_pool(4);
+        let mut stream = session.query(&plan).stream();
+        let mut got = Vec::new();
+        for _ in 0..take {
+            match stream.next() {
+                Some(row) => got.push(row),
+                None => break,
+            }
+        }
+        drop(stream); // must cancel cooperatively, not deadlock
+        let want = &reference[..got.len()];
+        prop_assert_eq!(got.as_slice(), want, "prefix before drop");
+    }
+}
+
+/// Interleaved concurrent streams on one shared session stay independent:
+/// each delivers its own plan's exact sequential order.
+#[test]
+fn interleaved_streams_on_one_session_stay_independent() {
+    let catalog = catalog_from(
+        (0..12u32)
+            .flat_map(|a| (0..12u32).filter(move |&b| b != a).map(move |b| (a, b)))
+            .collect(),
+    );
+    let cycle = CompiledQuery::compile(&triejax_query::patterns::cycle3()).expect("compiles");
+    let path = CompiledQuery::compile(&triejax_query::patterns::path3()).expect("compiles");
+    let want_cycle = sequential(&cycle, &catalog);
+    let want_path = sequential(&path, &catalog);
+
+    let session = Session::new(catalog).with_pool(4);
+    let mut a = session.query(&cycle).stream();
+    let mut b = session.query(&path).stream();
+    let mut got_a = Vec::new();
+    let mut got_b = Vec::new();
+    // Pull alternately so both producers are live at once.
+    loop {
+        let ra = a.next();
+        let rb = b.next();
+        if let Some(r) = ra {
+            got_a.push(r);
+        }
+        if let Some(r) = rb {
+            got_b.push(r);
+        }
+        if got_a.len() == want_cycle.len() && got_b.len() == want_path.len() {
+            break;
+        }
+    }
+    assert_eq!(got_a, want_cycle);
+    assert_eq!(got_b, want_path);
+    assert!(a.next().is_none() && b.next().is_none());
+}
+
+/// Streams served from a reopened store behave identically to streams on
+/// a fresh session — and do zero trie-build work.
+#[test]
+fn store_served_streams_match_and_skip_builds() {
+    let catalog = catalog_from(
+        (0..20u32)
+            .flat_map(|i| [(i, (i + 1) % 20), (i, (i + 4) % 20), ((i + 9) % 20, i)])
+            .collect(),
+    );
+    let plan = CompiledQuery::compile(&triejax_query::patterns::cycle4()).expect("compiles");
+    let reference = sequential(&plan, &catalog);
+
+    let producer = Session::new(catalog).with_pool(4);
+    let stored = producer
+        .snapshot(std::slice::from_ref(&plan))
+        .expect("snapshot");
+    let bytes = stored.to_bytes();
+    let reopened = triejax_join::StoredCatalog::from_bytes(&bytes).expect("reopen");
+    let session = Session::from_stored(&reopened).with_pool(4);
+
+    let mut stream = session.query(&plan).stream();
+    let got: Vec<Vec<u32>> = stream.by_ref().collect();
+    assert_eq!(got, reference);
+    let stats = stream
+        .outcome()
+        .expect("outcome after exhaustion")
+        .as_ref()
+        .expect("clean run");
+    assert_eq!(stats.trie_build_ns, 0, "store-served stream built nothing");
+    assert!(stats.trie_cache_hits > 0);
+}
