@@ -18,7 +18,7 @@
 //! Usage: `bench_joins [--scale tiny|mini|full] [--dataset <label>]
 //! [--runs N] [--pool N] [--cache-cap N] [--trie-cache-mb N]
 //! [--split | --no-split] [--row-limit N] [--deadline-ms N]
-//! [--store PATH] [--out PATH] [--no-gate]`
+//! [--store PATH] [--mutate-batch N] [--out PATH] [--no-gate]`
 //!
 //! `--cache-cap N` bounds the `parctj` rows' shared PJR cache to `N`
 //! total entries (per-stripe FIFO eviction; `0` disables caching), so
@@ -60,6 +60,19 @@
 //! `results` column reports the store-served hit count. Store runs record
 //! `"store": true` in the artifact and its config signature; storeless
 //! runs omit the field, so pre-knob artifacts still gate.
+//!
+//! `--mutate-batch N` benchmarks the incremental-maintenance path with a
+//! deterministic batch of `N` inserted edges plus `N/2` deletes of base
+//! tuples, three rows per query: `delta-apply` times folding the batch
+//! into a session's pending [`triejax_relation::RelationDelta`]
+//! (`results` = resulting delta size); `query-warm-delta` times the
+//! parallel engine over base + pending delta through the merge-cursor
+//! path (`results` = result count); `compaction` times promoting the
+//! delta into a fresh frozen base (`results` = merged relation size).
+//! Every sample rebuilds its session, so each one times the identical
+//! state transition. Mutating runs record `mutate_batch` in the artifact
+//! and its config signature; non-mutating runs omit the field, so
+//! pre-knob artifacts still gate against non-mutating runs.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -70,6 +83,7 @@ use triejax_join::{
     StoredCatalog, TrieCache,
 };
 use triejax_query::{patterns::Pattern, CompiledQuery};
+use triejax_relation::Relation;
 
 /// Median slowdown (percent) beyond which the gate fails the run.
 const GATE_THRESHOLD_PCT: f64 = 25.0;
@@ -160,6 +174,7 @@ fn config_signature(
     Option<u128>,
     Option<u128>,
     bool,
+    Option<u128>,
 ) {
     (
         field_str(text, "dataset"),
@@ -172,6 +187,7 @@ fn config_signature(
         field_num(text, "row_limit"),
         field_num(text, "deadline_ms"),
         field_bool(text, "store"),
+        field_num(text, "mutate_batch"),
     )
 }
 
@@ -252,6 +268,103 @@ fn store_open_samples(
     )
 }
 
+/// The deterministic mutation batch for `--mutate-batch N`: `N` fresh
+/// edges on vertices far above the dataset's id range (guaranteed
+/// inserts) plus every other base tuple up to `N/2` rows (guaranteed
+/// live deletes) — so both delta sides take part in every sample.
+fn mutation_batch(base: &Relation, n: usize) -> (Relation, Relation) {
+    const FRESH: u32 = 1 << 24;
+    let inserts = Relation::from_pairs((0..n as u32).map(|i| (FRESH + i, FRESH + i + 1)));
+    let deletes = Relation::from_tuples(
+        base.arity(),
+        (0..base.len().min(n / 2)).map(|i| base.tuple(i * 2 % base.len())),
+    )
+    .expect("base tuples share the base arity");
+    (inserts, deletes)
+}
+
+/// Samples the three incremental-maintenance phases. Applies and
+/// compactions are one-shot state transitions, so — unlike the steady
+/// -state query rows — every sample rebuilds a fresh session and times
+/// the identical transition: fold the batch in (`delta-apply`), answer
+/// over base + pending delta (`query-warm-delta`), promote the delta to
+/// a frozen base (`compaction`).
+fn mutation_samples(
+    runs: usize,
+    plan: &CompiledQuery,
+    catalog: &Catalog,
+    batch_n: usize,
+    pool: Option<usize>,
+    split: bool,
+) -> Vec<(&'static str, u128, u128, u128, u64)> {
+    let (inserts, deletes) = mutation_batch(catalog.get("G").expect("benchmark relation"), batch_n);
+    let session_with = |ratio: f64| {
+        let mut s = Session::new(catalog.clone()).with_compact_ratio(ratio);
+        if let Some(n) = pool {
+            s = s.with_pool(n);
+        }
+        s
+    };
+    let mut rows = Vec::new();
+
+    // delta-apply: the batch algebra alone (no compaction, no queries).
+    let mut samples: Vec<u128> = Vec::with_capacity(runs);
+    let mut delta_len = 0u64;
+    for _ in 0..runs {
+        let session = session_with(f64::INFINITY);
+        let t = Instant::now();
+        session.apply("G", &inserts, &deletes).expect("apply");
+        samples.push(t.elapsed().as_nanos());
+        delta_len = session.deltas().get("G").map_or(0, |d| d.len() as u64);
+    }
+    samples.sort_unstable();
+    rows.push((
+        "delta-apply",
+        samples[samples.len() / 2],
+        samples[0],
+        samples[samples.len() - 1],
+        delta_len,
+    ));
+
+    // query-warm-delta: the merge-cursor serving path over the pending
+    // delta. One state, many runs — time_runs applies (base tries warm
+    // after the untimed first execution, like every other query row).
+    let session = session_with(f64::INFINITY);
+    session.apply("G", &inserts, &deletes).expect("apply");
+    let (state_catalog, state_deltas) = (session.catalog(), session.deltas());
+    assert!(!state_deltas.is_empty(), "the batch must leave a delta");
+    let (median_ns, min_ns, max_ns, results) = time_runs(runs, || {
+        let mut sink = CountSink::default();
+        pool.map_or_else(ParLftj::new, ParLftj::with_pool)
+            .with_split(split)
+            .run_tallied_with::<NoTally>(plan, &state_catalog, &state_deltas, &mut sink)
+            .expect("mutation rows run ungoverned");
+        sink.count()
+    });
+    rows.push(("query-warm-delta", median_ns, min_ns, max_ns, results));
+
+    // compaction: promoting the pending delta into a fresh frozen base.
+    let mut samples: Vec<u128> = Vec::with_capacity(runs);
+    let mut merged_len = 0u64;
+    for _ in 0..runs {
+        let session = session_with(f64::INFINITY);
+        session.apply("G", &inserts, &deletes).expect("apply");
+        let t = Instant::now();
+        session.compact("G");
+        samples.push(t.elapsed().as_nanos());
+        merged_len = session.catalog().get("G").map_or(0, |r| r.len() as u64);
+    }
+    samples.sort_unstable();
+    rows.push((
+        "compaction",
+        samples[samples.len() / 2],
+        samples[0],
+        samples[samples.len() - 1],
+        merged_len,
+    ));
+    rows
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Tiny;
@@ -264,6 +377,7 @@ fn main() {
     let mut row_limit: Option<u64> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut store_path: Option<String> = None;
+    let mut mutate_batch: Option<usize> = None;
     let mut gate = true;
     let mut out_path = String::from("BENCH_joins.json");
     let mut i = 0;
@@ -319,6 +433,12 @@ fn main() {
             "--store" => {
                 i += 1;
                 store_path = Some(args[i].clone());
+            }
+            "--mutate-batch" => {
+                i += 1;
+                let n: usize = args[i].parse().expect("--mutate-batch takes a number");
+                assert!(n > 0, "--mutate-batch must be at least 1");
+                mutate_batch = Some(n);
             }
             "--no-gate" => gate = false,
             "--out" => {
@@ -620,6 +740,27 @@ fn main() {
                 results: hits,
             });
         }
+        if let Some(n) = mutate_batch {
+            for (engine, median_ns, min_ns, max_ns, results) in
+                mutation_samples(runs, &plan, &catalog, n, pool, split)
+            {
+                println!(
+                    "{:>8} {:<18} median {:>12} ns  ({} results)",
+                    pattern.label(),
+                    engine,
+                    median_ns,
+                    results
+                );
+                measurements.push(Measurement {
+                    engine,
+                    query: pattern.label(),
+                    median_ns,
+                    min_ns,
+                    max_ns,
+                    results,
+                });
+            }
+        }
     }
 
     // Regression gate: compare medians against the previous artifact —
@@ -639,6 +780,7 @@ fn main() {
         row_limit.map(u128::from),
         deadline_ms.map(u128::from),
         store_path.is_some(),
+        mutate_batch.map(|n| n as u128),
     );
     let previous = if previous_text.is_empty() {
         Vec::new()
@@ -757,6 +899,12 @@ fn main() {
     // signature-match storeless runs (absent means `false`).
     if store_path.is_some() {
         json.push_str("  \"store\": true,\n");
+    }
+    // Written only for mutating runs: the mutation rows measure different
+    // work per batch size, so artifacts only gate against the same `N` —
+    // and pre-knob artifacts still match non-mutating runs.
+    if let Some(n) = mutate_batch {
+        json.push_str(&format!("  \"mutate_batch\": {n},\n"));
     }
     json.push_str("  \"measurements\": [\n");
     for (i, m) in measurements.iter().enumerate() {

@@ -42,6 +42,10 @@ pub enum FaultEvent {
     /// A trie build is about to run (one per distinct `(relation, perm)`
     /// build of a `TrieSet`, fired before any partition task starts).
     TrieBuild,
+    /// A session mutation batch is about to commit: fired after the new
+    /// delta state is fully computed, before it is swapped in. A panic
+    /// here must leave the session at its prior epoch (apply atomicity).
+    DeltaApply,
 }
 
 /// What happens when a rule matches.

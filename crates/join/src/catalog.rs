@@ -252,7 +252,11 @@ impl TrieSet {
 }
 
 /// Looks up `name` in the catalog and checks its arity against the atom's.
-fn resolve<'a>(catalog: &'a Catalog, name: &str, arity: usize) -> Result<&'a Relation, JoinError> {
+pub(crate) fn resolve<'a>(
+    catalog: &'a Catalog,
+    name: &str,
+    arity: usize,
+) -> Result<&'a Relation, JoinError> {
     let rel = catalog
         .get(name)
         .ok_or_else(|| JoinError::MissingRelation {
@@ -272,7 +276,7 @@ fn resolve<'a>(catalog: &'a Catalog, name: &str, arity: usize) -> Result<&'a Rel
 /// build. With a pool the permute chunk-sorts and the build partitions by
 /// root key; without one both run sequentially (the per-task body when
 /// many builds already share the pool).
-fn build_one(rel: &Relation, perm: &[usize], pool: Option<&WorkerPool>) -> Trie {
+pub(crate) fn build_one(rel: &Relation, perm: &[usize], pool: Option<&WorkerPool>) -> Trie {
     #[cfg(feature = "faults")]
     triejax_exec::faults::fire(triejax_exec::faults::FaultEvent::TrieBuild);
     match pool {

@@ -1,12 +1,13 @@
 use triejax_exec::{Budget, NoBudget};
 use triejax_query::CompiledQuery;
-use triejax_relation::{AccessKind, Counting, Tally, TrieCursor, Value, WORD_BYTES};
+use triejax_relation::{AccessKind, Counting, JoinCursor, Tally, TrieCursor, Value, WORD_BYTES};
 
 use crate::cache::{LocalPjr, Looked, PjrStore};
 use crate::engine::head_slots;
 use crate::shard::{try_split_root, NoSplit, SplitSpawn};
 use crate::sink::BatchEmitter;
-use crate::{Catalog, EngineStats, JoinEngine, JoinError, Leapfrog, ResultSink, TrieSet};
+use crate::viewset::{plan_touches_delta, CursorSet, MergeSet};
+use crate::{Catalog, DeltaMap, EngineStats, JoinEngine, JoinError, Leapfrog, ResultSink, TrieSet};
 
 /// Configuration of the software partial-join-result cache.
 ///
@@ -92,6 +93,32 @@ impl Ctj {
         driver.run(sink);
         Ok(driver.stats)
     }
+
+    /// Runs the query with the pending mutations in `deltas` folded in;
+    /// see [`crate::Lftj::run_tallied_with`] for the merge semantics and
+    /// the frozen fast path. Partial-join-result caching works unchanged
+    /// on merged views: entries are keyed by bindings alone, and the
+    /// merged relation is just another (virtual) relation instance.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_tallied`](Self::run_tallied), plus an arity mismatch
+    /// between a delta and its atom.
+    pub fn run_tallied_with<T: Tally>(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        deltas: &DeltaMap,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats<T>, JoinError> {
+        if !plan_touches_delta(plan, deltas) {
+            return self.run_tallied(plan, catalog, sink);
+        }
+        let set = MergeSet::build(plan, catalog, deltas)?;
+        let mut driver = CtjDriver::<T, LocalPjr, NoBudget, _>::new(plan, &set, self.config)?;
+        driver.run(sink);
+        Ok(driver.stats)
+    }
 }
 
 impl JoinEngine for Ctj {
@@ -127,11 +154,16 @@ impl JoinEngine for Ctj {
 /// emit/replay points, and charges every recorded cache-entry tuple
 /// against the intermediate budget. A budget-stopped level never
 /// publishes its partially recorded entry.
-pub(crate) struct CtjDriver<'a, T: Tally, C: PjrStore = LocalPjr, B: Budget = NoBudget> {
+pub(crate) struct CtjDriver<
+    'a,
+    T: Tally,
+    C: PjrStore = LocalPjr,
+    B: Budget = NoBudget,
+    Cur: JoinCursor = TrieCursor<'a>,
+> {
     plan: &'a CompiledQuery,
-    tries: &'a TrieSet,
     config: CtjConfig,
-    cursors: Vec<TrieCursor<'a>>,
+    cursors: Vec<Cur>,
     binding: Vec<Value>,
     emit: Vec<Value>,
     slots: Vec<usize>,
@@ -146,41 +178,41 @@ pub(crate) struct CtjDriver<'a, T: Tally, C: PjrStore = LocalPjr, B: Budget = No
     pub(crate) stats: EngineStats<T>,
 }
 
-impl<'a, T: Tally> CtjDriver<'a, T> {
+impl<'a, T: Tally, Cur: JoinCursor> CtjDriver<'a, T, LocalPjr, NoBudget, Cur> {
     /// Driver with a worker-local store (sequential CTJ semantics).
-    pub(crate) fn new(
+    pub(crate) fn new<S: CursorSet<'a, Cur = Cur>>(
         plan: &'a CompiledQuery,
-        tries: &'a TrieSet,
+        set: &'a S,
         config: CtjConfig,
     ) -> Result<Self, JoinError> {
-        Self::with_store(plan, tries, config, LocalPjr::new(config))
+        Self::with_store(plan, set, config, LocalPjr::new(config))
     }
 }
 
-impl<'a, T: Tally, C: PjrStore> CtjDriver<'a, T, C> {
+impl<'a, T: Tally, C: PjrStore, Cur: JoinCursor> CtjDriver<'a, T, C, NoBudget, Cur> {
     /// Driver emitting into `cache` — any [`PjrStore`], in particular one
     /// worker's handle onto the shared sharded cache.
-    pub(crate) fn with_store(
+    pub(crate) fn with_store<S: CursorSet<'a, Cur = Cur>>(
         plan: &'a CompiledQuery,
-        tries: &'a TrieSet,
+        set: &'a S,
         config: CtjConfig,
         cache: C,
     ) -> Result<Self, JoinError> {
-        Self::with_store_budget(plan, tries, config, cache, NoBudget)
+        Self::with_store_budget(plan, set, config, cache, NoBudget)
     }
 }
 
-impl<'a, T: Tally, C: PjrStore, B: Budget> CtjDriver<'a, T, C, B> {
+impl<'a, T: Tally, C: PjrStore, B: Budget, Cur: JoinCursor> CtjDriver<'a, T, C, B, Cur> {
     /// Driver over an explicit store *and* budget (see the type docs).
-    pub(crate) fn with_store_budget(
+    pub(crate) fn with_store_budget<S: CursorSet<'a, Cur = Cur>>(
         plan: &'a CompiledQuery,
-        tries: &'a TrieSet,
+        set: &'a S,
         config: CtjConfig,
         cache: C,
         budget: B,
     ) -> Result<Self, JoinError> {
         let cursors = (0..plan.atom_plans().len())
-            .map(|i| TrieCursor::new(tries.for_atom(i)))
+            .map(|i| set.cursor(i))
             .collect();
         let n = plan.arity();
         let members_at = (0..n)
@@ -188,7 +220,6 @@ impl<'a, T: Tally, C: PjrStore, B: Budget> CtjDriver<'a, T, C, B> {
             .collect();
         Ok(CtjDriver {
             plan,
-            tries,
             config,
             cursors,
             binding: vec![0; n],
@@ -313,7 +344,7 @@ impl<'a, T: Tally, C: PjrStore, B: Budget> CtjDriver<'a, T, C, B> {
                 }
             } else {
                 for (i, &(a, _)) in parts.iter().enumerate() {
-                    self.cursors[a].open_at(positions[i] as usize);
+                    self.cursors[a].reopen_at(positions[i], *v, &mut self.stats.access);
                 }
                 let live = self.level(d + 1, sink, ctl);
                 for &(a, _) in parts {
@@ -381,7 +412,6 @@ impl<'a, T: Tally, C: PjrStore, B: Budget> CtjDriver<'a, T, C, B> {
                 }
                 try_split_root(
                     self.plan,
-                    self.tries,
                     &mut self.cursors,
                     &mut self.root_sup,
                     ctl,
@@ -402,7 +432,7 @@ impl<'a, T: Tally, C: PjrStore, B: Budget> CtjDriver<'a, T, C, B> {
                 } else {
                     let positions: Vec<u32> = parts
                         .iter()
-                        .map(|&(a, _)| self.cursors[a].pos() as u32)
+                        .map(|&(a, _)| self.cursors[a].cache_pos())
                         .collect();
                     p.push((v, positions));
                 }

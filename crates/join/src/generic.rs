@@ -5,7 +5,8 @@ use triejax_relation::{AccessKind, Counting, Tally, Trie, Value, WORD_BYTES};
 use crate::engine::head_slots;
 use crate::intersect::intersect_sorted;
 use crate::sink::BatchEmitter;
-use crate::{Catalog, EngineStats, JoinEngine, JoinError, ResultSink, TrieSet};
+use crate::viewset::{merged_catalog, plan_touches_delta};
+use crate::{Catalog, DeltaMap, EngineStats, JoinEngine, JoinError, ResultSink, TrieSet};
 
 /// Generic Join in the EmptyHeaded style (Aberger et al., SIGMOD'16): a
 /// worst-case-optimal join that materializes, per variable, the
@@ -66,6 +67,46 @@ impl GenericJoin {
         driver.level(0, sink);
         driver.emitter.flush(sink);
         Ok(driver.stats)
+    }
+
+    /// Runs the query with the pending mutations in `deltas` folded in.
+    /// Generic Join reads raw trie level slices rather than cursors, so a
+    /// delta-touching plan materializes each mutated relation's merged
+    /// view (`base ∪ inserts − tombstones`) and builds fresh tries over
+    /// it — correct but not incremental, the documented trade-off of this
+    /// engine. When no atom of the plan touches a non-empty delta this is
+    /// exactly [`run_tallied`](Self::run_tallied).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_tallied`](Self::run_tallied), plus an arity mismatch
+    /// between a delta and its atom (`merge_into` panics on mismatched
+    /// arity, so the mismatch is reported before merging).
+    pub fn run_tallied_with<T: Tally>(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        deltas: &DeltaMap,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats<T>, JoinError> {
+        if !plan_touches_delta(plan, deltas) {
+            return self.run_tallied(plan, catalog, sink);
+        }
+        // Same validation the MergeSet engines perform per atom, so the
+        // two delta paths fail identically on malformed input.
+        for ap in plan.atom_plans() {
+            if let Some(d) = deltas.get(ap.relation()).filter(|d| !d.is_empty()) {
+                if d.arity() != ap.arity() {
+                    return Err(JoinError::ArityMismatch {
+                        name: ap.relation().to_owned(),
+                        atom_arity: ap.arity(),
+                        relation_arity: d.arity(),
+                    });
+                }
+            }
+        }
+        let merged = merged_catalog(catalog, deltas);
+        self.run_tallied(plan, &merged, sink)
     }
 }
 

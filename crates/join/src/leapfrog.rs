@@ -1,4 +1,4 @@
-use triejax_relation::{Tally, TrieCursor, Value};
+use triejax_relation::{JoinCursor, Tally, Value};
 
 use crate::EngineStats;
 
@@ -46,9 +46,13 @@ impl Leapfrog {
     /// Aligns all members on the smallest common value at-or-after their
     /// positions. Returns the matched value, or `None` if any member is
     /// exhausted first. Cursors are left positioned on the match.
-    pub fn search<T: Tally>(
+    ///
+    /// Generic over the [`JoinCursor`] implementation, so the same loop
+    /// drives plain [`triejax_relation::TrieCursor`]s and the
+    /// [`triejax_relation::MergeCursor`]s of mutated relations.
+    pub fn search<Cur: JoinCursor, T: Tally>(
         &mut self,
-        cursors: &mut [TrieCursor<'_>],
+        cursors: &mut [Cur],
         stats: &mut EngineStats<T>,
     ) -> Option<Value> {
         stats.match_ops += 1;
@@ -93,9 +97,9 @@ impl Leapfrog {
     }
 
     /// Advances past the current match and realigns on the next one.
-    pub fn next<T: Tally>(
+    pub fn next<Cur: JoinCursor, T: Tally>(
         &mut self,
-        cursors: &mut [TrieCursor<'_>],
+        cursors: &mut [Cur],
         stats: &mut EngineStats<T>,
     ) -> Option<Value> {
         let first = self.members[self.p];
@@ -111,9 +115,9 @@ impl Leapfrog {
     /// root-partitioned parallel engine to enter its shard's value range
     /// without walking the values before it. Like every leapfrog motion
     /// this is forward-only.
-    pub fn seek<T: Tally>(
+    pub fn seek<Cur: JoinCursor, T: Tally>(
         &mut self,
-        cursors: &mut [TrieCursor<'_>],
+        cursors: &mut [Cur],
         v: Value,
         stats: &mut EngineStats<T>,
     ) -> Option<Value> {
@@ -132,7 +136,7 @@ impl Leapfrog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use triejax_relation::{AccessCounter, Counting, Relation, Trie};
+    use triejax_relation::{AccessCounter, Counting, Relation, Trie, TrieCursor};
 
     fn unary(vals: &[Value]) -> Trie {
         Trie::build(

@@ -1,11 +1,12 @@
 use triejax_exec::{Budget, NoBudget};
 use triejax_query::CompiledQuery;
-use triejax_relation::{AccessKind, Counting, Tally, TrieCursor, Value, WORD_BYTES};
+use triejax_relation::{AccessKind, Counting, JoinCursor, Tally, TrieCursor, Value, WORD_BYTES};
 
 use crate::engine::head_slots;
 use crate::shard::{try_split_root, NoSplit, SplitSpawn};
 use crate::sink::BatchEmitter;
-use crate::{Catalog, EngineStats, JoinEngine, JoinError, Leapfrog, ResultSink, TrieSet};
+use crate::viewset::{plan_touches_delta, CursorSet, MergeSet};
+use crate::{Catalog, DeltaMap, EngineStats, JoinEngine, JoinError, Leapfrog, ResultSink, TrieSet};
 
 /// LeapFrog TrieJoin (Veldhuizen, ICDT'14): the worst-case-optimal join
 /// that backtracks over trie indexes, materializing *no* intermediate
@@ -64,6 +65,34 @@ impl Lftj {
         driver.run(sink);
         Ok(driver.stats)
     }
+
+    /// Runs the query over `catalog` with the pending mutations in
+    /// `deltas` folded in: every atom over a mutated relation walks a
+    /// [`triejax_relation::MergeCursor`] presenting
+    /// `base ∪ inserts − tombstones`, without rebuilding the base trie.
+    /// When no atom of the plan touches a non-empty delta this is exactly
+    /// [`run_tallied`](Self::run_tallied) — the frozen fast path,
+    /// monomorphized to plain trie cursors.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_tallied`](Self::run_tallied), plus an arity mismatch
+    /// between a delta and its atom.
+    pub fn run_tallied_with<T: Tally>(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        deltas: &DeltaMap,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats<T>, JoinError> {
+        if !plan_touches_delta(plan, deltas) {
+            return self.run_tallied(plan, catalog, sink);
+        }
+        let set = MergeSet::build(plan, catalog, deltas)?;
+        let mut driver = Driver::<T, NoBudget, _>::new(plan, &set)?;
+        driver.run(sink);
+        Ok(driver.stats)
+    }
 }
 
 impl JoinEngine for Lftj {
@@ -99,10 +128,15 @@ impl JoinEngine for Lftj {
 /// governed driver stops early — `run`/`run_split` still flush whatever
 /// the emitter buffered, so the delivered rows stay an exact stream
 /// prefix.
-pub(crate) struct Driver<'a, T: Tally, B: Budget = NoBudget> {
+///
+/// Finally, the driver is generic over the [`JoinCursor`] implementation
+/// its [`CursorSet`] hands out: plain [`TrieCursor`]s for frozen
+/// relations (the default, monomorphizing to the original code) or
+/// [`triejax_relation::MergeCursor`]s when a query runs over mutated
+/// relations (`base ∪ delta − tombstones`).
+pub(crate) struct Driver<'a, T: Tally, B: Budget = NoBudget, Cur: JoinCursor = TrieCursor<'a>> {
     plan: &'a CompiledQuery,
-    tries: &'a TrieSet,
-    cursors: Vec<TrieCursor<'a>>,
+    cursors: Vec<Cur>,
     binding: Vec<Value>,
     emit: Vec<Value>,
     slots: Vec<usize>,
@@ -116,34 +150,37 @@ pub(crate) struct Driver<'a, T: Tally, B: Budget = NoBudget> {
     pub stats: EngineStats<T>,
 }
 
-impl<'a, T: Tally> Driver<'a, T> {
-    pub(crate) fn new(plan: &'a CompiledQuery, tries: &'a TrieSet) -> Result<Self, JoinError> {
-        Self::with_root_range(plan, tries, 0, None)
+impl<'a, T: Tally, Cur: JoinCursor> Driver<'a, T, NoBudget, Cur> {
+    pub(crate) fn new<S: CursorSet<'a, Cur = Cur>>(
+        plan: &'a CompiledQuery,
+        set: &'a S,
+    ) -> Result<Self, JoinError> {
+        Self::with_root_range(plan, set, 0, None)
     }
 
     /// Driver restricted to root-variable values in `[root_min, root_sup)`
     /// (`None` = unbounded above).
-    pub(crate) fn with_root_range(
+    pub(crate) fn with_root_range<S: CursorSet<'a, Cur = Cur>>(
         plan: &'a CompiledQuery,
-        tries: &'a TrieSet,
+        set: &'a S,
         root_min: Value,
         root_sup: Option<Value>,
     ) -> Result<Self, JoinError> {
-        Self::budgeted(plan, tries, root_min, root_sup, NoBudget)
+        Self::budgeted(plan, set, root_min, root_sup, NoBudget)
     }
 }
 
-impl<'a, T: Tally, B: Budget> Driver<'a, T, B> {
+impl<'a, T: Tally, B: Budget, Cur: JoinCursor> Driver<'a, T, B, Cur> {
     /// Root-ranged driver governed by `budget` (see the type docs).
-    pub(crate) fn budgeted(
+    pub(crate) fn budgeted<S: CursorSet<'a, Cur = Cur>>(
         plan: &'a CompiledQuery,
-        tries: &'a TrieSet,
+        set: &'a S,
         root_min: Value,
         root_sup: Option<Value>,
         budget: B,
     ) -> Result<Self, JoinError> {
         let cursors = (0..plan.atom_plans().len())
-            .map(|i| TrieCursor::new(tries.for_atom(i)))
+            .map(|i| set.cursor(i))
             .collect();
         let n = plan.arity();
         let members_at = (0..n)
@@ -151,7 +188,6 @@ impl<'a, T: Tally, B: Budget> Driver<'a, T, B> {
             .collect();
         Ok(Driver {
             plan,
-            tries,
             cursors,
             binding: vec![0; n],
             emit: vec![0; n],
@@ -269,7 +305,6 @@ impl<'a, T: Tally, B: Budget> Driver<'a, T, B> {
                 // beyond the boundary are handed off.
                 try_split_root(
                     self.plan,
-                    self.tries,
                     &mut self.cursors,
                     &mut self.root_sup,
                     ctl,

@@ -77,6 +77,7 @@ mod sink;
 mod sortmerge;
 mod stats;
 mod triecache;
+mod viewset;
 
 pub use catalog::{Catalog, TrieSet};
 pub use ctj::{Ctj, CtjConfig};
@@ -89,14 +90,17 @@ pub use lftj::Lftj;
 pub use pairwise::PairwiseHash;
 pub use parctj::ParCtj;
 pub use parlftj::ParLftj;
-pub use session::{QueryHandle, ResultStream, Session};
+pub use session::{
+    QueryHandle, ResultStream, Session, WatchStream, WatchUpdate, COMPACT_RATIO_ENV,
+};
 pub use sink::{CollectSink, CountSink, ResultSink, ShardSink};
 pub use sortmerge::PairwiseSortMerge;
 pub use stats::EngineStats;
 pub use triecache::{TrieCache, STORE_ENV, TRIE_CACHE_ENV};
 pub use triejax_exec::{CancelReason, CancelToken, RunBudget};
-pub use triejax_relation::{Counting, NoTally, Tally};
+pub use triejax_relation::{Counting, NoTally, RelationDelta, Tally};
 pub use triejax_store::{StoreError, StoredCatalog, StoredTrie};
+pub use viewset::DeltaMap;
 
 /// Deterministic fault-injection harness for the parallel runtime,
 /// re-exported for integration tests driving the engines through the

@@ -12,9 +12,12 @@ use crate::engine::head_slots;
 use crate::shard::{
     can_split, compose_budget, env_split, execute_sharded, execute_split, make_pool, plan_shards,
 };
+use crate::viewset::{plan_touches_delta, CursorSet, MergeSet};
 use crate::{
-    Catalog, CtjConfig, EngineStats, JoinEngine, JoinError, ResultSink, TrieCache, TrieSet,
+    Catalog, CtjConfig, DeltaMap, EngineStats, JoinEngine, JoinError, ResultSink, TrieCache,
+    TrieSet,
 };
+use triejax_exec::WorkerPool;
 
 /// Name of the environment variable supplying the default shared-cache
 /// capacity (total entries; `0` disables caching) for engines that were
@@ -304,14 +307,48 @@ impl ParCtj {
         catalog: &Catalog,
         sink: &mut dyn ResultSink,
     ) -> Result<EngineStats<T>, JoinError> {
+        self.run_tallied_opt(plan, catalog, None, sink)
+    }
+
+    /// Runs the query with the pending mutations in `deltas` folded in;
+    /// see [`crate::ParLftj::run_tallied_with`] for the merge semantics
+    /// and the frozen fast path. Cache-spec validity is unaffected: PJR
+    /// entries are keyed by bindings alone, and a merged view changes
+    /// which bindings occur, not what an entry means.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_tallied`](Self::run_tallied), plus an arity mismatch
+    /// between a delta and its atom.
+    pub fn run_tallied_with<T: Tally>(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        deltas: &DeltaMap,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats<T>, JoinError> {
+        self.run_tallied_opt(plan, catalog, Some(deltas), sink)
+    }
+
+    /// Shared budget dispatch of [`run_tallied`](Self::run_tallied) and
+    /// [`run_tallied_with`](Self::run_tallied_with).
+    fn run_tallied_opt<T: Tally>(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        deltas: Option<&DeltaMap>,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats<T>, JoinError> {
         match self.effective_budget() {
             // Ungoverned: monomorphize with NoBudget — byte-identical to
             // the pre-governance engine.
-            None => self.run_budgeted::<T, NoBudget>(plan, catalog, sink, NoBudget, NoBudget, None),
+            None => self
+                .run_budgeted::<T, NoBudget>(plan, catalog, deltas, sink, NoBudget, NoBudget, None),
             Some(shared) => {
                 let stats = self.run_budgeted::<T, BudgetHandle>(
                     plan,
                     catalog,
+                    deltas,
                     sink,
                     BudgetHandle::driving(shared.clone()),
                     BudgetHandle::worker(shared.clone()),
@@ -328,15 +365,14 @@ impl ParCtj {
         }
     }
 
-    /// The engine body, generic over the run's [`Budget`]; same private
-    /// contract as `ParLftj::run_budgeted` — `driving` for the sequential
-    /// fast path (charges the row quota at emit), `worker` cloned into
-    /// every shard driver (flag-only), `budget` polled by drain and task
-    /// wrappers.
+    /// Cursor-set dispatch, as `ParLftj::run_budgeted`: frozen plans get
+    /// a [`TrieSet`], delta-touching plans a [`MergeSet`].
+    #[allow(clippy::too_many_arguments)]
     fn run_budgeted<T: Tally, B: Budget + Clone + Send + Sync>(
         &self,
         plan: &CompiledQuery,
         catalog: &Catalog,
+        deltas: Option<&DeltaMap>,
         sink: &mut dyn ResultSink,
         driving: B,
         worker: B,
@@ -347,16 +383,51 @@ impl ParCtj {
         // build_on times only actual cold-build work internally, so a
         // query fully served from the cache (or a preloaded store) reports
         // trie_build_ns == 0 exactly.
-        let (tries, trie_cache_hits, trie_build_ns) =
-            TrieSet::build_on(plan, catalog, &pool, cache.as_deref())?;
+        match deltas.filter(|d| plan_touches_delta(plan, d)) {
+            None => {
+                let (tries, hits, ns) = TrieSet::build_on(plan, catalog, &pool, cache.as_deref())?;
+                self.run_set_budgeted(
+                    plan, catalog, &tries, &pool, hits, ns, sink, driving, worker, budget,
+                )
+            }
+            Some(d) => {
+                let (set, hits, ns) =
+                    MergeSet::build_on(plan, catalog, d, &pool, cache.as_deref())?;
+                self.run_set_budgeted(
+                    plan, catalog, &set, &pool, hits, ns, sink, driving, worker, budget,
+                )
+            }
+        }
+    }
+
+    /// The engine body, generic over the run's [`Budget`] and the
+    /// [`CursorSet`] its shard drivers walk; same private contract as
+    /// `ParLftj::run_set_budgeted` — `driving` for the sequential fast
+    /// path (charges the row quota at emit), `worker` cloned into every
+    /// shard driver (flag-only), `budget` polled by drain and task
+    /// wrappers.
+    #[allow(clippy::too_many_arguments)]
+    fn run_set_budgeted<'s, T: Tally, B: Budget + Clone + Send + Sync, S: CursorSet<'s>>(
+        &self,
+        plan: &'s CompiledQuery,
+        catalog: &Catalog,
+        set: &'s S,
+        pool: &WorkerPool,
+        trie_cache_hits: u64,
+        trie_build_ns: u64,
+        sink: &mut dyn ResultSink,
+        driving: B,
+        worker: B,
+        budget: Option<&RunBudget>,
+    ) -> Result<EngineStats<T>, JoinError> {
         // Splitting needs a spare worker to hand work to and a root
         // domain wide enough to ever carve; otherwise fall back to the
         // static schedule (and its sequential single-shard fast path).
-        let split = self.effective_split() && pool.workers() > 1 && can_split(plan, &tries);
+        let split = self.effective_split() && pool.workers() > 1 && can_split(plan, set);
         let ranges = plan_shards(
             plan,
             catalog,
-            &tries,
+            set,
             pool.workers(),
             self.granularity.map(NonZeroUsize::get),
             split,
@@ -371,9 +442,9 @@ impl ParCtj {
             // (no stripe locks to pay when nothing is shared). The
             // capacity then bounds live entries by dropping new inserts
             // rather than evicting.
-            let mut driver = CtjDriver::<T, LocalPjr, B>::with_store_budget(
+            let mut driver = CtjDriver::<T, LocalPjr, B, S::Cur>::with_store_budget(
                 plan,
-                &tries,
+                set,
                 config,
                 LocalPjr::new(config),
                 driving,
@@ -388,7 +459,6 @@ impl ParCtj {
 
         // Validate the emission plan up front so shard workers cannot fail.
         head_slots(plan)?;
-        let tries_ref = &tries;
         // With splitting, every configured worker may end up running a
         // spawned shard; without it, a run never uses more workers than
         // it has planned ranges.
@@ -405,23 +475,20 @@ impl ParCtj {
         // `WorkerCtx::worker`; a slot's mutex is only ever taken by its
         // owning worker during the run. Each driver holds its own handle
         // onto the shared cache.
-        let worker_drivers: Vec<Mutex<Option<CtjDriver<'_, T, SharedPjrHandle<'_>, B>>>> =
-            (0..workers).map(|_| Mutex::new(None)).collect();
+        #[allow(clippy::type_complexity)]
+        let worker_drivers: Vec<
+            Mutex<Option<CtjDriver<'_, T, SharedPjrHandle<'_>, B, S::Cur>>>,
+        > = (0..workers).map(|_| Mutex::new(None)).collect();
         let new_driver = || {
-            let mut d = CtjDriver::with_store_budget(
-                plan,
-                tries_ref,
-                config,
-                cache.handle(),
-                worker.clone(),
-            )
-            .expect("emission plan validated before the parallel phase");
+            let mut d =
+                CtjDriver::with_store_budget(plan, set, config, cache.handle(), worker.clone())
+                    .expect("emission plan validated before the parallel phase");
             d.emit_passthrough(); // the ShardSink already batches
             d
         };
         let pool_stats = if split {
             let (_, pool_stats) = execute_split(
-                &pool,
+                pool,
                 &ranges,
                 plan.arity(),
                 sink,
@@ -437,7 +504,7 @@ impl ParCtj {
             pool_stats
         } else {
             let (_, pool_stats) = execute_sharded(
-                &pool,
+                pool,
                 &ranges,
                 plan.arity(),
                 sink,

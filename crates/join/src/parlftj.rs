@@ -5,12 +5,17 @@ use triejax_exec::{Budget, BudgetHandle, CancelToken, NoBudget, RunBudget};
 use triejax_query::CompiledQuery;
 use triejax_relation::{Counting, Tally};
 
+use triejax_exec::WorkerPool;
+
 use crate::engine::head_slots;
 use crate::lftj::Driver;
 use crate::shard::{
     can_split, compose_budget, env_split, execute_sharded, execute_split, make_pool, plan_shards,
 };
-use crate::{Catalog, EngineStats, JoinEngine, JoinError, ResultSink, TrieCache, TrieSet};
+use crate::viewset::{plan_touches_delta, CursorSet, MergeSet};
+use crate::{
+    Catalog, DeltaMap, EngineStats, JoinEngine, JoinError, ResultSink, TrieCache, TrieSet,
+};
 
 /// Parallel LeapFrog TrieJoin: root-partitioned LFTJ on the shared
 /// [`triejax_exec::WorkerPool`] runtime.
@@ -278,14 +283,50 @@ impl ParLftj {
         catalog: &Catalog,
         sink: &mut dyn ResultSink,
     ) -> Result<EngineStats<T>, JoinError> {
+        self.run_tallied_opt(plan, catalog, None, sink)
+    }
+
+    /// Runs the query over `catalog` with the pending mutations in
+    /// `deltas` folded in: every atom over a mutated relation walks a
+    /// [`triejax_relation::MergeCursor`] presenting
+    /// `base ∪ inserts − tombstones`, without rebuilding the base trie.
+    /// When no atom of the plan touches a non-empty delta, this is
+    /// exactly [`run_tallied`](Self::run_tallied) — the frozen fast path,
+    /// monomorphized to plain trie cursors.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_tallied`](Self::run_tallied), plus an arity mismatch
+    /// between a delta and its atom.
+    pub fn run_tallied_with<T: Tally>(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        deltas: &DeltaMap,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats<T>, JoinError> {
+        self.run_tallied_opt(plan, catalog, Some(deltas), sink)
+    }
+
+    /// Shared budget dispatch of [`run_tallied`](Self::run_tallied) and
+    /// [`run_tallied_with`](Self::run_tallied_with).
+    fn run_tallied_opt<T: Tally>(
+        &mut self,
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        deltas: Option<&DeltaMap>,
+        sink: &mut dyn ResultSink,
+    ) -> Result<EngineStats<T>, JoinError> {
         match self.effective_budget() {
             // Ungoverned: monomorphize with NoBudget — byte-identical to
             // the pre-governance engine.
-            None => self.run_budgeted::<T, NoBudget>(plan, catalog, sink, NoBudget, NoBudget, None),
+            None => self
+                .run_budgeted::<T, NoBudget>(plan, catalog, deltas, sink, NoBudget, NoBudget, None),
             Some(shared) => {
                 let stats = self.run_budgeted::<T, BudgetHandle>(
                     plan,
                     catalog,
+                    deltas,
                     sink,
                     BudgetHandle::driving(shared.clone()),
                     BudgetHandle::worker(shared.clone()),
@@ -302,15 +343,16 @@ impl ParLftj {
         }
     }
 
-    /// The engine body, generic over the run's [`Budget`]: `driving` is
-    /// the handle for the sequential fast path (it charges the row quota
-    /// at emit time), `worker` is cloned into every shard driver (flag
-    /// polling only — the ordered drain owns the quota in a parallel run),
-    /// and `budget` is what the drain and the task wrappers poll.
+    /// Cursor-set dispatch: frozen plans build a [`TrieSet`] (plain trie
+    /// cursors, the pre-delta code paths), delta-touching plans a
+    /// [`MergeSet`]; either way the body is
+    /// [`run_set_budgeted`](Self::run_set_budgeted).
+    #[allow(clippy::too_many_arguments)]
     fn run_budgeted<T: Tally, B: Budget + Clone + Send + Sync>(
         &self,
         plan: &CompiledQuery,
         catalog: &Catalog,
+        deltas: Option<&DeltaMap>,
         sink: &mut dyn ResultSink,
         driving: B,
         worker: B,
@@ -323,16 +365,51 @@ impl ParLftj {
         // build_on times only actual cold-build work internally, so a
         // query fully served from the cache (or a preloaded store) reports
         // trie_build_ns == 0 exactly.
-        let (tries, trie_cache_hits, trie_build_ns) =
-            TrieSet::build_on(plan, catalog, &pool, cache.as_deref())?;
+        match deltas.filter(|d| plan_touches_delta(plan, d)) {
+            None => {
+                let (tries, hits, ns) = TrieSet::build_on(plan, catalog, &pool, cache.as_deref())?;
+                self.run_set_budgeted(
+                    plan, catalog, &tries, &pool, hits, ns, sink, driving, worker, budget,
+                )
+            }
+            Some(d) => {
+                let (set, hits, ns) =
+                    MergeSet::build_on(plan, catalog, d, &pool, cache.as_deref())?;
+                self.run_set_budgeted(
+                    plan, catalog, &set, &pool, hits, ns, sink, driving, worker, budget,
+                )
+            }
+        }
+    }
+
+    /// The engine body, generic over the run's [`Budget`] and the
+    /// [`CursorSet`] its shard drivers walk: `driving` is the handle for
+    /// the sequential fast path (it charges the row quota at emit time),
+    /// `worker` is cloned into every shard driver (flag polling only —
+    /// the ordered drain owns the quota in a parallel run), and `budget`
+    /// is what the drain and the task wrappers poll.
+    #[allow(clippy::too_many_arguments)]
+    fn run_set_budgeted<'s, T: Tally, B: Budget + Clone + Send + Sync, S: CursorSet<'s>>(
+        &self,
+        plan: &'s CompiledQuery,
+        catalog: &Catalog,
+        set: &'s S,
+        pool: &WorkerPool,
+        trie_cache_hits: u64,
+        trie_build_ns: u64,
+        sink: &mut dyn ResultSink,
+        driving: B,
+        worker: B,
+        budget: Option<&RunBudget>,
+    ) -> Result<EngineStats<T>, JoinError> {
         // Splitting needs a spare worker to hand work to and a root
         // domain wide enough to ever carve; otherwise fall back to the
         // static schedule (and its sequential single-shard fast path).
-        let split = self.effective_split() && pool.workers() > 1 && can_split(plan, &tries);
+        let split = self.effective_split() && pool.workers() > 1 && can_split(plan, set);
         let ranges = plan_shards(
             plan,
             catalog,
-            &tries,
+            set,
             pool.workers(),
             self.granularity.map(NonZeroUsize::get),
             split,
@@ -342,7 +419,7 @@ impl ParLftj {
         // across the idle pool; without it, a lone range runs
         // sequentially.
         if !split && ranges.len() <= 1 {
-            let mut driver = Driver::<T, B>::budgeted(plan, &tries, 0, None, driving)?;
+            let mut driver = Driver::<T, B, S::Cur>::budgeted(plan, set, 0, None, driving)?;
             driver.run(sink);
             let mut stats = driver.stats;
             stats.shards = 1;
@@ -353,16 +430,15 @@ impl ParLftj {
 
         // Validate the emission plan up front so shard workers cannot fail.
         head_slots(plan)?;
-        let tries_ref = &tries;
         let new_driver = |min, sup| {
-            let mut d = Driver::<T, B>::budgeted(plan, tries_ref, min, sup, worker.clone())
+            let mut d = Driver::<T, B, S::Cur>::budgeted(plan, set, min, sup, worker.clone())
                 .expect("emission plan validated before the parallel phase");
             d.emit_passthrough(); // the ShardSink already batches
             d
         };
         let (shard_stats, pool_stats) = if split {
             execute_split(
-                &pool,
+                pool,
                 &ranges,
                 plan.arity(),
                 sink,
@@ -375,7 +451,7 @@ impl ParLftj {
             )
         } else {
             execute_sharded(
-                &pool,
+                pool,
                 &ranges,
                 plan.arity(),
                 sink,

@@ -14,19 +14,71 @@
 //! ([`Session::open`]): the stored tries preload the session cache, so the
 //! first query of a cold process runs with zero trie builds. The inverse,
 //! [`Session::snapshot`], warms the cache with a set of plans and packages
-//! catalog + tries for [`StoredCatalog::save`].
+//! catalog + tries (+ any pending deltas, as format version 2) for
+//! [`StoredCatalog::save`].
+//!
+//! # Mutation
+//!
+//! Sessions are mutable without ever rebuilding a base trie:
+//! [`Session::apply`] folds one batch of inserts and deletes into a
+//! per-relation [`RelationDelta`] kept beside the frozen base, bumping the
+//! session **epoch**. Queries snapshot `(catalog, deltas, epoch)` at
+//! [`Session::query`] time, so a long stream keeps reading the state it
+//! started from while later batches land. Engines walk mutated relations
+//! through [`triejax_relation::MergeCursor`]s (`base ∪ inserts −
+//! tombstones`); untouched relations keep their plain trie cursors and
+//! their cached tries. When a relation's delta outgrows
+//! [`Session::with_compact_ratio`] × its base (or on an explicit
+//! [`Session::compact`]), the delta is merged into a fresh frozen base —
+//! an O(base) rebuild paid rarely, amortizing to O(batch) per apply.
+//!
+//! Applies are atomic: the new state is fully computed before it is
+//! swapped in, so a panic mid-apply (fault injection, allocation failure)
+//! leaves the session at its prior epoch with the old state intact.
+//!
+//! # Standing queries
+//!
+//! [`Session::watch`] registers a query for **semi-naïve incremental
+//! evaluation**: after every applied batch the subscriber's
+//! [`WatchStream`] receives exactly the result tuples that batch *newly
+//! created* — computed by joining only the delta-containing atom
+//! combinations, never by re-running the full query (see the module's
+//! overlap-term decomposition in ARCHITECTURE.md).
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use triejax_exec::{CancelToken, WorkerPool};
-use triejax_query::CompiledQuery;
-use triejax_relation::Value;
+use triejax_query::{CompiledQuery, Query};
+use triejax_relation::{delta, NoTally, Relation, RelationDelta, Value};
 use triejax_store::{StoreError, StoredCatalog};
 
-use crate::{Catalog, EngineStats, JoinError, ParCtj, ParLftj, ResultSink, TrieCache, TrieSet};
+use crate::engine::head_slots;
+use crate::{
+    Catalog, CollectSink, DeltaMap, EngineStats, JoinError, Lftj, ParCtj, ParLftj, ResultSink,
+    TrieCache, TrieSet,
+};
+
+/// Name of the environment variable supplying the default delta-compaction
+/// threshold: a relation's delta is merged into a fresh frozen base when
+/// `delta.len() > ratio × base.len()` after an apply. Unset means `0.5`;
+/// [`Session::with_compact_ratio`] overrides it per session.
+pub const COMPACT_RATIO_ENV: &str = "TRIEJAX_DELTA_COMPACT_RATIO";
+
+/// Reads the compaction ratio from the environment (default `0.5`).
+fn env_compact_ratio() -> f64 {
+    match std::env::var(COMPACT_RATIO_ENV) {
+        Ok(v) if !v.trim().is_empty() => {
+            let parsed = v.trim().parse::<f64>().ok().filter(|r| *r >= 0.0);
+            parsed.unwrap_or_else(|| {
+                panic!("{COMPACT_RATIO_ENV} must be a non-negative number, got {v:?}")
+            })
+        }
+        _ => 0.5,
+    }
+}
 
 /// Rows per batch pushed through a stream's channel — same batching the
 /// shard sinks use, so streaming adds one copy, not per-tuple signalling.
@@ -36,13 +88,35 @@ const STREAM_BATCH_ROWS: usize = 256;
 /// blocks: bounds the memory between a fast producer and a slow consumer.
 const STREAM_CHANNEL_BATCHES: usize = 16;
 
+/// One immutable generation of a session's data: the frozen bases, the
+/// pending per-relation deltas, and the epoch that stamps them. Queries
+/// clone this (two `Arc` bumps) and keep reading it while later epochs
+/// land.
+#[derive(Debug, Clone)]
+struct SessionState {
+    catalog: Arc<Catalog>,
+    deltas: Arc<DeltaMap>,
+    epoch: u64,
+}
+
+/// The interior every clone of a [`Session`] shares.
+#[derive(Debug)]
+struct Mutable {
+    state: RwLock<SessionState>,
+    /// Serializes [`Session::apply`]/[`Session::compact`]: the batch
+    /// algebra (and watcher notification order) must compose sequentially.
+    apply: Mutex<()>,
+    watchers: Mutex<Vec<Watcher>>,
+}
+
 /// A serving-process context: one catalog, one worker-pool configuration,
 /// and one shared cross-query trie cache.
 ///
 /// Concurrent queries are the point — [`Session::query`] borrows nothing
 /// mutably, and every [`QueryHandle`]/[`ResultStream`] owns `Arc`s into
 /// the shared state, so any number of streams can run at once against the
-/// same tries.
+/// same tries. Clones share the same mutable state: an [`Session::apply`]
+/// through one clone advances the epoch every clone observes.
 ///
 /// # Example
 ///
@@ -61,16 +135,28 @@ const STREAM_CHANNEL_BATCHES: usize = 16;
 ///     rows.push(row); // arrives incrementally, in sequential order
 /// }
 /// assert_eq!(rows.len(), 3);
+///
+/// // Mutate without rebuilding: drop one edge, close a new triangle
+/// // through a fresh vertex (0 → 3 → 1 → 0).
+/// session.apply(
+///     "G",
+///     &Relation::from_pairs(vec![(0, 3), (3, 1), (1, 0)]),
+///     &Relation::from_pairs(vec![(0, 1)]),
+/// )?;
+/// assert_eq!(session.query(&plan).stream().count(), 3);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Session {
-    catalog: Arc<Catalog>,
+    shared: Arc<Mutable>,
     /// The pool configuration every query and snapshot of this session
     /// shares ([`WorkerPool`] is a `Copy` config; each run spawns its
     /// scoped workers from it).
     pool: WorkerPool,
     cache: Arc<TrieCache>,
+    /// Explicit compaction ratio; `None` falls back to
+    /// [`COMPACT_RATIO_ENV`] at each apply.
+    compact_ratio: Option<f64>,
 }
 
 impl Session {
@@ -78,17 +164,32 @@ impl Session {
     /// (`TRIEJAX_POOL`, else one worker per core) and a fresh unbounded
     /// trie cache.
     pub fn new(catalog: Catalog) -> Self {
+        Session::from_parts(catalog, DeltaMap::new(), TrieCache::unbounded())
+    }
+
+    fn from_parts(catalog: Catalog, deltas: DeltaMap, cache: TrieCache) -> Self {
         Session {
-            catalog: Arc::new(catalog),
+            shared: Arc::new(Mutable {
+                state: RwLock::new(SessionState {
+                    catalog: Arc::new(catalog),
+                    deltas: Arc::new(deltas),
+                    epoch: 0,
+                }),
+                apply: Mutex::new(()),
+                watchers: Mutex::new(Vec::new()),
+            }),
             pool: WorkerPool::new(),
-            cache: Arc::new(TrieCache::unbounded()),
+            cache: Arc::new(cache),
+            compact_ratio: None,
         }
     }
 
     /// Opens a session from a saved [`StoredCatalog`] file: the stored
     /// relations become the catalog and every stored trie preloads the
     /// session cache, so queries whose tries were saved run with **zero**
-    /// trie builds ([`EngineStats::trie_build_ns`] stays `0`).
+    /// trie builds ([`EngineStats::trie_build_ns`] stays `0`). A
+    /// version-2 file's delta section is restored as the session's
+    /// pending deltas.
     ///
     /// # Errors
     ///
@@ -105,13 +206,15 @@ impl Session {
         for (name, rel) in stored.relations() {
             catalog.insert(name.clone(), rel.clone());
         }
+        let mut deltas = DeltaMap::new();
+        for (name, delta) in stored.deltas() {
+            if !delta.is_empty() {
+                deltas.insert(name.clone(), delta.clone());
+            }
+        }
         let cache = TrieCache::unbounded();
         cache.preload(stored);
-        Session {
-            catalog: Arc::new(catalog),
-            pool: WorkerPool::new(),
-            cache: Arc::new(cache),
-        }
+        Session::from_parts(catalog, deltas, cache)
     }
 
     /// Sets the worker count shared by every query and snapshot.
@@ -125,9 +228,53 @@ impl Session {
         self
     }
 
-    /// The shared catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// Sets this session's delta-compaction threshold, overriding
+    /// [`COMPACT_RATIO_ENV`]: after an apply leaves a relation with
+    /// `delta.len() > ratio × base.len()`, the delta is merged into a
+    /// fresh frozen base. `0.0` compacts after every apply; `f64::INFINITY`
+    /// disables auto-compaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is negative or NaN.
+    pub fn with_compact_ratio(mut self, ratio: f64) -> Self {
+        assert!(ratio >= 0.0, "compact ratio must be non-negative");
+        self.compact_ratio = Some(ratio);
+        self
+    }
+
+    fn effective_compact_ratio(&self) -> f64 {
+        self.compact_ratio.unwrap_or_else(env_compact_ratio)
+    }
+
+    /// A clone of the current state, taken under the read lock.
+    fn state(&self) -> SessionState {
+        self.shared
+            .state
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The current catalog of frozen base relations (pending deltas live
+    /// beside it, see [`Session::deltas`]).
+    pub fn catalog(&self) -> Arc<Catalog> {
+        self.state().catalog
+    }
+
+    /// The pending per-relation deltas of the current epoch.
+    pub fn deltas(&self) -> Arc<DeltaMap> {
+        self.state().deltas
+    }
+
+    /// The current epoch: `0` at creation, bumped by every successful
+    /// [`Session::apply`] and every compacting [`Session::compact`].
+    pub fn epoch(&self) -> u64 {
+        self.shared
+            .state
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .epoch
     }
 
     /// The shared cross-query trie cache (inspect its hit/insertion
@@ -141,12 +288,242 @@ impl Session {
         self.pool.workers()
     }
 
-    /// Creates a query handle over `plan` sharing this session's catalog,
-    /// pool configuration, and trie cache.
+    /// Applies one mutation batch to relation `name`: `deletes` first,
+    /// then `inserts` (a tuple in both ends up present). The batch folds
+    /// into the relation's pending [`RelationDelta`] — the frozen base
+    /// trie is **not** rebuilt — and the session epoch advances by one.
+    /// Unknown names create a fresh relation of the batch arity.
+    ///
+    /// The apply is atomic: the new state is fully computed before the
+    /// swap, so a panic mid-apply leaves the session at the prior epoch.
+    /// After the swap every standing query ([`Session::watch`]) receives
+    /// its incremental update for this batch, before `apply` returns.
+    ///
+    /// When the new delta exceeds the compaction threshold
+    /// ([`Session::with_compact_ratio`]) relative to a **non-empty** base,
+    /// the delta is merged into a fresh frozen base as part of the same
+    /// epoch. Relations created by `apply` (empty base) never
+    /// auto-compact; use [`Session::compact`] to promote them.
+    ///
+    /// Returns the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::ArityMismatch`] when `inserts` and `deletes`
+    /// disagree on arity or differ from the existing relation's arity; the
+    /// session state is untouched.
+    pub fn apply(
+        &self,
+        name: &str,
+        inserts: &Relation,
+        deletes: &Relation,
+    ) -> Result<u64, JoinError> {
+        let _apply = self
+            .shared
+            .apply
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let state = self.state();
+        if inserts.arity() != deletes.arity() {
+            return Err(JoinError::ArityMismatch {
+                name: name.to_owned(),
+                atom_arity: inserts.arity(),
+                relation_arity: deletes.arity(),
+            });
+        }
+        let arity = inserts.arity();
+        let (base, created) = match state.catalog.get(name) {
+            Some(rel) if rel.arity() != arity => {
+                return Err(JoinError::ArityMismatch {
+                    name: name.to_owned(),
+                    atom_arity: arity,
+                    relation_arity: rel.arity(),
+                });
+            }
+            Some(rel) => (rel.clone(), false),
+            None => (
+                Relation::new(arity).expect("batch relations have nonzero arity"),
+                true,
+            ),
+        };
+        let old_delta = state.deltas.get(name).cloned().unwrap_or_else(|| {
+            RelationDelta::empty(arity).expect("batch relations have nonzero arity")
+        });
+        let (added, _removed) = old_delta.batch_effects(&base, inserts, deletes);
+        let new_delta = old_delta.apply_batch(&base, inserts, deletes);
+        let compact = !base.is_empty()
+            && new_delta.len() as f64 > self.effective_compact_ratio() * base.len() as f64;
+
+        let new_catalog = if created || compact {
+            let mut cat = (*state.catalog).clone();
+            if compact {
+                cat.insert(name, new_delta.merge_into(&base));
+            } else {
+                cat.insert(name, base.clone());
+            }
+            Arc::new(cat)
+        } else {
+            Arc::clone(&state.catalog)
+        };
+        let new_deltas = {
+            let mut dm = (*state.deltas).clone();
+            if compact || new_delta.is_empty() {
+                dm.remove(name);
+            } else {
+                dm.insert(name.to_owned(), new_delta.clone());
+            }
+            Arc::new(dm)
+        };
+        let epoch = state.epoch + 1;
+
+        // Fault-injection hook: the new state is fully computed but not
+        // yet visible — a panic fired here must leave the session (and any
+        // subsequent observer) at the prior epoch.
+        #[cfg(feature = "faults")]
+        crate::faults::fire(crate::faults::FaultEvent::DeltaApply);
+
+        *self
+            .shared
+            .state
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = SessionState {
+            catalog: new_catalog,
+            deltas: new_deltas,
+            epoch,
+        };
+        self.notify_watchers(name, &base, &new_delta, &added, epoch);
+        Ok(epoch)
+    }
+
+    /// Merges relation `name`'s pending delta into a fresh frozen base,
+    /// regardless of the compaction ratio. A no-op (epoch unchanged) when
+    /// the relation has no pending delta; otherwise the epoch advances.
+    /// Standing queries are **not** notified — compaction never changes
+    /// the merged view.
+    ///
+    /// Returns the (possibly unchanged) epoch.
+    pub fn compact(&self, name: &str) -> u64 {
+        let _apply = self
+            .shared
+            .apply
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let state = self.state();
+        let Some(delta) = state.deltas.get(name).filter(|d| !d.is_empty()) else {
+            return state.epoch;
+        };
+        let base = state
+            .catalog
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| Relation::new(delta.arity()).expect("delta arity is nonzero"));
+        let mut cat = (*state.catalog).clone();
+        cat.insert(name, delta.merge_into(&base));
+        let mut dm = (*state.deltas).clone();
+        dm.remove(name);
+        let epoch = state.epoch + 1;
+        *self
+            .shared
+            .state
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = SessionState {
+            catalog: Arc::new(cat),
+            deltas: Arc::new(dm),
+            epoch,
+        };
+        epoch
+    }
+
+    /// Registers `plan` as a **standing query**: the returned
+    /// [`WatchStream`] receives one [`WatchUpdate`] per subsequent
+    /// [`Session::apply`], carrying exactly the result tuples that batch
+    /// newly created, in the engine's sequential order.
+    ///
+    /// Evaluation is semi-naïve: per applied batch only the
+    /// delta-containing atom combinations are joined (one term per atom
+    /// referencing the mutated relation), never the full query. Deletions
+    /// cannot create results, so a delete-only batch yields an empty
+    /// update. Dropping the stream unregisters the watcher at the next
+    /// apply; the session is never blocked by a slow or gone subscriber.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::Plan`] for projected plans (standing queries
+    /// emit full joins, like the engines themselves).
+    pub fn watch(&self, plan: &CompiledQuery) -> Result<WatchStream, JoinError> {
+        let slots = head_slots(plan)?;
+        let q = plan.query();
+        // Rebuild the query with one synthetic relation name per atom
+        // ("rel@i"): the incremental terms give different atoms over the
+        // same relation *different* views, which the engine's per-(name,
+        // permutation) trie dedup must not conflate. Variable names keep
+        // their positions, so VarIds (assigned by first appearance) and
+        // hence `plan.order()` carry over unchanged.
+        let mut builder = Query::builder(format!("{}@watch", q.name()))
+            .head(q.head().iter().map(|&v| q.var_name(v)));
+        for (i, atom) in q.atoms().iter().enumerate() {
+            builder = builder.atom(
+                format!("{}@{i}", atom.relation()),
+                atom.vars().iter().map(|&v| q.var_name(v)),
+            );
+        }
+        let renamed = builder.build().map_err(|e| JoinError::Plan {
+            detail: format!("standing query could not be rebuilt: {e}"),
+        })?;
+        let term_plan = CompiledQuery::compile_with_order(&renamed, plan.order().to_vec())
+            .map_err(|e| JoinError::Plan {
+                detail: format!("standing query could not be re-planned: {e}"),
+            })?;
+        let relations = q.atoms().iter().map(|a| a.relation().to_owned()).collect();
+        let (tx, rx) = channel();
+        self.shared
+            .watchers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Watcher {
+                relations,
+                term_plan,
+                slots,
+                tx,
+            });
+        Ok(WatchStream { rx })
+    }
+
+    /// Evaluates every live watcher against the just-applied batch and
+    /// sends its update; watchers whose subscriber is gone are dropped.
+    /// Runs under the apply lock, so updates arrive in epoch order.
+    fn notify_watchers(
+        &self,
+        name: &str,
+        base: &Relation,
+        new_delta: &RelationDelta,
+        added: &Relation,
+        epoch: u64,
+    ) {
+        let mut watchers = self
+            .shared
+            .watchers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if watchers.is_empty() {
+            return;
+        }
+        let state = self.state();
+        watchers.retain(|w| {
+            let rows = w.evaluate(name, base, new_delta, added, &state);
+            w.tx.send(WatchUpdate { epoch, rows }).is_ok()
+        });
+    }
+
+    /// Creates a query handle over `plan` against a snapshot of this
+    /// session's current epoch (catalog + pending deltas); later applies
+    /// do not affect the handle or its streams.
     pub fn query(&self, plan: &CompiledQuery) -> QueryHandle {
+        let state = self.state();
         QueryHandle {
             plan: plan.clone(),
-            catalog: Arc::clone(&self.catalog),
+            catalog: state.catalog,
+            deltas: state.deltas,
             cache: Arc::clone(&self.cache),
             workers: self.pool.workers(),
             granularity: None,
@@ -158,7 +535,8 @@ impl Session {
     }
 
     /// Builds (into the session cache) every trie the given plans need,
-    /// then packages the catalog plus all cached tries as a
+    /// then packages the catalog plus all cached tries — and any pending
+    /// deltas, which make the file format version 2 — as a
     /// [`StoredCatalog`] ready for [`StoredCatalog::save`]. Entries are
     /// emitted in sorted key order, so the same session state always
     /// serializes to the same bytes.
@@ -168,11 +546,12 @@ impl Session {
     /// Returns a [`JoinError`] if a plan references a relation the catalog
     /// is missing or whose arity mismatches.
     pub fn snapshot(&self, plans: &[CompiledQuery]) -> Result<StoredCatalog, JoinError> {
+        let state = self.state();
         for plan in plans {
-            TrieSet::build_on(plan, &self.catalog, &self.pool, Some(&self.cache))?;
+            TrieSet::build_on(plan, &state.catalog, &self.pool, Some(&self.cache))?;
         }
         let mut stored = StoredCatalog::new();
-        let mut relations: Vec<_> = self.catalog.iter().collect();
+        let mut relations: Vec<_> = state.catalog.iter().collect();
         relations.sort_by_key(|(name, _)| name.to_owned());
         for (name, rel) in relations {
             stored.insert_relation(name, rel.clone());
@@ -182,7 +561,158 @@ impl Session {
         for (name, fingerprint, perm, trie) in entries {
             stored.insert_trie(name, fingerprint, perm, trie);
         }
+        let mut deltas: Vec<_> = state.deltas.iter().collect();
+        deltas.sort_by_key(|(name, _)| name.to_owned());
+        for (name, delta) in deltas {
+            stored.insert_delta(name, delta.clone());
+        }
         Ok(stored)
+    }
+}
+
+/// One update of a standing query ([`Session::watch`]): the tuples the
+/// batch applied at `epoch` newly added to the query's result, in the
+/// engine's sequential order. `rows` is empty when the batch created no
+/// results (e.g. a delete-only batch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchUpdate {
+    /// The epoch whose apply produced this update.
+    pub epoch: u64,
+    /// The newly-created result tuples, in sequential order.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// The subscriber half of a standing query: one [`WatchUpdate`] arrives
+/// per [`Session::apply`] (synchronously, before `apply` returns).
+/// Dropping the stream unsubscribes; an in-flight apply is unaffected and
+/// never blocks on this channel (it is unbounded).
+#[derive(Debug)]
+pub struct WatchStream {
+    rx: Receiver<WatchUpdate>,
+}
+
+impl WatchStream {
+    /// The next pending update, if one has already been delivered.
+    pub fn poll(&self) -> Option<WatchUpdate> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocks for the next update; `None` once every clone of the session
+    /// is gone (no further applies can happen).
+    pub fn recv(&self) -> Option<WatchUpdate> {
+        self.rx.recv().ok()
+    }
+}
+
+/// The session-side half of a standing query: the renamed term plan plus
+/// what it takes to evaluate one batch's increment and deliver it.
+#[derive(Debug)]
+struct Watcher {
+    /// Original relation name per atom; the term plan's atom `i` reads the
+    /// synthetic view `"{relations[i]}@{i}"`.
+    relations: Vec<String>,
+    term_plan: CompiledQuery,
+    /// Evaluation depth → head slot, for sorting concatenated term output
+    /// back into the engine's sequential (binding-order) emission order.
+    slots: Vec<usize>,
+    tx: Sender<WatchUpdate>,
+}
+
+impl Watcher {
+    /// The semi-naïve increment of one applied batch: with `A` the tuples
+    /// the batch added to the mutated relation's merged view, `NEW` that
+    /// view after the apply and `MID = NEW − A`, the newly-created results
+    /// are the disjoint union over atoms `j` referencing the relation of
+    ///
+    /// ```text
+    /// join(NEW at atoms < j, A alone at atom j, MID at atoms > j)
+    /// ```
+    ///
+    /// (every new result uses `A` somewhere; the term of its *first*
+    /// `A`-using atom counts it exactly once). Removals need no filtering:
+    /// joins are monotone per view, so anything over `NEW`/`MID`/`A` that
+    /// was not a result before the apply is genuinely new.
+    fn evaluate(
+        &self,
+        name: &str,
+        base: &Relation,
+        new_delta: &RelationDelta,
+        added: &Relation,
+        state: &SessionState,
+    ) -> Vec<Vec<Value>> {
+        let touched: Vec<usize> = self
+            .relations
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.as_str() == name)
+            .map(|(i, _)| i)
+            .collect();
+        if touched.is_empty() || added.is_empty() {
+            return Vec::new();
+        }
+        // MID as a delta over the same base: drop the added tuples from
+        // the insert side, tombstone the added tuples that live in the
+        // base (re-inserts of previously tombstoned rows).
+        let mid = RelationDelta::from_parts(
+            delta::difference(new_delta.inserts(), added),
+            delta::union(new_delta.tombstones(), &delta::intersection(added, base)),
+        )
+        .expect("all parts share the batch arity");
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for &j in &touched {
+            let mut cat = Catalog::new();
+            let mut dm = DeltaMap::new();
+            let mut resolved = true;
+            for (i, rel) in self.relations.iter().enumerate() {
+                let view = format!("{rel}@{i}");
+                if rel == name {
+                    match i.cmp(&j) {
+                        std::cmp::Ordering::Equal => cat.insert(view, added.clone()),
+                        std::cmp::Ordering::Less => {
+                            cat.insert(view.clone(), base.clone());
+                            if !new_delta.is_empty() {
+                                dm.insert(view, new_delta.clone());
+                            }
+                        }
+                        std::cmp::Ordering::Greater => {
+                            cat.insert(view.clone(), base.clone());
+                            if !mid.is_empty() {
+                                dm.insert(view, mid.clone());
+                            }
+                        }
+                    }
+                } else if let Some(r) = state.catalog.get(rel) {
+                    cat.insert(view.clone(), r.clone());
+                    if let Some(d) = state.deltas.get(rel).filter(|d| !d.is_empty()) {
+                        dm.insert(view, d.clone());
+                    }
+                } else {
+                    // A relation the query needs does not exist yet: the
+                    // full join is empty, and so is every increment.
+                    resolved = false;
+                    break;
+                }
+            }
+            if !resolved {
+                return Vec::new();
+            }
+            let mut sink = CollectSink::new();
+            if Lftj::new()
+                .run_tallied_with::<NoTally>(&self.term_plan, &cat, &dm, &mut sink)
+                .is_ok()
+            {
+                rows.extend(sink.tuples().iter().cloned());
+            }
+        }
+        // Terms are disjoint, so concatenation has no duplicates; sorting
+        // by the binding order restores the sequential emission order.
+        rows.sort_by(|a, b| {
+            self.slots
+                .iter()
+                .map(|&s| a[s])
+                .cmp(self.slots.iter().map(|&s| b[s]))
+        });
+        rows
     }
 }
 
@@ -196,6 +726,7 @@ impl Session {
 pub struct QueryHandle {
     plan: CompiledQuery,
     catalog: Arc<Catalog>,
+    deltas: Arc<DeltaMap>,
     cache: Arc<TrieCache>,
     workers: usize,
     granularity: Option<usize>,
@@ -310,7 +841,12 @@ impl QueryHandle {
                 if let Some(t) = token {
                     e = e.with_cancel_token(t);
                 }
-                e.run_tallied::<triejax_relation::Counting>(&self.plan, &self.catalog, sink)
+                e.run_tallied_with::<triejax_relation::Counting>(
+                    &self.plan,
+                    &self.catalog,
+                    &self.deltas,
+                    sink,
+                )
             }};
         }
         if self.ctj {
@@ -506,7 +1042,12 @@ mod tests {
     fn sequential_tuples(session: &Session, plan: &CompiledQuery) -> Vec<Vec<Value>> {
         let mut sink = CollectSink::new();
         Lftj::new()
-            .execute(plan, session.catalog(), &mut sink)
+            .run_tallied_with::<triejax_relation::Counting>(
+                plan,
+                &session.catalog(),
+                &session.deltas(),
+                &mut sink,
+            )
             .unwrap();
         sink.tuples().to_vec()
     }
@@ -651,5 +1192,285 @@ mod tests {
             stream.outcome().unwrap(),
             Err(JoinError::MissingRelation { .. })
         ));
+    }
+
+    /// Rebuilds the session's merged view from scratch and runs `plan`
+    /// over it sequentially — the ground truth every incremental path
+    /// must match.
+    fn rebuilt_tuples(session: &Session, plan: &CompiledQuery) -> Vec<Vec<Value>> {
+        let mut catalog = Catalog::new();
+        let deltas = session.deltas();
+        for (name, rel) in session.catalog().iter() {
+            match deltas.get(name) {
+                Some(d) => catalog.insert(name, d.merge_into(rel)),
+                None => catalog.insert(name, rel.clone()),
+            }
+        }
+        let mut sink = CollectSink::new();
+        Lftj::new().execute(plan, &catalog, &mut sink).unwrap();
+        sink.tuples().to_vec()
+    }
+
+    #[test]
+    fn apply_advances_the_epoch_and_queries_see_the_batch() {
+        let session = grid_session(2).with_compact_ratio(f64::INFINITY);
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        assert_eq!(session.epoch(), 0);
+        let before: Vec<Vec<Value>> = session.query(&plan).stream().collect();
+
+        // Grow the graph by a vertex: new triangles appear through 12.
+        let inserts = Relation::from_pairs(vec![(0, 12), (12, 1)]);
+        let epoch = session
+            .apply("G", &inserts, &Relation::new(2).unwrap())
+            .unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(session.epoch(), 1);
+        assert!(!session.deltas().is_empty(), "delta is pending");
+
+        let after: Vec<Vec<Value>> = session.query(&plan).stream().collect();
+        assert!(after.len() > before.len());
+        assert_eq!(after, rebuilt_tuples(&session, &plan));
+    }
+
+    #[test]
+    fn query_handles_snapshot_the_epoch_they_were_created_at() {
+        let session = grid_session(2).with_compact_ratio(f64::INFINITY);
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let before: Vec<Vec<Value>> = session.query(&plan).stream().collect();
+        let handle = session.query(&plan);
+        session
+            .apply(
+                "G",
+                &Relation::new(2).unwrap(),
+                &Relation::from_pairs(vec![(0, 1)]),
+            )
+            .unwrap();
+        // The pre-apply handle still sees epoch 0's result.
+        let stale: Vec<Vec<Value>> = handle.stream().collect();
+        assert_eq!(stale, before);
+        let fresh: Vec<Vec<Value>> = session.query(&plan).stream().collect();
+        assert!(fresh.len() < before.len());
+    }
+
+    #[test]
+    fn deletes_apply_first_and_inserts_win() {
+        let mut catalog = Catalog::new();
+        catalog.insert("G", Relation::from_pairs(vec![(0, 1), (1, 2), (2, 0)]));
+        let session = Session::new(catalog)
+            .with_pool(1)
+            .with_compact_ratio(f64::INFINITY);
+        // Delete and re-insert (0,1) in one batch: it must survive.
+        session
+            .apply(
+                "G",
+                &Relation::from_pairs(vec![(0, 1)]),
+                &Relation::from_pairs(vec![(0, 1), (1, 2)]),
+            )
+            .unwrap();
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let rows: Vec<Vec<Value>> = session.query(&plan).stream().collect();
+        assert!(rows.is_empty(), "breaking edge (1,2) kills the triangle");
+        // Restore it: the triangle is back.
+        session
+            .apply(
+                "G",
+                &Relation::from_pairs(vec![(1, 2)]),
+                &Relation::new(2).unwrap(),
+            )
+            .unwrap();
+        assert!(
+            session.deltas().is_empty(),
+            "net-zero delta normalizes away"
+        );
+        assert_eq!(session.query(&plan).stream().count(), 3);
+    }
+
+    #[test]
+    fn auto_compaction_folds_the_delta_into_the_base() {
+        let mut catalog = Catalog::new();
+        catalog.insert("G", Relation::from_pairs(vec![(0, 1), (1, 2), (2, 0)]));
+        let session = Session::new(catalog).with_pool(1).with_compact_ratio(0.0);
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        session
+            .apply(
+                "G",
+                &Relation::from_pairs(vec![(0, 3), (3, 1)]),
+                &Relation::from_pairs(vec![(0, 1)]),
+            )
+            .unwrap();
+        // Ratio 0 compacts every apply: no pending delta, merged base.
+        assert!(session.deltas().is_empty());
+        assert_eq!(
+            session.catalog().get("G").unwrap(),
+            &Relation::from_pairs(vec![(0, 3), (1, 2), (2, 0), (3, 1)])
+        );
+        // The merged graph is the 4-cycle 0→3→1→2→0: triangle-free.
+        assert_eq!(session.query(&plan).stream().count(), 0);
+    }
+
+    #[test]
+    fn explicit_compact_promotes_and_is_idempotent() {
+        let session = grid_session(1).with_compact_ratio(f64::INFINITY);
+        session
+            .apply(
+                "G",
+                &Relation::from_pairs(vec![(0, 12)]),
+                &Relation::new(2).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(session.epoch(), 1);
+        assert!(!session.deltas().is_empty());
+        assert_eq!(session.compact("G"), 2, "compaction bumps the epoch");
+        assert!(session.deltas().is_empty());
+        assert_eq!(session.compact("G"), 2, "nothing to compact: no-op");
+        assert_eq!(session.compact("missing"), 2);
+    }
+
+    #[test]
+    fn apply_creates_unknown_relations_at_the_batch_arity() {
+        let session = Session::new(Catalog::new())
+            .with_pool(1)
+            .with_compact_ratio(f64::INFINITY);
+        session
+            .apply(
+                "G",
+                &Relation::from_pairs(vec![(0, 1), (1, 2), (2, 0)]),
+                &Relation::new(2).unwrap(),
+            )
+            .unwrap();
+        assert!(
+            session.catalog().get("G").unwrap().is_empty(),
+            "base stays empty; tuples live in the delta"
+        );
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        assert_eq!(session.query(&plan).stream().count(), 3);
+        // Delta-only relations never auto-compact, even at ratio 0 …
+        let session = Session::new(Catalog::new())
+            .with_pool(1)
+            .with_compact_ratio(0.0);
+        session
+            .apply(
+                "G",
+                &Relation::from_pairs(vec![(0, 1)]),
+                &Relation::new(2).unwrap(),
+            )
+            .unwrap();
+        assert!(!session.deltas().is_empty());
+        // … but explicit compaction promotes them to a frozen base.
+        session.compact("G");
+        assert!(session.deltas().is_empty());
+        assert_eq!(
+            session.catalog().get("G").unwrap(),
+            &Relation::from_pairs(vec![(0, 1)])
+        );
+    }
+
+    #[test]
+    fn arity_mismatches_leave_the_session_untouched() {
+        let session = grid_session(1);
+        let triples = Relation::from_tuples(3, vec![[1, 2, 3]]).unwrap();
+        let err = session
+            .apply("G", &triples, &Relation::new(3).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, JoinError::ArityMismatch { .. }));
+        let err = session
+            .apply("G", &Relation::new(2).unwrap(), &Relation::new(3).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, JoinError::ArityMismatch { .. }));
+        assert_eq!(session.epoch(), 0);
+        assert!(session.deltas().is_empty());
+    }
+
+    #[test]
+    fn watch_emits_exactly_the_new_triangles_in_order() {
+        let mut catalog = Catalog::new();
+        catalog.insert("G", Relation::from_pairs(vec![(0, 1), (1, 2)]));
+        let session = Session::new(catalog)
+            .with_pool(1)
+            .with_compact_ratio(f64::INFINITY);
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let watch = session.watch(&plan).unwrap();
+
+        // Close the triangle: one new result.
+        let full_before = sequential_tuples(&session, &plan);
+        session
+            .apply(
+                "G",
+                &Relation::from_pairs(vec![(2, 0)]),
+                &Relation::new(2).unwrap(),
+            )
+            .unwrap();
+        let full_after = sequential_tuples(&session, &plan);
+        let update = watch.poll().expect("apply delivers synchronously");
+        assert_eq!(update.epoch, 1);
+        let expect: Vec<Vec<Value>> = full_after
+            .iter()
+            .filter(|r| !full_before.contains(r))
+            .cloned()
+            .collect();
+        assert_eq!(update.rows, expect);
+        assert_eq!(update.rows.len(), 3, "cycle3 counts each rotation");
+
+        // A delete-only batch cannot create results.
+        session
+            .apply(
+                "G",
+                &Relation::new(2).unwrap(),
+                &Relation::from_pairs(vec![(1, 2)]),
+            )
+            .unwrap();
+        let update = watch.poll().unwrap();
+        assert_eq!(update.epoch, 2);
+        assert!(update.rows.is_empty());
+
+        // No-op re-insert of a live tuple: nothing added, nothing emitted.
+        session
+            .apply(
+                "G",
+                &Relation::from_pairs(vec![(0, 1)]),
+                &Relation::new(2).unwrap(),
+            )
+            .unwrap();
+        assert!(watch.poll().unwrap().rows.is_empty());
+        assert!(watch.poll().is_none(), "one update per apply");
+    }
+
+    #[test]
+    fn dropped_watchers_unregister_without_blocking_applies() {
+        let session = grid_session(1).with_compact_ratio(f64::INFINITY);
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let watch = session.watch(&plan).unwrap();
+        drop(watch);
+        // The next apply notices the gone subscriber and keeps going.
+        session
+            .apply(
+                "G",
+                &Relation::from_pairs(vec![(0, 12), (12, 1)]),
+                &Relation::new(2).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(session.epoch(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_pending_deltas() {
+        let session = grid_session(2).with_compact_ratio(f64::INFINITY);
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        session
+            .apply(
+                "G",
+                &Relation::from_pairs(vec![(0, 12), (12, 1)]),
+                &Relation::from_pairs(vec![(0, 1)]),
+            )
+            .unwrap();
+        let expect = sequential_tuples(&session, &plan);
+
+        let stored = session.snapshot(std::slice::from_ref(&plan)).unwrap();
+        let reopened =
+            Session::from_stored(&StoredCatalog::from_bytes(&stored.to_bytes()).unwrap())
+                .with_pool(2);
+        assert_eq!(reopened.deltas().len(), 1, "delta survived the store");
+        let got: Vec<Vec<Value>> = reopened.query(&plan).stream().collect();
+        assert_eq!(got, expect);
     }
 }

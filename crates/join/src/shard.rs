@@ -5,9 +5,10 @@ use triejax_exec::{
     CancelReason, OrderedMerge, PoolStats, RunBudget, Spawner, WorkerCtx, WorkerPool,
 };
 use triejax_query::CompiledQuery;
-use triejax_relation::{Tally, TrieCursor, Value};
+use triejax_relation::{JoinCursor, Tally, Value};
 
-use crate::{Catalog, EngineStats, ResultSink, ShardSink, TrieSet};
+use crate::viewset::CursorSet;
+use crate::{Catalog, EngineStats, ResultSink, ShardSink};
 
 /// Name of the environment variable enabling dynamic shard splitting for
 /// engines that were not configured explicitly. Accepts `1`/`true`/`on`
@@ -122,15 +123,15 @@ pub(crate) fn compose_budget(
 /// boundary scanning. The first shard starts at the bottom of the domain
 /// and the last is unbounded above, so the ranges cover every root value
 /// of every participant.
-pub(crate) fn plan_shards(
+pub(crate) fn plan_shards<'s, S: CursorSet<'s>>(
     plan: &CompiledQuery,
     catalog: &Catalog,
-    tries: &TrieSet,
+    set: &'s S,
     workers: usize,
     granularity: Option<usize>,
     split: bool,
 ) -> Vec<(Value, Option<Value>)> {
-    let root_values = planning_root_values(plan, tries);
+    let root_values = planning_root_values(plan, set);
 
     let shards = granularity
         .unwrap_or_else(|| {
@@ -179,10 +180,10 @@ pub(crate) fn plan_shards(
 /// *smallest* depth-0 participant's root values (any participant's root
 /// values are a superset of the depth-0 matches, and the smallest one
 /// balances shards with the least boundary scanning).
-fn planning_root_values<'t>(plan: &CompiledQuery, tries: &'t TrieSet) -> &'t [Value] {
+fn planning_root_values<'s, S: CursorSet<'s>>(plan: &CompiledQuery, set: &'s S) -> &'s [Value] {
     plan.atoms_at(0)
         .iter()
-        .map(|&(a, _)| tries.for_atom(a).level(0).values())
+        .map(|&(a, _)| set.root_values(a))
         .min_by_key(|v| v.len())
         .expect("every depth has at least one participant")
 }
@@ -194,8 +195,8 @@ fn planning_root_values<'t>(plan: &CompiledQuery, tries: &'t TrieSet) -> &'t [Va
 /// sequential single-shard fast path — when it cannot, instead of
 /// paying for a pool, merge and shared cache that zero splits could
 /// ever use.
-pub(crate) fn can_split(plan: &CompiledQuery, tries: &TrieSet) -> bool {
-    planning_root_values(plan, tries).len() > MIN_SPLIT_TAIL
+pub(crate) fn can_split<'s, S: CursorSet<'s>>(plan: &CompiledQuery, set: &'s S) -> bool {
+    planning_root_values(plan, set).len() > MIN_SPLIT_TAIL
 }
 
 /// Drains the merge into `sink`, enforcing `budget` when one governs the
@@ -362,20 +363,20 @@ const MIN_SPLIT_TAIL: usize = 2;
 /// The boundary is the midpoint of the unvisited siblings of the
 /// participant with the *fewest* of them — that participant bounds the
 /// remaining intersection most tightly, so its midpoint best balances the
-/// halves. Before committing, the tail `[boundary, sup)` is validated
-/// against every depth-0 participant (a counted
-/// [`TrieCursor::open_root_range`] probe, so instrumented runs charge
-/// the validation searches exactly like the clamp searches): a root
+/// halves ([`JoinCursor::root_split_boundary`]). Before committing, the
+/// tail `[boundary, sup)` is validated against every depth-0 participant
+/// (a counted [`JoinCursor::open_root_range`] probe on a
+/// [fresh](JoinCursor::fresh) cursor, so instrumented runs charge the
+/// validation searches exactly like the clamp searches): a root
 /// match must appear in all of them, so if any participant has no root
 /// value in the tail, the tail joins to nothing and the split is
 /// skipped. A failed boundary is [vetoed](SplitSpawn::veto_at): `sup`
 /// only shrinks, so any candidate at or above it stays doomed and is
 /// skipped without re-probing — while a lower candidate (a different
 /// donor's midpoint after the cursors advance) is still attempted.
-pub(crate) fn try_split_root<T: Tally, C: SplitSpawn>(
+pub(crate) fn try_split_root<T: Tally, C: SplitSpawn, Cur: JoinCursor>(
     plan: &CompiledQuery,
-    tries: &TrieSet,
-    cursors: &mut [TrieCursor<'_>],
+    cursors: &mut [Cur],
     root_sup: &mut Option<Value>,
     ctl: &mut C,
     stats: &mut EngineStats<T>,
@@ -386,30 +387,22 @@ pub(crate) fn try_split_root<T: Tally, C: SplitSpawn>(
     let parts = plan.atoms_at(0);
     let (donor, remaining) = parts
         .iter()
-        .map(|&(a, _)| {
-            let c = &cursors[a];
-            let (_, hi) = c.sibling_range();
-            (a, hi - c.pos() - 1)
-        })
+        .map(|&(a, _)| (a, cursors[a].root_unvisited()))
         .min_by_key(|&(_, r)| r)
         .expect("every depth has at least one participant");
     if remaining < MIN_SPLIT_TAIL {
         return;
     }
-    let c = &cursors[donor];
-    let (_, hi) = c.sibling_range();
-    let pos = c.pos();
-    let boundary = c.trie().level(0).values()[pos + 1 + remaining / 2];
-    debug_assert!(hi - pos - 1 == remaining && boundary > c.key());
+    let boundary = cursors[donor].root_split_boundary();
+    debug_assert!(boundary > cursors[donor].key());
     if ctl.vetoed(boundary) {
         return;
     }
     for &(a, _) in parts {
-        if !TrieCursor::new(tries.for_atom(a)).open_root_range(
-            boundary,
-            *root_sup,
-            &mut stats.access,
-        ) {
+        if !cursors[a]
+            .fresh()
+            .open_root_range(boundary, *root_sup, &mut stats.access)
+        {
             ctl.veto_at(boundary);
             return;
         }
@@ -554,8 +547,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TrieSet;
     use triejax_query::{patterns, Query};
-    use triejax_relation::{Counting, Relation};
+    use triejax_relation::{Counting, Relation, TrieCursor};
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
@@ -685,14 +679,7 @@ mod tests {
         let mut cursors = root_cursors(&plan, &tries, None, &mut stats);
         let mut root_sup = None;
         let mut ctl = Recorder::default();
-        try_split_root(
-            &plan,
-            &tries,
-            &mut cursors,
-            &mut root_sup,
-            &mut ctl,
-            &mut stats,
-        );
+        try_split_root(&plan, &mut cursors, &mut root_sup, &mut ctl, &mut stats);
         assert_eq!(ctl.offers, vec![(8, None)], "tail = far half, open above");
         assert_eq!(root_sup, Some(8), "parent's range shrank to [0, 8)");
         assert_eq!(stats.splits, 1);
@@ -714,14 +701,7 @@ mod tests {
         let mut cursors = root_cursors(&plan, &tries, None, &mut stats);
         let mut root_sup = None;
         let mut ctl = Recorder::default();
-        try_split_root(
-            &plan,
-            &tries,
-            &mut cursors,
-            &mut root_sup,
-            &mut ctl,
-            &mut stats,
-        );
+        try_split_root(&plan, &mut cursors, &mut root_sup, &mut ctl, &mut stats);
         assert!(ctl.offers.is_empty());
         assert_eq!(root_sup, None, "range untouched");
         assert_eq!(stats.splits, 0);
@@ -737,14 +717,7 @@ mod tests {
         let mut cursors = root_cursors(&plan, &tries, None, &mut stats);
         let mut root_sup = None;
         let mut ctl = Recorder::default();
-        try_split_root(
-            &plan,
-            &tries,
-            &mut cursors,
-            &mut root_sup,
-            &mut ctl,
-            &mut stats,
-        );
+        try_split_root(&plan, &mut cursors, &mut root_sup, &mut ctl, &mut stats);
         assert!(ctl.offers.is_empty(), "empty tail must be rejected");
         assert_eq!(root_sup, None);
         assert_eq!(stats.splits, 0);
@@ -753,14 +726,7 @@ mod tests {
         assert!(ctl.vetoed(20) && ctl.vetoed(21));
         assert!(!ctl.vetoed(19), "lower candidates stay allowed");
         let probes = stats.memory_accesses();
-        try_split_root(
-            &plan,
-            &tries,
-            &mut cursors,
-            &mut root_sup,
-            &mut ctl,
-            &mut stats,
-        );
+        try_split_root(&plan, &mut cursors, &mut root_sup, &mut ctl, &mut stats);
         assert!(ctl.offers.is_empty() && stats.splits == 0);
         assert_eq!(
             stats.memory_accesses(),
@@ -786,28 +752,14 @@ mod tests {
         let mut cursors = root_cursors(&plan, &tries, None, &mut stats);
         let mut root_sup = None;
         let mut ctl = Recorder::default();
-        try_split_root(
-            &plan,
-            &tries,
-            &mut cursors,
-            &mut root_sup,
-            &mut ctl,
-            &mut stats,
-        );
+        try_split_root(&plan, &mut cursors, &mut root_sup, &mut ctl, &mut stats);
         assert!(ctl.offers.is_empty() && ctl.vetoed(5000), "5000 vetoed");
         // Advance every cursor to the next common root match, 50.
         for c in &mut cursors {
             assert!(c.seek(50, &mut stats.access));
             assert_eq!(c.key(), 50);
         }
-        try_split_root(
-            &plan,
-            &tries,
-            &mut cursors,
-            &mut root_sup,
-            &mut ctl,
-            &mut stats,
-        );
+        try_split_root(&plan, &mut cursors, &mut root_sup, &mut ctl, &mut stats);
         assert_eq!(ctl.offers, vec![(70, None)], "the lower boundary splits");
         assert_eq!(root_sup, Some(70));
         assert_eq!(stats.splits, 1);
@@ -824,14 +776,7 @@ mod tests {
         let mut root_sup = None;
         let mut ctl = Recorder::default();
         let before = stats.memory_accesses();
-        try_split_root(
-            &plan,
-            &tries,
-            &mut cursors,
-            &mut root_sup,
-            &mut ctl,
-            &mut stats,
-        );
+        try_split_root(&plan, &mut cursors, &mut root_sup, &mut ctl, &mut stats);
         assert_eq!(stats.splits, 1);
         assert!(
             stats.memory_accesses() > before,
@@ -848,14 +793,7 @@ mod tests {
         let mut cursors = root_cursors(&plan, &tries, Some(7), &mut stats);
         let mut root_sup = Some(7);
         let mut ctl = Recorder::default();
-        try_split_root(
-            &plan,
-            &tries,
-            &mut cursors,
-            &mut root_sup,
-            &mut ctl,
-            &mut stats,
-        );
+        try_split_root(&plan, &mut cursors, &mut root_sup, &mut ctl, &mut stats);
         assert_eq!(ctl.offers, vec![(4, Some(7))], "tail ends at the old sup");
         assert_eq!(root_sup, Some(4));
     }

@@ -1,0 +1,388 @@
+//! Cursor factories for the generic join drivers: the frozen
+//! [`TrieSet`] path and the delta-merged [`MergeSet`] path behind one
+//! [`CursorSet`] trait.
+//!
+//! Every driver in this crate walks its atoms through the
+//! [`JoinCursor`] trait; a `CursorSet` is what hands those cursors out.
+//! [`TrieSet`] yields plain [`TrieCursor`]s (so queries over frozen
+//! relations monomorphize to exactly the pre-delta code), while
+//! [`MergeSet`] yields [`MergeCursor`]s presenting each mutated relation
+//! as `base ∪ delta − tombstones` without rebuilding its base trie.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use triejax_exec::WorkerPool;
+use triejax_query::CompiledQuery;
+use triejax_relation::{JoinCursor, MergeCursor, Relation, RelationDelta, Trie, TrieCursor, Value};
+
+use crate::catalog::{build_one, resolve};
+use crate::triecache::TrieCache;
+use crate::{Catalog, JoinError, TrieSet};
+
+/// The pending mutations of a catalog, keyed by relation name. Relations
+/// without an entry (or with an [empty](RelationDelta::is_empty) one) are
+/// served straight from their frozen base tries.
+///
+/// Every engine's `run_tallied_with` accepts one of these next to the
+/// frozen [`Catalog`]; [`crate::Session`] maintains one per epoch and
+/// threads it through automatically.
+pub type DeltaMap = HashMap<String, RelationDelta>;
+
+/// A factory of positioned join cursors, one per atom plan — the
+/// abstraction that lets every engine run unmodified over frozen *or*
+/// mutated relations.
+///
+/// The lifetime ties the handed-out cursors to the set: shard workers
+/// share one `&'a` set and each builds its own cursors from it.
+pub(crate) trait CursorSet<'a>: Sync {
+    /// The cursor implementation this set hands out.
+    type Cur: JoinCursor + Send + 'a;
+
+    /// A fresh above-the-root cursor over atom plan `atom`'s view.
+    fn cursor(&'a self, atom: usize) -> Self::Cur;
+
+    /// The root-level key universe of atom `atom`'s view, for shard
+    /// planning. May over-approximate (a merged view's union of side
+    /// root values can contain keys with no live tuples below them);
+    /// shard boundaries drawn from phantoms still partition correctly.
+    fn root_values(&'a self, atom: usize) -> &'a [Value];
+}
+
+impl<'a> CursorSet<'a> for TrieSet {
+    type Cur = TrieCursor<'a>;
+
+    fn cursor(&'a self, atom: usize) -> TrieCursor<'a> {
+        TrieCursor::new(self.for_atom(atom))
+    }
+
+    fn root_values(&'a self, atom: usize) -> &'a [Value] {
+        self.for_atom(atom).level(0).values()
+    }
+}
+
+/// One deduplicated `(relation, perm)` view of a mutated relation: the
+/// optional frozen base trie, the optional trie of pending inserts, the
+/// permuted tombstone rows, and the unioned root keys for shard planning.
+#[derive(Debug)]
+struct MergeView {
+    base: Option<Arc<Trie>>,
+    delta: Option<Arc<Trie>>,
+    tombstones: Relation,
+    root_values: Vec<Value>,
+}
+
+/// The tries and tombstones one compiled query needs to run over mutated
+/// relations, deduplicated by `(relation name, column permutation)` like
+/// [`TrieSet`].
+///
+/// Base tries are cached/served under the base relation's fingerprint
+/// exactly as in [`TrieSet::build_on`]; delta tries are keyed by the
+/// fingerprint of the insert set, so they are shared across queries for
+/// as long as the delta is unchanged and become unreachable the moment a
+/// new batch is applied. Tombstones are permuted per build (they are
+/// plain sorted rows, not tries — the [`MergeCursor`] range-filters them
+/// level by level).
+#[derive(Debug)]
+pub(crate) struct MergeSet {
+    views: Vec<MergeView>,
+    atom_view: Vec<usize>,
+}
+
+impl MergeSet {
+    /// Builds (or reuses) every view the plan needs, sequentially on the
+    /// caller's thread and without cache consultation.
+    pub(crate) fn build(
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        deltas: &DeltaMap,
+    ) -> Result<MergeSet, JoinError> {
+        Self::assemble(plan, catalog, deltas, None, None).map(|(s, _, _)| s)
+    }
+
+    /// Builds every view with cold trie builds parallelized on `pool`,
+    /// consulting (and filling) `cache` when one is given. Returns the
+    /// set, the cache hits, and the nanoseconds spent on cold builds
+    /// (mirroring [`TrieSet::build_on`]).
+    pub(crate) fn build_on(
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        deltas: &DeltaMap,
+        pool: &WorkerPool,
+        cache: Option<&TrieCache>,
+    ) -> Result<(MergeSet, u64, u64), JoinError> {
+        Self::assemble(plan, catalog, deltas, Some(pool), cache)
+    }
+
+    fn assemble(
+        plan: &CompiledQuery,
+        catalog: &Catalog,
+        deltas: &DeltaMap,
+        pool: Option<&WorkerPool>,
+        cache: Option<&TrieCache>,
+    ) -> Result<(MergeSet, u64, u64), JoinError> {
+        let mut keys: HashMap<(String, Vec<usize>), usize> = HashMap::new();
+        let mut views: Vec<MergeView> = Vec::new();
+        let mut atom_view = Vec::with_capacity(plan.atom_plans().len());
+        let mut cache_hits = 0u64;
+        let mut build_ns = 0u64;
+        for ap in plan.atom_plans() {
+            let rel = resolve(catalog, ap.relation(), ap.arity())?;
+            let delta = deltas.get(ap.relation()).filter(|d| !d.is_empty());
+            if let Some(d) = delta {
+                if d.arity() != ap.arity() {
+                    return Err(JoinError::ArityMismatch {
+                        name: ap.relation().to_owned(),
+                        atom_arity: ap.arity(),
+                        relation_arity: d.arity(),
+                    });
+                }
+            }
+            let key = (ap.relation().to_owned(), ap.perm().to_vec());
+            let idx = match keys.get(&key) {
+                Some(&i) => i,
+                None => {
+                    let name = ap.relation();
+                    let base = match rel.is_empty() {
+                        true => None,
+                        false => Some(serve(
+                            name,
+                            rel,
+                            ap.perm(),
+                            pool,
+                            cache,
+                            &mut cache_hits,
+                            &mut build_ns,
+                        )),
+                    };
+                    let dtrie = delta
+                        .map(|d| d.inserts())
+                        .filter(|i| !i.is_empty())
+                        .map(|i| {
+                            serve(
+                                name,
+                                i,
+                                ap.perm(),
+                                pool,
+                                cache,
+                                &mut cache_hits,
+                                &mut build_ns,
+                            )
+                        });
+                    let tombstones = match delta {
+                        Some(d) if !d.tombstones().is_empty() => d.tombstones().permute(ap.perm()),
+                        _ => Relation::new(ap.arity()).expect("atom arity is nonzero"),
+                    };
+                    let root_values = union_sorted(
+                        base.as_deref().map_or(&[], |t| t.level(0).values()),
+                        dtrie.as_deref().map_or(&[], |t| t.level(0).values()),
+                    );
+                    views.push(MergeView {
+                        base,
+                        delta: dtrie,
+                        tombstones,
+                        root_values,
+                    });
+                    keys.insert(key, views.len() - 1);
+                    views.len() - 1
+                }
+            };
+            atom_view.push(idx);
+        }
+        Ok((MergeSet { views, atom_view }, cache_hits, build_ns))
+    }
+}
+
+/// Serves one trie from the cache or builds it cold, publishing the build
+/// under `(name, fingerprint(rel), perm)` when a cache is present.
+fn serve(
+    name: &str,
+    rel: &Relation,
+    perm: &[usize],
+    pool: Option<&WorkerPool>,
+    cache: Option<&TrieCache>,
+    cache_hits: &mut u64,
+    build_ns: &mut u64,
+) -> Arc<Trie> {
+    let fp = rel.fingerprint();
+    if let Some(c) = cache {
+        if let Some(t) = c.lookup(name, fp, perm) {
+            *cache_hits += 1;
+            return t;
+        }
+    }
+    let t0 = std::time::Instant::now();
+    let built = Arc::new(build_one(rel, perm, pool));
+    *build_ns += t0.elapsed().as_nanos() as u64;
+    match cache {
+        Some(c) => c.insert(name, fp, perm, built),
+        None => built,
+    }
+}
+
+/// Sorted-set union of two root-level key slices.
+fn union_sorted(a: &[Value], b: &[Value]) -> Vec<Value> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+impl<'a> CursorSet<'a> for MergeSet {
+    type Cur = MergeCursor<'a>;
+
+    fn cursor(&'a self, atom: usize) -> MergeCursor<'a> {
+        let v = &self.views[self.atom_view[atom]];
+        MergeCursor::new(v.base.as_deref(), v.delta.as_deref(), &v.tombstones)
+    }
+
+    fn root_values(&'a self, atom: usize) -> &'a [Value] {
+        &self.views[self.atom_view[atom]].root_values
+    }
+}
+
+/// `true` when any atom of the plan reads a relation with a non-empty
+/// pending delta — the dispatch test between the frozen [`TrieSet`] fast
+/// path and the [`MergeSet`] path.
+pub(crate) fn plan_touches_delta(plan: &CompiledQuery, deltas: &DeltaMap) -> bool {
+    plan.atom_plans()
+        .iter()
+        .any(|ap| deltas.get(ap.relation()).is_some_and(|d| !d.is_empty()))
+}
+
+/// A frozen catalog with every pending delta folded in: each mutated
+/// relation is replaced by its merged contents (`base ∪ inserts −
+/// tombstones`). The materializing fallback for engines that read trie
+/// levels directly instead of walking [`JoinCursor`]s
+/// ([`crate::GenericJoin`], the pairwise engines). Deltas naming
+/// relations the catalog does not hold are ignored — plan resolution
+/// reports the missing relation exactly like the frozen path — and so
+/// are deltas whose arity mismatches their base relation (resolution
+/// then reports the arity error, never a merge panic).
+pub(crate) fn merged_catalog(catalog: &Catalog, deltas: &DeltaMap) -> Catalog {
+    let mut merged = Catalog::new();
+    for (name, rel) in catalog.iter() {
+        match deltas.get(name).filter(|d| !d.is_empty()) {
+            Some(d) if d.arity() == rel.arity() => merged.insert(name, d.merge_into(rel)),
+            _ => merged.insert(name, rel.clone()),
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triejax_query::patterns;
+    use triejax_relation::Counting;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.insert("G", Relation::from_pairs(vec![(1, 2), (2, 3), (3, 1)]));
+        c
+    }
+
+    fn delta_map(inserts: Vec<(u32, u32)>, deletes: Vec<(u32, u32)>) -> DeltaMap {
+        let base = Relation::from_pairs(vec![(1, 2), (2, 3), (3, 1)]);
+        let d = RelationDelta::empty(2).unwrap().apply_batch(
+            &base,
+            &Relation::from_pairs(inserts),
+            &Relation::from_pairs(deletes),
+        );
+        let mut m = DeltaMap::new();
+        m.insert("G".to_owned(), d);
+        m
+    }
+
+    #[test]
+    fn views_are_deduplicated_like_trie_sets() {
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let set = MergeSet::build(&plan, &catalog(), &delta_map(vec![(5, 6)], vec![])).unwrap();
+        assert_eq!(set.views.len(), 2, "identity and swapped order");
+        assert_eq!(set.atom_view, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn merged_root_values_union_both_sides() {
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let deltas = delta_map(vec![(0, 9), (5, 6)], vec![(2, 3)]);
+        let set = MergeSet::build(&plan, &catalog(), &deltas).unwrap();
+        // Tombstoned roots may linger (phantoms are allowed); inserted
+        // roots must appear.
+        assert_eq!(set.root_values(0), &[0, 1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn empty_delta_map_serves_plain_base_views() {
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let deltas = DeltaMap::new();
+        assert!(!plan_touches_delta(&plan, &deltas));
+        let set = MergeSet::build(&plan, &catalog(), &deltas).unwrap();
+        let mut cur = set.cursor(0);
+        let mut c = Counting::default();
+        assert!(cur.open(&mut c));
+        assert_eq!(cur.key(), 1);
+    }
+
+    #[test]
+    fn delta_only_views_have_no_base_trie() {
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let mut c = Catalog::new();
+        c.insert("G", Relation::new(2).unwrap());
+        let empty = Relation::new(2).unwrap();
+        let d = RelationDelta::empty(2).unwrap().apply_batch(
+            &empty,
+            &Relation::from_pairs(vec![(4, 7)]),
+            &empty,
+        );
+        let mut deltas = DeltaMap::new();
+        deltas.insert("G".to_owned(), d);
+        assert!(plan_touches_delta(&plan, &deltas));
+        let set = MergeSet::build(&plan, &c, &deltas).unwrap();
+        assert!(set.views[0].base.is_none());
+        assert_eq!(set.root_values(0), &[4]);
+    }
+
+    #[test]
+    fn build_on_serves_base_and_delta_tries_from_the_cache() {
+        let pool = WorkerPool::with_workers(2);
+        let cache = TrieCache::unbounded();
+        let plan = CompiledQuery::compile(&patterns::cycle3()).unwrap();
+        let deltas = delta_map(vec![(5, 6)], vec![]);
+        let (_, hits, build_ns) =
+            MergeSet::build_on(&plan, &catalog(), &deltas, &pool, Some(&cache)).unwrap();
+        assert_eq!(hits, 0);
+        assert!(build_ns > 0);
+        // 2 base orders + 2 delta orders published.
+        assert_eq!(cache.insertions(), 4);
+        let (_, hits, build_ns) =
+            MergeSet::build_on(&plan, &catalog(), &deltas, &pool, Some(&cache)).unwrap();
+        assert_eq!(hits, 4, "warm build is all lookups");
+        assert_eq!(build_ns, 0);
+    }
+
+    #[test]
+    fn missing_relation_still_errors() {
+        let plan = CompiledQuery::compile(&patterns::path3()).unwrap();
+        let err = MergeSet::build(&plan, &Catalog::new(), &DeltaMap::new()).unwrap_err();
+        assert!(matches!(err, JoinError::MissingRelation { .. }));
+    }
+}

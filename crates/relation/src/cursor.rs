@@ -251,6 +251,30 @@ impl<'a> TrieCursor<'a> {
         f.hi = lower_bound(values, f.pos, f.hi, sup, counter);
     }
 
+    /// Lenient variant of [`clamp_root_sup`](Self::clamp_root_sup) for
+    /// composite cursors whose constituent sides may sit at the end of
+    /// their root level, or at/past the boundary, when the *merged* key is
+    /// still below it (the merged key is the minimum over sides, so any
+    /// individual side can be ahead). Such a side has nothing left below
+    /// `sup`, so its remaining range is handed off wholesale by ending the
+    /// frame in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly the root level is open.
+    pub(crate) fn clamp_root_sup_lenient<T: Tally>(&mut self, sup: Value, counter: &mut T) {
+        assert_eq!(self.frames.len(), 1, "clamp applies to the open root level");
+        let values = self.levels[0].values();
+        let f = self.frames.last_mut().expect("non-empty frames");
+        if f.pos >= f.hi || values[f.pos] >= sup {
+            // Ended, or everything from here on belongs to the handed-off
+            // tail: end the frame without probing.
+            f.hi = f.pos;
+            return;
+        }
+        f.hi = lower_bound(values, f.pos, f.hi, sup, counter);
+    }
+
     /// Ascends one level.
     ///
     /// # Panics

@@ -1,0 +1,283 @@
+//! The cursor surface the join engines drive, abstracted over the index
+//! behind it.
+//!
+//! [`JoinCursor`] captures exactly the operations LeapFrog TrieJoin and
+//! Cached TrieJoin perform — open/up/next/seek plus the root-range
+//! sharding and dynamic-split hooks of the parallel engines and the
+//! positional replay hooks of the PJR cache. [`crate::TrieCursor`]
+//! implements it by plain delegation (so the frozen-trie path
+//! monomorphizes to today's code, access tallies included), and
+//! [`crate::MergeCursor`] implements it over `base ∪ delta − tombstones`,
+//! which is how every engine runs unmodified over mutated relations.
+
+use crate::{Tally, TrieCursor, Value};
+
+/// A trie-shaped cursor a join engine can drive.
+///
+/// The contract mirrors [`TrieCursor`] method for method; see its
+/// documentation for the positioning semantics and panics. The extra
+/// methods exist for the parallel engines:
+///
+/// * [`fresh`](Self::fresh) yields an above-the-root cursor over the same
+///   underlying data, used to validate a prospective shard range before a
+///   dynamic split commits.
+/// * [`root_unvisited`](Self::root_unvisited) /
+///   [`root_split_boundary`](Self::root_split_boundary) expose the donor
+///   side of a dynamic split: how many root keys remain beyond the
+///   current one, and the midpoint key at which to cut the tail.
+/// * [`cache_pos`](Self::cache_pos) / [`reopen_at`](Self::reopen_at) are
+///   the PJR-cache hooks: a computing driver records the positions a
+///   cached entry stores, and a replaying driver re-descends from them.
+pub trait JoinCursor {
+    /// Current depth: number of open levels (0 = above root).
+    fn depth(&self) -> usize;
+
+    /// `true` once the cursor stepped past the last key of the current
+    /// level.
+    fn at_end(&self) -> bool;
+
+    /// Value of the current node.
+    fn key(&self) -> Value;
+
+    /// Descends to the first child of the current node (or the first root
+    /// key when above the root). Returns `false` when nothing is there.
+    fn open<T: Tally>(&mut self, counter: &mut T) -> bool;
+
+    /// Descends to the root level restricted to values in `[min, sup)`.
+    /// Returns `false` (cursor stays above the root) on an empty range.
+    fn open_root_range<T: Tally>(
+        &mut self,
+        min: Value,
+        sup: Option<Value>,
+        counter: &mut T,
+    ) -> bool;
+
+    /// Shrinks the open root level to values `< sup` after a dynamic
+    /// split handed the tail `[sup, ..)` to another task.
+    fn clamp_root_sup<T: Tally>(&mut self, sup: Value, counter: &mut T);
+
+    /// Ascends one level.
+    fn up(&mut self);
+
+    /// Advances to the next sibling; `false` when the level is exhausted.
+    fn next<T: Tally>(&mut self, counter: &mut T) -> bool;
+
+    /// Seeks the lowest upper bound of `v` among the remaining siblings;
+    /// `false` when every remaining sibling is smaller.
+    fn seek<T: Tally>(&mut self, v: Value, counter: &mut T) -> bool;
+
+    /// A new cursor above the root of the same underlying data, used to
+    /// probe a prospective split range without disturbing `self`.
+    fn fresh(&self) -> Self
+    where
+        Self: Sized;
+
+    /// Number of root keys strictly after the current position (0 when
+    /// the root level has ended). Only meaningful with exactly the root
+    /// level open.
+    fn root_unvisited(&self) -> usize;
+
+    /// The key at which this cursor would cut its unvisited root tail in
+    /// half — the split boundary a dynamic split donates. Requires
+    /// `root_unvisited() >= 1`; the returned key is strictly greater than
+    /// [`key`](Self::key).
+    fn root_split_boundary(&self) -> Value;
+
+    /// The position token a PJR-cache entry stores for the current node.
+    /// For plain tries this is the absolute level index; composite
+    /// cursors may return a nominal value and rely on the key during
+    /// [`reopen_at`](Self::reopen_at).
+    fn cache_pos(&self) -> u32;
+
+    /// Re-descends one level to the node recorded as `(pos, v)` by a
+    /// cache entry this same cursor family computed earlier in the run.
+    /// Plain tries jump straight to `pos` without touching memory;
+    /// composite cursors descend by value.
+    fn reopen_at<T: Tally>(&mut self, pos: u32, v: Value, counter: &mut T);
+}
+
+impl<'a> JoinCursor for TrieCursor<'a> {
+    #[inline]
+    fn depth(&self) -> usize {
+        TrieCursor::depth(self)
+    }
+
+    #[inline]
+    fn at_end(&self) -> bool {
+        TrieCursor::at_end(self)
+    }
+
+    #[inline]
+    fn key(&self) -> Value {
+        TrieCursor::key(self)
+    }
+
+    #[inline]
+    fn open<T: Tally>(&mut self, counter: &mut T) -> bool {
+        TrieCursor::open(self, counter)
+    }
+
+    fn open_root_range<T: Tally>(
+        &mut self,
+        min: Value,
+        sup: Option<Value>,
+        counter: &mut T,
+    ) -> bool {
+        TrieCursor::open_root_range(self, min, sup, counter)
+    }
+
+    fn clamp_root_sup<T: Tally>(&mut self, sup: Value, counter: &mut T) {
+        TrieCursor::clamp_root_sup(self, sup, counter)
+    }
+
+    #[inline]
+    fn up(&mut self) {
+        TrieCursor::up(self)
+    }
+
+    #[inline]
+    fn next<T: Tally>(&mut self, counter: &mut T) -> bool {
+        TrieCursor::next(self, counter)
+    }
+
+    #[inline]
+    fn seek<T: Tally>(&mut self, v: Value, counter: &mut T) -> bool {
+        TrieCursor::seek(self, v, counter)
+    }
+
+    fn fresh(&self) -> Self {
+        TrieCursor::new(self.trie())
+    }
+
+    fn root_unvisited(&self) -> usize {
+        let (_, hi) = self.sibling_range();
+        if TrieCursor::at_end(self) {
+            0
+        } else {
+            hi - self.pos() - 1
+        }
+    }
+
+    fn root_split_boundary(&self) -> Value {
+        let pos = self.pos();
+        let remaining = JoinCursor::root_unvisited(self);
+        assert!(remaining >= 1, "no unvisited root tail to split");
+        self.trie().level(0).values()[pos + 1 + remaining / 2]
+    }
+
+    #[inline]
+    fn cache_pos(&self) -> u32 {
+        self.pos() as u32
+    }
+
+    #[inline]
+    fn reopen_at<T: Tally>(&mut self, pos: u32, _v: Value, _counter: &mut T) {
+        self.open_at(pos as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessCounter, Relation, Trie};
+
+    fn trie() -> Trie {
+        Trie::build(&Relation::from_pairs(vec![
+            (1, 2),
+            (1, 5),
+            (3, 4),
+            (7, 1),
+            (7, 9),
+        ]))
+    }
+
+    /// Drives the same walk through the inherent methods and the trait
+    /// methods, asserting identical keys *and* identical tallies — the
+    /// trait must not perturb the paper's access counting.
+    #[test]
+    fn trait_dispatch_matches_inherent_counts() {
+        let t = trie();
+
+        let mut inherent = TrieCursor::new(&t);
+        let mut ci = AccessCounter::default();
+        assert!(TrieCursor::open(&mut inherent, &mut ci));
+        assert!(TrieCursor::seek(&mut inherent, 2, &mut ci));
+        assert!(TrieCursor::open(&mut inherent, &mut ci));
+        TrieCursor::up(&mut inherent);
+        assert!(TrieCursor::next(&mut inherent, &mut ci));
+        let inherent_key = TrieCursor::key(&inherent);
+
+        fn walk<C: JoinCursor>(cur: &mut C, c: &mut AccessCounter) -> Value {
+            assert!(cur.open(c));
+            assert!(cur.seek(2, c));
+            assert!(cur.open(c));
+            cur.up();
+            assert!(cur.next(c));
+            cur.key()
+        }
+        let mut generic = TrieCursor::new(&t);
+        let mut cg = AccessCounter::default();
+        let generic_key = walk(&mut generic, &mut cg);
+
+        assert_eq!(inherent_key, generic_key);
+        assert_eq!(ci.index_reads, cg.index_reads);
+        assert_eq!(ci.index_bytes, cg.index_bytes);
+    }
+
+    #[test]
+    fn split_hooks_mirror_the_raw_level() {
+        // Root level: [1, 3, 7].
+        let t = trie();
+        let mut cur = TrieCursor::new(&t);
+        let mut c = AccessCounter::default();
+        assert!(JoinCursor::open(&mut cur, &mut c));
+        assert_eq!(JoinCursor::root_unvisited(&cur), 2);
+        // pos 0, remaining 2: boundary = values[0 + 1 + 1] = 7.
+        assert_eq!(JoinCursor::root_split_boundary(&cur), 7);
+        assert!(JoinCursor::next(&mut cur, &mut c));
+        assert_eq!(JoinCursor::root_unvisited(&cur), 1);
+        assert_eq!(JoinCursor::root_split_boundary(&cur), 7);
+        assert!(JoinCursor::next(&mut cur, &mut c));
+        assert_eq!(JoinCursor::root_unvisited(&cur), 0);
+        assert!(!JoinCursor::next(&mut cur, &mut c));
+        assert_eq!(
+            JoinCursor::root_unvisited(&cur),
+            0,
+            "ended level has no tail"
+        );
+    }
+
+    #[test]
+    fn fresh_returns_an_above_root_twin() {
+        let t = trie();
+        let mut cur = TrieCursor::new(&t);
+        let mut c = AccessCounter::default();
+        assert!(JoinCursor::open(&mut cur, &mut c));
+        assert!(JoinCursor::seek(&mut cur, 3, &mut c));
+        let mut twin = JoinCursor::fresh(&cur);
+        assert_eq!(JoinCursor::depth(&twin), 0);
+        assert!(twin.open_root_range(3, Some(8), &mut c));
+        assert_eq!(JoinCursor::key(&twin), 3);
+        // Original untouched.
+        assert_eq!(JoinCursor::key(&cur), 3);
+        assert_eq!(JoinCursor::depth(&cur), 1);
+    }
+
+    #[test]
+    fn reopen_at_replays_a_recorded_position() {
+        let t = trie();
+        let mut cur = TrieCursor::new(&t);
+        let mut c = AccessCounter::default();
+        assert!(JoinCursor::open(&mut cur, &mut c));
+        assert!(JoinCursor::seek(&mut cur, 7, &mut c));
+        let pos = JoinCursor::cache_pos(&cur);
+        let key = JoinCursor::key(&cur);
+        let mut replay = JoinCursor::fresh(&cur);
+        let before = c.index_reads;
+        replay.reopen_at(pos, key, &mut c);
+        assert_eq!(c.index_reads, before, "positional replay is free on tries");
+        assert_eq!(JoinCursor::key(&replay), 7);
+        assert!(JoinCursor::open(&mut replay, &mut c));
+        assert_eq!(JoinCursor::key(&replay), 1);
+    }
+}

@@ -35,15 +35,21 @@
 
 mod access;
 mod cursor;
+pub mod delta;
 mod error;
+mod join_cursor;
 mod layout;
+mod merge;
 mod relation;
 mod trie;
 
 pub use access::{AccessCounter, AccessKind, Counting, NoTally, Tally};
 pub use cursor::TrieCursor;
+pub use delta::RelationDelta;
 pub use error::{RelationError, TrieLayoutError};
+pub use join_cursor::JoinCursor;
 pub use layout::{AddressSpace, ArraySpan, WORD_BYTES};
+pub use merge::MergeCursor;
 pub use relation::Relation;
 pub use trie::{Trie, TrieLevel};
 

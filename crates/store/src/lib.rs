@@ -16,7 +16,7 @@
 //! validated buffer adoption ([`Trie::from_parts`]) — no pointer fix-ups,
 //! no rebuild.
 //!
-//! # File format (version 1)
+//! # File format (versions 1 and 2)
 //!
 //! All integers little-endian.
 //!
@@ -35,12 +35,26 @@
 //!     perm_len u64, perm u64[], tuple_count u64,
 //!     level_count u64, (values_len u64, child_len u64) per level,
 //!     word_count u64, words u32[]
+//!   delta_count u64                                    -- version 2 only
+//!   per delta:
+//!     name_len u64, name (UTF-8), arity u64,
+//!     insert_word_count u64, words u32[],
+//!     tombstone_word_count u64, words u32[]
 //! ```
 //!
+//! Version 2 appends the pending [`RelationDelta`]s of a mutable session
+//! (`triejax-join`'s `Session::apply`) so a snapshot taken mid-mutation
+//! round-trips exactly. A catalog with **no** deltas still serializes as
+//! version 1 — byte-for-byte what earlier builds wrote — so frozen
+//! snapshots stay byte-stable across this format revision, and version-1
+//! files remain readable forever.
+//!
 //! Every length is validated against the remaining bytes before any
-//! allocation, and every trie's offset table is structurally validated by
-//! [`Trie::from_parts`]; corrupt input yields a typed [`StoreError`], never
-//! a panic or a silently-wrong catalog.
+//! allocation, every trie's offset table is structurally validated by
+//! [`Trie::from_parts`], and every delta's insert/tombstone sets are
+//! checked for equal arity and disjointness at parse time; corrupt input
+//! yields a typed [`StoreError`], never a panic or a silently-wrong
+//! catalog.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,13 +67,18 @@ pub use error::StoreError;
 use format::{fnv1a64, Reader, Writer};
 use std::path::Path;
 use std::sync::Arc;
-use triejax_relation::{Relation, Trie, TrieLayoutError};
+use triejax_relation::{delta, Relation, RelationDelta, Trie, TrieLayoutError};
 
 /// The magic bytes opening every store file.
 const MAGIC: &[u8; 8] = b"TJXSTORE";
 
-/// The newest store format version this build reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+/// The newest store format version this build writes (version-1 files are
+/// still read; a catalog without deltas still *writes* version 1, keeping
+/// frozen snapshots byte-stable).
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The oldest store format version this build reads.
+const MIN_FORMAT_VERSION: u32 = 1;
 
 /// One pre-built trie in a stored catalog, addressed by the same
 /// `(name, fingerprint, perm)` triple the in-process trie cache uses.
@@ -103,6 +122,7 @@ pub struct StoredTrie {
 pub struct StoredCatalog {
     relations: Vec<(String, Relation)>,
     tries: Vec<StoredTrie>,
+    deltas: Vec<(String, RelationDelta)>,
 }
 
 impl StoredCatalog {
@@ -142,7 +162,22 @@ impl StoredCatalog {
         &self.tries
     }
 
-    /// Serializes the catalog into the version-1 byte format.
+    /// Adds a named pending [`RelationDelta`] (a mutable session's
+    /// uncompacted inserts and tombstones over the relation of the same
+    /// name). A catalog holding any delta serializes as format version 2.
+    pub fn insert_delta(&mut self, name: impl Into<String>, delta: RelationDelta) {
+        self.deltas.push((name.into(), delta));
+    }
+
+    /// The stored pending deltas, in insertion order (empty for every
+    /// version-1 file).
+    pub fn deltas(&self) -> &[(String, RelationDelta)] {
+        &self.deltas
+    }
+
+    /// Serializes the catalog: version 1 when it holds no pending deltas
+    /// (byte-identical to what pre-delta builds wrote), version 2
+    /// otherwise.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut p = Writer::new();
         p.u64(self.relations.len() as u64);
@@ -172,11 +207,26 @@ impl StoredCatalog {
             p.u64(t.trie.words().len() as u64);
             p.words(t.trie.words());
         }
+        let version = if self.deltas.is_empty() {
+            MIN_FORMAT_VERSION
+        } else {
+            p.u64(self.deltas.len() as u64);
+            for (name, d) in &self.deltas {
+                p.u64(name.len() as u64);
+                p.bytes(name.as_bytes());
+                p.u64(d.arity() as u64);
+                p.u64(d.inserts().values().len() as u64);
+                p.words(d.inserts().values());
+                p.u64(d.tombstones().values().len() as u64);
+                p.words(d.tombstones().values());
+            }
+            FORMAT_VERSION
+        };
         let payload = p.into_bytes();
 
         let mut out = Vec::with_capacity(28 + payload.len());
         out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
         out.extend_from_slice(&payload);
@@ -202,7 +252,7 @@ impl StoredCatalog {
         }
         let mut h = Reader::new(&bytes[8..]);
         let version = h.u32()?;
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(StoreError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
@@ -297,6 +347,51 @@ impl StoredCatalog {
                 },
             })?;
             catalog.insert_trie(name, fingerprint, perm, Arc::new(trie));
+        }
+        if version >= 2 {
+            let delta_count = r.count()?;
+            for _ in 0..delta_count {
+                let name = r.string()?;
+                let arity = r.count()?;
+                if arity == 0 {
+                    return Err(StoreError::Malformed {
+                        detail: format!("delta for {name:?} has arity 0"),
+                    });
+                }
+                let side = |what: &str, r: &mut Reader<'_>| -> Result<Relation, StoreError> {
+                    let word_count = r.count()?;
+                    let data = r.words(word_count)?;
+                    if data.len() % arity != 0 {
+                        return Err(StoreError::Malformed {
+                            detail: format!(
+                                "delta {what} of {name:?}: {} words not divisible by \
+                                 arity {arity}",
+                                data.len()
+                            ),
+                        });
+                    }
+                    Relation::from_tuples(arity, data.chunks_exact(arity)).map_err(|e| {
+                        StoreError::Malformed {
+                            detail: format!("delta {what} of {name:?}: {e}"),
+                        }
+                    })
+                };
+                let inserts = side("inserts", &mut r)?;
+                let tombstones = side("tombstones", &mut r)?;
+                if !delta::intersection(&inserts, &tombstones).is_empty() {
+                    return Err(StoreError::Malformed {
+                        detail: format!(
+                            "delta of {name:?} lists the same row as insert and tombstone"
+                        ),
+                    });
+                }
+                let d = RelationDelta::from_parts(inserts, tombstones).map_err(|e| {
+                    StoreError::Malformed {
+                        detail: format!("delta of {name:?}: {e}"),
+                    }
+                })?;
+                catalog.insert_delta(name, d);
+            }
         }
         if !r.is_exhausted() {
             return Err(StoreError::Malformed {
@@ -557,5 +652,75 @@ mod tests {
         let back = StoredCatalog::from_bytes(&cat.to_bytes()).unwrap();
         assert!(back.relations().is_empty());
         assert!(back.tries().is_empty());
+        assert!(back.deltas().is_empty());
+    }
+
+    #[test]
+    fn delta_free_catalogs_still_write_version_1() {
+        let bytes = sample_catalog().to_bytes();
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            1,
+            "frozen snapshots must stay byte-stable across the v2 revision"
+        );
+        assert!(StoredCatalog::from_bytes(&bytes)
+            .unwrap()
+            .deltas()
+            .is_empty());
+    }
+
+    #[test]
+    fn deltas_round_trip_as_version_2() {
+        let mut cat = sample_catalog();
+        let d = RelationDelta::from_parts(
+            Relation::from_pairs(vec![(7, 8), (9, 1)]),
+            Relation::from_pairs(vec![(1, 2)]),
+        )
+        .unwrap();
+        cat.insert_delta("edge", d.clone());
+        let bytes = cat.to_bytes();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 2);
+        let back = StoredCatalog::from_bytes(&bytes).unwrap();
+        assert_eq!(back.deltas().len(), 1);
+        assert_eq!(back.deltas()[0].0, "edge");
+        assert_eq!(back.deltas()[0].1, d);
+        assert_eq!(back.to_bytes(), bytes, "re-serialization is stable");
+    }
+
+    #[test]
+    fn overlapping_delta_sides_are_rejected_at_parse_time() {
+        // Hand-craft a v2 payload whose delta lists (1,2) as both insert
+        // and tombstone — from_parts can't see this (it only checks
+        // arity), so the store validates disjointness itself.
+        let mut p = Writer::new();
+        p.u64(0); // rel_count
+        p.u64(0); // trie_count
+        p.u64(1); // delta_count
+        p.u64(1);
+        p.bytes(b"r");
+        p.u64(2); // arity
+        p.u64(2); // insert words
+        p.words(&[1, 2]);
+        p.u64(2); // tombstone words
+        p.words(&[1, 2]);
+        let err = StoredCatalog::from_bytes(&frame(&p.into_bytes())).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Malformed { ref detail } if detail.contains("insert and tombstone")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn version_1_files_do_not_carry_a_delta_section() {
+        // A v1 frame that *appends* delta-looking bytes must be rejected
+        // as trailing garbage, not silently parsed.
+        let cat = sample_catalog();
+        let mut bytes = cat.to_bytes();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            StoredCatalog::from_bytes(&bytes).unwrap_err(),
+            StoreError::Malformed { .. } | StoreError::Truncated { .. }
+        ));
     }
 }

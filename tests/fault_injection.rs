@@ -327,3 +327,74 @@ fn seeded_fault_sweep_terminates_and_stays_exact() {
         }
     }
 }
+
+/// A fault at the `DeltaApply` point — fired after the new session state
+/// is fully computed but **before** it is swapped in — must leave the
+/// session at its prior epoch: same catalog, same deltas, no watcher
+/// update. The very next clean apply must succeed (the injected panic may
+/// not wedge the apply lock) and deliver exactly its own increment.
+#[test]
+fn killed_apply_leaves_the_session_at_the_prior_epoch() {
+    use std::sync::Arc;
+    use triejax_join::Session;
+
+    let session = Session::new(catalog_from(hub_edges()))
+        .with_pool(2)
+        .with_compact_ratio(f64::INFINITY);
+    let plan = CompiledQuery::compile(&Pattern::Cycle3.query()).expect("compiles");
+    let watch = session.watch(&plan).expect("watchable");
+
+    // One clean apply first, so the pre-fault state is non-trivial (a
+    // pending delta exists and the epoch is past zero).
+    session
+        .apply(
+            "G",
+            &Relation::from_pairs(vec![(221, 222)]),
+            &Relation::new(2).unwrap(),
+        )
+        .expect("clean apply");
+    assert!(watch.poll().is_some(), "clean apply notifies");
+
+    let epoch_before = session.epoch();
+    let catalog_before = session.catalog();
+    let deltas_before = session.deltas();
+
+    let guard =
+        faults::install(FaultPlan::new().rule(first(FaultEvent::DeltaApply, FaultAction::Panic)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        session.apply(
+            "G",
+            &Relation::from_pairs(vec![(300, 301), (301, 302)]),
+            &Relation::from_pairs(vec![(221, 222)]),
+        )
+    }));
+    drop(guard);
+    assert_injected(outcome.expect_err("the injected panic surfaces to the caller"));
+
+    // Nothing moved: the epoch, the catalog generation, and the pending
+    // deltas are exactly the pre-fault ones, and no update was emitted.
+    assert_eq!(session.epoch(), epoch_before);
+    assert!(
+        Arc::ptr_eq(&session.catalog(), &catalog_before),
+        "the catalog generation must be the pre-fault one"
+    );
+    assert_eq!(*session.deltas(), *deltas_before);
+    assert!(watch.poll().is_none(), "a failed apply never notifies");
+
+    // The session is not wedged: the retry lands with the next epoch and
+    // the watcher hears exactly this batch.
+    let epoch = session
+        .apply(
+            "G",
+            &Relation::from_pairs(vec![(0, 221), (221, 1)]),
+            &Relation::new(2).unwrap(),
+        )
+        .expect("retry succeeds after the injected fault");
+    assert_eq!(epoch, epoch_before + 1);
+    let update = watch.poll().expect("retry notifies");
+    assert_eq!(update.epoch, epoch);
+    assert!(
+        !update.rows.is_empty(),
+        "0→221→1→0 closes a new triangle through the hub"
+    );
+}
