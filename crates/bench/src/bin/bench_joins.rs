@@ -17,7 +17,8 @@
 //!
 //! Usage: `bench_joins [--scale tiny|mini|full] [--dataset <label>]
 //! [--runs N] [--pool N] [--cache-cap N] [--trie-cache-mb N]
-//! [--split | --no-split] [--row-limit N] [--deadline-ms N]
+//! [--split | --no-split] [--split-depth N|max] [--cache-adapt]
+//! [--row-limit N] [--deadline-ms N]
 //! [--store PATH] [--mutate-batch N] [--out PATH] [--no-gate]`
 //!
 //! `--cache-cap N` bounds the `parctj` rows' shared PJR cache to `N`
@@ -31,6 +32,15 @@
 //! Splitting runs record `"split": true` in the artifact and its config
 //! signature; non-splitting runs omit the field, so artifacts from
 //! before the knob existed still gate against non-splitting runs.
+//!
+//! `--split-depth N|max` pins how deep a splitting shard may donate
+//! (`0` = root-only, `max` = uncapped; default: the engines'
+//! `TRIEJAX_SPLIT_DEPTH` resolution) and `--cache-adapt` runs the
+//! `parctj` rows with the cost-based adaptive cache policy (default:
+//! the engines' `TRIEJAX_CACHE_ADAPT` resolution). Both are recorded in
+//! the artifact and its config signature only when non-default
+//! (`split_depth` > 0 / adaptive on), so pre-knob artifacts still gate
+//! against default runs.
 //!
 //! `--row-limit N` / `--deadline-ms N` put the parallel rows under a
 //! query budget, timing cancellation (time-to-first-N-rows /
@@ -160,35 +170,39 @@ fn field_bool(text: &str, key: &str) -> bool {
 
 /// The benchmark configuration recorded in (or computed for) one artifact;
 /// medians are only comparable between identical configurations.
-#[allow(clippy::type_complexity)]
-fn config_signature(
-    text: &str,
-) -> (
-    Option<String>,
-    Option<String>,
-    Option<u128>,
-    Option<u128>,
-    Option<u128>,
-    Option<u128>,
-    bool,
-    Option<u128>,
-    Option<u128>,
-    bool,
-    Option<u128>,
-) {
-    (
-        field_str(text, "dataset"),
-        field_str(text, "scale"),
-        field_num(text, "runs"),
-        field_num(text, "pool"),
-        field_num(text, "cache_cap"),
-        field_num(text, "trie_cache_mb"),
-        field_bool(text, "split"),
-        field_num(text, "row_limit"),
-        field_num(text, "deadline_ms"),
-        field_bool(text, "store"),
-        field_num(text, "mutate_batch"),
-    )
+#[derive(PartialEq)]
+struct ConfigSig {
+    dataset: Option<String>,
+    scale: Option<String>,
+    runs: Option<u128>,
+    pool: Option<u128>,
+    cache_cap: Option<u128>,
+    trie_cache_mb: Option<u128>,
+    split: bool,
+    split_depth: Option<u128>,
+    cache_adapt: bool,
+    row_limit: Option<u128>,
+    deadline_ms: Option<u128>,
+    store: bool,
+    mutate_batch: Option<u128>,
+}
+
+fn config_signature(text: &str) -> ConfigSig {
+    ConfigSig {
+        dataset: field_str(text, "dataset"),
+        scale: field_str(text, "scale"),
+        runs: field_num(text, "runs"),
+        pool: field_num(text, "pool"),
+        cache_cap: field_num(text, "cache_cap"),
+        trie_cache_mb: field_num(text, "trie_cache_mb"),
+        split: field_bool(text, "split"),
+        split_depth: field_num(text, "split_depth"),
+        cache_adapt: field_bool(text, "cache_adapt"),
+        row_limit: field_num(text, "row_limit"),
+        deadline_ms: field_num(text, "deadline_ms"),
+        store: field_bool(text, "store"),
+        mutate_batch: field_num(text, "mutate_batch"),
+    }
 }
 
 /// Samples the trie-construction phase of `runs` engine runs through
@@ -374,6 +388,8 @@ fn main() {
     let mut cache_cap: Option<usize> = None;
     let mut trie_cache_mb: Option<u64> = None;
     let mut split: Option<bool> = None;
+    let mut split_depth: Option<usize> = None;
+    let mut cache_adapt: Option<bool> = None;
     let mut row_limit: Option<u64> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut store_path: Option<String> = None;
@@ -418,6 +434,14 @@ fn main() {
             }
             "--split" => split = Some(true),
             "--no-split" => split = Some(false),
+            "--split-depth" => {
+                i += 1;
+                split_depth = Some(match args[i].as_str() {
+                    "max" => usize::MAX,
+                    n => n.parse().expect("--split-depth takes a number or 'max'"),
+                });
+            }
+            "--cache-adapt" => cache_adapt = Some(true),
             "--row-limit" => {
                 i += 1;
                 let n: u64 = args[i].parse().expect("--row-limit takes a number");
@@ -461,6 +485,12 @@ fn main() {
     // `TRIEJAX_SPLIT` default explicitly so the measured schedule is
     // always the recorded one.
     let split = split.unwrap_or_else(|| ParLftj::new().effective_split());
+    // And for the depth cap and the adaptive cache policy: resolve the
+    // `TRIEJAX_SPLIT_DEPTH` / `TRIEJAX_CACHE_ADAPT` defaults through the
+    // engines and pin them, so the measured schedule and cache policy are
+    // always the recorded ones.
+    let split_depth = split_depth.unwrap_or_else(|| ParLftj::new().effective_split_depth());
+    let cache_adapt = cache_adapt.unwrap_or_else(|| ParCtj::new().effective_config().adaptive);
     // The trie cache is flag-only: without `--trie-cache-mb` (or with 0)
     // the parallel rows run with the cache pinned *off* — an ambient
     // `TRIEJAX_TRIE_CACHE_MB` must not make the measured configuration
@@ -500,7 +530,8 @@ fn main() {
     let par_lftj = || {
         let mut engine = pin_trie_cache(
             pool.map_or_else(ParLftj::new, ParLftj::with_pool)
-                .with_split(split),
+                .with_split(split)
+                .with_split_depth(split_depth),
         );
         if let Some(n) = row_limit {
             engine = engine.with_row_limit(n);
@@ -513,7 +544,9 @@ fn main() {
     let par_ctj = || {
         let mut engine = pin_trie_cache_ctj(
             pool.map_or_else(ParCtj::new, ParCtj::with_pool)
-                .with_split(split),
+                .with_split(split)
+                .with_split_depth(split_depth)
+                .with_cache_adapt(cache_adapt),
         );
         if let Some(cap) = cache_cap {
             engine = engine.cache_capacity(cap);
@@ -767,21 +800,25 @@ fn main() {
     // but only when it was produced by the same configuration, otherwise
     // every delta is an artifact of the config change, not a regression.
     let previous_text = std::fs::read_to_string(&out_path).unwrap_or_default();
-    let current_sig = (
-        Some(dataset.label().to_string()),
-        Some(scale.label().to_string()),
-        Some(runs as u128),
-        pool.map(|n| n as u128),
-        cache_cap.map(|n| n as u128),
+    let current_sig = ConfigSig {
+        dataset: Some(dataset.label().to_string()),
+        scale: Some(scale.label().to_string()),
+        runs: Some(runs as u128),
+        pool: pool.map(|n| n as u128),
+        cache_cap: cache_cap.map(|n| n as u128),
         // Signature-relevant only when the cache is actually on: `0`
         // measures the same thing as an absent flag.
-        trie_cache.as_ref().and(trie_cache_mb).map(u128::from),
+        trie_cache_mb: trie_cache.as_ref().and(trie_cache_mb).map(u128::from),
         split,
-        row_limit.map(u128::from),
-        deadline_ms.map(u128::from),
-        store_path.is_some(),
-        mutate_batch.map(|n| n as u128),
-    );
+        // Signature-relevant only when sub-root donation is actually on:
+        // a cap of 0 measures the same schedule as an absent knob.
+        split_depth: (split_depth > 0).then_some(split_depth as u128),
+        cache_adapt,
+        row_limit: row_limit.map(u128::from),
+        deadline_ms: deadline_ms.map(u128::from),
+        store: store_path.is_some(),
+        mutate_batch: mutate_batch.map(|n| n as u128),
+    };
     let previous = if previous_text.is_empty() {
         Vec::new()
     } else if config_signature(&previous_text) != current_sig {
@@ -885,6 +922,14 @@ fn main() {
     // still signature-match non-splitting runs.
     if split {
         json.push_str("  \"split\": true,\n");
+    }
+    // Written only when sub-root donation / the adaptive cache policy is
+    // on, so pre-knob artifacts still signature-match default runs.
+    if split_depth > 0 {
+        json.push_str(&format!("  \"split_depth\": {split_depth},\n"));
+    }
+    if cache_adapt {
+        json.push_str("  \"cache_adapt\": true,\n");
     }
     // Budget knobs are also written only when set: a governed run times
     // something different (cancellation latency), so it must never

@@ -33,10 +33,22 @@
 //!   the winning, stored build;
 //! * evictions tick `cache_evictions`; waiting on a stripe lock another
 //!   worker holds ticks `cache_contention`.
+//!
+//! ## Adaptive demotion
+//!
+//! With [`CtjConfig::adaptive`] set, both stores watch the observed hit
+//! rate per cached depth: a depth whose first [`DEMOTE_LOOKUPS`] lookups
+//! all missed is *demoted* — [`PjrStore::depth_enabled`] flips to `false`,
+//! the driver stops probing (and recording) there, and the worker that
+//! flipped it ticks `cache_demotions` once. The shared store demotes
+//! globally (relaxed atomics; a racing hit can at worst lose the depth one
+//! probation window late), the local store per driver. Demotion never
+//! changes results — a disabled depth simply recomputes like plain LFTJ.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 use triejax_exec::{suggested_stripes, Striped};
@@ -65,6 +77,32 @@ pub(crate) enum Looked {
     Miss(Vec<Value>, u64),
 }
 
+/// Probation window of the adaptive policy: a cached depth whose first
+/// this-many lookups all missed is demoted for the rest of the run.
+pub(crate) const DEMOTE_LOOKUPS: u32 = 64;
+
+/// Per-depth probation state of the adaptive policy (worker-local form).
+#[derive(Clone, Copy, Default)]
+struct DepthProbe {
+    lookups: u32,
+    hits: u32,
+    demoted: bool,
+}
+
+impl DepthProbe {
+    /// Accounts one lookup; returns `true` when this lookup demoted the
+    /// depth (zero hits through the whole probation window).
+    fn observe(&mut self, hit: bool) -> bool {
+        self.lookups += 1;
+        self.hits += u32::from(hit);
+        if !self.demoted && self.hits == 0 && self.lookups >= DEMOTE_LOOKUPS {
+            self.demoted = true;
+            return true;
+        }
+        false
+    }
+}
+
 /// Storage + accounting policy for CTJ's partial-join-result cache.
 pub(crate) trait PjrStore {
     /// Probes for `(depth, key)`, ticking `cache_hits` or `cache_misses`.
@@ -87,6 +125,14 @@ pub(crate) trait PjrStore {
         rows: Vec<(Value, Vec<u32>)>,
         stats: &mut EngineStats<T>,
     );
+
+    /// Whether the adaptive policy still allows caching at `depth`.
+    /// Always `true` for non-adaptive stores; an adaptive store returns
+    /// `false` once the depth is demoted, and the driver then skips the
+    /// lookup (and the recording) entirely at that depth.
+    fn depth_enabled(&self, _depth: usize) -> bool {
+        true
+    }
 }
 
 /// Records the storage cost of a newly stored entry (the Figure 18
@@ -108,6 +154,8 @@ fn record_stored<T: Tally>(rows: &[(Value, Vec<u32>)], stats: &mut EngineStats<T
 pub(crate) struct LocalPjr {
     map: HashMap<Key, Entry>,
     max_entries: Option<usize>,
+    /// Per-depth probation state; empty when the adaptive policy is off.
+    probes: Vec<DepthProbe>,
 }
 
 impl LocalPjr {
@@ -115,7 +163,17 @@ impl LocalPjr {
         LocalPjr {
             map: HashMap::new(),
             max_entries: config.max_entries,
+            probes: Vec::new(),
         }
+    }
+
+    /// Enables run-time demotion for cached depths up to `depths`.
+    pub(crate) fn with_adaptive(config: CtjConfig, depths: usize) -> Self {
+        let mut store = Self::new(config);
+        if config.adaptive {
+            store.probes = vec![DepthProbe::default(); depths];
+        }
+        store
     }
 }
 
@@ -127,12 +185,22 @@ impl PjrStore for LocalPjr {
         stats: &mut EngineStats<T>,
     ) -> Looked {
         let probe = (depth, key);
-        if let Some(entry) = self.map.get(&probe) {
+        let hit = self.map.get(&probe).map(Arc::clone);
+        if let Some(p) = self.probes.get_mut(depth) {
+            if p.observe(hit.is_some()) {
+                stats.cache_demotions += 1;
+            }
+        }
+        if let Some(entry) = hit {
             stats.cache_hits += 1;
-            return Looked::Hit(Arc::clone(entry));
+            return Looked::Hit(entry);
         }
         stats.cache_misses += 1;
         Looked::Miss(probe.1, 0)
+    }
+
+    fn depth_enabled(&self, depth: usize) -> bool {
+        self.probes.get(depth).is_none_or(|p| !p.demoted)
     }
 
     fn publish<T: Tally>(
@@ -179,6 +247,34 @@ pub(crate) struct SharedPjrCache {
     /// lane bounds sum to *exactly* the configured total capacity.
     /// `None` = unbounded; a zero lane bound disables storing there.
     per_lane_cap: Option<(usize, usize)>,
+    /// Per-depth probation state shared by every worker; empty when the
+    /// adaptive policy is off. Relaxed atomics: a demotion racing a hit
+    /// can at worst fire one probation window late, never affects
+    /// results.
+    probes: Vec<SharedDepthProbe>,
+}
+
+/// Per-depth probation state of the adaptive policy (shared form).
+#[derive(Default)]
+struct SharedDepthProbe {
+    lookups: AtomicU32,
+    hits: AtomicU32,
+    demoted: AtomicBool,
+}
+
+impl SharedDepthProbe {
+    /// Accounts one lookup; returns `true` for exactly the one worker
+    /// whose lookup demoted the depth.
+    fn observe(&self, hit: bool) -> bool {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let seen = self.lookups.fetch_add(1, Ordering::Relaxed) + 1;
+        seen >= DEMOTE_LOOKUPS
+            && self.hits.load(Ordering::Relaxed) == 0
+            && !self.demoted.swap(true, Ordering::Relaxed)
+    }
 }
 
 /// A plan-side entries hint larger than this is a blown-up upper bound
@@ -223,7 +319,16 @@ impl SharedPjrCache {
                 fifo: VecDeque::new(),
             }),
             per_lane_cap,
+            probes: Vec::new(),
         }
+    }
+
+    /// Enables run-time demotion for cached depths up to `depths`. Every
+    /// worker handle observes and honors the shared demotion state, so a
+    /// depth dead for one worker is dead for all of them.
+    pub(crate) fn with_adaptive(mut self, depths: usize) -> Self {
+        self.probes = (0..depths).map(|_| SharedDepthProbe::default()).collect();
+        self
     }
 
     /// Number of lock stripes (for tests/diagnostics).
@@ -279,15 +384,29 @@ impl PjrStore for SharedPjrHandle<'_> {
             stats.cache_contention += 1;
         }
         let probe = (depth, key);
-        if let Some(entry) = stripe.map.get(&probe) {
-            // Clone the Arc out so the stripe lock is released before the
-            // (potentially deep) replay.
+        let hit = stripe.map.get(&probe).map(Arc::clone);
+        // Clone the Arc out so the stripe lock is released before the
+        // (potentially deep) replay and the probation accounting.
+        drop(stripe);
+        if let Some(p) = self.cache.probes.get(depth) {
+            if p.observe(hit.is_some()) {
+                stats.cache_demotions += 1;
+            }
+        }
+        if let Some(entry) = hit {
             stats.cache_hits += 1;
-            return Looked::Hit(Arc::clone(entry));
+            return Looked::Hit(entry);
         }
         stats.cache_misses += 1;
         // Hand the stripe hash back so the publish need not rehash.
         Looked::Miss(probe.1, hash)
+    }
+
+    fn depth_enabled(&self, depth: usize) -> bool {
+        self.cache
+            .probes
+            .get(depth)
+            .is_none_or(|p| !p.demoted.load(Ordering::Relaxed))
     }
 
     fn publish<T: Tally>(
@@ -376,6 +495,7 @@ mod tests {
         let mut store = LocalPjr::new(CtjConfig {
             entry_capacity: None,
             max_entries: Some(1),
+            adaptive: false,
         });
         let mut stats = EngineStats::<Counting>::new();
         let (k, t) = miss_key(&mut store, 1, &[7], &mut stats);
@@ -474,6 +594,95 @@ mod tests {
         assert_eq!(s.cache_overflows, 1);
         assert!(matches!(w.lookup(1, vec![9], &mut s), Looked::Miss(..)));
         assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn local_demotes_a_depth_after_a_zero_hit_window() {
+        let mut store = LocalPjr::with_adaptive(
+            CtjConfig {
+                entry_capacity: None,
+                max_entries: None,
+                adaptive: true,
+            },
+            3,
+        );
+        let mut s = EngineStats::<Counting>::new();
+        // Every key distinct: the probation window closes with zero hits.
+        for v in 0..DEMOTE_LOOKUPS {
+            assert!(store.depth_enabled(1), "demotion only fires at the window");
+            miss_key(&mut store, 1, &[v], &mut s);
+        }
+        assert!(!store.depth_enabled(1), "zero-reuse depth is demoted");
+        assert_eq!(s.cache_demotions, 1);
+        // Other depths keep their own probation; a demoted depth is
+        // counted once even if the driver races in another lookup.
+        assert!(store.depth_enabled(2));
+        miss_key(&mut store, 1, &[u32::MAX], &mut s);
+        assert_eq!(s.cache_demotions, 1, "demotion is counted once");
+    }
+
+    #[test]
+    fn a_single_hit_inside_the_window_keeps_the_depth() {
+        let mut store = LocalPjr::with_adaptive(
+            CtjConfig {
+                entry_capacity: None,
+                max_entries: None,
+                adaptive: true,
+            },
+            3,
+        );
+        let mut s = EngineStats::<Counting>::new();
+        let (k, t) = miss_key(&mut store, 1, &[0], &mut s);
+        store.publish(1, k, t, rows(&[1]), &mut s);
+        for v in 0..2 * DEMOTE_LOOKUPS {
+            // Re-probing key 0 every few lookups keeps the hit count
+            // above zero, so the window never closes against the depth.
+            let key = if v % 8 == 0 { 0 } else { v + 1 };
+            store.lookup(1, vec![key], &mut s);
+        }
+        assert!(store.depth_enabled(1), "reused depth must keep its spec");
+        assert_eq!(s.cache_demotions, 0);
+    }
+
+    #[test]
+    fn non_adaptive_stores_never_demote() {
+        let mut store = LocalPjr::new(CtjConfig {
+            entry_capacity: None,
+            max_entries: None,
+            adaptive: false,
+        });
+        let mut s = EngineStats::<Counting>::new();
+        for v in 0..2 * DEMOTE_LOOKUPS {
+            miss_key(&mut store, 1, &[v], &mut s);
+        }
+        assert!(store.depth_enabled(1));
+        assert_eq!(s.cache_demotions, 0);
+    }
+
+    #[test]
+    fn shared_demotion_is_global_across_handles() {
+        let cache = SharedPjrCache::new(2, None, None).with_adaptive(3);
+        let mut s0 = EngineStats::<Counting>::new();
+        let mut s1 = EngineStats::<Counting>::new();
+        let mut w0 = cache.handle();
+        let mut w1 = cache.handle();
+        // Split the zero-hit probation window across two workers: the one
+        // whose lookup crosses the threshold books the demotion, and the
+        // flag flips for every handle of the store.
+        for v in 0..DEMOTE_LOOKUPS {
+            if v % 2 == 0 {
+                miss_key(&mut w0, 2, &[v, v], &mut s0);
+            } else {
+                miss_key(&mut w1, 2, &[v, v], &mut s1);
+            }
+        }
+        assert!(!w0.depth_enabled(2) && !w1.depth_enabled(2));
+        assert_eq!(
+            s0.cache_demotions + s1.cache_demotions,
+            1,
+            "exactly one worker books the shared demotion"
+        );
+        assert!(w0.depth_enabled(1), "other depths unaffected");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use triejax_relation::{AccessKind, Counting, JoinCursor, Tally, TrieCursor, Valu
 
 use crate::cache::{LocalPjr, Looked, PjrStore};
 use crate::engine::head_slots;
-use crate::shard::{try_split_root, NoSplit, SplitSpawn};
+use crate::shard::{try_split_at, NoSplit, SplitSpawn};
 use crate::sink::BatchEmitter;
 use crate::viewset::{plan_touches_delta, CursorSet, MergeSet};
 use crate::{Catalog, DeltaMap, EngineStats, JoinEngine, JoinError, Leapfrog, ResultSink, TrieSet};
@@ -25,6 +25,16 @@ pub struct CtjConfig {
     /// for [`crate::ParCtj`] it is the total capacity of the shared
     /// sharded cache, which *evicts* (FIFO per stripe) to stay within it.
     pub max_entries: Option<usize>,
+    /// Cost-based adaptive cache-spec selection (default off, env default
+    /// `TRIEJAX_CACHE_ADAPT` for the parallel engine). At plan time a
+    /// spec whose estimated per-entry reuse
+    /// ([`triejax_query::CompiledQuery::cache_reuse_estimate`]) is below
+    /// 2 is dropped — every visit would build a fresh entry. At run time
+    /// a surviving depth whose whole probation window of lookups never
+    /// hit is demoted (see [`crate::EngineStats::cache_demotions`]).
+    /// Either way the depth simply recomputes like plain LFTJ; results
+    /// never change.
+    pub adaptive: bool,
 }
 
 /// Cached TrieJoin (Kalinsky, Etsion, Kimelfeld — EDBT'17): LeapFrog
@@ -89,7 +99,11 @@ impl Ctj {
         sink: &mut dyn ResultSink,
     ) -> Result<EngineStats<T>, JoinError> {
         let tries = TrieSet::build(plan, catalog)?;
-        let mut driver = CtjDriver::new(plan, &tries, self.config)?;
+        let store = LocalPjr::with_adaptive(self.config, plan.arity());
+        let mut driver = CtjDriver::with_store(plan, &tries, self.config, store)?;
+        if self.config.adaptive {
+            driver.set_cache_mask(plan_cache_mask(plan, catalog));
+        }
         driver.run(sink);
         Ok(driver.stats)
     }
@@ -115,10 +129,29 @@ impl Ctj {
             return self.run_tallied(plan, catalog, sink);
         }
         let set = MergeSet::build(plan, catalog, deltas)?;
-        let mut driver = CtjDriver::<T, LocalPjr, NoBudget, _>::new(plan, &set, self.config)?;
+        let store = LocalPjr::with_adaptive(self.config, plan.arity());
+        let mut driver =
+            CtjDriver::<T, LocalPjr, NoBudget, _>::with_store(plan, &set, self.config, store)?;
+        if self.config.adaptive {
+            driver.set_cache_mask(plan_cache_mask(plan, catalog));
+        }
         driver.run(sink);
         Ok(driver.stats)
     }
+}
+
+/// Plan-time side of the adaptive cache policy: one flag per depth,
+/// `false` where the spec's estimated per-entry reuse is provably below 2
+/// — the product of the non-key prefix domains bounds how many visits
+/// could ever share an entry, so an estimate of 1 means pure overhead.
+/// Depths without a spec (and depths whose estimate is unknown) stay
+/// enabled; the run-time demotion policy handles what the estimate
+/// cannot see.
+pub(crate) fn plan_cache_mask(plan: &CompiledQuery, catalog: &Catalog) -> Vec<bool> {
+    let card = |name: &str| catalog.get(name).map(|r| r.len());
+    (0..plan.arity())
+        .map(|d| plan.cache_reuse_estimate(d, card).is_none_or(|r| r >= 2))
+        .collect()
 }
 
 impl JoinEngine for Ctj {
@@ -172,14 +205,24 @@ pub(crate) struct CtjDriver<
     /// recursive driver never allocates per node.
     members_at: Vec<Vec<usize>>,
     cache: C,
-    root_min: Value,
-    root_sup: Option<Value>,
+    /// Plan-time adaptive mask: `false` at depths whose cache spec was
+    /// dropped by the cost model (all `true` when adaptation is off).
+    cache_mask: Vec<bool>,
+    /// Level the `[range_min, range_sup)` restriction applies to: 0 for
+    /// seeded shards, the donated level for sub-root split donees.
+    range_depth: usize,
+    range_min: Value,
+    range_sup: Option<Value>,
+    /// Per level: the upper bound committed splits have clamped it to.
+    sup_at: Vec<Option<Value>>,
     budget: B,
     pub(crate) stats: EngineStats<T>,
 }
 
+#[cfg(test)]
 impl<'a, T: Tally, Cur: JoinCursor> CtjDriver<'a, T, LocalPjr, NoBudget, Cur> {
-    /// Driver with a worker-local store (sequential CTJ semantics).
+    /// Driver with a worker-local store (sequential CTJ semantics);
+    /// test-only — the engines wire the adaptive store explicitly.
     pub(crate) fn new<S: CursorSet<'a, Cur = Cur>>(
         plan: &'a CompiledQuery,
         set: &'a S,
@@ -228,11 +271,20 @@ impl<'a, T: Tally, C: PjrStore, B: Budget, Cur: JoinCursor> CtjDriver<'a, T, C, 
             emitter: BatchEmitter::new(n),
             members_at,
             cache,
-            root_min: 0,
-            root_sup: None,
+            cache_mask: vec![true; n],
+            range_depth: 0,
+            range_min: 0,
+            range_sup: None,
+            sup_at: vec![None; n],
             budget,
             stats: EngineStats::default(),
         })
+    }
+
+    /// Installs the plan-time adaptive mask (see [`plan_cache_mask`]).
+    pub(crate) fn set_cache_mask(&mut self, mask: Vec<bool>) {
+        debug_assert_eq!(mask.len(), self.plan.arity());
+        self.cache_mask = mask;
     }
 
     /// Emits tuples straight through to the sink instead of batching —
@@ -259,9 +311,10 @@ impl<'a, T: Tally, C: PjrStore, B: Budget, Cur: JoinCursor> CtjDriver<'a, T, C, 
     }
 
     /// Like [`run_range`](Self::run_range), with a split controller
-    /// polled at every root-level advance (see
-    /// [`crate::shard::try_split_root`]); [`NoSplit`] monomorphizes the
-    /// polling away for the sequential paths.
+    /// polled at the match points of every non-cached level up to the
+    /// controller's depth cap (see [`crate::shard::try_split_at`]);
+    /// [`NoSplit`] monomorphizes the polling away for the sequential
+    /// paths.
     pub(crate) fn run_range_split<S: SplitSpawn>(
         &mut self,
         root_min: Value,
@@ -269,10 +322,57 @@ impl<'a, T: Tally, C: PjrStore, B: Budget, Cur: JoinCursor> CtjDriver<'a, T, C, 
         sink: &mut dyn ResultSink,
         ctl: &mut S,
     ) {
-        self.root_min = root_min;
-        self.root_sup = root_sup;
-        self.level(0, sink, ctl);
+        self.run_split_at(0, &[], root_min, root_sup, sink, ctl);
+    }
+
+    /// Runs a sub-root split task: binds the donated `prefix`, joins the
+    /// donated level restricted to `[min, sup)` and everything below it,
+    /// then unwinds the prefix so the pooled driver can run more tasks.
+    /// See `Driver::run_split_at` in `lftj.rs` for the protocol; the CTJ
+    /// variant keeps its cache across tasks (entries are keyed by
+    /// bindings alone, so both halves of a split keep hitting it).
+    pub(crate) fn run_split_at<S: SplitSpawn>(
+        &mut self,
+        depth: usize,
+        prefix: &[Value],
+        min: Value,
+        sup: Option<Value>,
+        sink: &mut dyn ResultSink,
+        ctl: &mut S,
+    ) {
+        assert_eq!(
+            prefix.len(),
+            depth,
+            "split prefix binds every level above the donated one"
+        );
+        self.range_depth = depth;
+        self.range_min = min;
+        self.range_sup = sup;
+        for (q, &v) in prefix.iter().enumerate() {
+            for &(a, lvl) in self.plan.atoms_at(q) {
+                if lvl > 0 {
+                    self.stats.expand_ops += 1;
+                }
+                let opened = self.cursors[a].open(&mut self.stats.access);
+                assert!(opened, "split prefix level must be non-empty");
+                let found = self.cursors[a].seek(v, &mut self.stats.access);
+                assert!(
+                    found && self.cursors[a].key() == v,
+                    "split prefix value must exist in every participant"
+                );
+            }
+            self.binding[q] = v;
+        }
+        self.level(depth, sink, ctl);
         self.emitter.flush(sink);
+        for q in (0..depth).rev() {
+            for &(a, _) in self.plan.atoms_at(q) {
+                self.cursors[a].up();
+            }
+        }
+        self.range_depth = 0;
+        self.range_min = 0;
+        self.range_sup = None;
     }
 
     /// Emits the current binding; returns `false` when the budget refused
@@ -295,7 +395,14 @@ impl<'a, T: Tally, C: PjrStore, B: Budget, Cur: JoinCursor> CtjDriver<'a, T, C, 
     /// Returns `false` when the budget stopped the run at this level or
     /// below; cursors are unwound normally either way.
     fn level<S: SplitSpawn>(&mut self, d: usize, sink: &mut dyn ResultSink, ctl: &mut S) -> bool {
-        let record_key = match self.plan.cache_spec_at(d) {
+        // Entering a fresh subtree invalidates any split vetoes recorded
+        // for this depth and below — they referred to sibling subtrees.
+        ctl.level_entered(d);
+        let spec = self
+            .plan
+            .cache_spec_at(d)
+            .filter(|_| self.cache_mask[d] && self.cache.depth_enabled(d));
+        let record_key = match spec {
             Some(spec) => {
                 let key: Vec<Value> = spec
                     .key_depths()
@@ -367,20 +474,22 @@ impl<'a, T: Tally, C: PjrStore, B: Budget, Cur: JoinCursor> CtjDriver<'a, T, C, 
         sink: &mut dyn ResultSink,
         ctl: &mut S,
     ) -> bool {
-        // Open level d on every participant (clamped to the root range at
-        // depth 0, so shards never leapfrog outside their slice).
+        // Open level d on every participant (clamped to the task's range
+        // at its ranged depth, so shards never leapfrog outside their
+        // slice).
+        self.sup_at[d] = if d == self.range_depth {
+            self.range_sup
+        } else {
+            None
+        };
         let parts = self.plan.atoms_at(d);
-        let ranged_root = d == 0 && (self.root_min > 0 || self.root_sup.is_some());
+        let ranged = d == self.range_depth && (self.range_min > 0 || self.range_sup.is_some());
         for (i, &(a, lvl)) in parts.iter().enumerate() {
             if lvl > 0 {
                 self.stats.expand_ops += 1;
             }
-            let opened = if ranged_root {
-                self.cursors[a].open_root_range(
-                    self.root_min,
-                    self.root_sup,
-                    &mut self.stats.access,
-                )
+            let opened = if ranged {
+                self.cursors[a].open_range(self.range_min, self.range_sup, &mut self.stats.access)
             } else {
                 self.cursors[a].open(&mut self.stats.access)
             };
@@ -392,6 +501,12 @@ impl<'a, T: Tally, C: PjrStore, B: Budget, Cur: JoinCursor> CtjDriver<'a, T, C, 
             }
         }
 
+        // A recorded level must observe every one of its matches —
+        // donating its tail would publish a truncated entry whose
+        // replays silently drop rows — so split polls are suppressed
+        // while recording. (A demoted or mask-dropped spec computes like
+        // plain LFTJ and splits freely.)
+        let can_split = record_key.is_none();
         let mut live = true;
         let mut pending: Option<Vec<(Value, Vec<u32>)>> = record_key.as_ref().map(|_| Vec::new());
         // Recycle this depth's member vector (no per-node allocation).
@@ -399,21 +514,26 @@ impl<'a, T: Tally, C: PjrStore, B: Budget, Cur: JoinCursor> CtjDriver<'a, T, C, 
         let mut m = lf.search(&mut self.cursors, &mut self.stats);
         while let Some(v) = m {
             self.binding[d] = v;
-            if d == 0 {
-                // Root-level advance: the budget poll and split points
-                // (the current value v stays with this shard). Only
-                // reachable outside a cache replay — a cacheable depth is
-                // never depth 0, and a split never moves the cache:
-                // entries are keyed by bindings alone, so both halves
-                // keep hitting it.
-                if B::GOVERNED && self.budget.poll().is_some() {
-                    live = false;
-                    break;
-                }
-                try_split_root(
+            if d == self.range_depth && B::GOVERNED && self.budget.poll().is_some() {
+                // Polling at the task's top level before the (possibly
+                // expensive) subtree visit bounds the overshoot past a
+                // deadline by one value there.
+                live = false;
+                break;
+            }
+            if can_split && d <= ctl.depth_cap() {
+                // Match-point split poll (paper §3.4 spawn-on-match): the
+                // current value v stays with this shard. Only reachable
+                // outside a cache replay, and a split never moves the
+                // cache: entries are keyed by bindings alone, so both
+                // halves keep hitting it.
+                let (prefix, _) = self.binding.split_at(d);
+                try_split_at(
                     self.plan,
                     &mut self.cursors,
-                    &mut self.root_sup,
+                    &mut self.sup_at[d],
+                    d,
+                    prefix,
                     ctl,
                     &mut self.stats,
                 );
@@ -462,6 +582,12 @@ impl<'a, T: Tally, C: PjrStore, B: Budget, Cur: JoinCursor> CtjDriver<'a, T, C, 
             if let (Some((key, token)), Some(p)) = (record_key, pending) {
                 self.cache.publish(d, key, token, p, &mut self.stats);
             }
+        }
+        // A split at this depth opened a continuation lane for the
+        // donor's output *after* this subtree; adopt it now so that the
+        // stream stays tuple-for-tuple sequential around the handoff.
+        if let Some(lane) = ctl.take_switch(d) {
+            sink.redirect_lane(lane);
         }
         live
     }
@@ -552,6 +678,7 @@ mod tests {
         let cfg = CtjConfig {
             entry_capacity: Some(1),
             max_entries: None,
+            adaptive: false,
         };
         let s2 = Ctj::with_config(cfg).execute(&plan, &c, &mut tiny).unwrap();
         assert_eq!(unbounded.into_sorted(), tiny.into_sorted());
@@ -566,6 +693,7 @@ mod tests {
         let cfg = CtjConfig {
             entry_capacity: None,
             max_entries: Some(0),
+            adaptive: false,
         };
         let mut sink = CountSink::default();
         let stats = Ctj::with_config(cfg).execute(&plan, &c, &mut sink).unwrap();

@@ -3,7 +3,7 @@ use triejax_query::CompiledQuery;
 use triejax_relation::{AccessKind, Counting, JoinCursor, Tally, TrieCursor, Value, WORD_BYTES};
 
 use crate::engine::head_slots;
-use crate::shard::{try_split_root, NoSplit, SplitSpawn};
+use crate::shard::{try_split_at, NoSplit, SplitSpawn};
 use crate::sink::BatchEmitter;
 use crate::viewset::{plan_touches_delta, CursorSet, MergeSet};
 use crate::{Catalog, DeltaMap, EngineStats, JoinEngine, JoinError, Leapfrog, ResultSink, TrieSet};
@@ -113,13 +113,15 @@ impl JoinEngine for Lftj {
 /// Shared recursive backtracking driver (also the skeleton CTJ extends and
 /// the per-shard worker of the parallel engine).
 ///
-/// The driver optionally restricts the *root* variable to the value range
-/// `[root_min, root_sup)`: the parallel engine gives each shard a
-/// contiguous slice of the first join variable's domain, which keeps every
-/// shard's emission order identical to the sequential engine's. Shard
-/// entry clamps the root level of every participating cursor to the range
-/// ([`TrieCursor::open_root_range`]), so the leapfrog never probes outside
-/// the shard.
+/// The driver optionally restricts one level — `range_depth` — to the
+/// value range `[range_min, range_sup)`: the parallel engine gives each
+/// seeded shard a contiguous slice of the first join variable's domain
+/// (`range_depth` 0), and a sub-root split donee a slice of an inner
+/// level under a bound prefix ([`Driver::run_split_at`]), which keeps
+/// every shard's emission order identical to the sequential engine's.
+/// Shard entry clamps that level of every participating cursor to the
+/// range ([`JoinCursor::open_range`]), so the leapfrog never probes
+/// outside the shard.
 ///
 /// The driver is additionally generic over a [`Budget`]: the default
 /// [`NoBudget`] monomorphizes every cancellation check away, while a
@@ -144,8 +146,15 @@ pub(crate) struct Driver<'a, T: Tally, B: Budget = NoBudget, Cur: JoinCursor = T
     /// Per depth: participating cursor indices, preallocated once so the
     /// recursive driver never allocates per node.
     members_at: Vec<Vec<usize>>,
-    root_min: Value,
-    root_sup: Option<Value>,
+    /// Level the `[range_min, range_sup)` restriction applies to: 0 for
+    /// seeded shards (and sequential runs, where the range is unbounded),
+    /// the donated level for sub-root split donees.
+    range_depth: usize,
+    range_min: Value,
+    range_sup: Option<Value>,
+    /// Per level: the upper bound committed splits have clamped it to
+    /// (`None` until a split donates a tail there). Reset on level entry.
+    sup_at: Vec<Option<Value>>,
     budget: B,
     pub stats: EngineStats<T>,
 }
@@ -194,8 +203,10 @@ impl<'a, T: Tally, B: Budget, Cur: JoinCursor> Driver<'a, T, B, Cur> {
             slots: head_slots(plan)?,
             emitter: BatchEmitter::new(n),
             members_at,
-            root_min,
-            root_sup,
+            range_depth: 0,
+            range_min: root_min,
+            range_sup: root_sup,
+            sup_at: vec![None; n],
             budget,
             stats: EngineStats::default(),
         })
@@ -213,11 +224,11 @@ impl<'a, T: Tally, B: Budget, Cur: JoinCursor> Driver<'a, T, B, Cur> {
         self.run_split(sink, &mut NoSplit);
     }
 
-    /// Runs the join with a split controller polled at every root-level
-    /// advance: when it reports an idle sibling worker, the unvisited
-    /// tail of this shard's root range is carved off into a new task (see
-    /// [`try_split_root`]). Sequential callers pass [`NoSplit`], which
-    /// monomorphizes the polling away entirely.
+    /// Runs the join with a split controller polled at every match point
+    /// up to the controller's depth cap: when it reports an idle sibling
+    /// worker, the unvisited tail of the current level is carved off into
+    /// a new task (see [`try_split_at`]). Sequential callers pass
+    /// [`NoSplit`], which monomorphizes the polling away entirely.
     ///
     /// A governed driver (see [`Driver::budgeted`]) may stop early; the
     /// rows already allowed through are flushed either way, so the sink
@@ -227,22 +238,70 @@ impl<'a, T: Tally, B: Budget, Cur: JoinCursor> Driver<'a, T, B, Cur> {
         self.emitter.flush(sink);
     }
 
-    /// Opens level `d` on every participating cursor (clamped to the root
-    /// range at depth 0); on an empty open closes what was opened and
-    /// returns `false`.
+    /// Runs a sub-root split task: binds the donated `prefix` (the values
+    /// the donor had matched above the split level), then joins the
+    /// donated level restricted to `[min, sup)` and everything below it.
+    ///
+    /// The donor held exactly these prefix values open at every
+    /// participating cursor when it handed the tail off, so each rebind
+    /// seek lands on its value by construction. The prefix levels are
+    /// unwound before returning so a pooled driver can run further tasks.
+    pub(crate) fn run_split_at<C: SplitSpawn>(
+        &mut self,
+        depth: usize,
+        prefix: &[Value],
+        min: Value,
+        sup: Option<Value>,
+        sink: &mut dyn ResultSink,
+        ctl: &mut C,
+    ) {
+        assert_eq!(
+            prefix.len(),
+            depth,
+            "split prefix binds every level above the donated one"
+        );
+        self.range_depth = depth;
+        self.range_min = min;
+        self.range_sup = sup;
+        for (q, &v) in prefix.iter().enumerate() {
+            for &(a, lvl) in self.plan.atoms_at(q) {
+                if lvl > 0 {
+                    self.stats.expand_ops += 1;
+                }
+                let opened = self.cursors[a].open(&mut self.stats.access);
+                assert!(opened, "split prefix level must be non-empty");
+                let found = self.cursors[a].seek(v, &mut self.stats.access);
+                assert!(
+                    found && self.cursors[a].key() == v,
+                    "split prefix value must exist in every participant"
+                );
+            }
+            self.binding[q] = v;
+        }
+        self.level(depth, sink, ctl);
+        self.emitter.flush(sink);
+        for q in (0..depth).rev() {
+            for &(a, _) in self.plan.atoms_at(q) {
+                self.cursors[a].up();
+            }
+        }
+        self.range_depth = 0;
+        self.range_min = 0;
+        self.range_sup = None;
+    }
+
+    /// Opens level `d` on every participating cursor (clamped to
+    /// `[range_min, range_sup)` at the ranged depth); on an empty open
+    /// closes what was opened and returns `false`.
     fn open_level(&mut self, d: usize) -> bool {
         let parts = self.plan.atoms_at(d);
-        let ranged_root = d == 0 && (self.root_min > 0 || self.root_sup.is_some());
+        let ranged = d == self.range_depth && (self.range_min > 0 || self.range_sup.is_some());
         for (i, &(a, lvl)) in parts.iter().enumerate() {
             if lvl > 0 {
                 self.stats.expand_ops += 1;
             }
-            let opened = if ranged_root {
-                self.cursors[a].open_root_range(
-                    self.root_min,
-                    self.root_sup,
-                    &mut self.stats.access,
-                )
+            let opened = if ranged {
+                self.cursors[a].open_range(self.range_min, self.range_sup, &mut self.stats.access)
             } else {
                 self.cursors[a].open(&mut self.stats.access)
             };
@@ -282,31 +341,43 @@ impl<'a, T: Tally, B: Budget, Cur: JoinCursor> Driver<'a, T, B, Cur> {
     /// Returns `false` when the budget stopped the run at this level or
     /// below; cursors are unwound normally either way.
     fn level<C: SplitSpawn>(&mut self, d: usize, sink: &mut dyn ResultSink, ctl: &mut C) -> bool {
+        // Entering a fresh subtree invalidates any split vetoes recorded
+        // for this depth and below — they referred to sibling subtrees.
+        ctl.level_entered(d);
+        self.sup_at[d] = if d == self.range_depth {
+            self.range_sup
+        } else {
+            None
+        };
         if !self.open_level(d) {
             return true;
         }
         let mut live = true;
         // Recycle this depth's member vector: the recursion must not
-        // allocate per visited node. The root level needs no range checks
-        // here — `open_level` already clamped the cursors to the shard.
+        // allocate per visited node. The ranged level needs no range
+        // checks here — `open_level` already clamped the cursors.
         let mut lf = Leapfrog::new(std::mem::take(&mut self.members_at[d]));
         let mut m = lf.search(&mut self.cursors, &mut self.stats);
         while let Some(v) = m {
             self.binding[d] = v;
-            if d == 0 {
-                // Root-level advance: the budget poll and split points.
-                // Polling before the (possibly expensive) subtree visit
-                // bounds the overshoot past a deadline by one root value.
-                if B::GOVERNED && self.budget.poll().is_some() {
-                    live = false;
-                    break;
-                }
-                // The current value v stays with this shard; only values
+            if d == self.range_depth && B::GOVERNED && self.budget.poll().is_some() {
+                // Polling at the task's top level before the (possibly
+                // expensive) subtree visit bounds the overshoot past a
+                // deadline by one value there.
+                live = false;
+                break;
+            }
+            if d <= ctl.depth_cap() {
+                // Match-point split poll (paper §3.4 spawn-on-match): the
+                // current value v stays with this shard; only values
                 // beyond the boundary are handed off.
-                try_split_root(
+                let (prefix, _) = self.binding.split_at(d);
+                try_split_at(
                     self.plan,
                     &mut self.cursors,
-                    &mut self.root_sup,
+                    &mut self.sup_at[d],
+                    d,
+                    prefix,
                     ctl,
                     &mut self.stats,
                 );
@@ -324,6 +395,12 @@ impl<'a, T: Tally, B: Budget, Cur: JoinCursor> Driver<'a, T, B, Cur> {
         }
         self.members_at[d] = lf.into_members();
         self.close_level(d);
+        // A split at this depth opened a continuation lane for the
+        // donor's output *after* this subtree; adopt it now so that the
+        // stream stays tuple-for-tuple sequential around the handoff.
+        if let Some(lane) = ctl.take_switch(d) {
+            sink.redirect_lane(lane);
+        }
         live
     }
 }

@@ -7,10 +7,11 @@ use triejax_query::CompiledQuery;
 use triejax_relation::{Counting, Tally};
 
 use crate::cache::{LocalPjr, SharedPjrCache, SharedPjrHandle};
-use crate::ctj::CtjDriver;
+use crate::ctj::{plan_cache_mask, CtjDriver};
 use crate::engine::head_slots;
 use crate::shard::{
-    can_split, compose_budget, env_split, execute_sharded, execute_split, make_pool, plan_shards,
+    can_split, compose_budget, env_split, env_split_depth, execute_sharded, execute_split,
+    make_pool, plan_shards,
 };
 use crate::viewset::{plan_touches_delta, CursorSet, MergeSet};
 use crate::{
@@ -25,6 +26,11 @@ use triejax_exec::WorkerPool;
 /// `TRIEJAX_POOL`) to force the eviction and contention paths through the
 /// whole test suite.
 pub(crate) const CACHE_CAP_ENV: &str = "TRIEJAX_CACHE_CAP";
+
+/// Name of the environment variable supplying the default adaptive-cache
+/// choice ([`CtjConfig::adaptive`]) for engines that were not given an
+/// explicit config. Accepts the usual on/off spellings.
+pub(crate) const CACHE_ADAPT_ENV: &str = "TRIEJAX_CACHE_ADAPT";
 
 /// Parallel Cached TrieJoin: root-partitioned CTJ on the shared
 /// [`triejax_exec::WorkerPool`] runtime, with **one partial-join-result
@@ -84,6 +90,9 @@ pub struct ParCtj {
     config: Option<CtjConfig>,
     /// Explicit dynamic-splitting choice; `None` = `TRIEJAX_SPLIT` or off.
     split: Option<bool>,
+    /// Explicit sub-root split depth cap; `None` = `TRIEJAX_SPLIT_DEPTH`
+    /// or 0 (root-only splits).
+    split_depth: Option<usize>,
     /// Explicit wall-clock deadline; `None` = `TRIEJAX_DEADLINE_MS` or none.
     deadline: Option<Duration>,
     /// Explicit result-row cap; `None` = `TRIEJAX_ROW_LIMIT` or none.
@@ -189,6 +198,35 @@ impl ParCtj {
         self.split
     }
 
+    /// Caps how deep dynamic splits may donate work, overriding the
+    /// `TRIEJAX_SPLIT_DEPTH` environment default; see
+    /// [`crate::ParLftj::with_split_depth`] for the full protocol. One
+    /// CTJ-specific rule: a level being recorded into the PJR cache never
+    /// donates its tail (the published entry must hold the level's whole
+    /// match list), so splits only fire at depths without a live cache
+    /// spec.
+    pub fn with_split_depth(mut self, depth: usize) -> Self {
+        self.split_depth = Some(depth);
+        self
+    }
+
+    /// The configured split-depth cap, or `None` for the
+    /// `TRIEJAX_SPLIT_DEPTH` environment default.
+    pub fn split_depth(&self) -> Option<usize> {
+        self.split_depth
+    }
+
+    /// The split-depth cap this run will use; see
+    /// [`crate::ParLftj::effective_split_depth`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `TRIEJAX_SPLIT_DEPTH` is consulted and set to anything
+    /// but a non-negative integer or `"max"`.
+    pub fn effective_split_depth(&self) -> usize {
+        self.split_depth.unwrap_or_else(env_split_depth)
+    }
+
     /// The splitting choice this run will use: the explicit one if set,
     /// otherwise the `TRIEJAX_SPLIT` environment default (off when the
     /// variable is unset); see [`crate::ParLftj::effective_split`].
@@ -215,7 +253,18 @@ impl ParCtj {
         self.config.unwrap_or_else(|| CtjConfig {
             entry_capacity: None,
             max_entries: env_cache_cap(),
+            adaptive: env_cache_adapt(),
         })
+    }
+
+    /// Enables or disables the cost-based adaptive cache policy
+    /// ([`CtjConfig::adaptive`]) on top of the current configuration,
+    /// overriding the `TRIEJAX_CACHE_ADAPT` environment default.
+    pub fn with_cache_adapt(mut self, on: bool) -> Self {
+        let mut config = self.effective_config();
+        config.adaptive = on;
+        self.config = Some(config);
+        self
     }
 
     /// Caps the run's wall-clock time; see
@@ -420,10 +469,15 @@ impl ParCtj {
         worker: B,
         budget: Option<&RunBudget>,
     ) -> Result<EngineStats<T>, JoinError> {
-        // Splitting needs a spare worker to hand work to and a root
-        // domain wide enough to ever carve; otherwise fall back to the
-        // static schedule (and its sequential single-shard fast path).
-        let split = self.effective_split() && pool.workers() > 1 && can_split(plan, set);
+        // Splitting needs a spare worker to hand work to, plus either a
+        // root domain wide enough to carve or permission to split below
+        // the root (where a narrow root domain is irrelevant); otherwise
+        // fall back to the static schedule (and its sequential
+        // single-shard fast path).
+        let depth_cap = self.effective_split_depth();
+        let split = self.effective_split()
+            && pool.workers() > 1
+            && (can_split(plan, set) || depth_cap >= 1);
         let ranges = plan_shards(
             plan,
             catalog,
@@ -446,9 +500,12 @@ impl ParCtj {
                 plan,
                 set,
                 config,
-                LocalPjr::new(config),
+                LocalPjr::with_adaptive(config, plan.arity()),
                 driving,
             )?;
+            if config.adaptive {
+                driver.set_cache_mask(plan_cache_mask(plan, catalog));
+            }
             driver.run(sink);
             let mut stats = driver.stats;
             stats.shards = 1;
@@ -470,7 +527,14 @@ impl ParCtj {
         // One cache shared by every worker, striped for the worker count,
         // pre-sized from the plan's entry estimate over the catalog.
         let entries_hint = plan.cache_entries_estimate(|name| catalog.get(name).map(|r| r.len()));
-        let cache = SharedPjrCache::new(workers, config.max_entries, entries_hint);
+        let mut cache = SharedPjrCache::new(workers, config.max_entries, entries_hint);
+        if config.adaptive {
+            // Probation state is shared: a depth demoted by one worker is
+            // demoted for all of them.
+            cache = cache.with_adaptive(plan.arity());
+        }
+        let cache = cache;
+        let cache_mask = config.adaptive.then(|| plan_cache_mask(plan, catalog));
         // One lazily-created driver per worker, addressed by
         // `WorkerCtx::worker`; a slot's mutex is only ever taken by its
         // owning worker during the run. Each driver holds its own handle
@@ -483,6 +547,9 @@ impl ParCtj {
             let mut d =
                 CtjDriver::with_store_budget(plan, set, config, cache.handle(), worker.clone())
                     .expect("emission plan validated before the parallel phase");
+            if let Some(mask) = &cache_mask {
+                d.set_cache_mask(mask.clone());
+            }
             d.emit_passthrough(); // the ShardSink already batches
             d
         };
@@ -491,14 +558,15 @@ impl ParCtj {
                 pool,
                 &ranges,
                 plan.arity(),
+                depth_cap,
                 sink,
                 budget,
-                |ctx, min, sup, shard_sink, ctl| {
+                |ctx, depth, prefix, min, sup, shard_sink, ctl| {
                     let mut slot = worker_drivers[ctx.worker]
                         .lock()
                         .expect("worker driver poisoned");
                     let driver = slot.get_or_insert_with(new_driver);
-                    driver.run_range_split(min, sup, shard_sink, ctl);
+                    driver.run_split_at(depth, prefix, min, sup, shard_sink, ctl);
                 },
             );
             pool_stats
@@ -551,6 +619,22 @@ impl JoinEngine for ParCtj {
         sink: &mut dyn ResultSink,
     ) -> Result<EngineStats, JoinError> {
         self.run_tallied::<Counting>(plan, catalog, sink)
+    }
+}
+
+/// Reads the default adaptive-cache choice from `TRIEJAX_CACHE_ADAPT`.
+/// Off when the variable is unset or empty; panics on junk — an
+/// explicitly requested policy that silently fell back to "off" would
+/// defeat its purpose (e.g. CI pinning the adaptive paths on).
+fn env_cache_adapt() -> bool {
+    match std::env::var(CACHE_ADAPT_ENV) {
+        Err(_) => false,
+        Ok(v) => match v.trim() {
+            "" => false,
+            "1" | "true" | "on" => true,
+            "0" | "false" | "off" => false,
+            other => panic!("{CACHE_ADAPT_ENV} must be an on/off spelling, got {other:?}"),
+        },
     }
 }
 
@@ -691,6 +775,7 @@ mod tests {
         let cfg = CtjConfig {
             entry_capacity: Some(1),
             max_entries: Some(2),
+            adaptive: false,
         };
         let mut sink = CollectSink::new();
         let stats = ParCtj::with_config(cfg)
@@ -754,6 +839,7 @@ mod tests {
         let engine = ParCtj::with_config(CtjConfig {
             entry_capacity: Some(3),
             max_entries: None,
+            adaptive: false,
         })
         .cache_capacity(5);
         let cfg = engine.effective_config();

@@ -10,7 +10,8 @@ use triejax_exec::WorkerPool;
 use crate::engine::head_slots;
 use crate::lftj::Driver;
 use crate::shard::{
-    can_split, compose_budget, env_split, execute_sharded, execute_split, make_pool, plan_shards,
+    can_split, compose_budget, env_split, env_split_depth, execute_sharded, execute_split,
+    make_pool, plan_shards,
 };
 use crate::viewset::{plan_touches_delta, CursorSet, MergeSet};
 use crate::{
@@ -68,6 +69,9 @@ pub struct ParLftj {
     granularity: Option<NonZeroUsize>,
     /// Explicit dynamic-splitting choice; `None` = `TRIEJAX_SPLIT` or off.
     split: Option<bool>,
+    /// Explicit sub-root split depth cap; `None` = `TRIEJAX_SPLIT_DEPTH`
+    /// or 0 (root-only splits).
+    split_depth: Option<usize>,
     /// Explicit wall-clock deadline; `None` = `TRIEJAX_DEADLINE_MS` or none.
     deadline: Option<Duration>,
     /// Explicit result-row cap; `None` = `TRIEJAX_ROW_LIMIT` or none.
@@ -168,6 +172,51 @@ impl ParLftj {
     /// environment default.
     pub fn splitting(&self) -> Option<bool> {
         self.split
+    }
+
+    /// Caps how deep dynamic splits may donate work (TrieJax §3.4
+    /// spawn-on-match at *any* trie level), overriding the
+    /// `TRIEJAX_SPLIT_DEPTH` environment default.
+    ///
+    /// Depth 0 (the default) keeps the root-only splitting of
+    /// [`with_split`](Self::with_split); depth `d` additionally lets a
+    /// running shard donate the unvisited sibling tail of any trie level
+    /// up to `d` — under the bound prefix — whenever a worker goes idle,
+    /// which is the only way to rebalance a query whose root domain is
+    /// too narrow to carve (e.g. a single hub vertex). `usize::MAX`
+    /// uncaps the depth. Splitting itself must still be enabled (via
+    /// [`with_split`](Self::with_split) or `TRIEJAX_SPLIT`) for any
+    /// handoff to happen. Results remain tuple-for-tuple identical to
+    /// sequential [`crate::Lftj`]; [`EngineStats::deep_splits`] reports
+    /// how many handoffs happened below the root.
+    ///
+    /// ```
+    /// use triejax_join::ParLftj;
+    ///
+    /// let engine = ParLftj::with_pool(4).with_split(true).with_split_depth(2);
+    /// assert_eq!(engine.split_depth(), Some(2));
+    /// ```
+    pub fn with_split_depth(mut self, depth: usize) -> Self {
+        self.split_depth = Some(depth);
+        self
+    }
+
+    /// The configured split-depth cap, or `None` for the
+    /// `TRIEJAX_SPLIT_DEPTH` environment default.
+    pub fn split_depth(&self) -> Option<usize> {
+        self.split_depth
+    }
+
+    /// The split-depth cap this run will use: the explicit one if set,
+    /// otherwise the `TRIEJAX_SPLIT_DEPTH` environment default (0 — root
+    /// only — when the variable is unset; `max` uncaps).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `TRIEJAX_SPLIT_DEPTH` is consulted and set to anything
+    /// but a non-negative integer or `"max"`.
+    pub fn effective_split_depth(&self) -> usize {
+        self.split_depth.unwrap_or_else(env_split_depth)
     }
 
     /// The splitting choice this run will use: the explicit one if set,
@@ -402,10 +451,15 @@ impl ParLftj {
         worker: B,
         budget: Option<&RunBudget>,
     ) -> Result<EngineStats<T>, JoinError> {
-        // Splitting needs a spare worker to hand work to and a root
-        // domain wide enough to ever carve; otherwise fall back to the
-        // static schedule (and its sequential single-shard fast path).
-        let split = self.effective_split() && pool.workers() > 1 && can_split(plan, set);
+        // Splitting needs a spare worker to hand work to, plus either a
+        // root domain wide enough to carve or permission to split below
+        // the root (where a narrow root domain is irrelevant); otherwise
+        // fall back to the static schedule (and its sequential
+        // single-shard fast path).
+        let depth_cap = self.effective_split_depth();
+        let split = self.effective_split()
+            && pool.workers() > 1
+            && (can_split(plan, set) || depth_cap >= 1);
         let ranges = plan_shards(
             plan,
             catalog,
@@ -441,11 +495,12 @@ impl ParLftj {
                 pool,
                 &ranges,
                 plan.arity(),
+                depth_cap,
                 sink,
                 budget,
-                |_ctx, min, sup, shard_sink, ctl| {
-                    let mut driver = new_driver(min, sup);
-                    driver.run_split(shard_sink, ctl);
+                |_ctx, depth, prefix, min, sup, shard_sink, ctl| {
+                    let mut driver = new_driver(0, None);
+                    driver.run_split_at(depth, prefix, min, sup, shard_sink, ctl);
                     driver.stats
                 },
             )

@@ -34,6 +34,33 @@ pub(crate) fn env_split() -> bool {
     }
 }
 
+/// Name of the environment variable supplying a default maximum split
+/// depth for engines that were not configured explicitly
+/// (`ParLftj::with_split_depth` / `ParCtj::with_split_depth`). `0` (or
+/// unset/empty) keeps dynamic splitting at the root level only; `max`
+/// allows handoffs at every trie level; any other value is the deepest
+/// level allowed to split. Only meaningful when splitting itself is on.
+pub(crate) const SPLIT_DEPTH_ENV: &str = "TRIEJAX_SPLIT_DEPTH";
+
+/// Reads the default split-depth cap from `TRIEJAX_SPLIT_DEPTH`.
+///
+/// # Panics
+///
+/// Panics on anything but an unsigned integer or `max` (see
+/// [`env_split`] for why silent fallback is worse).
+pub(crate) fn env_split_depth() -> usize {
+    match std::env::var(SPLIT_DEPTH_ENV) {
+        Ok(v) => match v.trim() {
+            "" => 0,
+            "max" => usize::MAX,
+            n => n.parse::<usize>().unwrap_or_else(|_| {
+                panic!("{SPLIT_DEPTH_ENV} must be a non-negative integer or \"max\", got {v:?}")
+            }),
+        },
+        Err(_) => 0,
+    }
+}
+
 /// Name of the environment variable supplying a default wall-clock
 /// deadline, in milliseconds, for engines that were not given one through
 /// [`crate::ParLftj::with_deadline`] / [`crate::ParCtj::with_deadline`].
@@ -300,50 +327,74 @@ pub(crate) fn make_pool(workers: Option<std::num::NonZeroUsize>) -> WorkerPool {
     }
 }
 
-/// The split protocol between a driver's root loop and the runtime.
+/// The split protocol between a driver's level loops and the runtime.
 ///
-/// A driver running a root-range shard polls
-/// [`should_split`](SplitSpawn::should_split) at every root-level
-/// advance (a cheap atomic poll) and, when it reports an unserved idle
-/// sibling, computes a tail boundary and calls
-/// [`handoff`](SplitSpawn::handoff) to turn the unvisited tail of its
-/// range into a new task on a fresh merge lane.
+/// A driver running a shard polls [`should_split`](SplitSpawn::should_split)
+/// at every advance of a level at or below [`depth_cap`](SplitSpawn::depth_cap)
+/// (a cheap atomic poll behind the controller's hysteresis) and, when it
+/// reports an unserved idle sibling, computes a tail boundary for its
+/// deepest eligible level and calls [`handoff`](SplitSpawn::handoff) to
+/// turn the unvisited tail into a new task on a fresh merge lane.
+///
+/// Sub-root handoffs (depth ≥ 1) also open a *continuation* lane behind
+/// the donated tail's lane: the donor keeps emitting rows below the
+/// boundary on its current lane, and when it exits the split level it
+/// switches to the continuation ([`take_switch`](SplitSpawn::take_switch))
+/// so everything it produces *after* the donated subtree drains after the
+/// donee — keeping the merged stream tuple-for-tuple sequential.
 pub(crate) trait SplitSpawn {
-    /// Cheap poll: is handing work off worthwhile right now?
-    fn should_split(&self) -> bool;
+    /// Cheap poll: is handing work off worthwhile right now? Takes `&mut`
+    /// so controllers can apply hysteresis (cooldowns, handoff ceilings).
+    fn should_split(&mut self) -> bool;
     /// This shard's split generation (0 for an initial shard, parent + 1
     /// for a split shard) — recorded as `EngineStats::split_depth`.
     fn generation(&self) -> u64;
-    /// Hands the tail `[min, sup)` off as a new task whose results drain
-    /// immediately after this shard's.
-    fn handoff(&mut self, min: Value, sup: Option<Value>);
-    /// Records that the tail `[boundary, sup)` failed validation (some
-    /// participant has no root value in it). A shard's `sup` only
-    /// shrinks, so every later candidate at or above this boundary is
-    /// doomed too and is skipped without re-probing
+    /// Deepest trie level allowed to split (`0` = root only).
+    fn depth_cap(&self) -> usize {
+        0
+    }
+    /// Hands the tail `[min, sup)` at `depth` under the bound `prefix`
+    /// (one value per level above `depth`) off as a new task whose
+    /// results drain immediately after this shard's current output.
+    fn handoff(&mut self, depth: usize, prefix: &[Value], min: Value, sup: Option<Value>);
+    /// Records that the tail `[boundary, sup)` at `depth` failed
+    /// validation (some participant has no value in it). A level's `sup`
+    /// only shrinks, so every later candidate at or above this boundary
+    /// is doomed too and is skipped without re-probing
     /// ([`vetoed`](Self::vetoed)); *lower* candidates stay allowed — a
     /// different donor can legitimately propose one that validates.
-    fn veto_at(&mut self, _boundary: Value) {}
-    /// `true` when a previously failed boundary already covers
+    fn veto_at(&mut self, _depth: usize, _boundary: Value) {}
+    /// `true` when a previously failed boundary at `depth` already covers
     /// `boundary`, so validation would probe the same doomed tail again.
-    fn vetoed(&self, _boundary: Value) -> bool {
+    fn vetoed(&self, _depth: usize, _boundary: Value) -> bool {
         false
+    }
+    /// Hook invoked when the driver enters level `depth` under a new
+    /// prefix: vetoes recorded at this depth or deeper belong to the
+    /// previous subtree and are dropped.
+    fn level_entered(&mut self, _depth: usize) {}
+    /// Called when the driver exits level `depth`: when a sub-root split
+    /// at that depth opened a continuation lane, returns it so the driver
+    /// can redirect its sink ([`crate::ResultSink::redirect_lane`])
+    /// before producing anything that must drain after the donee.
+    fn take_switch(&mut self, _depth: usize) -> Option<usize> {
+        None
     }
 }
 
 /// The sequential no-op controller: never splits, so the generic drivers
-/// monomorphize their root loops down to the pre-split code.
+/// monomorphize their level loops down to the pre-split code.
 pub(crate) struct NoSplit;
 
 impl SplitSpawn for NoSplit {
     #[inline]
-    fn should_split(&self) -> bool {
+    fn should_split(&mut self) -> bool {
         false
     }
     fn generation(&self) -> u64 {
         0
     }
-    fn handoff(&mut self, _min: Value, _sup: Option<Value>) {
+    fn handoff(&mut self, _depth: usize, _prefix: &[Value], _min: Value, _sup: Option<Value>) {
         unreachable!("NoSplit never offers a handoff")
     }
 }
@@ -352,98 +403,169 @@ impl SplitSpawn for NoSplit {
 /// split: one for the tail and one to keep, so neither side is empty.
 const MIN_SPLIT_TAIL: usize = 2;
 
-/// One splitting step of a driver's root loop: polls `ctl`, and when an
-/// idle sibling is reported, carves the far half of the *unvisited* root
-/// values off into a handed-off tail task, clamping the live cursors and
-/// `root_sup` so this shard never walks into the range it gave away.
+/// One splitting step of a driver's loop over level `depth`: polls `ctl`,
+/// and when an idle sibling is reported, carves the far half of the
+/// *unvisited* siblings of that level off into a handed-off tail task,
+/// clamping the live cursors and the level's `sup` so this shard never
+/// walks into the range it gave away.
 ///
-/// Must be called with every depth-0 participant cursor positioned on the
-/// current root match (exactly the state of the drivers' root loops).
+/// Must be called with every depth-`depth` participant cursor positioned
+/// on the current match at that level (exactly the state of the drivers'
+/// level loops), with `prefix` holding the values bound at the levels
+/// above.
 ///
 /// The boundary is the midpoint of the unvisited siblings of the
 /// participant with the *fewest* of them — that participant bounds the
-/// remaining intersection most tightly, so its midpoint best balances the
-/// halves ([`JoinCursor::root_split_boundary`]). Before committing, the
-/// tail `[boundary, sup)` is validated against every depth-0 participant
-/// (a counted [`JoinCursor::open_root_range`] probe on a
-/// [fresh](JoinCursor::fresh) cursor, so instrumented runs charge the
-/// validation searches exactly like the clamp searches): a root
-/// match must appear in all of them, so if any participant has no root
-/// value in the tail, the tail joins to nothing and the split is
-/// skipped. A failed boundary is [vetoed](SplitSpawn::veto_at): `sup`
-/// only shrinks, so any candidate at or above it stays doomed and is
-/// skipped without re-probing — while a lower candidate (a different
+/// remaining intersection most tightly, so its midpoint best balances
+/// the halves ([`JoinCursor::split_boundary`]). Before committing, the
+/// tail `[boundary, sup)` is validated *in place* against every
+/// participant of the level (a counted [`JoinCursor::tail_contains`]
+/// binary search over the participant's already-clamped sibling range,
+/// so instrumented runs charge the validation probes exactly like the
+/// clamp searches, at every depth): a match must appear in all of them,
+/// so if any participant has no sibling in the tail, the tail joins to
+/// nothing and the split is skipped. A failed boundary is
+/// [vetoed](SplitSpawn::veto_at): the level's `sup` only shrinks while
+/// the prefix is bound, so any candidate at or above it stays doomed and
+/// is skipped without re-probing — while a lower candidate (a different
 /// donor's midpoint after the cursors advance) is still attempted.
-pub(crate) fn try_split_root<T: Tally, C: SplitSpawn, Cur: JoinCursor>(
+pub(crate) fn try_split_at<T: Tally, C: SplitSpawn, Cur: JoinCursor>(
     plan: &CompiledQuery,
     cursors: &mut [Cur],
-    root_sup: &mut Option<Value>,
+    sup: &mut Option<Value>,
+    depth: usize,
+    prefix: &[Value],
     ctl: &mut C,
     stats: &mut EngineStats<T>,
 ) {
+    debug_assert_eq!(prefix.len(), depth, "one bound value per level above");
     if !ctl.should_split() {
         return;
     }
-    let parts = plan.atoms_at(0);
+    let parts = plan.atoms_at(depth);
     let (donor, remaining) = parts
         .iter()
-        .map(|&(a, _)| (a, cursors[a].root_unvisited()))
+        .map(|&(a, _)| (a, cursors[a].unvisited()))
         .min_by_key(|&(_, r)| r)
         .expect("every depth has at least one participant");
     if remaining < MIN_SPLIT_TAIL {
         return;
     }
-    let boundary = cursors[donor].root_split_boundary();
+    let boundary = cursors[donor].split_boundary();
     debug_assert!(boundary > cursors[donor].key());
-    if ctl.vetoed(boundary) {
+    if ctl.vetoed(depth, boundary) {
         return;
     }
     for &(a, _) in parts {
-        if !cursors[a]
-            .fresh()
-            .open_root_range(boundary, *root_sup, &mut stats.access)
-        {
-            ctl.veto_at(boundary);
+        if !cursors[a].tail_contains(boundary, &mut stats.access) {
+            ctl.veto_at(depth, boundary);
             return;
         }
     }
-    let sup = *root_sup;
+    let old_sup = *sup;
     for &(a, _) in parts {
-        cursors[a].clamp_root_sup(boundary, &mut stats.access);
+        cursors[a].clamp_sup(boundary, &mut stats.access);
     }
-    *root_sup = Some(boundary);
-    ctl.handoff(boundary, sup);
+    *sup = Some(boundary);
+    ctl.handoff(depth, prefix, boundary, old_sup);
     stats.splits += 1;
+    if depth > 0 {
+        stats.deep_splits += 1;
+    }
     stats.split_depth = stats.split_depth.max(ctl.generation() + 1);
 }
 
-/// One unit of work of a splitting run: a root range plus the merge lane
-/// its results stream into and its split generation.
+/// One unit of work of a splitting run: a trie-level range plus the merge
+/// lane its results stream into, the prefix binding the levels above it,
+/// and its split generation. Initial shards are root ranges (`depth` 0,
+/// empty prefix); sub-root handoffs carry the donor's bound prefix so the
+/// donee can re-descend to the donated level.
 pub(crate) struct SplitTask {
     lane: usize,
+    depth: usize,
+    prefix: Vec<Value>,
     min: Value,
     sup: Option<Value>,
     gen: u64,
 }
 
+/// Number of `should_split` polls suppressed after each committed
+/// handoff. Splitting reacts to a *persistently* idle sibling; without a
+/// cooldown, a many-core run observing one idle worker would shed a
+/// cascade of slivers before the first donee even starts (handoff churn).
+const SPLIT_COOLDOWN_POLLS: u32 = 16;
+
+/// Hard ceiling on handoffs per task: a shard that already shed this many
+/// tails stops splitting for the rest of its life. Together with the
+/// cooldown this bounds the lane/spawn overhead a single skewed subtree
+/// can generate.
+const SPLIT_HANDOFF_CEILING: u32 = 64;
+
 /// The controller handed to a driver running one [`SplitTask`]: wires
 /// [`SplitSpawn::handoff`] to a fresh merge lane (inserted right after
-/// this task's own, keeping the drain order equal to root-range order)
-/// and a [`Spawner::spawn`] onto the pool.
+/// this task's current one, keeping the drain order equal to sequential
+/// order) and a [`Spawner::spawn`] onto the pool.
+///
+/// For sub-root handoffs it also maintains the *continuation* protocol:
+/// each first handoff at a depth opens a second lane right behind the
+/// donated tail's, and [`take_switch`](SplitSpawn::take_switch) hands it
+/// to the driver when it exits that level, so rows the donor produces
+/// after the donated subtree drain after the donee's. The pending stack
+/// holds at most one continuation per depth, strictly increasing — a
+/// deeper pending is always consumed (at its level's exit) before control
+/// returns to a shallower level.
 pub(crate) struct SplitHandle<'r> {
     spawner: &'r Spawner<'r, SplitTask>,
     merge: &'r OrderedMerge<Vec<Value>>,
     lane: usize,
     gen: u64,
-    /// Lowest boundary whose tail failed validation; candidates at or
-    /// above it are skipped without re-probing (see
-    /// [`SplitSpawn::veto_at`]).
-    veto: Option<Value>,
+    depth_cap: usize,
+    /// Per-depth lowest boundary whose tail failed validation; candidates
+    /// at or above it are skipped without re-probing (see
+    /// [`SplitSpawn::veto_at`]). Cleared on subtree entry.
+    vetoes: Vec<Option<Value>>,
+    /// Continuation lanes not yet adopted: `(depth, lane)`, depths
+    /// strictly increasing. Unconsumed entries (panic, cancellation) are
+    /// finished on drop so the drain never waits on them.
+    pending: Vec<(usize, usize)>,
+    /// Remaining polls to suppress after the last handoff.
+    cooldown: u32,
+    /// Handoffs committed by this task so far.
+    handoffs: u32,
+}
+
+impl<'r> SplitHandle<'r> {
+    fn new(
+        spawner: &'r Spawner<'r, SplitTask>,
+        merge: &'r OrderedMerge<Vec<Value>>,
+        lane: usize,
+        gen: u64,
+        depth_cap: usize,
+    ) -> Self {
+        SplitHandle {
+            spawner,
+            merge,
+            lane,
+            gen,
+            depth_cap,
+            vetoes: Vec::new(),
+            pending: Vec::new(),
+            cooldown: 0,
+            handoffs: 0,
+        }
+    }
 }
 
 impl SplitSpawn for SplitHandle<'_> {
     #[inline]
-    fn should_split(&self) -> bool {
+    fn should_split(&mut self) -> bool {
+        if self.handoffs >= SPLIT_HANDOFF_CEILING {
+            return false;
+        }
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return false;
+        }
         self.spawner.should_split()
     }
 
@@ -451,12 +573,18 @@ impl SplitSpawn for SplitHandle<'_> {
         self.gen
     }
 
-    fn handoff(&mut self, min: Value, sup: Option<Value>) {
+    fn depth_cap(&self) -> usize {
+        self.depth_cap
+    }
+
+    fn handoff(&mut self, depth: usize, prefix: &[Value], min: Value, sup: Option<Value>) {
         let lane = self.merge.open_lane_after(self.lane);
-        // Fault window: the lane is open but the task not yet spawned. An
-        // injected failure here must close the lane before unwinding —
-        // otherwise the drain waits forever on a shard that will never
-        // run. This is exactly the invariant the fault harness probes.
+        // Fault window: the tail lane is open but the task not yet
+        // spawned (and for sub-root handoffs the continuation lane not
+        // yet opened). An injected failure here must close the fresh lane
+        // before unwinding — otherwise the drain waits forever on a shard
+        // that will never run. This is exactly the invariant the fault
+        // harness probes, at the root and at depth.
         #[cfg(feature = "faults")]
         match triejax_exec::faults::on_event(triejax_exec::faults::FaultEvent::SplitHandoff) {
             Some(
@@ -474,41 +602,110 @@ impl SplitSpawn for SplitHandle<'_> {
             }
             _ => {}
         }
+        if depth > 0 {
+            // First handoff at this depth in this subtree: open the
+            // continuation lane right behind the tail's. A repeat split
+            // at the same depth reuses the pending continuation — the new
+            // tail slots between the donor's lane and the previous tail,
+            // which is exactly sequential order (the new boundary is
+            // lower).
+            let top = self.pending.last().map(|&(d, _)| d);
+            debug_assert!(
+                top.is_none_or(|d| d <= depth),
+                "deeper continuations are consumed before shallower splits"
+            );
+            if top != Some(depth) {
+                let cont = self.merge.open_lane_after(lane);
+                self.pending.push((depth, cont));
+            }
+        }
         self.spawner.spawn(SplitTask {
             lane,
+            depth,
+            prefix: prefix.to_vec(),
             min,
             sup,
             gen: self.gen + 1,
         });
+        self.cooldown = SPLIT_COOLDOWN_POLLS;
+        self.handoffs += 1;
     }
 
-    fn veto_at(&mut self, boundary: Value) {
-        self.veto = Some(self.veto.map_or(boundary, |v| v.min(boundary)));
+    fn veto_at(&mut self, depth: usize, boundary: Value) {
+        if self.vetoes.len() <= depth {
+            self.vetoes.resize(depth + 1, None);
+        }
+        let slot = &mut self.vetoes[depth];
+        *slot = Some(slot.map_or(boundary, |v| v.min(boundary)));
     }
 
-    fn vetoed(&self, boundary: Value) -> bool {
-        self.veto.is_some_and(|v| boundary >= v)
+    fn vetoed(&self, depth: usize, boundary: Value) -> bool {
+        self.vetoes
+            .get(depth)
+            .copied()
+            .flatten()
+            .is_some_and(|v| boundary >= v)
+    }
+
+    fn level_entered(&mut self, depth: usize) {
+        // A new subtree at `depth`: vetoes at this depth and deeper were
+        // judged against the previous prefix and no longer apply.
+        if self.vetoes.len() > depth {
+            self.vetoes.truncate(depth);
+        }
+    }
+
+    fn take_switch(&mut self, depth: usize) -> Option<usize> {
+        match self.pending.last() {
+            Some(&(d, cont)) if d == depth => {
+                self.pending.pop();
+                self.lane = cont;
+                Some(cont)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Drop for SplitHandle<'_> {
+    fn drop(&mut self) {
+        // Continuations the driver never adopted (panic or cancellation
+        // unwound past the level exit): close them so the foreground
+        // drain, which visits every opened lane in order, terminates.
+        for &(_, lane) in &self.pending {
+            self.merge.finish(lane);
+        }
     }
 }
 
 /// Runs the planned shards with dynamic splitting enabled: the pool's
 /// spawning entry point plus mid-run merge lanes. `work` receives the
-/// worker context, the shard's root range, its [`ShardSink`] and a
-/// [`SplitHandle`] to thread into the driver's root loop. Results come
-/// back in completion order (the engines only merge stats, which
-/// commutes); the streamed tuples stay in exact submission order through
-/// the merge.
+/// worker context, the task's depth and prefix, its level range, its
+/// [`ShardSink`] and a [`SplitHandle`] (capped at `depth_cap`) to thread
+/// into the driver's level loops. Results come back in completion order
+/// (the engines only merge stats, which commutes); the streamed tuples
+/// stay in exact submission order through the merge.
 pub(crate) fn execute_split<R, F>(
     pool: &WorkerPool,
     ranges: &[(Value, Option<Value>)],
     arity: usize,
+    depth_cap: usize,
     sink: &mut dyn ResultSink,
     budget: Option<&RunBudget>,
     work: F,
 ) -> (Vec<R>, PoolStats)
 where
     R: Send + Default,
-    F: Fn(WorkerCtx, Value, Option<Value>, &mut ShardSink<'_>, &mut SplitHandle<'_>) -> R + Sync,
+    F: Fn(
+            WorkerCtx,
+            usize,
+            &[Value],
+            Value,
+            Option<Value>,
+            &mut ShardSink<'_>,
+            &mut SplitHandle<'_>,
+        ) -> R
+        + Sync,
 {
     let merge = OrderedMerge::new(ranges.len());
     let seeds: Vec<SplitTask> = ranges
@@ -516,6 +713,8 @@ where
         .enumerate()
         .map(|(lane, &(min, sup))| SplitTask {
             lane,
+            depth: 0,
+            prefix: Vec::new(),
             min,
             sup,
             gen: 0,
@@ -530,14 +729,16 @@ where
             if budget.is_some_and(|b| b.cancelled().is_some()) {
                 return R::default();
             }
-            let mut handle = SplitHandle {
-                spawner,
-                merge: &merge,
-                lane: task.lane,
-                gen: task.gen,
-                veto: None,
-            };
-            work(ctx, task.min, task.sup, &mut shard_sink, &mut handle)
+            let mut handle = SplitHandle::new(spawner, &merge, task.lane, task.gen, depth_cap);
+            work(
+                ctx,
+                task.depth,
+                &task.prefix,
+                task.min,
+                task.sup,
+                &mut shard_sink,
+                &mut handle,
+            )
         },
         || drain_into(&merge, sink, arity, budget),
     );
@@ -603,25 +804,32 @@ mod tests {
     /// the offered handoffs — the driver-side protocol under a microscope.
     #[derive(Default)]
     struct Recorder {
-        offers: Vec<(Value, Option<Value>)>,
-        veto: Option<Value>,
+        offers: Vec<(usize, Vec<Value>, Value, Option<Value>)>,
+        veto: Option<(usize, Value)>,
     }
 
     impl SplitSpawn for Recorder {
-        fn should_split(&self) -> bool {
+        fn should_split(&mut self) -> bool {
             true
         }
         fn generation(&self) -> u64 {
             0
         }
-        fn handoff(&mut self, min: Value, sup: Option<Value>) {
-            self.offers.push((min, sup));
+        fn depth_cap(&self) -> usize {
+            usize::MAX
         }
-        fn veto_at(&mut self, boundary: Value) {
-            self.veto = Some(self.veto.map_or(boundary, |v| v.min(boundary)));
+        fn handoff(&mut self, depth: usize, prefix: &[Value], min: Value, sup: Option<Value>) {
+            self.offers.push((depth, prefix.to_vec(), min, sup));
         }
-        fn vetoed(&self, boundary: Value) -> bool {
-            self.veto.is_some_and(|v| boundary >= v)
+        fn veto_at(&mut self, depth: usize, boundary: Value) {
+            let floor = match self.veto {
+                Some((d, v)) if d == depth => v.min(boundary),
+                _ => boundary,
+            };
+            self.veto = Some((depth, floor));
+        }
+        fn vetoed(&self, depth: usize, boundary: Value) -> bool {
+            self.veto.is_some_and(|(d, v)| d == depth && boundary >= v)
         }
     }
 
@@ -679,10 +887,23 @@ mod tests {
         let mut cursors = root_cursors(&plan, &tries, None, &mut stats);
         let mut root_sup = None;
         let mut ctl = Recorder::default();
-        try_split_root(&plan, &mut cursors, &mut root_sup, &mut ctl, &mut stats);
-        assert_eq!(ctl.offers, vec![(8, None)], "tail = far half, open above");
+        try_split_at(
+            &plan,
+            &mut cursors,
+            &mut root_sup,
+            0,
+            &[],
+            &mut ctl,
+            &mut stats,
+        );
+        assert_eq!(
+            ctl.offers,
+            vec![(0, vec![], 8, None)],
+            "tail = far half, open above"
+        );
         assert_eq!(root_sup, Some(8), "parent's range shrank to [0, 8)");
         assert_eq!(stats.splits, 1);
+        assert_eq!(stats.deep_splits, 0, "a root handoff is not a deep split");
         assert_eq!(stats.split_depth, 1);
         // Both cursors were clamped below the boundary: S now ends at 4,
         // R at 7.
@@ -701,7 +922,15 @@ mod tests {
         let mut cursors = root_cursors(&plan, &tries, None, &mut stats);
         let mut root_sup = None;
         let mut ctl = Recorder::default();
-        try_split_root(&plan, &mut cursors, &mut root_sup, &mut ctl, &mut stats);
+        try_split_at(
+            &plan,
+            &mut cursors,
+            &mut root_sup,
+            0,
+            &[],
+            &mut ctl,
+            &mut stats,
+        );
         assert!(ctl.offers.is_empty());
         assert_eq!(root_sup, None, "range untouched");
         assert_eq!(stats.splits, 0);
@@ -717,16 +946,32 @@ mod tests {
         let mut cursors = root_cursors(&plan, &tries, None, &mut stats);
         let mut root_sup = None;
         let mut ctl = Recorder::default();
-        try_split_root(&plan, &mut cursors, &mut root_sup, &mut ctl, &mut stats);
+        try_split_at(
+            &plan,
+            &mut cursors,
+            &mut root_sup,
+            0,
+            &[],
+            &mut ctl,
+            &mut stats,
+        );
         assert!(ctl.offers.is_empty(), "empty tail must be rejected");
         assert_eq!(root_sup, None);
         assert_eq!(stats.splits, 0);
         // The failed boundary is vetoed: re-attempting the same (or any
         // higher) candidate skips the validation probes entirely.
-        assert!(ctl.vetoed(20) && ctl.vetoed(21));
-        assert!(!ctl.vetoed(19), "lower candidates stay allowed");
+        assert!(ctl.vetoed(0, 20) && ctl.vetoed(0, 21));
+        assert!(!ctl.vetoed(0, 19), "lower candidates stay allowed");
         let probes = stats.memory_accesses();
-        try_split_root(&plan, &mut cursors, &mut root_sup, &mut ctl, &mut stats);
+        try_split_at(
+            &plan,
+            &mut cursors,
+            &mut root_sup,
+            0,
+            &[],
+            &mut ctl,
+            &mut stats,
+        );
         assert!(ctl.offers.is_empty() && stats.splits == 0);
         assert_eq!(
             stats.memory_accesses(),
@@ -752,15 +997,35 @@ mod tests {
         let mut cursors = root_cursors(&plan, &tries, None, &mut stats);
         let mut root_sup = None;
         let mut ctl = Recorder::default();
-        try_split_root(&plan, &mut cursors, &mut root_sup, &mut ctl, &mut stats);
-        assert!(ctl.offers.is_empty() && ctl.vetoed(5000), "5000 vetoed");
+        try_split_at(
+            &plan,
+            &mut cursors,
+            &mut root_sup,
+            0,
+            &[],
+            &mut ctl,
+            &mut stats,
+        );
+        assert!(ctl.offers.is_empty() && ctl.vetoed(0, 5000), "5000 vetoed");
         // Advance every cursor to the next common root match, 50.
         for c in &mut cursors {
             assert!(c.seek(50, &mut stats.access));
             assert_eq!(c.key(), 50);
         }
-        try_split_root(&plan, &mut cursors, &mut root_sup, &mut ctl, &mut stats);
-        assert_eq!(ctl.offers, vec![(70, None)], "the lower boundary splits");
+        try_split_at(
+            &plan,
+            &mut cursors,
+            &mut root_sup,
+            0,
+            &[],
+            &mut ctl,
+            &mut stats,
+        );
+        assert_eq!(
+            ctl.offers,
+            vec![(0, vec![], 70, None)],
+            "the lower boundary splits"
+        );
         assert_eq!(root_sup, Some(70));
         assert_eq!(stats.splits, 1);
     }
@@ -776,11 +1041,121 @@ mod tests {
         let mut root_sup = None;
         let mut ctl = Recorder::default();
         let before = stats.memory_accesses();
-        try_split_root(&plan, &mut cursors, &mut root_sup, &mut ctl, &mut stats);
+        try_split_at(
+            &plan,
+            &mut cursors,
+            &mut root_sup,
+            0,
+            &[],
+            &mut ctl,
+            &mut stats,
+        );
         assert_eq!(stats.splits, 1);
         assert!(
             stats.memory_accesses() > before,
             "validation + clamp searches must be tallied"
+        );
+    }
+
+    /// Same shape as [`two_rel_fixture`] but with a single root value, so
+    /// the only splittable level is the child level: `ans(x, y) :- R(x, y),
+    /// S(x, y)` with every tuple under `x = 0`.
+    fn deep_fixture(r_kids: &[u32], s_kids: &[u32]) -> (CompiledQuery, Catalog, crate::TrieSet) {
+        let q = Query::builder("deep_split_math")
+            .head(["x", "y"])
+            .atom("R", ["x", "y"])
+            .atom("S", ["x", "y"])
+            .build()
+            .unwrap();
+        let plan = CompiledQuery::compile(&q).unwrap();
+        let mut c = Catalog::new();
+        c.insert(
+            "R",
+            Relation::from_pairs(r_kids.iter().map(|&y| (0, y)).collect::<Vec<_>>()),
+        );
+        c.insert(
+            "S",
+            Relation::from_pairs(s_kids.iter().map(|&y| (0, y)).collect::<Vec<_>>()),
+        );
+        let tries = crate::TrieSet::build(&plan, &c).unwrap();
+        (plan, c, tries)
+    }
+
+    #[test]
+    fn deep_split_hands_off_the_subtree_tail_with_its_prefix() {
+        // Root domain is {0}: nothing to carve at depth 0. Under it, the
+        // donor is S (positioned on 0 with {4, 8} unvisited), so the
+        // depth-1 midpoint boundary is 8 and the offer must carry the
+        // bound prefix [0] for the donee to re-descend.
+        let (plan, _c, tries) = deep_fixture(&[0, 1, 2, 3, 4, 5, 6, 7, 8], &[0, 4, 8]);
+        let mut stats = EngineStats::<Counting>::default();
+        let mut cursors = root_cursors(&plan, &tries, None, &mut stats);
+        for c in cursors.iter_mut() {
+            assert_eq!(c.key(), 0);
+            assert!(c.open(&mut stats.access));
+        }
+        let mut sup = None;
+        let mut ctl = Recorder::default();
+        try_split_at(&plan, &mut cursors, &mut sup, 1, &[0], &mut ctl, &mut stats);
+        assert_eq!(
+            ctl.offers,
+            vec![(1, vec![0], 8, None)],
+            "tail = far half of the children, tagged with the prefix"
+        );
+        assert_eq!(sup, Some(8), "child range shrank to [0, 8)");
+        assert_eq!(stats.splits, 1);
+        assert_eq!(stats.deep_splits, 1, "a sub-root handoff is a deep split");
+        assert_eq!(stats.split_depth, 1);
+        // Donor S was clamped below the boundary at the child level.
+        let s = &mut cursors[1];
+        assert!(s.next(&mut stats.access));
+        assert_eq!(s.key(), 4);
+        assert!(!s.next(&mut stats.access), "8 was handed away");
+    }
+
+    #[test]
+    fn deep_split_validation_probes_are_counted() {
+        // Satellite of the root-level probe test: the tail-validation
+        // binary searches at depth 1 are charged exactly like the clamp
+        // searches at the root.
+        let (plan, _c, tries) = deep_fixture(&[0, 1, 2, 3, 4, 5, 6, 7, 8], &[0, 4, 8]);
+        let mut stats = EngineStats::<Counting>::default();
+        let mut cursors = root_cursors(&plan, &tries, None, &mut stats);
+        for c in cursors.iter_mut() {
+            assert!(c.open(&mut stats.access));
+        }
+        let mut sup = None;
+        let mut ctl = Recorder::default();
+        let before = stats.memory_accesses();
+        try_split_at(&plan, &mut cursors, &mut sup, 1, &[0], &mut ctl, &mut stats);
+        assert_eq!(stats.splits, 1);
+        assert!(
+            stats.memory_accesses() > before,
+            "deep validation + clamp searches must be tallied"
+        );
+    }
+
+    #[test]
+    fn deep_empty_tail_vetoes_at_its_own_depth() {
+        // S's midpoint lands at 20, but R has no child >= 20: the split
+        // is rejected and the veto is recorded at depth 1 — not at the
+        // root, where lower boundaries must stay probe-able.
+        let (plan, _c, tries) = deep_fixture(&[0, 1, 2, 3, 4, 5], &[0, 10, 20]);
+        let mut stats = EngineStats::<Counting>::default();
+        let mut cursors = root_cursors(&plan, &tries, None, &mut stats);
+        for c in cursors.iter_mut() {
+            assert!(c.open(&mut stats.access));
+        }
+        let mut sup = None;
+        let mut ctl = Recorder::default();
+        try_split_at(&plan, &mut cursors, &mut sup, 1, &[0], &mut ctl, &mut stats);
+        assert!(ctl.offers.is_empty(), "empty deep tail must be rejected");
+        assert_eq!(sup, None);
+        assert_eq!(stats.splits, 0);
+        assert!(ctl.vetoed(1, 20) && ctl.vetoed(1, 25));
+        assert!(
+            !ctl.vetoed(0, 20),
+            "the veto is scoped to the donated depth"
         );
     }
 
@@ -793,8 +1168,20 @@ mod tests {
         let mut cursors = root_cursors(&plan, &tries, Some(7), &mut stats);
         let mut root_sup = Some(7);
         let mut ctl = Recorder::default();
-        try_split_root(&plan, &mut cursors, &mut root_sup, &mut ctl, &mut stats);
-        assert_eq!(ctl.offers, vec![(4, Some(7))], "tail ends at the old sup");
+        try_split_at(
+            &plan,
+            &mut cursors,
+            &mut root_sup,
+            0,
+            &[],
+            &mut ctl,
+            &mut stats,
+        );
+        assert_eq!(
+            ctl.offers,
+            vec![(0, vec![], 4, Some(7))],
+            "tail ends at the old sup"
+        );
         assert_eq!(root_sup, Some(4));
     }
 

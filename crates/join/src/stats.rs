@@ -41,6 +41,12 @@ pub struct EngineStats<T: Tally = Counting> {
     /// Shared-cache stripe locks that were contended — another worker
     /// held the stripe when this one arrived, so the acquisition waited.
     pub cache_contention: u64,
+    /// Cache specs demoted at run time by the adaptive policy
+    /// (`CtjConfig::adaptive` / `TRIEJAX_CACHE_ADAPT`): a spec whose
+    /// observed hit rate stayed at zero after a fixed number of lookups
+    /// stopped recording and looking up entries at its depth. Each
+    /// demoted depth counts once per run.
+    pub cache_demotions: u64,
     /// Lowest-upper-bound (binary-search) operations issued.
     pub lub_ops: u64,
     /// Child-range expansions (the Midwife operation).
@@ -63,6 +69,13 @@ pub struct EngineStats<T: Tally = Counting> {
     /// range off into a freshly spawned shard. Split shards are included
     /// in [`shards`](Self::shards).
     pub splits: u64,
+    /// Dynamic splits performed *below* the root level (depth ≥ 1):
+    /// spawn-on-match handoffs that donated the sibling tail of an inner
+    /// trie level under a bound prefix (paper §3.4, enabled by
+    /// `ParLftj::with_split_depth`/`ParCtj::with_split_depth` and the
+    /// `TRIEJAX_SPLIT_DEPTH` environment default). A subset of
+    /// [`splits`](Self::splits).
+    pub deep_splits: u64,
     /// Deepest split generation reached: `0` when no split happened, `1`
     /// when an initial shard split, `2` when a split shard split again,
     /// and so on. Unlike the other counters this merges by *maximum* —
@@ -129,12 +142,14 @@ impl<T: Tally> EngineStats<T> {
             cache_evictions: self.cache_evictions,
             cache_races: self.cache_races,
             cache_contention: self.cache_contention,
+            cache_demotions: self.cache_demotions,
             lub_ops: self.lub_ops,
             expand_ops: self.expand_ops,
             match_ops: self.match_ops,
             shards: self.shards,
             steals: self.steals,
             splits: self.splits,
+            deep_splits: self.deep_splits,
             split_depth: self.split_depth,
             trie_build_ns: self.trie_build_ns,
             trie_cache_hits: self.trie_cache_hits,
@@ -153,12 +168,14 @@ impl<T: Tally> EngineStats<T> {
         self.cache_evictions += other.cache_evictions;
         self.cache_races += other.cache_races;
         self.cache_contention += other.cache_contention;
+        self.cache_demotions += other.cache_demotions;
         self.lub_ops += other.lub_ops;
         self.expand_ops += other.expand_ops;
         self.match_ops += other.match_ops;
         self.shards += other.shards;
         self.steals += other.steals;
         self.splits += other.splits;
+        self.deep_splits += other.deep_splits;
         self.split_depth = self.split_depth.max(other.split_depth);
         self.trie_build_ns += other.trie_build_ns;
         self.trie_cache_hits += other.trie_cache_hits;
@@ -207,14 +224,19 @@ mod tests {
         b.cache_races = 2;
         b.cache_contention = 3;
         a.splits = 4;
+        a.deep_splits = 2;
         a.split_depth = 3;
         b.splits = 1;
+        b.deep_splits = 1;
         b.split_depth = 2;
+        b.cache_demotions = 1;
         b.access.record(AccessKind::ResultWrite, 8);
         a.merge(&b);
         assert_eq!(a.results, 5);
         assert_eq!(a.splits, 5, "splits sum");
+        assert_eq!(a.deep_splits, 3, "deep splits sum");
         assert_eq!(a.split_depth, 3, "split depth merges by maximum");
+        assert_eq!(a.cache_demotions, 1, "demotions sum");
         assert_eq!(a.lub_ops, 1);
         assert_eq!(a.match_ops, 7);
         assert_eq!(a.cache_evictions, 5);

@@ -160,6 +160,7 @@ proptest! {
         let cfg = CtjConfig {
             entry_capacity: Some(entry_cap),
             max_entries: Some(max_entries),
+            adaptive: false,
         };
         let mut sink = CollectSink::new();
         Ctj::with_config(cfg).execute(&plan, &catalog, &mut sink).unwrap();

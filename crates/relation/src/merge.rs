@@ -289,8 +289,47 @@ impl<'a> JoinCursor for MergeCursor<'a> {
         true
     }
 
-    fn clamp_root_sup<T: Tally>(&mut self, sup: Value, counter: &mut T) {
-        assert_eq!(self.frames.len(), 1, "clamp applies to the open root level");
+    fn open_range<T: Tally>(&mut self, min: Value, sup: Option<Value>, counter: &mut T) -> bool {
+        let d = self.frames.len();
+        if d == 0 {
+            return self.open_root_range(min, sup, counter);
+        }
+        assert!(d < self.arity, "cannot open past the leaf level");
+        let f = *self.frames.last().expect("non-empty frames");
+        let k = self.key(); // panics on an ended level, like TrieCursor
+        let desc_base = self.base_key() == Some(k);
+        let desc_delta = self.delta_key() == Some(k);
+        let (tomb_lo, tomb_hi) = self.narrow_tomb(&f, d - 1, k, counter);
+        let base_open = desc_base
+            && self
+                .base
+                .as_mut()
+                .expect("descending side")
+                .open_range(min, sup, counter);
+        let delta_open = desc_delta
+            && self
+                .delta
+                .as_mut()
+                .expect("descending side")
+                .open_range(min, sup, counter);
+        if !base_open && !delta_open {
+            return false;
+        }
+        self.frames.push(MergeFrame {
+            base_open,
+            delta_open,
+            tomb_lo,
+            tomb_hi,
+        });
+        if self.frames.len() == self.arity && !self.settle_leaf(counter) {
+            self.pop_level();
+            return false;
+        }
+        true
+    }
+
+    fn clamp_sup<T: Tally>(&mut self, sup: Value, counter: &mut T) {
+        assert!(!self.frames.is_empty(), "clamp applies to an open level");
         let f = *self.frames.last().expect("non-empty frames");
         assert!(
             self.key() < sup,
@@ -303,13 +342,13 @@ impl<'a> JoinCursor for MergeCursor<'a> {
             self.base
                 .as_mut()
                 .expect("flagged side exists")
-                .clamp_root_sup_lenient(sup, counter);
+                .clamp_sup_lenient(sup, counter);
         }
         if f.delta_open {
             self.delta
                 .as_mut()
                 .expect("flagged side exists")
-                .clamp_root_sup_lenient(sup, counter);
+                .clamp_sup_lenient(sup, counter);
         }
     }
 
@@ -376,49 +415,68 @@ impl<'a> JoinCursor for MergeCursor<'a> {
         }
     }
 
-    fn root_unvisited(&self) -> usize {
-        assert_eq!(self.frames.len(), 1, "split hooks apply at the root level");
+    fn unvisited(&self) -> usize {
+        assert!(
+            !self.frames.is_empty(),
+            "split hooks apply to an open level"
+        );
         let f = self.frames.last().expect("non-empty frames");
-        let tail = |c: &TrieCursor<'_>, open: bool| {
-            if !open || c.at_end() {
-                0
-            } else {
-                let (_, hi) = c.sibling_range();
-                hi - c.pos() - 1
+        // When the last merge frame flags a side open, that side's own
+        // deepest frame sits at the same depth (descent flags are
+        // monotone: a side that drops out never re-enters deeper), so the
+        // side's deepest-level tail is exactly its share of the merged
+        // tail.
+        let tail = |c: &Option<TrieCursor<'_>>, open: bool| -> usize {
+            match c {
+                Some(c) if open => c.unvisited(),
+                _ => 0,
             }
         };
-        self.base.as_ref().map_or(0, |c| tail(c, f.base_open))
-            + self.delta.as_ref().map_or(0, |c| tail(c, f.delta_open))
+        tail(&self.base, f.base_open) + tail(&self.delta, f.delta_open)
     }
 
-    fn root_split_boundary(&self) -> Value {
-        assert_eq!(self.frames.len(), 1, "split hooks apply at the root level");
+    fn split_boundary(&self) -> Value {
+        let depth = self.frames.len();
+        assert!(depth >= 1, "split hooks apply to an open level");
         let f = self.frames.last().expect("non-empty frames");
         let tail = |c: &Option<TrieCursor<'_>>, open: bool| -> usize {
             match c {
-                Some(c) if open && !c.at_end() => {
-                    let (_, hi) = c.sibling_range();
-                    hi - c.pos() - 1
-                }
+                Some(c) if open => c.unvisited(),
                 _ => 0,
             }
         };
         let base_tail = tail(&self.base, f.base_open);
         let delta_tail = tail(&self.delta, f.delta_open);
-        assert!(
-            base_tail + delta_tail >= 1,
-            "no unvisited root tail to split"
-        );
+        assert!(base_tail + delta_tail >= 1, "no unvisited tail to split");
         // Cut the longer side's tail in half; the boundary is strictly
         // greater than that side's current key, hence than the merged
-        // key. Boundaries need not exist on the other side — shards cover
-        // contiguous value ranges, not members.
-        let (donor, donor_tail) = if base_tail >= delta_tail {
-            (self.base.as_ref().expect("non-zero tail"), base_tail)
+        // key. Boundaries need not exist on the other side — donated
+        // tails cover contiguous value ranges, not members.
+        let donor = if base_tail >= delta_tail {
+            self.base.as_ref().expect("non-zero tail")
         } else {
-            (self.delta.as_ref().expect("non-zero tail"), delta_tail)
+            self.delta.as_ref().expect("non-zero tail")
         };
-        donor.trie().level(0).values()[donor.pos() + 1 + donor_tail / 2]
+        donor.split_boundary()
+    }
+
+    fn tail_contains<T: Tally>(&self, boundary: Value, counter: &mut T) -> bool {
+        assert!(
+            !self.frames.is_empty(),
+            "split hooks apply to an open level"
+        );
+        let f = self.frames.last().expect("non-empty frames");
+        let side = |c: &Option<TrieCursor<'_>>, open: bool, counter: &mut T| -> bool {
+            match c {
+                Some(c) if open => c.tail_contains(boundary, counter),
+                _ => false,
+            }
+        };
+        // Probe both sides unconditionally so the tally does not depend
+        // on which side answers first.
+        let in_base = side(&self.base, f.base_open, counter);
+        let in_delta = side(&self.delta, f.delta_open, counter);
+        in_base || in_delta
     }
 
     fn cache_pos(&self) -> u32 {
@@ -559,9 +617,9 @@ mod tests {
         assert_eq!(cur.key(), 1);
         // unvisited: base 1 (the 3), delta 3 (5/7/9 minus the current? no
         // — delta is positioned at 5, so 7 and 9 remain) = 1 + 2 = 3.
-        assert_eq!(cur.root_unvisited(), 3);
+        assert_eq!(cur.unvisited(), 3);
         // Clamp at 5: the base keeps [1, 3], the delta side ends.
-        cur.clamp_root_sup(5, &mut c);
+        cur.clamp_sup(5, &mut c);
         assert_eq!(cur.key(), 1);
         assert!(cur.next(&mut c));
         assert_eq!(cur.key(), 3);
@@ -586,11 +644,67 @@ mod tests {
         assert!(cur.open(&mut c));
         assert_eq!(cur.key(), 1);
         // Base tail 0, delta tail 3 (positioned at 2; 4/6/8 remain).
-        assert_eq!(cur.root_unvisited(), 3);
-        let boundary = cur.root_split_boundary();
+        assert_eq!(cur.unvisited(), 3);
+        let boundary = cur.split_boundary();
         // Delta donor: values[0 + 1 + 3/2] = values[2] = 6.
         assert_eq!(boundary, 6);
         assert!(boundary > cur.key());
+    }
+
+    #[test]
+    fn deep_split_hooks_cover_both_sides_of_the_merge() {
+        // Children of 1: base [2, 6], delta [4, 8].
+        let base_rel = Relation::from_pairs(vec![(1, 2), (1, 6)]);
+        let delta_rel = Relation::from_pairs(vec![(1, 4), (1, 8)]);
+        let base = Trie::build(&base_rel);
+        let dtrie = Trie::build(&delta_rel);
+        let none = Relation::new(2).unwrap();
+        let mut cur = MergeCursor::new(Some(&base), Some(&dtrie), &none);
+        let mut c = AccessCounter::default();
+        assert!(cur.open(&mut c));
+        assert!(cur.open(&mut c));
+        assert_eq!((cur.depth(), cur.key()), (2, 2));
+        // Base tail 1 (the 6), delta tail 1 (the 8).
+        assert_eq!(cur.unvisited(), 2);
+        // Equal tails: the base wins the tie; boundary = base values[1] = 6.
+        assert_eq!(cur.split_boundary(), 6);
+        let before = c.index_reads;
+        assert!(cur.tail_contains(6, &mut c));
+        assert!(c.index_reads > before, "deep validation probes are tallied");
+        assert!(!cur.tail_contains(9, &mut c));
+        // Donor half: clamp the child level below 6 → only 2 and 4 remain.
+        cur.clamp_sup(6, &mut c);
+        assert!(cur.next(&mut c));
+        assert_eq!(cur.key(), 4);
+        assert!(!cur.next(&mut c), "6 and 8 were donated");
+        // Donee half: re-descend under the prefix into [6, ∞).
+        let mut donee = cur.fresh();
+        assert!(donee.open(&mut c));
+        assert!(donee.open_range(6, None, &mut c));
+        assert_eq!((donee.depth(), donee.key()), (2, 6));
+        assert!(donee.next(&mut c));
+        assert_eq!(donee.key(), 8);
+        assert!(!donee.next(&mut c));
+    }
+
+    #[test]
+    fn open_range_skips_tombstoned_leaves() {
+        // Children of 1 in the merged view: base [2, 6, 8] minus tomb (1,6).
+        let base_rel = Relation::from_pairs(vec![(1, 2), (1, 6), (1, 8)]);
+        let base = Trie::build(&base_rel);
+        let tomb = Relation::from_pairs(vec![(1, 6)]);
+        let mut cur = MergeCursor::new(Some(&base), None, &tomb);
+        let mut c = AccessCounter::default();
+        assert!(cur.open(&mut c));
+        assert!(cur.open_range(3, None, &mut c));
+        assert_eq!(cur.key(), 8, "tombstoned 6 is settled past");
+        assert!(!cur.next(&mut c));
+        // A window holding only tombstoned values is a phantom: the
+        // descent is undone.
+        let mut phantom = cur.fresh();
+        assert!(phantom.open(&mut c));
+        assert!(!phantom.open_range(3, Some(7), &mut c));
+        assert_eq!(phantom.depth(), 1);
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Cost-based adaptive PJR cache policy battery. Three properties, at
+//! every pool size and tally mode:
+//!
+//! 1. **Safety** — enabling the adaptive policy never changes the result
+//!    stream, whether a spec is dropped at plan time or demoted at run
+//!    time: tuple-for-tuple identical to the fixed-spec engines.
+//! 2. **Demotion fires** — a zero-reuse workload (bijective `x -> y`, so
+//!    every cache key is looked up exactly once) must demote the useless
+//!    spec after its probation window and report `cache_demotions > 0`.
+//! 3. **Reuse is kept** — a high-reuse funnel (many `x` per hub `y`)
+//!    must keep its spec and hit at least as often as sequential CTJ.
+
+use triejax_join::{
+    Catalog, CollectSink, Counting, Ctj, CtjConfig, EngineStats, NoTally, ParCtj, Tally,
+};
+use triejax_query::{CompiledQuery, Query};
+use triejax_relation::Relation;
+
+const POOL_SIZES: [usize; 3] = [1, 2, 7];
+
+/// `ans(x, y, z) :- R(x, y), S(y, z)`: `z` depends only on `y`, so the
+/// planner installs a cache spec at the `z` level keyed by `y` — the spec
+/// whose worth depends entirely on how often each `y` is revisited.
+fn funnel_query() -> CompiledQuery {
+    let q = Query::builder("adaptive_cache")
+        .head(["x", "y", "z"])
+        .atom("R", ["x", "y"])
+        .atom("S", ["y", "z"])
+        .build()
+        .unwrap();
+    CompiledQuery::compile(&q).unwrap()
+}
+
+/// Zero-reuse: `R` is a bijection (`y = x` for 300 roots), so every
+/// cached entry is built once and never replayed — well past the
+/// 64-lookup probation window.
+fn zero_reuse_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.insert(
+        "R",
+        Relation::from_pairs((0..300u32).map(|x| (x, x)).collect::<Vec<_>>()),
+    );
+    let mut s = Vec::new();
+    for y in 0..300u32 {
+        s.push((y, y % 7));
+        s.push((y, y % 7 + 10));
+    }
+    c.insert("S", Relation::from_pairs(s));
+    c
+}
+
+/// High reuse: 200 roots funnel into 40 hub `y` values, so each entry is
+/// replayed ~4 times and the lookup count (200) is well past the window —
+/// probation must end in *keeping* the spec.
+fn high_reuse_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.insert(
+        "R",
+        Relation::from_pairs((0..200u32).map(|x| (x, x % 40)).collect::<Vec<_>>()),
+    );
+    let mut s = Vec::new();
+    for y in 0..40u32 {
+        for z in 0..5u32 {
+            s.push((y, y + z));
+        }
+    }
+    c.insert("S", Relation::from_pairs(s));
+    c
+}
+
+fn fixed_config() -> CtjConfig {
+    CtjConfig {
+        entry_capacity: None,
+        max_entries: None,
+        adaptive: false,
+    }
+}
+
+fn adaptive_config() -> CtjConfig {
+    CtjConfig {
+        adaptive: true,
+        ..fixed_config()
+    }
+}
+
+fn run_seq<T: Tally>(
+    config: CtjConfig,
+    plan: &CompiledQuery,
+    catalog: &Catalog,
+) -> (Vec<Vec<u32>>, EngineStats) {
+    let mut sink = CollectSink::new();
+    let stats = Ctj::with_config(config)
+        .run_tallied::<T>(plan, catalog, &mut sink)
+        .expect("runs")
+        .to_counting();
+    (sink.tuples().to_vec(), stats)
+}
+
+fn run_par<T: Tally>(
+    pool: usize,
+    adaptive: bool,
+    plan: &CompiledQuery,
+    catalog: &Catalog,
+) -> (Vec<Vec<u32>>, EngineStats) {
+    let mut sink = CollectSink::new();
+    // An explicit config pins the shared cache unbounded, so an ambient
+    // `TRIEJAX_CACHE_CAP` (the CI tinycache leg) can't starve the
+    // hit-count assertions; `with_cache_adapt` then toggles the policy.
+    let stats = ParCtj::with_pool(pool)
+        .config(fixed_config())
+        .with_cache_adapt(adaptive)
+        .run_tallied::<T>(plan, catalog, &mut sink)
+        .expect("runs")
+        .to_counting();
+    (sink.tuples().to_vec(), stats)
+}
+
+/// Property 1 + 2 on the zero-reuse workload: the spec is demoted at run
+/// time, the demotion is reported, and the stream is exactly the
+/// fixed-spec stream — sequentially and at every pool size, in both tally
+/// modes.
+#[test]
+fn runtime_demotion_fires_and_never_changes_results() {
+    let plan = funnel_query();
+    let catalog = zero_reuse_catalog();
+    let (reference, fixed) = run_seq::<Counting>(fixed_config(), &plan, &catalog);
+    assert!(
+        fixed.cache_misses >= 64,
+        "fixture must outlast the probation window"
+    );
+    assert_eq!(fixed.cache_demotions, 0, "fixed engine never demotes");
+
+    for counting in [true, false] {
+        let (tuples, stats) = if counting {
+            run_seq::<Counting>(adaptive_config(), &plan, &catalog)
+        } else {
+            run_seq::<NoTally>(adaptive_config(), &plan, &catalog)
+        };
+        assert_eq!(tuples, reference, "seq adaptive counting={counting}");
+        assert!(
+            stats.cache_demotions > 0,
+            "zero reuse must demote (counting={counting})"
+        );
+        assert!(
+            stats.cache_misses < fixed.cache_misses,
+            "a demoted depth must stop building entries (counting={counting})"
+        );
+
+        for pool in POOL_SIZES {
+            let (tuples, stats) = if counting {
+                run_par::<Counting>(pool, true, &plan, &catalog)
+            } else {
+                run_par::<NoTally>(pool, true, &plan, &catalog)
+            };
+            assert_eq!(
+                tuples, reference,
+                "par adaptive pool={pool} counting={counting}"
+            );
+            assert!(
+                stats.cache_demotions > 0,
+                "shared store must demote too (pool={pool} counting={counting})"
+            );
+        }
+    }
+}
+
+/// Property 3 on the funnel: plenty of lookups, plenty of hits — the
+/// adaptive engines must keep the spec (no demotion) and hit at least as
+/// often as the fixed sequential engine, while staying exact.
+#[test]
+fn high_reuse_funnel_keeps_its_spec() {
+    let plan = funnel_query();
+    let catalog = high_reuse_catalog();
+    let (reference, fixed) = run_seq::<Counting>(fixed_config(), &plan, &catalog);
+    assert!(fixed.cache_hits > 0, "the funnel must actually replay");
+
+    for counting in [true, false] {
+        let (tuples, stats) = if counting {
+            run_seq::<Counting>(adaptive_config(), &plan, &catalog)
+        } else {
+            run_seq::<NoTally>(adaptive_config(), &plan, &catalog)
+        };
+        assert_eq!(tuples, reference, "seq adaptive counting={counting}");
+        assert_eq!(stats.cache_demotions, 0, "reused spec must be kept");
+        assert!(
+            stats.cache_hits >= fixed.cache_hits,
+            "adaptive run must hit at least as often (counting={counting})"
+        );
+
+        for pool in POOL_SIZES {
+            let (tuples, stats) = if counting {
+                run_par::<Counting>(pool, true, &plan, &catalog)
+            } else {
+                run_par::<NoTally>(pool, true, &plan, &catalog)
+            };
+            assert_eq!(
+                tuples, reference,
+                "par adaptive pool={pool} counting={counting}"
+            );
+            assert_eq!(
+                stats.cache_demotions, 0,
+                "reused spec must survive the shared probation (pool={pool})"
+            );
+            assert!(
+                stats.cache_hits >= fixed.cache_hits,
+                "shared cache must replay at least as often (pool={pool})"
+            );
+        }
+    }
+}
+
+/// Plan-time side of the policy: when the reuse estimate says every entry
+/// would be built exactly once (a one-tuple `R` bounds the non-key prefix
+/// domain at 1), the adaptive engines drop the spec before running — no
+/// lookups, no builds — and the stream still matches the fixed engine.
+#[test]
+fn plan_time_drop_skips_the_cache_entirely() {
+    let plan = funnel_query();
+    let mut catalog = Catalog::new();
+    catalog.insert("R", Relation::from_pairs(vec![(0u32, 0u32)]));
+    catalog.insert(
+        "S",
+        Relation::from_pairs((0..6u32).map(|z| (0, z)).collect::<Vec<_>>()),
+    );
+
+    let (reference, fixed) = run_seq::<Counting>(fixed_config(), &plan, &catalog);
+    assert!(
+        fixed.cache_misses > 0,
+        "the fixed engine builds the (useless) entry"
+    );
+    let (tuples, stats) = run_seq::<Counting>(adaptive_config(), &plan, &catalog);
+    assert_eq!(tuples, reference);
+    assert_eq!(stats.cache_misses, 0, "dropped spec: no entry builds");
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.cache_demotions, 0, "plan-time drop is not a demotion");
+
+    for pool in POOL_SIZES {
+        let (tuples, stats) = run_par::<Counting>(pool, true, &plan, &catalog);
+        assert_eq!(tuples, reference, "par pool={pool}");
+        assert_eq!(stats.cache_misses, 0, "par pool={pool}: no entry builds");
+        assert_eq!(stats.cache_hits, 0);
+    }
+}

@@ -248,6 +248,75 @@ fn failed_handoff_under_a_deadline_never_hangs() {
     }
 }
 
+/// A handoff failing at depth >= 1: the fixture's root domain is a single
+/// value, so the only handoffs a splitting run can attempt are sub-root
+/// ones — the window where the tail lane is open (and, uniquely for deep
+/// handoffs, the continuation lane about to be) but the task not yet
+/// spawned. The injected failure must close the fresh lane before
+/// unwinding, so the drain terminates, and the very next clean run must
+/// be exact and actually exercise the deep path it just survived.
+#[test]
+fn failed_deep_handoff_never_hangs_and_recovers_exactly() {
+    use triejax_query::Query;
+
+    let q = Query::builder("deep_fault")
+        .head(["x", "y", "z"])
+        .atom("R", ["x", "y"])
+        .atom("S", ["y", "z"])
+        .build()
+        .unwrap();
+    let plan = CompiledQuery::compile(&q).expect("compiles");
+    let mut catalog = Catalog::new();
+    catalog.insert(
+        "R",
+        Relation::from_pairs((0..260u32).map(|y| (0, y)).collect::<Vec<_>>()),
+    );
+    let mut s: Vec<(u32, u32)> = (0..26_000u32).map(|z| (0, z)).collect();
+    for y in 1..260u32 {
+        for z in 0..4u32 {
+            s.push((y, (y * 31 + z) % 260));
+        }
+    }
+    catalog.insert("S", Relation::from_pairs(s));
+    let reference = reference_tuples(&plan, &catalog);
+
+    for action in [FaultAction::Panic, FaultAction::FailHandoff] {
+        let guard = faults::install(FaultPlan::new().rule(first(FaultEvent::SplitHandoff, action)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut sink = CollectSink::new();
+            ParLftj::with_pool(4)
+                .with_granularity(1)
+                .with_split(true)
+                .with_split_depth(usize::MAX)
+                .execute(&plan, &catalog, &mut sink)
+                .expect("a faulted run that completes completes cleanly");
+            sink
+        }));
+        drop(guard);
+        match outcome {
+            Ok(sink) => assert_eq!(
+                sink.tuples(),
+                reference,
+                "{action:?}: untripped run must be exact"
+            ),
+            Err(payload) => assert_injected(payload),
+        }
+        let mut clean = CollectSink::new();
+        let stats = ParLftj::with_pool(4)
+            .with_granularity(1)
+            .with_split(true)
+            .with_split_depth(usize::MAX)
+            .execute(&plan, &catalog, &mut clean)
+            .expect("clean run");
+        assert_eq!(clean.tuples(), reference, "{action:?}: post-fault");
+        assert!(
+            stats.deep_splits > 0,
+            "{action:?}: the clean run must take the sub-root path \
+             (root domain is 1, so every handoff here is deep)"
+        );
+    }
+}
+
 /// A trie build task dying on the pool (panic at the `TrieBuild` site)
 /// must surface the injected payload — never hang the run — and leave
 /// no half-built trie behind: the shared trie cache stays empty, and
